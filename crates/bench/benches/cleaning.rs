@@ -1,0 +1,99 @@
+//! Criterion micro-benchmarks for the end-to-end cleaners — the runtime side
+//! of Figures 6, 11, 15 and Tables 5–6.
+//!
+//! * `mlnclean_error_rate/*` — MLNClean runtime as the error rate grows
+//!   (Figure 6c/6d, MLNClean series);
+//! * `holoclean_error_rate/*` — HoloClean runtime on the same inputs
+//!   (Figure 6c/6d, HoloClean series);
+//! * `mlnclean_threshold/*` — runtime vs. the AGP threshold τ (Figure 11);
+//! * `mlnclean_metric/*` — runtime under different distance metrics (Table 5);
+//! * `distributed_workers/*` — distributed runtime vs. worker count (Table 6,
+//!   Figure 15).
+
+use bench::{Scale, Workload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use distance::Metric;
+use distributed::DistributedMlnClean;
+use holoclean::{HoloClean, HoloCleanConfig};
+use mlnclean::{CleanConfig, MlnClean};
+
+fn mlnclean_error_rate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mlnclean_error_rate");
+    group.sample_size(10);
+    for &rate in &[0.05, 0.15, 0.30] {
+        let dirty = Workload::Car.dirty(Scale::Tiny, rate, 0.5, 1);
+        let rules = Workload::Car.rules();
+        let cleaner = MlnClean::new(CleanConfig::default().with_tau(1));
+        group.bench_with_input(BenchmarkId::new("CAR", format!("{}%", rate * 100.0)), &dirty, |b, d| {
+            b.iter(|| cleaner.clean(&d.dirty, &rules).expect("clean"));
+        });
+    }
+    group.finish();
+}
+
+fn holoclean_error_rate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("holoclean_error_rate");
+    group.sample_size(10);
+    for &rate in &[0.05, 0.15, 0.30] {
+        let dirty = Workload::Car.dirty(Scale::Tiny, rate, 0.5, 1);
+        let rules = Workload::Car.rules();
+        let noisy = dirty.erroneous_cells();
+        let cleaner = HoloClean::new(HoloCleanConfig::default());
+        group.bench_with_input(BenchmarkId::new("CAR", format!("{}%", rate * 100.0)), &dirty, |b, d| {
+            b.iter(|| cleaner.repair(&d.dirty, &rules, &noisy));
+        });
+    }
+    group.finish();
+}
+
+fn mlnclean_threshold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mlnclean_threshold");
+    group.sample_size(10);
+    let dirty = Workload::Car.dirty(Scale::Tiny, 0.05, 0.5, 2);
+    let rules = Workload::Car.rules();
+    for &tau in &[0usize, 1, 3, 5] {
+        let cleaner = MlnClean::new(CleanConfig::default().with_tau(tau));
+        group.bench_with_input(BenchmarkId::from_parameter(tau), &dirty, |b, d| {
+            b.iter(|| cleaner.clean(&d.dirty, &rules).expect("clean"));
+        });
+    }
+    group.finish();
+}
+
+fn mlnclean_metric(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mlnclean_metric");
+    group.sample_size(10);
+    let dirty = Workload::Car.dirty(Scale::Tiny, 0.05, 0.5, 3);
+    let rules = Workload::Car.rules();
+    for metric in [Metric::Levenshtein, Metric::Cosine] {
+        let cleaner = MlnClean::new(CleanConfig::default().with_tau(1).with_metric(metric));
+        group.bench_with_input(BenchmarkId::from_parameter(metric.name()), &dirty, |b, d| {
+            b.iter(|| cleaner.clean(&d.dirty, &rules).expect("clean"));
+        });
+    }
+    group.finish();
+}
+
+fn distributed_workers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distributed_workers");
+    group.sample_size(10);
+    let dirty = Workload::Tpch.dirty(Scale::Tiny, 0.05, 0.5, 4);
+    let rules = Workload::Tpch.rules();
+    for &workers in &[2usize, 4, 8] {
+        let cleaner = DistributedMlnClean::new(workers, CleanConfig::default().with_tau(2));
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &dirty, |b, d| {
+            b.iter(|| cleaner.clean(&d.dirty, &rules).expect("clean"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    mlnclean_error_rate,
+    holoclean_error_rate,
+    mlnclean_threshold,
+    mlnclean_metric,
+    distributed_workers
+);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Criterion micro-benchmarks for the individual MLNClean components and
+//! substrates: MLN index construction, weight learning, the string metrics,
+//! and the data partitioner.  These back the complexity claims of Sections 4
+//! and 5 (index construction is O(|rules|·|tuples|), weight learning
+//! dominates, FSCR is per-tuple factorial in the number of rules).
+
+use bench::{Scale, Workload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use distance::{DistanceMetric, Metric};
+use distributed::{partition_dataset, PartitionConfig};
+use mln::{learn_gamma_weights, LearningConfig};
+use mlnclean::{AbnormalGroupProcessor, ConflictResolver, MlnIndex, ReliabilityCleaner};
+
+fn index_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mln_index_build");
+    group.sample_size(20);
+    for workload in [Workload::Car, Workload::Hai] {
+        let dirty = workload.dirty(Scale::Tiny, 0.05, 0.5, 1);
+        let rules = workload.rules();
+        group.bench_with_input(BenchmarkId::from_parameter(workload.name()), &dirty, |b, d| {
+            b.iter(|| MlnIndex::build(&d.dirty, &rules).expect("index"));
+        });
+    }
+    group.finish();
+}
+
+fn weight_learning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gamma_weight_learning");
+    for &gammas in &[10usize, 100, 1000] {
+        let counts: Vec<usize> = (0..gammas).map(|i| 1 + i % 17).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(gammas), &counts, |b, counts| {
+            b.iter(|| learn_gamma_weights(counts, &LearningConfig::default()));
+        });
+    }
+    group.finish();
+}
+
+fn stage_breakdown(c: &mut Criterion) {
+    // AGP → RSC → FSCR individually, on the CAR workload at 5% errors.
+    let dirty = Workload::Car.dirty(Scale::Tiny, 0.05, 0.5, 7);
+    let rules = Workload::Car.rules();
+    let base_index = MlnIndex::build(&dirty.dirty, &rules).expect("index");
+
+    let mut group = c.benchmark_group("stage_breakdown");
+    group.sample_size(20);
+    group.bench_function("agp", |b| {
+        b.iter(|| {
+            let mut index = base_index.clone();
+            AbnormalGroupProcessor::new(1, Metric::Levenshtein).process(&mut index)
+        });
+    });
+    group.bench_function("weights+rsc", |b| {
+        b.iter(|| {
+            let mut index = base_index.clone();
+            AbnormalGroupProcessor::new(1, Metric::Levenshtein).process(&mut index);
+            mlnclean::weights::assign_weights(&mut index, &LearningConfig::default());
+            ReliabilityCleaner::new(Metric::Levenshtein).clean(&mut index)
+        });
+    });
+    group.bench_function("fscr", |b| {
+        let mut index = base_index.clone();
+        AbnormalGroupProcessor::new(1, Metric::Levenshtein).process(&mut index);
+        mlnclean::weights::assign_weights(&mut index, &LearningConfig::default());
+        ReliabilityCleaner::new(Metric::Levenshtein).clean(&mut index);
+        b.iter(|| ConflictResolver::new(6).resolve(&dirty.dirty, &index));
+    });
+    group.finish();
+}
+
+fn string_metrics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("string_metrics");
+    let pairs = [
+        ("DOTHAN", "DOTH"),
+        ("2567688400", "2567638410"),
+        ("CUSTOMER#000000042", "CUSTOMER#000000024"),
+    ];
+    for metric in Metric::ALL {
+        group.bench_function(metric.name(), |b| {
+            b.iter(|| {
+                pairs
+                    .iter()
+                    .map(|(a, bs)| metric.normalized_distance(a, bs))
+                    .sum::<f64>()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn data_partitioning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("data_partitioning");
+    group.sample_size(10);
+    let dirty = Workload::Tpch.dirty(Scale::Tiny, 0.05, 0.5, 5);
+    for &parts in &[2usize, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(parts), &dirty, |b, d| {
+            b.iter(|| partition_dataset(&d.dirty, &PartitionConfig::new(parts, 1)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    index_construction,
+    weight_learning,
+    stage_breakdown,
+    string_metrics,
+    data_partitioning
+);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Figure 15: the distributed MLNClean version — F1 and runtime as the error
+//! percentage grows, on the (larger) HAI and TPC-H workloads with a fixed
+//! worker count.
+
+use crate::common::{fmt3, fmt_ms, ResultTable, Scale, Workload};
+use dataset::RepairEvaluation;
+use distributed::DistributedMlnClean;
+
+
+/// Worker count used for the error-percentage sweep.
+pub const WORKERS: usize = 4;
+
+/// One measured point of the distributed sweep.
+#[derive(Debug, Clone)]
+pub struct DistributedPoint {
+    /// Dataset name.
+    pub workload: &'static str,
+    /// Injected error rate.
+    pub error_rate: f64,
+    /// F1 of the distributed run.
+    pub f1: f64,
+    /// Total wall-clock runtime.
+    pub runtime: std::time::Duration,
+}
+
+/// Run the distributed cleaner at one error rate.
+pub fn measure_at(workload: Workload, scale: Scale, error_rate: f64, seed: u64) -> DistributedPoint {
+    let dirty = workload.dirty(scale, error_rate, 0.5, seed);
+    let rules = workload.rules();
+    let cleaner = DistributedMlnClean::new(
+        WORKERS,
+        workload.clean_config(),
+    );
+    let outcome = cleaner.clean(&dirty.dirty, &rules).expect("rules match the schema");
+    let f1 = RepairEvaluation::evaluate(&dirty, &outcome.repaired).f1();
+    DistributedPoint { workload: workload.name(), error_rate, f1, runtime: outcome.timings.total() }
+}
+
+/// Run Figure 15 for HAI and TPC-H.
+pub fn run(scale: Scale) -> Vec<(String, String)> {
+    let mut files = Vec::new();
+    for workload in [Workload::Hai, Workload::Tpch] {
+        let mut table = ResultTable::new(
+            &format!(
+                "Figure 15 ({}) — distributed MLNClean ({} workers) vs error percentage",
+                workload.name(),
+                WORKERS
+            ),
+            &["error%", "F1", "runtime_ms"],
+        );
+        for (i, &rate) in crate::fig6::ERROR_RATES.iter().enumerate() {
+            let p = measure_at(workload, scale, rate, 600 + i as u64);
+            table.push_row(vec![
+                format!("{:.0}%", rate * 100.0),
+                fmt3(p.f1),
+                fmt_ms(p.runtime),
+            ]);
+        }
+        println!("{}", table.to_text());
+        files.push((format!("fig15_{}.csv", workload.name().to_lowercase().replace('-', "")), table.to_csv()));
+    }
+    files
+}

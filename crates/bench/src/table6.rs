@@ -1,0 +1,54 @@
+//! Table 6: total runtime of distributed MLNClean as the number of workers
+//! grows (2 → 10) on the TPC-H workload.
+
+use crate::common::{fmt3, fmt_ms, ResultTable, Scale, Workload};
+use dataset::RepairEvaluation;
+use distributed::DistributedMlnClean;
+
+
+/// Worker counts of Table 6.
+pub const WORKER_COUNTS: [usize; 5] = [2, 4, 6, 8, 10];
+
+/// One measured point of the worker sweep.
+#[derive(Debug, Clone)]
+pub struct WorkerPoint {
+    /// Number of workers.
+    pub workers: usize,
+    /// Total wall-clock runtime.
+    pub runtime: std::time::Duration,
+    /// F1 (the paper notes it barely fluctuates with the worker count).
+    pub f1: f64,
+}
+
+/// Measure one worker count.
+pub fn measure_workers(scale: Scale, workers: usize, seed: u64) -> WorkerPoint {
+    let workload = Workload::Tpch;
+    let dirty = workload.dirty(scale, 0.05, 0.5, seed);
+    let rules = workload.rules();
+    let cleaner =
+        DistributedMlnClean::new(workers, workload.clean_config());
+    let outcome = cleaner.clean(&dirty.dirty, &rules).expect("rules match the schema");
+    let f1 = RepairEvaluation::evaluate(&dirty, &outcome.repaired).f1();
+    WorkerPoint { workers, runtime: outcome.timings.total(), f1 }
+}
+
+/// Run Table 6.
+pub fn run(scale: Scale) -> Vec<(String, String)> {
+    let mut table = ResultTable::new(
+        "Table 6 — distributed MLNClean runtime vs number of workers (TPC-H)",
+        &["workers", "runtime_ms", "speedup_vs_2", "F1"],
+    );
+    let mut baseline = None;
+    for &workers in &WORKER_COUNTS {
+        let p = measure_workers(scale, workers, 700);
+        let base = *baseline.get_or_insert(p.runtime.as_secs_f64());
+        table.push_row(vec![
+            workers.to_string(),
+            fmt_ms(p.runtime),
+            fmt3(base / p.runtime.as_secs_f64().max(1e-9)),
+            fmt3(p.f1),
+        ]);
+    }
+    println!("{}", table.to_text());
+    vec![("table6_workers.csv".to_string(), table.to_csv())]
+}

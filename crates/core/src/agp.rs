@@ -1,0 +1,303 @@
+//! AGP — Abnormal Group Processing (Section 5.1.1).
+//!
+//! A group whose tuples were placed there because of an error in the rule's
+//! *reason part* (e.g. the typo "DOTH" instead of "DOTHAN") erroneously forms
+//! its own group.  AGP identifies such groups with a simple size heuristic —
+//! a group related to at most τ tuples is considered abnormal — and merges
+//! each abnormal group into its nearest *normal* group within the same block,
+//! where the distance between two groups is the distance between their
+//! dominant γs (the γ related to the most tuples).
+
+use crate::index::{Block, MlnIndex};
+use dataset::TupleId;
+use distance::{normalized_record_distance, record_distance, Metric};
+use rules::RuleId;
+use serde::{Deserialize, Serialize};
+
+/// One merge performed (or attempted) by AGP.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AgpMerge {
+    /// Block in which the merge happened.
+    pub rule: RuleId,
+    /// Reason-part key of the abnormal group.
+    pub abnormal_key: Vec<String>,
+    /// Reason-part key of the normal group it was merged into, or `None` if
+    /// the block had no normal group to merge into.
+    pub target_key: Option<Vec<String>>,
+    /// Tuples carried by the abnormal group.
+    pub tuples: Vec<TupleId>,
+    /// Number of γs the abnormal group contained.
+    pub gamma_count: usize,
+}
+
+/// The full AGP record of one cleaning run, used both for reporting and for
+/// the Precision-A / Recall-A evaluation.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AgpRecord {
+    /// Every detected abnormal group, in processing order.
+    pub merges: Vec<AgpMerge>,
+}
+
+impl AgpRecord {
+    /// Number of detected abnormal groups.
+    pub fn detected_count(&self) -> usize {
+        self.merges.len()
+    }
+
+    /// Total number of tuples related to γs inside detected abnormal groups —
+    /// the `#dag` series of Figure 8.
+    pub fn detected_gamma_tuples(&self) -> usize {
+        self.merges.iter().map(|m| m.tuples.len()).sum()
+    }
+}
+
+/// The AGP strategy.
+#[derive(Debug, Clone)]
+pub struct AbnormalGroupProcessor {
+    /// Size threshold τ: groups with at most this many related tuples are
+    /// treated as abnormal.
+    pub tau: usize,
+    /// Distance metric for the nearest-normal-group search.
+    pub metric: Metric,
+    /// Optional merge guard: skip the merge when the normalized distance to
+    /// the nearest normal group exceeds this bound (see
+    /// [`crate::CleanConfig::agp_distance_guard`]).
+    pub distance_guard: Option<f64>,
+}
+
+impl AbnormalGroupProcessor {
+    /// Create an AGP processor with the paper's always-merge behaviour.
+    pub fn new(tau: usize, metric: Metric) -> Self {
+        AbnormalGroupProcessor { tau, metric, distance_guard: None }
+    }
+
+    /// Enable the merge distance guard.
+    pub fn with_distance_guard(mut self, guard: f64) -> Self {
+        self.distance_guard = Some(guard);
+        self
+    }
+
+    /// Process every block of the index in place and return the merge record.
+    pub fn process(&self, index: &mut MlnIndex) -> AgpRecord {
+        let mut record = AgpRecord::default();
+        for block in &mut index.blocks {
+            self.process_block(block, &mut record);
+        }
+        record
+    }
+
+    /// Process a single block: detect abnormal groups (size ≤ τ) and merge
+    /// each into its nearest normal group.
+    fn process_block(&self, block: &mut Block, record: &mut AgpRecord) {
+        // Partition group indices into abnormal and normal by the size test.
+        let abnormal_idx: Vec<usize> = block
+            .groups
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.tuple_count() <= self.tau)
+            .map(|(i, _)| i)
+            .collect();
+        if abnormal_idx.is_empty() {
+            return;
+        }
+        // Snapshot the keys of the normal groups: only they are valid merge
+        // targets — abnormal groups never merge into each other.
+        let normal_keys: Vec<Vec<String>> = block
+            .groups
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !abnormal_idx.contains(i))
+            .map(|(_, g)| g.key.clone())
+            .collect();
+
+        // Remove the abnormal groups from the block (in reverse index order
+        // so removal does not shift the remaining abnormal indices).
+        let mut abnormal_groups = Vec::new();
+        for &idx in abnormal_idx.iter().rev() {
+            abnormal_groups.push(block.groups.remove(idx));
+        }
+        abnormal_groups.reverse();
+
+        for group in abnormal_groups {
+            let tuples = group.all_tuples();
+            let gamma_count = group.gamma_count();
+            let abnormal_key = group.key.clone();
+
+            // Nearest normal group by dominant-γ distance, optionally subject
+            // to the normalized-distance merge guard.
+            let target_key = {
+                let dominant = group.dominant_gamma();
+                match dominant {
+                    None => None,
+                    Some(dominant) => block
+                        .groups
+                        .iter()
+                        .filter(|g| normal_keys.contains(&g.key) && !g.gammas.is_empty())
+                        .min_by(|a, b| {
+                            let da = group_distance(&self.metric, dominant, a);
+                            let db = group_distance(&self.metric, dominant, b);
+                            da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+                        })
+                        .filter(|g| match self.distance_guard {
+                            None => true,
+                            Some(guard) => g
+                                .dominant_gamma()
+                                .map(|other| {
+                                    normalized_record_distance(
+                                        &self.metric,
+                                        &dominant.values(),
+                                        &other.values(),
+                                    ) <= guard
+                                })
+                                .unwrap_or(false),
+                        })
+                        .map(|g| g.key.clone()),
+                }
+            };
+
+            match &target_key {
+                Some(key) => {
+                    let target = block
+                        .groups
+                        .iter_mut()
+                        .find(|g| &g.key == key)
+                        .expect("target key came from the block");
+                    // Move the abnormal group's γs into the target group,
+                    // merging identical γs (same full value vector).
+                    for gamma in group.gammas {
+                        if let Some(existing) = target.gammas.iter_mut().find(|g| {
+                            g.reason_values == gamma.reason_values
+                                && g.result_values == gamma.result_values
+                        }) {
+                            existing.tuples.extend(gamma.tuples);
+                        } else {
+                            target.gammas.push(gamma);
+                        }
+                    }
+                }
+                None => {
+                    // No normal group exists in this block (e.g. every group
+                    // is tiny); put the group back untouched.
+                    block.groups.push(group);
+                }
+            }
+
+            record.merges.push(AgpMerge {
+                rule: block.rule,
+                abnormal_key,
+                target_key,
+                tuples,
+                gamma_count,
+            });
+        }
+    }
+}
+
+/// Distance between an abnormal group's dominant γ and a candidate group
+/// (the candidate is represented by its own dominant γ, per the paper's
+/// definition of group distance).
+fn group_distance(metric: &Metric, dominant: &crate::gamma::Gamma, candidate: &crate::index::Group) -> f64 {
+    match candidate.dominant_gamma() {
+        Some(other) => record_distance(metric, &dominant.values(), &other.values()),
+        None => f64::INFINITY,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::MlnIndex;
+    use dataset::sample_hospital_dataset;
+    use rules::sample_hospital_rules;
+
+    fn sample_index() -> MlnIndex {
+        MlnIndex::build(&sample_hospital_dataset(), &sample_hospital_rules()).unwrap()
+    }
+
+    #[test]
+    fn paper_example_merges_g12_g22_g31() {
+        // With τ = 1 the paper identifies G12 (DOTH), G22 (PN 2567638410) and
+        // G31 (ELIZA/DOTHAN) as abnormal and merges them into G11, G23, G32.
+        let mut index = sample_index();
+        let agp = AbnormalGroupProcessor::new(1, Metric::Levenshtein);
+        let record = agp.process(&mut index);
+
+        assert_eq!(record.detected_count(), 3);
+        assert_eq!(record.detected_gamma_tuples(), 3, "each abnormal group held one tuple");
+
+        // B1: DOTH merged into DOTHAN.
+        let merge_b1 = record.merges.iter().find(|m| m.rule == RuleId(0)).unwrap();
+        assert_eq!(merge_b1.abnormal_key, vec!["DOTH"]);
+        assert_eq!(merge_b1.target_key, Some(vec!["DOTHAN".to_string()]));
+
+        // B2: the lone phone number merged into the 2567688400 group (closest
+        // by Levenshtein distance).
+        let merge_b2 = record.merges.iter().find(|m| m.rule == RuleId(1)).unwrap();
+        assert_eq!(merge_b2.abnormal_key, vec!["2567638410"]);
+        assert_eq!(merge_b2.target_key, Some(vec!["2567688400".to_string()]));
+
+        // B3: (ELIZA, DOTHAN) merged into (ELIZA, BOAZ).
+        let merge_b3 = record.merges.iter().find(|m| m.rule == RuleId(2)).unwrap();
+        assert_eq!(merge_b3.abnormal_key, vec!["ELIZA", "DOTHAN"]);
+        assert_eq!(merge_b3.target_key, Some(vec!["ELIZA".to_string(), "BOAZ".to_string()]));
+
+        // After AGP, block B1 has two groups left (DOTHAN and BOAZ).
+        assert_eq!(index.block(RuleId(0)).group_count(), 2);
+    }
+
+    #[test]
+    fn tau_zero_detects_nothing() {
+        let mut index = sample_index();
+        let agp = AbnormalGroupProcessor::new(0, Metric::Levenshtein);
+        let record = agp.process(&mut index);
+        assert_eq!(record.detected_count(), 0);
+        assert_eq!(index.block(RuleId(0)).group_count(), 3);
+    }
+
+    #[test]
+    fn huge_tau_leaves_groups_unmerged_when_no_normal_group_exists() {
+        let mut index = sample_index();
+        let agp = AbnormalGroupProcessor::new(100, Metric::Levenshtein);
+        let record = agp.process(&mut index);
+        // Every group is "abnormal" but no normal group exists, so nothing
+        // can be merged and the index keeps all groups.
+        assert!(record.merges.iter().all(|m| m.target_key.is_none()));
+        assert_eq!(index.block(RuleId(0)).group_count(), 3);
+    }
+
+    #[test]
+    fn merging_combines_identical_gammas() {
+        // Build a situation where the abnormal group's γ is value-identical
+        // to one already in the target group: supports must be combined, not
+        // duplicated.
+        use dataset::{Dataset, Schema};
+        let mut ds = Dataset::new(Schema::new(&["CT", "ST"]));
+        for _ in 0..5 {
+            ds.push_row(vec!["DOTHAN".into(), "AL".into()]).unwrap();
+        }
+        // One tuple whose CT got replaced with a *valid but wrong* city that
+        // is closest to DOTHAN, keeping the same ST.
+        ds.push_row(vec!["DOTHA".into(), "AL".into()]).unwrap();
+        let rules = rules::parse_rules("FD: CT -> ST").unwrap();
+        let mut index = MlnIndex::build(&ds, &rules).unwrap();
+        let agp = AbnormalGroupProcessor::new(1, Metric::Levenshtein);
+        agp.process(&mut index);
+        let block = index.block(RuleId(0));
+        assert_eq!(block.group_count(), 1);
+        let group = &block.groups[0];
+        // The merged group keeps two γs (DOTHAN/AL and DOTHA/AL) because their
+        // full values differ; total tuples = 6.
+        assert_eq!(group.tuple_count(), 6);
+        assert_eq!(group.gamma_count(), 2);
+    }
+
+    #[test]
+    fn higher_tau_detects_more_groups() {
+        let metric = Metric::Levenshtein;
+        let mut small = sample_index();
+        let mut large = sample_index();
+        let detected_small = AbnormalGroupProcessor::new(1, metric).process(&mut small).detected_count();
+        let detected_large = AbnormalGroupProcessor::new(3, metric).process(&mut large).detected_count();
+        assert!(detected_large >= detected_small);
+    }
+}

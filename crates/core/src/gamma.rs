@@ -1,0 +1,188 @@
+//! Pieces of data (γ): the unit of cleaning in MLNClean.
+//!
+//! A γ is the projection of one or more tuples onto the attributes of one
+//! rule — its reason-part values plus its result-part values.  All tuples
+//! carrying exactly the same projected values share one γ, and the number of
+//! such tuples is the γ's *support* `c(γ)` (the prior-weight numerator of
+//! Eq. 4 in the paper).
+
+use dataset::TupleId;
+use rules::RuleId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A piece of data: one distinct (reason values, result values) combination
+/// within a block, together with its supporting tuples and learned weight.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Gamma {
+    /// The rule whose block this γ belongs to.
+    pub rule: RuleId,
+    /// Attribute names of the reason part, in rule order.
+    pub reason_attrs: Vec<String>,
+    /// Values of the reason part.
+    pub reason_values: Vec<String>,
+    /// Attribute names of the result part, in rule order.
+    pub result_attrs: Vec<String>,
+    /// Values of the result part.
+    pub result_values: Vec<String>,
+    /// Tuples carrying exactly these values (the support `c(γ)`).
+    pub tuples: Vec<TupleId>,
+    /// Raw weight learned by the block's MLN weight learning.
+    pub weight: f64,
+    /// `Pr(γ)` — the weight mapped through the block softmax (Eq. 3): a
+    /// positive, block-normalized probability used by the reliability and
+    /// fusion scores.
+    pub probability: f64,
+}
+
+impl Gamma {
+    /// Create a γ with no learned weight yet (weight learning fills the
+    /// `weight`/`probability` fields later).
+    pub fn new(
+        rule: RuleId,
+        reason_attrs: Vec<String>,
+        reason_values: Vec<String>,
+        result_attrs: Vec<String>,
+        result_values: Vec<String>,
+    ) -> Self {
+        debug_assert_eq!(reason_attrs.len(), reason_values.len());
+        debug_assert_eq!(result_attrs.len(), result_values.len());
+        Gamma {
+            rule,
+            reason_attrs,
+            reason_values,
+            result_attrs,
+            result_values,
+            tuples: Vec::new(),
+            weight: 0.0,
+            probability: 0.0,
+        }
+    }
+
+    /// Number of tuples supporting this γ (`c(γ)`).
+    pub fn support(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// All values of the γ, reason part first — the record compared by the
+    /// distance metric in AGP and RSC.
+    pub fn values(&self) -> Vec<&str> {
+        self.reason_values
+            .iter()
+            .chain(self.result_values.iter())
+            .map(|s| s.as_str())
+            .collect()
+    }
+
+    /// `(attribute, value)` pairs of the whole γ, reason part first.  If an
+    /// attribute appears in both parts (possible for some DCs) the reason
+    /// occurrence wins.
+    pub fn attr_value_pairs(&self) -> Vec<(&str, &str)> {
+        let mut out: Vec<(&str, &str)> = Vec::new();
+        for (a, v) in self.reason_attrs.iter().zip(&self.reason_values) {
+            if !out.iter().any(|(x, _)| *x == a.as_str()) {
+                out.push((a.as_str(), v.as_str()));
+            }
+        }
+        for (a, v) in self.result_attrs.iter().zip(&self.result_values) {
+            if !out.iter().any(|(x, _)| *x == a.as_str()) {
+                out.push((a.as_str(), v.as_str()));
+            }
+        }
+        out
+    }
+
+    /// The value this γ assigns to `attr`, if the γ covers that attribute.
+    pub fn value_of(&self, attr: &str) -> Option<&str> {
+        self.attr_value_pairs()
+            .into_iter()
+            .find(|(a, _)| *a == attr)
+            .map(|(_, v)| v)
+    }
+
+    /// Whether two γs conflict: they share at least one attribute and
+    /// disagree on at least one shared attribute (the conflict test of
+    /// Algorithm 2).
+    pub fn conflicts_with(&self, other: &Gamma) -> bool {
+        let mut share_any = false;
+        for (attr, value) in self.attr_value_pairs() {
+            if let Some(other_value) = other.value_of(attr) {
+                share_any = true;
+                if other_value != value {
+                    return true;
+                }
+            }
+        }
+        let _ = share_any;
+        false
+    }
+}
+
+impl fmt::Display for Gamma {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let pairs: Vec<String> = self
+            .attr_value_pairs()
+            .into_iter()
+            .map(|(a, v)| format!("{a}: {v}"))
+            .collect();
+        write!(f, "{{{}}}", pairs.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gamma(reason: &[(&str, &str)], result: &[(&str, &str)]) -> Gamma {
+        Gamma::new(
+            RuleId(0),
+            reason.iter().map(|(a, _)| a.to_string()).collect(),
+            reason.iter().map(|(_, v)| v.to_string()).collect(),
+            result.iter().map(|(a, _)| a.to_string()).collect(),
+            result.iter().map(|(_, v)| v.to_string()).collect(),
+        )
+    }
+
+    #[test]
+    fn values_and_pairs() {
+        let g = gamma(&[("CT", "BOAZ")], &[("ST", "AL")]);
+        assert_eq!(g.values(), vec!["BOAZ", "AL"]);
+        assert_eq!(g.attr_value_pairs(), vec![("CT", "BOAZ"), ("ST", "AL")]);
+        assert_eq!(g.value_of("ST"), Some("AL"));
+        assert_eq!(g.value_of("PN"), None);
+    }
+
+    #[test]
+    fn conflict_detection_matches_example3() {
+        // γ1 from B1, γ2 from B2, γ3 from B3 of the paper's Example 3.
+        let g1 = gamma(&[("CT", "DOTHAN")], &[("ST", "AL")]);
+        let g2 = gamma(&[("PN", "2567688400")], &[("ST", "AL")]);
+        let g3 = gamma(&[("HN", "ELIZA"), ("CT", "BOAZ")], &[("PN", "2567688400")]);
+        assert!(!g1.conflicts_with(&g2), "no shared attribute disagrees");
+        assert!(!g2.conflicts_with(&g3), "PN agrees");
+        assert!(g1.conflicts_with(&g3), "CT: DOTHAN vs BOAZ");
+        assert!(g3.conflicts_with(&g1), "conflict is symmetric");
+    }
+
+    #[test]
+    fn no_shared_attributes_means_no_conflict() {
+        let a = gamma(&[("A", "1")], &[("B", "2")]);
+        let b = gamma(&[("C", "3")], &[("D", "4")]);
+        assert!(!a.conflicts_with(&b));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let g = gamma(&[("CT", "BOAZ")], &[("ST", "AL")]);
+        assert_eq!(g.to_string(), "{CT: BOAZ, ST: AL}");
+    }
+
+    #[test]
+    fn support_counts_tuples() {
+        let mut g = gamma(&[("CT", "BOAZ")], &[("ST", "AL")]);
+        assert_eq!(g.support(), 0);
+        g.tuples.push(TupleId(4));
+        g.tuples.push(TupleId(5));
+        assert_eq!(g.support(), 2);
+    }
+}

@@ -1,0 +1,302 @@
+//! The two-layer **MLN index** (Section 4 of the paper).
+//!
+//! The first layer has one [`Block`] per rule; the second layer partitions a
+//! block's pieces of data into [`Group`]s sharing the same reason-part
+//! values.  Cleaning then proceeds block by block, group by group, never
+//! needing information from outside the block — this is what shrinks the
+//! search space of repair candidates.
+//!
+//! Construction cost is `O(|rules| × |tuples|)` as analysed in the paper.
+
+use crate::gamma::Gamma;
+use dataset::{Dataset, TupleId};
+use rules::{RuleId, RuleSet};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A second-layer group: all γs sharing the same reason-part values within a
+/// block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Group {
+    /// The shared reason-part values.
+    pub key: Vec<String>,
+    /// The distinct pieces of data in the group (same reason part, possibly
+    /// different result parts — more than one γ means the group is dirty).
+    pub gammas: Vec<Gamma>,
+}
+
+impl Group {
+    /// Create a group from its key.
+    pub fn new(key: Vec<String>) -> Self {
+        Group { key, gammas: Vec::new() }
+    }
+
+    /// Total number of tuples related to the group's γs — the quantity AGP
+    /// compares against the threshold τ.
+    pub fn tuple_count(&self) -> usize {
+        self.gammas.iter().map(|g| g.support()).sum()
+    }
+
+    /// Number of distinct γs.
+    pub fn gamma_count(&self) -> usize {
+        self.gammas.len()
+    }
+
+    /// The γ* related to the most tuples — the group representative used for
+    /// inter-group distances in AGP.
+    pub fn dominant_gamma(&self) -> Option<&Gamma> {
+        self.gammas.iter().max_by_key(|g| g.support())
+    }
+
+    /// All tuple ids covered by the group.
+    pub fn all_tuples(&self) -> Vec<TupleId> {
+        let mut out: Vec<TupleId> = self.gammas.iter().flat_map(|g| g.tuples.clone()).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Whether the group is already in the ideal clean state (exactly one γ).
+    pub fn is_clean(&self) -> bool {
+        self.gammas.len() == 1
+    }
+}
+
+impl fmt::Display for Group {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "group[{}] ({} tuples)", self.key.join("|"), self.tuple_count())?;
+        for g in &self.gammas {
+            writeln!(f, "  {g} x{}", g.support())?;
+        }
+        Ok(())
+    }
+}
+
+/// A first-layer block: every piece of data of one rule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    /// The rule this block corresponds to.
+    pub rule: RuleId,
+    /// Reason-part attribute names of the rule.
+    pub reason_attrs: Vec<String>,
+    /// Result-part attribute names of the rule.
+    pub result_attrs: Vec<String>,
+    /// The block's groups.
+    pub groups: Vec<Group>,
+}
+
+impl Block {
+    /// Number of groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Find the group with the given reason-part key.
+    pub fn group_by_key(&self, key: &[String]) -> Option<&Group> {
+        self.groups.iter().find(|g| g.key == key)
+    }
+
+    /// Iterate over every γ in the block.
+    pub fn gammas(&self) -> impl Iterator<Item = &Gamma> {
+        self.groups.iter().flat_map(|g| g.gammas.iter())
+    }
+
+    /// Total number of distinct γs in the block (the `M` of Eq. 4).
+    pub fn gamma_count(&self) -> usize {
+        self.groups.iter().map(|g| g.gamma_count()).sum()
+    }
+}
+
+/// Error returned when the index cannot be built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexError {
+    /// A rule references an attribute that is not in the dataset schema.
+    UnknownAttribute {
+        /// The offending rule.
+        rule: RuleId,
+        /// The missing attribute name.
+        attribute: String,
+    },
+}
+
+impl fmt::Display for IndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexError::UnknownAttribute { rule, attribute } => {
+                write!(f, "rule {rule} references unknown attribute {attribute:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
+
+/// The full two-layer MLN index.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MlnIndex {
+    /// One block per rule, in rule order.
+    pub blocks: Vec<Block>,
+}
+
+impl MlnIndex {
+    /// Build the index for `ds` under `rules` (lines 1–13 of Algorithm 1).
+    pub fn build(ds: &Dataset, rules: &RuleSet) -> Result<Self, IndexError> {
+        // Validate every rule against the schema first, so later projections
+        // cannot panic.
+        for (rule_id, rule) in rules.iter_with_ids() {
+            for attr in rule.all_attrs() {
+                if ds.schema().attr_id(&attr).is_none() {
+                    return Err(IndexError::UnknownAttribute { rule: rule_id, attribute: attr });
+                }
+            }
+        }
+
+        let schema = ds.schema();
+        let mut blocks = Vec::with_capacity(rules.len());
+        for (rule_id, rule) in rules.iter_with_ids() {
+            let reason_attrs = rule.reason_attrs();
+            let result_attrs = rule.result_attrs();
+
+            // group key -> (full γ key -> gamma)
+            let mut groups: BTreeMap<Vec<String>, BTreeMap<Vec<String>, Gamma>> = BTreeMap::new();
+            for t in ds.tuples() {
+                if !rule.is_relevant(schema, t) {
+                    continue;
+                }
+                let vl = rule.reason_values(schema, t);
+                let vr = rule.result_values(schema, t);
+                let mut full_key = vl.clone();
+                full_key.extend(vr.iter().cloned());
+
+                let gamma = groups
+                    .entry(vl.clone())
+                    .or_default()
+                    .entry(full_key)
+                    .or_insert_with(|| {
+                        Gamma::new(
+                            rule_id,
+                            reason_attrs.clone(),
+                            vl.clone(),
+                            result_attrs.clone(),
+                            vr.clone(),
+                        )
+                    });
+                gamma.tuples.push(t.id());
+            }
+
+            let groups: Vec<Group> = groups
+                .into_iter()
+                .map(|(key, gammas)| Group { key, gammas: gammas.into_values().collect() })
+                .collect();
+            blocks.push(Block { rule: rule_id, reason_attrs, result_attrs, groups });
+        }
+        Ok(MlnIndex { blocks })
+    }
+
+    /// The block of a rule.
+    pub fn block(&self, rule: RuleId) -> &Block {
+        &self.blocks[rule.index()]
+    }
+
+    /// Mutable access to a block.
+    pub fn block_mut(&mut self, rule: RuleId) -> &mut Block {
+        &mut self.blocks[rule.index()]
+    }
+
+    /// Number of blocks (= number of rules).
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::sample_hospital_dataset;
+    use rules::sample_hospital_rules;
+
+    fn build_sample_index() -> MlnIndex {
+        MlnIndex::build(&sample_hospital_dataset(), &sample_hospital_rules()).unwrap()
+    }
+
+    #[test]
+    fn figure2_block_and_group_counts() {
+        // Figure 2: blocks B1, B2, B3 have 3, 3, 2 groups respectively.
+        let index = build_sample_index();
+        assert_eq!(index.block_count(), 3);
+        let counts: Vec<usize> = index.blocks.iter().map(|b| b.group_count()).collect();
+        assert_eq!(counts, vec![3, 3, 2]);
+    }
+
+    #[test]
+    fn block1_group_keys_match_figure2() {
+        let index = build_sample_index();
+        let b1 = index.block(RuleId(0));
+        let keys: Vec<Vec<String>> = b1.groups.iter().map(|g| g.key.clone()).collect();
+        assert!(keys.contains(&vec!["DOTHAN".to_string()]));
+        assert!(keys.contains(&vec!["DOTH".to_string()]));
+        assert!(keys.contains(&vec!["BOAZ".to_string()]));
+    }
+
+    #[test]
+    fn boaz_group_has_two_gammas_with_expected_support() {
+        let index = build_sample_index();
+        let b1 = index.block(RuleId(0));
+        let boaz = b1.group_by_key(&["BOAZ".to_string()]).unwrap();
+        assert_eq!(boaz.gamma_count(), 2);
+        assert_eq!(boaz.tuple_count(), 3);
+        let dominant = boaz.dominant_gamma().unwrap();
+        assert_eq!(dominant.result_values, vec!["AL"]);
+        assert_eq!(dominant.support(), 2);
+        assert!(!boaz.is_clean());
+    }
+
+    #[test]
+    fn cfd_block_only_contains_relevant_tuples() {
+        let index = build_sample_index();
+        let b3 = index.block(RuleId(2));
+        let all_tuples: Vec<TupleId> =
+            b3.groups.iter().flat_map(|g| g.all_tuples()).collect();
+        assert!(!all_tuples.contains(&TupleId(0)));
+        assert!(!all_tuples.contains(&TupleId(1)));
+        assert_eq!(all_tuples.len(), 4);
+    }
+
+    #[test]
+    fn dc_block_groups_by_phone_number() {
+        let index = build_sample_index();
+        let b2 = index.block(RuleId(1));
+        assert_eq!(b2.reason_attrs, vec!["PN"]);
+        assert_eq!(b2.result_attrs, vec!["ST"]);
+        let g = b2.group_by_key(&["2567688400".to_string()]).unwrap();
+        assert_eq!(g.gamma_count(), 2, "AK and AL versions");
+        assert_eq!(g.tuple_count(), 3);
+    }
+
+    #[test]
+    fn unknown_attribute_is_rejected() {
+        let ds = sample_hospital_dataset();
+        let mut rules = rules::RuleSet::default();
+        rules.push(rules::Rule::Fd(rules::FunctionalDependency::new(
+            vec!["CT"],
+            vec!["MISSING"],
+        )));
+        let err = MlnIndex::build(&ds, &rules).unwrap_err();
+        assert_eq!(
+            err,
+            IndexError::UnknownAttribute { rule: RuleId(0), attribute: "MISSING".to_string() }
+        );
+    }
+
+    #[test]
+    fn clean_data_produces_singleton_groups() {
+        let truth = dataset::sample_hospital_truth();
+        let index = MlnIndex::build(&truth, &sample_hospital_rules()).unwrap();
+        for block in &index.blocks {
+            for group in &block.groups {
+                assert!(group.is_clean(), "clean data must give one γ per group: {group}");
+            }
+        }
+    }
+}

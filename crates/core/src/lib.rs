@@ -1,0 +1,56 @@
+//! **MLNClean** — a hybrid data-cleaning framework on top of Markov logic
+//! networks, reproducing Gao et al., *A Hybrid Data Cleaning Framework Using
+//! Markov Logic Networks* (ICDE 2021 / arXiv:1903.05826).
+//!
+//! MLNClean combines qualitative cleaning (integrity constraints: FDs, CFDs,
+//! DCs) with quantitative cleaning (MLN weight learning) and proceeds in two
+//! stages over a two-layer **MLN index**:
+//!
+//! 1. **Stage I — clean multiple data versions**, one version per rule/block:
+//!    * [`agp`] — Abnormal Group Processing merges suspiciously small groups
+//!      into their nearest normal group;
+//!    * [`rsc`] — Reliability-Score-based Cleaning keeps, within each group,
+//!      the piece of data (γ) with the highest reliability score and rewrites
+//!      the others.
+//! 2. **Stage II — derive the unified clean data**:
+//!    * [`fscr`] — Fusion-Score-based Conflict Resolution fuses, per tuple,
+//!      the per-block γs into the most probable consistent combination, then
+//!      exact duplicates are removed.
+//!
+//! # Quick start
+//!
+//! ```
+//! use dataset::sample_hospital_dataset;
+//! use rules::sample_hospital_rules;
+//! use mlnclean::{CleanConfig, MlnClean};
+//!
+//! let dirty = sample_hospital_dataset();
+//! let rules = sample_hospital_rules();
+//! let cleaner = MlnClean::new(CleanConfig::default().with_tau(1));
+//! let outcome = cleaner.clean(&dirty, &rules).expect("rules match the schema");
+//!
+//! // t4's state is repaired from AK to AL, as in the paper's Example 2.
+//! let st = dirty.schema().attr_id("ST").unwrap();
+//! assert_eq!(outcome.repaired.value(dataset::TupleId(3), st), "AL");
+//! // After deduplication only two distinct hospital entities remain.
+//! assert_eq!(outcome.deduplicated.len(), 2);
+//! ```
+
+pub mod agp;
+pub mod config;
+pub mod evaluation;
+pub mod fscr;
+pub mod gamma;
+pub mod index;
+pub mod pipeline;
+pub mod rsc;
+pub mod weights;
+
+pub use agp::{AbnormalGroupProcessor, AgpMerge, AgpRecord};
+pub use config::CleanConfig;
+pub use evaluation::{evaluate_agp, evaluate_fscr, evaluate_rsc, ComponentEvaluation};
+pub use fscr::{ConflictResolver, FscrRecord, FusionOutcome};
+pub use gamma::Gamma;
+pub use index::{Block, Group, MlnIndex};
+pub use pipeline::{CleaningError, CleaningOutcome, MlnClean, StageTimings};
+pub use rsc::{ReliabilityCleaner, RscRecord, RscRepair};

@@ -1,0 +1,249 @@
+//! The end-to-end MLNClean pipeline (Algorithm 1 of the paper):
+//! index construction → AGP → weight learning → RSC → FSCR → deduplication.
+
+use crate::agp::{AbnormalGroupProcessor, AgpRecord};
+use crate::config::CleanConfig;
+use crate::fscr::{ConflictResolver, FscrRecord};
+use crate::index::{IndexError, MlnIndex};
+use crate::rsc::{ReliabilityCleaner, RscRecord};
+use crate::weights::assign_weights;
+use dataset::Dataset;
+use rules::RuleSet;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Errors that abort a cleaning run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CleaningError {
+    /// The rule set does not match the dataset schema.
+    Index(IndexError),
+    /// The rule set is empty — there is nothing to clean against.
+    NoRules,
+}
+
+impl fmt::Display for CleaningError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CleaningError::Index(e) => write!(f, "cannot build the MLN index: {e}"),
+            CleaningError::NoRules => write!(f, "the rule set is empty"),
+        }
+    }
+}
+
+impl std::error::Error for CleaningError {}
+
+impl From<IndexError> for CleaningError {
+    fn from(e: IndexError) -> Self {
+        CleaningError::Index(e)
+    }
+}
+
+/// Wall-clock timings of each pipeline stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StageTimings {
+    /// MLN index construction.
+    pub index: Duration,
+    /// Abnormal group processing.
+    pub agp: Duration,
+    /// MLN weight learning.
+    pub weight_learning: Duration,
+    /// Reliability-score cleaning.
+    pub rsc: Duration,
+    /// Fusion-score conflict resolution (and duplicate removal).
+    pub fscr: Duration,
+}
+
+impl StageTimings {
+    /// Total time across all stages.
+    pub fn total(&self) -> Duration {
+        self.index + self.agp + self.weight_learning + self.rsc + self.fscr
+    }
+}
+
+/// The result of a cleaning run.
+#[derive(Debug, Clone)]
+pub struct CleaningOutcome {
+    /// The repaired dataset with one row per input tuple (use this for
+    /// cell-level evaluation).
+    pub repaired: Dataset,
+    /// The repaired dataset after removing exact duplicates (MLNClean's final
+    /// output); equals `repaired` when deduplication is disabled.
+    pub deduplicated: Dataset,
+    /// The MLN index in its final (post-RSC) state.
+    pub index: MlnIndex,
+    /// What AGP did.
+    pub agp: AgpRecord,
+    /// What RSC did.
+    pub rsc: RscRecord,
+    /// What FSCR did.
+    pub fscr: FscrRecord,
+    /// Per-stage wall-clock timings.
+    pub timings: StageTimings,
+}
+
+/// The MLNClean cleaner.
+#[derive(Debug, Clone, Default)]
+pub struct MlnClean {
+    config: CleanConfig,
+}
+
+impl MlnClean {
+    /// Create a cleaner with the given configuration.
+    pub fn new(config: CleanConfig) -> Self {
+        MlnClean { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CleanConfig {
+        &self.config
+    }
+
+    /// Clean `dirty` against `rules`.
+    ///
+    /// Both error detection and error repair happen here: the index/group
+    /// structure localizes suspicious data, and the two cleaning stages
+    /// rewrite it.  The returned [`CleaningOutcome`] keeps full provenance of
+    /// every decision for evaluation and debugging.
+    pub fn clean(&self, dirty: &Dataset, rules: &RuleSet) -> Result<CleaningOutcome, CleaningError> {
+        if rules.is_empty() {
+            return Err(CleaningError::NoRules);
+        }
+
+        let mut timings = StageTimings::default();
+
+        // MLN index construction (Algorithm 1, lines 1–13).
+        let start = Instant::now();
+        let mut index = MlnIndex::build(dirty, rules)?;
+        timings.index = start.elapsed();
+
+        // Stage I: abnormal group processing …
+        let start = Instant::now();
+        let mut agp_processor = AbnormalGroupProcessor::new(self.config.tau, self.config.metric);
+        if let Some(guard) = self.config.agp_distance_guard {
+            agp_processor = agp_processor.with_distance_guard(guard);
+        }
+        let agp = agp_processor.process(&mut index);
+        timings.agp = start.elapsed();
+
+        // … Markov weight learning (the dominant cost in the paper) …
+        let start = Instant::now();
+        assign_weights(&mut index, &self.config.learning);
+        timings.weight_learning = start.elapsed();
+
+        // … and reliability-score cleaning within each group.
+        let start = Instant::now();
+        let rsc = ReliabilityCleaner::new(self.config.metric).clean(&mut index);
+        timings.rsc = start.elapsed();
+
+        // Stage II: fusion-score conflict resolution + duplicate elimination.
+        let start = Instant::now();
+        let resolver = ConflictResolver::new(self.config.max_exhaustive_fusion);
+        let (repaired, fscr) = resolver.resolve(dirty, &index);
+        let deduplicated = if self.config.deduplicate {
+            repaired.deduplicated()
+        } else {
+            repaired.clone()
+        };
+        timings.fscr = start.elapsed();
+
+        Ok(CleaningOutcome { repaired, deduplicated, index, agp, rsc, fscr, timings })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::{sample_hospital_dataset, sample_hospital_truth, RepairEvaluation, TupleId};
+    use rules::sample_hospital_rules;
+
+    #[test]
+    fn end_to_end_on_the_paper_sample() {
+        let dirty = sample_hospital_dataset();
+        let rules = sample_hospital_rules();
+        let cleaner = MlnClean::new(CleanConfig::default().with_tau(1));
+        let outcome = cleaner.clean(&dirty, &rules).unwrap();
+
+        assert_eq!(outcome.repaired, sample_hospital_truth());
+        // t1/t2 collapse to one row, t3..t6 to another.
+        assert_eq!(outcome.deduplicated.len(), 2);
+        assert_eq!(outcome.agp.detected_count(), 3);
+        assert!(outcome.timings.total() > Duration::ZERO);
+    }
+
+    #[test]
+    fn repaired_keeps_one_row_per_tuple() {
+        let dirty = sample_hospital_dataset();
+        let rules = sample_hospital_rules();
+        let outcome = MlnClean::new(CleanConfig::default()).clean(&dirty, &rules).unwrap();
+        assert_eq!(outcome.repaired.len(), dirty.len());
+        for t in dirty.tuple_ids() {
+            assert_eq!(outcome.repaired.tuple(t).id(), t);
+        }
+    }
+
+    #[test]
+    fn empty_rules_are_rejected() {
+        let dirty = sample_hospital_dataset();
+        let err = MlnClean::default().clean(&dirty, &RuleSet::default()).unwrap_err();
+        assert_eq!(err, CleaningError::NoRules);
+    }
+
+    #[test]
+    fn mismatched_rules_are_rejected() {
+        let dirty = sample_hospital_dataset();
+        let rules = rules::parse_rules("FD: nope -> ST").unwrap();
+        let err = MlnClean::default().clean(&dirty, &rules).unwrap_err();
+        assert!(matches!(err, CleaningError::Index(_)));
+    }
+
+    #[test]
+    fn deduplication_can_be_disabled() {
+        let dirty = sample_hospital_dataset();
+        let rules = sample_hospital_rules();
+        let outcome = MlnClean::new(CleanConfig::default().with_deduplicate(false))
+            .clean(&dirty, &rules)
+            .unwrap();
+        assert_eq!(outcome.deduplicated.len(), dirty.len());
+    }
+
+    #[test]
+    fn f1_is_perfect_on_the_sample() {
+        // Build the DirtyDataset wrapper so the standard evaluation applies.
+        let clean = sample_hospital_truth();
+        let dirty_data = sample_hospital_dataset();
+        let errors: Vec<dataset::InjectedError> = dirty_data
+            .diff_cells(&clean)
+            .into_iter()
+            .map(|cell| dataset::InjectedError {
+                cell,
+                error_type: dataset::ErrorType::Replacement,
+                original: clean.cell(cell).to_string(),
+                dirty: dirty_data.cell(cell).to_string(),
+            })
+            .collect();
+        let dirty = dataset::DirtyDataset { dirty: dirty_data, clean, errors };
+
+        let rules = sample_hospital_rules();
+        let outcome = MlnClean::new(CleanConfig::default().with_tau(1))
+            .clean(&dirty.dirty, &rules)
+            .unwrap();
+        let report = RepairEvaluation::evaluate(&dirty, &outcome.repaired);
+        assert_eq!(report.f1(), 1.0, "{report}");
+    }
+
+    #[test]
+    fn uncovered_attributes_are_left_alone() {
+        // An attribute no rule mentions must never be modified.
+        let dirty = sample_hospital_dataset();
+        let rules = rules::parse_rules("FD: CT -> ST").unwrap();
+        let outcome = MlnClean::new(CleanConfig::default()).clean(&dirty, &rules).unwrap();
+        let hn = dirty.schema().attr_id("HN").unwrap();
+        let pn = dirty.schema().attr_id("PN").unwrap();
+        for t in dirty.tuple_ids() {
+            assert_eq!(outcome.repaired.value(t, hn), dirty.value(t, hn));
+            assert_eq!(outcome.repaired.value(t, pn), dirty.value(t, pn));
+        }
+        let _ = TupleId(0);
+    }
+}

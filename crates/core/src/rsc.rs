@@ -1,0 +1,275 @@
+//! RSC — Reliability-Score-based Cleaning (Section 5.1.2).
+//!
+//! Within a group, all γs share the same reason-part values; if more than one
+//! γ exists, the result parts disagree and at least one of them is dirty.
+//! RSC keeps the γ with the highest **reliability score**
+//!
+//! ```text
+//! r-score(γᵢ) = min_{γ* ∈ G∖{γᵢ}} dist(γᵢ, γ*) × Pr(γᵢ)
+//! dist(γᵢ, γ*) = n · d(γᵢ, γ*) / Z
+//! ```
+//!
+//! (Definition 2) where `n` is the number of tuples related to γᵢ, `d` the
+//! string-record distance, `Z` a normalization constant keeping `dist` in
+//! `[0, 1]`, and `Pr(γᵢ)` the block-softmaxed learned weight (Eq. 3).  Every
+//! other γ of the group is replaced by the winner, so each group ends up with
+//! exactly one piece of data.
+
+use crate::gamma::Gamma;
+use crate::index::MlnIndex;
+use dataset::TupleId;
+use distance::{record_distance, Metric};
+use rules::RuleId;
+use serde::{Deserialize, Serialize};
+
+/// One repair performed by RSC: the tuples of a losing γ are rewritten to the
+/// winning γ's values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RscRepair {
+    /// Block in which the repair happened.
+    pub rule: RuleId,
+    /// Group key (shared reason-part values at the time of cleaning).
+    pub group_key: Vec<String>,
+    /// The replaced γ's values (reason part then result part).
+    pub from_values: Vec<String>,
+    /// The winning γ's values (reason part then result part).
+    pub to_values: Vec<String>,
+    /// Tuples that were rewritten.
+    pub tuples: Vec<TupleId>,
+}
+
+/// The full RSC record of one run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RscRecord {
+    /// Every γ replacement, in processing order.
+    pub repairs: Vec<RscRepair>,
+}
+
+impl RscRecord {
+    /// Number of γs that were repaired (replaced).
+    pub fn repaired_count(&self) -> usize {
+        self.repairs.len()
+    }
+}
+
+/// The RSC strategy.
+#[derive(Debug, Clone)]
+pub struct ReliabilityCleaner {
+    /// Distance metric used in the reliability score.
+    pub metric: Metric,
+}
+
+impl ReliabilityCleaner {
+    /// Create an RSC cleaner.
+    pub fn new(metric: Metric) -> Self {
+        ReliabilityCleaner { metric }
+    }
+
+    /// Compute the reliability score of `gamma` against the other γs of its
+    /// group.  `z` is the group's normalization constant.
+    pub fn reliability_score(&self, gamma: &Gamma, others: &[&Gamma], z: f64) -> f64 {
+        let min_distance = others
+            .iter()
+            .map(|o| record_distance(&self.metric, &gamma.values(), &o.values()))
+            .fold(f64::INFINITY, f64::min);
+        if !min_distance.is_finite() {
+            // Lone γ in its group: nothing to compare against, the group is
+            // already clean and the score is irrelevant.
+            return gamma.probability;
+        }
+        let dist = gamma.support() as f64 * min_distance / z;
+        dist * gamma.probability
+    }
+
+    /// Clean every group of every block in place; groups end up with exactly
+    /// one γ.  Returns the record of replacements.
+    pub fn clean(&self, index: &mut MlnIndex) -> RscRecord {
+        let mut record = RscRecord::default();
+        for block in &mut index.blocks {
+            for group in &mut block.groups {
+                if group.gammas.len() <= 1 {
+                    continue; // already the ideal state; skipped like G21 in the paper
+                }
+
+                // Normalization constant Z: the largest support-scaled pair
+                // distance in the group, so every dist lands in [0, 1].
+                let mut z: f64 = 0.0;
+                for (i, gi) in group.gammas.iter().enumerate() {
+                    for (j, gj) in group.gammas.iter().enumerate() {
+                        if i == j {
+                            continue;
+                        }
+                        let d = record_distance(&self.metric, &gi.values(), &gj.values());
+                        z = z.max(gi.support() as f64 * d);
+                    }
+                }
+                if z == 0.0 {
+                    z = 1.0;
+                }
+
+                // Pick the winner by reliability score (ties broken by
+                // support, then by value order for determinism).
+                let mut best_idx = 0usize;
+                let mut best_score = f64::NEG_INFINITY;
+                for (i, gamma) in group.gammas.iter().enumerate() {
+                    let others: Vec<&Gamma> = group
+                        .gammas
+                        .iter()
+                        .enumerate()
+                        .filter(|(j, _)| *j != i)
+                        .map(|(_, g)| g)
+                        .collect();
+                    let score = self.reliability_score(gamma, &others, z);
+                    let better = score > best_score
+                        || (score == best_score
+                            && (gamma.support() > group.gammas[best_idx].support()
+                                || (gamma.support() == group.gammas[best_idx].support()
+                                    && gamma.values() < group.gammas[best_idx].values())));
+                    if better {
+                        best_idx = i;
+                        best_score = score;
+                    }
+                }
+
+                // Replace every losing γ with the winner.
+                let winner = group.gammas[best_idx].clone();
+                let mut merged_tuples = winner.tuples.clone();
+                for (i, gamma) in group.gammas.iter().enumerate() {
+                    if i == best_idx {
+                        continue;
+                    }
+                    let mut from_values: Vec<String> =
+                        gamma.reason_values.iter().cloned().collect();
+                    from_values.extend(gamma.result_values.iter().cloned());
+                    let mut to_values: Vec<String> = winner.reason_values.iter().cloned().collect();
+                    to_values.extend(winner.result_values.iter().cloned());
+                    record.repairs.push(RscRepair {
+                        rule: block.rule,
+                        group_key: group.key.clone(),
+                        from_values,
+                        to_values,
+                        tuples: gamma.tuples.clone(),
+                    });
+                    merged_tuples.extend(gamma.tuples.iter().cloned());
+                }
+                merged_tuples.sort();
+                merged_tuples.dedup();
+
+                let mut final_gamma = winner;
+                final_gamma.tuples = merged_tuples;
+                group.gammas = vec![final_gamma];
+            }
+        }
+        record
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agp::AbnormalGroupProcessor;
+    use crate::index::MlnIndex;
+    use crate::weights::assign_weights;
+    use dataset::sample_hospital_dataset;
+    use mln::LearningConfig;
+    use rules::sample_hospital_rules;
+
+    /// Index after AGP(τ=1) + weight learning, ready for RSC — the state of
+    /// the paper's running example entering Section 5.1.2.
+    fn prepared_index() -> MlnIndex {
+        let ds = sample_hospital_dataset();
+        let rules = sample_hospital_rules();
+        let mut index = MlnIndex::build(&ds, &rules).unwrap();
+        AbnormalGroupProcessor::new(1, Metric::Levenshtein).process(&mut index);
+        assign_weights(&mut index, &LearningConfig::default());
+        index
+    }
+
+    #[test]
+    fn example2_boaz_group_keeps_al() {
+        // Example 2: in G13, {BOAZ, AL} (2 tuples) beats {BOAZ, AK} (1 tuple).
+        let mut index = prepared_index();
+        let record = ReliabilityCleaner::new(Metric::Levenshtein).clean(&mut index);
+
+        let b1 = index.block(RuleId(0));
+        let boaz = b1.group_by_key(&["BOAZ".to_string()]).unwrap();
+        assert_eq!(boaz.gamma_count(), 1);
+        assert_eq!(boaz.gammas[0].result_values, vec!["AL"]);
+        assert_eq!(boaz.gammas[0].support(), 3, "all three BOAZ tuples end on the winner");
+
+        // The AK γ was repaired.
+        assert!(record.repairs.iter().any(|r| {
+            r.rule == RuleId(0) && r.from_values == vec!["BOAZ", "AK"] && r.to_values == vec!["BOAZ", "AL"]
+        }));
+    }
+
+    #[test]
+    fn figure4_clean_versions() {
+        // After AGP + RSC the three clean data versions of Figure 4 emerge.
+        let mut index = prepared_index();
+        ReliabilityCleaner::new(Metric::Levenshtein).clean(&mut index);
+
+        // Version 1 (block B1): {DOTHAN, AL} for t1–t3 and {BOAZ, AL} for t4–t6.
+        let b1 = index.block(RuleId(0));
+        assert_eq!(b1.group_count(), 2);
+        for group in &b1.groups {
+            assert!(group.is_clean());
+            assert_eq!(group.gammas[0].result_values, vec!["AL"]);
+        }
+        let dothan = b1.group_by_key(&["DOTHAN".to_string()]).unwrap();
+        assert_eq!(dothan.gammas[0].support(), 3);
+
+        // Version 2 (block B2): {3347938701, AL} and {2567688400, AL}.
+        let b2 = index.block(RuleId(1));
+        for group in &b2.groups {
+            assert!(group.is_clean());
+            assert_eq!(group.gammas[0].result_values, vec!["AL"]);
+        }
+
+        // Version 3 (block B3): a single group {ELIZA, BOAZ, 2567688400} for t3–t6.
+        let b3 = index.block(RuleId(2));
+        assert_eq!(b3.group_count(), 1);
+        let g = &b3.groups[0];
+        assert!(g.is_clean());
+        assert_eq!(g.gammas[0].result_values, vec!["2567688400"]);
+        assert_eq!(g.gammas[0].support(), 4);
+    }
+
+    #[test]
+    fn every_group_is_singleton_after_rsc() {
+        let mut index = prepared_index();
+        ReliabilityCleaner::new(Metric::Levenshtein).clean(&mut index);
+        for block in &index.blocks {
+            for group in &block.groups {
+                assert!(group.is_clean(), "group {group} still has multiple γs");
+            }
+        }
+    }
+
+    #[test]
+    fn rsc_preserves_tuple_coverage() {
+        let mut index = prepared_index();
+        let before: Vec<usize> = index
+            .blocks
+            .iter()
+            .map(|b| b.groups.iter().map(|g| g.all_tuples().len()).sum())
+            .collect();
+        ReliabilityCleaner::new(Metric::Levenshtein).clean(&mut index);
+        let after: Vec<usize> = index
+            .blocks
+            .iter()
+            .map(|b| b.groups.iter().map(|g| g.all_tuples().len()).sum())
+            .collect();
+        assert_eq!(before, after, "RSC must not lose or duplicate tuples");
+    }
+
+    #[test]
+    fn clean_groups_are_untouched() {
+        let truth = dataset::sample_hospital_truth();
+        let rules = sample_hospital_rules();
+        let mut index = MlnIndex::build(&truth, &rules).unwrap();
+        assign_weights(&mut index, &LearningConfig::default());
+        let record = ReliabilityCleaner::new(Metric::Levenshtein).clean(&mut index);
+        assert_eq!(record.repaired_count(), 0);
+    }
+}

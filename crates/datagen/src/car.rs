@@ -1,0 +1,236 @@
+//! Synthetic CAR (used-vehicle listings) dataset.
+//!
+//! The real CAR dataset (cars.com) lists used vehicles with model, make,
+//! type, year, condition, wheel-drive, doors and engine attributes.  It is
+//! the paper's "sparse" dataset: many distinct models and free-text-like
+//! values, each appearing only a handful of times — which is what makes
+//! HoloClean-style co-occurrence models fragile on it (Figure 7a).
+
+use crate::make_dirty;
+use dataset::{Dataset, DirtyDataset, Schema};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rules::{parse_rules, RuleSet};
+
+/// Generator for the synthetic CAR dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CarGenerator {
+    /// Number of distinct models per make.
+    pub models_per_make: usize,
+    /// Number of rows to generate.
+    pub rows: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CarGenerator {
+    fn default() -> Self {
+        CarGenerator { models_per_make: 3, rows: 2_000, seed: 23 }
+    }
+}
+
+const MAKES: &[&str] = &[
+    "acura", "audi", "bmw", "chevrolet", "dodge", "ford", "honda", "hyundai", "jeep", "kia",
+    "lexus", "mazda", "nissan", "subaru", "toyota", "volkswagen",
+];
+
+const TYPES: &[&str] = &["sedan", "suv", "coupe", "hatchback", "truck"];
+
+/// Model-name stems: distinct, realistic-looking names so that different
+/// models are far apart under a string metric (as real model names are),
+/// while a typo'd model stays close to its original.
+const MODEL_STEMS: &[&str] = &[
+    "integra", "quattro", "gran-turismo", "silverado", "challenger", "mustang", "civic",
+    "elantra", "wrangler", "sorento", "ladyra", "miata", "altima", "outback", "corolla",
+    "passat", "legend", "allroad", "zagato", "impala", "durango", "explorer", "accord",
+    "sonata", "cherokee", "sportage", "luxion", "navada", "maxima", "forester", "camry",
+    "jetta", "vigor", "cabrio", "roadster", "tahoe", "viper", "ranger", "pilot", "tucson",
+    "gladiator", "telluride", "emblema", "protege", "sentra", "crosstrek", "tundra", "touareg",
+];
+
+const CONDITIONS: &[&str] = &["new", "used", "certified"];
+
+const WHEEL_DRIVES: &[&str] = &["fwd", "rwd", "awd", "4wd"];
+
+impl CarGenerator {
+    /// Set the number of rows.
+    pub fn with_rows(mut self, rows: usize) -> Self {
+        self.rows = rows;
+        self
+    }
+
+    /// Set the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The CAR rule set of Table 4:
+    /// * CFD: `Make="acura", Type ⇒ Doors`
+    /// * FD: `Model, Type ⇒ Make`
+    pub fn rules() -> RuleSet {
+        parse_rules(
+            "CFD: Make=\"acura\", Type -> Doors\n\
+             FD: Model, Type -> Make",
+        )
+        .expect("the CAR rule set is well-formed")
+    }
+
+    /// Doors for acura vehicles as a function of vehicle type — the
+    /// dependency behind the CFD of Table 4.
+    fn acura_doors_for(vehicle_type: &str) -> &'static str {
+        match vehicle_type {
+            "coupe" => "2",
+            "truck" => "2",
+            "sedan" | "hatchback" => "4",
+            "suv" => "5",
+            _ => "4",
+        }
+    }
+
+    /// Doors for non-acura vehicles: a stable per-(model, type) choice that
+    /// is *not* a simple function of the type alone.  No rule constrains
+    /// these cells, and keeping them weakly predictable mirrors the real
+    /// listings data where a statistical cleaner cannot trivially recover a
+    /// corrupted door count either.
+    fn other_doors_for(model: &str, vehicle_type: &str) -> &'static str {
+        let hash: usize = model
+            .bytes()
+            .chain(vehicle_type.bytes())
+            .fold(0usize, |acc, b| acc.wrapping_mul(31).wrapping_add(b as usize));
+        ["2", "3", "4", "5"][hash % 4]
+    }
+
+    /// Generate the clean dataset.
+    pub fn generate(&self) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let schema = Schema::new(&[
+            "Model",
+            "Make",
+            "Type",
+            "Year",
+            "Condition",
+            "WheelDrive",
+            "Doors",
+            "Engine",
+        ]);
+
+        // Model catalogue: every model name is unique to one make, so the FD
+        // Model, Type → Make holds by construction.  Model names come from a
+        // pool of distinct stems (suffixed when the pool wraps around) so
+        // that different models are far apart in edit distance.
+        let mut catalogue: Vec<(String, String)> = Vec::new();
+        for (mi, make) in MAKES.iter().enumerate() {
+            for m in 0..self.models_per_make.max(1) {
+                let flat = mi * self.models_per_make.max(1) + m;
+                let stem = MODEL_STEMS[flat % MODEL_STEMS.len()];
+                let model = if flat < MODEL_STEMS.len() {
+                    stem.to_string()
+                } else {
+                    format!("{}-{}", stem, flat / MODEL_STEMS.len() + 1)
+                };
+                catalogue.push((model, make.to_string()));
+            }
+        }
+
+        let mut ds = Dataset::with_capacity(schema, self.rows);
+        for _ in 0..self.rows {
+            // Skewed model popularity (roughly Zipf-like): listings of the
+            // popular models dominate, as they do on the real site.  This is
+            // what gives the FD groups enough support for AGP/RSC while
+            // keeping a long sparse tail.
+            let skew: f64 = rng.gen::<f64>();
+            let model_idx = ((skew * skew) * catalogue.len() as f64) as usize;
+            let (model, make) = catalogue[model_idx.min(catalogue.len() - 1)].clone();
+            let vehicle_type = TYPES[rng.gen_range(0..TYPES.len())];
+            let doors = if make == "acura" {
+                Self::acura_doors_for(vehicle_type)
+            } else {
+                Self::other_doors_for(&model, vehicle_type)
+            };
+            let year = format!("{}", rng.gen_range(1998..2020));
+            let condition = CONDITIONS[rng.gen_range(0..CONDITIONS.len())];
+            let wheel_drive = WHEEL_DRIVES[rng.gen_range(0..WHEEL_DRIVES.len())];
+            let engine = format!("{:.1}L-V{}", rng.gen_range(1.0..5.7), [4, 6, 8][rng.gen_range(0..3)]);
+            ds.push_row(vec![
+                model,
+                make,
+                vehicle_type.to_string(),
+                year,
+                condition.to_string(),
+                wheel_drive.to_string(),
+                doors.to_string(),
+                engine,
+            ])
+            .expect("row matches the CAR schema");
+        }
+        ds
+    }
+
+    /// Generate a clean dataset and corrupt it per the paper's protocol.
+    pub fn dirty(&self, error_rate: f64, replacement_ratio: f64, seed: u64) -> DirtyDataset {
+        let clean = self.generate();
+        make_dirty(&clean, &Self::rules(), error_rate, replacement_ratio, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rules::detect_violations;
+
+    #[test]
+    fn clean_data_satisfies_rules() {
+        let ds = CarGenerator::default().with_rows(600).generate();
+        assert!(detect_violations(&ds, &CarGenerator::rules()).is_empty());
+    }
+
+    #[test]
+    fn doors_follow_type_for_acura() {
+        let ds = CarGenerator::default().with_rows(400).generate();
+        let make = ds.schema().attr_id("Make").unwrap();
+        let typ = ds.schema().attr_id("Type").unwrap();
+        let doors = ds.schema().attr_id("Doors").unwrap();
+        for t in ds.tuples() {
+            if t.value(make) == "acura" {
+                assert_eq!(t.value(doors), CarGenerator::acura_doors_for(t.value(typ)));
+            }
+        }
+    }
+
+    #[test]
+    fn car_is_sparser_than_hai() {
+        // Sparsity in the paper's sense: the rule-relevant groups of CAR have
+        // fewer supporting tuples than those of HAI, so co-occurrence models
+        // have less evidence per value.  Compare tuples per FD reason group.
+        let car = CarGenerator::default().with_rows(1000).generate();
+        let hai = crate::HaiGenerator::default().with_rows(1000).generate();
+        let car_groups = car
+            .cooccurrence(
+                car.schema().attr_id("Model").unwrap(),
+                car.schema().attr_id("Type").unwrap(),
+            )
+            .len();
+        let hai_groups = hai.domain(hai.schema().attr_id("ProviderID").unwrap()).len();
+        let car_density = 1000.0 / car_groups as f64;
+        let hai_density = 1000.0 / hai_groups as f64;
+        assert!(
+            car_density < hai_density,
+            "CAR ({car_density:.1} tuples/group) should be sparser than HAI ({hai_density:.1})"
+        );
+    }
+
+    #[test]
+    fn model_determines_make() {
+        let ds = CarGenerator::default().with_rows(500).generate();
+        let model = ds.schema().attr_id("Model").unwrap();
+        let make = ds.schema().attr_id("Make").unwrap();
+        let mut map = std::collections::HashMap::new();
+        for t in ds.tuples() {
+            let prev = map.insert(t.value(model).to_string(), t.value(make).to_string());
+            if let Some(prev) = prev {
+                assert_eq!(prev, t.value(make));
+            }
+        }
+    }
+}

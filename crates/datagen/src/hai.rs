@@ -1,0 +1,218 @@
+//! Synthetic HAI (healthcare-associated infections) dataset.
+//!
+//! The real HAI dataset lists hospital measures: each row pairs a provider
+//! (hospital) with one quality measure.  The rule set of Table 4 constrains
+//! the provider-side attributes (phone number, ZIP code, city, state, county)
+//! and the measure dictionary (MeasureID → MeasureName), which is why HAI is
+//! the paper's "dense" dataset — few distinct providers and measures, each
+//! repeated across many rows.
+
+use crate::make_dirty;
+use dataset::{Dataset, DirtyDataset, Schema};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rules::{parse_rules, RuleSet};
+
+/// Generator for the synthetic HAI dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HaiGenerator {
+    /// Number of distinct providers (hospitals).
+    pub providers: usize,
+    /// Number of distinct quality measures.
+    pub measures: usize,
+    /// Number of rows to generate.
+    pub rows: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for HaiGenerator {
+    fn default() -> Self {
+        HaiGenerator { providers: 60, measures: 25, rows: 2_000, seed: 17 }
+    }
+}
+
+const STATES: &[&str] = &[
+    "AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA", "HI", "ID", "IL", "IN", "IA",
+    "KS", "KY", "LA", "ME", "MD",
+];
+
+const CITY_STEMS: &[&str] = &[
+    "DOTHAN", "BOAZ", "BIRMINGHAM", "HUNTSVILLE", "MOBILE", "MONTGOMERY", "TUSCALOOSA", "AUBURN",
+    "DECATUR", "FLORENCE", "GADSDEN", "HOOVER", "MADISON", "OPELIKA", "SELMA", "TROY",
+];
+
+const COUNTY_STEMS: &[&str] = &[
+    "HOUSTON", "MARSHALL", "JEFFERSON", "MADISON", "MOBILE", "MONTGOMERY", "TUSCALOOSA", "LEE",
+    "MORGAN", "LAUDERDALE", "ETOWAH", "SHELBY", "LIMESTONE", "DALLAS", "PIKE", "BALDWIN",
+];
+
+const MEASURE_STEMS: &[&str] = &[
+    "CLABSI", "CAUTI", "SSI_COLON", "SSI_HYST", "MRSA", "CDIFF", "PSI_90", "HAI_1", "HAI_2",
+    "HAI_3", "HAI_4", "HAI_5", "HAI_6", "READM_30", "MORT_30",
+];
+
+impl HaiGenerator {
+    /// Set the number of rows.
+    pub fn with_rows(mut self, rows: usize) -> Self {
+        self.rows = rows;
+        self
+    }
+
+    /// Set the number of distinct providers.
+    pub fn with_providers(mut self, providers: usize) -> Self {
+        self.providers = providers;
+        self
+    }
+
+    /// Set the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The HAI rule set of Table 4.
+    pub fn rules() -> RuleSet {
+        parse_rules(
+            "FD: PhoneNumber -> ZIPCode\n\
+             FD: PhoneNumber -> State\n\
+             FD: ZIPCode -> City\n\
+             FD: MeasureID -> MeasureName\n\
+             FD: ZIPCode -> CountyName\n\
+             FD: ProviderID -> City, PhoneNumber\n\
+             DC: PhoneNumber = PhoneNumber, State != State",
+        )
+        .expect("the HAI rule set is well-formed")
+    }
+
+    /// Generate the clean dataset.
+    pub fn generate(&self) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let schema = Schema::new(&[
+            "ProviderID",
+            "HospitalName",
+            "City",
+            "State",
+            "ZIPCode",
+            "CountyName",
+            "PhoneNumber",
+            "MeasureID",
+            "MeasureName",
+            "Score",
+        ]);
+
+        // Provider master data, internally consistent so that every FD holds:
+        // each provider has one city/state/zip/county/phone, each zip maps to
+        // one city and county, each phone to one zip/state.
+        struct Provider {
+            id: String,
+            name: String,
+            city: String,
+            state: String,
+            zip: String,
+            county: String,
+            phone: String,
+        }
+        let providers: Vec<Provider> = (0..self.providers.max(1))
+            .map(|i| {
+                let state = STATES[i % STATES.len()].to_string();
+                let city_stem = CITY_STEMS[i % CITY_STEMS.len()];
+                // Make the city unique per provider so ZIP→City cannot clash
+                // across providers sharing a stem.
+                let city = format!("{}{}", city_stem, i / CITY_STEMS.len());
+                let county = format!("{}{}", COUNTY_STEMS[i % COUNTY_STEMS.len()], i / COUNTY_STEMS.len());
+                let zip = format!("{:05}", 35000 + i);
+                let phone = format!("{:010}", 2_560_000_000u64 + i as u64 * 97);
+                Provider {
+                    id: format!("P{:05}", 10_000 + i),
+                    name: format!("{} MEDICAL CENTER {}", city_stem, i),
+                    city,
+                    state,
+                    zip,
+                    county,
+                    phone,
+                }
+            })
+            .collect();
+
+        // Measure dictionary: MeasureID → MeasureName.
+        let measures: Vec<(String, String)> = (0..self.measures.max(1))
+            .map(|i| {
+                let stem = MEASURE_STEMS[i % MEASURE_STEMS.len()];
+                (
+                    format!("M{:04}", 100 + i),
+                    format!("{}_{}_RATE", stem, i / MEASURE_STEMS.len()),
+                )
+            })
+            .collect();
+
+        let mut ds = Dataset::with_capacity(schema, self.rows);
+        for _ in 0..self.rows {
+            let p = &providers[rng.gen_range(0..providers.len())];
+            let (mid, mname) = &measures[rng.gen_range(0..measures.len())];
+            let score = format!("{:.3}", rng.gen_range(0.0..5.0));
+            ds.push_row(vec![
+                p.id.clone(),
+                p.name.clone(),
+                p.city.clone(),
+                p.state.clone(),
+                p.zip.clone(),
+                p.county.clone(),
+                p.phone.clone(),
+                mid.clone(),
+                mname.clone(),
+                score,
+            ])
+            .expect("row matches the HAI schema");
+        }
+        ds
+    }
+
+    /// Generate a clean dataset and corrupt it per the paper's protocol.
+    pub fn dirty(&self, error_rate: f64, replacement_ratio: f64, seed: u64) -> DirtyDataset {
+        let clean = self.generate();
+        make_dirty(&clean, &Self::rules(), error_rate, replacement_ratio, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rules::detect_violations;
+
+    #[test]
+    fn schema_covers_every_rule_attribute() {
+        let ds = HaiGenerator::default().with_rows(10).generate();
+        let rules = HaiGenerator::rules();
+        assert!(rules.is_valid_for(ds.schema()));
+        assert_eq!(rules.len(), 7);
+    }
+
+    #[test]
+    fn clean_data_satisfies_all_rules() {
+        let ds = HaiGenerator::default().with_rows(500).generate();
+        assert!(detect_violations(&ds, &HaiGenerator::rules()).is_empty());
+    }
+
+    #[test]
+    fn dense_repetition_of_providers() {
+        let gen = HaiGenerator::default().with_rows(1000).with_providers(20);
+        let ds = gen.generate();
+        let provider_attr = ds.schema().attr_id("ProviderID").unwrap();
+        let distinct = ds.domain(provider_attr).len();
+        assert!(distinct <= 20);
+        // Dense: each provider appears many times on average.
+        assert!(ds.len() / distinct >= 10);
+    }
+
+    #[test]
+    fn dirty_respects_requested_rate() {
+        let gen = HaiGenerator::default().with_rows(400);
+        let dirty = gen.dirty(0.10, 0.5, 3);
+        assert!(dirty.error_count() > 0);
+        // Rate is defined over rule-related cells only; just check bounds.
+        let rule_attrs = HaiGenerator::rules().constrained_attrs().len();
+        let eligible = dirty.dirty.len() * rule_attrs;
+        assert!(dirty.error_count() <= (eligible as f64 * 0.10).round() as usize);
+    }
+}

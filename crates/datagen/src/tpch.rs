@@ -1,0 +1,157 @@
+//! Synthetic TPC-H-style dataset.
+//!
+//! The paper builds its synthetic dataset by joining the two largest TPC-H
+//! tables (`lineitem` and `customer`), constrained by the single FD
+//! `CustKey → Address`.  This generator produces the equivalent wide join:
+//! every row is one line item annotated with its customer's key, name,
+//! address and phone, so the customer attributes repeat across that
+//! customer's line items.
+
+use crate::make_dirty;
+use dataset::{Dataset, DirtyDataset, Schema};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rules::{parse_rules, RuleSet};
+
+/// Generator for the synthetic TPC-H join.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TpchGenerator {
+    /// Number of distinct customers.
+    pub customers: usize,
+    /// Number of rows (line items) to generate.
+    pub rows: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TpchGenerator {
+    fn default() -> Self {
+        TpchGenerator { customers: 200, rows: 5_000, seed: 31 }
+    }
+}
+
+const NATIONS: &[&str] = &[
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY",
+    "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE",
+    "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "UNITED STATES",
+];
+
+impl TpchGenerator {
+    /// Set the number of rows.
+    pub fn with_rows(mut self, rows: usize) -> Self {
+        self.rows = rows;
+        self
+    }
+
+    /// Set the number of distinct customers.
+    pub fn with_customers(mut self, customers: usize) -> Self {
+        self.customers = customers;
+        self
+    }
+
+    /// Set the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The TPC-H rule set of Table 4: `CustKey → Address`.
+    pub fn rules() -> RuleSet {
+        parse_rules("FD: CustKey -> Address").expect("the TPC-H rule set is well-formed")
+    }
+
+    /// Generate the clean dataset.
+    pub fn generate(&self) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let schema = Schema::new(&[
+            "CustKey",
+            "CustName",
+            "Address",
+            "Nation",
+            "Phone",
+            "OrderKey",
+            "PartKey",
+            "Quantity",
+            "ExtendedPrice",
+        ]);
+
+        struct Customer {
+            key: String,
+            name: String,
+            address: String,
+            nation: String,
+            phone: String,
+        }
+        let customers: Vec<Customer> = (0..self.customers.max(1))
+            .map(|i| Customer {
+                key: format!("C{:07}", i + 1),
+                name: format!("Customer#{:09}", i + 1),
+                address: format!("{} MARKET ST SUITE {}", 100 + (i * 37) % 900, i + 1),
+                nation: NATIONS[i % NATIONS.len()].to_string(),
+                phone: format!("{:02}-{:03}-{:03}-{:04}", 10 + i % 25, i % 1000, (i * 7) % 1000, (i * 13) % 10_000),
+            })
+            .collect();
+
+        let mut ds = Dataset::with_capacity(schema, self.rows);
+        for row in 0..self.rows {
+            let c = &customers[rng.gen_range(0..customers.len())];
+            ds.push_row(vec![
+                c.key.clone(),
+                c.name.clone(),
+                c.address.clone(),
+                c.nation.clone(),
+                c.phone.clone(),
+                format!("O{:08}", row + 1),
+                format!("P{:06}", rng.gen_range(1..20_000)),
+                format!("{}", rng.gen_range(1..50)),
+                format!("{:.2}", rng.gen_range(900.0..105_000.0)),
+            ])
+            .expect("row matches the TPC-H schema");
+        }
+        ds
+    }
+
+    /// Generate a clean dataset and corrupt it per the paper's protocol.
+    pub fn dirty(&self, error_rate: f64, replacement_ratio: f64, seed: u64) -> DirtyDataset {
+        let clean = self.generate();
+        make_dirty(&clean, &Self::rules(), error_rate, replacement_ratio, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rules::detect_violations;
+
+    #[test]
+    fn clean_data_satisfies_the_fd() {
+        let ds = TpchGenerator::default().with_rows(800).generate();
+        assert!(detect_violations(&ds, &TpchGenerator::rules()).is_empty());
+    }
+
+    #[test]
+    fn customers_repeat_across_line_items() {
+        let ds = TpchGenerator::default().with_rows(1000).with_customers(50).generate();
+        let cust = ds.schema().attr_id("CustKey").unwrap();
+        assert!(ds.domain(cust).len() <= 50);
+    }
+
+    #[test]
+    fn order_keys_are_unique() {
+        let ds = TpchGenerator::default().with_rows(500).generate();
+        let order = ds.schema().attr_id("OrderKey").unwrap();
+        assert_eq!(ds.domain(order).len(), 500);
+    }
+
+    #[test]
+    fn dirty_injects_only_on_custkey_and_address() {
+        let gen = TpchGenerator::default().with_rows(300);
+        let dirty = gen.dirty(0.2, 0.5, 5);
+        let schema = dirty.dirty.schema().clone();
+        for e in &dirty.errors {
+            let name = schema.attr_name(e.cell.attr);
+            assert!(name == "CustKey" || name == "Address", "unexpected attribute {name}");
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Minimal CSV reading/writing for datasets.
+//!
+//! This is intentionally a small, dependency-free implementation supporting
+//! the subset of CSV we need for experiment inputs and outputs: a header row,
+//! comma separators, optional double-quote quoting with `""` escapes.
+
+use crate::dataset::Dataset;
+use crate::schema::Schema;
+use std::fmt;
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Errors raised while parsing CSV content.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file had no header row.
+    MissingHeader,
+    /// A record had a different number of fields than the header.
+    RaggedRow {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// Number of fields expected (header width).
+        expected: usize,
+        /// Number of fields found.
+        actual: usize,
+    },
+    /// A quoted field was never closed.
+    UnterminatedQuote {
+        /// 1-based line number where the quoted field started.
+        line: usize,
+    },
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "I/O error: {e}"),
+            CsvError::MissingHeader => write!(f, "CSV input has no header row"),
+            CsvError::RaggedRow { line, expected, actual } => {
+                write!(f, "line {line}: expected {expected} fields, found {actual}")
+            }
+            CsvError::UnterminatedQuote { line } => {
+                write!(f, "line {line}: unterminated quoted field")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<io::Error> for CsvError {
+    fn from(e: io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Split one CSV record into fields, honouring double-quote quoting.
+fn parse_record(line: &str, line_no: usize) -> Result<Vec<String>, CsvError> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                other => field.push(other),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => {
+                    fields.push(std::mem::take(&mut field));
+                }
+                other => field.push(other),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(CsvError::UnterminatedQuote { line: line_no });
+    }
+    fields.push(field);
+    Ok(fields)
+}
+
+/// Quote a field if it contains a comma, quote, or newline.
+fn write_field(out: &mut String, field: &str) {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        out.push('"');
+        for c in field.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+    } else {
+        out.push_str(field);
+    }
+}
+
+/// Parse CSV text (header + records) into a [`Dataset`].
+pub fn parse_csv(text: &str) -> Result<Dataset, CsvError> {
+    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.is_empty());
+    let (header_no, header_line) = lines.next().ok_or(CsvError::MissingHeader)?;
+    let header = parse_record(header_line, header_no + 1)?;
+    let schema = Schema::new(&header);
+    let mut ds = Dataset::new(schema);
+    for (idx, line) in lines {
+        let record = parse_record(line, idx + 1)?;
+        if record.len() != header.len() {
+            return Err(CsvError::RaggedRow {
+                line: idx + 1,
+                expected: header.len(),
+                actual: record.len(),
+            });
+        }
+        ds.push_row(record).expect("arity checked above");
+    }
+    Ok(ds)
+}
+
+/// Serialize a dataset to CSV text (header + records).
+pub fn to_csv(ds: &Dataset) -> String {
+    let mut out = String::new();
+    let names: Vec<&str> = ds.schema().attr_names().collect();
+    for (i, name) in names.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_field(&mut out, name);
+    }
+    out.push('\n');
+    for t in ds.tuples() {
+        for (i, v) in t.values().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_field(&mut out, v);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Read a dataset from a CSV file.
+pub fn read_csv_file<P: AsRef<Path>>(path: P) -> Result<Dataset, CsvError> {
+    let text = fs::read_to_string(path)?;
+    parse_csv(&text)
+}
+
+/// Write a dataset to a CSV file.
+pub fn write_csv_file<P: AsRef<Path>>(ds: &Dataset, path: P) -> Result<(), CsvError> {
+    let mut file = fs::File::create(path)?;
+    file.write_all(to_csv(ds).as_bytes())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample_hospital_dataset;
+
+    #[test]
+    fn round_trip_sample() {
+        let ds = sample_hospital_dataset();
+        let text = to_csv(&ds);
+        let back = parse_csv(&text).unwrap();
+        assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn quoting_round_trip() {
+        let mut ds = Dataset::new(Schema::new(&["name", "note"]));
+        ds.push_row(vec!["St. Mary's, Inc".into(), "said \"hello\"".into()]).unwrap();
+        ds.push_row(vec!["plain".into(), "".into()]).unwrap();
+        let text = to_csv(&ds);
+        let back = parse_csv(&text).unwrap();
+        assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn missing_header_is_an_error() {
+        assert!(matches!(parse_csv(""), Err(CsvError::MissingHeader)));
+    }
+
+    #[test]
+    fn ragged_rows_are_rejected() {
+        let err = parse_csv("a,b\n1,2\n3\n").unwrap_err();
+        match err {
+            CsvError::RaggedRow { line, expected, actual } => {
+                assert_eq!((line, expected, actual), (3, 2, 1));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unterminated_quote_is_rejected() {
+        assert!(matches!(
+            parse_csv("a,b\n\"oops,2\n"),
+            Err(CsvError::UnterminatedQuote { .. })
+        ));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let ds = sample_hospital_dataset();
+        let dir = std::env::temp_dir().join("mlnclean-csv-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.csv");
+        write_csv_file(&ds, &path).unwrap();
+        let back = read_csv_file(&path).unwrap();
+        assert_eq!(ds, back);
+    }
+}

@@ -1,0 +1,272 @@
+//! The in-memory dataset: a schema plus an ordered collection of tuples,
+//! with cell-level access, attribute domains, and duplicate detection.
+
+use crate::cell::CellRef;
+use crate::schema::{AttrId, Schema};
+use crate::tuple::{Tuple, TupleId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Error returned when a row does not match the dataset schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArityMismatch {
+    /// Number of attributes the schema expects.
+    pub expected: usize,
+    /// Number of values the offending row carried.
+    pub actual: usize,
+}
+
+impl fmt::Display for ArityMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "row has {} values but the schema has {} attributes", self.actual, self.expected)
+    }
+}
+
+impl std::error::Error for ArityMismatch {}
+
+/// An in-memory relation: schema + tuples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    schema: Schema,
+    tuples: Vec<Tuple>,
+}
+
+impl Dataset {
+    /// Create an empty dataset over `schema`.
+    pub fn new(schema: Schema) -> Self {
+        Dataset { schema, tuples: Vec::new() }
+    }
+
+    /// Create a dataset with pre-allocated capacity.
+    pub fn with_capacity(schema: Schema, capacity: usize) -> Self {
+        Dataset { schema, tuples: Vec::with_capacity(capacity) }
+    }
+
+    /// The schema of this dataset.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the dataset has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Append a row, assigning it the next [`TupleId`].
+    pub fn push_row(&mut self, values: Vec<String>) -> Result<TupleId, ArityMismatch> {
+        if values.len() != self.schema.arity() {
+            return Err(ArityMismatch { expected: self.schema.arity(), actual: values.len() });
+        }
+        let id = TupleId(self.tuples.len());
+        self.tuples.push(Tuple::new(id, values));
+        Ok(id)
+    }
+
+    /// The tuple with id `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn tuple(&self, id: TupleId) -> &Tuple {
+        &self.tuples[id.0]
+    }
+
+    /// Mutable access to the tuple with id `id`.
+    pub fn tuple_mut(&mut self, id: TupleId) -> &mut Tuple {
+        &mut self.tuples[id.0]
+    }
+
+    /// Value of a single cell.
+    pub fn value(&self, tuple: TupleId, attr: AttrId) -> &str {
+        self.tuples[tuple.0].value(attr)
+    }
+
+    /// Value of a cell given a [`CellRef`].
+    pub fn cell(&self, cell: CellRef) -> &str {
+        self.value(cell.tuple, cell.attr)
+    }
+
+    /// Overwrite a single cell.
+    pub fn set_value(&mut self, tuple: TupleId, attr: AttrId, value: impl Into<String>) {
+        self.tuples[tuple.0].set_value(attr, value);
+    }
+
+    /// Iterate over all tuples in insertion order.
+    pub fn tuples(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// Iterate over all tuple ids.
+    pub fn tuple_ids(&self) -> impl Iterator<Item = TupleId> {
+        (0..self.tuples.len()).map(TupleId)
+    }
+
+    /// Iterate over every cell of the dataset in row-major order.
+    pub fn cells(&self) -> impl Iterator<Item = (CellRef, &str)> {
+        self.tuples.iter().flat_map(move |t| {
+            (0..self.schema.arity())
+                .map(move |a| (CellRef::new(t.id(), AttrId(a)), t.value(AttrId(a))))
+        })
+    }
+
+    /// Total number of cells (tuples × attributes); the denominator of the
+    /// error rate in the paper's evaluation protocol.
+    pub fn cell_count(&self) -> usize {
+        self.tuples.len() * self.schema.arity()
+    }
+
+    /// The active domain of an attribute: the distinct values appearing in
+    /// that column, sorted.  Quantitative cleaners (HoloClean-style) draw
+    /// their repair candidates from this set.
+    pub fn domain(&self, attr: AttrId) -> BTreeSet<String> {
+        self.tuples.iter().map(|t| t.value(attr).to_string()).collect()
+    }
+
+    /// Frequency of each value in the column `attr`.
+    pub fn value_counts(&self, attr: AttrId) -> BTreeMap<String, usize> {
+        let mut counts = BTreeMap::new();
+        for t in &self.tuples {
+            *counts.entry(t.value(attr).to_string()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Co-occurrence counts between values of `a` and values of `b`:
+    /// how many tuples carry each (value-of-a, value-of-b) pair.
+    pub fn cooccurrence(&self, a: AttrId, b: AttrId) -> BTreeMap<(String, String), usize> {
+        let mut counts = BTreeMap::new();
+        for t in &self.tuples {
+            *counts
+                .entry((t.value(a).to_string(), t.value(b).to_string()))
+                .or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Group tuple ids by their exact values: each group with more than one
+    /// member is a set of exact duplicates.
+    pub fn duplicate_groups(&self) -> Vec<Vec<TupleId>> {
+        let mut groups: BTreeMap<Vec<String>, Vec<TupleId>> = BTreeMap::new();
+        for t in &self.tuples {
+            groups.entry(t.values().to_vec()).or_default().push(t.id());
+        }
+        groups.into_values().filter(|g| g.len() > 1).collect()
+    }
+
+    /// Return a copy of the dataset keeping only the first tuple of every
+    /// exact-duplicate family (tuple ids are reassigned densely).  This is the
+    /// final deduplication step of the MLNClean pipeline.
+    pub fn deduplicated(&self) -> Dataset {
+        let mut seen = BTreeSet::new();
+        let mut out = Dataset::with_capacity(self.schema.clone(), self.tuples.len());
+        for t in &self.tuples {
+            if seen.insert(t.values().to_vec()) {
+                out.push_row(t.values().to_vec()).expect("same schema");
+            }
+        }
+        out
+    }
+
+    /// Number of cells where `self` and `other` differ.  The two datasets
+    /// must have the same shape.
+    pub fn diff_cells(&self, other: &Dataset) -> Vec<CellRef> {
+        assert_eq!(self.schema.arity(), other.schema.arity(), "schemas must agree");
+        assert_eq!(self.len(), other.len(), "datasets must have the same number of tuples");
+        let mut out = Vec::new();
+        for t in self.tuple_ids() {
+            for a in self.schema.attr_ids() {
+                if self.value(t, a) != other.value(t, a) {
+                    out.push(CellRef::new(t, a));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Dataset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.schema)?;
+        for t in &self.tuples {
+            writeln!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample_hospital_dataset;
+
+    #[test]
+    fn push_row_checks_arity() {
+        let mut ds = Dataset::new(Schema::new(&["a", "b"]));
+        assert!(ds.push_row(vec!["1".into(), "2".into()]).is_ok());
+        let err = ds.push_row(vec!["1".into()]).unwrap_err();
+        assert_eq!(err, ArityMismatch { expected: 2, actual: 1 });
+        assert_eq!(ds.len(), 1);
+    }
+
+    #[test]
+    fn domain_and_counts() {
+        let ds = sample_hospital_dataset();
+        let ct = ds.schema().attr_id("CT").unwrap();
+        let domain = ds.domain(ct);
+        assert_eq!(domain.len(), 3); // DOTHAN, DOTH, BOAZ
+        let counts = ds.value_counts(ct);
+        assert_eq!(counts["BOAZ"], 3);
+        assert_eq!(counts["DOTH"], 1);
+    }
+
+    #[test]
+    fn cooccurrence_counts_pairs() {
+        let ds = sample_hospital_dataset();
+        let ct = ds.schema().attr_id("CT").unwrap();
+        let st = ds.schema().attr_id("ST").unwrap();
+        let co = ds.cooccurrence(ct, st);
+        assert_eq!(co[&("BOAZ".to_string(), "AL".to_string())], 2);
+        assert_eq!(co[&("BOAZ".to_string(), "AK".to_string())], 1);
+    }
+
+    #[test]
+    fn duplicates_and_dedup() {
+        let truth = crate::sample_hospital_truth();
+        let groups = truth.duplicate_groups();
+        // t1/t2 are duplicates and t3..t6 are duplicates in the ground truth.
+        assert_eq!(groups.len(), 2);
+        let sizes: Vec<usize> = groups.iter().map(|g| g.len()).collect();
+        assert!(sizes.contains(&2) && sizes.contains(&4));
+        let dedup = truth.deduplicated();
+        assert_eq!(dedup.len(), 2);
+    }
+
+    #[test]
+    fn diff_cells_finds_injected_differences() {
+        let dirty = sample_hospital_dataset();
+        let truth = crate::sample_hospital_truth();
+        let diff = dirty.diff_cells(&truth);
+        // t2.CT, t3.CT, t3.PN, t4.ST are the erroneous cells of Table 1.
+        assert_eq!(diff.len(), 4);
+    }
+
+    #[test]
+    fn cells_iterator_covers_every_cell() {
+        let ds = sample_hospital_dataset();
+        assert_eq!(ds.cells().count(), ds.cell_count());
+        assert_eq!(ds.cell_count(), 24);
+    }
+
+    #[test]
+    fn set_value_updates_cell() {
+        let mut ds = sample_hospital_dataset();
+        let st = ds.schema().attr_id("ST").unwrap();
+        ds.set_value(TupleId(3), st, "AL");
+        assert_eq!(ds.value(TupleId(3), st), "AL");
+    }
+}

@@ -1,0 +1,136 @@
+//! Relation schemas: an ordered list of named attributes.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of an attribute (its position in the schema).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AttrId(pub usize);
+
+impl AttrId {
+    /// The position of the attribute within its schema.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A{}", self.0)
+    }
+}
+
+/// An ordered, named list of attributes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    attributes: Vec<String>,
+    #[serde(skip)]
+    by_name: HashMap<String, usize>,
+}
+
+impl Schema {
+    /// Create a schema from attribute names.
+    ///
+    /// # Panics
+    /// Panics if two attributes share a name: a relation schema must have
+    /// distinct attribute names.
+    pub fn new<S: AsRef<str>>(attributes: &[S]) -> Self {
+        let attributes: Vec<String> = attributes.iter().map(|s| s.as_ref().to_string()).collect();
+        let mut by_name = HashMap::with_capacity(attributes.len());
+        for (idx, name) in attributes.iter().enumerate() {
+            let prev = by_name.insert(name.clone(), idx);
+            assert!(prev.is_none(), "duplicate attribute name {name:?} in schema");
+        }
+        Schema { attributes, by_name }
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Name of the attribute `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range for this schema.
+    pub fn attr_name(&self, id: AttrId) -> &str {
+        &self.attributes[id.0]
+    }
+
+    /// Look up an attribute by name.
+    pub fn attr_id(&self, name: &str) -> Option<AttrId> {
+        // `by_name` is skipped by serde; fall back to a scan if it is empty
+        // but attributes exist (i.e. the schema was deserialized).
+        if self.by_name.len() == self.attributes.len() {
+            self.by_name.get(name).copied().map(AttrId)
+        } else {
+            self.attributes.iter().position(|a| a == name).map(AttrId)
+        }
+    }
+
+    /// All attribute ids, in schema order.
+    pub fn attr_ids(&self) -> impl Iterator<Item = AttrId> + '_ {
+        (0..self.attributes.len()).map(AttrId)
+    }
+
+    /// All attribute names, in schema order.
+    pub fn attr_names(&self) -> impl Iterator<Item = &str> {
+        self.attributes.iter().map(|s| s.as_str())
+    }
+
+    /// Whether `id` refers to an attribute of this schema.
+    pub fn contains(&self, id: AttrId) -> bool {
+        id.0 < self.attributes.len()
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({})", self.attributes.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_by_name_and_id() {
+        let s = Schema::new(&["HN", "CT", "ST", "PN"]);
+        assert_eq!(s.arity(), 4);
+        assert_eq!(s.attr_id("CT"), Some(AttrId(1)));
+        assert_eq!(s.attr_id("PN"), Some(AttrId(3)));
+        assert_eq!(s.attr_id("missing"), None);
+        assert_eq!(s.attr_name(AttrId(2)), "ST");
+    }
+
+    #[test]
+    fn attr_ids_are_ordered() {
+        let s = Schema::new(&["a", "b", "c"]);
+        let ids: Vec<usize> = s.attr_ids().map(|a| a.index()).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        let names: Vec<&str> = s.attr_names().collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute name")]
+    fn duplicate_names_panic() {
+        Schema::new(&["a", "a"]);
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = Schema::new(&["x", "y"]);
+        assert_eq!(s.to_string(), "(x, y)");
+        assert_eq!(AttrId(3).to_string(), "A3");
+    }
+
+    #[test]
+    fn contains_checks_range() {
+        let s = Schema::new(&["a", "b"]);
+        assert!(s.contains(AttrId(1)));
+        assert!(!s.contains(AttrId(2)));
+    }
+}

@@ -1,0 +1,123 @@
+//! Tuples: a row of string values identified by a stable [`TupleId`].
+
+use crate::schema::AttrId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Stable identifier of a tuple within a dataset.  Tuple ids are assigned on
+/// insertion and never reused, so they survive cleaning operations that
+/// rewrite values in place and deduplication passes that mark tuples removed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TupleId(pub usize);
+
+impl TupleId {
+    /// The raw index of this tuple.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for TupleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0 + 1)
+    }
+}
+
+/// A row of attribute values.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tuple {
+    id: TupleId,
+    values: Vec<String>,
+}
+
+impl Tuple {
+    /// Create a tuple with the given id and values.
+    pub fn new(id: TupleId, values: Vec<String>) -> Self {
+        Tuple { id, values }
+    }
+
+    /// The stable identifier of this tuple.
+    pub fn id(&self) -> TupleId {
+        self.id
+    }
+
+    /// Value of the attribute `attr`.
+    pub fn value(&self, attr: AttrId) -> &str {
+        &self.values[attr.0]
+    }
+
+    /// Mutable access for in-place repairs.
+    pub fn set_value(&mut self, attr: AttrId, value: impl Into<String>) {
+        self.values[attr.0] = value.into();
+    }
+
+    /// All values in schema order.
+    pub fn values(&self) -> &[String] {
+        &self.values
+    }
+
+    /// Number of attributes in the tuple.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Project the tuple onto a subset of attributes (in the given order).
+    pub fn project(&self, attrs: &[AttrId]) -> Vec<&str> {
+        attrs.iter().map(|a| self.value(*a)).collect()
+    }
+
+    /// Whether two tuples agree on every attribute value (ignoring the id).
+    /// This is the duplicate test MLNClean applies after conflict resolution.
+    pub fn same_values(&self, other: &Tuple) -> bool {
+        self.values == other.values
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.id, self.values.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuple() -> Tuple {
+        Tuple::new(
+            TupleId(0),
+            vec!["ELIZA".into(), "BOAZ".into(), "AL".into(), "2567688400".into()],
+        )
+    }
+
+    #[test]
+    fn value_access_and_update() {
+        let mut t = tuple();
+        assert_eq!(t.value(AttrId(1)), "BOAZ");
+        t.set_value(AttrId(1), "DOTHAN");
+        assert_eq!(t.value(AttrId(1)), "DOTHAN");
+        assert_eq!(t.arity(), 4);
+    }
+
+    #[test]
+    fn projection_preserves_order() {
+        let t = tuple();
+        assert_eq!(t.project(&[AttrId(2), AttrId(0)]), vec!["AL", "ELIZA"]);
+    }
+
+    #[test]
+    fn same_values_ignores_id() {
+        let a = tuple();
+        let mut b = tuple();
+        b = Tuple::new(TupleId(5), b.values().to_vec());
+        assert!(a.same_values(&b));
+        b.set_value(AttrId(0), "ALABAMA");
+        assert!(!a.same_values(&b));
+    }
+
+    #[test]
+    fn display_is_one_indexed_like_the_paper() {
+        assert_eq!(TupleId(0).to_string(), "t1");
+        assert_eq!(TupleId(5).to_string(), "t6");
+    }
+}

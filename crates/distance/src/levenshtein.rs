@@ -1,0 +1,175 @@
+//! Edit-distance metrics: Levenshtein and Damerau-Levenshtein.
+//!
+//! Levenshtein distance is the default metric in MLNClean: the paper argues
+//! (Section 7.3.3) that it copes better than cosine distance with typos in
+//! the leading characters of a value, because it counts character edits
+//! irrespective of position.
+
+/// Classic Levenshtein edit distance (insertions, deletions, substitutions),
+/// computed with a two-row dynamic program in `O(|a|·|b|)` time and
+/// `O(min(|a|,|b|))` space.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    if a == b {
+        return 0;
+    }
+    let (short, long): (Vec<char>, Vec<char>) = {
+        let ac: Vec<char> = a.chars().collect();
+        let bc: Vec<char> = b.chars().collect();
+        if ac.len() <= bc.len() {
+            (ac, bc)
+        } else {
+            (bc, ac)
+        }
+    };
+    if short.is_empty() {
+        return long.len();
+    }
+
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut curr: Vec<usize> = vec![0; short.len() + 1];
+
+    for (i, lc) in long.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, sc) in short.iter().enumerate() {
+            let cost = usize::from(lc != sc);
+            curr[j + 1] = (prev[j + 1] + 1).min(curr[j] + 1).min(prev[j] + cost);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[short.len()]
+}
+
+/// Levenshtein distance normalized to `[0, 1]` by the length of the longer
+/// string.  Two empty strings have distance `0`.
+pub fn normalized_levenshtein(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 0.0;
+    }
+    levenshtein(a, b) as f64 / max_len as f64
+}
+
+/// Damerau-Levenshtein distance (restricted variant: adjacent transpositions
+/// count as a single edit).  Useful for typo-heavy data where character swaps
+/// are common.
+pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
+    let ac: Vec<char> = a.chars().collect();
+    let bc: Vec<char> = b.chars().collect();
+    let (n, m) = (ac.len(), bc.len());
+    if n == 0 {
+        return m;
+    }
+    if m == 0 {
+        return n;
+    }
+
+    // Three-row dynamic program: d[i-2], d[i-1], d[i].
+    let mut prev2: Vec<usize> = vec![0; m + 1];
+    let mut prev: Vec<usize> = (0..=m).collect();
+    let mut curr: Vec<usize> = vec![0; m + 1];
+
+    for i in 1..=n {
+        curr[0] = i;
+        for j in 1..=m {
+            let cost = usize::from(ac[i - 1] != bc[j - 1]);
+            let mut best = (prev[j] + 1).min(curr[j - 1] + 1).min(prev[j - 1] + cost);
+            if i > 1 && j > 1 && ac[i - 1] == bc[j - 2] && ac[i - 2] == bc[j - 1] {
+                best = best.min(prev2[j - 2] + 1);
+            }
+            curr[j] = best;
+        }
+        std::mem::swap(&mut prev2, &mut prev);
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_cases() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("DOTHAN", "DOTH"), 2);
+        assert_eq!(levenshtein("AL", "AK"), 1);
+    }
+
+    #[test]
+    fn unicode_aware() {
+        assert_eq!(levenshtein("héllo", "hello"), 1);
+        assert_eq!(levenshtein("日本語", "日本"), 1);
+    }
+
+    #[test]
+    fn paper_example_group_distance() {
+        // The typo "DOTH" should be closer to "DOTHAN" than to "BOAZ",
+        // which is what makes AGP merge G12 into G11 in the paper's Figure 2.
+        assert!(levenshtein("DOTH", "DOTHAN") < levenshtein("DOTH", "BOAZ"));
+    }
+
+    #[test]
+    fn normalized_bounds() {
+        assert_eq!(normalized_levenshtein("", ""), 0.0);
+        assert_eq!(normalized_levenshtein("abc", "abc"), 0.0);
+        assert_eq!(normalized_levenshtein("abc", "xyz"), 1.0);
+        let d = normalized_levenshtein("abcd", "abxd");
+        assert!(d > 0.0 && d < 1.0);
+    }
+
+    #[test]
+    fn damerau_counts_transposition_once() {
+        assert_eq!(damerau_levenshtein("ca", "ac"), 1);
+        assert_eq!(levenshtein("ca", "ac"), 2);
+        assert_eq!(damerau_levenshtein("a cat", "an act"), 2);
+        assert_eq!(damerau_levenshtein("", "xyz"), 3);
+        assert_eq!(damerau_levenshtein("xyz", ""), 3);
+    }
+
+    proptest! {
+        #[test]
+        fn symmetric(a in "\\PC{0,24}", b in "\\PC{0,24}") {
+            prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+            prop_assert_eq!(damerau_levenshtein(&a, &b), damerau_levenshtein(&b, &a));
+        }
+
+        #[test]
+        fn identity(a in "\\PC{0,24}") {
+            prop_assert_eq!(levenshtein(&a, &a), 0);
+            prop_assert_eq!(damerau_levenshtein(&a, &a), 0);
+        }
+
+        #[test]
+        fn triangle_inequality(a in "[a-f]{0,12}", b in "[a-f]{0,12}", c in "[a-f]{0,12}") {
+            let ab = levenshtein(&a, &b);
+            let bc = levenshtein(&b, &c);
+            let ac = levenshtein(&a, &c);
+            prop_assert!(ac <= ab + bc);
+        }
+
+        #[test]
+        fn bounded_by_longer_length(a in "\\PC{0,24}", b in "\\PC{0,24}") {
+            let d = levenshtein(&a, &b);
+            let max_len = a.chars().count().max(b.chars().count());
+            let min_len = a.chars().count().min(b.chars().count());
+            prop_assert!(d <= max_len);
+            prop_assert!(d >= max_len - min_len);
+        }
+
+        #[test]
+        fn damerau_never_exceeds_levenshtein(a in "[a-e]{0,12}", b in "[a-e]{0,12}") {
+            prop_assert!(damerau_levenshtein(&a, &b) <= levenshtein(&a, &b));
+        }
+
+        #[test]
+        fn normalized_in_unit_interval(a in "\\PC{0,24}", b in "\\PC{0,24}") {
+            let d = normalized_levenshtein(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&d));
+        }
+    }
+}

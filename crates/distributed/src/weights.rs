@@ -1,0 +1,167 @@
+//! Eq. 6: evidence-weighted merging of per-partition γ weights.
+//!
+//! Weight learning inside a small partition can be unreliable — a γ may have
+//! no corroborating evidence locally even though other partitions hold
+//! plenty.  The coordinator therefore merges the locally learned weights of
+//! identical γs across partitions,
+//!
+//! ```text
+//! w(γ) = Σᵢ nᵢ · wᵢ  /  Σᵢ nᵢ
+//! ```
+//!
+//! where `nᵢ` is the number of tuples related to γ in partition `Pᵢ` and `wᵢ`
+//! the weight learned there, and pushes the merged weight back into every
+//! partition's index before RSC/FSCR run.
+
+use mlnclean::MlnIndex;
+use std::collections::HashMap;
+
+/// Identity of a γ across partitions: same rule, same reason values, same
+/// result values.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GammaKey {
+    /// Rule index.
+    pub rule: usize,
+    /// Reason-part values.
+    pub reason: Vec<String>,
+    /// Result-part values.
+    pub result: Vec<String>,
+}
+
+impl GammaKey {
+    fn of(gamma: &mlnclean::Gamma) -> Self {
+        GammaKey {
+            rule: gamma.rule.index(),
+            reason: gamma.reason_values.clone(),
+            result: gamma.result_values.clone(),
+        }
+    }
+}
+
+/// Merge the γ weights of every partition index in place (Eq. 6) and refresh
+/// the per-block probabilities.  Returns the number of distinct γs that
+/// appeared in more than one partition (i.e. actually benefited from global
+/// evidence).
+pub fn merge_weights(indices: &mut [MlnIndex]) -> usize {
+    // Pass 1: accumulate Σ n·w and Σ n per γ key.
+    let mut accum: HashMap<GammaKey, (f64, f64, usize)> = HashMap::new();
+    for index in indices.iter() {
+        for block in &index.blocks {
+            for gamma in block.gammas() {
+                let n = gamma.support() as f64;
+                let entry = accum.entry(GammaKey::of(gamma)).or_insert((0.0, 0.0, 0));
+                entry.0 += n * gamma.weight;
+                entry.1 += n;
+                entry.2 += 1;
+            }
+        }
+    }
+
+    let shared = accum.values().filter(|(_, _, parts)| *parts > 1).count();
+
+    // Pass 2: write the merged weight back and recompute each block's softmax
+    // probabilities.
+    for index in indices.iter_mut() {
+        for block in &mut index.blocks {
+            for group in &mut block.groups {
+                for gamma in &mut group.gammas {
+                    if let Some((num, den, _)) = accum.get(&GammaKey::of(gamma)) {
+                        if *den > 0.0 {
+                            gamma.weight = num / den;
+                        }
+                    }
+                }
+            }
+            // Refresh probabilities: Pr(γ) ∝ exp(w) within the block.
+            let weights: Vec<f64> = block.gammas().map(|g| g.weight).collect();
+            if weights.is_empty() {
+                continue;
+            }
+            let max_w = weights.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let exps: Vec<f64> = weights.iter().map(|w| (w - max_w).exp()).collect();
+            let z: f64 = exps.iter().sum();
+            let mut idx = 0;
+            for group in &mut block.groups {
+                for gamma in &mut group.gammas {
+                    gamma.probability = exps[idx] / z;
+                    idx += 1;
+                }
+            }
+        }
+    }
+    shared
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::{Dataset, Schema};
+    use mln::LearningConfig;
+    use mlnclean::MlnIndex;
+
+    fn part(rows: &[(&str, &str)]) -> MlnIndex {
+        let mut ds = Dataset::new(Schema::new(&["CT", "ST"]));
+        for (c, s) in rows {
+            ds.push_row(vec![c.to_string(), s.to_string()]).unwrap();
+        }
+        let rules = rules::parse_rules("FD: CT -> ST").unwrap();
+        let mut index = MlnIndex::build(&ds, &rules).unwrap();
+        mlnclean::weights::assign_weights(&mut index, &LearningConfig::default());
+        index
+    }
+
+    #[test]
+    fn merged_weight_is_the_evidence_weighted_average() {
+        // Partition 1 has three DOTHAN/AL tuples, partition 2 has one.
+        let mut indices = vec![
+            part(&[("DOTHAN", "AL"), ("DOTHAN", "AL"), ("DOTHAN", "AL"), ("BOAZ", "AL")]),
+            part(&[("DOTHAN", "AL"), ("BOAZ", "AK")]),
+        ];
+        let w1 = indices[0].blocks[0]
+            .gammas()
+            .find(|g| g.reason_values == vec!["DOTHAN"])
+            .unwrap()
+            .weight;
+        let w2 = indices[1].blocks[0]
+            .gammas()
+            .find(|g| g.reason_values == vec!["DOTHAN"])
+            .unwrap()
+            .weight;
+        let shared = merge_weights(&mut indices);
+        assert!(shared >= 1, "the DOTHAN/AL γ appears in both partitions");
+
+        let expected = (3.0 * w1 + 1.0 * w2) / 4.0;
+        for index in &indices {
+            let merged = index.blocks[0]
+                .gammas()
+                .find(|g| g.reason_values == vec!["DOTHAN"])
+                .unwrap()
+                .weight;
+            assert!((merged - expected).abs() < 1e-12, "got {merged}, want {expected}");
+        }
+    }
+
+    #[test]
+    fn probabilities_are_renormalized_after_merge() {
+        let mut indices = vec![
+            part(&[("DOTHAN", "AL"), ("BOAZ", "AL"), ("BOAZ", "AK")]),
+            part(&[("DOTHAN", "AL"), ("DOTHAN", "AL")]),
+        ];
+        merge_weights(&mut indices);
+        for index in &indices {
+            for block in &index.blocks {
+                let total: f64 = block.gammas().map(|g| g.probability).sum();
+                assert!((total - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn gamma_unique_to_one_part_keeps_its_weight() {
+        let mut indices = vec![part(&[("DOTHAN", "AL"), ("DOTHAN", "AL")]), part(&[("BOAZ", "AK")])];
+        let before = indices[1].blocks[0].gammas().next().unwrap().weight;
+        merge_weights(&mut indices);
+        let after = indices[1].blocks[0].gammas().next().unwrap().weight;
+        assert!((before - after).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,338 @@
+//! The repair engine: score every candidate of every noisy cell and apply the
+//! argmax.
+//!
+//! The score of candidate `v` for cell `t.[A]` is a log-linear combination of
+//! the signals HoloClean compiles into its factor graph:
+//!
+//! * **co-occurrence** — `Σ_B log P(A=v | B = t.B)` over the tuple's other
+//!   attributes, estimated from the clean partition;
+//! * **prior support** — `log (1 + support(v))`, the frequency of `v` in the
+//!   clean partition of column A;
+//! * **constraint penalty** — a fixed penalty per integrity constraint that
+//!   assigning `v` would violate against the (clean-partition) rest of the
+//!   dataset.
+//!
+//! Repairs are committed cell by cell; this per-cell, per-candidate scan is
+//! the reason the baseline's runtime grows faster than MLNClean's (Figure 6c,
+//! 6d).
+
+use crate::domain::CandidateDomain;
+use crate::features::CooccurrenceModel;
+use dataset::{CellRef, Dataset};
+use rules::{Rule, RuleSet};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap};
+use std::time::{Duration, Instant};
+
+/// Configuration of the baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HoloCleanConfig {
+    /// Candidate budget per noisy cell.
+    pub max_candidates: usize,
+    /// Weight of the co-occurrence features.
+    pub cooccurrence_weight: f64,
+    /// Weight of the prior-support feature.
+    pub prior_weight: f64,
+    /// Penalty applied per violated constraint.
+    pub violation_penalty: f64,
+}
+
+impl Default for HoloCleanConfig {
+    fn default() -> Self {
+        HoloCleanConfig {
+            max_candidates: 50,
+            cooccurrence_weight: 1.0,
+            prior_weight: 0.2,
+            violation_penalty: 2.0,
+        }
+    }
+}
+
+/// The result of a repair run.
+#[derive(Debug, Clone)]
+pub struct RepairOutcome {
+    /// The repaired dataset (same shape as the input).
+    pub repaired: Dataset,
+    /// Cells that were actually rewritten.
+    pub repaired_cells: Vec<CellRef>,
+    /// Time spent training the statistical model.
+    pub training_time: Duration,
+    /// Time spent scoring candidates and applying repairs.
+    pub inference_time: Duration,
+}
+
+impl RepairOutcome {
+    /// Total runtime of the repair phase (training + inference); the paper
+    /// reports only this for HoloClean because detection is external.
+    pub fn total_time(&self) -> Duration {
+        self.training_time + self.inference_time
+    }
+}
+
+/// The HoloClean-style cleaner.
+#[derive(Debug, Clone, Default)]
+pub struct HoloClean {
+    config: HoloCleanConfig,
+}
+
+impl HoloClean {
+    /// Create a cleaner.
+    pub fn new(config: HoloCleanConfig) -> Self {
+        HoloClean { config }
+    }
+
+    /// Repair the `noisy` cells of `dirty` under `rules`.
+    pub fn repair(&self, dirty: &Dataset, rules: &RuleSet, noisy: &BTreeSet<CellRef>) -> RepairOutcome {
+        let train_start = Instant::now();
+        let model = CooccurrenceModel::train(dirty, noisy);
+        let constraints = ConstraintIndex::build(dirty, rules);
+        let training_time = train_start.elapsed();
+
+        let infer_start = Instant::now();
+        let generator = CandidateDomain::new(self.config.max_candidates);
+        let mut repaired = dirty.clone();
+        let mut repaired_cells = Vec::new();
+
+        for &cell in noisy {
+            if !generator.has_candidates(&model, cell.attr) {
+                continue;
+            }
+            let candidates = generator.candidates(dirty, &model, cell);
+            let current = dirty.cell(cell).to_string();
+
+            let mut best_value = current.clone();
+            let mut best_score = f64::NEG_INFINITY;
+            for candidate in candidates {
+                let score = self.score_candidate(dirty, rules, &constraints, &model, cell, &candidate);
+                if score > best_score {
+                    best_score = score;
+                    best_value = candidate;
+                }
+            }
+            if best_value != current {
+                repaired.set_value(cell.tuple, cell.attr, best_value);
+                repaired_cells.push(cell);
+            }
+        }
+        let inference_time = infer_start.elapsed();
+
+        RepairOutcome { repaired, repaired_cells, training_time, inference_time }
+    }
+
+    /// Log-linear score of one candidate for one cell.
+    fn score_candidate(
+        &self,
+        dirty: &Dataset,
+        rules: &RuleSet,
+        constraints: &ConstraintIndex,
+        model: &CooccurrenceModel,
+        cell: CellRef,
+        candidate: &str,
+    ) -> f64 {
+        let tuple = dirty.tuple(cell.tuple);
+
+        // Co-occurrence with the rest of the tuple.
+        let cooccurrence: f64 = dirty
+            .schema()
+            .attr_ids()
+            .filter(|&b| b != cell.attr)
+            .map(|b| model.conditional(cell.attr, candidate, b, tuple.value(b)).ln())
+            .sum();
+
+        // Prior support in the clean partition.
+        let prior = (1.0 + model.support(cell.attr, candidate) as f64).ln();
+
+        // Constraint penalty: how many rules the tuple would violate against
+        // the rest of the dataset if the candidate were written.
+        let violations = constraints.violations_with(dirty, rules, cell, candidate);
+
+        self.config.cooccurrence_weight * cooccurrence + self.config.prior_weight * prior
+            - self.config.violation_penalty * violations as f64
+    }
+}
+
+/// Pre-aggregated rule statistics so the per-candidate constraint penalty is
+/// a hash lookup instead of a full violation-detection pass.  For every rule
+/// the index stores, per reason-part value vector, how many tuples carry each
+/// result-part value vector.
+struct ConstraintIndex {
+    /// `per_rule[i]` : reason values → (result values → tuple count).
+    per_rule: Vec<HashMap<Vec<String>, HashMap<Vec<String>, usize>>>,
+}
+
+impl ConstraintIndex {
+    fn build(ds: &Dataset, rules: &RuleSet) -> Self {
+        let schema = ds.schema();
+        let mut per_rule = Vec::with_capacity(rules.len());
+        for (_, rule) in rules.iter_with_ids() {
+            let mut map: HashMap<Vec<String>, HashMap<Vec<String>, usize>> = HashMap::new();
+            for t in ds.tuples() {
+                if !rule.is_relevant(schema, t) {
+                    continue;
+                }
+                let reason = rule.reason_values(schema, t);
+                let result = rule.result_values(schema, t);
+                *map.entry(reason).or_default().entry(result).or_insert(0) += 1;
+            }
+            per_rule.push(map);
+        }
+        ConstraintIndex { per_rule }
+    }
+
+    /// Number of rules the tuple would violate (against the other tuples'
+    /// reason→result statistics) if `candidate` were written into `cell`.
+    fn violations_with(
+        &self,
+        ds: &Dataset,
+        rules: &RuleSet,
+        cell: CellRef,
+        candidate: &str,
+    ) -> usize {
+        let schema = ds.schema();
+        let attr_name = schema.attr_name(cell.attr).to_string();
+        let tuple = ds.tuple(cell.tuple);
+        let mut violations = 0usize;
+
+        for (idx, (_, rule)) in rules.iter_with_ids().enumerate() {
+            if !rule.all_attrs().contains(&attr_name) {
+                continue;
+            }
+            if !rule.is_relevant(schema, tuple) {
+                continue;
+            }
+            // Project the tuple under the hypothetical edit.
+            let project = |attrs: &[String]| -> Vec<String> {
+                attrs
+                    .iter()
+                    .map(|a| {
+                        if *a == attr_name {
+                            candidate.to_string()
+                        } else {
+                            tuple.value(schema.attr_id(a).expect("validated attribute")).to_string()
+                        }
+                    })
+                    .collect()
+            };
+            let reason = project(&rule.reason_attrs());
+            let result = project(&rule.result_attrs());
+
+            if let Some(results) = self.per_rule[idx].get(&reason) {
+                // The tuple's own (pre-edit) contribution must not count as a
+                // conflicting witness.
+                let own_reason = rule.reason_values(schema, tuple);
+                let own_result = rule.result_values(schema, tuple);
+                let conflicting = results.iter().any(|(r, &count)| {
+                    if *r == result {
+                        return false;
+                    }
+                    let own_contribution =
+                        usize::from(own_reason == reason && own_result == *r);
+                    count > own_contribution
+                });
+                if conflicting {
+                    violations += 1;
+                }
+            }
+
+            // Constant CFDs additionally violate when the pattern matches but
+            // the consequent constant differs.
+            if let Rule::Cfd(cfd) = rule {
+                let matches_pattern = cfd.conditions().iter().all(|c| match &c.constant {
+                    Some(v) => {
+                        let idx = schema.attr_id(&c.attr).expect("validated attribute");
+                        let value = if c.attr == attr_name { candidate } else { tuple.value(idx) };
+                        value == v
+                    }
+                    None => true,
+                });
+                if matches_pattern {
+                    let breaks_consequent = cfd.consequents().iter().any(|c| match &c.constant {
+                        Some(v) => {
+                            let idx = schema.attr_id(&c.attr).expect("validated attribute");
+                            let value =
+                                if c.attr == attr_name { candidate } else { tuple.value(idx) };
+                            value != v
+                        }
+                        None => false,
+                    });
+                    if breaks_consequent {
+                        violations += 1;
+                    }
+                }
+            }
+        }
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::{sample_hospital_dataset, sample_hospital_truth, RepairEvaluation, TupleId};
+    use datagen::HaiGenerator;
+    use rules::sample_hospital_rules;
+
+    fn oracle_noisy(dirty: &Dataset, truth: &Dataset) -> BTreeSet<CellRef> {
+        dirty.diff_cells(truth).into_iter().collect()
+    }
+
+    #[test]
+    fn repairs_schema_level_error_on_sample() {
+        let dirty = sample_hospital_dataset();
+        let truth = sample_hospital_truth();
+        let rules = sample_hospital_rules();
+        let outcome =
+            HoloClean::default().repair(&dirty, &rules, &oracle_noisy(&dirty, &truth));
+        let st = dirty.schema().attr_id("ST").unwrap();
+        assert_eq!(outcome.repaired.value(TupleId(3), st), "AL");
+        assert!(!outcome.repaired_cells.is_empty());
+        assert!(outcome.total_time() >= outcome.training_time);
+    }
+
+    #[test]
+    fn empty_noisy_set_changes_nothing() {
+        let dirty = sample_hospital_dataset();
+        let rules = sample_hospital_rules();
+        let outcome = HoloClean::default().repair(&dirty, &rules, &BTreeSet::new());
+        assert_eq!(outcome.repaired, dirty);
+        assert!(outcome.repaired_cells.is_empty());
+    }
+
+    #[test]
+    fn baseline_is_sensitive_to_typos_on_sparse_data() {
+        // The paper's Figure 7a rationale: on the sparse CAR dataset the
+        // model trained on the clean partition has little context to recover
+        // a typo'd value (typos erase the evidence), while an in-domain
+        // replacement error at least leaves the co-occurrence statistics
+        // intact.  Verify the direction of that gap on the synthetic CAR
+        // data: an all-replacement workload must not score worse than an
+        // all-typo workload.
+        use datagen::CarGenerator;
+        let gen = CarGenerator::default().with_rows(600);
+        let rules = CarGenerator::rules();
+        let cleaner = HoloClean::default();
+
+        let typos = gen.dirty(0.05, 0.0, 41);
+        let typo_outcome = cleaner.repair(&typos.dirty, &rules, &typos.erroneous_cells());
+        let typo_f1 = RepairEvaluation::evaluate(&typos, &typo_outcome.repaired).f1();
+
+        let repl = gen.dirty(0.05, 1.0, 41);
+        let repl_outcome = cleaner.repair(&repl.dirty, &rules, &repl.erroneous_cells());
+        let repl_f1 = RepairEvaluation::evaluate(&repl, &repl_outcome.repaired).f1();
+
+        assert!(
+            repl_f1 + 0.05 >= typo_f1,
+            "replacement errors ({repl_f1:.3}) should not be much harder than typos ({typo_f1:.3}) on sparse data"
+        );
+    }
+
+    #[test]
+    fn repairs_improve_f1_on_injected_errors() {
+        let gen = HaiGenerator::default().with_rows(400);
+        let rules = HaiGenerator::rules();
+        let dirty = gen.dirty(0.05, 0.5, 13);
+        let outcome = HoloClean::default().repair(&dirty.dirty, &rules, &dirty.erroneous_cells());
+        let report = RepairEvaluation::evaluate(&dirty, &outcome.repaired);
+        assert!(report.f1() > 0.3, "baseline should repair a fair share: {report}");
+    }
+}

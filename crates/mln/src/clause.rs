@@ -1,0 +1,188 @@
+//! First-order clauses (disjunctions of possibly-negated atoms over variables
+//! and constants) and their ground instantiations.
+
+use crate::predicate::{Literal, PredicateId};
+use crate::symbols::Symbol;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A term in a first-order atom: a universally quantified variable or an
+/// interned constant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Term {
+    /// A variable, identified by name (e.g. `"x"`, `"v"`, `"t1.v"`).
+    Variable(String),
+    /// A constant symbol.
+    Constant(Symbol),
+}
+
+impl Term {
+    /// Convenience constructor for a variable term.
+    pub fn var(name: impl Into<String>) -> Self {
+        Term::Variable(name.into())
+    }
+}
+
+/// A possibly-negated first-order atom appearing in a clause.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClauseLiteral {
+    /// The predicate.
+    pub predicate: PredicateId,
+    /// Argument terms.
+    pub terms: Vec<Term>,
+    /// Sign of the literal.
+    pub positive: bool,
+}
+
+impl ClauseLiteral {
+    /// A positive literal `P(terms…)`.
+    pub fn positive(predicate: PredicateId, terms: Vec<Term>) -> Self {
+        ClauseLiteral { predicate, terms, positive: true }
+    }
+
+    /// A negative literal `¬P(terms…)`.
+    pub fn negative(predicate: PredicateId, terms: Vec<Term>) -> Self {
+        ClauseLiteral { predicate, terms, positive: false }
+    }
+
+    /// Names of the variables appearing in this literal, in order of first
+    /// appearance.
+    pub fn variables(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        for t in &self.terms {
+            if let Term::Variable(v) = t {
+                if !out.contains(&v.as_str()) {
+                    out.push(v.as_str());
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A first-order clause: the disjunction of its literals, with all variables
+/// universally quantified (the "MLN rule" form `l₁ ∨ l₂ ∨ … ∨ lₙ`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Clause {
+    /// The disjuncts.
+    pub literals: Vec<ClauseLiteral>,
+}
+
+impl Clause {
+    /// Create a clause from its literals.
+    ///
+    /// # Panics
+    /// Panics on an empty literal list (the empty clause is unsatisfiable and
+    /// never useful here).
+    pub fn new(literals: Vec<ClauseLiteral>) -> Self {
+        assert!(!literals.is_empty(), "a clause needs at least one literal");
+        Clause { literals }
+    }
+
+    /// All distinct variable names in the clause, in order of first
+    /// appearance.
+    pub fn variables(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for lit in &self.literals {
+            for v in lit.variables() {
+                if !out.iter().any(|x| x == v) {
+                    out.push(v.to_string());
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether the clause is already ground (contains no variables).
+    pub fn is_ground(&self) -> bool {
+        self.variables().is_empty()
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self
+            .literals
+            .iter()
+            .map(|l| {
+                let args: Vec<String> = l
+                    .terms
+                    .iter()
+                    .map(|t| match t {
+                        Term::Variable(v) => v.clone(),
+                        Term::Constant(c) => c.to_string(),
+                    })
+                    .collect();
+                format!("{}P{}({})", if l.positive { "" } else { "!" }, l.predicate.0, args.join(","))
+            })
+            .collect();
+        write!(f, "{}", parts.join(" v "))
+    }
+}
+
+/// A ground clause: a weighted disjunction of literals over ground-atom
+/// indices, as stored in a [`crate::grounding::GroundMln`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroundClause {
+    /// The disjuncts, referring to atom indices of the ground network.
+    pub literals: Vec<Literal>,
+    /// Weight inherited from the first-order clause (or learned).
+    pub weight: f64,
+    /// Index of the first-order clause this grounding came from.
+    pub source_clause: usize,
+}
+
+impl GroundClause {
+    /// Whether the clause is satisfied under the given atom assignment.
+    pub fn satisfied(&self, assignment: &[bool]) -> bool {
+        self.literals.iter().any(|l| l.satisfied_by(assignment[l.atom]))
+    }
+
+    /// Number of literals currently satisfied.
+    pub fn satisfied_count(&self, assignment: &[bool]) -> usize {
+        self.literals.iter().filter(|l| l.satisfied_by(assignment[l.atom])).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clause_variables_deduplicate() {
+        let c = Clause::new(vec![
+            ClauseLiteral::negative(PredicateId(0), vec![Term::var("x"), Term::var("y")]),
+            ClauseLiteral::positive(PredicateId(1), vec![Term::var("y"), Term::var("z")]),
+        ]);
+        assert_eq!(c.variables(), vec!["x", "y", "z"]);
+        assert!(!c.is_ground());
+    }
+
+    #[test]
+    fn ground_clause_detection() {
+        let c = Clause::new(vec![ClauseLiteral::positive(
+            PredicateId(0),
+            vec![Term::Constant(Symbol(0))],
+        )]);
+        assert!(c.is_ground());
+    }
+
+    #[test]
+    fn ground_clause_satisfaction() {
+        let gc = GroundClause {
+            literals: vec![Literal::negative(0), Literal::positive(1)],
+            weight: 1.0,
+            source_clause: 0,
+        };
+        assert!(gc.satisfied(&[false, false]));
+        assert!(gc.satisfied(&[true, true]));
+        assert!(!gc.satisfied(&[true, false]));
+        assert_eq!(gc.satisfied_count(&[false, true]), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one literal")]
+    fn empty_clause_panics() {
+        Clause::new(vec![]);
+    }
+}

@@ -1,0 +1,186 @@
+//! Conversion of integrity constraints into MLN rules and their data-driven
+//! ground instances.
+//!
+//! Section 3 of the paper converts each constraint into the clause form
+//! `l₁ ∨ l₂ ∨ … ∨ lₙ` (the "MLN rule"), e.g.
+//!
+//! * r1 (FD `CT ⇒ ST`)  →  `¬CT ∨ ST`
+//! * r3 (CFD)           →  `¬HN("ELIZA") ∨ ¬CT("BOAZ") ∨ PN("2567688400")`
+//!
+//! and then grounds each MLN rule against the dataset: one ground MLN rule
+//! per distinct combination of attribute values appearing in the data
+//! (Table 3 lists the four groundings of r1 over the sample dataset).
+
+use crate::clause::{Clause, ClauseLiteral, Term};
+use crate::program::MlnProgram;
+use dataset::Dataset;
+use rules::{Rule, RuleId, RuleSet};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One ground MLN rule derived from a rule and a dataset: the attribute
+/// values of the reason and result parts, plus how many tuples carry exactly
+/// that combination (its support).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroundRuleInstance {
+    /// The source rule.
+    pub rule: RuleId,
+    /// Attribute names of the reason part (rule order).
+    pub reason_attrs: Vec<String>,
+    /// Values of the reason part.
+    pub reason_values: Vec<String>,
+    /// Attribute names of the result part (rule order).
+    pub result_attrs: Vec<String>,
+    /// Values of the result part.
+    pub result_values: Vec<String>,
+    /// Number of tuples carrying exactly these values.
+    pub support: usize,
+}
+
+impl GroundRuleInstance {
+    /// Render the ground rule in the paper's clause notation, e.g.
+    /// `¬CT("DOTHAN") ∨ ST("AL")`.
+    pub fn to_clause_string(&self) -> String {
+        let mut parts = Vec::new();
+        for (attr, value) in self.reason_attrs.iter().zip(&self.reason_values) {
+            parts.push(format!("¬{attr}(\"{value}\")"));
+        }
+        for (attr, value) in self.result_attrs.iter().zip(&self.result_values) {
+            parts.push(format!("{attr}(\"{value}\")"));
+        }
+        parts.join(" ∨ ")
+    }
+}
+
+/// Convert one rule into its first-order MLN clause inside `program`.
+///
+/// Attributes become unary predicates over values; FD/CFD antecedent
+/// attributes appear negated, consequent attributes positive; DCs are
+/// negated conjunctions, i.e. every predicate appears with the negation of
+/// its comparison (for the index-relevant equality DCs this reduces to the
+/// same ¬reason ∨ result shape as FDs).
+pub fn rule_to_clause(program: &mut MlnProgram, rule: &Rule) -> Clause {
+    let mut literals = Vec::new();
+    for attr in rule.reason_attrs() {
+        let pred = program.declare_predicate(&attr, 1);
+        literals.push(ClauseLiteral::negative(pred, vec![Term::var(format!("v_{attr}"))]));
+    }
+    for attr in rule.result_attrs() {
+        let pred = program.declare_predicate(&attr, 1);
+        literals.push(ClauseLiteral::positive(pred, vec![Term::var(format!("v_{attr}"))]));
+    }
+    Clause::new(literals)
+}
+
+/// Ground every rule of `rules` against `ds`: one [`GroundRuleInstance`] per
+/// rule per distinct (reason values, result values) combination present in
+/// the data, with its tuple support.  Only tuples relevant to the rule
+/// (see [`Rule::is_relevant`]) contribute.
+pub fn ground_rules_for_dataset(ds: &Dataset, rules: &RuleSet) -> Vec<GroundRuleInstance> {
+    let schema = ds.schema();
+    let mut out = Vec::new();
+    for (rule_id, rule) in rules.iter_with_ids() {
+        let mut support: BTreeMap<(Vec<String>, Vec<String>), usize> = BTreeMap::new();
+        for t in ds.tuples() {
+            if !rule.is_relevant(schema, t) {
+                continue;
+            }
+            let key = (rule.reason_values(schema, t), rule.result_values(schema, t));
+            *support.entry(key).or_insert(0) += 1;
+        }
+        for ((reason_values, result_values), count) in support {
+            out.push(GroundRuleInstance {
+                rule: rule_id,
+                reason_attrs: rule.reason_attrs(),
+                reason_values,
+                result_attrs: rule.result_attrs(),
+                result_values,
+                support: count,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::sample_hospital_dataset;
+    use rules::sample_hospital_rules;
+
+    #[test]
+    fn table3_groundings_of_r1() {
+        // Table 3 of the paper: the FD CT ⇒ ST grounds to exactly four ground
+        // MLN rules over the sample dataset.
+        let ds = sample_hospital_dataset();
+        let rules = sample_hospital_rules();
+        let grounded = ground_rules_for_dataset(&ds, &rules);
+        let r1: Vec<&GroundRuleInstance> =
+            grounded.iter().filter(|g| g.rule == RuleId(0)).collect();
+        let clauses: Vec<String> = r1.iter().map(|g| g.to_clause_string()).collect();
+        assert_eq!(r1.len(), 4);
+        for expected in [
+            "¬CT(\"DOTHAN\") ∨ ST(\"AL\")",
+            "¬CT(\"DOTH\") ∨ ST(\"AL\")",
+            "¬CT(\"BOAZ\") ∨ ST(\"AL\")",
+            "¬CT(\"BOAZ\") ∨ ST(\"AK\")",
+        ] {
+            assert!(clauses.contains(&expected.to_string()), "missing {expected}; got {clauses:?}");
+        }
+    }
+
+    #[test]
+    fn ground_rule_support_counts_tuples() {
+        let ds = sample_hospital_dataset();
+        let rules = sample_hospital_rules();
+        let grounded = ground_rules_for_dataset(&ds, &rules);
+        let boaz_al = grounded
+            .iter()
+            .find(|g| {
+                g.rule == RuleId(0)
+                    && g.reason_values == vec!["BOAZ"]
+                    && g.result_values == vec!["AL"]
+            })
+            .unwrap();
+        assert_eq!(boaz_al.support, 2, "t5 and t6 support BOAZ→AL");
+        let boaz_ak = grounded
+            .iter()
+            .find(|g| {
+                g.rule == RuleId(0)
+                    && g.reason_values == vec!["BOAZ"]
+                    && g.result_values == vec!["AK"]
+            })
+            .unwrap();
+        assert_eq!(boaz_ak.support, 1, "only t4 supports BOAZ→AK");
+    }
+
+    #[test]
+    fn cfd_grounding_respects_relevance() {
+        let ds = sample_hospital_dataset();
+        let rules = sample_hospital_rules();
+        let grounded = ground_rules_for_dataset(&ds, &rules);
+        // Block B3: only the two groups of Figure 2 — (ELIZA, DOTHAN) and
+        // (ELIZA, BOAZ).
+        let r3: Vec<&GroundRuleInstance> =
+            grounded.iter().filter(|g| g.rule == RuleId(2)).collect();
+        assert_eq!(r3.len(), 2);
+        assert!(r3.iter().all(|g| g.reason_values[0] == "ELIZA"));
+    }
+
+    #[test]
+    fn rule_to_clause_shape() {
+        let mut program = MlnProgram::new();
+        let rules = sample_hospital_rules();
+        let clause = rule_to_clause(&mut program, rules.rule(RuleId(0)));
+        // ¬CT(v) ∨ ST(v): two literals, first negative, second positive.
+        assert_eq!(clause.literals.len(), 2);
+        assert!(!clause.literals[0].positive);
+        assert!(clause.literals[1].positive);
+        assert_eq!(program.predicate_count(), 2);
+
+        let cfd_clause = rule_to_clause(&mut program, rules.rule(RuleId(2)));
+        assert_eq!(cfd_clause.literals.len(), 3);
+        let positives = cfd_clause.literals.iter().filter(|l| l.positive).count();
+        assert_eq!(positives, 1, "only the consequent literal is positive");
+    }
+}

@@ -1,0 +1,262 @@
+//! Grounding: turn a first-order MLN program plus a constant domain into a
+//! ground Markov network (atoms + weighted ground clauses).
+//!
+//! Grounding substitutes every variable of every clause with every constant
+//! of the domain (the paper's "grounding process ... replaces variables in
+//! the MLN rule with the corresponding constants").  The resulting ground
+//! clauses reference atoms by index in a dense atom table so inference and
+//! learning can use flat `Vec<bool>` assignments.
+
+use crate::clause::{GroundClause, Term};
+use crate::predicate::{GroundAtom, Literal};
+use crate::program::MlnProgram;
+use crate::symbols::Symbol;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A ground Markov network.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct GroundMln {
+    atoms: Vec<GroundAtom>,
+    #[serde(skip)]
+    atom_index: HashMap<GroundAtom, usize>,
+    clauses: Vec<GroundClause>,
+}
+
+impl GroundMln {
+    /// Create an empty ground network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a ground atom, returning its dense index.
+    pub fn atom(&mut self, atom: GroundAtom) -> usize {
+        if let Some(&idx) = self.atom_index.get(&atom) {
+            return idx;
+        }
+        let idx = self.atoms.len();
+        self.atom_index.insert(atom.clone(), idx);
+        self.atoms.push(atom);
+        idx
+    }
+
+    /// Look up an atom without interning.
+    pub fn atom_id(&self, atom: &GroundAtom) -> Option<usize> {
+        self.atom_index.get(atom).copied()
+    }
+
+    /// The atom stored at `idx`.
+    pub fn atom_at(&self, idx: usize) -> &GroundAtom {
+        &self.atoms[idx]
+    }
+
+    /// Number of ground atoms.
+    pub fn atom_count(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Add a ground clause.
+    pub fn add_clause(&mut self, clause: GroundClause) {
+        self.clauses.push(clause);
+    }
+
+    /// The ground clauses.
+    pub fn clauses(&self) -> &[GroundClause] {
+        &self.clauses
+    }
+
+    /// Mutable access to the ground clauses (used by weight learning).
+    pub fn clauses_mut(&mut self) -> &mut [GroundClause] {
+        &mut self.clauses
+    }
+
+    /// Ground clauses that mention the atom `atom_idx` — the atom's Markov
+    /// blanket, used by Gibbs sampling and pseudo-likelihood learning.
+    pub fn clauses_touching(&self, atom_idx: usize) -> Vec<usize> {
+        self.clauses
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.literals.iter().any(|l| l.atom == atom_idx))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Total weighted count of satisfied clauses under `assignment` — the
+    /// exponent `Σ wᵢ nᵢ(x)` of Eq. 2.
+    pub fn weighted_satisfied(&self, assignment: &[bool]) -> f64 {
+        self.clauses
+            .iter()
+            .filter(|c| c.satisfied(assignment))
+            .map(|c| c.weight)
+            .sum()
+    }
+}
+
+/// Ground `program` over all constants of its symbol table.
+///
+/// Every variable ranges over the whole constant domain.  This is the
+/// textbook grounding semantics; for large domains callers should restrict
+/// the constant table to the relevant constants first (MLNClean does exactly
+/// that via its block/group index).
+pub fn ground_program(program: &MlnProgram) -> GroundMln {
+    let constants: Vec<Symbol> = program.constants.symbols().collect();
+    let mut network = GroundMln::new();
+
+    for (clause_idx, wc) in program.clauses().iter().enumerate() {
+        let vars = wc.clause.variables();
+        if vars.is_empty() {
+            let literals = bind_literals(&wc.clause, &HashMap::new(), &mut network);
+            network.add_clause(GroundClause { literals, weight: wc.weight, source_clause: clause_idx });
+            continue;
+        }
+        // Enumerate every assignment of constants to the clause variables.
+        let mut binding: HashMap<String, Symbol> = HashMap::new();
+        enumerate_bindings(&vars, 0, &constants, &mut binding, &mut |b| {
+            let literals = bind_literals(&wc.clause, b, &mut network);
+            network.add_clause(GroundClause {
+                literals,
+                weight: wc.weight,
+                source_clause: clause_idx,
+            });
+        });
+    }
+    network
+}
+
+fn enumerate_bindings<F: FnMut(&HashMap<String, Symbol>)>(
+    vars: &[String],
+    depth: usize,
+    constants: &[Symbol],
+    binding: &mut HashMap<String, Symbol>,
+    emit: &mut F,
+) {
+    if depth == vars.len() {
+        emit(binding);
+        return;
+    }
+    for &c in constants {
+        binding.insert(vars[depth].clone(), c);
+        enumerate_bindings(vars, depth + 1, constants, binding, emit);
+    }
+    binding.remove(&vars[depth]);
+}
+
+fn bind_literals(
+    clause: &crate::clause::Clause,
+    binding: &HashMap<String, Symbol>,
+    network: &mut GroundMln,
+) -> Vec<Literal> {
+    clause
+        .literals
+        .iter()
+        .map(|lit| {
+            let args: Vec<Symbol> = lit
+                .terms
+                .iter()
+                .map(|t| match t {
+                    Term::Constant(c) => *c,
+                    Term::Variable(v) => *binding
+                        .get(v)
+                        .expect("every clause variable is bound during grounding"),
+                })
+                .collect();
+            let atom_idx = network.atom(GroundAtom::new(lit.predicate, args));
+            if lit.positive {
+                Literal::positive(atom_idx)
+            } else {
+                Literal::negative(atom_idx)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clause::{Clause, ClauseLiteral, Term};
+
+    /// The classic "smoking causes cancer, friends smoke alike" program.
+    fn smokers_program(people: &[&str]) -> MlnProgram {
+        let mut p = MlnProgram::new();
+        let smokes = p.declare_predicate("Smokes", 1);
+        let cancer = p.declare_predicate("Cancer", 1);
+        let friends = p.declare_predicate("Friends", 2);
+        for person in people {
+            p.constant(person);
+        }
+        // ¬Smokes(x) ∨ Cancer(x), weight 1.5
+        p.add_clause(
+            Clause::new(vec![
+                ClauseLiteral::negative(smokes, vec![Term::var("x")]),
+                ClauseLiteral::positive(cancer, vec![Term::var("x")]),
+            ]),
+            1.5,
+        );
+        // ¬Friends(x,y) ∨ ¬Smokes(x) ∨ Smokes(y), weight 1.1
+        p.add_clause(
+            Clause::new(vec![
+                ClauseLiteral::negative(friends, vec![Term::var("x"), Term::var("y")]),
+                ClauseLiteral::negative(smokes, vec![Term::var("x")]),
+                ClauseLiteral::positive(smokes, vec![Term::var("y")]),
+            ]),
+            1.1,
+        );
+        p
+    }
+
+    #[test]
+    fn grounding_counts() {
+        let p = smokers_program(&["anna", "bob"]);
+        let g = ground_program(&p);
+        // Clause 1 has one variable → 2 groundings; clause 2 has two → 4.
+        assert_eq!(g.clauses().len(), 2 + 4);
+        // Atoms: Smokes(a), Smokes(b), Cancer(a), Cancer(b), Friends over 4 pairs.
+        assert_eq!(g.atom_count(), 2 + 2 + 4);
+    }
+
+    #[test]
+    fn weighted_satisfaction_counts() {
+        let p = smokers_program(&["anna"]);
+        let g = ground_program(&p);
+        // Atoms with one person: Smokes(anna), Cancer(anna), Friends(anna,anna).
+        assert_eq!(g.atom_count(), 3);
+        // All false: ¬Smokes ∨ Cancer satisfied; friendship clause satisfied.
+        let all_false = vec![false; g.atom_count()];
+        let total: f64 = g.clauses().iter().map(|c| c.weight).sum();
+        assert!((g.weighted_satisfied(&all_false) - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn markov_blanket_lookup() {
+        let p = smokers_program(&["anna", "bob"]);
+        let g = ground_program(&p);
+        for atom_idx in 0..g.atom_count() {
+            for clause_idx in g.clauses_touching(atom_idx) {
+                assert!(g.clauses()[clause_idx]
+                    .literals
+                    .iter()
+                    .any(|l| l.atom == atom_idx));
+            }
+        }
+    }
+
+    #[test]
+    fn already_ground_clause_passes_through() {
+        let mut p = MlnProgram::new();
+        let ct = p.declare_predicate("CT", 1);
+        let st = p.declare_predicate("ST", 1);
+        let boaz = p.constant("BOAZ");
+        let al = p.constant("AL");
+        p.add_clause(
+            Clause::new(vec![
+                ClauseLiteral::negative(ct, vec![Term::Constant(boaz)]),
+                ClauseLiteral::positive(st, vec![Term::Constant(al)]),
+            ]),
+            0.8,
+        );
+        let g = ground_program(&p);
+        assert_eq!(g.clauses().len(), 1);
+        assert_eq!(g.atom_count(), 2);
+        assert_eq!(g.clauses()[0].weight, 0.8);
+    }
+}

@@ -1,0 +1,200 @@
+//! Gibbs sampling for marginal probabilities `Pr(atom = true | evidence)`.
+//!
+//! Each sweep resamples every non-evidence atom from its conditional
+//! distribution given its Markov blanket:
+//!
+//! ```text
+//! Pr(X=true | blanket) = σ( Σ_{c ∋ X} w_c · [sat(c | X=true)] − Σ_{c ∋ X} w_c · [sat(c | X=false)] )
+//! ```
+
+use crate::grounding::GroundMln;
+use crate::world::World;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Configuration for the Gibbs sampler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GibbsConfig {
+    /// Burn-in sweeps discarded before counting.
+    pub burn_in: usize,
+    /// Counted sweeps.
+    pub samples: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GibbsConfig {
+    fn default() -> Self {
+        GibbsConfig { burn_in: 100, samples: 1_000, seed: 42 }
+    }
+}
+
+/// Gibbs sampler over a ground network.
+#[derive(Debug, Clone)]
+pub struct GibbsSampler {
+    config: GibbsConfig,
+}
+
+impl GibbsSampler {
+    /// Create a sampler.
+    pub fn new(config: GibbsConfig) -> Self {
+        GibbsSampler { config }
+    }
+
+    /// Estimate `Pr(atom = true)` for every atom, clamping atoms marked in
+    /// `fixed` to their value in `evidence`.
+    pub fn marginals(&self, network: &GroundMln, evidence: &World, fixed: &[bool]) -> Vec<f64> {
+        assert_eq!(evidence.len(), network.atom_count());
+        assert_eq!(fixed.len(), network.atom_count());
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let n = network.atom_count();
+        if n == 0 {
+            return Vec::new();
+        }
+
+        let touching: Vec<Vec<usize>> = (0..n).map(|a| network.clauses_touching(a)).collect();
+        let mut world = evidence.clone();
+        for idx in 0..n {
+            if !fixed[idx] {
+                world.set(idx, rng.gen_bool(0.5));
+            }
+        }
+
+        let mut true_counts = vec![0usize; n];
+        let total_sweeps = self.config.burn_in + self.config.samples;
+        for sweep in 0..total_sweeps {
+            for idx in 0..n {
+                if fixed[idx] {
+                    continue;
+                }
+                // Weight of satisfied touching clauses with the atom true vs false.
+                world.set(idx, true);
+                let w_true: f64 = touching[idx]
+                    .iter()
+                    .map(|&c| {
+                        let clause = &network.clauses()[c];
+                        if clause.satisfied(world.assignment()) {
+                            clause.weight
+                        } else {
+                            0.0
+                        }
+                    })
+                    .sum();
+                world.set(idx, false);
+                let w_false: f64 = touching[idx]
+                    .iter()
+                    .map(|&c| {
+                        let clause = &network.clauses()[c];
+                        if clause.satisfied(world.assignment()) {
+                            clause.weight
+                        } else {
+                            0.0
+                        }
+                    })
+                    .sum();
+                let p_true = sigmoid(w_true - w_false);
+                world.set(idx, rng.gen_bool(p_true.clamp(1e-12, 1.0 - 1e-12)));
+            }
+            if sweep >= self.config.burn_in {
+                for idx in 0..n {
+                    if world.get(idx) {
+                        true_counts[idx] += 1;
+                    }
+                }
+            }
+        }
+
+        (0..n)
+            .map(|idx| {
+                if fixed[idx] {
+                    if evidence.get(idx) {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                } else {
+                    true_counts[idx] as f64 / self.config.samples as f64
+                }
+            })
+            .collect()
+    }
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clause::{Clause, ClauseLiteral, Term};
+    use crate::grounding::ground_program;
+    use crate::program::MlnProgram;
+
+    #[test]
+    fn positive_unit_clause_pushes_probability_up() {
+        let mut p = MlnProgram::new();
+        let a = p.declare_predicate("A", 1);
+        let c = p.constant("c");
+        p.add_clause(
+            Clause::new(vec![ClauseLiteral::positive(a, vec![Term::Constant(c)])]),
+            2.0,
+        );
+        let g = ground_program(&p);
+        let sampler = GibbsSampler::new(GibbsConfig::default());
+        let marginals = sampler.marginals(&g, &World::all_false(&g), &vec![false; g.atom_count()]);
+        // Pr(A) should approach σ(2.0) ≈ 0.88.
+        assert!((marginals[0] - sigmoid(2.0)).abs() < 0.05, "got {}", marginals[0]);
+    }
+
+    #[test]
+    fn evidence_is_clamped() {
+        let mut p = MlnProgram::new();
+        let a = p.declare_predicate("A", 1);
+        let b = p.declare_predicate("B", 1);
+        let c = p.constant("c");
+        // ¬A(c) ∨ B(c) with a strong weight: if A is true, B should be likely.
+        p.add_clause(
+            Clause::new(vec![
+                ClauseLiteral::negative(a, vec![Term::Constant(c)]),
+                ClauseLiteral::positive(b, vec![Term::Constant(c)]),
+            ]),
+            3.0,
+        );
+        let g = ground_program(&p);
+        let a_idx = 0;
+        let b_idx = 1;
+        let mut evidence = World::all_false(&g);
+        evidence.set(a_idx, true);
+        let mut fixed = vec![false; g.atom_count()];
+        fixed[a_idx] = true;
+        let sampler = GibbsSampler::new(GibbsConfig::default());
+        let marginals = sampler.marginals(&g, &evidence, &fixed);
+        assert_eq!(marginals[a_idx], 1.0);
+        assert!(marginals[b_idx] > 0.85, "B should be probable given A, got {}", marginals[b_idx]);
+    }
+
+    #[test]
+    fn empty_network_returns_empty() {
+        let p = MlnProgram::new();
+        let g = ground_program(&p);
+        let sampler = GibbsSampler::new(GibbsConfig::default());
+        assert!(sampler.marginals(&g, &World::all_false(&g), &[]).is_empty());
+    }
+
+    #[test]
+    fn unconstrained_atom_is_near_half() {
+        let mut p = MlnProgram::new();
+        let a = p.declare_predicate("A", 1);
+        let c = p.constant("c");
+        // Weight zero: no constraint at all.
+        p.add_clause(
+            Clause::new(vec![ClauseLiteral::positive(a, vec![Term::Constant(c)])]),
+            0.0,
+        );
+        let g = ground_program(&p);
+        let sampler = GibbsSampler::new(GibbsConfig { samples: 4000, ..Default::default() });
+        let marginals = sampler.marginals(&g, &World::all_false(&g), &vec![false; g.atom_count()]);
+        assert!((marginals[0] - 0.5).abs() < 0.05, "got {}", marginals[0]);
+    }
+}

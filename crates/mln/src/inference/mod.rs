@@ -1,0 +1,5 @@
+//! Inference over ground Markov networks: MAP inference with MaxWalkSAT and
+//! marginal inference with Gibbs sampling.
+
+pub mod gibbs;
+pub mod walksat;

@@ -1,0 +1,339 @@
+//! Weight learning.
+//!
+//! Two entry points:
+//!
+//! * [`DiagonalNewton`] — the generic learner used by Tuffy: maximise the
+//!   pseudo-log-likelihood of an observed world with per-weight Newton steps
+//!   using the diagonal of the Hessian.  It operates on a ground network and
+//!   an observed [`World`].
+//!
+//! * [`learn_gamma_weights`] — the specialised form MLNClean applies inside
+//!   each block of its MLN index.  Each distinct piece of data γᵢ of a block
+//!   corresponds to one ground MLN rule whose true-grounding count is the
+//!   number of tuples supporting it, `c(γᵢ)`.  Starting from the prior
+//!   `w⁰ᵢ = c(γᵢ) / Σⱼ c(γⱼ)` (Eq. 4), diagonal-Newton ascent on the
+//!   block's log-likelihood converges to weights whose softmax matches the
+//!   empirical support distribution — i.e. better-supported γs end up with
+//!   strictly larger weights, which is exactly the statistical signal the
+//!   reliability score needs.
+
+use crate::grounding::GroundMln;
+use crate::world::World;
+use serde::{Deserialize, Serialize};
+
+/// Configuration shared by the learners.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LearningConfig {
+    /// Maximum number of Newton iterations.
+    pub max_iterations: usize,
+    /// Convergence threshold on the max absolute weight change.
+    pub tolerance: f64,
+    /// Additive damping added to the Hessian diagonal for numerical
+    /// stability (also acts as an L2 prior).
+    pub damping: f64,
+    /// Hard cap on the absolute value of any learned weight.
+    pub max_weight: f64,
+}
+
+impl Default for LearningConfig {
+    fn default() -> Self {
+        LearningConfig { max_iterations: 100, tolerance: 1e-6, damping: 1e-3, max_weight: 20.0 }
+    }
+}
+
+/// Learn the weights of the γs of one block from their support counts.
+///
+/// `counts[i]` is `c(γᵢ)`, the number of tuples related to γᵢ in the block.
+/// Returns one weight per γ; weights are strictly increasing in the support
+/// count and the softmax of the returned weights reproduces the empirical
+/// distribution `c(γᵢ)/Σc(γⱼ)` up to the configured tolerance.
+pub fn learn_gamma_weights(counts: &[usize], config: &LearningConfig) -> Vec<f64> {
+    if counts.is_empty() {
+        return Vec::new();
+    }
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return vec![0.0; counts.len()];
+    }
+    let n = total as f64;
+    // Empirical target distribution; zero-count γs get a small floor so the
+    // log-likelihood stays finite (they can exist after group merges).
+    let floor = 0.5 / n;
+    let target: Vec<f64> = counts
+        .iter()
+        .map(|&c| if c == 0 { floor } else { c as f64 / n })
+        .collect();
+    let norm: f64 = target.iter().sum();
+    let target: Vec<f64> = target.iter().map(|p| p / norm).collect();
+
+    // Prior weights w⁰ᵢ = c(γᵢ)/Σc(γⱼ)  (Eq. 4 of the paper).
+    let mut weights: Vec<f64> = counts.iter().map(|&c| c as f64 / n).collect();
+
+    // Diagonal Newton ascent on the multinomial log-likelihood
+    //   L(w) = Σᵢ N·targetᵢ · log softmax(w)ᵢ .
+    // Gradient: gᵢ = N·(targetᵢ − pᵢ);  Hessian diag: Hᵢᵢ = −N·pᵢ(1−pᵢ).
+    // The step is halved: the diagonal ignores the softmax coupling between
+    // weights, and the undamped update oscillates (raising wᵢ lowers every
+    // other pⱼ too).  A factor of ½ is the exact Newton step in the pairwise
+    // weight-difference coordinate and converges quadratically.
+    for _ in 0..config.max_iterations {
+        let p = softmax(&weights);
+        let fit_error = target
+            .iter()
+            .zip(&p)
+            .map(|(t, q)| (t - q).abs())
+            .fold(0.0f64, f64::max);
+        if fit_error < config.tolerance {
+            break;
+        }
+        let mut max_change: f64 = 0.0;
+        for i in 0..weights.len() {
+            let gradient = n * (target[i] - p[i]);
+            let hessian = n * p[i] * (1.0 - p[i]) + config.damping;
+            let step = 0.5 * gradient / hessian;
+            let new_w = (weights[i] + step).clamp(-config.max_weight, config.max_weight);
+            max_change = max_change.max((new_w - weights[i]).abs());
+            weights[i] = new_w;
+        }
+        if max_change < config.tolerance {
+            break;
+        }
+    }
+    weights
+}
+
+fn softmax(w: &[f64]) -> Vec<f64> {
+    let max = w.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = w.iter().map(|&x| (x - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.iter().map(|e| e / sum).collect()
+}
+
+/// Generic pseudo-log-likelihood weight learner with diagonal Newton updates,
+/// in the style of Tuffy's learner.
+///
+/// Weights are learned **per first-order clause** (all groundings of a clause
+/// share its weight).  The observed world is treated as fully observed
+/// evidence; the pseudo-likelihood decomposes over atoms conditioned on their
+/// Markov blankets.
+#[derive(Debug, Clone)]
+pub struct DiagonalNewton {
+    config: LearningConfig,
+}
+
+impl DiagonalNewton {
+    /// Create a learner.
+    pub fn new(config: LearningConfig) -> Self {
+        DiagonalNewton { config }
+    }
+
+    /// Learn per-source-clause weights from the observed world and write them
+    /// back into the ground clauses.  Returns the learned weight of each
+    /// source clause index.
+    pub fn learn(&self, network: &mut GroundMln, observed: &World) -> Vec<f64> {
+        let num_sources = network
+            .clauses()
+            .iter()
+            .map(|c| c.source_clause + 1)
+            .max()
+            .unwrap_or(0);
+        if num_sources == 0 {
+            return Vec::new();
+        }
+        let mut weights = vec![0.0f64; num_sources];
+
+        // Pre-compute, per atom, the clauses touching it.
+        let n_atoms = network.atom_count();
+        let touching: Vec<Vec<usize>> = (0..n_atoms).map(|a| network.clauses_touching(a)).collect();
+
+        for _ in 0..self.config.max_iterations {
+            // Apply the current per-source weights to all ground clauses.
+            for clause in network.clauses_mut() {
+                clause.weight = weights[clause.source_clause];
+            }
+
+            let mut gradient = vec![0.0f64; num_sources];
+            let mut hessian = vec![self.config.damping; num_sources];
+
+            // Pseudo-likelihood contributions per atom.
+            let mut world = observed.clone();
+            for atom in 0..n_atoms {
+                if touching[atom].is_empty() {
+                    continue;
+                }
+                // Per-source satisfied-clause counts with the atom true/false.
+                let mut n_true = vec![0.0f64; num_sources];
+                let mut n_false = vec![0.0f64; num_sources];
+                let original = world.get(atom);
+
+                world.set(atom, true);
+                for &c in &touching[atom] {
+                    let clause = &network.clauses()[c];
+                    if clause.satisfied(world.assignment()) {
+                        n_true[clause.source_clause] += 1.0;
+                    }
+                }
+                world.set(atom, false);
+                for &c in &touching[atom] {
+                    let clause = &network.clauses()[c];
+                    if clause.satisfied(world.assignment()) {
+                        n_false[clause.source_clause] += 1.0;
+                    }
+                }
+                world.set(atom, original);
+
+                // Conditional Pr(atom = true | blanket) under current weights.
+                let score_true: f64 =
+                    (0..num_sources).map(|s| weights[s] * n_true[s]).sum();
+                let score_false: f64 =
+                    (0..num_sources).map(|s| weights[s] * n_false[s]).sum();
+                let p_true = 1.0 / (1.0 + (score_false - score_true).exp());
+
+                let observed_true = observed.get(atom);
+                for s in 0..num_sources {
+                    let diff = n_true[s] - n_false[s];
+                    // d/dw_s log Pr(x_atom | blanket)
+                    let expected = p_true * diff;
+                    let actual = if observed_true { diff } else { 0.0 };
+                    gradient[s] += actual - expected;
+                    hessian[s] += diff * diff * p_true * (1.0 - p_true);
+                }
+            }
+
+            let mut max_change: f64 = 0.0;
+            for s in 0..num_sources {
+                let step = gradient[s] / hessian[s];
+                let new_w =
+                    (weights[s] + step).clamp(-self.config.max_weight, self.config.max_weight);
+                max_change = max_change.max((new_w - weights[s]).abs());
+                weights[s] = new_w;
+            }
+            if max_change < self.config.tolerance {
+                break;
+            }
+        }
+
+        for clause in network.clauses_mut() {
+            clause.weight = weights[clause.source_clause];
+        }
+        weights
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clause::{Clause, ClauseLiteral, Term};
+    use crate::grounding::ground_program;
+    use crate::program::MlnProgram;
+    use proptest::prelude::*;
+
+    #[test]
+    fn gamma_weights_follow_support() {
+        let cfg = LearningConfig::default();
+        // The paper's G13: γ1 {BOAZ, AL} supported by 2 tuples, γ2 {BOAZ, AK}
+        // supported by 1 tuple → γ1 must get the larger weight.
+        let w = learn_gamma_weights(&[2, 1], &cfg);
+        assert!(w[0] > w[1], "{w:?}");
+
+        // Softmax of the learned weights matches the empirical distribution.
+        let p = softmax(&w);
+        assert!((p[0] - 2.0 / 3.0).abs() < 1e-3, "{p:?}");
+        assert!((p[1] - 1.0 / 3.0).abs() < 1e-3, "{p:?}");
+    }
+
+    #[test]
+    fn gamma_weights_edge_cases() {
+        let cfg = LearningConfig::default();
+        assert!(learn_gamma_weights(&[], &cfg).is_empty());
+        assert_eq!(learn_gamma_weights(&[0, 0], &cfg), vec![0.0, 0.0]);
+        // A single γ gets a finite weight.
+        let single = learn_gamma_weights(&[5], &cfg);
+        assert_eq!(single.len(), 1);
+        assert!(single[0].is_finite());
+    }
+
+    #[test]
+    fn gamma_weights_are_monotone_in_count() {
+        let cfg = LearningConfig::default();
+        let w = learn_gamma_weights(&[1, 3, 7, 7, 2], &cfg);
+        assert!(w[2] > w[1] && w[1] > w[0]);
+        assert!((w[2] - w[3]).abs() < 1e-6, "equal counts get equal weights");
+        assert!(w[4] > w[0] && w[4] < w[1]);
+    }
+
+    #[test]
+    fn newton_learner_rewards_satisfied_clause() {
+        // Observed world: A(c) true, B(c) true — consistent with A → B.
+        // A second clause A → ¬B is violated by the evidence and should get a
+        // smaller (or negative) weight.
+        let mut p = MlnProgram::new();
+        let a = p.declare_predicate("A", 1);
+        let b = p.declare_predicate("B", 1);
+        let c = p.constant("c");
+        p.add_clause(
+            Clause::new(vec![
+                ClauseLiteral::negative(a, vec![Term::Constant(c)]),
+                ClauseLiteral::positive(b, vec![Term::Constant(c)]),
+            ]),
+            0.0,
+        );
+        p.add_clause(
+            Clause::new(vec![
+                ClauseLiteral::negative(a, vec![Term::Constant(c)]),
+                ClauseLiteral::negative(b, vec![Term::Constant(c)]),
+            ]),
+            0.0,
+        );
+        let mut g = ground_program(&p);
+        let mut observed = World::all_false(&g);
+        let a_idx = g.atom_id(&crate::predicate::GroundAtom::new(a, vec![c])).unwrap();
+        let b_idx = g.atom_id(&crate::predicate::GroundAtom::new(b, vec![c])).unwrap();
+        observed.set(a_idx, true);
+        observed.set(b_idx, true);
+
+        let learner = DiagonalNewton::new(LearningConfig { max_iterations: 200, ..Default::default() });
+        let weights = learner.learn(&mut g, &observed);
+        assert_eq!(weights.len(), 2);
+        assert!(
+            weights[0] > weights[1],
+            "the satisfied implication should outweigh the violated one: {weights:?}"
+        );
+    }
+
+    #[test]
+    fn newton_learner_empty_network() {
+        let p = MlnProgram::new();
+        let mut g = ground_program(&p);
+        let learner = DiagonalNewton::new(LearningConfig::default());
+        let empty_world = World::all_false(&g);
+        assert!(learner.learn(&mut g, &empty_world).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn gamma_weight_order_matches_count_order(counts in proptest::collection::vec(0usize..50, 1..8)) {
+            let cfg = LearningConfig::default();
+            let w = learn_gamma_weights(&counts, &cfg);
+            prop_assert_eq!(w.len(), counts.len());
+            for i in 0..counts.len() {
+                for j in 0..counts.len() {
+                    if counts[i] > counts[j] && counts.iter().sum::<usize>() > 0 {
+                        prop_assert!(w[i] >= w[j] - 1e-9,
+                            "counts {:?} produced weights {:?}", counts, w);
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn gamma_weights_are_finite_and_bounded(counts in proptest::collection::vec(0usize..1000, 1..10)) {
+            let cfg = LearningConfig::default();
+            let w = learn_gamma_weights(&counts, &cfg);
+            for x in w {
+                prop_assert!(x.is_finite());
+                prop_assert!(x.abs() <= cfg.max_weight + 1e-9);
+            }
+        }
+    }
+}

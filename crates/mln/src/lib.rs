@@ -1,0 +1,49 @@
+//! A from-scratch Markov Logic Network (MLN) engine.
+//!
+//! Markov logic [Domingos & Lowd 2009] attaches a real-valued weight to each
+//! first-order clause; together with a finite set of constants the weighted
+//! clauses define a Markov network over all ground atoms whose probability of
+//! a world `x` is
+//!
+//! ```text
+//! Pr(x) = 1/Z · exp( Σ_i  w_i · n_i(x) )
+//! ```
+//!
+//! where `n_i(x)` is the number of true groundings of clause `i` in `x`
+//! (Eq. 2 in the MLNClean paper).
+//!
+//! This crate provides the pieces MLNClean needs, plus a general-purpose
+//! engine usable on its own:
+//!
+//! * a predicate / literal / clause representation with variables and
+//!   constants ([`predicate`], [`clause`]);
+//! * grounding of clauses against a constant domain ([`grounding`]), which is
+//!   also used to derive the "ground MLN rules" of the paper's Table 3 from a
+//!   dataset ([`convert`]);
+//! * possible-world bookkeeping and true-grounding counts ([`world`]);
+//! * MAP inference with MaxWalkSAT and marginal inference with Gibbs
+//!   sampling ([`inference`]);
+//! * weight learning with the diagonal-Newton method used by Tuffy,
+//!   both in its generic pseudo-likelihood form and in the specialised
+//!   "γ-weight" form MLNClean uses inside each block ([`learning`]).
+
+pub mod clause;
+pub mod convert;
+pub mod grounding;
+pub mod inference;
+pub mod learning;
+pub mod predicate;
+pub mod program;
+pub mod symbols;
+pub mod world;
+
+pub use clause::{Clause, GroundClause, Term};
+pub use convert::{ground_rules_for_dataset, rule_to_clause, GroundRuleInstance};
+pub use grounding::{ground_program, GroundMln};
+pub use inference::gibbs::{GibbsConfig, GibbsSampler};
+pub use inference::walksat::{MaxWalkSat, WalkSatConfig};
+pub use learning::{learn_gamma_weights, DiagonalNewton, LearningConfig};
+pub use predicate::{GroundAtom, Literal, Predicate, PredicateId};
+pub use program::{MlnProgram, WeightedClause};
+pub use symbols::{Symbol, SymbolTable};
+pub use world::World;

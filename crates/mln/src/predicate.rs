@@ -1,0 +1,114 @@
+//! Predicates, ground atoms, and literals.
+//!
+//! In the MLNClean setting each attribute becomes a unary predicate over
+//! values — `CT("DOTHAN")`, `ST("AL")` — but the engine supports arbitrary
+//! arities (e.g. the classic `Friends(x, y)` examples used in the tests).
+
+use crate::symbols::Symbol;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a predicate within a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PredicateId(pub u32);
+
+impl PredicateId {
+    /// Raw index of the predicate.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A predicate declaration: a name and an arity.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Predicate {
+    /// Predicate name (e.g. an attribute name).
+    pub name: String,
+    /// Number of arguments.
+    pub arity: usize,
+}
+
+impl Predicate {
+    /// Declare a predicate.
+    pub fn new(name: impl Into<String>, arity: usize) -> Self {
+        Predicate { name: name.into(), arity }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.name, self.arity)
+    }
+}
+
+/// A ground atom: a predicate applied to constant arguments.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GroundAtom {
+    /// The predicate being applied.
+    pub predicate: PredicateId,
+    /// Constant arguments.
+    pub args: Vec<Symbol>,
+}
+
+impl GroundAtom {
+    /// Create a ground atom.
+    pub fn new(predicate: PredicateId, args: Vec<Symbol>) -> Self {
+        GroundAtom { predicate, args }
+    }
+}
+
+/// A signed ground atom inside a ground clause.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Literal {
+    /// Index of the ground atom in the ground network's atom table.
+    pub atom: usize,
+    /// `true` for a positive literal, `false` for a negated one.
+    pub positive: bool,
+}
+
+impl Literal {
+    /// Positive literal over atom index `atom`.
+    pub fn positive(atom: usize) -> Self {
+        Literal { atom, positive: true }
+    }
+
+    /// Negative literal over atom index `atom`.
+    pub fn negative(atom: usize) -> Self {
+        Literal { atom, positive: false }
+    }
+
+    /// Whether the literal is satisfied when its atom has truth value `value`.
+    pub fn satisfied_by(&self, value: bool) -> bool {
+        self.positive == value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_satisfaction() {
+        let pos = Literal::positive(3);
+        let neg = Literal::negative(3);
+        assert!(pos.satisfied_by(true));
+        assert!(!pos.satisfied_by(false));
+        assert!(neg.satisfied_by(false));
+        assert!(!neg.satisfied_by(true));
+    }
+
+    #[test]
+    fn predicate_display() {
+        assert_eq!(Predicate::new("Friends", 2).to_string(), "Friends/2");
+        assert_eq!(Predicate::new("CT", 1).to_string(), "CT/1");
+    }
+
+    #[test]
+    fn ground_atoms_compare_structurally() {
+        let a = GroundAtom::new(PredicateId(0), vec![Symbol(1), Symbol(2)]);
+        let b = GroundAtom::new(PredicateId(0), vec![Symbol(1), Symbol(2)]);
+        let c = GroundAtom::new(PredicateId(0), vec![Symbol(2), Symbol(1)]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,124 @@
+//! An MLN program: predicate declarations, a constant table, and weighted
+//! first-order clauses.
+
+use crate::clause::Clause;
+use crate::predicate::{Predicate, PredicateId};
+use crate::symbols::{Symbol, SymbolTable};
+use serde::{Deserialize, Serialize};
+
+/// A first-order clause together with its weight (the rule–weight pair of
+/// Definition 1 in the paper).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightedClause {
+    /// The clause.
+    pub clause: Clause,
+    /// Its weight; larger weights mean stronger constraints.  Hard
+    /// constraints can be approximated with a large finite weight.
+    pub weight: f64,
+}
+
+/// A Markov logic program.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MlnProgram {
+    predicates: Vec<Predicate>,
+    /// Interned constants shared by all clauses and evidence.
+    pub constants: SymbolTable,
+    clauses: Vec<WeightedClause>,
+}
+
+impl MlnProgram {
+    /// Create an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a predicate and return its id.  Re-declaring a predicate with
+    /// the same name and arity returns the existing id.
+    pub fn declare_predicate(&mut self, name: &str, arity: usize) -> PredicateId {
+        if let Some(idx) = self
+            .predicates
+            .iter()
+            .position(|p| p.name == name && p.arity == arity)
+        {
+            return PredicateId(idx as u32);
+        }
+        let id = PredicateId(self.predicates.len() as u32);
+        self.predicates.push(Predicate::new(name, arity));
+        id
+    }
+
+    /// Look up a predicate by name.
+    pub fn predicate_id(&self, name: &str) -> Option<PredicateId> {
+        self.predicates
+            .iter()
+            .position(|p| p.name == name)
+            .map(|i| PredicateId(i as u32))
+    }
+
+    /// The predicate declaration for `id`.
+    pub fn predicate(&self, id: PredicateId) -> &Predicate {
+        &self.predicates[id.index()]
+    }
+
+    /// Number of declared predicates.
+    pub fn predicate_count(&self) -> usize {
+        self.predicates.len()
+    }
+
+    /// Intern a constant.
+    pub fn constant(&mut self, name: &str) -> Symbol {
+        self.constants.intern(name)
+    }
+
+    /// Add a weighted clause, returning its index.
+    pub fn add_clause(&mut self, clause: Clause, weight: f64) -> usize {
+        self.clauses.push(WeightedClause { clause, weight });
+        self.clauses.len() - 1
+    }
+
+    /// The weighted clauses.
+    pub fn clauses(&self) -> &[WeightedClause] {
+        &self.clauses
+    }
+
+    /// Mutable access to clause weights (used by weight learning).
+    pub fn set_weight(&mut self, clause_idx: usize, weight: f64) {
+        self.clauses[clause_idx].weight = weight;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clause::{ClauseLiteral, Term};
+
+    #[test]
+    fn predicate_declaration_is_idempotent() {
+        let mut p = MlnProgram::new();
+        let a = p.declare_predicate("Smokes", 1);
+        let b = p.declare_predicate("Cancer", 1);
+        assert_ne!(a, b);
+        assert_eq!(p.declare_predicate("Smokes", 1), a);
+        assert_eq!(p.predicate_count(), 2);
+        assert_eq!(p.predicate(a).name, "Smokes");
+        assert_eq!(p.predicate_id("Cancer"), Some(b));
+        assert_eq!(p.predicate_id("Friends"), None);
+    }
+
+    #[test]
+    fn clauses_keep_weights() {
+        let mut p = MlnProgram::new();
+        let smokes = p.declare_predicate("Smokes", 1);
+        let cancer = p.declare_predicate("Cancer", 1);
+        let idx = p.add_clause(
+            Clause::new(vec![
+                ClauseLiteral::negative(smokes, vec![Term::var("x")]),
+                ClauseLiteral::positive(cancer, vec![Term::var("x")]),
+            ]),
+            1.5,
+        );
+        assert_eq!(p.clauses()[idx].weight, 1.5);
+        p.set_weight(idx, 2.0);
+        assert_eq!(p.clauses()[idx].weight, 2.0);
+    }
+}

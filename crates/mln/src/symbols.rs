@@ -1,0 +1,109 @@
+//! Constant interning: every constant appearing in ground atoms is mapped to
+//! a small integer [`Symbol`], so grounding and inference work on ids rather
+//! than strings.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// Raw index of the symbol.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Bidirectional string ↔ [`Symbol`] table.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SymbolTable {
+    names: Vec<String>,
+    #[serde(skip)]
+    by_name: HashMap<String, Symbol>,
+}
+
+impl SymbolTable {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `name`, returning its symbol (existing or newly assigned).
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&sym) = self.by_name.get(name) {
+            return sym;
+        }
+        let sym = Symbol(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), sym);
+        sym
+    }
+
+    /// Look up a symbol without interning.
+    pub fn lookup(&self, name: &str) -> Option<Symbol> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The string for a symbol.
+    ///
+    /// # Panics
+    /// Panics if the symbol does not belong to this table.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Number of interned constants.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// All symbols in interning order.
+    pub fn symbols(&self) -> impl Iterator<Item = Symbol> {
+        (0..self.names.len() as u32).map(Symbol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("BOAZ");
+        let b = t.intern("DOTHAN");
+        assert_ne!(a, b);
+        assert_eq!(t.intern("BOAZ"), a);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("AL");
+        assert_eq!(t.resolve(a), "AL");
+        assert_eq!(t.lookup("AL"), Some(a));
+        assert_eq!(t.lookup("AK"), None);
+    }
+
+    #[test]
+    fn symbols_iterates_in_order() {
+        let mut t = SymbolTable::new();
+        let syms: Vec<Symbol> = ["a", "b", "c"].iter().map(|s| t.intern(s)).collect();
+        assert_eq!(t.symbols().collect::<Vec<_>>(), syms);
+    }
+}

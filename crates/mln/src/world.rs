@@ -1,0 +1,164 @@
+//! Possible worlds: truth assignments over the ground atoms of a
+//! [`crate::grounding::GroundMln`], with the bookkeeping needed by inference
+//! and learning (per-clause satisfaction counts and the log-potential
+//! `Σ wᵢ nᵢ(x)` of Eq. 2).
+
+use crate::grounding::GroundMln;
+use serde::{Deserialize, Serialize};
+
+/// A truth assignment over all ground atoms.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct World {
+    assignment: Vec<bool>,
+}
+
+impl World {
+    /// A world with every atom false.
+    pub fn all_false(network: &GroundMln) -> Self {
+        World { assignment: vec![false; network.atom_count()] }
+    }
+
+    /// A world with every atom true.
+    pub fn all_true(network: &GroundMln) -> Self {
+        World { assignment: vec![true; network.atom_count()] }
+    }
+
+    /// A world from an explicit assignment.
+    pub fn from_assignment(assignment: Vec<bool>) -> Self {
+        World { assignment }
+    }
+
+    /// The truth value of atom `idx`.
+    pub fn get(&self, idx: usize) -> bool {
+        self.assignment[idx]
+    }
+
+    /// Set the truth value of atom `idx`.
+    pub fn set(&mut self, idx: usize, value: bool) {
+        self.assignment[idx] = value;
+    }
+
+    /// Flip atom `idx`.
+    pub fn flip(&mut self, idx: usize) {
+        self.assignment[idx] = !self.assignment[idx];
+    }
+
+    /// The raw assignment slice.
+    pub fn assignment(&self) -> &[bool] {
+        &self.assignment
+    }
+
+    /// Number of atoms.
+    pub fn len(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Whether the world has no atoms.
+    pub fn is_empty(&self) -> bool {
+        self.assignment.is_empty()
+    }
+
+    /// Number of ground clauses of `network` satisfied in this world.
+    pub fn satisfied_count(&self, network: &GroundMln) -> usize {
+        network.clauses().iter().filter(|c| c.satisfied(&self.assignment)).count()
+    }
+
+    /// The unnormalized log-probability `Σ wᵢ nᵢ(x)` of this world (Eq. 2
+    /// without `-ln Z`).
+    pub fn log_potential(&self, network: &GroundMln) -> f64 {
+        network.weighted_satisfied(&self.assignment)
+    }
+
+    /// The change in log-potential if atom `idx` were flipped.  Only clauses
+    /// touching the atom need to be re-evaluated, which is what makes Gibbs
+    /// sampling and WalkSAT efficient.
+    pub fn delta_log_potential(&mut self, network: &GroundMln, idx: usize, touching: &[usize]) -> f64 {
+        let before: f64 = touching
+            .iter()
+            .map(|&c| {
+                let clause = &network.clauses()[c];
+                if clause.satisfied(&self.assignment) {
+                    clause.weight
+                } else {
+                    0.0
+                }
+            })
+            .sum();
+        self.flip(idx);
+        let after: f64 = touching
+            .iter()
+            .map(|&c| {
+                let clause = &network.clauses()[c];
+                if clause.satisfied(&self.assignment) {
+                    clause.weight
+                } else {
+                    0.0
+                }
+            })
+            .sum();
+        self.flip(idx); // restore
+        after - before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clause::{Clause, ClauseLiteral, Term};
+    use crate::grounding::ground_program;
+    use crate::program::MlnProgram;
+
+    fn tiny_network() -> GroundMln {
+        let mut p = MlnProgram::new();
+        let a = p.declare_predicate("A", 1);
+        let b = p.declare_predicate("B", 1);
+        p.constant("c1");
+        p.constant("c2");
+        // ¬A(x) ∨ B(x), weight 2.0
+        p.add_clause(
+            Clause::new(vec![
+                ClauseLiteral::negative(a, vec![Term::var("x")]),
+                ClauseLiteral::positive(b, vec![Term::var("x")]),
+            ]),
+            2.0,
+        );
+        ground_program(&p)
+    }
+
+    #[test]
+    fn log_potential_matches_manual_count() {
+        let g = tiny_network();
+        let all_false = World::all_false(&g);
+        assert_eq!(all_false.satisfied_count(&g), 2);
+        assert!((all_false.log_potential(&g) - 4.0).abs() < 1e-12);
+
+        // Make A(c1) true and B(c1) false → that grounding becomes unsatisfied.
+        let mut w = World::all_false(&g);
+        w.set(0, true);
+        assert_eq!(w.satisfied_count(&g), 1);
+        assert!((w.log_potential(&g) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_matches_full_recomputation() {
+        let g = tiny_network();
+        let mut w = World::all_false(&g);
+        for idx in 0..w.len() {
+            let touching = g.clauses_touching(idx);
+            let before = w.log_potential(&g);
+            let delta = w.delta_log_potential(&g, idx, &touching);
+            w.flip(idx);
+            let after = w.log_potential(&g);
+            w.flip(idx);
+            assert!(((after - before) - delta).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn all_true_world() {
+        let g = tiny_network();
+        let w = World::all_true(&g);
+        assert_eq!(w.satisfied_count(&g), 2, "¬A∨B is satisfied when B is true");
+        assert!(!w.is_empty());
+    }
+}

@@ -1,0 +1,92 @@
+//! Integration tests for the distributed execution path: partition soundness,
+//! consistency with the stand-alone pipeline, and scaling behaviour.
+
+use dataset::RepairEvaluation;
+use datagen::{HaiGenerator, TpchGenerator};
+use distributed::{partition_dataset, DistributedMlnClean, PartitionConfig};
+use mlnclean::{CleanConfig, MlnClean};
+
+fn config() -> CleanConfig {
+    CleanConfig::default().with_tau(2).with_agp_distance_guard(0.15)
+}
+
+#[test]
+fn partitions_cover_the_dataset_without_overlap() {
+    let dirty = TpchGenerator::default().with_rows(1_000).dirty(0.05, 0.5, 3);
+    for parts in [2, 4, 8] {
+        let partitioning = partition_dataset(&dirty.dirty, &PartitionConfig::new(parts, 7));
+        let mut all: Vec<_> = partitioning.parts.iter().flatten().copied().collect();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), dirty.dirty.len(), "{parts} parts must cover every tuple once");
+        assert!(partitioning.skew() < 2.0, "capacity bound keeps parts balanced");
+    }
+}
+
+#[test]
+fn distributed_matches_standalone_quality() {
+    let dirty = HaiGenerator::default()
+        .with_rows(900)
+        .with_providers(20)
+        .dirty(0.05, 0.5, 17);
+    let rules = HaiGenerator::rules();
+
+    let standalone = MlnClean::new(config()).clean(&dirty.dirty, &rules).unwrap();
+    let standalone_f1 = RepairEvaluation::evaluate(&dirty, &standalone.repaired).f1();
+
+    let distributed = DistributedMlnClean::new(4, config()).clean(&dirty.dirty, &rules).unwrap();
+    let distributed_f1 = RepairEvaluation::evaluate(&dirty, &distributed.repaired).f1();
+
+    assert!(
+        (standalone_f1 - distributed_f1).abs() < 0.15,
+        "stand-alone {standalone_f1:.3} vs distributed {distributed_f1:.3} should be comparable"
+    );
+    assert!(distributed_f1 > 0.6, "distributed cleaning must still repair most errors");
+}
+
+#[test]
+fn accuracy_is_stable_across_worker_counts() {
+    // Table 6's observation: the worker count changes the runtime, not the
+    // cleaning quality (beyond small fluctuations).
+    let dirty = TpchGenerator::default()
+        .with_rows(1_200)
+        .with_customers(60)
+        .dirty(0.05, 0.5, 23);
+    let rules = TpchGenerator::rules();
+    let mut f1s = Vec::new();
+    for workers in [2usize, 4, 8] {
+        let outcome = DistributedMlnClean::new(workers, config()).clean(&dirty.dirty, &rules).unwrap();
+        f1s.push(RepairEvaluation::evaluate(&dirty, &outcome.repaired).f1());
+    }
+    let max = f1s.iter().cloned().fold(f64::MIN, f64::max);
+    let min = f1s.iter().cloned().fold(f64::MAX, f64::min);
+    // More workers mean smaller partitions and hence slightly less local
+    // evidence, so a modest fluctuation is expected — but not a collapse.
+    assert!(max - min < 0.2, "F1 should only fluctuate mildly with worker count: {f1s:?}");
+    assert!(min > 0.4, "every worker count must still repair a meaningful share: {f1s:?}");
+}
+
+#[test]
+fn distributed_dedup_collapses_duplicates_globally() {
+    // Exact duplicates may be scattered across partitions; the global
+    // gather + dedup step must still collapse them.
+    let mut clean = TpchGenerator::default().with_rows(400).with_customers(25).generate();
+    let copy_source: Vec<Vec<String>> = clean
+        .tuples()
+        .take(40)
+        .map(|t| t.values().to_vec())
+        .collect();
+    for row in copy_source {
+        clean.push_row(row).unwrap();
+    }
+    let rules = TpchGenerator::rules();
+    let outcome = DistributedMlnClean::new(4, config()).clean(&clean, &rules).unwrap();
+    // Most duplicate pairs collapse; a few may escape when their two copies
+    // land in different partitions and receive different (spurious) repairs.
+    assert!(
+        outcome.deduplicated.len() <= clean.len() - 20,
+        "expected at least half of the 40 duplicates to collapse, got {} of {} rows",
+        outcome.deduplicated.len(),
+        clean.len()
+    );
+}
