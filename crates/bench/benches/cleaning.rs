@@ -24,9 +24,13 @@ fn mlnclean_error_rate(c: &mut Criterion) {
         let dirty = Workload::Car.dirty(Scale::Tiny, rate, 0.5, 1);
         let rules = Workload::Car.rules();
         let cleaner = MlnClean::new(CleanConfig::default().with_tau(1));
-        group.bench_with_input(BenchmarkId::new("CAR", format!("{}%", rate * 100.0)), &dirty, |b, d| {
-            b.iter(|| cleaner.clean(&d.dirty, &rules).expect("clean"));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("CAR", format!("{}%", rate * 100.0)),
+            &dirty,
+            |b, d| {
+                b.iter(|| cleaner.clean(&d.dirty, &rules).expect("clean"));
+            },
+        );
     }
     group.finish();
 }
@@ -39,9 +43,13 @@ fn holoclean_error_rate(c: &mut Criterion) {
         let rules = Workload::Car.rules();
         let noisy = dirty.erroneous_cells();
         let cleaner = HoloClean::new(HoloCleanConfig::default());
-        group.bench_with_input(BenchmarkId::new("CAR", format!("{}%", rate * 100.0)), &dirty, |b, d| {
-            b.iter(|| cleaner.repair(&d.dirty, &rules, &noisy));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("CAR", format!("{}%", rate * 100.0)),
+            &dirty,
+            |b, d| {
+                b.iter(|| cleaner.repair(&d.dirty, &rules, &noisy));
+            },
+        );
     }
     group.finish();
 }
@@ -67,9 +75,13 @@ fn mlnclean_metric(c: &mut Criterion) {
     let rules = Workload::Car.rules();
     for metric in [Metric::Levenshtein, Metric::Cosine] {
         let cleaner = MlnClean::new(CleanConfig::default().with_tau(1).with_metric(metric));
-        group.bench_with_input(BenchmarkId::from_parameter(metric.name()), &dirty, |b, d| {
-            b.iter(|| cleaner.clean(&d.dirty, &rules).expect("clean"));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(metric.name()),
+            &dirty,
+            |b, d| {
+                b.iter(|| cleaner.clean(&d.dirty, &rules).expect("clean"));
+            },
+        );
     }
     group.finish();
 }

@@ -17,9 +17,13 @@ fn index_construction(c: &mut Criterion) {
     for workload in [Workload::Car, Workload::Hai] {
         let dirty = workload.dirty(Scale::Tiny, 0.05, 0.5, 1);
         let rules = workload.rules();
-        group.bench_with_input(BenchmarkId::from_parameter(workload.name()), &dirty, |b, d| {
-            b.iter(|| MlnIndex::build(&d.dirty, &rules).expect("index"));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workload.name()),
+            &dirty,
+            |b, d| {
+                b.iter(|| MlnIndex::build(&d.dirty, &rules).expect("index"));
+            },
+        );
     }
     group.finish();
 }

@@ -12,7 +12,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: experiments <fig6|fig7|fig8|...|fig15|table5|table6|all> \
+        "usage: experiments <fig6|fig7|fig8|...|fig15|table5|table6|smoke|all> \
          [--scale tiny|small|full] [--out DIR]"
     );
     ExitCode::FAILURE
@@ -32,7 +32,9 @@ fn main() -> ExitCode {
     while i < args.len() {
         match args[i].as_str() {
             "--scale" => {
-                let Some(value) = args.get(i + 1) else { return usage() };
+                let Some(value) = args.get(i + 1) else {
+                    return usage();
+                };
                 let Some(parsed) = Scale::parse(value) else {
                     eprintln!("unknown scale {value:?}");
                     return usage();
@@ -41,7 +43,9 @@ fn main() -> ExitCode {
                 i += 2;
             }
             "--out" => {
-                let Some(value) = args.get(i + 1) else { return usage() };
+                let Some(value) = args.get(i + 1) else {
+                    return usage();
+                };
                 out_dir = PathBuf::from(value);
                 i += 2;
             }
@@ -56,7 +60,9 @@ fn main() -> ExitCode {
         }
     }
 
-    let Some(experiments) = experiments else { return usage() };
+    let Some(experiments) = experiments else {
+        return usage();
+    };
 
     if let Err(e) = std::fs::create_dir_all(&out_dir) {
         eprintln!("cannot create output directory {}: {e}", out_dir.display());
@@ -64,7 +70,11 @@ fn main() -> ExitCode {
     }
 
     for experiment in experiments {
-        println!("### running {} (scale {:?}) ###\n", experiment.name(), scale);
+        println!(
+            "### running {} (scale {:?}) ###\n",
+            experiment.name(),
+            scale
+        );
         let started = std::time::Instant::now();
         let files = experiment.run(scale);
         for (name, contents) in files {
@@ -75,7 +85,11 @@ fn main() -> ExitCode {
             }
             println!("wrote {}", path.display());
         }
-        println!("\n### {} finished in {:.1}s ###\n", experiment.name(), started.elapsed().as_secs_f64());
+        println!(
+            "\n### {} finished in {:.1}s ###\n",
+            experiment.name(),
+            started.elapsed().as_secs_f64()
+        );
     }
     ExitCode::SUCCESS
 }

@@ -1,8 +1,8 @@
 //! Shared plumbing for the experiment harness: dataset scales, workload
 //! builders, and result-table formatting.
 
-use dataset::DirtyDataset;
 use datagen::{CarGenerator, HaiGenerator, TpchGenerator};
+use dataset::DirtyDataset;
 use rules::RuleSet;
 
 /// How large the synthetic datasets are.
@@ -106,17 +106,29 @@ impl Workload {
     }
 
     /// Generate a dirty dataset at the given error rate / replacement ratio.
-    pub fn dirty(&self, scale: Scale, error_rate: f64, replacement_ratio: f64, seed: u64) -> DirtyDataset {
+    pub fn dirty(
+        &self,
+        scale: Scale,
+        error_rate: f64,
+        replacement_ratio: f64,
+        seed: u64,
+    ) -> DirtyDataset {
         match self {
-            Workload::Hai => HaiGenerator::default()
-                .with_rows(scale.hai_rows())
-                .dirty(error_rate, replacement_ratio, seed),
-            Workload::Car => CarGenerator::default()
-                .with_rows(scale.car_rows())
-                .dirty(error_rate, replacement_ratio, seed),
-            Workload::Tpch => TpchGenerator::default()
-                .with_rows(scale.tpch_rows())
-                .dirty(error_rate, replacement_ratio, seed),
+            Workload::Hai => HaiGenerator::default().with_rows(scale.hai_rows()).dirty(
+                error_rate,
+                replacement_ratio,
+                seed,
+            ),
+            Workload::Car => CarGenerator::default().with_rows(scale.car_rows()).dirty(
+                error_rate,
+                replacement_ratio,
+                seed,
+            ),
+            Workload::Tpch => TpchGenerator::default().with_rows(scale.tpch_rows()).dirty(
+                error_rate,
+                replacement_ratio,
+                seed,
+            ),
         }
     }
 }

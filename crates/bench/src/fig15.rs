@@ -6,7 +6,6 @@ use crate::common::{fmt3, fmt_ms, ResultTable, Scale, Workload};
 use dataset::RepairEvaluation;
 use distributed::DistributedMlnClean;
 
-
 /// Worker count used for the error-percentage sweep.
 pub const WORKERS: usize = 4;
 
@@ -24,16 +23,25 @@ pub struct DistributedPoint {
 }
 
 /// Run the distributed cleaner at one error rate.
-pub fn measure_at(workload: Workload, scale: Scale, error_rate: f64, seed: u64) -> DistributedPoint {
+pub fn measure_at(
+    workload: Workload,
+    scale: Scale,
+    error_rate: f64,
+    seed: u64,
+) -> DistributedPoint {
     let dirty = workload.dirty(scale, error_rate, 0.5, seed);
     let rules = workload.rules();
-    let cleaner = DistributedMlnClean::new(
-        WORKERS,
-        workload.clean_config(),
-    );
-    let outcome = cleaner.clean(&dirty.dirty, &rules).expect("rules match the schema");
+    let cleaner = DistributedMlnClean::new(WORKERS, workload.clean_config());
+    let outcome = cleaner
+        .clean(&dirty.dirty, &rules)
+        .expect("rules match the schema");
     let f1 = RepairEvaluation::evaluate(&dirty, &outcome.repaired).f1();
-    DistributedPoint { workload: workload.name(), error_rate, f1, runtime: outcome.timings.total() }
+    DistributedPoint {
+        workload: workload.name(),
+        error_rate,
+        f1,
+        runtime: outcome.timings.total(),
+    }
 }
 
 /// Run Figure 15 for HAI and TPC-H.
@@ -57,7 +65,13 @@ pub fn run(scale: Scale) -> Vec<(String, String)> {
             ]);
         }
         println!("{}", table.to_text());
-        files.push((format!("fig15_{}.csv", workload.name().to_lowercase().replace('-', "")), table.to_csv()));
+        files.push((
+            format!(
+                "fig15_{}.csv",
+                workload.name().to_lowercase().replace('-', "")
+            ),
+            table.to_csv(),
+        ));
     }
     files
 }

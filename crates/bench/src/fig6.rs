@@ -33,7 +33,9 @@ pub fn compare_at(workload: Workload, scale: Scale, error_rate: f64, seed: u64) 
 
     // MLNClean: full pipeline, no oracle.
     let cleaner = MlnClean::new(workload.clean_config());
-    let outcome = cleaner.clean(&dirty.dirty, &rules).expect("rules match the schema");
+    let outcome = cleaner
+        .clean(&dirty.dirty, &rules)
+        .expect("rules match the schema");
     let mlnclean_f1 = RepairEvaluation::evaluate(&dirty, &outcome.repaired).f1();
     let mlnclean_time = outcome.timings.total();
 
@@ -59,11 +61,17 @@ pub fn run(scale: Scale) -> Vec<(String, String)> {
     let mut files = Vec::new();
     for workload in [Workload::Car, Workload::Hai] {
         let mut accuracy = ResultTable::new(
-            &format!("Figure 6 ({}) — F1-score vs error percentage", workload.name()),
+            &format!(
+                "Figure 6 ({}) — F1-score vs error percentage",
+                workload.name()
+            ),
             &["error%", "MLNClean F1", "HoloClean F1"],
         );
         let mut runtime = ResultTable::new(
-            &format!("Figure 6 ({}) — runtime vs error percentage (ms)", workload.name()),
+            &format!(
+                "Figure 6 ({}) — runtime vs error percentage (ms)",
+                workload.name()
+            ),
             &["error%", "MLNClean ms", "HoloClean ms"],
         );
         for (i, &rate) in ERROR_RATES.iter().enumerate() {
@@ -81,8 +89,14 @@ pub fn run(scale: Scale) -> Vec<(String, String)> {
         }
         println!("{}", accuracy.to_text());
         println!("{}", runtime.to_text());
-        files.push((format!("fig6_accuracy_{}.csv", workload.name().to_lowercase()), accuracy.to_csv()));
-        files.push((format!("fig6_runtime_{}.csv", workload.name().to_lowercase()), runtime.to_csv()));
+        files.push((
+            format!("fig6_accuracy_{}.csv", workload.name().to_lowercase()),
+            accuracy.to_csv(),
+        ));
+        files.push((
+            format!("fig6_runtime_{}.csv", workload.name().to_lowercase()),
+            runtime.to_csv(),
+        ));
     }
     files
 }

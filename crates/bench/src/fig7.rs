@@ -29,14 +29,21 @@ pub fn compare_at(workload: Workload, scale: Scale, rret: f64, seed: u64) -> Rre
     let rules = workload.rules();
 
     let cleaner = MlnClean::new(workload.clean_config());
-    let outcome = cleaner.clean(&dirty.dirty, &rules).expect("rules match the schema");
+    let outcome = cleaner
+        .clean(&dirty.dirty, &rules)
+        .expect("rules match the schema");
     let mlnclean_f1 = RepairEvaluation::evaluate(&dirty, &outcome.repaired).f1();
 
     let baseline = HoloClean::new(HoloCleanConfig::default());
     let repair = baseline.repair(&dirty.dirty, &rules, &dirty.erroneous_cells());
     let holoclean_f1 = RepairEvaluation::evaluate(&dirty, &repair.repaired).f1();
 
-    RretPoint { workload: workload.name(), rret, mlnclean_f1, holoclean_f1 }
+    RretPoint {
+        workload: workload.name(),
+        rret,
+        mlnclean_f1,
+        holoclean_f1,
+    }
 }
 
 /// Run Figure 7 for both datasets.
@@ -44,7 +51,10 @@ pub fn run(scale: Scale) -> Vec<(String, String)> {
     let mut files = Vec::new();
     for workload in [Workload::Car, Workload::Hai] {
         let mut table = ResultTable::new(
-            &format!("Figure 7 ({}) — F1-score vs replacement-error ratio Rret", workload.name()),
+            &format!(
+                "Figure 7 ({}) — F1-score vs replacement-error ratio Rret",
+                workload.name()
+            ),
             &["Rret", "MLNClean F1", "HoloClean F1"],
         );
         for (i, &rret) in RRET_VALUES.iter().enumerate() {
@@ -56,7 +66,10 @@ pub fn run(scale: Scale) -> Vec<(String, String)> {
             ]);
         }
         println!("{}", table.to_text());
-        files.push((format!("fig7_{}.csv", workload.name().to_lowercase()), table.to_csv()));
+        files.push((
+            format!("fig7_{}.csv", workload.name().to_lowercase()),
+            table.to_csv(),
+        ));
     }
     files
 }

@@ -11,6 +11,7 @@ pub mod common;
 pub mod fig15;
 pub mod fig6;
 pub mod fig7;
+pub mod smoke;
 pub mod sweeps;
 pub mod table5;
 pub mod table6;
@@ -34,6 +35,10 @@ pub enum Experiment {
     Table5,
     /// Table 6: distributed runtime vs. worker count.
     Table6,
+    /// CI bench-smoke: one end-to-end run emitting `BENCH_smoke.json` with
+    /// wall-time and repair quality.  Not part of the paper; excluded from
+    /// [`Experiment::ALL`].
+    Smoke,
 }
 
 impl Experiment {
@@ -61,6 +66,7 @@ impl Experiment {
             "fig15" => Some(vec![Experiment::Fig15]),
             "table5" => Some(vec![Experiment::Table5]),
             "table6" => Some(vec![Experiment::Table6]),
+            "smoke" => Some(vec![Experiment::Smoke]),
             _ => None,
         }
     }
@@ -75,6 +81,7 @@ impl Experiment {
             Experiment::Fig15 => "fig15",
             Experiment::Table5 => "table5",
             Experiment::Table6 => "table6",
+            Experiment::Smoke => "smoke",
         }
     }
 
@@ -89,6 +96,7 @@ impl Experiment {
             Experiment::Fig15 => fig15::run(scale),
             Experiment::Table5 => table5::run(scale),
             Experiment::Table6 => table6::run(scale),
+            Experiment::Smoke => smoke::run(scale),
         }
     }
 }
@@ -100,7 +108,10 @@ mod tests {
     #[test]
     fn experiment_ids_parse() {
         assert_eq!(Experiment::parse("fig6"), Some(vec![Experiment::Fig6]));
-        assert_eq!(Experiment::parse("FIG9"), Some(vec![Experiment::ThresholdSweep]));
+        assert_eq!(
+            Experiment::parse("FIG9"),
+            Some(vec![Experiment::ThresholdSweep])
+        );
         assert_eq!(Experiment::parse("table6"), Some(vec![Experiment::Table6]));
         assert_eq!(Experiment::parse("all").map(|v| v.len()), Some(7));
         assert_eq!(Experiment::parse("nope"), None);

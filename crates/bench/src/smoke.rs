@@ -1,0 +1,106 @@
+//! CI bench-smoke: one end-to-end MLNClean run on a tiny synthetic HAI
+//! workload, emitted as a machine-readable `BENCH_smoke.json`.
+//!
+//! This is not one of the paper's experiments — it exists so CI records a
+//! small, fast perf point on every push (end-to-end wall-time plus per-stage
+//! breakdown and repair quality), seeding the `BENCH_*.json` trajectory that
+//! later PRs can compare against.
+
+use crate::common::{Scale, Workload};
+use dataset::RepairEvaluation;
+use mlnclean::MlnClean;
+use std::time::Instant;
+
+/// Run the smoke workload and return the JSON artifact as `(file name,
+/// contents)` pairs, like every other experiment.
+pub fn run(scale: Scale) -> Vec<(String, String)> {
+    let workload = Workload::Hai;
+    let error_rate = 0.05;
+    let replacement_ratio = 0.5;
+    let seed = 1;
+
+    let dirty = workload.dirty(scale, error_rate, replacement_ratio, seed);
+    let rules = workload.rules();
+    let cleaner = MlnClean::new(workload.clean_config());
+
+    let started = Instant::now();
+    let outcome = cleaner
+        .clean(&dirty.dirty, &rules)
+        .expect("smoke workload cleans");
+    let wall = started.elapsed();
+
+    let report = RepairEvaluation::evaluate(&dirty, &outcome.repaired);
+    let timings = outcome.timings;
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"smoke\",\n",
+            "  \"workload\": \"{workload}\",\n",
+            "  \"scale\": \"{scale:?}\",\n",
+            "  \"rows\": {rows},\n",
+            "  \"rules\": {rules},\n",
+            "  \"error_rate\": {error_rate},\n",
+            "  \"injected_errors\": {injected},\n",
+            "  \"threads\": {threads},\n",
+            "  \"end_to_end_seconds\": {wall:.6},\n",
+            "  \"stage_seconds\": {{\n",
+            "    \"index\": {index:.6},\n",
+            "    \"agp\": {agp:.6},\n",
+            "    \"weight_learning\": {learning:.6},\n",
+            "    \"rsc\": {rsc:.6},\n",
+            "    \"fscr\": {fscr:.6}\n",
+            "  }},\n",
+            "  \"precision\": {precision:.6},\n",
+            "  \"recall\": {recall:.6},\n",
+            "  \"f1\": {f1:.6}\n",
+            "}}\n",
+        ),
+        workload = workload.name(),
+        scale = scale,
+        rows = dirty.dirty.len(),
+        rules = rules.len(),
+        error_rate = error_rate,
+        injected = dirty.error_count(),
+        threads = rayon_threads(),
+        wall = wall.as_secs_f64(),
+        index = timings.index.as_secs_f64(),
+        agp = timings.agp.as_secs_f64(),
+        learning = timings.weight_learning.as_secs_f64(),
+        rsc = timings.rsc.as_secs_f64(),
+        fscr = timings.fscr.as_secs_f64(),
+        precision = report.precision(),
+        recall = report.recall(),
+        f1 = report.f1(),
+    );
+
+    println!(
+        "smoke: {} rows cleaned in {:.3}s (F1 {:.3})",
+        dirty.dirty.len(),
+        wall.as_secs_f64(),
+        report.f1()
+    );
+
+    vec![("BENCH_smoke.json".to_string(), json)]
+}
+
+fn rayon_threads() -> usize {
+    rayon::current_num_threads()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_emits_wall_time_json() {
+        let files = run(Scale::Tiny);
+        assert_eq!(files.len(), 1);
+        let (name, json) = &files[0];
+        assert_eq!(name, "BENCH_smoke.json");
+        assert!(json.contains("\"end_to_end_seconds\""));
+        assert!(json.contains("\"f1\""));
+        // Crude structural sanity: balanced braces, no trailing comma issues.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -34,11 +34,19 @@ pub struct ComponentPoint {
 }
 
 /// Clean one dirty workload with the given τ and measure every component.
-pub fn measure_components(workload: Workload, scale: Scale, error_rate: f64, tau: usize, seed: u64) -> ComponentPoint {
+pub fn measure_components(
+    workload: Workload,
+    scale: Scale,
+    error_rate: f64,
+    tau: usize,
+    seed: u64,
+) -> ComponentPoint {
     let dirty = workload.dirty(scale, error_rate, 0.5, seed);
     let rules = workload.rules();
     let cleaner = MlnClean::new(workload.clean_config().with_tau(tau));
-    let outcome = cleaner.clean(&dirty.dirty, &rules).expect("rules match the schema");
+    let outcome = cleaner
+        .clean(&dirty.dirty, &rules)
+        .expect("rules match the schema");
 
     let agp = evaluate_agp(&dirty, &rules, &outcome.agp);
     let rsc = evaluate_rsc(&dirty, &rules, &outcome.rsc);
@@ -78,7 +86,15 @@ pub fn run_threshold(scale: Scale) -> Vec<(String, String)> {
                 workload.name()
             ),
             &[
-                "tau", "Prec-A", "Rec-A", "#dag", "Prec-R", "Rec-R", "Prec-F", "Rec-F", "F1",
+                "tau",
+                "Prec-A",
+                "Rec-A",
+                "#dag",
+                "Prec-R",
+                "Rec-R",
+                "Prec-F",
+                "Rec-F",
+                "F1",
                 "runtime_ms",
             ],
         );
@@ -98,7 +114,10 @@ pub fn run_threshold(scale: Scale) -> Vec<(String, String)> {
             ]);
         }
         println!("{}", table.to_text());
-        files.push((format!("fig8_11_threshold_{}.csv", workload.name().to_lowercase()), table.to_csv()));
+        files.push((
+            format!("fig8_11_threshold_{}.csv", workload.name().to_lowercase()),
+            table.to_csv(),
+        ));
     }
     files
 }
@@ -113,10 +132,18 @@ pub fn run_error(scale: Scale) -> Vec<(String, String)> {
                 workload.name(),
                 workload.default_tau()
             ),
-            &["error%", "Prec-A", "Rec-A", "#dag", "Prec-R", "Rec-R", "Prec-F", "Rec-F", "F1"],
+            &[
+                "error%", "Prec-A", "Rec-A", "#dag", "Prec-R", "Rec-R", "Prec-F", "Rec-F", "F1",
+            ],
         );
         for (i, &rate) in crate::fig6::ERROR_RATES.iter().enumerate() {
-            let p = measure_components(workload, scale, rate, workload.default_tau(), 400 + i as u64);
+            let p = measure_components(
+                workload,
+                scale,
+                rate,
+                workload.default_tau(),
+                400 + i as u64,
+            );
             table.push_row(vec![
                 format!("{:.0}%", rate * 100.0),
                 fmt3(p.precision_a),
@@ -130,7 +157,10 @@ pub fn run_error(scale: Scale) -> Vec<(String, String)> {
             ]);
         }
         println!("{}", table.to_text());
-        files.push((format!("fig12_14_error_{}.csv", workload.name().to_lowercase()), table.to_csv()));
+        files.push((
+            format!("fig12_14_error_{}.csv", workload.name().to_lowercase()),
+            table.to_csv(),
+        ));
     }
     files
 }

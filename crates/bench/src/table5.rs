@@ -12,16 +12,31 @@ pub fn f1_with_metric(workload: Workload, scale: Scale, metric: Metric, seed: u6
     let dirty = workload.dirty(scale, 0.05, 0.5, seed);
     let rules = workload.rules();
     let cleaner = MlnClean::new(workload.clean_config().with_metric(metric));
-    let outcome = cleaner.clean(&dirty.dirty, &rules).expect("rules match the schema");
+    let outcome = cleaner
+        .clean(&dirty.dirty, &rules)
+        .expect("rules match the schema");
     RepairEvaluation::evaluate(&dirty, &outcome.repaired).f1()
 }
 
 /// Run Table 5: both datasets × the paper's two metrics (plus the extras).
 pub fn run(scale: Scale) -> Vec<(String, String)> {
-    let metrics = [Metric::Levenshtein, Metric::Cosine, Metric::DamerauLevenshtein, Metric::Jaccard, Metric::JaroWinkler];
+    let metrics = [
+        Metric::Levenshtein,
+        Metric::Cosine,
+        Metric::DamerauLevenshtein,
+        Metric::Jaccard,
+        Metric::JaroWinkler,
+    ];
     let mut table = ResultTable::new(
         "Table 5 — F1-scores under different distance metrics",
-        &["dataset", "levenshtein", "cosine", "damerau-levenshtein", "jaccard", "jaro-winkler"],
+        &[
+            "dataset",
+            "levenshtein",
+            "cosine",
+            "damerau-levenshtein",
+            "jaccard",
+            "jaro-winkler",
+        ],
     );
     for workload in [Workload::Car, Workload::Hai] {
         let mut row = vec![workload.name().to_string()];

@@ -5,7 +5,6 @@ use crate::common::{fmt3, fmt_ms, ResultTable, Scale, Workload};
 use dataset::RepairEvaluation;
 use distributed::DistributedMlnClean;
 
-
 /// Worker counts of Table 6.
 pub const WORKER_COUNTS: [usize; 5] = [2, 4, 6, 8, 10];
 
@@ -25,11 +24,16 @@ pub fn measure_workers(scale: Scale, workers: usize, seed: u64) -> WorkerPoint {
     let workload = Workload::Tpch;
     let dirty = workload.dirty(scale, 0.05, 0.5, seed);
     let rules = workload.rules();
-    let cleaner =
-        DistributedMlnClean::new(workers, workload.clean_config());
-    let outcome = cleaner.clean(&dirty.dirty, &rules).expect("rules match the schema");
+    let cleaner = DistributedMlnClean::new(workers, workload.clean_config());
+    let outcome = cleaner
+        .clean(&dirty.dirty, &rules)
+        .expect("rules match the schema");
     let f1 = RepairEvaluation::evaluate(&dirty, &outcome.repaired).f1();
-    WorkerPoint { workers, runtime: outcome.timings.total(), f1 }
+    WorkerPoint {
+        workers,
+        runtime: outcome.timings.total(),
+        f1,
+    }
 }
 
 /// Run Table 6.

@@ -11,6 +11,7 @@
 use crate::index::{Block, MlnIndex};
 use dataset::TupleId;
 use distance::{normalized_record_distance, record_distance, Metric};
+use rayon::prelude::*;
 use rules::RuleId;
 use serde::{Deserialize, Serialize};
 
@@ -68,7 +69,11 @@ pub struct AbnormalGroupProcessor {
 impl AbnormalGroupProcessor {
     /// Create an AGP processor with the paper's always-merge behaviour.
     pub fn new(tau: usize, metric: Metric) -> Self {
-        AbnormalGroupProcessor { tau, metric, distance_guard: None }
+        AbnormalGroupProcessor {
+            tau,
+            metric,
+            distance_guard: None,
+        }
     }
 
     /// Enable the merge distance guard.
@@ -78,7 +83,31 @@ impl AbnormalGroupProcessor {
     }
 
     /// Process every block of the index in place and return the merge record.
+    ///
+    /// Blocks are independent (one per rule), so they are processed in
+    /// parallel; per-block results are reassembled in block order, making the
+    /// outcome identical to [`AbnormalGroupProcessor::process_serial`].
     pub fn process(&self, index: &mut MlnIndex) -> AgpRecord {
+        let blocks = std::mem::take(&mut index.blocks);
+        let processed: Vec<(Block, AgpRecord)> = blocks
+            .into_par_iter()
+            .map(|mut block| {
+                let mut record = AgpRecord::default();
+                self.process_block(&mut block, &mut record);
+                (block, record)
+            })
+            .collect();
+        let mut record = AgpRecord::default();
+        for (block, block_record) in processed {
+            index.blocks.push(block);
+            record.merges.extend(block_record.merges);
+        }
+        record
+    }
+
+    /// Serial reference implementation of [`AbnormalGroupProcessor::process`],
+    /// kept for the parallel-equivalence tests.
+    pub fn process_serial(&self, index: &mut MlnIndex) -> AgpRecord {
         let mut record = AgpRecord::default();
         for block in &mut index.blocks {
             self.process_block(block, &mut record);
@@ -196,7 +225,11 @@ impl AbnormalGroupProcessor {
 /// Distance between an abnormal group's dominant γ and a candidate group
 /// (the candidate is represented by its own dominant γ, per the paper's
 /// definition of group distance).
-fn group_distance(metric: &Metric, dominant: &crate::gamma::Gamma, candidate: &crate::index::Group) -> f64 {
+fn group_distance(
+    metric: &Metric,
+    dominant: &crate::gamma::Gamma,
+    candidate: &crate::index::Group,
+) -> f64 {
     match candidate.dominant_gamma() {
         Some(other) => record_distance(metric, &dominant.values(), &other.values()),
         None => f64::INFINITY,
@@ -223,7 +256,11 @@ mod tests {
         let record = agp.process(&mut index);
 
         assert_eq!(record.detected_count(), 3);
-        assert_eq!(record.detected_gamma_tuples(), 3, "each abnormal group held one tuple");
+        assert_eq!(
+            record.detected_gamma_tuples(),
+            3,
+            "each abnormal group held one tuple"
+        );
 
         // B1: DOTH merged into DOTHAN.
         let merge_b1 = record.merges.iter().find(|m| m.rule == RuleId(0)).unwrap();
@@ -239,7 +276,10 @@ mod tests {
         // B3: (ELIZA, DOTHAN) merged into (ELIZA, BOAZ).
         let merge_b3 = record.merges.iter().find(|m| m.rule == RuleId(2)).unwrap();
         assert_eq!(merge_b3.abnormal_key, vec!["ELIZA", "DOTHAN"]);
-        assert_eq!(merge_b3.target_key, Some(vec!["ELIZA".to_string(), "BOAZ".to_string()]));
+        assert_eq!(
+            merge_b3.target_key,
+            Some(vec!["ELIZA".to_string(), "BOAZ".to_string()])
+        );
 
         // After AGP, block B1 has two groups left (DOTHAN and BOAZ).
         assert_eq!(index.block(RuleId(0)).group_count(), 2);
@@ -292,12 +332,33 @@ mod tests {
     }
 
     #[test]
+    fn parallel_and_serial_processing_are_identical() {
+        for tau in [0usize, 1, 3, 100] {
+            let mut par_index = sample_index();
+            let mut ser_index = sample_index();
+            let agp = AbnormalGroupProcessor::new(tau, Metric::Levenshtein);
+            let par_record = agp.process(&mut par_index);
+            let ser_record = agp.process_serial(&mut ser_index);
+            assert_eq!(par_record, ser_record, "AGP records diverged at tau={tau}");
+            assert_eq!(
+                format!("{par_index:?}"),
+                format!("{ser_index:?}"),
+                "AGP index state diverged at tau={tau}"
+            );
+        }
+    }
+
+    #[test]
     fn higher_tau_detects_more_groups() {
         let metric = Metric::Levenshtein;
         let mut small = sample_index();
         let mut large = sample_index();
-        let detected_small = AbnormalGroupProcessor::new(1, metric).process(&mut small).detected_count();
-        let detected_large = AbnormalGroupProcessor::new(3, metric).process(&mut large).detected_count();
+        let detected_small = AbnormalGroupProcessor::new(1, metric)
+            .process(&mut small)
+            .detected_count();
+        let detected_large = AbnormalGroupProcessor::new(3, metric)
+            .process(&mut large)
+            .detected_count();
         assert!(detected_large >= detected_small);
     }
 }

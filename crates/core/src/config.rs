@@ -32,6 +32,12 @@ pub struct CleanConfig {
     /// Whether the final output should also drop exact duplicate tuples
     /// (MLNClean does; keep `true` unless you need one row per input tuple).
     pub deduplicate: bool,
+    /// Whether the per-block Stage-I loops (AGP and RSC) run on the rayon
+    /// thread pool.  Blocks are independent, and the parallel path reassembles
+    /// per-block results in block order, so the cleaned output is identical
+    /// either way — `false` forces the serial reference path (used by the
+    /// equivalence tests and for single-core profiling).
+    pub parallel: bool,
 }
 
 impl Default for CleanConfig {
@@ -43,6 +49,7 @@ impl Default for CleanConfig {
             max_exhaustive_fusion: 6,
             agp_distance_guard: None,
             deduplicate: true,
+            parallel: true,
         }
     }
 }
@@ -75,6 +82,13 @@ impl CleanConfig {
     /// Set the AGP distance guard (see [`CleanConfig::agp_distance_guard`]).
     pub fn with_agp_distance_guard(mut self, guard: f64) -> Self {
         self.agp_distance_guard = Some(guard);
+        self
+    }
+
+    /// Enable or disable the parallel Stage-I block loops (see
+    /// [`CleanConfig::parallel`]).
+    pub fn with_parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
         self
     }
 }

@@ -28,13 +28,23 @@ use std::collections::{BTreeMap, BTreeSet};
 pub type ComponentEvaluation = ComponentMetrics;
 
 /// Ground-truth reason values of a tuple under a rule.
-fn truth_reason_values(dirty: &DirtyDataset, rules: &RuleSet, rule: rules::RuleId, t: TupleId) -> Vec<String> {
+fn truth_reason_values(
+    dirty: &DirtyDataset,
+    rules: &RuleSet,
+    rule: rules::RuleId,
+    t: TupleId,
+) -> Vec<String> {
     let rule = rules.rule(rule);
     rule.reason_values(dirty.clean.schema(), dirty.clean.tuple(t))
 }
 
 /// Ground-truth full (reason + result) values of a tuple under a rule.
-fn truth_full_values(dirty: &DirtyDataset, rules: &RuleSet, rule: rules::RuleId, t: TupleId) -> Vec<String> {
+fn truth_full_values(
+    dirty: &DirtyDataset,
+    rules: &RuleSet,
+    rule: rules::RuleId,
+    t: TupleId,
+) -> Vec<String> {
     let rule = rules.rule(rule);
     let mut v = rule.reason_values(dirty.clean.schema(), dirty.clean.tuple(t));
     v.extend(rule.result_values(dirty.clean.schema(), dirty.clean.tuple(t)));
@@ -54,7 +64,11 @@ fn majority(values: impl Iterator<Item = Vec<String>>) -> Option<Vec<String>> {
 /// is truly abnormal (its key matches no member tuple's ground-truth reason
 /// values) and it was merged into the group matching the majority
 /// ground-truth reason values of its tuples.
-pub fn evaluate_agp(dirty: &DirtyDataset, rules: &RuleSet, record: &AgpRecord) -> ComponentEvaluation {
+pub fn evaluate_agp(
+    dirty: &DirtyDataset,
+    rules: &RuleSet,
+    record: &AgpRecord,
+) -> ComponentEvaluation {
     // Rebuild the pre-AGP index over the dirty data to know the real set of
     // abnormal groups.
     let index = MlnIndex::build(&dirty.dirty, rules).expect("rules were already validated");
@@ -63,9 +77,9 @@ pub fn evaluate_agp(dirty: &DirtyDataset, rules: &RuleSet, record: &AgpRecord) -
     for block in &index.blocks {
         for group in &block.groups {
             let tuples = group.all_tuples();
-            let truly_abnormal = !tuples.iter().any(|&t| {
-                truth_reason_values(dirty, rules, block.rule, t) == group.key
-            });
+            let truly_abnormal = !tuples
+                .iter()
+                .any(|&t| truth_reason_values(dirty, rules, block.rule, t) == group.key);
             if truly_abnormal && !tuples.is_empty() {
                 real_abnormal += 1;
                 real_abnormal_keys.insert((block.rule.index(), group.key.clone()));
@@ -80,8 +94,12 @@ pub fn evaluate_agp(dirty: &DirtyDataset, rules: &RuleSet, record: &AgpRecord) -
         if !truly_abnormal {
             continue;
         }
-        let expected_target =
-            majority(merge.tuples.iter().map(|&t| truth_reason_values(dirty, rules, merge.rule, t)));
+        let expected_target = majority(
+            merge
+                .tuples
+                .iter()
+                .map(|&t| truth_reason_values(dirty, rules, merge.rule, t)),
+        );
         if let (Some(expected), Some(actual)) = (expected_target, merge.target_key.as_ref()) {
             if &expected == actual {
                 correct += 1;
@@ -96,7 +114,11 @@ pub fn evaluate_agp(dirty: &DirtyDataset, rules: &RuleSet, record: &AgpRecord) -
 /// ground truth for the majority of its tuples; the recall denominator is the
 /// number of γs (in the dirty index) whose values disagree with the ground
 /// truth of at least one supporting tuple.
-pub fn evaluate_rsc(dirty: &DirtyDataset, rules: &RuleSet, record: &RscRecord) -> ComponentEvaluation {
+pub fn evaluate_rsc(
+    dirty: &DirtyDataset,
+    rules: &RuleSet,
+    record: &RscRecord,
+) -> ComponentEvaluation {
     let index = MlnIndex::build(&dirty.dirty, rules).expect("rules were already validated");
     let mut erroneous_gammas = 0usize;
     for block in &index.blocks {
@@ -115,8 +137,12 @@ pub fn evaluate_rsc(dirty: &DirtyDataset, rules: &RuleSet, record: &RscRecord) -
 
     let mut correct = 0usize;
     for repair in &record.repairs {
-        let expected =
-            majority(repair.tuples.iter().map(|&t| truth_full_values(dirty, rules, repair.rule, t)));
+        let expected = majority(
+            repair
+                .tuples
+                .iter()
+                .map(|&t| truth_full_values(dirty, rules, repair.rule, t)),
+        );
         if expected.as_ref() == Some(&repair.to_values) {
             correct += 1;
         }
@@ -177,7 +203,11 @@ mod tests {
                 dirty: dirty.cell(cell).to_string(),
             });
         }
-        DirtyDataset { dirty, clean, errors }
+        DirtyDataset {
+            dirty,
+            clean,
+            errors,
+        }
     }
 
     #[test]

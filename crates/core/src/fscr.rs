@@ -23,6 +23,10 @@ use rules::RuleId;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
+/// A successful fusion: the fused `(attribute, value)` assignment, its fusion
+/// score, and how many versions were substituted with block-level candidates.
+type Fusion = (Vec<(String, String)>, f64, usize);
+
 /// A single cell rewritten by the fusion stage.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CellChange {
@@ -133,12 +137,12 @@ impl ConflictResolver {
                 }
             };
 
-            let conflict_detected = versions.iter().enumerate().any(|(i, a)| {
-                versions.iter().skip(i + 1).any(|b| a.conflicts_with(b))
-            });
+            let conflict_detected = versions
+                .iter()
+                .enumerate()
+                .any(|(i, a)| versions.iter().skip(i + 1).any(|b| a.conflicts_with(b)));
 
-            let (best_fusion, best_score) =
-                self.best_fusion(versions, &block_candidates);
+            let (best_fusion, best_score) = self.best_fusion(versions, &block_candidates);
 
             let fusion_failed = best_fusion.is_none();
             let fused_pairs: Vec<(String, String)> = best_fusion.unwrap_or_default();
@@ -203,14 +207,12 @@ impl ConflictResolver {
                     .count()
             };
             consensus.sort_by(|&a, &b| {
-                conflict_count(a)
-                    .cmp(&conflict_count(b))
-                    .then(
-                        versions[b]
-                            .probability
-                            .partial_cmp(&versions[a].probability)
-                            .unwrap_or(std::cmp::Ordering::Equal),
-                    )
+                conflict_count(a).cmp(&conflict_count(b)).then(
+                    versions[b]
+                        .probability
+                        .partial_cmp(&versions[a].probability)
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                )
             });
             let mut orders = vec![consensus.clone()];
             for lead in 0..m {
@@ -250,7 +252,7 @@ impl ConflictResolver {
         versions: &[&Gamma],
         order: &[usize],
         block_candidates: &HashMap<RuleId, Vec<&Gamma>>,
-    ) -> Option<(Vec<(String, String)>, f64, usize)> {
+    ) -> Option<Fusion> {
         let mut fused: Vec<(String, String)> = Vec::new();
         let mut score = 1.0f64;
         let mut substitutions = 0usize;
@@ -292,11 +294,10 @@ impl ConflictResolver {
 
 /// Whether a γ disagrees with the attribute assignment built so far.
 fn conflicts_with_fusion(gamma: &Gamma, fused: &[(String, String)]) -> bool {
-    gamma.attr_value_pairs().into_iter().any(|(attr, value)| {
-        fused
-            .iter()
-            .any(|(a, v)| a == attr && v != value)
-    })
+    gamma
+        .attr_value_pairs()
+        .into_iter()
+        .any(|(attr, value)| fused.iter().any(|(a, v)| a == attr && v != value))
 }
 
 /// All permutations of `0..n` (Heap's algorithm).
@@ -314,7 +315,7 @@ fn heap_permute(items: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
     }
     for i in 0..k {
         heap_permute(items, k - 1, out);
-        if k % 2 == 0 {
+        if k.is_multiple_of(2) {
             items.swap(i, k - 1);
         } else {
             items.swap(0, k - 1);
@@ -357,7 +358,10 @@ mod tests {
         assert_eq!(repaired.value(t3, schema.attr_id("HN").unwrap()), "ELIZA");
         assert_eq!(repaired.value(t3, schema.attr_id("CT").unwrap()), "BOAZ");
         assert_eq!(repaired.value(t3, schema.attr_id("ST").unwrap()), "AL");
-        assert_eq!(repaired.value(t3, schema.attr_id("PN").unwrap()), "2567688400");
+        assert_eq!(
+            repaired.value(t3, schema.attr_id("PN").unwrap()),
+            "2567688400"
+        );
 
         // The conflict on t3.CT between version 1 and version 3 was detected.
         let outcome = record.outcomes.iter().find(|o| o.tuple == t3).unwrap();
@@ -372,7 +376,10 @@ mod tests {
         let truth = dataset::sample_hospital_truth();
         let index = stage1_index(&dirty);
         let (repaired, _) = ConflictResolver::new(6).resolve(&dirty, &index);
-        assert_eq!(repaired, truth, "the running example should be cleaned perfectly");
+        assert_eq!(
+            repaired, truth,
+            "the running example should be cleaned perfectly"
+        );
     }
 
     #[test]
@@ -381,7 +388,11 @@ mod tests {
         let index = stage1_index(&dirty);
         let (_, record) = ConflictResolver::new(6).resolve(&dirty, &index);
         // t1 has consistent versions (no conflicts).
-        let t1 = record.outcomes.iter().find(|o| o.tuple == TupleId(0)).unwrap();
+        let t1 = record
+            .outcomes
+            .iter()
+            .find(|o| o.tuple == TupleId(0))
+            .unwrap();
         assert!(!t1.conflict_detected);
         assert!(!t1.fusion_failed);
     }

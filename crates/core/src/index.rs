@@ -29,7 +29,10 @@ pub struct Group {
 impl Group {
     /// Create a group from its key.
     pub fn new(key: Vec<String>) -> Self {
-        Group { key, gammas: Vec::new() }
+        Group {
+            key,
+            gammas: Vec::new(),
+        }
     }
 
     /// Total number of tuples related to the group's γs — the quantity AGP
@@ -65,7 +68,12 @@ impl Group {
 
 impl fmt::Display for Group {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "group[{}] ({} tuples)", self.key.join("|"), self.tuple_count())?;
+        writeln!(
+            f,
+            "group[{}] ({} tuples)",
+            self.key.join("|"),
+            self.tuple_count()
+        )?;
         for g in &self.gammas {
             writeln!(f, "  {g} x{}", g.support())?;
         }
@@ -147,7 +155,10 @@ impl MlnIndex {
         for (rule_id, rule) in rules.iter_with_ids() {
             for attr in rule.all_attrs() {
                 if ds.schema().attr_id(&attr).is_none() {
-                    return Err(IndexError::UnknownAttribute { rule: rule_id, attribute: attr });
+                    return Err(IndexError::UnknownAttribute {
+                        rule: rule_id,
+                        attribute: attr,
+                    });
                 }
             }
         }
@@ -187,9 +198,17 @@ impl MlnIndex {
 
             let groups: Vec<Group> = groups
                 .into_iter()
-                .map(|(key, gammas)| Group { key, gammas: gammas.into_values().collect() })
+                .map(|(key, gammas)| Group {
+                    key,
+                    gammas: gammas.into_values().collect(),
+                })
                 .collect();
-            blocks.push(Block { rule: rule_id, reason_attrs, result_attrs, groups });
+            blocks.push(Block {
+                rule: rule_id,
+                reason_attrs,
+                result_attrs,
+                groups,
+            });
         }
         Ok(MlnIndex { blocks })
     }
@@ -256,8 +275,7 @@ mod tests {
     fn cfd_block_only_contains_relevant_tuples() {
         let index = build_sample_index();
         let b3 = index.block(RuleId(2));
-        let all_tuples: Vec<TupleId> =
-            b3.groups.iter().flat_map(|g| g.all_tuples()).collect();
+        let all_tuples: Vec<TupleId> = b3.groups.iter().flat_map(|g| g.all_tuples()).collect();
         assert!(!all_tuples.contains(&TupleId(0)));
         assert!(!all_tuples.contains(&TupleId(1)));
         assert_eq!(all_tuples.len(), 4);
@@ -285,7 +303,10 @@ mod tests {
         let err = MlnIndex::build(&ds, &rules).unwrap_err();
         assert_eq!(
             err,
-            IndexError::UnknownAttribute { rule: RuleId(0), attribute: "MISSING".to_string() }
+            IndexError::UnknownAttribute {
+                rule: RuleId(0),
+                attribute: "MISSING".to_string()
+            }
         );
     }
 
@@ -295,7 +316,10 @@ mod tests {
         let index = MlnIndex::build(&truth, &sample_hospital_rules()).unwrap();
         for block in &index.blocks {
             for group in &block.groups {
-                assert!(group.is_clean(), "clean data must give one γ per group: {group}");
+                assert!(
+                    group.is_clean(),
+                    "clean data must give one γ per group: {group}"
+                );
             }
         }
     }

@@ -105,7 +105,11 @@ impl MlnClean {
     /// structure localizes suspicious data, and the two cleaning stages
     /// rewrite it.  The returned [`CleaningOutcome`] keeps full provenance of
     /// every decision for evaluation and debugging.
-    pub fn clean(&self, dirty: &Dataset, rules: &RuleSet) -> Result<CleaningOutcome, CleaningError> {
+    pub fn clean(
+        &self,
+        dirty: &Dataset,
+        rules: &RuleSet,
+    ) -> Result<CleaningOutcome, CleaningError> {
         if rules.is_empty() {
             return Err(CleaningError::NoRules);
         }
@@ -117,13 +121,18 @@ impl MlnClean {
         let mut index = MlnIndex::build(dirty, rules)?;
         timings.index = start.elapsed();
 
-        // Stage I: abnormal group processing …
+        // Stage I: abnormal group processing — the per-block hot loop, run on
+        // the rayon pool unless `config.parallel` forces the serial path …
         let start = Instant::now();
         let mut agp_processor = AbnormalGroupProcessor::new(self.config.tau, self.config.metric);
         if let Some(guard) = self.config.agp_distance_guard {
             agp_processor = agp_processor.with_distance_guard(guard);
         }
-        let agp = agp_processor.process(&mut index);
+        let agp = if self.config.parallel {
+            agp_processor.process(&mut index)
+        } else {
+            agp_processor.process_serial(&mut index)
+        };
         timings.agp = start.elapsed();
 
         // … Markov weight learning (the dominant cost in the paper) …
@@ -131,9 +140,15 @@ impl MlnClean {
         assign_weights(&mut index, &self.config.learning);
         timings.weight_learning = start.elapsed();
 
-        // … and reliability-score cleaning within each group.
+        // … and reliability-score cleaning within each group (also per-block
+        // parallel).
         let start = Instant::now();
-        let rsc = ReliabilityCleaner::new(self.config.metric).clean(&mut index);
+        let rsc_cleaner = ReliabilityCleaner::new(self.config.metric);
+        let rsc = if self.config.parallel {
+            rsc_cleaner.clean(&mut index)
+        } else {
+            rsc_cleaner.clean_serial(&mut index)
+        };
         timings.rsc = start.elapsed();
 
         // Stage II: fusion-score conflict resolution + duplicate elimination.
@@ -147,7 +162,15 @@ impl MlnClean {
         };
         timings.fscr = start.elapsed();
 
-        Ok(CleaningOutcome { repaired, deduplicated, index, agp, rsc, fscr, timings })
+        Ok(CleaningOutcome {
+            repaired,
+            deduplicated,
+            index,
+            agp,
+            rsc,
+            fscr,
+            timings,
+        })
     }
 }
 
@@ -175,7 +198,9 @@ mod tests {
     fn repaired_keeps_one_row_per_tuple() {
         let dirty = sample_hospital_dataset();
         let rules = sample_hospital_rules();
-        let outcome = MlnClean::new(CleanConfig::default()).clean(&dirty, &rules).unwrap();
+        let outcome = MlnClean::new(CleanConfig::default())
+            .clean(&dirty, &rules)
+            .unwrap();
         assert_eq!(outcome.repaired.len(), dirty.len());
         for t in dirty.tuple_ids() {
             assert_eq!(outcome.repaired.tuple(t).id(), t);
@@ -185,7 +210,9 @@ mod tests {
     #[test]
     fn empty_rules_are_rejected() {
         let dirty = sample_hospital_dataset();
-        let err = MlnClean::default().clean(&dirty, &RuleSet::default()).unwrap_err();
+        let err = MlnClean::default()
+            .clean(&dirty, &RuleSet::default())
+            .unwrap_err();
         assert_eq!(err, CleaningError::NoRules);
     }
 
@@ -222,7 +249,11 @@ mod tests {
                 dirty: dirty_data.cell(cell).to_string(),
             })
             .collect();
-        let dirty = dataset::DirtyDataset { dirty: dirty_data, clean, errors };
+        let dirty = dataset::DirtyDataset {
+            dirty: dirty_data,
+            clean,
+            errors,
+        };
 
         let rules = sample_hospital_rules();
         let outcome = MlnClean::new(CleanConfig::default().with_tau(1))
@@ -233,11 +264,96 @@ mod tests {
     }
 
     #[test]
+    fn parallel_and_serial_stage1_are_byte_identical_on_the_sample() {
+        let dirty = sample_hospital_dataset();
+        let rules = sample_hospital_rules();
+        let par = MlnClean::new(CleanConfig::default().with_tau(1))
+            .clean(&dirty, &rules)
+            .unwrap();
+        let ser = MlnClean::new(CleanConfig::default().with_tau(1).with_parallel(false))
+            .clean(&dirty, &rules)
+            .unwrap();
+
+        // Cleaned output must be byte-identical, not merely equal in quality.
+        assert_eq!(
+            dataset::csv::to_csv(&par.repaired),
+            dataset::csv::to_csv(&ser.repaired)
+        );
+        assert_eq!(
+            dataset::csv::to_csv(&par.deduplicated),
+            dataset::csv::to_csv(&ser.deduplicated)
+        );
+        // Full provenance must match too: same merges, repairs and fusions in
+        // the same order.
+        assert_eq!(par.agp, ser.agp);
+        assert_eq!(par.rsc, ser.rsc);
+        assert_eq!(par.fscr, ser.fscr);
+    }
+
+    #[test]
+    fn parallel_and_serial_stage1_report_identical_evaluation() {
+        // Same check through the RepairEvaluation lens on the Table 1 sample.
+        let clean = sample_hospital_truth();
+        let dirty_data = sample_hospital_dataset();
+        let errors: Vec<dataset::InjectedError> = dirty_data
+            .diff_cells(&clean)
+            .into_iter()
+            .map(|cell| dataset::InjectedError {
+                cell,
+                error_type: dataset::ErrorType::Replacement,
+                original: clean.cell(cell).to_string(),
+                dirty: dirty_data.cell(cell).to_string(),
+            })
+            .collect();
+        let dirty = dataset::DirtyDataset {
+            dirty: dirty_data,
+            clean,
+            errors,
+        };
+        let rules = sample_hospital_rules();
+
+        let par = MlnClean::new(CleanConfig::default().with_tau(1))
+            .clean(&dirty.dirty, &rules)
+            .unwrap();
+        let ser = MlnClean::new(CleanConfig::default().with_tau(1).with_parallel(false))
+            .clean(&dirty.dirty, &rules)
+            .unwrap();
+        let par_report = RepairEvaluation::evaluate(&dirty, &par.repaired);
+        let ser_report = RepairEvaluation::evaluate(&dirty, &ser.repaired);
+        assert_eq!(par_report, ser_report);
+    }
+
+    #[test]
+    fn parallel_and_serial_stage1_are_identical_on_a_larger_workload() {
+        // Many blocks and groups (synthetic HAI) so the parallel path really
+        // splits work across more than one chunk.
+        let gen = datagen::HaiGenerator::default()
+            .with_rows(300)
+            .with_providers(12);
+        let rules = datagen::HaiGenerator::rules();
+        let dirty = gen.dirty(0.08, 0.5, 11);
+        let par = MlnClean::new(CleanConfig::default().with_tau(2))
+            .clean(&dirty.dirty, &rules)
+            .unwrap();
+        let ser = MlnClean::new(CleanConfig::default().with_tau(2).with_parallel(false))
+            .clean(&dirty.dirty, &rules)
+            .unwrap();
+        assert_eq!(
+            dataset::csv::to_csv(&par.repaired),
+            dataset::csv::to_csv(&ser.repaired)
+        );
+        assert_eq!(par.agp, ser.agp);
+        assert_eq!(par.rsc, ser.rsc);
+    }
+
+    #[test]
     fn uncovered_attributes_are_left_alone() {
         // An attribute no rule mentions must never be modified.
         let dirty = sample_hospital_dataset();
         let rules = rules::parse_rules("FD: CT -> ST").unwrap();
-        let outcome = MlnClean::new(CleanConfig::default()).clean(&dirty, &rules).unwrap();
+        let outcome = MlnClean::new(CleanConfig::default())
+            .clean(&dirty, &rules)
+            .unwrap();
         let hn = dirty.schema().attr_id("HN").unwrap();
         let pn = dirty.schema().attr_id("PN").unwrap();
         for t in dirty.tuple_ids() {

@@ -16,9 +16,10 @@
 //! exactly one piece of data.
 
 use crate::gamma::Gamma;
-use crate::index::MlnIndex;
+use crate::index::{Block, MlnIndex};
 use dataset::TupleId;
 use distance::{record_distance, Metric};
+use rayon::prelude::*;
 use rules::RuleId;
 use serde::{Deserialize, Serialize};
 
@@ -83,82 +84,112 @@ impl ReliabilityCleaner {
 
     /// Clean every group of every block in place; groups end up with exactly
     /// one γ.  Returns the record of replacements.
+    ///
+    /// Blocks are independent (one per rule), so they are cleaned in
+    /// parallel; per-block results are reassembled in block order, making the
+    /// outcome identical to [`ReliabilityCleaner::clean_serial`].
     pub fn clean(&self, index: &mut MlnIndex) -> RscRecord {
+        let blocks = std::mem::take(&mut index.blocks);
+        let cleaned: Vec<(Block, RscRecord)> = blocks
+            .into_par_iter()
+            .map(|mut block| {
+                let record = self.clean_block(&mut block);
+                (block, record)
+            })
+            .collect();
+        let mut record = RscRecord::default();
+        for (block, block_record) in cleaned {
+            index.blocks.push(block);
+            record.repairs.extend(block_record.repairs);
+        }
+        record
+    }
+
+    /// Serial reference implementation of [`ReliabilityCleaner::clean`], kept
+    /// for the parallel-equivalence tests.
+    pub fn clean_serial(&self, index: &mut MlnIndex) -> RscRecord {
         let mut record = RscRecord::default();
         for block in &mut index.blocks {
-            for group in &mut block.groups {
-                if group.gammas.len() <= 1 {
-                    continue; // already the ideal state; skipped like G21 in the paper
-                }
+            let block_record = self.clean_block(block);
+            record.repairs.extend(block_record.repairs);
+        }
+        record
+    }
 
-                // Normalization constant Z: the largest support-scaled pair
-                // distance in the group, so every dist lands in [0, 1].
-                let mut z: f64 = 0.0;
-                for (i, gi) in group.gammas.iter().enumerate() {
-                    for (j, gj) in group.gammas.iter().enumerate() {
-                        if i == j {
-                            continue;
-                        }
-                        let d = record_distance(&self.metric, &gi.values(), &gj.values());
-                        z = z.max(gi.support() as f64 * d);
-                    }
-                }
-                if z == 0.0 {
-                    z = 1.0;
-                }
+    /// Clean a single block in place.
+    fn clean_block(&self, block: &mut Block) -> RscRecord {
+        let mut record = RscRecord::default();
+        for group in &mut block.groups {
+            if group.gammas.len() <= 1 {
+                continue; // already the ideal state; skipped like G21 in the paper
+            }
 
-                // Pick the winner by reliability score (ties broken by
-                // support, then by value order for determinism).
-                let mut best_idx = 0usize;
-                let mut best_score = f64::NEG_INFINITY;
-                for (i, gamma) in group.gammas.iter().enumerate() {
-                    let others: Vec<&Gamma> = group
-                        .gammas
-                        .iter()
-                        .enumerate()
-                        .filter(|(j, _)| *j != i)
-                        .map(|(_, g)| g)
-                        .collect();
-                    let score = self.reliability_score(gamma, &others, z);
-                    let better = score > best_score
-                        || (score == best_score
-                            && (gamma.support() > group.gammas[best_idx].support()
-                                || (gamma.support() == group.gammas[best_idx].support()
-                                    && gamma.values() < group.gammas[best_idx].values())));
-                    if better {
-                        best_idx = i;
-                        best_score = score;
-                    }
-                }
-
-                // Replace every losing γ with the winner.
-                let winner = group.gammas[best_idx].clone();
-                let mut merged_tuples = winner.tuples.clone();
-                for (i, gamma) in group.gammas.iter().enumerate() {
-                    if i == best_idx {
+            // Normalization constant Z: the largest support-scaled pair
+            // distance in the group, so every dist lands in [0, 1].
+            let mut z: f64 = 0.0;
+            for (i, gi) in group.gammas.iter().enumerate() {
+                for (j, gj) in group.gammas.iter().enumerate() {
+                    if i == j {
                         continue;
                     }
-                    let mut from_values: Vec<String> =
-                        gamma.reason_values.iter().cloned().collect();
-                    from_values.extend(gamma.result_values.iter().cloned());
-                    let mut to_values: Vec<String> = winner.reason_values.iter().cloned().collect();
-                    to_values.extend(winner.result_values.iter().cloned());
-                    record.repairs.push(RscRepair {
-                        rule: block.rule,
-                        group_key: group.key.clone(),
-                        from_values,
-                        to_values,
-                        tuples: gamma.tuples.clone(),
-                    });
-                    merged_tuples.extend(gamma.tuples.iter().cloned());
+                    let d = record_distance(&self.metric, &gi.values(), &gj.values());
+                    z = z.max(gi.support() as f64 * d);
                 }
-                merged_tuples.sort();
-                merged_tuples.dedup();
-
-                let mut final_gamma = winner;
-                final_gamma.tuples = merged_tuples;
-                group.gammas = vec![final_gamma];
             }
+            if z == 0.0 {
+                z = 1.0;
+            }
+
+            // Pick the winner by reliability score (ties broken by
+            // support, then by value order for determinism).
+            let mut best_idx = 0usize;
+            let mut best_score = f64::NEG_INFINITY;
+            for (i, gamma) in group.gammas.iter().enumerate() {
+                let others: Vec<&Gamma> = group
+                    .gammas
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .map(|(_, g)| g)
+                    .collect();
+                let score = self.reliability_score(gamma, &others, z);
+                let better = score > best_score
+                    || (score == best_score
+                        && (gamma.support() > group.gammas[best_idx].support()
+                            || (gamma.support() == group.gammas[best_idx].support()
+                                && gamma.values() < group.gammas[best_idx].values())));
+                if better {
+                    best_idx = i;
+                    best_score = score;
+                }
+            }
+
+            // Replace every losing γ with the winner.
+            let winner = group.gammas[best_idx].clone();
+            let mut merged_tuples = winner.tuples.clone();
+            for (i, gamma) in group.gammas.iter().enumerate() {
+                if i == best_idx {
+                    continue;
+                }
+                let mut from_values: Vec<String> = gamma.reason_values.to_vec();
+                from_values.extend(gamma.result_values.iter().cloned());
+                let mut to_values: Vec<String> = winner.reason_values.to_vec();
+                to_values.extend(winner.result_values.iter().cloned());
+                record.repairs.push(RscRepair {
+                    rule: block.rule,
+                    group_key: group.key.clone(),
+                    from_values,
+                    to_values,
+                    tuples: gamma.tuples.clone(),
+                });
+                merged_tuples.extend(gamma.tuples.iter().cloned());
+            }
+            merged_tuples.sort();
+            merged_tuples.dedup();
+
+            let mut final_gamma = winner;
+            final_gamma.tuples = merged_tuples;
+            group.gammas = vec![final_gamma];
         }
         record
     }
@@ -195,11 +226,17 @@ mod tests {
         let boaz = b1.group_by_key(&["BOAZ".to_string()]).unwrap();
         assert_eq!(boaz.gamma_count(), 1);
         assert_eq!(boaz.gammas[0].result_values, vec!["AL"]);
-        assert_eq!(boaz.gammas[0].support(), 3, "all three BOAZ tuples end on the winner");
+        assert_eq!(
+            boaz.gammas[0].support(),
+            3,
+            "all three BOAZ tuples end on the winner"
+        );
 
         // The AK γ was repaired.
         assert!(record.repairs.iter().any(|r| {
-            r.rule == RuleId(0) && r.from_values == vec!["BOAZ", "AK"] && r.to_values == vec!["BOAZ", "AL"]
+            r.rule == RuleId(0)
+                && r.from_values == vec!["BOAZ", "AK"]
+                && r.to_values == vec!["BOAZ", "AL"]
         }));
     }
 
@@ -261,6 +298,17 @@ mod tests {
             .map(|b| b.groups.iter().map(|g| g.all_tuples().len()).sum())
             .collect();
         assert_eq!(before, after, "RSC must not lose or duplicate tuples");
+    }
+
+    #[test]
+    fn parallel_and_serial_cleaning_are_identical() {
+        let mut par_index = prepared_index();
+        let mut ser_index = prepared_index();
+        let cleaner = ReliabilityCleaner::new(Metric::Levenshtein);
+        let par_record = cleaner.clean(&mut par_index);
+        let ser_record = cleaner.clean_serial(&mut ser_index);
+        assert_eq!(par_record, ser_record);
+        assert_eq!(format!("{par_index:?}"), format!("{ser_index:?}"));
     }
 
     #[test]

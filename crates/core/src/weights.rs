@@ -53,9 +53,20 @@ mod tests {
 
         let b1 = index.block(RuleId(0));
         let boaz = b1.group_by_key(&["BOAZ".to_string()]).unwrap();
-        let al = boaz.gammas.iter().find(|g| g.result_values == vec!["AL"]).unwrap();
-        let ak = boaz.gammas.iter().find(|g| g.result_values == vec!["AK"]).unwrap();
-        assert!(al.weight > ak.weight, "2-tuple support must outweigh 1-tuple support");
+        let al = boaz
+            .gammas
+            .iter()
+            .find(|g| g.result_values == vec!["AL"])
+            .unwrap();
+        let ak = boaz
+            .gammas
+            .iter()
+            .find(|g| g.result_values == vec!["AK"])
+            .unwrap();
+        assert!(
+            al.weight > ak.weight,
+            "2-tuple support must outweigh 1-tuple support"
+        );
         assert!(al.probability > ak.probability);
     }
 
@@ -67,7 +78,12 @@ mod tests {
         assign_weights(&mut index, &LearningConfig::default());
         for block in &index.blocks {
             let total: f64 = block.gammas().map(|g| g.probability).sum();
-            assert!((total - 1.0).abs() < 1e-9, "block {:?} sums to {}", block.rule, total);
+            assert!(
+                (total - 1.0).abs() < 1e-9,
+                "block {:?} sums to {}",
+                block.rule,
+                total
+            );
             for g in block.gammas() {
                 assert!(g.probability > 0.0 && g.probability <= 1.0);
             }
@@ -86,10 +102,7 @@ mod tests {
         let b1 = index.block(RuleId(0));
         let total: usize = b1.gammas().map(|g| g.support()).sum();
         assert_eq!(total, 6);
-        let ak = b1
-            .gammas()
-            .find(|g| g.result_values == vec!["AK"])
-            .unwrap();
+        let ak = b1.gammas().find(|g| g.result_values == vec!["AK"]).unwrap();
         assert_eq!(ak.support(), 1);
     }
 }

@@ -25,13 +25,31 @@ pub struct CarGenerator {
 
 impl Default for CarGenerator {
     fn default() -> Self {
-        CarGenerator { models_per_make: 3, rows: 2_000, seed: 23 }
+        CarGenerator {
+            models_per_make: 3,
+            rows: 2_000,
+            seed: 23,
+        }
     }
 }
 
 const MAKES: &[&str] = &[
-    "acura", "audi", "bmw", "chevrolet", "dodge", "ford", "honda", "hyundai", "jeep", "kia",
-    "lexus", "mazda", "nissan", "subaru", "toyota", "volkswagen",
+    "acura",
+    "audi",
+    "bmw",
+    "chevrolet",
+    "dodge",
+    "ford",
+    "honda",
+    "hyundai",
+    "jeep",
+    "kia",
+    "lexus",
+    "mazda",
+    "nissan",
+    "subaru",
+    "toyota",
+    "volkswagen",
 ];
 
 const TYPES: &[&str] = &["sedan", "suv", "coupe", "hatchback", "truck"];
@@ -40,12 +58,54 @@ const TYPES: &[&str] = &["sedan", "suv", "coupe", "hatchback", "truck"];
 /// models are far apart under a string metric (as real model names are),
 /// while a typo'd model stays close to its original.
 const MODEL_STEMS: &[&str] = &[
-    "integra", "quattro", "gran-turismo", "silverado", "challenger", "mustang", "civic",
-    "elantra", "wrangler", "sorento", "ladyra", "miata", "altima", "outback", "corolla",
-    "passat", "legend", "allroad", "zagato", "impala", "durango", "explorer", "accord",
-    "sonata", "cherokee", "sportage", "luxion", "navada", "maxima", "forester", "camry",
-    "jetta", "vigor", "cabrio", "roadster", "tahoe", "viper", "ranger", "pilot", "tucson",
-    "gladiator", "telluride", "emblema", "protege", "sentra", "crosstrek", "tundra", "touareg",
+    "integra",
+    "quattro",
+    "gran-turismo",
+    "silverado",
+    "challenger",
+    "mustang",
+    "civic",
+    "elantra",
+    "wrangler",
+    "sorento",
+    "ladyra",
+    "miata",
+    "altima",
+    "outback",
+    "corolla",
+    "passat",
+    "legend",
+    "allroad",
+    "zagato",
+    "impala",
+    "durango",
+    "explorer",
+    "accord",
+    "sonata",
+    "cherokee",
+    "sportage",
+    "luxion",
+    "navada",
+    "maxima",
+    "forester",
+    "camry",
+    "jetta",
+    "vigor",
+    "cabrio",
+    "roadster",
+    "tahoe",
+    "viper",
+    "ranger",
+    "pilot",
+    "tucson",
+    "gladiator",
+    "telluride",
+    "emblema",
+    "protege",
+    "sentra",
+    "crosstrek",
+    "tundra",
+    "touareg",
 ];
 
 const CONDITIONS: &[&str] = &["new", "used", "certified"];
@@ -97,7 +157,9 @@ impl CarGenerator {
         let hash: usize = model
             .bytes()
             .chain(vehicle_type.bytes())
-            .fold(0usize, |acc, b| acc.wrapping_mul(31).wrapping_add(b as usize));
+            .fold(0usize, |acc, b| {
+                acc.wrapping_mul(31).wrapping_add(b as usize)
+            });
         ["2", "3", "4", "5"][hash % 4]
     }
 
@@ -151,7 +213,11 @@ impl CarGenerator {
             let year = format!("{}", rng.gen_range(1998..2020));
             let condition = CONDITIONS[rng.gen_range(0..CONDITIONS.len())];
             let wheel_drive = WHEEL_DRIVES[rng.gen_range(0..WHEEL_DRIVES.len())];
-            let engine = format!("{:.1}L-V{}", rng.gen_range(1.0..5.7), [4, 6, 8][rng.gen_range(0..3)]);
+            let engine = format!(
+                "{:.1}L-V{}",
+                rng.gen_range(1.0..5.7),
+                [4, 6, 8][rng.gen_range(0..3usize)]
+            );
             ds.push_row(vec![
                 model,
                 make,
@@ -211,7 +277,9 @@ mod tests {
                 car.schema().attr_id("Type").unwrap(),
             )
             .len();
-        let hai_groups = hai.domain(hai.schema().attr_id("ProviderID").unwrap()).len();
+        let hai_groups = hai
+            .domain(hai.schema().attr_id("ProviderID").unwrap())
+            .len();
         let car_density = 1000.0 / car_groups as f64;
         let hai_density = 1000.0 / hai_groups as f64;
         assert!(

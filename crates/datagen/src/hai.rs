@@ -28,28 +28,74 @@ pub struct HaiGenerator {
 
 impl Default for HaiGenerator {
     fn default() -> Self {
-        HaiGenerator { providers: 60, measures: 25, rows: 2_000, seed: 17 }
+        HaiGenerator {
+            providers: 60,
+            measures: 25,
+            rows: 2_000,
+            seed: 17,
+        }
     }
 }
 
 const STATES: &[&str] = &[
-    "AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA", "HI", "ID", "IL", "IN", "IA",
-    "KS", "KY", "LA", "ME", "MD",
+    "AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA", "HI", "ID", "IL", "IN", "IA", "KS",
+    "KY", "LA", "ME", "MD",
 ];
 
 const CITY_STEMS: &[&str] = &[
-    "DOTHAN", "BOAZ", "BIRMINGHAM", "HUNTSVILLE", "MOBILE", "MONTGOMERY", "TUSCALOOSA", "AUBURN",
-    "DECATUR", "FLORENCE", "GADSDEN", "HOOVER", "MADISON", "OPELIKA", "SELMA", "TROY",
+    "DOTHAN",
+    "BOAZ",
+    "BIRMINGHAM",
+    "HUNTSVILLE",
+    "MOBILE",
+    "MONTGOMERY",
+    "TUSCALOOSA",
+    "AUBURN",
+    "DECATUR",
+    "FLORENCE",
+    "GADSDEN",
+    "HOOVER",
+    "MADISON",
+    "OPELIKA",
+    "SELMA",
+    "TROY",
 ];
 
 const COUNTY_STEMS: &[&str] = &[
-    "HOUSTON", "MARSHALL", "JEFFERSON", "MADISON", "MOBILE", "MONTGOMERY", "TUSCALOOSA", "LEE",
-    "MORGAN", "LAUDERDALE", "ETOWAH", "SHELBY", "LIMESTONE", "DALLAS", "PIKE", "BALDWIN",
+    "HOUSTON",
+    "MARSHALL",
+    "JEFFERSON",
+    "MADISON",
+    "MOBILE",
+    "MONTGOMERY",
+    "TUSCALOOSA",
+    "LEE",
+    "MORGAN",
+    "LAUDERDALE",
+    "ETOWAH",
+    "SHELBY",
+    "LIMESTONE",
+    "DALLAS",
+    "PIKE",
+    "BALDWIN",
 ];
 
 const MEASURE_STEMS: &[&str] = &[
-    "CLABSI", "CAUTI", "SSI_COLON", "SSI_HYST", "MRSA", "CDIFF", "PSI_90", "HAI_1", "HAI_2",
-    "HAI_3", "HAI_4", "HAI_5", "HAI_6", "READM_30", "MORT_30",
+    "CLABSI",
+    "CAUTI",
+    "SSI_COLON",
+    "SSI_HYST",
+    "MRSA",
+    "CDIFF",
+    "PSI_90",
+    "HAI_1",
+    "HAI_2",
+    "HAI_3",
+    "HAI_4",
+    "HAI_5",
+    "HAI_6",
+    "READM_30",
+    "MORT_30",
 ];
 
 impl HaiGenerator {
@@ -120,7 +166,11 @@ impl HaiGenerator {
                 // Make the city unique per provider so ZIP→City cannot clash
                 // across providers sharing a stem.
                 let city = format!("{}{}", city_stem, i / CITY_STEMS.len());
-                let county = format!("{}{}", COUNTY_STEMS[i % COUNTY_STEMS.len()], i / COUNTY_STEMS.len());
+                let county = format!(
+                    "{}{}",
+                    COUNTY_STEMS[i % COUNTY_STEMS.len()],
+                    i / COUNTY_STEMS.len()
+                );
                 let zip = format!("{:05}", 35000 + i);
                 let phone = format!("{:010}", 2_560_000_000u64 + i as u64 * 97);
                 Provider {

@@ -77,17 +77,29 @@ mod tests {
         let constrained = rules.constrained_attrs();
         for e in &dirty.errors {
             let name = clean.schema().attr_name(e.cell.attr).to_string();
-            assert!(constrained.contains(&name), "error injected outside rule attributes: {name}");
+            assert!(
+                constrained.contains(&name),
+                "error injected outside rule attributes: {name}"
+            );
         }
         assert!(dirty.error_count() > 0);
     }
 
     #[test]
     fn generation_is_deterministic() {
-        let a = CarGenerator::default().with_rows(150).with_seed(3).generate();
-        let b = CarGenerator::default().with_rows(150).with_seed(3).generate();
+        let a = CarGenerator::default()
+            .with_rows(150)
+            .with_seed(3)
+            .generate();
+        let b = CarGenerator::default()
+            .with_rows(150)
+            .with_seed(3)
+            .generate();
         assert_eq!(a, b);
-        let c = CarGenerator::default().with_rows(150).with_seed(4).generate();
+        let c = CarGenerator::default()
+            .with_rows(150)
+            .with_seed(4)
+            .generate();
         assert_ne!(a, c);
     }
 }

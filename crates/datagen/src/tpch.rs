@@ -26,14 +26,39 @@ pub struct TpchGenerator {
 
 impl Default for TpchGenerator {
     fn default() -> Self {
-        TpchGenerator { customers: 200, rows: 5_000, seed: 31 }
+        TpchGenerator {
+            customers: 200,
+            rows: 5_000,
+            seed: 31,
+        }
     }
 }
 
 const NATIONS: &[&str] = &[
-    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY",
-    "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE",
-    "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "ALGERIA",
+    "ARGENTINA",
+    "BRAZIL",
+    "CANADA",
+    "EGYPT",
+    "ETHIOPIA",
+    "FRANCE",
+    "GERMANY",
+    "INDIA",
+    "INDONESIA",
+    "IRAN",
+    "IRAQ",
+    "JAPAN",
+    "JORDAN",
+    "KENYA",
+    "MOROCCO",
+    "MOZAMBIQUE",
+    "PERU",
+    "CHINA",
+    "ROMANIA",
+    "SAUDI ARABIA",
+    "VIETNAM",
+    "RUSSIA",
+    "UNITED KINGDOM",
     "UNITED STATES",
 ];
 
@@ -89,7 +114,13 @@ impl TpchGenerator {
                 name: format!("Customer#{:09}", i + 1),
                 address: format!("{} MARKET ST SUITE {}", 100 + (i * 37) % 900, i + 1),
                 nation: NATIONS[i % NATIONS.len()].to_string(),
-                phone: format!("{:02}-{:03}-{:03}-{:04}", 10 + i % 25, i % 1000, (i * 7) % 1000, (i * 13) % 10_000),
+                phone: format!(
+                    "{:02}-{:03}-{:03}-{:04}",
+                    10 + i % 25,
+                    i % 1000,
+                    (i * 7) % 1000,
+                    (i * 13) % 10_000
+                ),
             })
             .collect();
 
@@ -132,7 +163,10 @@ mod tests {
 
     #[test]
     fn customers_repeat_across_line_items() {
-        let ds = TpchGenerator::default().with_rows(1000).with_customers(50).generate();
+        let ds = TpchGenerator::default()
+            .with_rows(1000)
+            .with_customers(50)
+            .generate();
         let cust = ds.schema().attr_id("CustKey").unwrap();
         assert!(ds.domain(cust).len() <= 50);
     }
@@ -151,7 +185,10 @@ mod tests {
         let schema = dirty.dirty.schema().clone();
         for e in &dirty.errors {
             let name = schema.attr_name(e.cell.attr);
-            assert!(name == "CustKey" || name == "Address", "unexpected attribute {name}");
+            assert!(
+                name == "CustKey" || name == "Address",
+                "unexpected attribute {name}"
+            );
         }
     }
 }

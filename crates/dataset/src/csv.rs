@@ -39,7 +39,11 @@ impl fmt::Display for CsvError {
         match self {
             CsvError::Io(e) => write!(f, "I/O error: {e}"),
             CsvError::MissingHeader => write!(f, "CSV input has no header row"),
-            CsvError::RaggedRow { line, expected, actual } => {
+            CsvError::RaggedRow {
+                line,
+                expected,
+                actual,
+            } => {
                 write!(f, "line {line}: expected {expected} fields, found {actual}")
             }
             CsvError::UnterminatedQuote { line } => {
@@ -183,7 +187,8 @@ mod tests {
     #[test]
     fn quoting_round_trip() {
         let mut ds = Dataset::new(Schema::new(&["name", "note"]));
-        ds.push_row(vec!["St. Mary's, Inc".into(), "said \"hello\"".into()]).unwrap();
+        ds.push_row(vec!["St. Mary's, Inc".into(), "said \"hello\"".into()])
+            .unwrap();
         ds.push_row(vec!["plain".into(), "".into()]).unwrap();
         let text = to_csv(&ds);
         let back = parse_csv(&text).unwrap();
@@ -199,7 +204,11 @@ mod tests {
     fn ragged_rows_are_rejected() {
         let err = parse_csv("a,b\n1,2\n3\n").unwrap_err();
         match err {
-            CsvError::RaggedRow { line, expected, actual } => {
+            CsvError::RaggedRow {
+                line,
+                expected,
+                actual,
+            } => {
                 assert_eq!((line, expected, actual), (3, 2, 1));
             }
             other => panic!("unexpected error {other:?}"),

@@ -19,7 +19,11 @@ pub struct ArityMismatch {
 
 impl fmt::Display for ArityMismatch {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "row has {} values but the schema has {} attributes", self.actual, self.expected)
+        write!(
+            f,
+            "row has {} values but the schema has {} attributes",
+            self.actual, self.expected
+        )
     }
 }
 
@@ -35,12 +39,18 @@ pub struct Dataset {
 impl Dataset {
     /// Create an empty dataset over `schema`.
     pub fn new(schema: Schema) -> Self {
-        Dataset { schema, tuples: Vec::new() }
+        Dataset {
+            schema,
+            tuples: Vec::new(),
+        }
     }
 
     /// Create a dataset with pre-allocated capacity.
     pub fn with_capacity(schema: Schema, capacity: usize) -> Self {
-        Dataset { schema, tuples: Vec::with_capacity(capacity) }
+        Dataset {
+            schema,
+            tuples: Vec::with_capacity(capacity),
+        }
     }
 
     /// The schema of this dataset.
@@ -61,7 +71,10 @@ impl Dataset {
     /// Append a row, assigning it the next [`TupleId`].
     pub fn push_row(&mut self, values: Vec<String>) -> Result<TupleId, ArityMismatch> {
         if values.len() != self.schema.arity() {
-            return Err(ArityMismatch { expected: self.schema.arity(), actual: values.len() });
+            return Err(ArityMismatch {
+                expected: self.schema.arity(),
+                actual: values.len(),
+            });
         }
         let id = TupleId(self.tuples.len());
         self.tuples.push(Tuple::new(id, values));
@@ -124,7 +137,10 @@ impl Dataset {
     /// that column, sorted.  Quantitative cleaners (HoloClean-style) draw
     /// their repair candidates from this set.
     pub fn domain(&self, attr: AttrId) -> BTreeSet<String> {
-        self.tuples.iter().map(|t| t.value(attr).to_string()).collect()
+        self.tuples
+            .iter()
+            .map(|t| t.value(attr).to_string())
+            .collect()
     }
 
     /// Frequency of each value in the column `attr`.
@@ -175,8 +191,16 @@ impl Dataset {
     /// Number of cells where `self` and `other` differ.  The two datasets
     /// must have the same shape.
     pub fn diff_cells(&self, other: &Dataset) -> Vec<CellRef> {
-        assert_eq!(self.schema.arity(), other.schema.arity(), "schemas must agree");
-        assert_eq!(self.len(), other.len(), "datasets must have the same number of tuples");
+        assert_eq!(
+            self.schema.arity(),
+            other.schema.arity(),
+            "schemas must agree"
+        );
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "datasets must have the same number of tuples"
+        );
         let mut out = Vec::new();
         for t in self.tuple_ids() {
             for a in self.schema.attr_ids() {
@@ -209,7 +233,13 @@ mod tests {
         let mut ds = Dataset::new(Schema::new(&["a", "b"]));
         assert!(ds.push_row(vec!["1".into(), "2".into()]).is_ok());
         let err = ds.push_row(vec!["1".into()]).unwrap_err();
-        assert_eq!(err, ArityMismatch { expected: 2, actual: 1 });
+        assert_eq!(
+            err,
+            ArityMismatch {
+                expected: 2,
+                actual: 1
+            }
+        );
         assert_eq!(ds.len(), 1);
     }
 

@@ -62,7 +62,12 @@ pub struct ErrorSpec {
 impl ErrorSpec {
     /// A 5% error rate with the paper's default 50/50 typo/replacement split.
     pub fn new(error_rate: f64, seed: u64) -> Self {
-        ErrorSpec { error_rate, replacement_ratio: 0.5, attributes: Vec::new(), seed }
+        ErrorSpec {
+            error_rate,
+            replacement_ratio: 0.5,
+            attributes: Vec::new(),
+            seed,
+        }
     }
 
     /// Restrict injection to the given attributes (the rule-related ones).
@@ -142,8 +147,8 @@ impl ErrorInjector {
             .collect();
         candidates.shuffle(&mut rng);
 
-        let target = ((candidates.len() as f64) * self.spec.error_rate.clamp(0.0, 1.0)).round()
-            as usize;
+        let target =
+            ((candidates.len() as f64) * self.spec.error_rate.clamp(0.0, 1.0)).round() as usize;
         let mut errors = Vec::with_capacity(target);
 
         // Pre-compute attribute domains from the clean data so replacement
@@ -173,10 +178,19 @@ impl ErrorInjector {
                 continue;
             }
             dirty.set_value(cell.tuple, cell.attr, corrupted.clone());
-            errors.push(InjectedError { cell, error_type, original, dirty: corrupted });
+            errors.push(InjectedError {
+                cell,
+                error_type,
+                original,
+                dirty: corrupted,
+            });
         }
 
-        DirtyDataset { dirty, clean: clean.clone(), errors }
+        DirtyDataset {
+            dirty,
+            clean: clean.clone(),
+            errors,
+        }
     }
 }
 
@@ -233,7 +247,11 @@ mod tests {
         let expected = (clean.cell_count() as f64 * 0.10).round() as usize;
         // A handful of cells can be skipped when corruption is impossible,
         // but the bulk of the budget must be spent.
-        assert!(dirty.error_count() >= expected * 9 / 10, "{}", dirty.error_count());
+        assert!(
+            dirty.error_count() >= expected * 9 / 10,
+            "{}",
+            dirty.error_count()
+        );
         assert!(dirty.error_count() <= expected);
     }
 
@@ -253,7 +271,10 @@ mod tests {
         let clean = big_dataset(300);
         let all_typos =
             ErrorInjector::new(ErrorSpec::new(0.1, 1).with_replacement_ratio(0.0)).inject(&clean);
-        assert!(all_typos.errors.iter().all(|e| e.error_type == ErrorType::Typo));
+        assert!(all_typos
+            .errors
+            .iter()
+            .all(|e| e.error_type == ErrorType::Typo));
 
         let all_repl =
             ErrorInjector::new(ErrorSpec::new(0.1, 1).with_replacement_ratio(1.0)).inject(&clean);
@@ -267,10 +288,8 @@ mod tests {
     fn attribute_restriction_is_respected() {
         let clean = big_dataset(200);
         let only_city = vec![AttrId(0)];
-        let dirty = ErrorInjector::new(
-            ErrorSpec::new(0.3, 5).on_attributes(only_city.clone()),
-        )
-        .inject(&clean);
+        let dirty = ErrorInjector::new(ErrorSpec::new(0.3, 5).on_attributes(only_city.clone()))
+            .inject(&clean);
         assert!(!dirty.errors.is_empty());
         assert!(dirty.errors.iter().all(|e| e.cell.attr == AttrId(0)));
     }
@@ -289,7 +308,11 @@ mod tests {
         let dirty =
             ErrorInjector::new(ErrorSpec::new(0.2, 11).with_replacement_ratio(0.0)).inject(&clean);
         for e in &dirty.errors {
-            assert_eq!(e.dirty.chars().count() + 1, e.original.chars().count(), "{e:?}");
+            assert_eq!(
+                e.dirty.chars().count() + 1,
+                e.original.chars().count(),
+                "{e:?}"
+            );
         }
     }
 

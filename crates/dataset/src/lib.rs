@@ -72,8 +72,14 @@ mod tests {
         let ds = sample_hospital_dataset();
         assert_eq!(ds.len(), 6);
         assert_eq!(ds.schema().arity(), 4);
-        assert_eq!(ds.value(TupleId(1), ds.schema().attr_id("CT").unwrap()), "DOTH");
-        assert_eq!(ds.value(TupleId(3), ds.schema().attr_id("ST").unwrap()), "AK");
+        assert_eq!(
+            ds.value(TupleId(1), ds.schema().attr_id("CT").unwrap()),
+            "DOTH"
+        );
+        assert_eq!(
+            ds.value(TupleId(3), ds.schema().attr_id("ST").unwrap()),
+            "AK"
+        );
     }
 
     #[test]

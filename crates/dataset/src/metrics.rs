@@ -31,7 +31,11 @@ pub struct ComponentMetrics {
 impl ComponentMetrics {
     /// Build metrics from counts.
     pub fn from_counts(correct: usize, attempted: usize, relevant: usize) -> Self {
-        ComponentMetrics { correct, attempted, relevant }
+        ComponentMetrics {
+            correct,
+            attempted,
+            relevant,
+        }
     }
 
     /// Precision (`1.0` when nothing was attempted — no wrong decision was
@@ -211,7 +215,8 @@ mod tests {
     fn toy_dataset() -> Dataset {
         let mut ds = Dataset::new(Schema::new(&["a", "b"]));
         for i in 0..20 {
-            ds.push_row(vec![format!("val{}", i % 4), format!("w{}", i % 3)]).unwrap();
+            ds.push_row(vec![format!("val{}", i % 4), format!("w{}", i % 3)])
+                .unwrap();
         }
         ds
     }

@@ -40,9 +40,15 @@ impl Schema {
         let mut by_name = HashMap::with_capacity(attributes.len());
         for (idx, name) in attributes.iter().enumerate() {
             let prev = by_name.insert(name.clone(), idx);
-            assert!(prev.is_none(), "duplicate attribute name {name:?} in schema");
+            assert!(
+                prev.is_none(),
+                "duplicate attribute name {name:?} in schema"
+            );
         }
-        Schema { attributes, by_name }
+        Schema {
+            attributes,
+            by_name,
+        }
     }
 
     /// Number of attributes.

@@ -86,7 +86,12 @@ mod tests {
     fn tuple() -> Tuple {
         Tuple::new(
             TupleId(0),
-            vec!["ELIZA".into(), "BOAZ".into(), "AL".into(), "2567688400".into()],
+            vec![
+                "ELIZA".into(),
+                "BOAZ".into(),
+                "AL".into(),
+                "2567688400".into(),
+            ],
         )
     }
 

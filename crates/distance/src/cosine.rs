@@ -14,13 +14,9 @@ const PAD: char = '\u{1}';
 
 fn qgram_profile(s: &str) -> HashMap<Vec<char>, usize> {
     let mut padded: Vec<char> = Vec::with_capacity(s.chars().count() + 2 * (Q - 1));
-    for _ in 0..Q - 1 {
-        padded.push(PAD);
-    }
+    padded.extend(std::iter::repeat_n(PAD, Q - 1));
     padded.extend(s.chars());
-    for _ in 0..Q - 1 {
-        padded.push(PAD);
-    }
+    padded.extend(std::iter::repeat_n(PAD, Q - 1));
     let mut profile = HashMap::new();
     if padded.len() < Q {
         return profile;
@@ -40,7 +36,11 @@ pub fn cosine_similarity(a: &str, b: &str) -> f64 {
     let pa = qgram_profile(a);
     let pb = qgram_profile(b);
     if pa.is_empty() || pb.is_empty() {
-        return if pa.is_empty() && pb.is_empty() { 1.0 } else { 0.0 };
+        return if pa.is_empty() && pb.is_empty() {
+            1.0
+        } else {
+            0.0
+        };
     }
     let dot: f64 = pa
         .iter()
@@ -74,7 +74,10 @@ mod tests {
     #[test]
     fn disjoint_strings() {
         let s = cosine_similarity("abc", "xyz");
-        assert!(s < 0.2, "disjoint bigrams should have near-zero similarity, got {s}");
+        assert!(
+            s < 0.2,
+            "disjoint bigrams should have near-zero similarity, got {s}"
+        );
     }
 
     #[test]
@@ -89,7 +92,10 @@ mod tests {
         // perturbs the q-gram profile a lot.
         let lev = crate::normalized_levenshtein("XOTHAN", "DOTHAN");
         let cos = cosine_distance("XOTHAN", "DOTHAN");
-        assert!(cos > lev, "cosine {cos} should exceed normalized levenshtein {lev}");
+        assert!(
+            cos > lev,
+            "cosine {cos} should exceed normalized levenshtein {lev}"
+        );
     }
 
     #[test]

@@ -58,7 +58,10 @@ mod tests {
         let m = Metric::Levenshtein;
         let a = ["BOAZ", "AL"];
         let b = ["DOTHAN", "AL"];
-        assert_eq!(record_distance(&m, &a, &b), levenshtein("BOAZ", "DOTHAN") as f64);
+        assert_eq!(
+            record_distance(&m, &a, &b),
+            levenshtein("BOAZ", "DOTHAN") as f64
+        );
     }
 
     #[test]
@@ -68,7 +71,10 @@ mod tests {
         let b = ["xyz", "uvw", "rst"];
         let d = normalized_record_distance(&m, &a, &b);
         assert!((0.0..=1.0).contains(&d));
-        assert!((d - 1.0).abs() < 1e-9, "completely different strings should be distance 1");
+        assert!(
+            (d - 1.0).abs() < 1e-9,
+            "completely different strings should be distance 1"
+        );
     }
 
     #[test]
@@ -79,7 +85,12 @@ mod tests {
 
     #[test]
     fn identical_records_have_zero_distance() {
-        for m in [Metric::Levenshtein, Metric::Cosine, Metric::JaroWinkler, Metric::Jaccard] {
+        for m in [
+            Metric::Levenshtein,
+            Metric::Cosine,
+            Metric::JaroWinkler,
+            Metric::Jaccard,
+        ] {
             let a = ["ELIZA", "BOAZ", "2567688400"];
             assert_eq!(record_distance(&m, &a, &a), 0.0, "metric {m:?}");
         }

@@ -34,7 +34,12 @@ impl PartitionConfig {
     /// Create a configuration with the default (Levenshtein) metric over all
     /// attributes.
     pub fn new(parts: usize, seed: u64) -> Self {
-        PartitionConfig { parts: parts.max(1), metric: Metric::Levenshtein, attributes: Vec::new(), seed }
+        PartitionConfig {
+            parts: parts.max(1),
+            metric: Metric::Levenshtein,
+            attributes: Vec::new(),
+            seed,
+        }
     }
 
     /// Restrict the partitioning distance to the given attributes.
@@ -121,37 +126,41 @@ pub fn partition_dataset(ds: &Dataset, config: &PartitionConfig) -> Partitioning
 
     let mut heaps: Vec<BinaryHeap<HeapEntry>> = (0..k).map(|_| BinaryHeap::new()).collect();
     for (i, &c) in centroids.iter().enumerate() {
-        heaps[i].push(HeapEntry { distance: 0.0, tuple: c });
+        heaps[i].push(HeapEntry {
+            distance: 0.0,
+            tuple: c,
+        });
     }
 
     // Helper: index of the closest part to `t` among parts satisfying `pred`.
-    let closest_part = |t: TupleId, heaps: &Vec<BinaryHeap<HeapEntry>>, only_non_full: bool| -> usize {
-        let mut best = 0usize;
-        let mut best_d = f64::INFINITY;
-        for (i, &c) in centroids.iter().enumerate() {
-            if only_non_full && heaps[i].len() >= capacity {
-                continue;
+    let closest_part =
+        |t: TupleId, heaps: &Vec<BinaryHeap<HeapEntry>>, only_non_full: bool| -> usize {
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for (i, &c) in centroids.iter().enumerate() {
+                if only_non_full && heaps[i].len() >= capacity {
+                    continue;
+                }
+                let d = distance(t, c);
+                if d < best_d {
+                    best_d = d;
+                    best = i;
+                }
             }
-            let d = distance(t, c);
-            if d < best_d {
-                best_d = d;
-                best = i;
+            if best_d.is_infinite() {
+                // Every part is full (can happen for the very last tuples when
+                // |T| is not divisible by k): fall back to the globally smallest
+                // part.
+                heaps
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, h)| h.len())
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            } else {
+                best
             }
-        }
-        if best_d.is_infinite() {
-            // Every part is full (can happen for the very last tuples when
-            // |T| is not divisible by k): fall back to the globally smallest
-            // part.
-            heaps
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, h)| h.len())
-                .map(|(i, _)| i)
-                .unwrap_or(0)
-        } else {
-            best
-        }
-    };
+        };
 
     // Lines 5–14: place every non-centroid tuple.
     for t in ds.tuple_ids() {
@@ -161,7 +170,10 @@ pub fn partition_dataset(ds: &Dataset, config: &PartitionConfig) -> Partitioning
         let j = closest_part(t, &heaps, false);
         let d_j = distance(t, centroids[j]);
         if heaps[j].len() < capacity {
-            heaps[j].push(HeapEntry { distance: d_j, tuple: t });
+            heaps[j].push(HeapEntry {
+                distance: d_j,
+                tuple: t,
+            });
             continue;
         }
         // The preferred part is full: either evict its farthest tuple or
@@ -169,14 +181,20 @@ pub fn partition_dataset(ds: &Dataset, config: &PartitionConfig) -> Partitioning
         let top_distance = heaps[j].peek().map(|e| e.distance).unwrap_or(f64::INFINITY);
         let evicted = if d_j < top_distance {
             let top = heaps[j].pop().expect("heap is full, hence non-empty");
-            heaps[j].push(HeapEntry { distance: d_j, tuple: t });
+            heaps[j].push(HeapEntry {
+                distance: d_j,
+                tuple: t,
+            });
             top.tuple
         } else {
             t
         };
         let target = closest_part(evicted, &heaps, true);
         let d_target = distance(evicted, centroids[target]);
-        heaps[target].push(HeapEntry { distance: d_target, tuple: evicted });
+        heaps[target].push(HeapEntry {
+            distance: d_target,
+            tuple: evicted,
+        });
     }
 
     let mut parts: Vec<Vec<TupleId>> = heaps
@@ -190,7 +208,11 @@ pub fn partition_dataset(ds: &Dataset, config: &PartitionConfig) -> Partitioning
     for p in &mut parts {
         p.dedup();
     }
-    Partitioning { parts, centroids, capacity }
+    Partitioning {
+        parts,
+        centroids,
+        capacity,
+    }
 }
 
 #[cfg(test)]
@@ -214,15 +236,25 @@ mod tests {
     fn capacity_bounds_skew() {
         let mut ds = dataset::Dataset::new(Schema::new(&["a", "b"]));
         for i in 0..100 {
-            ds.push_row(vec![format!("v{}", i % 7), format!("w{}", i % 3)]).unwrap();
+            ds.push_row(vec![format!("v{}", i % 7), format!("w{}", i % 3)])
+                .unwrap();
         }
         let p = partition_dataset(&ds, &PartitionConfig::new(4, 1));
         // Capacity 25; parts may be slightly uneven but never exceed capacity+1
         // (the +1 absorbs the final fallback placement).
         for size in p.sizes() {
-            assert!(size <= p.capacity + 1, "part of size {size} exceeds capacity {}", p.capacity);
+            assert!(
+                size <= p.capacity + 1,
+                "part of size {size} exceeds capacity {}",
+                p.capacity
+            );
         }
-        assert!(p.skew() <= 2.0, "skew {} too high: {:?}", p.skew(), p.sizes());
+        assert!(
+            p.skew() <= 2.0,
+            "skew {} too high: {:?}",
+            p.skew(),
+            p.sizes()
+        );
     }
 
     #[test]

@@ -73,7 +73,11 @@ pub struct DistributedMlnClean {
 impl DistributedMlnClean {
     /// Create a distributed cleaner.
     pub fn new(workers: usize, config: CleanConfig) -> Self {
-        DistributedMlnClean { workers: workers.max(1), config, seed: 42 }
+        DistributedMlnClean {
+            workers: workers.max(1),
+            config,
+            seed: 42,
+        }
     }
 
     /// Set the partitioning seed.
@@ -83,7 +87,11 @@ impl DistributedMlnClean {
     }
 
     /// Clean `dirty` against `rules` using the distributed execution plan.
-    pub fn clean(&self, dirty: &Dataset, rules: &RuleSet) -> Result<DistributedOutcome, CleaningError> {
+    pub fn clean(
+        &self,
+        dirty: &Dataset,
+        rules: &RuleSet,
+    ) -> Result<DistributedOutcome, CleaningError> {
         if rules.is_empty() {
             return Err(CleaningError::NoRules);
         }
@@ -110,7 +118,8 @@ impl DistributedMlnClean {
             .map(|ids| {
                 let mut part = Dataset::with_capacity(dirty.schema().clone(), ids.len());
                 for &t in ids {
-                    part.push_row(dirty.tuple(t).values().to_vec()).expect("same schema");
+                    part.push_row(dirty.tuple(t).values().to_vec())
+                        .expect("same schema");
                 }
                 part
             })
@@ -120,28 +129,36 @@ impl DistributedMlnClean {
         // Phase A (parallel): index + AGP + local weight learning.
         let start = Instant::now();
         let phase_a: Vec<Result<(MlnIndex, AgpRecord), CleaningError>> =
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 let handles: Vec<_> = parts
                     .iter()
                     .map(|part| {
                         let config = self.config.clone();
-                        let rules = rules;
-                        scope.spawn(move |_| -> Result<(MlnIndex, AgpRecord), CleaningError> {
+                        scope.spawn(move || -> Result<(MlnIndex, AgpRecord), CleaningError> {
                             let mut index = MlnIndex::build(part, rules)?;
                             let mut agp_processor =
                                 AbnormalGroupProcessor::new(config.tau, config.metric);
                             if let Some(guard) = config.agp_distance_guard {
                                 agp_processor = agp_processor.with_distance_guard(guard);
                             }
-                            let agp = agp_processor.process(&mut index);
+                            // The workers already provide one level of
+                            // parallelism; only nest block-level parallelism
+                            // when the config asks for it.
+                            let agp = if config.parallel {
+                                agp_processor.process(&mut index)
+                            } else {
+                                agp_processor.process_serial(&mut index)
+                            };
                             mlnclean::weights::assign_weights(&mut index, &config.learning);
                             Ok((index, agp))
                         })
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-            })
-            .expect("worker scope panicked");
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked"))
+                    .collect()
+            });
         let mut indices = Vec::with_capacity(phase_a.len());
         let mut agp_records = Vec::with_capacity(phase_a.len());
         for result in phase_a {
@@ -158,23 +175,31 @@ impl DistributedMlnClean {
 
         // Phase B (parallel): RSC + FSCR per part.
         let start = Instant::now();
-        let phase_b: Vec<(Dataset, RscRecord, FscrRecord)> = crossbeam::thread::scope(|scope| {
+        let phase_b: Vec<(Dataset, RscRecord, FscrRecord)> = std::thread::scope(|scope| {
             let handles: Vec<_> = indices
                 .iter_mut()
                 .zip(parts.iter())
                 .map(|(index, part)| {
                     let config = self.config.clone();
-                    scope.spawn(move |_| {
-                        let rsc = ReliabilityCleaner::new(config.metric).clean(index);
+                    scope.spawn(move || {
+                        let rsc_cleaner = ReliabilityCleaner::new(config.metric);
+                        let rsc = if config.parallel {
+                            rsc_cleaner.clean(index)
+                        } else {
+                            rsc_cleaner.clean_serial(index)
+                        };
                         let (repaired_part, fscr) =
-                            ConflictResolver::new(config.max_exhaustive_fusion).resolve(part, index);
+                            ConflictResolver::new(config.max_exhaustive_fusion)
+                                .resolve(part, index);
                         (repaired_part, rsc, fscr)
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-        })
-        .expect("worker scope panicked");
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
         timings.local_cleaning = start.elapsed();
 
         // Gather: write every part's repairs back at the original tuple ids,
@@ -218,8 +243,8 @@ impl DistributedMlnClean {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dataset::RepairEvaluation;
     use datagen::{HaiGenerator, TpchGenerator};
+    use dataset::RepairEvaluation;
 
     #[test]
     fn distributed_run_repairs_injected_errors() {
@@ -236,7 +261,10 @@ mod tests {
         assert_eq!(outcome.repaired.len(), dirty.dirty.len());
         assert_eq!(outcome.partitioning.parts.len(), 4);
         let report = RepairEvaluation::evaluate(&dirty, &outcome.repaired);
-        assert!(report.f1() > 0.5, "distributed cleaning should repair most errors: {report}");
+        assert!(
+            report.f1() > 0.5,
+            "distributed cleaning should repair most errors: {report}"
+        );
         assert!(outcome.timings.total() > Duration::ZERO);
     }
 
@@ -256,7 +284,10 @@ mod tests {
         // partition) and must reach comparable quality.
         let d = RepairEvaluation::evaluate(&dirty, &distributed.repaired).f1();
         let s = RepairEvaluation::evaluate(&dirty, &standalone.repaired).f1();
-        assert!((d - s).abs() < 0.15, "distributed {d:.3} vs standalone {s:.3}");
+        assert!(
+            (d - s).abs() < 0.15,
+            "distributed {d:.3} vs standalone {s:.3}"
+        );
     }
 
     #[test]

@@ -114,7 +114,12 @@ mod tests {
     fn merged_weight_is_the_evidence_weighted_average() {
         // Partition 1 has three DOTHAN/AL tuples, partition 2 has one.
         let mut indices = vec![
-            part(&[("DOTHAN", "AL"), ("DOTHAN", "AL"), ("DOTHAN", "AL"), ("BOAZ", "AL")]),
+            part(&[
+                ("DOTHAN", "AL"),
+                ("DOTHAN", "AL"),
+                ("DOTHAN", "AL"),
+                ("BOAZ", "AL"),
+            ]),
             part(&[("DOTHAN", "AL"), ("BOAZ", "AK")]),
         ];
         let w1 = indices[0].blocks[0]
@@ -137,7 +142,10 @@ mod tests {
                 .find(|g| g.reason_values == vec!["DOTHAN"])
                 .unwrap()
                 .weight;
-            assert!((merged - expected).abs() < 1e-12, "got {merged}, want {expected}");
+            assert!(
+                (merged - expected).abs() < 1e-12,
+                "got {merged}, want {expected}"
+            );
         }
     }
 
@@ -158,7 +166,10 @@ mod tests {
 
     #[test]
     fn gamma_unique_to_one_part_keeps_its_weight() {
-        let mut indices = vec![part(&[("DOTHAN", "AL"), ("DOTHAN", "AL")]), part(&[("BOAZ", "AK")])];
+        let mut indices = vec![
+            part(&[("DOTHAN", "AL"), ("DOTHAN", "AL")]),
+            part(&[("BOAZ", "AK")]),
+        ];
         let before = indices[1].blocks[0].gammas().next().unwrap().weight;
         merge_weights(&mut indices);
         let after = indices[1].blocks[0].gammas().next().unwrap().weight;

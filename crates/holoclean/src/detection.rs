@@ -22,7 +22,11 @@ pub enum DetectionMode {
 }
 
 /// Produce the set of noisy cells for `ds` under the chosen mode.
-pub fn detect_noisy_cells(ds: &Dataset, rules: &RuleSet, mode: &DetectionMode) -> BTreeSet<CellRef> {
+pub fn detect_noisy_cells(
+    ds: &Dataset,
+    rules: &RuleSet,
+    mode: &DetectionMode,
+) -> BTreeSet<CellRef> {
     match mode {
         DetectionMode::ConstraintViolations => violating_cells(ds, rules),
         DetectionMode::Oracle(cells) => cells.clone(),
@@ -53,10 +57,12 @@ mod tests {
     fn oracle_detection_passes_through() {
         let ds = sample_hospital_dataset();
         let rules = sample_hospital_rules();
-        let cells: BTreeSet<CellRef> =
-            [CellRef::new(TupleId(0), AttrId(0)), CellRef::new(TupleId(1), AttrId(1))]
-                .into_iter()
-                .collect();
+        let cells: BTreeSet<CellRef> = [
+            CellRef::new(TupleId(0), AttrId(0)),
+            CellRef::new(TupleId(1), AttrId(1)),
+        ]
+        .into_iter()
+        .collect();
         let noisy = detect_noisy_cells(&ds, &rules, &DetectionMode::Oracle(cells.clone()));
         assert_eq!(noisy, cells);
     }

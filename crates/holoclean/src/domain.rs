@@ -27,12 +27,19 @@ impl Default for CandidateDomain {
 impl CandidateDomain {
     /// Create a generator with a candidate budget.
     pub fn new(max_candidates: usize) -> Self {
-        CandidateDomain { max_candidates: max_candidates.max(1) }
+        CandidateDomain {
+            max_candidates: max_candidates.max(1),
+        }
     }
 
     /// Candidate repair values for `cell`, ranked by their co-occurrence
     /// support with the rest of the tuple.
-    pub fn candidates(&self, ds: &Dataset, model: &CooccurrenceModel, cell: CellRef) -> Vec<String> {
+    pub fn candidates(
+        &self,
+        ds: &Dataset,
+        model: &CooccurrenceModel,
+        cell: CellRef,
+    ) -> Vec<String> {
         let attr = cell.attr;
         let tuple = ds.tuple(cell.tuple);
         let current = tuple.value(attr).to_string();
@@ -98,7 +105,10 @@ mod tests {
         let cands = gen.candidates(&ds, &model, CellRef::new(TupleId(1), ct));
         assert!(cands.contains(&"DOTHAN".to_string()));
         assert!(cands.contains(&"BOAZ".to_string()));
-        assert!(cands.contains(&"DOTH".to_string()), "the current value is always kept");
+        assert!(
+            cands.contains(&"DOTH".to_string()),
+            "the current value is always kept"
+        );
     }
 
     #[test]

@@ -39,7 +39,11 @@ impl CooccurrenceModel {
             for &a in &clean_attrs {
                 let va = t.value(a).to_string();
                 domains.entry(a).or_default().insert(va.clone());
-                *evidence_counts.entry(a).or_default().entry(va.clone()).or_insert(0) += 1;
+                *evidence_counts
+                    .entry(a)
+                    .or_default()
+                    .entry(va.clone())
+                    .or_insert(0) += 1;
                 for &b in &clean_attrs {
                     if a == b {
                         continue;
@@ -54,8 +58,15 @@ impl CooccurrenceModel {
             }
         }
 
-        let domain_sizes = domains.into_iter().map(|(a, d)| (a, d.len().max(1))).collect();
-        CooccurrenceModel { pair_counts, evidence_counts, domain_sizes }
+        let domain_sizes = domains
+            .into_iter()
+            .map(|(a, d)| (a, d.len().max(1)))
+            .collect();
+        CooccurrenceModel {
+            pair_counts,
+            evidence_counts,
+            domain_sizes,
+        }
     }
 
     /// Smoothed conditional probability `P(target_attr = candidate |
@@ -124,8 +135,9 @@ mod tests {
         let ds = sample_hospital_dataset();
         let st = ds.schema().attr_id("ST").unwrap();
         // Mark t4.ST (the AK error) noisy: AK should vanish from the model.
-        let noisy: BTreeSet<CellRef> =
-            [CellRef::new(dataset::TupleId(3), st)].into_iter().collect();
+        let noisy: BTreeSet<CellRef> = [CellRef::new(dataset::TupleId(3), st)]
+            .into_iter()
+            .collect();
         let model = CooccurrenceModel::train(&ds, &noisy);
         assert_eq!(model.support(st, "AK"), 0);
         assert!(model.support(st, "AL") > 0);

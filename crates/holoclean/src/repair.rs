@@ -82,7 +82,12 @@ impl HoloClean {
     }
 
     /// Repair the `noisy` cells of `dirty` under `rules`.
-    pub fn repair(&self, dirty: &Dataset, rules: &RuleSet, noisy: &BTreeSet<CellRef>) -> RepairOutcome {
+    pub fn repair(
+        &self,
+        dirty: &Dataset,
+        rules: &RuleSet,
+        noisy: &BTreeSet<CellRef>,
+    ) -> RepairOutcome {
         let train_start = Instant::now();
         let model = CooccurrenceModel::train(dirty, noisy);
         let constraints = ConstraintIndex::build(dirty, rules);
@@ -103,7 +108,8 @@ impl HoloClean {
             let mut best_value = current.clone();
             let mut best_score = f64::NEG_INFINITY;
             for candidate in candidates {
-                let score = self.score_candidate(dirty, rules, &constraints, &model, cell, &candidate);
+                let score =
+                    self.score_candidate(dirty, rules, &constraints, &model, cell, &candidate);
                 if score > best_score {
                     best_score = score;
                     best_value = candidate;
@@ -116,7 +122,12 @@ impl HoloClean {
         }
         let inference_time = infer_start.elapsed();
 
-        RepairOutcome { repaired, repaired_cells, training_time, inference_time }
+        RepairOutcome {
+            repaired,
+            repaired_cells,
+            training_time,
+            inference_time,
+        }
     }
 
     /// Log-linear score of one candidate for one cell.
@@ -136,7 +147,11 @@ impl HoloClean {
             .schema()
             .attr_ids()
             .filter(|&b| b != cell.attr)
-            .map(|b| model.conditional(cell.attr, candidate, b, tuple.value(b)).ln())
+            .map(|b| {
+                model
+                    .conditional(cell.attr, candidate, b, tuple.value(b))
+                    .ln()
+            })
             .sum();
 
         // Prior support in the clean partition.
@@ -155,9 +170,12 @@ impl HoloClean {
 /// a hash lookup instead of a full violation-detection pass.  For every rule
 /// the index stores, per reason-part value vector, how many tuples carry each
 /// result-part value vector.
+/// For one rule: reason values → (result values → tuple count).
+type RuleCounts = HashMap<Vec<String>, HashMap<Vec<String>, usize>>;
+
 struct ConstraintIndex {
     /// `per_rule[i]` : reason values → (result values → tuple count).
-    per_rule: Vec<HashMap<Vec<String>, HashMap<Vec<String>, usize>>>,
+    per_rule: Vec<RuleCounts>,
 }
 
 impl ConstraintIndex {
@@ -208,7 +226,9 @@ impl ConstraintIndex {
                         if *a == attr_name {
                             candidate.to_string()
                         } else {
-                            tuple.value(schema.attr_id(a).expect("validated attribute")).to_string()
+                            tuple
+                                .value(schema.attr_id(a).expect("validated attribute"))
+                                .to_string()
                         }
                     })
                     .collect()
@@ -225,8 +245,7 @@ impl ConstraintIndex {
                     if *r == result {
                         return false;
                     }
-                    let own_contribution =
-                        usize::from(own_reason == reason && own_result == *r);
+                    let own_contribution = usize::from(own_reason == reason && own_result == *r);
                     count > own_contribution
                 });
                 if conflicting {
@@ -240,7 +259,11 @@ impl ConstraintIndex {
                 let matches_pattern = cfd.conditions().iter().all(|c| match &c.constant {
                     Some(v) => {
                         let idx = schema.attr_id(&c.attr).expect("validated attribute");
-                        let value = if c.attr == attr_name { candidate } else { tuple.value(idx) };
+                        let value = if c.attr == attr_name {
+                            candidate
+                        } else {
+                            tuple.value(idx)
+                        };
                         value == v
                     }
                     None => true,
@@ -249,8 +272,11 @@ impl ConstraintIndex {
                     let breaks_consequent = cfd.consequents().iter().any(|c| match &c.constant {
                         Some(v) => {
                             let idx = schema.attr_id(&c.attr).expect("validated attribute");
-                            let value =
-                                if c.attr == attr_name { candidate } else { tuple.value(idx) };
+                            let value = if c.attr == attr_name {
+                                candidate
+                            } else {
+                                tuple.value(idx)
+                            };
                             value != v
                         }
                         None => false,
@@ -268,8 +294,8 @@ impl ConstraintIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dataset::{sample_hospital_dataset, sample_hospital_truth, RepairEvaluation, TupleId};
     use datagen::HaiGenerator;
+    use dataset::{sample_hospital_dataset, sample_hospital_truth, RepairEvaluation, TupleId};
     use rules::sample_hospital_rules;
 
     fn oracle_noisy(dirty: &Dataset, truth: &Dataset) -> BTreeSet<CellRef> {
@@ -281,8 +307,7 @@ mod tests {
         let dirty = sample_hospital_dataset();
         let truth = sample_hospital_truth();
         let rules = sample_hospital_rules();
-        let outcome =
-            HoloClean::default().repair(&dirty, &rules, &oracle_noisy(&dirty, &truth));
+        let outcome = HoloClean::default().repair(&dirty, &rules, &oracle_noisy(&dirty, &truth));
         let st = dirty.schema().attr_id("ST").unwrap();
         assert_eq!(outcome.repaired.value(TupleId(3), st), "AL");
         assert!(!outcome.repaired_cells.is_empty());
@@ -333,6 +358,9 @@ mod tests {
         let dirty = gen.dirty(0.05, 0.5, 13);
         let outcome = HoloClean::default().repair(&dirty.dirty, &rules, &dirty.erroneous_cells());
         let report = RepairEvaluation::evaluate(&dirty, &outcome.repaired);
-        assert!(report.f1() > 0.3, "baseline should repair a fair share: {report}");
+        assert!(
+            report.f1() > 0.3,
+            "baseline should repair a fair share: {report}"
+        );
     }
 }

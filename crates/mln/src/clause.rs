@@ -37,12 +37,20 @@ pub struct ClauseLiteral {
 impl ClauseLiteral {
     /// A positive literal `P(terms…)`.
     pub fn positive(predicate: PredicateId, terms: Vec<Term>) -> Self {
-        ClauseLiteral { predicate, terms, positive: true }
+        ClauseLiteral {
+            predicate,
+            terms,
+            positive: true,
+        }
     }
 
     /// A negative literal `¬P(terms…)`.
     pub fn negative(predicate: PredicateId, terms: Vec<Term>) -> Self {
-        ClauseLiteral { predicate, terms, positive: false }
+        ClauseLiteral {
+            predicate,
+            terms,
+            positive: false,
+        }
     }
 
     /// Names of the variables appearing in this literal, in order of first
@@ -113,7 +121,12 @@ impl fmt::Display for Clause {
                         Term::Constant(c) => c.to_string(),
                     })
                     .collect();
-                format!("{}P{}({})", if l.positive { "" } else { "!" }, l.predicate.0, args.join(","))
+                format!(
+                    "{}P{}({})",
+                    if l.positive { "" } else { "!" },
+                    l.predicate.0,
+                    args.join(",")
+                )
             })
             .collect();
         write!(f, "{}", parts.join(" v "))
@@ -135,12 +148,17 @@ pub struct GroundClause {
 impl GroundClause {
     /// Whether the clause is satisfied under the given atom assignment.
     pub fn satisfied(&self, assignment: &[bool]) -> bool {
-        self.literals.iter().any(|l| l.satisfied_by(assignment[l.atom]))
+        self.literals
+            .iter()
+            .any(|l| l.satisfied_by(assignment[l.atom]))
     }
 
     /// Number of literals currently satisfied.
     pub fn satisfied_count(&self, assignment: &[bool]) -> usize {
-        self.literals.iter().filter(|l| l.satisfied_by(assignment[l.atom])).count()
+        self.literals
+            .iter()
+            .filter(|l| l.satisfied_by(assignment[l.atom]))
+            .count()
     }
 }
 

@@ -63,11 +63,17 @@ pub fn rule_to_clause(program: &mut MlnProgram, rule: &Rule) -> Clause {
     let mut literals = Vec::new();
     for attr in rule.reason_attrs() {
         let pred = program.declare_predicate(&attr, 1);
-        literals.push(ClauseLiteral::negative(pred, vec![Term::var(format!("v_{attr}"))]));
+        literals.push(ClauseLiteral::negative(
+            pred,
+            vec![Term::var(format!("v_{attr}"))],
+        ));
     }
     for attr in rule.result_attrs() {
         let pred = program.declare_predicate(&attr, 1);
-        literals.push(ClauseLiteral::positive(pred, vec![Term::var(format!("v_{attr}"))]));
+        literals.push(ClauseLiteral::positive(
+            pred,
+            vec![Term::var(format!("v_{attr}"))],
+        ));
     }
     Clause::new(literals)
 }
@@ -125,7 +131,10 @@ mod tests {
             "¬CT(\"BOAZ\") ∨ ST(\"AL\")",
             "¬CT(\"BOAZ\") ∨ ST(\"AK\")",
         ] {
-            assert!(clauses.contains(&expected.to_string()), "missing {expected}; got {clauses:?}");
+            assert!(
+                clauses.contains(&expected.to_string()),
+                "missing {expected}; got {clauses:?}"
+            );
         }
     }
 

@@ -11,6 +11,7 @@ use crate::clause::{GroundClause, Term};
 use crate::predicate::{GroundAtom, Literal};
 use crate::program::MlnProgram;
 use crate::symbols::Symbol;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -92,29 +93,138 @@ impl GroundMln {
     }
 }
 
+/// A ground clause whose literals still carry full [`GroundAtom`]s instead of
+/// dense atom indices — the unit of work the parallel grounding phase
+/// produces before the (inherently sequential) atom-interning pass.
+struct RawGroundClause {
+    literals: Vec<(GroundAtom, bool)>,
+    weight: f64,
+    source_clause: usize,
+}
+
 /// Ground `program` over all constants of its symbol table.
 ///
 /// Every variable ranges over the whole constant domain.  This is the
 /// textbook grounding semantics; for large domains callers should restrict
 /// the constant table to the relevant constants first (MLNClean does exactly
 /// that via its block/group index).
+///
+/// The combinatorial binding enumeration — the hot loop, `O(|constants|^v)`
+/// per clause — runs in parallel: the work is split by (clause, binding of
+/// the clause's first variable), processed in bounded batches, and the
+/// resulting ground clauses are reassembled in enumeration order, after
+/// which atoms are interned sequentially.  Batching keeps peak memory at
+/// `O(batch)` raw clauses instead of materializing the whole raw grounding
+/// next to the final network.  The produced network is bit-identical to a
+/// fully serial grounding.
 pub fn ground_program(program: &MlnProgram) -> GroundMln {
+    let constants: Vec<Symbol> = program.constants.symbols().collect();
+
+    // Work items in deterministic enumeration order.  `None` stands for "no
+    // variables to bind" (the clause passes through as already ground).
+    let mut items: Vec<(usize, Vec<String>, Option<Symbol>)> = Vec::new();
+    for (clause_idx, wc) in program.clauses().iter().enumerate() {
+        let vars = wc.clause.variables();
+        if vars.is_empty() {
+            items.push((clause_idx, vars, None));
+        } else {
+            for &c in &constants {
+                items.push((clause_idx, vars.clone(), Some(c)));
+            }
+        }
+    }
+
+    let mut network = GroundMln::new();
+    let batch = (rayon::current_num_threads() * 4).max(1);
+    for chunk in items.chunks(batch) {
+        let grounded: Vec<Vec<RawGroundClause>> = chunk
+            .par_iter()
+            .map(|(clause_idx, vars, first)| {
+                let wc = &program.clauses()[*clause_idx];
+                let mut raw = Vec::new();
+                let mut binding: HashMap<String, Symbol> = HashMap::new();
+                let depth = match first {
+                    None => 0,
+                    Some(c) => {
+                        binding.insert(vars[0].clone(), *c);
+                        1
+                    }
+                };
+                enumerate_bindings(vars, depth, &constants, &mut binding, &mut |b| {
+                    raw.push(RawGroundClause {
+                        literals: bind_raw_literals(&wc.clause, b),
+                        weight: wc.weight,
+                        source_clause: *clause_idx,
+                    });
+                });
+                raw
+            })
+            .collect();
+
+        // Sequential pass per batch: intern atoms in first-encounter order,
+        // exactly as the serial grounding would, then drop the raw clauses.
+        for raw in grounded.into_iter().flatten() {
+            let literals = raw
+                .literals
+                .into_iter()
+                .map(|(atom, positive)| {
+                    let atom_idx = network.atom(atom);
+                    if positive {
+                        Literal::positive(atom_idx)
+                    } else {
+                        Literal::negative(atom_idx)
+                    }
+                })
+                .collect();
+            network.add_clause(GroundClause {
+                literals,
+                weight: raw.weight,
+                source_clause: raw.source_clause,
+            });
+        }
+    }
+    network
+}
+
+/// Serial reference implementation of [`ground_program`], kept for the
+/// parallel-equivalence tests and for profiling the sequential baseline.
+pub fn ground_program_serial(program: &MlnProgram) -> GroundMln {
     let constants: Vec<Symbol> = program.constants.symbols().collect();
     let mut network = GroundMln::new();
 
     for (clause_idx, wc) in program.clauses().iter().enumerate() {
         let vars = wc.clause.variables();
-        if vars.is_empty() {
-            let literals = bind_literals(&wc.clause, &HashMap::new(), &mut network);
-            network.add_clause(GroundClause { literals, weight: wc.weight, source_clause: clause_idx });
-            continue;
-        }
-        // Enumerate every assignment of constants to the clause variables.
-        let mut binding: HashMap<String, Symbol> = HashMap::new();
-        enumerate_bindings(&vars, 0, &constants, &mut binding, &mut |b| {
-            let literals = bind_literals(&wc.clause, b, &mut network);
+        let mut intern = |raw: RawGroundClause| {
+            let literals = raw
+                .literals
+                .into_iter()
+                .map(|(atom, positive)| {
+                    let atom_idx = network.atom(atom);
+                    if positive {
+                        Literal::positive(atom_idx)
+                    } else {
+                        Literal::negative(atom_idx)
+                    }
+                })
+                .collect();
             network.add_clause(GroundClause {
                 literals,
+                weight: raw.weight,
+                source_clause: raw.source_clause,
+            });
+        };
+        if vars.is_empty() {
+            intern(RawGroundClause {
+                literals: bind_raw_literals(&wc.clause, &HashMap::new()),
+                weight: wc.weight,
+                source_clause: clause_idx,
+            });
+            continue;
+        }
+        let mut binding: HashMap<String, Symbol> = HashMap::new();
+        enumerate_bindings(&vars, 0, &constants, &mut binding, &mut |b| {
+            intern(RawGroundClause {
+                literals: bind_raw_literals(&wc.clause, b),
                 weight: wc.weight,
                 source_clause: clause_idx,
             });
@@ -141,11 +251,10 @@ fn enumerate_bindings<F: FnMut(&HashMap<String, Symbol>)>(
     binding.remove(&vars[depth]);
 }
 
-fn bind_literals(
+fn bind_raw_literals(
     clause: &crate::clause::Clause,
     binding: &HashMap<String, Symbol>,
-    network: &mut GroundMln,
-) -> Vec<Literal> {
+) -> Vec<(GroundAtom, bool)> {
     clause
         .literals
         .iter()
@@ -160,12 +269,7 @@ fn bind_literals(
                         .expect("every clause variable is bound during grounding"),
                 })
                 .collect();
-            let atom_idx = network.atom(GroundAtom::new(lit.predicate, args));
-            if lit.positive {
-                Literal::positive(atom_idx)
-            } else {
-                Literal::negative(atom_idx)
-            }
+            (GroundAtom::new(lit.predicate, args), lit.positive)
         })
         .collect()
 }
@@ -237,6 +341,21 @@ mod tests {
                     .iter()
                     .any(|l| l.atom == atom_idx));
             }
+        }
+    }
+
+    #[test]
+    fn parallel_grounding_matches_serial_bit_for_bit() {
+        // The parallel grounding must produce the same atoms (same interning
+        // order, hence same dense indices) and the same clause sequence as
+        // the serial reference, on both small and larger domains.
+        for n in [1usize, 2, 7, 23] {
+            let people: Vec<String> = (0..n).map(|i| format!("p{i}")).collect();
+            let refs: Vec<&str> = people.iter().map(String::as_str).collect();
+            let p = smokers_program(&refs);
+            let par = ground_program(&p);
+            let ser = ground_program_serial(&p);
+            assert_eq!(par, ser, "parallel and serial grounding diverged at n={n}");
         }
     }
 

@@ -25,7 +25,11 @@ pub struct GibbsConfig {
 
 impl Default for GibbsConfig {
     fn default() -> Self {
-        GibbsConfig { burn_in: 100, samples: 1_000, seed: 42 }
+        GibbsConfig {
+            burn_in: 100,
+            samples: 1_000,
+            seed: 42,
+        }
     }
 }
 
@@ -54,8 +58,8 @@ impl GibbsSampler {
 
         let touching: Vec<Vec<usize>> = (0..n).map(|a| network.clauses_touching(a)).collect();
         let mut world = evidence.clone();
-        for idx in 0..n {
-            if !fixed[idx] {
+        for (idx, &is_fixed) in fixed.iter().enumerate() {
+            if !is_fixed {
                 world.set(idx, rng.gen_bool(0.5));
             }
         }
@@ -96,9 +100,9 @@ impl GibbsSampler {
                 world.set(idx, rng.gen_bool(p_true.clamp(1e-12, 1.0 - 1e-12)));
             }
             if sweep >= self.config.burn_in {
-                for idx in 0..n {
+                for (idx, count) in true_counts.iter_mut().enumerate() {
                     if world.get(idx) {
-                        true_counts[idx] += 1;
+                        *count += 1;
                     }
                 }
             }
@@ -144,7 +148,11 @@ mod tests {
         let sampler = GibbsSampler::new(GibbsConfig::default());
         let marginals = sampler.marginals(&g, &World::all_false(&g), &vec![false; g.atom_count()]);
         // Pr(A) should approach σ(2.0) ≈ 0.88.
-        assert!((marginals[0] - sigmoid(2.0)).abs() < 0.05, "got {}", marginals[0]);
+        assert!(
+            (marginals[0] - sigmoid(2.0)).abs() < 0.05,
+            "got {}",
+            marginals[0]
+        );
     }
 
     #[test]
@@ -171,7 +179,11 @@ mod tests {
         let sampler = GibbsSampler::new(GibbsConfig::default());
         let marginals = sampler.marginals(&g, &evidence, &fixed);
         assert_eq!(marginals[a_idx], 1.0);
-        assert!(marginals[b_idx] > 0.85, "B should be probable given A, got {}", marginals[b_idx]);
+        assert!(
+            marginals[b_idx] > 0.85,
+            "B should be probable given A, got {}",
+            marginals[b_idx]
+        );
     }
 
     #[test]
@@ -193,7 +205,10 @@ mod tests {
             0.0,
         );
         let g = ground_program(&p);
-        let sampler = GibbsSampler::new(GibbsConfig { samples: 4000, ..Default::default() });
+        let sampler = GibbsSampler::new(GibbsConfig {
+            samples: 4000,
+            ..Default::default()
+        });
         let marginals = sampler.marginals(&g, &World::all_false(&g), &vec![false; g.atom_count()]);
         assert!((marginals[0] - 0.5).abs() < 0.05, "got {}", marginals[0]);
     }

@@ -25,7 +25,12 @@ pub struct WalkSatConfig {
 
 impl Default for WalkSatConfig {
     fn default() -> Self {
-        WalkSatConfig { max_flips: 10_000, max_tries: 3, noise: 0.2, seed: 42 }
+        WalkSatConfig {
+            max_flips: 10_000,
+            max_tries: 3,
+            noise: 0.2,
+            seed: 42,
+        }
     }
 }
 
@@ -49,8 +54,9 @@ impl MaxWalkSat {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
 
         // Precompute the Markov blanket of every atom once.
-        let touching: Vec<Vec<usize>> =
-            (0..network.atom_count()).map(|a| network.clauses_touching(a)).collect();
+        let touching: Vec<Vec<usize>> = (0..network.atom_count())
+            .map(|a| network.clauses_touching(a))
+            .collect();
 
         let mut best = evidence.clone();
         let mut best_potential = best.log_potential(network);
@@ -58,8 +64,8 @@ impl MaxWalkSat {
         for _try in 0..self.config.max_tries.max(1) {
             let mut world = evidence.clone();
             // Randomize the free atoms.
-            for idx in 0..world.len() {
-                if !fixed[idx] {
+            for (idx, &is_fixed) in fixed.iter().enumerate() {
+                if !is_fixed {
                     world.set(idx, rng.gen_bool(0.5));
                 }
             }
@@ -175,7 +181,10 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let (g, _, _) = implication_network();
-        let cfg = WalkSatConfig { seed: 7, ..Default::default() };
+        let cfg = WalkSatConfig {
+            seed: 7,
+            ..Default::default()
+        };
         let a = MaxWalkSat::new(cfg).solve(&g, &World::all_false(&g), &vec![false; g.atom_count()]);
         let b = MaxWalkSat::new(cfg).solve(&g, &World::all_false(&g), &vec![false; g.atom_count()]);
         assert_eq!(a, b);

@@ -37,7 +37,12 @@ pub struct LearningConfig {
 
 impl Default for LearningConfig {
     fn default() -> Self {
-        LearningConfig { max_iterations: 100, tolerance: 1e-6, damping: 1e-3, max_weight: 20.0 }
+        LearningConfig {
+            max_iterations: 100,
+            tolerance: 1e-6,
+            damping: 1e-3,
+            max_weight: 20.0,
+        }
     }
 }
 
@@ -157,8 +162,8 @@ impl DiagonalNewton {
 
             // Pseudo-likelihood contributions per atom.
             let mut world = observed.clone();
-            for atom in 0..n_atoms {
-                if touching[atom].is_empty() {
+            for (atom, atom_clauses) in touching.iter().enumerate() {
+                if atom_clauses.is_empty() {
                     continue;
                 }
                 // Per-source satisfied-clause counts with the atom true/false.
@@ -167,14 +172,14 @@ impl DiagonalNewton {
                 let original = world.get(atom);
 
                 world.set(atom, true);
-                for &c in &touching[atom] {
+                for &c in atom_clauses {
                     let clause = &network.clauses()[c];
                     if clause.satisfied(world.assignment()) {
                         n_true[clause.source_clause] += 1.0;
                     }
                 }
                 world.set(atom, false);
-                for &c in &touching[atom] {
+                for &c in atom_clauses {
                     let clause = &network.clauses()[c];
                     if clause.satisfied(world.assignment()) {
                         n_false[clause.source_clause] += 1.0;
@@ -183,10 +188,8 @@ impl DiagonalNewton {
                 world.set(atom, original);
 
                 // Conditional Pr(atom = true | blanket) under current weights.
-                let score_true: f64 =
-                    (0..num_sources).map(|s| weights[s] * n_true[s]).sum();
-                let score_false: f64 =
-                    (0..num_sources).map(|s| weights[s] * n_false[s]).sum();
+                let score_true: f64 = (0..num_sources).map(|s| weights[s] * n_true[s]).sum();
+                let score_false: f64 = (0..num_sources).map(|s| weights[s] * n_false[s]).sum();
                 let p_true = 1.0 / (1.0 + (score_false - score_true).exp());
 
                 let observed_true = observed.get(atom);
@@ -287,12 +290,19 @@ mod tests {
         );
         let mut g = ground_program(&p);
         let mut observed = World::all_false(&g);
-        let a_idx = g.atom_id(&crate::predicate::GroundAtom::new(a, vec![c])).unwrap();
-        let b_idx = g.atom_id(&crate::predicate::GroundAtom::new(b, vec![c])).unwrap();
+        let a_idx = g
+            .atom_id(&crate::predicate::GroundAtom::new(a, vec![c]))
+            .unwrap();
+        let b_idx = g
+            .atom_id(&crate::predicate::GroundAtom::new(b, vec![c]))
+            .unwrap();
         observed.set(a_idx, true);
         observed.set(b_idx, true);
 
-        let learner = DiagonalNewton::new(LearningConfig { max_iterations: 200, ..Default::default() });
+        let learner = DiagonalNewton::new(LearningConfig {
+            max_iterations: 200,
+            ..Default::default()
+        });
         let weights = learner.learn(&mut g, &observed);
         assert_eq!(weights.len(), 2);
         assert!(

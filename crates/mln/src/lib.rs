@@ -39,7 +39,7 @@ pub mod world;
 
 pub use clause::{Clause, GroundClause, Term};
 pub use convert::{ground_rules_for_dataset, rule_to_clause, GroundRuleInstance};
-pub use grounding::{ground_program, GroundMln};
+pub use grounding::{ground_program, ground_program_serial, GroundMln};
 pub use inference::gibbs::{GibbsConfig, GibbsSampler};
 pub use inference::walksat::{MaxWalkSat, WalkSatConfig};
 pub use learning::{learn_gamma_weights, DiagonalNewton, LearningConfig};

@@ -31,7 +31,10 @@ pub struct Predicate {
 impl Predicate {
     /// Declare a predicate.
     pub fn new(name: impl Into<String>, arity: usize) -> Self {
-        Predicate { name: name.into(), arity }
+        Predicate {
+            name: name.into(),
+            arity,
+        }
     }
 }
 
@@ -69,12 +72,18 @@ pub struct Literal {
 impl Literal {
     /// Positive literal over atom index `atom`.
     pub fn positive(atom: usize) -> Self {
-        Literal { atom, positive: true }
+        Literal {
+            atom,
+            positive: true,
+        }
     }
 
     /// Negative literal over atom index `atom`.
     pub fn negative(atom: usize) -> Self {
-        Literal { atom, positive: false }
+        Literal {
+            atom,
+            positive: false,
+        }
     }
 
     /// Whether the literal is satisfied when its atom has truth value `value`.

@@ -15,12 +15,16 @@ pub struct World {
 impl World {
     /// A world with every atom false.
     pub fn all_false(network: &GroundMln) -> Self {
-        World { assignment: vec![false; network.atom_count()] }
+        World {
+            assignment: vec![false; network.atom_count()],
+        }
     }
 
     /// A world with every atom true.
     pub fn all_true(network: &GroundMln) -> Self {
-        World { assignment: vec![true; network.atom_count()] }
+        World {
+            assignment: vec![true; network.atom_count()],
+        }
     }
 
     /// A world from an explicit assignment.
@@ -60,7 +64,11 @@ impl World {
 
     /// Number of ground clauses of `network` satisfied in this world.
     pub fn satisfied_count(&self, network: &GroundMln) -> usize {
-        network.clauses().iter().filter(|c| c.satisfied(&self.assignment)).count()
+        network
+            .clauses()
+            .iter()
+            .filter(|c| c.satisfied(&self.assignment))
+            .count()
     }
 
     /// The unnormalized log-probability `Σ wᵢ nᵢ(x)` of this world (Eq. 2
@@ -72,7 +80,12 @@ impl World {
     /// The change in log-potential if atom `idx` were flipped.  Only clauses
     /// touching the atom need to be re-evaluated, which is what makes Gibbs
     /// sampling and WalkSAT efficient.
-    pub fn delta_log_potential(&mut self, network: &GroundMln, idx: usize, touching: &[usize]) -> f64 {
+    pub fn delta_log_potential(
+        &mut self,
+        network: &GroundMln,
+        idx: usize,
+        touching: &[usize],
+    ) -> f64 {
         let before: f64 = touching
             .iter()
             .map(|&c| {

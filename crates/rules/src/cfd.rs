@@ -23,12 +23,18 @@ pub struct CfdClause {
 impl CfdClause {
     /// A variable clause (`attr = _`).
     pub fn variable(attr: impl Into<String>) -> Self {
-        CfdClause { attr: attr.into(), constant: None }
+        CfdClause {
+            attr: attr.into(),
+            constant: None,
+        }
     }
 
     /// A constant clause (`attr = value`).
     pub fn constant(attr: impl Into<String>, value: impl Into<String>) -> Self {
-        CfdClause { attr: attr.into(), constant: Some(value.into()) }
+        CfdClause {
+            attr: attr.into(),
+            constant: Some(value.into()),
+        }
     }
 
     /// Whether a tuple matches this clause (variable clauses match anything).
@@ -65,9 +71,18 @@ impl ConditionalFd {
     /// # Panics
     /// Panics if either side is empty.
     pub fn new(conditions: Vec<CfdClause>, consequents: Vec<CfdClause>) -> Self {
-        assert!(!conditions.is_empty(), "CFD must have a non-empty condition part");
-        assert!(!consequents.is_empty(), "CFD must have a non-empty consequent part");
-        ConditionalFd { conditions, consequents }
+        assert!(
+            !conditions.is_empty(),
+            "CFD must have a non-empty condition part"
+        );
+        assert!(
+            !consequents.is_empty(),
+            "CFD must have a non-empty consequent part"
+        );
+        ConditionalFd {
+            conditions,
+            consequents,
+        }
     }
 
     /// The condition (reason-part) clauses.
@@ -99,8 +114,11 @@ impl ConditionalFd {
     /// on one conditioned attribute (t3's CT="DOTHAN") must still enter the
     /// block so the cleaning stage can repair it.
     pub fn is_relevant(&self, schema: &Schema, tuple: &Tuple) -> bool {
-        let constants: Vec<&CfdClause> =
-            self.conditions.iter().filter(|c| c.constant.is_some()).collect();
+        let constants: Vec<&CfdClause> = self
+            .conditions
+            .iter()
+            .filter(|c| c.constant.is_some())
+            .collect();
         if constants.is_empty() {
             return true;
         }
@@ -116,7 +134,11 @@ impl ConditionalFd {
     pub fn reason_values(&self, schema: &Schema, tuple: &Tuple) -> Vec<String> {
         self.conditions
             .iter()
-            .map(|c| tuple.value(schema.attr_id(&c.attr).expect("validated attribute")).to_string())
+            .map(|c| {
+                tuple
+                    .value(schema.attr_id(&c.attr).expect("validated attribute"))
+                    .to_string()
+            })
             .collect()
     }
 
@@ -124,7 +146,11 @@ impl ConditionalFd {
     pub fn result_values(&self, schema: &Schema, tuple: &Tuple) -> Vec<String> {
         self.consequents
             .iter()
-            .map(|c| tuple.value(schema.attr_id(&c.attr).expect("validated attribute")).to_string())
+            .map(|c| {
+                tuple
+                    .value(schema.attr_id(&c.attr).expect("validated attribute"))
+                    .to_string()
+            })
             .collect()
     }
 
@@ -187,7 +213,10 @@ mod tests {
 
     fn r3() -> ConditionalFd {
         ConditionalFd::new(
-            vec![CfdClause::constant("HN", "ELIZA"), CfdClause::constant("CT", "BOAZ")],
+            vec![
+                CfdClause::constant("HN", "ELIZA"),
+                CfdClause::constant("CT", "BOAZ"),
+            ],
             vec![CfdClause::constant("PN", "2567688400")],
         )
     }
@@ -232,14 +261,20 @@ mod tests {
         let ds = sample_hospital_dataset();
         // "For ELIZA hospitals, CT determines ST".
         let cfd = ConditionalFd::new(
-            vec![CfdClause::constant("HN", "ELIZA"), CfdClause::variable("CT")],
+            vec![
+                CfdClause::constant("HN", "ELIZA"),
+                CfdClause::variable("CT"),
+            ],
             vec![CfdClause::variable("ST")],
         );
         let t4 = ds.tuple(TupleId(3)); // ELIZA BOAZ AK
         let t5 = ds.tuple(TupleId(4)); // ELIZA BOAZ AL
         let t1 = ds.tuple(TupleId(0)); // ALABAMA DOTHAN AL
         assert!(cfd.violated_by_pair(&ds, t4, t5));
-        assert!(!cfd.violated_by_pair(&ds, t1, t5), "t1 does not match the pattern");
+        assert!(
+            !cfd.violated_by_pair(&ds, t1, t5),
+            "t1 does not match the pattern"
+        );
     }
 
     #[test]

@@ -26,18 +26,30 @@ impl DcPredicate {
     /// common case, e.g. `PN(t) = PN(t')`).
     pub fn same_attr(attr: impl Into<String>, op: Op) -> Self {
         let attr = attr.into();
-        DcPredicate { left_attr: attr.clone(), op, right_attr: attr }
+        DcPredicate {
+            left_attr: attr.clone(),
+            op,
+            right_attr: attr,
+        }
     }
 
     /// A predicate comparing different attributes of the two tuples.
     pub fn new(left_attr: impl Into<String>, op: Op, right_attr: impl Into<String>) -> Self {
-        DcPredicate { left_attr: left_attr.into(), op, right_attr: right_attr.into() }
+        DcPredicate {
+            left_attr: left_attr.into(),
+            op,
+            right_attr: right_attr.into(),
+        }
     }
 
     /// Evaluate the predicate on a pair of tuples.
     pub fn eval(&self, schema: &Schema, a: &Tuple, b: &Tuple) -> bool {
-        let l = schema.attr_id(&self.left_attr).expect("validated attribute");
-        let r = schema.attr_id(&self.right_attr).expect("validated attribute");
+        let l = schema
+            .attr_id(&self.left_attr)
+            .expect("validated attribute");
+        let r = schema
+            .attr_id(&self.right_attr)
+            .expect("validated attribute");
         self.op.eval(a.value(l), b.value(r))
     }
 }
@@ -61,7 +73,10 @@ impl DenialConstraint {
     /// Panics with fewer than two predicates: a single-predicate DC has no
     /// reason part under the paper's reason/result split.
     pub fn new(predicates: Vec<DcPredicate>) -> Self {
-        assert!(predicates.len() >= 2, "a denial constraint needs at least two predicates");
+        assert!(
+            predicates.len() >= 2,
+            "a denial constraint needs at least two predicates"
+        );
         DenialConstraint { predicates }
     }
 
@@ -109,16 +124,20 @@ impl DenialConstraint {
 
     /// Whether all attributes exist in `schema`.
     pub fn is_valid_for(&self, schema: &Schema) -> bool {
-        self.predicates
-            .iter()
-            .all(|p| schema.attr_id(&p.left_attr).is_some() && schema.attr_id(&p.right_attr).is_some())
+        self.predicates.iter().all(|p| {
+            schema.attr_id(&p.left_attr).is_some() && schema.attr_id(&p.right_attr).is_some()
+        })
     }
 
     /// Project a tuple onto the reason-part attribute values.
     pub fn reason_values(&self, schema: &Schema, tuple: &Tuple) -> Vec<String> {
         self.reason_attrs()
             .iter()
-            .map(|a| tuple.value(schema.attr_id(a).expect("validated attribute")).to_string())
+            .map(|a| {
+                tuple
+                    .value(schema.attr_id(a).expect("validated attribute"))
+                    .to_string()
+            })
             .collect()
     }
 
@@ -126,7 +145,11 @@ impl DenialConstraint {
     pub fn result_values(&self, schema: &Schema, tuple: &Tuple) -> Vec<String> {
         self.result_attrs()
             .iter()
-            .map(|a| tuple.value(schema.attr_id(a).expect("validated attribute")).to_string())
+            .map(|a| {
+                tuple
+                    .value(schema.attr_id(a).expect("validated attribute"))
+                    .to_string()
+            })
             .collect()
     }
 
@@ -191,7 +214,7 @@ mod tests {
         assert!(dc.is_valid_for(ds.schema()));
         let t1 = ds.tuple(TupleId(0)); // 3347938701 / AL
         let t4 = ds.tuple(TupleId(3)); // 2567688400 / AK
-        // t1.PN > t4.PN but t1.ST(AL) > t4.ST(AK) → second predicate false.
+                                       // t1.PN > t4.PN but t1.ST(AL) > t4.ST(AK) → second predicate false.
         assert!(!dc.violated_by(&ds, t1, t4));
         // t4.PN < t1.PN → first predicate false.
         assert!(!dc.violated_by(&ds, t4, t1));

@@ -39,14 +39,21 @@ impl FunctionalDependency {
 
     /// Whether all attributes of the FD exist in `schema`.
     pub fn is_valid_for(&self, schema: &Schema) -> bool {
-        self.lhs.iter().chain(self.rhs.iter()).all(|a| schema.attr_id(a).is_some())
+        self.lhs
+            .iter()
+            .chain(self.rhs.iter())
+            .all(|a| schema.attr_id(a).is_some())
     }
 
     /// Project a tuple onto the reason-part values.
     pub fn reason_values(&self, schema: &Schema, tuple: &Tuple) -> Vec<String> {
         self.lhs
             .iter()
-            .map(|a| tuple.value(schema.attr_id(a).expect("validated attribute")).to_string())
+            .map(|a| {
+                tuple
+                    .value(schema.attr_id(a).expect("validated attribute"))
+                    .to_string()
+            })
             .collect()
     }
 
@@ -54,7 +61,11 @@ impl FunctionalDependency {
     pub fn result_values(&self, schema: &Schema, tuple: &Tuple) -> Vec<String> {
         self.rhs
             .iter()
-            .map(|a| tuple.value(schema.attr_id(a).expect("validated attribute")).to_string())
+            .map(|a| {
+                tuple
+                    .value(schema.attr_id(a).expect("validated attribute"))
+                    .to_string()
+            })
             .collect()
     }
 
@@ -62,13 +73,10 @@ impl FunctionalDependency {
     /// attribute but disagree on at least one RHS attribute.
     pub fn violated_by(&self, ds: &Dataset, a: &Tuple, b: &Tuple) -> bool {
         let schema = ds.schema();
-        let same_lhs = self
-            .lhs
-            .iter()
-            .all(|attr| {
-                let id = schema.attr_id(attr).expect("validated attribute");
-                a.value(id) == b.value(id)
-            });
+        let same_lhs = self.lhs.iter().all(|attr| {
+            let id = schema.attr_id(attr).expect("validated attribute");
+            a.value(id) == b.value(id)
+        });
         if !same_lhs {
             return false;
         }
@@ -107,8 +115,14 @@ mod tests {
         let t5 = ds.tuple(TupleId(4)); // BOAZ, AL
         let t1 = ds.tuple(TupleId(0)); // DOTHAN, AL
         assert!(fd.violated_by(&ds, t4, t5));
-        assert!(!fd.violated_by(&ds, t1, t5), "different cities cannot violate CT->ST");
-        assert!(!fd.violated_by(&ds, t5, t5), "a tuple never violates an FD with itself");
+        assert!(
+            !fd.violated_by(&ds, t1, t5),
+            "different cities cannot violate CT->ST"
+        );
+        assert!(
+            !fd.violated_by(&ds, t5, t5),
+            "a tuple never violates an FD with itself"
+        );
     }
 
     #[test]

@@ -65,7 +65,10 @@ mod tests {
         for rule in rules.iter() {
             // Every attribute mentioned by the rules exists in the schema.
             for attr in rule.all_attrs() {
-                assert!(ds.schema().attr_id(&attr).is_some(), "unknown attribute {attr}");
+                assert!(
+                    ds.schema().attr_id(&attr).is_some(),
+                    "unknown attribute {attr}"
+                );
             }
         }
     }

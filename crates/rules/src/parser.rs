@@ -45,7 +45,10 @@ impl fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn err(line: usize, message: impl Into<String>) -> ParseError {
-    ParseError { line, message: message.into() }
+    ParseError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Strip a trailing `# comment` that is not inside quotes.
@@ -109,7 +112,10 @@ fn parse_attr_list(side: &str, line: usize) -> Result<Vec<String>, ParseError> {
         return Err(err(line, "empty attribute list"));
     }
     if attrs.iter().any(|a| a.contains('=') || a.contains(' ')) {
-        return Err(err(line, "FD attributes must be plain names (no constants)"));
+        return Err(err(
+            line,
+            "FD attributes must be plain names (no constants)",
+        ));
     }
     Ok(attrs)
 }
@@ -172,7 +178,10 @@ fn parse_dc_predicate(token: &str, line: usize) -> Result<DcPredicate, ParseErro
             return Ok(DcPredicate::new(left, op, right));
         }
     }
-    Err(err(line, format!("no comparison operator in DC predicate {token:?}")))
+    Err(err(
+        line,
+        format!("no comparison operator in DC predicate {token:?}"),
+    ))
 }
 
 fn parse_dc(body: &str, line: usize) -> Result<Rule, ParseError> {
@@ -262,7 +271,10 @@ mod tests {
 
     #[test]
     fn malformed_dc_is_rejected() {
-        assert!(parse_rule("DC: PN = PN").is_err(), "one predicate is not enough");
+        assert!(
+            parse_rule("DC: PN = PN").is_err(),
+            "one predicate is not enough"
+        );
         assert!(parse_rule("DC: PN ~ PN, ST != ST").is_err(), "bad operator");
     }
 

@@ -96,7 +96,11 @@ fn detect_grouped_pairs<F>(
         if !rule.is_relevant(schema, t) {
             continue;
         }
-        let key = if groupable { rule.reason_values(schema, t) } else { Vec::new() };
+        let key = if groupable {
+            rule.reason_values(schema, t)
+        } else {
+            Vec::new()
+        };
         buckets.entry(key).or_default().push(t.id());
     }
 

@@ -7,8 +7,8 @@
 //! cargo run -p mlnclean --release --example car_dedup [rows]
 //! ```
 
-use dataset::{Dataset, ErrorInjector, ErrorSpec, RepairEvaluation};
 use datagen::CarGenerator;
+use dataset::{Dataset, ErrorInjector, ErrorSpec, RepairEvaluation};
 use mlnclean::{CleanConfig, MlnClean};
 
 /// Append duplicate listings (exact copies of existing rows) to the clean
@@ -46,11 +46,15 @@ fn main() {
         .filter_map(|a| clean.schema().attr_id(a))
         .collect();
     let dirty = ErrorInjector::new(ErrorSpec::new(0.05, 3).on_attributes(attrs)).inject(&clean);
-    println!("injected {} errors; exact-duplicate groups before cleaning: {}",
+    println!(
+        "injected {} errors; exact-duplicate groups before cleaning: {}",
         dirty.error_count(),
-        dirty.dirty.duplicate_groups().len());
+        dirty.dirty.duplicate_groups().len()
+    );
 
-    let config = CleanConfig::default().with_tau(1).with_agp_distance_guard(0.15);
+    let config = CleanConfig::default()
+        .with_tau(1)
+        .with_agp_distance_guard(0.15);
     let outcome = MlnClean::new(config)
         .clean(&dirty.dirty, &rules)
         .expect("rules match the schema");

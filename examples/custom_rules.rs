@@ -47,7 +47,11 @@ fn demo_files() -> (PathBuf, PathBuf, PathBuf) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (input, rules_path, output) = if args.len() == 3 {
-        (PathBuf::from(&args[0]), PathBuf::from(&args[1]), PathBuf::from(&args[2]))
+        (
+            PathBuf::from(&args[0]),
+            PathBuf::from(&args[1]),
+            PathBuf::from(&args[2]),
+        )
     } else {
         demo_files()
     };
@@ -55,10 +59,18 @@ fn main() {
     let dirty = read_csv_file(&input).expect("readable CSV input");
     let rule_text = std::fs::read_to_string(&rules_path).expect("readable rule file");
     let rules = parse_rules(&rule_text).expect("well-formed rules");
-    println!("loaded {} tuples from {} and {} rules from {}", dirty.len(), input.display(), rules.len(), rules_path.display());
+    println!(
+        "loaded {} tuples from {} and {} rules from {}",
+        dirty.len(),
+        input.display(),
+        rules.len(),
+        rules_path.display()
+    );
 
     let cleaner = MlnClean::new(CleanConfig::default().with_tau(1));
-    let outcome = cleaner.clean(&dirty, &rules).expect("rules match the schema");
+    let outcome = cleaner
+        .clean(&dirty, &rules)
+        .expect("rules match the schema");
 
     println!("\nrepairs applied:");
     for change in &outcome.fscr.changes {

@@ -7,8 +7,8 @@
 //! cargo run -p mlnclean --release --example distributed_tpch [rows]
 //! ```
 
-use dataset::RepairEvaluation;
 use datagen::TpchGenerator;
+use dataset::RepairEvaluation;
 use distributed::DistributedMlnClean;
 use mlnclean::CleanConfig;
 
@@ -28,16 +28,18 @@ fn main() {
         rules.iter().next().expect("one rule")
     );
 
-    let config = CleanConfig::default().with_tau(2).with_agp_distance_guard(0.15);
+    let config = CleanConfig::default()
+        .with_tau(2)
+        .with_agp_distance_guard(0.15);
     let mut baseline_time = None;
     for workers in [1usize, 2, 4, 8] {
         let cleaner = DistributedMlnClean::new(workers, config.clone());
-        let outcome = cleaner.clean(&dirty.dirty, &rules).expect("rules match the schema");
+        let outcome = cleaner
+            .clean(&dirty.dirty, &rules)
+            .expect("rules match the schema");
         let report = RepairEvaluation::evaluate(&dirty, &outcome.repaired);
         let total = outcome.timings.total();
-        let speedup = baseline_time
-            .get_or_insert(total.as_secs_f64())
-            .max(1e-9)
+        let speedup = baseline_time.get_or_insert(total.as_secs_f64()).max(1e-9)
             / total.as_secs_f64().max(1e-9);
         println!(
             "\nworkers = {workers}: F1 = {:.3}, total = {:.1?} (speedup ×{:.2})",
@@ -45,7 +47,11 @@ fn main() {
             total,
             speedup
         );
-        println!("  partition sizes: {:?}, skew = {:.2}", outcome.partitioning.sizes(), outcome.partitioning.skew());
+        println!(
+            "  partition sizes: {:?}, skew = {:.2}",
+            outcome.partitioning.sizes(),
+            outcome.partitioning.skew()
+        );
         println!(
             "  phases: partition {:.1?}, local learning {:.1?}, weight merge {:.1?} ({} shared γs), local cleaning {:.1?}, gather {:.1?}",
             outcome.timings.partition,

@@ -6,8 +6,8 @@
 //! cargo run -p mlnclean --release --example hospital_cleaning [rows] [error_rate]
 //! ```
 
-use dataset::RepairEvaluation;
 use datagen::HaiGenerator;
+use dataset::RepairEvaluation;
 use holoclean::{HoloClean, HoloCleanConfig};
 use mlnclean::{evaluate_agp, evaluate_fscr, evaluate_rsc, CleanConfig, MlnClean};
 
@@ -20,13 +20,19 @@ fn main() {
     let generator = HaiGenerator::default().with_rows(rows);
     let dirty = generator.dirty(error_rate, 0.5, 7);
     let rules = HaiGenerator::rules();
-    println!("injected {} errors over {} tuples; rules:", dirty.error_count(), dirty.dirty.len());
+    println!(
+        "injected {} errors over {} tuples; rules:",
+        dirty.error_count(),
+        dirty.dirty.len()
+    );
     for rule in rules.iter() {
         println!("  {rule}");
     }
 
     // MLNClean: detection + repair, τ = 2 with the AGP merge guard.
-    let config = CleanConfig::default().with_tau(2).with_agp_distance_guard(0.15);
+    let config = CleanConfig::default()
+        .with_tau(2)
+        .with_agp_distance_guard(0.15);
     let outcome = MlnClean::new(config)
         .clean(&dirty.dirty, &rules)
         .expect("rules match the schema");
@@ -46,8 +52,12 @@ fn main() {
     let repair = baseline.repair(&dirty.dirty, &rules, &dirty.erroneous_cells());
     let baseline_report = RepairEvaluation::evaluate(&dirty, &repair.repaired);
     println!("\nHoloClean-style baseline (oracle detection): {baseline_report}");
-    println!("  repair runtime: {:.1?} (training {:.1?} + inference {:.1?})",
-        repair.total_time(), repair.training_time, repair.inference_time);
+    println!(
+        "  repair runtime: {:.1?} (training {:.1?} + inference {:.1?})",
+        repair.total_time(),
+        repair.training_time,
+        repair.inference_time
+    );
 
     println!(
         "\nsummary: MLNClean F1 = {:.3} in {:.1?} vs baseline F1 = {:.3} in {:.1?}",

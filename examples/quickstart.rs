@@ -24,10 +24,16 @@ fn main() {
 
     // Clean with the paper's running-example configuration (τ = 1).
     let cleaner = MlnClean::new(CleanConfig::default().with_tau(1));
-    let outcome = cleaner.clean(&dirty, &rules).expect("rules match the schema");
+    let outcome = cleaner
+        .clean(&dirty, &rules)
+        .expect("rules match the schema");
 
     println!("repaired data:\n{}", outcome.repaired);
-    println!("after duplicate elimination ({} rows):\n{}", outcome.deduplicated.len(), outcome.deduplicated);
+    println!(
+        "after duplicate elimination ({} rows):\n{}",
+        outcome.deduplicated.len(),
+        outcome.deduplicated
+    );
 
     // Show the individual decisions the pipeline took.
     println!("abnormal groups merged by AGP:");
@@ -54,7 +60,10 @@ fn main() {
 
     // Verify against the ground truth of the running example.
     let truth = sample_hospital_truth();
-    assert_eq!(outcome.repaired, truth, "the running example is cleaned exactly");
+    assert_eq!(
+        outcome.repaired, truth,
+        "the running example is cleaned exactly"
+    );
     let st = dirty.schema().attr_id("ST").unwrap();
     assert_eq!(outcome.repaired.value(TupleId(3), st), "AL");
     println!("\nall four erroneous cells repaired; output matches the paper's expected result");

@@ -1,25 +1,36 @@
 //! Integration tests for the distributed execution path: partition soundness,
 //! consistency with the stand-alone pipeline, and scaling behaviour.
 
-use dataset::RepairEvaluation;
 use datagen::{HaiGenerator, TpchGenerator};
+use dataset::RepairEvaluation;
 use distributed::{partition_dataset, DistributedMlnClean, PartitionConfig};
 use mlnclean::{CleanConfig, MlnClean};
 
 fn config() -> CleanConfig {
-    CleanConfig::default().with_tau(2).with_agp_distance_guard(0.15)
+    CleanConfig::default()
+        .with_tau(2)
+        .with_agp_distance_guard(0.15)
 }
 
 #[test]
 fn partitions_cover_the_dataset_without_overlap() {
-    let dirty = TpchGenerator::default().with_rows(1_000).dirty(0.05, 0.5, 3);
+    let dirty = TpchGenerator::default()
+        .with_rows(1_000)
+        .dirty(0.05, 0.5, 3);
     for parts in [2, 4, 8] {
         let partitioning = partition_dataset(&dirty.dirty, &PartitionConfig::new(parts, 7));
         let mut all: Vec<_> = partitioning.parts.iter().flatten().copied().collect();
         all.sort();
         all.dedup();
-        assert_eq!(all.len(), dirty.dirty.len(), "{parts} parts must cover every tuple once");
-        assert!(partitioning.skew() < 2.0, "capacity bound keeps parts balanced");
+        assert_eq!(
+            all.len(),
+            dirty.dirty.len(),
+            "{parts} parts must cover every tuple once"
+        );
+        assert!(
+            partitioning.skew() < 2.0,
+            "capacity bound keeps parts balanced"
+        );
     }
 }
 
@@ -34,14 +45,19 @@ fn distributed_matches_standalone_quality() {
     let standalone = MlnClean::new(config()).clean(&dirty.dirty, &rules).unwrap();
     let standalone_f1 = RepairEvaluation::evaluate(&dirty, &standalone.repaired).f1();
 
-    let distributed = DistributedMlnClean::new(4, config()).clean(&dirty.dirty, &rules).unwrap();
+    let distributed = DistributedMlnClean::new(4, config())
+        .clean(&dirty.dirty, &rules)
+        .unwrap();
     let distributed_f1 = RepairEvaluation::evaluate(&dirty, &distributed.repaired).f1();
 
     assert!(
         (standalone_f1 - distributed_f1).abs() < 0.15,
         "stand-alone {standalone_f1:.3} vs distributed {distributed_f1:.3} should be comparable"
     );
-    assert!(distributed_f1 > 0.6, "distributed cleaning must still repair most errors");
+    assert!(
+        distributed_f1 > 0.6,
+        "distributed cleaning must still repair most errors"
+    );
 }
 
 #[test]
@@ -55,22 +71,33 @@ fn accuracy_is_stable_across_worker_counts() {
     let rules = TpchGenerator::rules();
     let mut f1s = Vec::new();
     for workers in [2usize, 4, 8] {
-        let outcome = DistributedMlnClean::new(workers, config()).clean(&dirty.dirty, &rules).unwrap();
+        let outcome = DistributedMlnClean::new(workers, config())
+            .clean(&dirty.dirty, &rules)
+            .unwrap();
         f1s.push(RepairEvaluation::evaluate(&dirty, &outcome.repaired).f1());
     }
     let max = f1s.iter().cloned().fold(f64::MIN, f64::max);
     let min = f1s.iter().cloned().fold(f64::MAX, f64::min);
     // More workers mean smaller partitions and hence slightly less local
     // evidence, so a modest fluctuation is expected — but not a collapse.
-    assert!(max - min < 0.2, "F1 should only fluctuate mildly with worker count: {f1s:?}");
-    assert!(min > 0.4, "every worker count must still repair a meaningful share: {f1s:?}");
+    assert!(
+        max - min < 0.2,
+        "F1 should only fluctuate mildly with worker count: {f1s:?}"
+    );
+    assert!(
+        min > 0.4,
+        "every worker count must still repair a meaningful share: {f1s:?}"
+    );
 }
 
 #[test]
 fn distributed_dedup_collapses_duplicates_globally() {
     // Exact duplicates may be scattered across partitions; the global
     // gather + dedup step must still collapse them.
-    let mut clean = TpchGenerator::default().with_rows(400).with_customers(25).generate();
+    let mut clean = TpchGenerator::default()
+        .with_rows(400)
+        .with_customers(25)
+        .generate();
     let copy_source: Vec<Vec<String>> = clean
         .tuples()
         .take(40)
@@ -80,7 +107,9 @@ fn distributed_dedup_collapses_duplicates_globally() {
         clean.push_row(row).unwrap();
     }
     let rules = TpchGenerator::rules();
-    let outcome = DistributedMlnClean::new(4, config()).clean(&clean, &rules).unwrap();
+    let outcome = DistributedMlnClean::new(4, config())
+        .clean(&clean, &rules)
+        .unwrap();
     // Most duplicate pairs collapse; a few may escape when their two copies
     // land in different partitions and receive different (spurious) repairs.
     assert!(

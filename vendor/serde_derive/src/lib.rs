@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real crates.io registry is unreachable in this build environment, so
+//! this proc-macro crate accepts the `#[derive(Serialize, Deserialize)]`
+//! attributes used throughout the workspace and expands to nothing.  Nothing
+//! in the workspace serializes through serde yet (JSON/CSV emission is
+//! hand-rolled); the derives only mark types as serializable for future use.
+//! Swapping in the real serde is a Cargo.toml-only change.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
