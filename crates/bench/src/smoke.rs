@@ -3,12 +3,14 @@
 //!
 //! This is not one of the paper's experiments — it exists so CI records a
 //! small, fast perf point on every push (end-to-end wall-time plus per-stage
-//! breakdown and repair quality), seeding the `BENCH_*.json` trajectory that
-//! later PRs can compare against.
+//! breakdown, repair quality, and since the interning refactor the
+//! memory-side picture: value-pool size, distinct values per attribute, and
+//! the Stage-I distance-cache hit rate), seeding the `BENCH_*.json`
+//! trajectory that later PRs can compare against.
 
 use crate::common::{Scale, Workload};
 use dataset::RepairEvaluation;
-use mlnclean::MlnClean;
+use mlnclean::{CacheStats, MlnClean};
 use std::time::Instant;
 
 /// Run the smoke workload and return the JSON artifact as `(file name,
@@ -32,6 +34,30 @@ pub fn run(scale: Scale) -> Vec<(String, String)> {
     let report = RepairEvaluation::evaluate(&dirty, &outcome.repaired);
     let timings = outcome.timings;
 
+    // Memory-side statistics of the interned representation: the pool holds
+    // every distinct value once, so pool size vs. cell count is exactly the
+    // deduplication factor the columnar layout buys.
+    let ds = &dirty.dirty;
+    let pool_values = ds.pool().len();
+    let pool_bytes = ds.pool().string_bytes();
+    let distinct_per_attr: String = ds
+        .schema()
+        .attr_ids()
+        .map(|a| {
+            format!(
+                "    \"{}\": {}",
+                ds.schema().attr_name(a),
+                ds.distinct_count(a)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+
+    // Stage-I distance-cache effectiveness (AGP + RSC combined).
+    let mut cache = CacheStats::default();
+    cache.absorb(outcome.agp.cache);
+    cache.absorb(outcome.rsc.cache);
+
     let json = format!(
         concat!(
             "{{\n",
@@ -51,6 +77,19 @@ pub fn run(scale: Scale) -> Vec<(String, String)> {
             "    \"rsc\": {rsc:.6},\n",
             "    \"fscr\": {fscr:.6}\n",
             "  }},\n",
+            "  \"memory\": {{\n",
+            "    \"cells\": {cells},\n",
+            "    \"pool_distinct_values\": {pool_values},\n",
+            "    \"pool_string_bytes\": {pool_bytes},\n",
+            "    \"distinct_per_attribute\": {{\n",
+            "{distinct_per_attr}\n",
+            "    }}\n",
+            "  }},\n",
+            "  \"distance_cache\": {{\n",
+            "    \"hits\": {cache_hits},\n",
+            "    \"misses\": {cache_misses},\n",
+            "    \"hit_rate\": {cache_hit_rate:.6}\n",
+            "  }},\n",
             "  \"precision\": {precision:.6},\n",
             "  \"recall\": {recall:.6},\n",
             "  \"f1\": {f1:.6}\n",
@@ -69,6 +108,13 @@ pub fn run(scale: Scale) -> Vec<(String, String)> {
         learning = timings.weight_learning.as_secs_f64(),
         rsc = timings.rsc.as_secs_f64(),
         fscr = timings.fscr.as_secs_f64(),
+        cells = ds.cell_count(),
+        pool_values = pool_values,
+        pool_bytes = pool_bytes,
+        distinct_per_attr = distinct_per_attr,
+        cache_hits = cache.hits,
+        cache_misses = cache.misses,
+        cache_hit_rate = cache.hit_rate(),
         precision = report.precision(),
         recall = report.recall(),
         f1 = report.f1(),
@@ -100,6 +146,10 @@ mod tests {
         assert_eq!(name, "BENCH_smoke.json");
         assert!(json.contains("\"end_to_end_seconds\""));
         assert!(json.contains("\"f1\""));
+        // Memory-side stats of the interned representation.
+        assert!(json.contains("\"pool_distinct_values\""));
+        assert!(json.contains("\"distinct_per_attribute\""));
+        assert!(json.contains("\"hit_rate\""));
         // Crude structural sanity: balanced braces, no trailing comma issues.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }

@@ -7,10 +7,15 @@
 //! each abnormal group into its nearest *normal* group within the same block,
 //! where the distance between two groups is the distance between their
 //! dominant γs (the γ related to the most tuples).
+//!
+//! Distances run through a per-block [`DistanceCache`] keyed on interned
+//! value pairs, so each distinct value pair pays the string metric exactly
+//! once per block no matter how many group comparisons revisit it.
 
-use crate::index::{Block, MlnIndex};
-use dataset::TupleId;
-use distance::{normalized_record_distance, record_distance, Metric};
+use crate::cache::{CacheStats, DistanceCache};
+use crate::index::{Block, Group, MlnIndex};
+use dataset::{TupleId, ValueId, ValuePool};
+use distance::Metric;
 use rayon::prelude::*;
 use rules::RuleId;
 use serde::{Deserialize, Serialize};
@@ -20,7 +25,7 @@ use serde::{Deserialize, Serialize};
 pub struct AgpMerge {
     /// Block in which the merge happened.
     pub rule: RuleId,
-    /// Reason-part key of the abnormal group.
+    /// Reason-part key of the abnormal group (resolved strings).
     pub abnormal_key: Vec<String>,
     /// Reason-part key of the normal group it was merged into, or `None` if
     /// the block had no normal group to merge into.
@@ -37,6 +42,8 @@ pub struct AgpMerge {
 pub struct AgpRecord {
     /// Every detected abnormal group, in processing order.
     pub merges: Vec<AgpMerge>,
+    /// Distance-cache counters accumulated over all blocks.
+    pub cache: CacheStats,
 }
 
 impl AgpRecord {
@@ -88,19 +95,21 @@ impl AbnormalGroupProcessor {
     /// parallel; per-block results are reassembled in block order, making the
     /// outcome identical to [`AbnormalGroupProcessor::process_serial`].
     pub fn process(&self, index: &mut MlnIndex) -> AgpRecord {
-        let blocks = std::mem::take(&mut index.blocks);
-        let processed: Vec<(Block, AgpRecord)> = blocks
+        let (blocks, pool) = index.split_mut();
+        let taken = std::mem::take(blocks);
+        let processed: Vec<(Block, AgpRecord)> = taken
             .into_par_iter()
             .map(|mut block| {
                 let mut record = AgpRecord::default();
-                self.process_block(&mut block, &mut record);
+                self.process_block(&mut block, pool, &mut record);
                 (block, record)
             })
             .collect();
         let mut record = AgpRecord::default();
         for (block, block_record) in processed {
-            index.blocks.push(block);
+            blocks.push(block);
             record.merges.extend(block_record.merges);
+            record.cache.absorb(block_record.cache);
         }
         record
     }
@@ -108,16 +117,17 @@ impl AbnormalGroupProcessor {
     /// Serial reference implementation of [`AbnormalGroupProcessor::process`],
     /// kept for the parallel-equivalence tests.
     pub fn process_serial(&self, index: &mut MlnIndex) -> AgpRecord {
+        let (blocks, pool) = index.split_mut();
         let mut record = AgpRecord::default();
-        for block in &mut index.blocks {
-            self.process_block(block, &mut record);
+        for block in blocks.iter_mut() {
+            self.process_block(block, pool, &mut record);
         }
         record
     }
 
     /// Process a single block: detect abnormal groups (size ≤ τ) and merge
     /// each into its nearest normal group.
-    fn process_block(&self, block: &mut Block, record: &mut AgpRecord) {
+    fn process_block(&self, block: &mut Block, pool: &ValuePool, record: &mut AgpRecord) {
         // Partition group indices into abnormal and normal by the size test.
         let abnormal_idx: Vec<usize> = block
             .groups
@@ -129,9 +139,11 @@ impl AbnormalGroupProcessor {
         if abnormal_idx.is_empty() {
             return;
         }
+        // One distance memo per block: every group comparison below shares it.
+        let mut cache = DistanceCache::new(self.metric);
         // Snapshot the keys of the normal groups: only they are valid merge
         // targets — abnormal groups never merge into each other.
-        let normal_keys: Vec<Vec<String>> = block
+        let normal_keys: Vec<Vec<ValueId>> = block
             .groups
             .iter()
             .enumerate()
@@ -150,37 +162,54 @@ impl AbnormalGroupProcessor {
         for group in abnormal_groups {
             let tuples = group.all_tuples();
             let gamma_count = group.gamma_count();
-            let abnormal_key = group.key.clone();
+            let abnormal_key: Vec<String> = group
+                .resolve_key(pool)
+                .into_iter()
+                .map(str::to_string)
+                .collect();
 
             // Nearest normal group by dominant-γ distance, optionally subject
             // to the normalized-distance merge guard.
-            let target_key = {
+            let target_key: Option<Vec<ValueId>> = {
                 let dominant = group.dominant_gamma();
                 match dominant {
                     None => None,
-                    Some(dominant) => block
-                        .groups
-                        .iter()
-                        .filter(|g| normal_keys.contains(&g.key) && !g.gammas.is_empty())
-                        .min_by(|a, b| {
-                            let da = group_distance(&self.metric, dominant, a);
-                            let db = group_distance(&self.metric, dominant, b);
-                            da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
-                        })
-                        .filter(|g| match self.distance_guard {
-                            None => true,
-                            Some(guard) => g
-                                .dominant_gamma()
-                                .map(|other| {
-                                    normalized_record_distance(
-                                        &self.metric,
-                                        &dominant.values(),
-                                        &other.values(),
-                                    ) <= guard
-                                })
-                                .unwrap_or(false),
-                        })
-                        .map(|g| g.key.clone()),
+                    Some(dominant) => {
+                        let dominant_ids = dominant.value_ids();
+                        let mut best: Option<(&Group, f64)> = None;
+                        for candidate in block
+                            .groups
+                            .iter()
+                            .filter(|g| normal_keys.contains(&g.key) && !g.gammas.is_empty())
+                        {
+                            let d = group_distance(&mut cache, pool, &dominant_ids, candidate);
+                            // Strict `<` so ties keep the *first* minimal
+                            // candidate, matching the historical
+                            // `Iterator::min_by` tie-breaking exactly.
+                            let closer = match &best {
+                                None => true,
+                                Some((_, best_d)) => d < *best_d,
+                            };
+                            if closer {
+                                best = Some((candidate, d));
+                            }
+                        }
+                        best.map(|(g, _)| g)
+                            .filter(|g| match self.distance_guard {
+                                None => true,
+                                Some(guard) => g
+                                    .dominant_gamma()
+                                    .map(|other| {
+                                        cache.normalized_record_distance(
+                                            pool,
+                                            &dominant_ids,
+                                            &other.value_ids(),
+                                        ) <= guard
+                                    })
+                                    .unwrap_or(false),
+                            })
+                            .map(|g| g.key.clone())
+                    }
                 }
             };
 
@@ -192,7 +221,8 @@ impl AbnormalGroupProcessor {
                         .find(|g| &g.key == key)
                         .expect("target key came from the block");
                     // Move the abnormal group's γs into the target group,
-                    // merging identical γs (same full value vector).
+                    // merging identical γs (same full value vector — an id
+                    // comparison).
                     for gamma in group.gammas {
                         if let Some(existing) = target.gammas.iter_mut().find(|g| {
                             g.reason_values == gamma.reason_values
@@ -214,11 +244,13 @@ impl AbnormalGroupProcessor {
             record.merges.push(AgpMerge {
                 rule: block.rule,
                 abnormal_key,
-                target_key,
+                target_key: target_key
+                    .map(|key| key.iter().map(|&v| pool.resolve(v).to_string()).collect()),
                 tuples,
                 gamma_count,
             });
         }
+        record.cache.absorb(cache.stats());
     }
 }
 
@@ -226,12 +258,13 @@ impl AbnormalGroupProcessor {
 /// (the candidate is represented by its own dominant γ, per the paper's
 /// definition of group distance).
 fn group_distance(
-    metric: &Metric,
-    dominant: &crate::gamma::Gamma,
-    candidate: &crate::index::Group,
+    cache: &mut DistanceCache,
+    pool: &ValuePool,
+    dominant_ids: &[ValueId],
+    candidate: &Group,
 ) -> f64 {
     match candidate.dominant_gamma() {
-        Some(other) => record_distance(metric, &dominant.values(), &other.values()),
+        Some(other) => cache.record_distance(pool, dominant_ids, &other.value_ids()),
         None => f64::INFINITY,
     }
 }
@@ -346,6 +379,18 @@ mod tests {
                 "AGP index state diverged at tau={tau}"
             );
         }
+    }
+
+    #[test]
+    fn cache_counters_are_recorded() {
+        let mut index = sample_index();
+        let record = AbnormalGroupProcessor::new(1, Metric::Levenshtein).process(&mut index);
+        let stats = record.cache;
+        assert!(
+            stats.misses > 0,
+            "AGP on the sample must compute some distances"
+        );
+        assert!((0.0..=1.0).contains(&stats.hit_rate()));
     }
 
     #[test]

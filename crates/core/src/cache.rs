@@ -1,0 +1,253 @@
+//! Distance memoisation keyed on interned value pairs.
+//!
+//! AGP and RSC compare γs through string distances.  Within a block the same
+//! *value pair* recurs constantly — every abnormal group is compared against
+//! every normal group, and RSC's normalization constant revisits all γ pairs
+//! of a group — while the number of *distinct* value pairs is small.  Keying
+//! the metric on `(ValueId, ValueId)` (symmetric, order-normalized) makes
+//! each distinct pair pay the metric exactly once per cache lifetime; the
+//! pipeline instantiates one cache per block so the parallel and serial paths
+//! report identical statistics.
+
+use dataset::{ValueId, ValuePool};
+use distance::{DistanceMetric, Metric};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Hit/miss counters of a [`DistanceCache`], aggregated into the stage
+/// records so benchmarks can report cache effectiveness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Pair lookups answered from the cache (including trivial equal pairs).
+    pub hits: u64,
+    /// Pair lookups that had to run the metric.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served without running the metric (`1.0` when no
+    /// lookup happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Fold another counter into this one.
+    pub fn absorb(&mut self, other: CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+}
+
+/// A symmetric `(ValueId, ValueId) → (raw, normalized)` distance memo.
+#[derive(Debug, Clone)]
+pub struct DistanceCache {
+    metric: Metric,
+    pairs: HashMap<(ValueId, ValueId), (f64, f64)>,
+    stats: CacheStats,
+}
+
+impl DistanceCache {
+    /// Create an empty cache for `metric`.
+    pub fn new(metric: Metric) -> Self {
+        DistanceCache {
+            metric,
+            pairs: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The metric this cache memoises.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Raw and normalized distance between two interned values.
+    fn pair(&mut self, pool: &ValuePool, a: ValueId, b: ValueId) -> (f64, f64) {
+        if a == b {
+            self.stats.hits += 1;
+            return (0.0, 0.0);
+        }
+        let key = if a <= b { (a, b) } else { (b, a) };
+        if let Some(&cached) = self.pairs.get(&key) {
+            self.stats.hits += 1;
+            return cached;
+        }
+        self.stats.misses += 1;
+        let sa = pool.resolve(a);
+        let sb = pool.resolve(b);
+        let computed = match self.metric {
+            // For the edit distances the normalized form is raw / max-length:
+            // derive it instead of running the dynamic program twice.
+            Metric::Levenshtein | Metric::DamerauLevenshtein => {
+                let raw = self.metric.distance(sa, sb);
+                let max_len = sa.chars().count().max(sb.chars().count());
+                let normalized = if max_len == 0 {
+                    0.0
+                } else {
+                    raw / max_len as f64
+                };
+                (raw, normalized)
+            }
+            // The remaining metrics are already normalized; raw == normalized.
+            Metric::Cosine | Metric::Jaccard | Metric::JaroWinkler => {
+                let d = self.metric.distance(sa, sb);
+                (d, d)
+            }
+        };
+        self.pairs.insert(key, computed);
+        computed
+    }
+
+    /// Raw distance between two interned values.
+    pub fn distance(&mut self, pool: &ValuePool, a: ValueId, b: ValueId) -> f64 {
+        self.pair(pool, a, b).0
+    }
+
+    /// Normalized (`[0, 1]`) distance between two interned values.
+    pub fn normalized_distance(&mut self, pool: &ValuePool, a: ValueId, b: ValueId) -> f64 {
+        self.pair(pool, a, b).1
+    }
+
+    /// Record distance between two equal-arity id vectors: the attribute-wise
+    /// raw distances summed (the γ-to-γ distance of AGP/RSC).
+    pub fn record_distance(&mut self, pool: &ValuePool, a: &[ValueId], b: &[ValueId]) -> f64 {
+        debug_assert_eq!(a.len(), b.len(), "records must have the same arity");
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| self.distance(pool, x, y))
+            .sum()
+    }
+
+    /// Normalized record distance in `[0, 1]`: the attribute-wise normalized
+    /// distances averaged.  Returns `0.0` for two empty records.
+    pub fn normalized_record_distance(
+        &mut self,
+        pool: &ValuePool,
+        a: &[ValueId],
+        b: &[ValueId],
+    ) -> f64 {
+        debug_assert_eq!(a.len(), b.len(), "records must have the same arity");
+        if a.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = a
+            .iter()
+            .zip(b)
+            .map(|(&x, &y)| self.normalized_distance(pool, x, y))
+            .sum();
+        total / a.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distance::{levenshtein, normalized_levenshtein};
+
+    fn pool() -> ValuePool {
+        let mut p = ValuePool::new();
+        p.intern_all(["DOTHAN", "DOTH", "BOAZ", "AL", "AK", ""]);
+        p
+    }
+
+    #[test]
+    fn matches_direct_metric_for_every_metric() {
+        use distance::DistanceMetric;
+        // Pins the cache's derived normalization to Metric::normalized_distance
+        // for ALL metrics, so a future change to either side cannot silently
+        // diverge the cached path AGP/RSC use.
+        let pool = pool();
+        for metric in Metric::ALL {
+            let mut cache = DistanceCache::new(metric);
+            for (a, sa) in pool.iter().collect::<Vec<_>>() {
+                for (b, sb) in pool.iter().collect::<Vec<_>>() {
+                    assert_eq!(
+                        cache.distance(&pool, a, b),
+                        metric.distance(sa, sb),
+                        "{metric:?} raw distance diverged for {sa:?} vs {sb:?}"
+                    );
+                    assert!(
+                        (cache.normalized_distance(&pool, a, b)
+                            - metric.normalized_distance(sa, sb))
+                        .abs()
+                            < 1e-12,
+                        "{metric:?} normalized distance diverged for {sa:?} vs {sb:?}"
+                    );
+                }
+            }
+        }
+        // Spot-check the Levenshtein helpers directly too.
+        let mut cache = DistanceCache::new(Metric::Levenshtein);
+        let a = pool.lookup("DOTHAN").unwrap();
+        let b = pool.lookup("DOTH").unwrap();
+        assert_eq!(
+            cache.distance(&pool, a, b),
+            levenshtein("DOTHAN", "DOTH") as f64
+        );
+        assert!(
+            (cache.normalized_distance(&pool, a, b) - normalized_levenshtein("DOTHAN", "DOTH"))
+                .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn each_distinct_pair_misses_once() {
+        let pool = pool();
+        let mut cache = DistanceCache::new(Metric::Levenshtein);
+        let a = pool.lookup("DOTHAN").unwrap();
+        let b = pool.lookup("DOTH").unwrap();
+        cache.distance(&pool, a, b);
+        cache.distance(&pool, b, a); // symmetric: served from cache
+        cache.normalized_distance(&pool, a, b);
+        cache.distance(&pool, a, a); // equal: trivial hit
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 3);
+        assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_distances_match_unmemoised_forms() {
+        let pool = pool();
+        let mut cache = DistanceCache::new(Metric::Levenshtein);
+        let ids: Vec<ValueId> = ["BOAZ", "AL"]
+            .iter()
+            .map(|v| pool.lookup(v).unwrap())
+            .collect();
+        let other: Vec<ValueId> = ["DOTHAN", "AK"]
+            .iter()
+            .map(|v| pool.lookup(v).unwrap())
+            .collect();
+        let raw = cache.record_distance(&pool, &ids, &other);
+        assert_eq!(
+            raw,
+            (levenshtein("BOAZ", "DOTHAN") + levenshtein("AL", "AK")) as f64
+        );
+        let norm = cache.normalized_record_distance(&pool, &ids, &other);
+        let expected =
+            (normalized_levenshtein("BOAZ", "DOTHAN") + normalized_levenshtein("AL", "AK")) / 2.0;
+        assert!((norm - expected).abs() < 1e-12);
+        assert_eq!(cache.normalized_record_distance(&pool, &[], &[]), 0.0);
+    }
+
+    #[test]
+    fn empty_stats_hit_rate_is_one() {
+        let cache = DistanceCache::new(Metric::Levenshtein);
+        assert_eq!(cache.stats().hit_rate(), 1.0);
+        let mut s = CacheStats::default();
+        s.absorb(CacheStats { hits: 3, misses: 1 });
+        assert_eq!(s.hits, 3);
+        assert_eq!(s.misses, 1);
+    }
+}

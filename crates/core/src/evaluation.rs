@@ -35,7 +35,7 @@ fn truth_reason_values(
     t: TupleId,
 ) -> Vec<String> {
     let rule = rules.rule(rule);
-    rule.reason_values(dirty.clean.schema(), dirty.clean.tuple(t))
+    rule.reason_values(dirty.clean.schema(), &dirty.clean.tuple(t))
 }
 
 /// Ground-truth full (reason + result) values of a tuple under a rule.
@@ -46,8 +46,8 @@ fn truth_full_values(
     t: TupleId,
 ) -> Vec<String> {
     let rule = rules.rule(rule);
-    let mut v = rule.reason_values(dirty.clean.schema(), dirty.clean.tuple(t));
-    v.extend(rule.result_values(dirty.clean.schema(), dirty.clean.tuple(t)));
+    let mut v = rule.reason_values(dirty.clean.schema(), &dirty.clean.tuple(t));
+    v.extend(rule.result_values(dirty.clean.schema(), &dirty.clean.tuple(t)));
     v
 }
 
@@ -77,12 +77,17 @@ pub fn evaluate_agp(
     for block in &index.blocks {
         for group in &block.groups {
             let tuples = group.all_tuples();
+            let key: Vec<String> = group
+                .resolve_key(index.pool())
+                .into_iter()
+                .map(str::to_string)
+                .collect();
             let truly_abnormal = !tuples
                 .iter()
-                .any(|&t| truth_reason_values(dirty, rules, block.rule, t) == group.key);
+                .any(|&t| truth_reason_values(dirty, rules, block.rule, t) == key);
             if truly_abnormal && !tuples.is_empty() {
                 real_abnormal += 1;
-                real_abnormal_keys.insert((block.rule.index(), group.key.clone()));
+                real_abnormal_keys.insert((block.rule.index(), key));
             }
         }
     }
@@ -123,8 +128,11 @@ pub fn evaluate_rsc(
     let mut erroneous_gammas = 0usize;
     for block in &index.blocks {
         for gamma in block.gammas() {
-            let mut values: Vec<String> = gamma.reason_values.clone();
-            values.extend(gamma.result_values.iter().cloned());
+            let values: Vec<String> = gamma
+                .resolve_values(index.pool())
+                .into_iter()
+                .map(str::to_string)
+                .collect();
             let has_error = gamma
                 .tuples
                 .iter()

@@ -15,17 +15,23 @@
 //!
 //! Fusion order matters, so all `m!` orders are explored (m ≤ number of
 //! rules; a greedy order is used beyond a configurable bound).
+//!
+//! The whole stage runs on `(AttrId, ValueId)` pairs: conflict tests are
+//! integer comparisons and the winning assignment is written back into the
+//! repaired dataset as ids (the index pool is a snapshot of the dataset
+//! pool, so ids transfer directly).  Strings materialize only in the
+//! provenance records.
 
 use crate::gamma::Gamma;
 use crate::index::MlnIndex;
-use dataset::{CellRef, Dataset, TupleId};
+use dataset::{AttrId, CellRef, Dataset, TupleId, ValueId};
 use rules::RuleId;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// A successful fusion: the fused `(attribute, value)` assignment, its fusion
 /// score, and how many versions were substituted with block-level candidates.
-type Fusion = (Vec<(String, String)>, f64, usize);
+type Fusion = (Vec<(AttrId, ValueId)>, f64, usize);
 
 /// A single cell rewritten by the fusion stage.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -43,7 +49,7 @@ pub struct CellChange {
 pub struct FusionOutcome {
     /// The tuple.
     pub tuple: TupleId,
-    /// The fused attribute assignment actually applied.
+    /// The fused attribute assignment actually applied (resolved strings).
     pub fused: Vec<(String, String)>,
     /// The fusion score of the applied assignment (0 when fusion failed).
     pub f_score: f64,
@@ -97,6 +103,8 @@ impl ConflictResolver {
     pub fn resolve(&self, dirty: &Dataset, index: &MlnIndex) -> (Dataset, FscrRecord) {
         let mut repaired = dirty.clone();
         let mut record = FscrRecord::default();
+        let pool = index.pool();
+        let schema = dirty.schema();
 
         // Per block: tuple -> γ (the group representative covering it), and
         // the list of candidate γs (for conflict substitution), sorted by
@@ -145,27 +153,28 @@ impl ConflictResolver {
             let (best_fusion, best_score) = self.best_fusion(versions, &block_candidates);
 
             let fusion_failed = best_fusion.is_none();
-            let fused_pairs: Vec<(String, String)> = best_fusion.unwrap_or_default();
+            let fused_pairs: Vec<(AttrId, ValueId)> = best_fusion.unwrap_or_default();
 
-            for (attr, value) in &fused_pairs {
-                let attr_id = dirty
-                    .schema()
-                    .attr_id(attr)
-                    .expect("index attributes come from the schema");
-                let old = dirty.value(t, attr_id).to_string();
-                if &old != value {
+            for &(attr, value) in &fused_pairs {
+                // The index pool is a snapshot of the dirty dataset's pool,
+                // so γ ids write straight into the repaired clone.
+                let old = dirty.value_id(t, attr);
+                if old != value {
                     record.changes.push(CellChange {
-                        cell: CellRef::new(t, attr_id),
-                        old,
-                        new: value.clone(),
+                        cell: CellRef::new(t, attr),
+                        old: pool.resolve(old).to_string(),
+                        new: pool.resolve(value).to_string(),
                     });
                 }
-                repaired.set_value(t, attr_id, value.clone());
+                repaired.set_value_id(t, attr, value);
             }
 
             record.outcomes.push(FusionOutcome {
                 tuple: t,
-                fused: fused_pairs,
+                fused: fused_pairs
+                    .into_iter()
+                    .map(|(a, v)| (schema.attr_name(a).to_string(), pool.resolve(v).to_string()))
+                    .collect(),
                 f_score: if fusion_failed { 0.0 } else { best_score },
                 conflict_detected,
                 fusion_failed,
@@ -189,7 +198,7 @@ impl ConflictResolver {
         &self,
         versions: &[&Gamma],
         block_candidates: &HashMap<RuleId, Vec<&Gamma>>,
-    ) -> (Option<Vec<(String, String)>>, f64) {
+    ) -> (Option<Vec<(AttrId, ValueId)>>, f64) {
         let m = versions.len();
         let orders: Vec<Vec<usize>> = if m <= self.max_exhaustive {
             permutations(m)
@@ -223,7 +232,7 @@ impl ConflictResolver {
             orders
         };
 
-        let mut best: Option<Vec<(String, String)>> = None;
+        let mut best: Option<Vec<(AttrId, ValueId)>> = None;
         let mut best_score = 0.0f64;
         let mut best_substitutions = usize::MAX;
         for order in orders {
@@ -253,7 +262,7 @@ impl ConflictResolver {
         order: &[usize],
         block_candidates: &HashMap<RuleId, Vec<&Gamma>>,
     ) -> Option<Fusion> {
-        let mut fused: Vec<(String, String)> = Vec::new();
+        let mut fused: Vec<(AttrId, ValueId)> = Vec::new();
         let mut score = 1.0f64;
         let mut substitutions = 0usize;
 
@@ -282,8 +291,8 @@ impl ConflictResolver {
             };
 
             for (attr, value) in chosen.attr_value_pairs() {
-                if !fused.iter().any(|(a, _)| a == attr) {
-                    fused.push((attr.to_string(), value.to_string()));
+                if !fused.iter().any(|(a, _)| *a == attr) {
+                    fused.push((attr, value));
                 }
             }
             score *= chosen.probability.max(f64::MIN_POSITIVE);
@@ -293,11 +302,11 @@ impl ConflictResolver {
 }
 
 /// Whether a γ disagrees with the attribute assignment built so far.
-fn conflicts_with_fusion(gamma: &Gamma, fused: &[(String, String)]) -> bool {
+fn conflicts_with_fusion(gamma: &Gamma, fused: &[(AttrId, ValueId)]) -> bool {
     gamma
         .attr_value_pairs()
         .into_iter()
-        .any(|(attr, value)| fused.iter().any(|(a, v)| a == attr && v != value))
+        .any(|(attr, value)| fused.iter().any(|&(a, v)| a == attr && v != value))
 }
 
 /// All permutations of `0..n` (Heap's algorithm).

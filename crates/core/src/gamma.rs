@@ -5,8 +5,13 @@
 //! carrying exactly the same projected values share one γ, and the number of
 //! such tuples is the γ's *support* `c(γ)` (the prior-weight numerator of
 //! Eq. 4 in the paper).
+//!
+//! Values are stored as interned [`ValueId`]s and attributes as [`AttrId`]s,
+//! so γ-to-γ equality and conflict checks are pure integer comparisons; the
+//! strings only materialize when a distance must be computed (through the
+//! index's [`ValuePool`]) or when provenance records are emitted.
 
-use dataset::TupleId;
+use dataset::{AttrId, Schema, TupleId, ValueId, ValuePool};
 use rules::RuleId;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -17,14 +22,14 @@ use std::fmt;
 pub struct Gamma {
     /// The rule whose block this γ belongs to.
     pub rule: RuleId,
-    /// Attribute names of the reason part, in rule order.
-    pub reason_attrs: Vec<String>,
-    /// Values of the reason part.
-    pub reason_values: Vec<String>,
-    /// Attribute names of the result part, in rule order.
-    pub result_attrs: Vec<String>,
-    /// Values of the result part.
-    pub result_values: Vec<String>,
+    /// Attributes of the reason part, in rule order.
+    pub reason_attrs: Vec<AttrId>,
+    /// Interned values of the reason part.
+    pub reason_values: Vec<ValueId>,
+    /// Attributes of the result part, in rule order.
+    pub result_attrs: Vec<AttrId>,
+    /// Interned values of the result part.
+    pub result_values: Vec<ValueId>,
     /// Tuples carrying exactly these values (the support `c(γ)`).
     pub tuples: Vec<TupleId>,
     /// Raw weight learned by the block's MLN weight learning.
@@ -40,10 +45,10 @@ impl Gamma {
     /// `weight`/`probability` fields later).
     pub fn new(
         rule: RuleId,
-        reason_attrs: Vec<String>,
-        reason_values: Vec<String>,
-        result_attrs: Vec<String>,
-        result_values: Vec<String>,
+        reason_attrs: Vec<AttrId>,
+        reason_values: Vec<ValueId>,
+        result_attrs: Vec<AttrId>,
+        result_values: Vec<ValueId>,
     ) -> Self {
         debug_assert_eq!(reason_attrs.len(), reason_values.len());
         debug_assert_eq!(result_attrs.len(), result_values.len());
@@ -64,36 +69,55 @@ impl Gamma {
         self.tuples.len()
     }
 
-    /// All values of the γ, reason part first — the record compared by the
-    /// distance metric in AGP and RSC.
-    pub fn values(&self) -> Vec<&str> {
+    /// All value ids of the γ, reason part first — the record compared by the
+    /// distance cache in AGP and RSC.
+    pub fn value_ids(&self) -> Vec<ValueId> {
         self.reason_values
             .iter()
             .chain(self.result_values.iter())
-            .map(|s| s.as_str())
+            .copied()
             .collect()
     }
 
-    /// `(attribute, value)` pairs of the whole γ, reason part first.  If an
-    /// attribute appears in both parts (possible for some DCs) the reason
+    /// All values of the γ resolved through `pool`, reason part first.
+    pub fn resolve_values<'p>(&self, pool: &'p ValuePool) -> Vec<&'p str> {
+        self.reason_values
+            .iter()
+            .chain(self.result_values.iter())
+            .map(|&v| pool.resolve(v))
+            .collect()
+    }
+
+    /// Resolve only the reason-part values.
+    pub fn resolve_reason_values<'p>(&self, pool: &'p ValuePool) -> Vec<&'p str> {
+        pool.resolve_all(&self.reason_values)
+    }
+
+    /// Resolve only the result-part values.
+    pub fn resolve_result_values<'p>(&self, pool: &'p ValuePool) -> Vec<&'p str> {
+        pool.resolve_all(&self.result_values)
+    }
+
+    /// `(attribute, value)` id pairs of the whole γ, reason part first.  If
+    /// an attribute appears in both parts (possible for some DCs) the reason
     /// occurrence wins.
-    pub fn attr_value_pairs(&self) -> Vec<(&str, &str)> {
-        let mut out: Vec<(&str, &str)> = Vec::new();
-        for (a, v) in self.reason_attrs.iter().zip(&self.reason_values) {
-            if !out.iter().any(|(x, _)| *x == a.as_str()) {
-                out.push((a.as_str(), v.as_str()));
+    pub fn attr_value_pairs(&self) -> Vec<(AttrId, ValueId)> {
+        let mut out: Vec<(AttrId, ValueId)> = Vec::new();
+        for (&a, &v) in self.reason_attrs.iter().zip(&self.reason_values) {
+            if !out.iter().any(|(x, _)| *x == a) {
+                out.push((a, v));
             }
         }
-        for (a, v) in self.result_attrs.iter().zip(&self.result_values) {
-            if !out.iter().any(|(x, _)| *x == a.as_str()) {
-                out.push((a.as_str(), v.as_str()));
+        for (&a, &v) in self.result_attrs.iter().zip(&self.result_values) {
+            if !out.iter().any(|(x, _)| *x == a) {
+                out.push((a, v));
             }
         }
         out
     }
 
-    /// The value this γ assigns to `attr`, if the γ covers that attribute.
-    pub fn value_of(&self, attr: &str) -> Option<&str> {
+    /// The value id this γ assigns to `attr`, if the γ covers that attribute.
+    pub fn value_of(&self, attr: AttrId) -> Option<ValueId> {
         self.attr_value_pairs()
             .into_iter()
             .find(|(a, _)| *a == attr)
@@ -102,23 +126,33 @@ impl Gamma {
 
     /// Whether two γs conflict: they share at least one attribute and
     /// disagree on at least one shared attribute (the conflict test of
-    /// Algorithm 2).
+    /// Algorithm 2).  Pure integer comparisons — no strings are resolved.
     pub fn conflicts_with(&self, other: &Gamma) -> bool {
-        let mut share_any = false;
         for (attr, value) in self.attr_value_pairs() {
             if let Some(other_value) = other.value_of(attr) {
-                share_any = true;
                 if other_value != value {
                     return true;
                 }
             }
         }
-        let _ = share_any;
         false
+    }
+
+    /// Render the γ in the paper's `{CT: BOAZ, ST: AL}` notation, resolving
+    /// attribute names and values through the given schema and pool.
+    pub fn display_in(&self, schema: &Schema, pool: &ValuePool) -> String {
+        let pairs: Vec<String> = self
+            .attr_value_pairs()
+            .into_iter()
+            .map(|(a, v)| format!("{}: {}", schema.attr_name(a), pool.resolve(v)))
+            .collect();
+        format!("{{{}}}", pairs.join(", "))
     }
 }
 
 impl fmt::Display for Gamma {
+    /// Pool-free rendering with raw ids (`{A1: v3, A2: v0}`); use
+    /// [`Gamma::display_in`] for resolved output.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let pairs: Vec<String> = self
             .attr_value_pairs()
@@ -132,32 +166,70 @@ impl fmt::Display for Gamma {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dataset::Schema;
 
-    fn gamma(reason: &[(&str, &str)], result: &[(&str, &str)]) -> Gamma {
+    /// Test pool over the running example's constants plus a helper building
+    /// γs the way the index does.
+    fn pool() -> (Schema, ValuePool) {
+        let schema = Schema::new(&["HN", "CT", "ST", "PN"]);
+        let mut pool = ValuePool::new();
+        pool.intern_all(["ELIZA", "DOTHAN", "BOAZ", "AL", "AK", "2567688400"]);
+        (schema, pool)
+    }
+
+    fn gamma(
+        schema: &Schema,
+        pool: &mut ValuePool,
+        reason: &[(&str, &str)],
+        result: &[(&str, &str)],
+    ) -> Gamma {
         Gamma::new(
             RuleId(0),
-            reason.iter().map(|(a, _)| a.to_string()).collect(),
-            reason.iter().map(|(_, v)| v.to_string()).collect(),
-            result.iter().map(|(a, _)| a.to_string()).collect(),
-            result.iter().map(|(_, v)| v.to_string()).collect(),
+            reason
+                .iter()
+                .map(|(a, _)| schema.attr_id(a).unwrap())
+                .collect(),
+            reason.iter().map(|(_, v)| pool.intern(v)).collect(),
+            result
+                .iter()
+                .map(|(a, _)| schema.attr_id(a).unwrap())
+                .collect(),
+            result.iter().map(|(_, v)| pool.intern(v)).collect(),
         )
     }
 
     #[test]
     fn values_and_pairs() {
-        let g = gamma(&[("CT", "BOAZ")], &[("ST", "AL")]);
-        assert_eq!(g.values(), vec!["BOAZ", "AL"]);
-        assert_eq!(g.attr_value_pairs(), vec![("CT", "BOAZ"), ("ST", "AL")]);
-        assert_eq!(g.value_of("ST"), Some("AL"));
-        assert_eq!(g.value_of("PN"), None);
+        let (schema, mut pool) = pool();
+        let g = gamma(&schema, &mut pool, &[("CT", "BOAZ")], &[("ST", "AL")]);
+        assert_eq!(g.resolve_values(&pool), vec!["BOAZ", "AL"]);
+        let ct = schema.attr_id("CT").unwrap();
+        let st = schema.attr_id("ST").unwrap();
+        let pn = schema.attr_id("PN").unwrap();
+        assert_eq!(
+            g.attr_value_pairs(),
+            vec![
+                (ct, pool.lookup("BOAZ").unwrap()),
+                (st, pool.lookup("AL").unwrap())
+            ]
+        );
+        assert_eq!(g.value_of(st), pool.lookup("AL"));
+        assert_eq!(g.value_of(pn), None);
+        assert_eq!(g.value_ids().len(), 2);
     }
 
     #[test]
     fn conflict_detection_matches_example3() {
         // γ1 from B1, γ2 from B2, γ3 from B3 of the paper's Example 3.
-        let g1 = gamma(&[("CT", "DOTHAN")], &[("ST", "AL")]);
-        let g2 = gamma(&[("PN", "2567688400")], &[("ST", "AL")]);
-        let g3 = gamma(&[("HN", "ELIZA"), ("CT", "BOAZ")], &[("PN", "2567688400")]);
+        let (schema, mut pool) = pool();
+        let g1 = gamma(&schema, &mut pool, &[("CT", "DOTHAN")], &[("ST", "AL")]);
+        let g2 = gamma(&schema, &mut pool, &[("PN", "2567688400")], &[("ST", "AL")]);
+        let g3 = gamma(
+            &schema,
+            &mut pool,
+            &[("HN", "ELIZA"), ("CT", "BOAZ")],
+            &[("PN", "2567688400")],
+        );
         assert!(!g1.conflicts_with(&g2), "no shared attribute disagrees");
         assert!(!g2.conflicts_with(&g3), "PN agrees");
         assert!(g1.conflicts_with(&g3), "CT: DOTHAN vs BOAZ");
@@ -166,20 +238,24 @@ mod tests {
 
     #[test]
     fn no_shared_attributes_means_no_conflict() {
-        let a = gamma(&[("A", "1")], &[("B", "2")]);
-        let b = gamma(&[("C", "3")], &[("D", "4")]);
+        let schema = Schema::new(&["A", "B", "C", "D"]);
+        let mut pool = ValuePool::new();
+        let a = gamma(&schema, &mut pool, &[("A", "1")], &[("B", "2")]);
+        let b = gamma(&schema, &mut pool, &[("C", "3")], &[("D", "4")]);
         assert!(!a.conflicts_with(&b));
     }
 
     #[test]
     fn display_matches_paper_notation() {
-        let g = gamma(&[("CT", "BOAZ")], &[("ST", "AL")]);
-        assert_eq!(g.to_string(), "{CT: BOAZ, ST: AL}");
+        let (schema, mut pool) = pool();
+        let g = gamma(&schema, &mut pool, &[("CT", "BOAZ")], &[("ST", "AL")]);
+        assert_eq!(g.display_in(&schema, &pool), "{CT: BOAZ, ST: AL}");
     }
 
     #[test]
     fn support_counts_tuples() {
-        let mut g = gamma(&[("CT", "BOAZ")], &[("ST", "AL")]);
+        let (schema, mut pool) = pool();
+        let mut g = gamma(&schema, &mut pool, &[("CT", "BOAZ")], &[("ST", "AL")]);
         assert_eq!(g.support(), 0);
         g.tuples.push(TupleId(4));
         g.tuples.push(TupleId(5));

@@ -6,21 +6,29 @@
 //! needing information from outside the block — this is what shrinks the
 //! search space of repair candidates.
 //!
+//! Group keys are interned `Vec<ValueId>`s: per-tuple grouping is hash work
+//! over `u32`s, with a single string-ordered sort at the end of construction
+//! so block/group ordering (and therefore all downstream tie-breaking) is
+//! identical to the historical string-keyed index.  The index carries a
+//! snapshot of the dataset's [`ValuePool`], so every consumer (AGP, RSC,
+//! FSCR, weight merging, reporting) can resolve ids without re-touching the
+//! dataset.
+//!
 //! Construction cost is `O(|rules| × |tuples|)` as analysed in the paper.
 
 use crate::gamma::Gamma;
-use dataset::{Dataset, TupleId};
+use dataset::{AttrId, Dataset, TupleId, ValueId, ValuePool};
 use rules::{RuleId, RuleSet};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 use std::fmt;
 
 /// A second-layer group: all γs sharing the same reason-part values within a
 /// block.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Group {
-    /// The shared reason-part values.
-    pub key: Vec<String>,
+    /// The shared reason-part values (interned).
+    pub key: Vec<ValueId>,
     /// The distinct pieces of data in the group (same reason part, possibly
     /// different result parts — more than one γ means the group is dirty).
     pub gammas: Vec<Gamma>,
@@ -28,7 +36,7 @@ pub struct Group {
 
 impl Group {
     /// Create a group from its key.
-    pub fn new(key: Vec<String>) -> Self {
+    pub fn new(key: Vec<ValueId>) -> Self {
         Group {
             key,
             gammas: Vec::new(),
@@ -64,14 +72,20 @@ impl Group {
     pub fn is_clean(&self) -> bool {
         self.gammas.len() == 1
     }
+
+    /// The group key resolved through a pool.
+    pub fn resolve_key<'p>(&self, pool: &'p ValuePool) -> Vec<&'p str> {
+        pool.resolve_all(&self.key)
+    }
 }
 
 impl fmt::Display for Group {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let key: Vec<String> = self.key.iter().map(|v| v.to_string()).collect();
         writeln!(
             f,
             "group[{}] ({} tuples)",
-            self.key.join("|"),
+            key.join("|"),
             self.tuple_count()
         )?;
         for g in &self.gammas {
@@ -86,11 +100,11 @@ impl fmt::Display for Group {
 pub struct Block {
     /// The rule this block corresponds to.
     pub rule: RuleId,
-    /// Reason-part attribute names of the rule.
-    pub reason_attrs: Vec<String>,
-    /// Result-part attribute names of the rule.
-    pub result_attrs: Vec<String>,
-    /// The block's groups.
+    /// Reason-part attributes of the rule (schema ids, rule order).
+    pub reason_attrs: Vec<AttrId>,
+    /// Result-part attributes of the rule (schema ids, rule order).
+    pub result_attrs: Vec<AttrId>,
+    /// The block's groups, ordered by their string-resolved keys.
     pub groups: Vec<Group>,
 }
 
@@ -100,8 +114,8 @@ impl Block {
         self.groups.len()
     }
 
-    /// Find the group with the given reason-part key.
-    pub fn group_by_key(&self, key: &[String]) -> Option<&Group> {
+    /// Find the group with the given (interned) reason-part key.
+    pub fn group_by_key_ids(&self, key: &[ValueId]) -> Option<&Group> {
         self.groups.iter().find(|g| g.key == key)
     }
 
@@ -145,6 +159,9 @@ impl std::error::Error for IndexError {}
 pub struct MlnIndex {
     /// One block per rule, in rule order.
     pub blocks: Vec<Block>,
+    /// Snapshot of the indexed dataset's value pool: every id stored in the
+    /// blocks resolves here.
+    pool: ValuePool,
 }
 
 impl MlnIndex {
@@ -164,45 +181,72 @@ impl MlnIndex {
         }
 
         let schema = ds.schema();
+        let pool = ds.pool().clone();
         let mut blocks = Vec::with_capacity(rules.len());
         for (rule_id, rule) in rules.iter_with_ids() {
-            let reason_attrs = rule.reason_attrs();
-            let result_attrs = rule.result_attrs();
+            let reason_attrs: Vec<AttrId> = rule
+                .reason_attrs()
+                .iter()
+                .map(|a| schema.attr_id(a).expect("validated above"))
+                .collect();
+            let result_attrs: Vec<AttrId> = rule
+                .result_attrs()
+                .iter()
+                .map(|a| schema.attr_id(a).expect("validated above"))
+                .collect();
 
-            // group key -> (full γ key -> gamma)
-            let mut groups: BTreeMap<Vec<String>, BTreeMap<Vec<String>, Gamma>> = BTreeMap::new();
+            // group key -> (full γ key -> gamma); all keys are id vectors, so
+            // the per-tuple work is integer hashing — no string is cloned,
+            // hashed or compared while scanning the data.
+            let mut groups: HashMap<Vec<ValueId>, HashMap<Vec<ValueId>, Gamma>> = HashMap::new();
             for t in ds.tuples() {
-                if !rule.is_relevant(schema, t) {
+                if !rule.is_relevant(schema, &t) {
                     continue;
                 }
-                let vl = rule.reason_values(schema, t);
-                let vr = rule.result_values(schema, t);
+                let vl = t.project_ids(&reason_attrs);
+                let vr = t.project_ids(&result_attrs);
                 let mut full_key = vl.clone();
-                full_key.extend(vr.iter().cloned());
+                full_key.extend(vr.iter().copied());
 
                 let gamma = groups
                     .entry(vl.clone())
                     .or_default()
                     .entry(full_key)
                     .or_insert_with(|| {
-                        Gamma::new(
-                            rule_id,
-                            reason_attrs.clone(),
-                            vl.clone(),
-                            result_attrs.clone(),
-                            vr.clone(),
-                        )
+                        Gamma::new(rule_id, reason_attrs.clone(), vl, result_attrs.clone(), vr)
                     });
                 gamma.tuples.push(t.id());
             }
 
-            let groups: Vec<Group> = groups
+            // Restore the historical deterministic ordering: groups sorted by
+            // their string-resolved keys, γs within a group by their resolved
+            // full value vector (exactly the old BTreeMap-over-Vec<String>
+            // iteration order).
+            let mut groups: Vec<Group> = groups
                 .into_iter()
-                .map(|(key, gammas)| Group {
-                    key,
-                    gammas: gammas.into_values().collect(),
+                .map(|(key, gammas)| {
+                    let mut gammas: Vec<Gamma> = gammas.into_values().collect();
+                    gammas.sort_by(|a, b| {
+                        let ka = a
+                            .reason_values
+                            .iter()
+                            .chain(&a.result_values)
+                            .map(|&v| pool.resolve(v));
+                        let kb = b
+                            .reason_values
+                            .iter()
+                            .chain(&b.result_values)
+                            .map(|&v| pool.resolve(v));
+                        ka.cmp(kb)
+                    });
+                    Group { key, gammas }
                 })
                 .collect();
+            groups.sort_by(|a, b| {
+                let ka = a.key.iter().map(|&v| pool.resolve(v));
+                let kb = b.key.iter().map(|&v| pool.resolve(v));
+                ka.cmp(kb)
+            });
             blocks.push(Block {
                 rule: rule_id,
                 reason_attrs,
@@ -210,7 +254,19 @@ impl MlnIndex {
                 groups,
             });
         }
-        Ok(MlnIndex { blocks })
+        Ok(MlnIndex { blocks, pool })
+    }
+
+    /// The pool snapshot every block id resolves through.
+    pub fn pool(&self) -> &ValuePool {
+        &self.pool
+    }
+
+    /// Simultaneous mutable access to the blocks and shared access to the
+    /// pool (the borrow shape AGP/RSC need to rewrite blocks while resolving
+    /// strings).
+    pub fn split_mut(&mut self) -> (&mut Vec<Block>, &ValuePool) {
+        (&mut self.blocks, &self.pool)
     }
 
     /// The block of a rule.
@@ -226,6 +282,14 @@ impl MlnIndex {
     /// Number of blocks (= number of rules).
     pub fn block_count(&self) -> usize {
         self.blocks.len()
+    }
+
+    /// Find a group by its string key within a rule's block (resolves through
+    /// the pool snapshot; mostly a test/debug convenience).
+    pub fn group_by_key(&self, rule: RuleId, key: &[&str]) -> Option<&Group> {
+        let ids: Option<Vec<ValueId>> = key.iter().map(|v| self.pool.lookup(v)).collect();
+        let ids = ids?;
+        self.block(rule).group_by_key_ids(&ids)
     }
 }
 
@@ -252,21 +316,41 @@ mod tests {
     fn block1_group_keys_match_figure2() {
         let index = build_sample_index();
         let b1 = index.block(RuleId(0));
-        let keys: Vec<Vec<String>> = b1.groups.iter().map(|g| g.key.clone()).collect();
-        assert!(keys.contains(&vec!["DOTHAN".to_string()]));
-        assert!(keys.contains(&vec!["DOTH".to_string()]));
-        assert!(keys.contains(&vec!["BOAZ".to_string()]));
+        let keys: Vec<Vec<&str>> = b1
+            .groups
+            .iter()
+            .map(|g| g.resolve_key(index.pool()))
+            .collect();
+        assert!(keys.contains(&vec!["DOTHAN"]));
+        assert!(keys.contains(&vec!["DOTH"]));
+        assert!(keys.contains(&vec!["BOAZ"]));
+    }
+
+    #[test]
+    fn groups_are_ordered_by_string_key() {
+        // The interned index must preserve the historical BTreeMap-over-
+        // strings group order, not id (first-appearance) order.
+        let index = build_sample_index();
+        for block in &index.blocks {
+            let keys: Vec<Vec<&str>> = block
+                .groups
+                .iter()
+                .map(|g| g.resolve_key(index.pool()))
+                .collect();
+            let mut sorted = keys.clone();
+            sorted.sort();
+            assert_eq!(keys, sorted, "block {:?} groups out of order", block.rule);
+        }
     }
 
     #[test]
     fn boaz_group_has_two_gammas_with_expected_support() {
         let index = build_sample_index();
-        let b1 = index.block(RuleId(0));
-        let boaz = b1.group_by_key(&["BOAZ".to_string()]).unwrap();
+        let boaz = index.group_by_key(RuleId(0), &["BOAZ"]).unwrap();
         assert_eq!(boaz.gamma_count(), 2);
         assert_eq!(boaz.tuple_count(), 3);
         let dominant = boaz.dominant_gamma().unwrap();
-        assert_eq!(dominant.result_values, vec!["AL"]);
+        assert_eq!(dominant.resolve_result_values(index.pool()), vec!["AL"]);
         assert_eq!(dominant.support(), 2);
         assert!(!boaz.is_clean());
     }
@@ -283,11 +367,12 @@ mod tests {
 
     #[test]
     fn dc_block_groups_by_phone_number() {
+        let ds = sample_hospital_dataset();
         let index = build_sample_index();
         let b2 = index.block(RuleId(1));
-        assert_eq!(b2.reason_attrs, vec!["PN"]);
-        assert_eq!(b2.result_attrs, vec!["ST"]);
-        let g = b2.group_by_key(&["2567688400".to_string()]).unwrap();
+        assert_eq!(b2.reason_attrs, vec![ds.schema().attr_id("PN").unwrap()]);
+        assert_eq!(b2.result_attrs, vec![ds.schema().attr_id("ST").unwrap()]);
+        let g = index.group_by_key(RuleId(1), &["2567688400"]).unwrap();
         assert_eq!(g.gamma_count(), 2, "AK and AL versions");
         assert_eq!(g.tuple_count(), 3);
     }
@@ -320,6 +405,21 @@ mod tests {
                     group.is_clean(),
                     "clean data must give one γ per group: {group}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn index_pool_matches_dataset_pool() {
+        let ds = sample_hospital_dataset();
+        let index = MlnIndex::build(&ds, &sample_hospital_rules()).unwrap();
+        assert_eq!(index.pool(), ds.pool());
+        // Every id the index stores resolves in the snapshot.
+        for block in &index.blocks {
+            for gamma in block.gammas() {
+                for &v in gamma.reason_values.iter().chain(&gamma.result_values) {
+                    assert!(index.pool().contains(v));
+                }
             }
         }
     }

@@ -37,6 +37,7 @@
 //! ```
 
 pub mod agp;
+pub mod cache;
 pub mod config;
 pub mod evaluation;
 pub mod fscr;
@@ -47,6 +48,7 @@ pub mod rsc;
 pub mod weights;
 
 pub use agp::{AbnormalGroupProcessor, AgpMerge, AgpRecord};
+pub use cache::{CacheStats, DistanceCache};
 pub use config::CleanConfig;
 pub use evaluation::{evaluate_agp, evaluate_fscr, evaluate_rsc, ComponentEvaluation};
 pub use fscr::{ConflictResolver, FscrRecord, FusionOutcome};

@@ -14,11 +14,17 @@
 //! `[0, 1]`, and `Pr(γᵢ)` the block-softmaxed learned weight (Eq. 3).  Every
 //! other γ of the group is replaced by the winner, so each group ends up with
 //! exactly one piece of data.
+//!
+//! Each group's pairwise γ distances are computed once into a small matrix
+//! (they are needed twice: for the normalization constant and for the score
+//! minima), and the underlying string metric is memoised per block in a
+//! [`DistanceCache`] keyed on interned value pairs.
 
+use crate::cache::{CacheStats, DistanceCache};
 use crate::gamma::Gamma;
 use crate::index::{Block, MlnIndex};
-use dataset::TupleId;
-use distance::{record_distance, Metric};
+use dataset::{TupleId, ValuePool};
+use distance::Metric;
 use rayon::prelude::*;
 use rules::RuleId;
 use serde::{Deserialize, Serialize};
@@ -44,6 +50,8 @@ pub struct RscRepair {
 pub struct RscRecord {
     /// Every γ replacement, in processing order.
     pub repairs: Vec<RscRepair>,
+    /// Distance-cache counters accumulated over all blocks.
+    pub cache: CacheStats,
 }
 
 impl RscRecord {
@@ -68,18 +76,25 @@ impl ReliabilityCleaner {
 
     /// Compute the reliability score of `gamma` against the other γs of its
     /// group.  `z` is the group's normalization constant.
-    pub fn reliability_score(&self, gamma: &Gamma, others: &[&Gamma], z: f64) -> f64 {
+    ///
+    /// This is the one-off (non-memoising) form of the score; the cleaning
+    /// loop itself computes each group's pairwise distance matrix once and
+    /// scores from that, so changes to the scoring formula belong in the
+    /// private `score_from_min_distance` helper, which both paths share.
+    pub fn reliability_score(
+        &self,
+        pool: &ValuePool,
+        gamma: &Gamma,
+        others: &[&Gamma],
+        z: f64,
+    ) -> f64 {
+        let mut cache = DistanceCache::new(self.metric);
+        let ids = gamma.value_ids();
         let min_distance = others
             .iter()
-            .map(|o| record_distance(&self.metric, &gamma.values(), &o.values()))
+            .map(|o| cache.record_distance(pool, &ids, &o.value_ids()))
             .fold(f64::INFINITY, f64::min);
-        if !min_distance.is_finite() {
-            // Lone γ in its group: nothing to compare against, the group is
-            // already clean and the score is irrelevant.
-            return gamma.probability;
-        }
-        let dist = gamma.support() as f64 * min_distance / z;
-        dist * gamma.probability
+        score_from_min_distance(gamma, min_distance, z)
     }
 
     /// Clean every group of every block in place; groups end up with exactly
@@ -89,18 +104,20 @@ impl ReliabilityCleaner {
     /// parallel; per-block results are reassembled in block order, making the
     /// outcome identical to [`ReliabilityCleaner::clean_serial`].
     pub fn clean(&self, index: &mut MlnIndex) -> RscRecord {
-        let blocks = std::mem::take(&mut index.blocks);
-        let cleaned: Vec<(Block, RscRecord)> = blocks
+        let (blocks, pool) = index.split_mut();
+        let taken = std::mem::take(blocks);
+        let cleaned: Vec<(Block, RscRecord)> = taken
             .into_par_iter()
             .map(|mut block| {
-                let record = self.clean_block(&mut block);
+                let record = self.clean_block(&mut block, pool);
                 (block, record)
             })
             .collect();
         let mut record = RscRecord::default();
         for (block, block_record) in cleaned {
-            index.blocks.push(block);
+            blocks.push(block);
             record.repairs.extend(block_record.repairs);
+            record.cache.absorb(block_record.cache);
         }
         record
     }
@@ -108,31 +125,48 @@ impl ReliabilityCleaner {
     /// Serial reference implementation of [`ReliabilityCleaner::clean`], kept
     /// for the parallel-equivalence tests.
     pub fn clean_serial(&self, index: &mut MlnIndex) -> RscRecord {
+        let (blocks, pool) = index.split_mut();
         let mut record = RscRecord::default();
-        for block in &mut index.blocks {
-            let block_record = self.clean_block(block);
+        for block in blocks.iter_mut() {
+            let block_record = self.clean_block(block, pool);
             record.repairs.extend(block_record.repairs);
+            record.cache.absorb(block_record.cache);
         }
         record
     }
 
     /// Clean a single block in place.
-    fn clean_block(&self, block: &mut Block) -> RscRecord {
+    fn clean_block(&self, block: &mut Block, pool: &ValuePool) -> RscRecord {
         let mut record = RscRecord::default();
+        let mut cache = DistanceCache::new(self.metric);
         for group in &mut block.groups {
             if group.gammas.len() <= 1 {
                 continue; // already the ideal state; skipped like G21 in the paper
+            }
+
+            // Pairwise γ distances, each pair computed once (the matrix is
+            // symmetric; the value-pair memo additionally dedups across
+            // groups of the block).
+            let n = group.gammas.len();
+            let ids: Vec<Vec<dataset::ValueId>> =
+                group.gammas.iter().map(|g| g.value_ids()).collect();
+            let mut dist = vec![vec![0.0f64; n]; n];
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let d = cache.record_distance(pool, &ids[i], &ids[j]);
+                    dist[i][j] = d;
+                    dist[j][i] = d;
+                }
             }
 
             // Normalization constant Z: the largest support-scaled pair
             // distance in the group, so every dist lands in [0, 1].
             let mut z: f64 = 0.0;
             for (i, gi) in group.gammas.iter().enumerate() {
-                for (j, gj) in group.gammas.iter().enumerate() {
+                for (j, &d) in dist[i].iter().enumerate() {
                     if i == j {
                         continue;
                     }
-                    let d = record_distance(&self.metric, &gi.values(), &gj.values());
                     z = z.max(gi.support() as f64 * d);
                 }
             }
@@ -141,23 +175,21 @@ impl ReliabilityCleaner {
             }
 
             // Pick the winner by reliability score (ties broken by
-            // support, then by value order for determinism).
+            // support, then by string value order for determinism).
             let mut best_idx = 0usize;
             let mut best_score = f64::NEG_INFINITY;
             for (i, gamma) in group.gammas.iter().enumerate() {
-                let others: Vec<&Gamma> = group
-                    .gammas
-                    .iter()
-                    .enumerate()
-                    .filter(|(j, _)| *j != i)
-                    .map(|(_, g)| g)
-                    .collect();
-                let score = self.reliability_score(gamma, &others, z);
+                let min_distance = (0..n)
+                    .filter(|&j| j != i)
+                    .map(|j| dist[i][j])
+                    .fold(f64::INFINITY, f64::min);
+                let score = score_from_min_distance(gamma, min_distance, z);
                 let better = score > best_score
                     || (score == best_score
                         && (gamma.support() > group.gammas[best_idx].support()
                             || (gamma.support() == group.gammas[best_idx].support()
-                                && gamma.values() < group.gammas[best_idx].values())));
+                                && gamma.resolve_values(pool)
+                                    < group.gammas[best_idx].resolve_values(pool))));
                 if better {
                     best_idx = i;
                     best_score = score;
@@ -167,19 +199,28 @@ impl ReliabilityCleaner {
             // Replace every losing γ with the winner.
             let winner = group.gammas[best_idx].clone();
             let mut merged_tuples = winner.tuples.clone();
+            let to_values: Vec<String> = winner
+                .resolve_values(pool)
+                .into_iter()
+                .map(str::to_string)
+                .collect();
             for (i, gamma) in group.gammas.iter().enumerate() {
                 if i == best_idx {
                     continue;
                 }
-                let mut from_values: Vec<String> = gamma.reason_values.to_vec();
-                from_values.extend(gamma.result_values.iter().cloned());
-                let mut to_values: Vec<String> = winner.reason_values.to_vec();
-                to_values.extend(winner.result_values.iter().cloned());
                 record.repairs.push(RscRepair {
                     rule: block.rule,
-                    group_key: group.key.clone(),
-                    from_values,
-                    to_values,
+                    group_key: group
+                        .resolve_key(pool)
+                        .into_iter()
+                        .map(str::to_string)
+                        .collect(),
+                    from_values: gamma
+                        .resolve_values(pool)
+                        .into_iter()
+                        .map(str::to_string)
+                        .collect(),
+                    to_values: to_values.clone(),
                     tuples: gamma.tuples.clone(),
                 });
                 merged_tuples.extend(gamma.tuples.iter().cloned());
@@ -191,8 +232,20 @@ impl ReliabilityCleaner {
             final_gamma.tuples = merged_tuples;
             group.gammas = vec![final_gamma];
         }
+        record.cache.absorb(cache.stats());
         record
     }
+}
+
+/// `r-score` from a precomputed minimum pair distance (Definition 2).
+fn score_from_min_distance(gamma: &Gamma, min_distance: f64, z: f64) -> f64 {
+    if !min_distance.is_finite() {
+        // Lone γ in its group: nothing to compare against, the group is
+        // already clean and the score is irrelevant.
+        return gamma.probability;
+    }
+    let dist = gamma.support() as f64 * min_distance / z;
+    dist * gamma.probability
 }
 
 #[cfg(test)]
@@ -222,10 +275,12 @@ mod tests {
         let mut index = prepared_index();
         let record = ReliabilityCleaner::new(Metric::Levenshtein).clean(&mut index);
 
-        let b1 = index.block(RuleId(0));
-        let boaz = b1.group_by_key(&["BOAZ".to_string()]).unwrap();
+        let boaz = index.group_by_key(RuleId(0), &["BOAZ"]).unwrap();
         assert_eq!(boaz.gamma_count(), 1);
-        assert_eq!(boaz.gammas[0].result_values, vec!["AL"]);
+        assert_eq!(
+            boaz.gammas[0].resolve_result_values(index.pool()),
+            vec!["AL"]
+        );
         assert_eq!(
             boaz.gammas[0].support(),
             3,
@@ -245,22 +300,23 @@ mod tests {
         // After AGP + RSC the three clean data versions of Figure 4 emerge.
         let mut index = prepared_index();
         ReliabilityCleaner::new(Metric::Levenshtein).clean(&mut index);
+        let pool = index.pool().clone();
 
         // Version 1 (block B1): {DOTHAN, AL} for t1–t3 and {BOAZ, AL} for t4–t6.
         let b1 = index.block(RuleId(0));
         assert_eq!(b1.group_count(), 2);
         for group in &b1.groups {
             assert!(group.is_clean());
-            assert_eq!(group.gammas[0].result_values, vec!["AL"]);
+            assert_eq!(group.gammas[0].resolve_result_values(&pool), vec!["AL"]);
         }
-        let dothan = b1.group_by_key(&["DOTHAN".to_string()]).unwrap();
+        let dothan = index.group_by_key(RuleId(0), &["DOTHAN"]).unwrap();
         assert_eq!(dothan.gammas[0].support(), 3);
 
         // Version 2 (block B2): {3347938701, AL} and {2567688400, AL}.
         let b2 = index.block(RuleId(1));
         for group in &b2.groups {
             assert!(group.is_clean());
-            assert_eq!(group.gammas[0].result_values, vec!["AL"]);
+            assert_eq!(group.gammas[0].resolve_result_values(&pool), vec!["AL"]);
         }
 
         // Version 3 (block B3): a single group {ELIZA, BOAZ, 2567688400} for t3–t6.
@@ -268,7 +324,7 @@ mod tests {
         assert_eq!(b3.group_count(), 1);
         let g = &b3.groups[0];
         assert!(g.is_clean());
-        assert_eq!(g.gammas[0].result_values, vec!["2567688400"]);
+        assert_eq!(g.gammas[0].resolve_result_values(&pool), vec!["2567688400"]);
         assert_eq!(g.gammas[0].support(), 4);
     }
 
@@ -309,6 +365,35 @@ mod tests {
         let ser_record = cleaner.clean_serial(&mut ser_index);
         assert_eq!(par_record, ser_record);
         assert_eq!(format!("{par_index:?}"), format!("{ser_index:?}"));
+    }
+
+    #[test]
+    fn reliability_score_agrees_with_the_cleaning_decision() {
+        // The public one-off score must rank the BOAZ γs the same way the
+        // memoised cleaning loop does: {BOAZ, AL} (support 2) beats
+        // {BOAZ, AK} (support 1).
+        let index = prepared_index();
+        let cleaner = ReliabilityCleaner::new(Metric::Levenshtein);
+        let boaz = index.group_by_key(RuleId(0), &["BOAZ"]).unwrap();
+        let al = boaz
+            .gammas
+            .iter()
+            .find(|g| g.resolve_result_values(index.pool()) == vec!["AL"])
+            .unwrap();
+        let ak = boaz
+            .gammas
+            .iter()
+            .find(|g| g.resolve_result_values(index.pool()) == vec!["AK"])
+            .unwrap();
+        // Z as the cleaning loop computes it: max support-scaled pair distance.
+        let d = distance::levenshtein("AL", "AK") as f64;
+        let z = (al.support() as f64 * d).max(ak.support() as f64 * d);
+        let al_score = cleaner.reliability_score(index.pool(), al, &[ak], z);
+        let ak_score = cleaner.reliability_score(index.pool(), ak, &[al], z);
+        assert!(
+            al_score > ak_score,
+            "{al_score} must beat {ak_score} so RSC keeps AL"
+        );
     }
 
     #[test]

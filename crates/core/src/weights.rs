@@ -51,17 +51,16 @@ mod tests {
         let mut index = MlnIndex::build(&ds, &rules).unwrap();
         assign_weights(&mut index, &LearningConfig::default());
 
-        let b1 = index.block(RuleId(0));
-        let boaz = b1.group_by_key(&["BOAZ".to_string()]).unwrap();
+        let boaz = index.group_by_key(RuleId(0), &["BOAZ"]).unwrap();
         let al = boaz
             .gammas
             .iter()
-            .find(|g| g.result_values == vec!["AL"])
+            .find(|g| g.resolve_result_values(index.pool()) == vec!["AL"])
             .unwrap();
         let ak = boaz
             .gammas
             .iter()
-            .find(|g| g.result_values == vec!["AK"])
+            .find(|g| g.resolve_result_values(index.pool()) == vec!["AK"])
             .unwrap();
         assert!(
             al.weight > ak.weight,
@@ -102,7 +101,10 @@ mod tests {
         let b1 = index.block(RuleId(0));
         let total: usize = b1.gammas().map(|g| g.support()).sum();
         assert_eq!(total, 6);
-        let ak = b1.gammas().find(|g| g.result_values == vec!["AK"]).unwrap();
+        let ak = b1
+            .gammas()
+            .find(|g| g.resolve_result_values(index.pool()) == vec!["AK"])
+            .unwrap();
         assert_eq!(ak.support(), 1);
     }
 }

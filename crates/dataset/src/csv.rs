@@ -61,8 +61,11 @@ impl From<io::Error> for CsvError {
     }
 }
 
-/// Split one CSV record into fields, honouring double-quote quoting.
+/// Split one CSV record into fields, honouring double-quote quoting.  A
+/// trailing `\r` (CRLF line endings, as written by Windows tools) is stripped
+/// before parsing so it never leaks into the last field.
 fn parse_record(line: &str, line_no: usize) -> Result<Vec<String>, CsvError> {
+    let line = line.strip_suffix('\r').unwrap_or(line);
     let mut fields = Vec::new();
     let mut field = String::new();
     let mut chars = line.chars().peekable();
@@ -98,9 +101,11 @@ fn parse_record(line: &str, line_no: usize) -> Result<Vec<String>, CsvError> {
     Ok(fields)
 }
 
-/// Quote a field if it contains a comma, quote, or newline.
+/// Quote a field if it contains a comma, quote, newline, or carriage return
+/// (the latter so a trailing `\r` in a value survives the CRLF stripping on
+/// re-parse).
 fn write_field(out: &mut String, field: &str) {
-    if field.contains(',') || field.contains('"') || field.contains('\n') {
+    if field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r') {
         out.push('"');
         for c in field.chars() {
             if c == '"' {
@@ -116,7 +121,10 @@ fn write_field(out: &mut String, field: &str) {
 
 /// Parse CSV text (header + records) into a [`Dataset`].
 pub fn parse_csv(text: &str) -> Result<Dataset, CsvError> {
-    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.is_empty());
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.is_empty() && *l != "\r");
     let (header_no, header_line) = lines.next().ok_or(CsvError::MissingHeader)?;
     let header = parse_record(header_line, header_no + 1)?;
     let schema = Schema::new(&header);
@@ -146,12 +154,12 @@ pub fn to_csv(ds: &Dataset) -> String {
         write_field(&mut out, name);
     }
     out.push('\n');
-    for t in ds.tuples() {
-        for (i, v) in t.values().iter().enumerate() {
+    for t in ds.tuple_ids() {
+        for (i, a) in ds.schema().attr_ids().enumerate() {
             if i > 0 {
                 out.push(',');
             }
-            write_field(&mut out, v);
+            write_field(&mut out, ds.value(t, a));
         }
         out.push('\n');
     }
@@ -190,9 +198,26 @@ mod tests {
         ds.push_row(vec!["St. Mary's, Inc".into(), "said \"hello\"".into()])
             .unwrap();
         ds.push_row(vec!["plain".into(), "".into()]).unwrap();
+        // A value ending in '\r' must be quoted on write, or the CRLF
+        // stripping on re-parse would silently eat it.
+        ds.push_row(vec!["trailing\r".into(), "\r".into()]).unwrap();
         let text = to_csv(&ds);
         let back = parse_csv(&text).unwrap();
         assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn crlf_line_endings_are_accepted() {
+        // Regression: the splitter used to leave a trailing '\r' in the last
+        // field of Windows-authored files.
+        let ds = parse_csv("HN,CT\r\nALABAMA,DOTHAN\r\nELIZA,BOAZ\r\n").unwrap();
+        assert_eq!(ds.len(), 2);
+        let ct = ds.schema().attr_id("CT").unwrap();
+        assert_eq!(ds.value(crate::TupleId(0), ct), "DOTHAN");
+        assert_eq!(ds.value(crate::TupleId(1), ct), "BOAZ");
+        // The parsed dataset is identical to its LF-authored twin.
+        let lf = parse_csv("HN,CT\nALABAMA,DOTHAN\nELIZA,BOAZ\n").unwrap();
+        assert_eq!(ds, lf);
     }
 
     #[test]

@@ -1,11 +1,18 @@
-//! The in-memory dataset: a schema plus an ordered collection of tuples,
-//! with cell-level access, attribute domains, and duplicate detection.
+//! The in-memory dataset: a schema plus columnar value storage, with
+//! cell-level access, attribute domains, and duplicate detection.
+//!
+//! Storage is **columnar and interned**: one `Vec<ValueId>` per attribute,
+//! with every distinct string held once in the dataset's [`ValuePool`].  Row
+//! access is preserved through the [`Tuple`] view type and [`TupleId`], so
+//! call sites keep their row-oriented shape while cell equality, grouping and
+//! cross-worker shipping all operate on compact ids.
 
 use crate::cell::CellRef;
+use crate::pool::{ValueId, ValuePool};
 use crate::schema::{AttrId, Schema};
 use crate::tuple::{Tuple, TupleId};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 
 /// Error returned when a row does not match the dataset schema.
@@ -29,27 +36,51 @@ impl fmt::Display for ArityMismatch {
 
 impl std::error::Error for ArityMismatch {}
 
-/// An in-memory relation: schema + tuples.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// An in-memory relation: schema + interned columnar cells.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Dataset {
-    schema: Schema,
-    tuples: Vec<Tuple>,
+    pub(crate) schema: Schema,
+    pub(crate) pool: ValuePool,
+    /// One column of interned cell ids per attribute, all of equal length.
+    pub(crate) columns: Vec<Vec<ValueId>>,
+    pub(crate) rows: usize,
 }
 
 impl Dataset {
     /// Create an empty dataset over `schema`.
     pub fn new(schema: Schema) -> Self {
+        let arity = schema.arity();
         Dataset {
             schema,
-            tuples: Vec::new(),
+            pool: ValuePool::new(),
+            columns: vec![Vec::new(); arity],
+            rows: 0,
         }
     }
 
     /// Create a dataset with pre-allocated capacity.
     pub fn with_capacity(schema: Schema, capacity: usize) -> Self {
+        let arity = schema.arity();
         Dataset {
             schema,
-            tuples: Vec::with_capacity(capacity),
+            pool: ValuePool::new(),
+            columns: (0..arity).map(|_| Vec::with_capacity(capacity)).collect(),
+            rows: 0,
+        }
+    }
+
+    /// Create an empty dataset that shares (a snapshot of) an existing value
+    /// pool, so ids remain comparable with the source.  This is how the
+    /// distributed runner builds per-worker partitions: rows travel as
+    /// `Vec<ValueId>` plus one compact pool snapshot instead of cloned
+    /// strings.
+    pub fn with_pool(schema: Schema, pool: ValuePool, capacity: usize) -> Self {
+        let arity = schema.arity();
+        Dataset {
+            schema,
+            pool,
+            columns: (0..arity).map(|_| Vec::with_capacity(capacity)).collect(),
+            rows: 0,
         }
     }
 
@@ -58,17 +89,29 @@ impl Dataset {
         &self.schema
     }
 
+    /// The dataset's value pool.
+    pub fn pool(&self) -> &ValuePool {
+        &self.pool
+    }
+
+    /// Intern an arbitrary string into this dataset's pool (without touching
+    /// any cell), returning its id.  Useful for comparing external constants
+    /// against cells by id.
+    pub fn intern(&mut self, value: &str) -> ValueId {
+        self.pool.intern(value)
+    }
+
     /// Number of tuples.
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.rows
     }
 
     /// Whether the dataset has no tuples.
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.rows == 0
     }
 
-    /// Append a row, assigning it the next [`TupleId`].
+    /// Append a row of strings, assigning it the next [`TupleId`].
     pub fn push_row(&mut self, values: Vec<String>) -> Result<TupleId, ArityMismatch> {
         if values.len() != self.schema.arity() {
             return Err(ArityMismatch {
@@ -76,27 +119,52 @@ impl Dataset {
                 actual: values.len(),
             });
         }
-        let id = TupleId(self.tuples.len());
-        self.tuples.push(Tuple::new(id, values));
+        for (column, value) in self.columns.iter_mut().zip(&values) {
+            column.push(self.pool.intern(value));
+        }
+        let id = TupleId(self.rows);
+        self.rows += 1;
         Ok(id)
     }
 
-    /// The tuple with id `id`.
+    /// Append a row of already-interned ids (they must come from this
+    /// dataset's pool or a snapshot ancestor of it).
+    pub fn push_row_ids(&mut self, values: &[ValueId]) -> Result<TupleId, ArityMismatch> {
+        if values.len() != self.schema.arity() {
+            return Err(ArityMismatch {
+                expected: self.schema.arity(),
+                actual: values.len(),
+            });
+        }
+        debug_assert!(
+            values.iter().all(|&v| self.pool.contains(v)),
+            "push_row_ids with an out-of-range ValueId (same-pool ancestry is the caller's contract)"
+        );
+        for (column, &value) in self.columns.iter_mut().zip(values) {
+            column.push(value);
+        }
+        let id = TupleId(self.rows);
+        self.rows += 1;
+        Ok(id)
+    }
+
+    /// A row view of the tuple with id `id`.
     ///
     /// # Panics
     /// Panics if `id` is out of range.
-    pub fn tuple(&self, id: TupleId) -> &Tuple {
-        &self.tuples[id.0]
-    }
-
-    /// Mutable access to the tuple with id `id`.
-    pub fn tuple_mut(&mut self, id: TupleId) -> &mut Tuple {
-        &mut self.tuples[id.0]
+    pub fn tuple(&self, id: TupleId) -> Tuple<'_> {
+        assert!(id.0 < self.rows, "tuple id {id} out of range");
+        Tuple::new(id, self)
     }
 
     /// Value of a single cell.
     pub fn value(&self, tuple: TupleId, attr: AttrId) -> &str {
-        self.tuples[tuple.0].value(attr)
+        self.pool.resolve(self.columns[attr.0][tuple.0])
+    }
+
+    /// Interned id of a single cell.
+    pub fn value_id(&self, tuple: TupleId, attr: AttrId) -> ValueId {
+        self.columns[attr.0][tuple.0]
     }
 
     /// Value of a cell given a [`CellRef`].
@@ -104,92 +172,164 @@ impl Dataset {
         self.value(cell.tuple, cell.attr)
     }
 
-    /// Overwrite a single cell.
-    pub fn set_value(&mut self, tuple: TupleId, attr: AttrId, value: impl Into<String>) {
-        self.tuples[tuple.0].set_value(attr, value);
+    /// Interned id of a cell given a [`CellRef`].
+    pub fn cell_id(&self, cell: CellRef) -> ValueId {
+        self.value_id(cell.tuple, cell.attr)
     }
 
-    /// Iterate over all tuples in insertion order.
-    pub fn tuples(&self) -> impl Iterator<Item = &Tuple> {
-        self.tuples.iter()
+    /// Overwrite a single cell with a string (interning it if new).
+    pub fn set_value(&mut self, tuple: TupleId, attr: AttrId, value: impl Into<String>) {
+        let id = self.pool.intern(&value.into());
+        self.columns[attr.0][tuple.0] = id;
+    }
+
+    /// Overwrite a single cell with an id from this dataset's pool.
+    pub fn set_value_id(&mut self, tuple: TupleId, attr: AttrId, value: ValueId) {
+        debug_assert!(
+            self.pool.contains(value),
+            "set_value_id with an out-of-range ValueId (same-pool ancestry is the caller's contract)"
+        );
+        self.columns[attr.0][tuple.0] = value;
+    }
+
+    /// Iterate over all tuples (as row views) in insertion order.
+    pub fn tuples(&self) -> impl Iterator<Item = Tuple<'_>> {
+        (0..self.rows).map(move |i| Tuple::new(TupleId(i), self))
     }
 
     /// Iterate over all tuple ids.
     pub fn tuple_ids(&self) -> impl Iterator<Item = TupleId> {
-        (0..self.tuples.len()).map(TupleId)
+        (0..self.rows).map(TupleId)
     }
 
     /// Iterate over every cell of the dataset in row-major order.
     pub fn cells(&self) -> impl Iterator<Item = (CellRef, &str)> {
-        self.tuples.iter().flat_map(move |t| {
-            (0..self.schema.arity())
-                .map(move |a| (CellRef::new(t.id(), AttrId(a)), t.value(AttrId(a))))
+        (0..self.rows).flat_map(move |t| {
+            (0..self.schema.arity()).map(move |a| {
+                let cell = CellRef::new(TupleId(t), AttrId(a));
+                (cell, self.cell(cell))
+            })
         })
     }
 
     /// Total number of cells (tuples × attributes); the denominator of the
     /// error rate in the paper's evaluation protocol.
     pub fn cell_count(&self) -> usize {
-        self.tuples.len() * self.schema.arity()
+        self.rows * self.schema.arity()
     }
 
     /// The active domain of an attribute: the distinct values appearing in
     /// that column, sorted.  Quantitative cleaners (HoloClean-style) draw
     /// their repair candidates from this set.
     pub fn domain(&self, attr: AttrId) -> BTreeSet<String> {
-        self.tuples
-            .iter()
-            .map(|t| t.value(attr).to_string())
+        self.domain_ids(attr)
+            .into_iter()
+            .map(|id| self.pool.resolve(id).to_string())
             .collect()
+    }
+
+    /// The active domain of an attribute as interned ids (ordered by id, i.e.
+    /// first appearance — not lexicographically).
+    pub fn domain_ids(&self, attr: AttrId) -> BTreeSet<ValueId> {
+        self.columns[attr.0].iter().copied().collect()
+    }
+
+    /// Number of distinct values in the column `attr`.
+    pub fn distinct_count(&self, attr: AttrId) -> usize {
+        self.domain_ids(attr).len()
     }
 
     /// Frequency of each value in the column `attr`.
     pub fn value_counts(&self, attr: AttrId) -> BTreeMap<String, usize> {
-        let mut counts = BTreeMap::new();
-        for t in &self.tuples {
-            *counts.entry(t.value(attr).to_string()).or_insert(0) += 1;
+        let mut by_id: HashMap<ValueId, usize> = HashMap::new();
+        for &id in &self.columns[attr.0] {
+            *by_id.entry(id).or_insert(0) += 1;
         }
-        counts
+        by_id
+            .into_iter()
+            .map(|(id, n)| (self.pool.resolve(id).to_string(), n))
+            .collect()
     }
 
     /// Co-occurrence counts between values of `a` and values of `b`:
     /// how many tuples carry each (value-of-a, value-of-b) pair.
     pub fn cooccurrence(&self, a: AttrId, b: AttrId) -> BTreeMap<(String, String), usize> {
-        let mut counts = BTreeMap::new();
-        for t in &self.tuples {
-            *counts
-                .entry((t.value(a).to_string(), t.value(b).to_string()))
-                .or_insert(0) += 1;
+        let mut by_id: HashMap<(ValueId, ValueId), usize> = HashMap::new();
+        for (&va, &vb) in self.columns[a.0].iter().zip(&self.columns[b.0]) {
+            *by_id.entry((va, vb)).or_insert(0) += 1;
         }
-        counts
+        by_id
+            .into_iter()
+            .map(|((va, vb), n)| {
+                (
+                    (
+                        self.pool.resolve(va).to_string(),
+                        self.pool.resolve(vb).to_string(),
+                    ),
+                    n,
+                )
+            })
+            .collect()
+    }
+
+    /// The full row of interned ids for one tuple, in schema order.
+    pub fn row_ids(&self, tuple: TupleId) -> Vec<ValueId> {
+        self.columns.iter().map(|c| c[tuple.0]).collect()
     }
 
     /// Group tuple ids by their exact values: each group with more than one
-    /// member is a set of exact duplicates.
+    /// member is a set of exact duplicates.  Groups are returned in order of
+    /// their first member.
     pub fn duplicate_groups(&self) -> Vec<Vec<TupleId>> {
-        let mut groups: BTreeMap<Vec<String>, Vec<TupleId>> = BTreeMap::new();
-        for t in &self.tuples {
-            groups.entry(t.values().to_vec()).or_default().push(t.id());
+        let mut groups: HashMap<Vec<ValueId>, Vec<TupleId>> = HashMap::new();
+        let mut order: Vec<Vec<ValueId>> = Vec::new();
+        for t in self.tuple_ids() {
+            let key = self.row_ids(t);
+            let entry = groups.entry(key.clone()).or_insert_with(|| {
+                order.push(key);
+                Vec::new()
+            });
+            entry.push(t);
         }
-        groups.into_values().filter(|g| g.len() > 1).collect()
+        order
+            .into_iter()
+            .filter_map(|key| {
+                let g = groups.remove(&key).expect("keys come from the map");
+                (g.len() > 1).then_some(g)
+            })
+            .collect()
     }
 
     /// Return a copy of the dataset keeping only the first tuple of every
     /// exact-duplicate family (tuple ids are reassigned densely).  This is the
-    /// final deduplication step of the MLNClean pipeline.
+    /// final deduplication step of the MLNClean pipeline.  The copy shares a
+    /// pool snapshot with `self`, so ids remain comparable.
     pub fn deduplicated(&self) -> Dataset {
-        let mut seen = BTreeSet::new();
-        let mut out = Dataset::with_capacity(self.schema.clone(), self.tuples.len());
-        for t in &self.tuples {
-            if seen.insert(t.values().to_vec()) {
-                out.push_row(t.values().to_vec()).expect("same schema");
+        let mut seen: std::collections::HashSet<Vec<ValueId>> = std::collections::HashSet::new();
+        let mut out = Dataset::with_pool(self.schema.clone(), self.pool.clone(), self.rows);
+        for t in self.tuple_ids() {
+            let key = self.row_ids(t);
+            if seen.insert(key.clone()) {
+                out.push_row_ids(&key).expect("same schema");
             }
         }
         out
     }
 
-    /// Number of cells where `self` and `other` differ.  The two datasets
-    /// must have the same shape.
+    /// Extract the given rows (in the given order) into a new dataset that
+    /// shares a pool snapshot with `self` — the partition primitive of the
+    /// distributed runner: only `Vec<ValueId>` row images move, never strings.
+    pub fn project_rows(&self, ids: &[TupleId]) -> Dataset {
+        let mut out = Dataset::with_pool(self.schema.clone(), self.pool.clone(), ids.len());
+        for &t in ids {
+            let key = self.row_ids(t);
+            out.push_row_ids(&key).expect("same schema");
+        }
+        out
+    }
+
+    /// Cells where `self` and `other` differ.  The two datasets must have the
+    /// same shape.
     pub fn diff_cells(&self, other: &Dataset) -> Vec<CellRef> {
         assert_eq!(
             self.schema.arity(),
@@ -201,10 +341,18 @@ impl Dataset {
             other.len(),
             "datasets must have the same number of tuples"
         );
+        // When the pools agree (the common case: `other` is a repaired clone
+        // of `self`), cells compare as pure id equality.
+        let same_pool = self.pool == other.pool;
         let mut out = Vec::new();
         for t in self.tuple_ids() {
             for a in self.schema.attr_ids() {
-                if self.value(t, a) != other.value(t, a) {
+                let differs = if same_pool {
+                    self.value_id(t, a) != other.value_id(t, a)
+                } else {
+                    self.value(t, a) != other.value(t, a)
+                };
+                if differs {
                     out.push(CellRef::new(t, a));
                 }
             }
@@ -213,10 +361,28 @@ impl Dataset {
     }
 }
 
+impl PartialEq for Dataset {
+    /// Semantic equality: same schema and the same string value in every
+    /// cell.  Id assignment (interning order) is irrelevant.
+    fn eq(&self, other: &Self) -> bool {
+        if self.schema != other.schema || self.rows != other.rows {
+            return false;
+        }
+        if self.pool == other.pool {
+            return self.columns == other.columns;
+        }
+        self.tuple_ids().all(|t| {
+            self.schema
+                .attr_ids()
+                .all(|a| self.value(t, a) == other.value(t, a))
+        })
+    }
+}
+
 impl fmt::Display for Dataset {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{}", self.schema)?;
-        for t in &self.tuples {
+        for t in self.tuples() {
             writeln!(f, "{t}")?;
         }
         Ok(())
@@ -249,6 +415,7 @@ mod tests {
         let ct = ds.schema().attr_id("CT").unwrap();
         let domain = ds.domain(ct);
         assert_eq!(domain.len(), 3); // DOTHAN, DOTH, BOAZ
+        assert_eq!(ds.distinct_count(ct), 3);
         let counts = ds.value_counts(ct);
         assert_eq!(counts["BOAZ"], 3);
         assert_eq!(counts["DOTH"], 1);
@@ -298,5 +465,42 @@ mod tests {
         let st = ds.schema().attr_id("ST").unwrap();
         ds.set_value(TupleId(3), st, "AL");
         assert_eq!(ds.value(TupleId(3), st), "AL");
+    }
+
+    #[test]
+    fn set_value_id_and_ids_round_trip() {
+        let mut ds = sample_hospital_dataset();
+        let st = ds.schema().attr_id("ST").unwrap();
+        let al = ds.pool().lookup("AL").unwrap();
+        ds.set_value_id(TupleId(3), st, al);
+        assert_eq!(ds.value_id(TupleId(3), st), al);
+        assert_eq!(ds.value(TupleId(3), st), "AL");
+    }
+
+    #[test]
+    fn equality_ignores_interning_order() {
+        // Same content, different insertion order of *values* within rows →
+        // different id assignment, still equal.
+        let mut a = Dataset::new(Schema::new(&["x", "y"]));
+        a.push_row(vec!["p".into(), "q".into()]).unwrap();
+        a.push_row(vec!["r".into(), "s".into()]).unwrap();
+        let mut b = Dataset::new(Schema::new(&["x", "y"]));
+        b.intern("s");
+        b.intern("r");
+        b.push_row(vec!["p".into(), "q".into()]).unwrap();
+        b.push_row(vec!["r".into(), "s".into()]).unwrap();
+        assert_ne!(a.pool(), b.pool());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn project_rows_shares_pool_snapshot() {
+        let ds = sample_hospital_dataset();
+        let part = ds.project_rows(&[TupleId(3), TupleId(0)]);
+        assert_eq!(part.len(), 2);
+        // Ids are directly comparable across the snapshot boundary.
+        let st = ds.schema().attr_id("ST").unwrap();
+        assert_eq!(part.value_id(TupleId(0), st), ds.value_id(TupleId(3), st));
+        assert_eq!(part.value(TupleId(1), st), "AL");
     }
 }

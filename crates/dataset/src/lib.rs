@@ -3,16 +3,21 @@
 //! quality metrics used throughout the paper's evaluation (F1 as well as the
 //! component-level Precision/Recall-A/R/F measures).
 //!
-//! The dataset model is deliberately simple — an in-memory table of string
-//! values — because MLNClean (like most constraint-based cleaners) treats all
-//! attribute values as strings and reasons about them through integrity
-//! constraints and string distances.
+//! The dataset model is deliberately simple — an in-memory table whose cells
+//! are all strings — because MLNClean (like most constraint-based cleaners)
+//! treats attribute values as strings and reasons about them through
+//! integrity constraints and string distances.  Storage, however, is
+//! **interned and columnar**: every distinct value lives once in a
+//! [`ValuePool`] and cells are `Vec<ValueId>` columns, so equality, grouping
+//! and cross-worker shipping work on `u32` ids while row-oriented call sites
+//! keep the [`Tuple`] view API.
 
 pub mod cell;
 pub mod csv;
 pub mod dataset;
 pub mod errors;
 pub mod metrics;
+pub mod pool;
 pub mod schema;
 pub mod tuple;
 
@@ -20,6 +25,7 @@ pub use cell::CellRef;
 pub use dataset::Dataset;
 pub use errors::{DirtyDataset, ErrorInjector, ErrorSpec, ErrorType, InjectedError};
 pub use metrics::{ComponentMetrics, RepairEvaluation, RepairReport};
+pub use pool::{ValueId, ValuePool};
 pub use schema::{AttrId, Schema};
 pub use tuple::{Tuple, TupleId};
 

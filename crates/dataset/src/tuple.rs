@@ -1,5 +1,8 @@
-//! Tuples: a row of string values identified by a stable [`TupleId`].
+//! Tuples: a zero-copy row view over the columnar [`Dataset`], identified by
+//! a stable [`TupleId`].
 
+use crate::dataset::Dataset;
+use crate::pool::ValueId;
 use crate::schema::AttrId;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -23,17 +26,21 @@ impl fmt::Display for TupleId {
     }
 }
 
-/// A row of attribute values.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct Tuple {
+/// A row view: one tuple of a dataset, read through the columnar storage.
+///
+/// `Tuple` is a cheap `Copy` handle (a row index plus a dataset reference);
+/// per-cell access resolves through the dataset's value pool without cloning
+/// strings.  Comparisons between tuples of the same dataset (or of datasets
+/// sharing a pool snapshot) reduce to [`ValueId`] equality.
+#[derive(Clone, Copy)]
+pub struct Tuple<'a> {
     id: TupleId,
-    values: Vec<String>,
+    ds: &'a Dataset,
 }
 
-impl Tuple {
-    /// Create a tuple with the given id and values.
-    pub fn new(id: TupleId, values: Vec<String>) -> Self {
-        Tuple { id, values }
+impl<'a> Tuple<'a> {
+    pub(crate) fn new(id: TupleId, ds: &'a Dataset) -> Self {
+        Tuple { id, ds }
     }
 
     /// The stable identifier of this tuple.
@@ -42,87 +49,158 @@ impl Tuple {
     }
 
     /// Value of the attribute `attr`.
-    pub fn value(&self, attr: AttrId) -> &str {
-        &self.values[attr.0]
+    pub fn value(&self, attr: AttrId) -> &'a str {
+        self.ds.value(self.id, attr)
     }
 
-    /// Mutable access for in-place repairs.
-    pub fn set_value(&mut self, attr: AttrId, value: impl Into<String>) {
-        self.values[attr.0] = value.into();
+    /// Interned id of the attribute `attr`'s value.
+    pub fn value_id(&self, attr: AttrId) -> ValueId {
+        self.ds.value_id(self.id, attr)
     }
 
-    /// All values in schema order.
-    pub fn values(&self) -> &[String] {
-        &self.values
+    /// All values in schema order (materialized as string slices).
+    pub fn values(&self) -> Vec<&'a str> {
+        (0..self.arity()).map(|a| self.value(AttrId(a))).collect()
+    }
+
+    /// All interned ids in schema order.
+    pub fn value_ids(&self) -> Vec<ValueId> {
+        self.ds.row_ids(self.id)
+    }
+
+    /// All values in schema order as owned strings (for crossing pool
+    /// boundaries).
+    pub fn owned_values(&self) -> Vec<String> {
+        self.values().into_iter().map(str::to_string).collect()
     }
 
     /// Number of attributes in the tuple.
     pub fn arity(&self) -> usize {
-        self.values.len()
+        self.ds.schema().arity()
     }
 
     /// Project the tuple onto a subset of attributes (in the given order).
-    pub fn project(&self, attrs: &[AttrId]) -> Vec<&str> {
-        attrs.iter().map(|a| self.value(*a)).collect()
+    pub fn project(&self, attrs: &[AttrId]) -> Vec<&'a str> {
+        attrs.iter().map(|&a| self.value(a)).collect()
+    }
+
+    /// Project the tuple onto a subset of attributes as interned ids.
+    pub fn project_ids(&self, attrs: &[AttrId]) -> Vec<ValueId> {
+        attrs.iter().map(|&a| self.value_id(a)).collect()
     }
 
     /// Whether two tuples agree on every attribute value (ignoring the id).
     /// This is the duplicate test MLNClean applies after conflict resolution.
-    pub fn same_values(&self, other: &Tuple) -> bool {
-        self.values == other.values
+    /// Within one dataset the comparison is pure id equality; across datasets
+    /// it compares strings (still `O(arity)` — checking whether two *pools*
+    /// are equal snapshots would cost `O(distinct values)` and is never
+    /// cheaper than just comparing the row).
+    pub fn same_values(&self, other: &Tuple<'_>) -> bool {
+        if self.arity() != other.arity() {
+            return false;
+        }
+        if std::ptr::eq(self.ds, other.ds) {
+            (0..self.arity()).all(|a| self.value_id(AttrId(a)) == other.value_id(AttrId(a)))
+        } else {
+            (0..self.arity()).all(|a| self.value(AttrId(a)) == other.value(AttrId(a)))
+        }
     }
 }
 
-impl fmt::Display for Tuple {
+impl fmt::Debug for Tuple<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}[{}]", self.id, self.values.join(", "))
+        f.debug_struct("Tuple")
+            .field("id", &self.id)
+            .field("values", &self.values())
+            .finish()
+    }
+}
+
+impl PartialEq for Tuple<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id && self.same_values(other)
+    }
+}
+
+impl fmt::Display for Tuple<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.id, self.values().join(", "))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::schema::Schema;
 
-    fn tuple() -> Tuple {
-        Tuple::new(
-            TupleId(0),
-            vec![
-                "ELIZA".into(),
-                "BOAZ".into(),
-                "AL".into(),
-                "2567688400".into(),
-            ],
-        )
+    fn dataset() -> Dataset {
+        let mut ds = Dataset::new(Schema::new(&["HN", "CT", "ST", "PN"]));
+        ds.push_row(vec![
+            "ELIZA".into(),
+            "BOAZ".into(),
+            "AL".into(),
+            "2567688400".into(),
+        ])
+        .unwrap();
+        ds
     }
 
     #[test]
     fn value_access_and_update() {
-        let mut t = tuple();
-        assert_eq!(t.value(AttrId(1)), "BOAZ");
-        t.set_value(AttrId(1), "DOTHAN");
+        let mut ds = dataset();
+        assert_eq!(ds.tuple(TupleId(0)).value(AttrId(1)), "BOAZ");
+        ds.set_value(TupleId(0), AttrId(1), "DOTHAN");
+        let t = ds.tuple(TupleId(0));
         assert_eq!(t.value(AttrId(1)), "DOTHAN");
         assert_eq!(t.arity(), 4);
     }
 
     #[test]
     fn projection_preserves_order() {
-        let t = tuple();
+        let ds = dataset();
+        let t = ds.tuple(TupleId(0));
         assert_eq!(t.project(&[AttrId(2), AttrId(0)]), vec!["AL", "ELIZA"]);
+        assert_eq!(
+            t.project_ids(&[AttrId(2), AttrId(0)]),
+            vec![t.value_id(AttrId(2)), t.value_id(AttrId(0))]
+        );
     }
 
     #[test]
-    fn same_values_ignores_id() {
-        let a = tuple();
-        let mut b = tuple();
-        b = Tuple::new(TupleId(5), b.values().to_vec());
-        assert!(a.same_values(&b));
-        b.set_value(AttrId(0), "ALABAMA");
-        assert!(!a.same_values(&b));
+    fn same_values_ignores_id_and_pool() {
+        let ds = dataset();
+        let mut other = Dataset::new(Schema::new(&["HN", "CT", "ST", "PN"]));
+        // Different interning order → different ids, same strings.
+        other.intern("2567688400");
+        other
+            .push_row(vec![
+                "ELIZA".into(),
+                "BOAZ".into(),
+                "AL".into(),
+                "2567688400".into(),
+            ])
+            .unwrap();
+        other
+            .push_row(vec![
+                "ALABAMA".into(),
+                "BOAZ".into(),
+                "AL".into(),
+                "2567688400".into(),
+            ])
+            .unwrap();
+        let a = ds.tuple(TupleId(0));
+        assert!(a.same_values(&other.tuple(TupleId(0))));
+        assert!(!a.same_values(&other.tuple(TupleId(1))));
     }
 
     #[test]
     fn display_is_one_indexed_like_the_paper() {
         assert_eq!(TupleId(0).to_string(), "t1");
         assert_eq!(TupleId(5).to_string(), "t6");
+        let ds = dataset();
+        assert_eq!(
+            ds.tuple(TupleId(0)).to_string(),
+            "t1[ELIZA, BOAZ, AL, 2567688400]"
+        );
     }
 }

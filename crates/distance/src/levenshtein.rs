@@ -4,90 +4,221 @@
 //! (Section 7.3.3) that it copes better than cosine distance with typos in
 //! the leading characters of a value, because it counts character edits
 //! irrespective of position.
+//!
+//! These functions sit on the pipeline's hottest path (every AGP group
+//! comparison and RSC reliability score bottoms out here), so they avoid
+//! per-call allocation: the char decodings and DP rows live in reusable
+//! thread-local buffers, and a common prefix/suffix trim shrinks the dynamic
+//! program before it runs (typo'd values share almost their entire text with
+//! their correction).
+
+use std::cell::RefCell;
+
+/// Reusable scratch space for the dynamic programs, one set per thread.
+#[derive(Default)]
+struct Scratch {
+    a_chars: Vec<char>,
+    b_chars: Vec<char>,
+    prev2: Vec<usize>,
+    prev: Vec<usize>,
+    curr: Vec<usize>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
+}
+
+/// Decode `a`/`b` into the thread-local char buffers and return the length of
+/// the common prefix and suffix (in chars, non-overlapping).
+fn decode_and_trim(scratch: &mut Scratch, a: &str, b: &str) -> (usize, usize) {
+    scratch.a_chars.clear();
+    scratch.a_chars.extend(a.chars());
+    scratch.b_chars.clear();
+    scratch.b_chars.extend(b.chars());
+    let (na, nb) = (scratch.a_chars.len(), scratch.b_chars.len());
+    let max_trim = na.min(nb);
+    let mut prefix = 0;
+    while prefix < max_trim && scratch.a_chars[prefix] == scratch.b_chars[prefix] {
+        prefix += 1;
+    }
+    let mut suffix = 0;
+    while suffix < max_trim - prefix
+        && scratch.a_chars[na - 1 - suffix] == scratch.b_chars[nb - 1 - suffix]
+    {
+        suffix += 1;
+    }
+    (prefix, suffix)
+}
+
+/// Levenshtein distance plus the char length of the longer input, computed in
+/// one pass over the decoded buffers (so [`normalized_levenshtein`] never
+/// re-counts chars).
+fn levenshtein_with_max_len(a: &str, b: &str) -> (usize, usize) {
+    if a == b {
+        // Equal as UTF-8 ⇒ equal char count; only needed for normalization
+        // of two identical strings, where the distance is 0 anyway.
+        return (0, a.chars().count());
+    }
+    SCRATCH.with(|scratch| {
+        let scratch = &mut *scratch.borrow_mut();
+        let (prefix, suffix) = decode_and_trim(scratch, a, b);
+        let (na, nb) = (scratch.a_chars.len(), scratch.b_chars.len());
+        let max_len = na.max(nb);
+        let sa = &scratch.a_chars[prefix..na - suffix];
+        let sb = &scratch.b_chars[prefix..nb - suffix];
+        // Keep the shorter trimmed string as the DP row.
+        let (short, long) = if sa.len() <= sb.len() {
+            (sa, sb)
+        } else {
+            (sb, sa)
+        };
+        if short.is_empty() {
+            return (long.len(), max_len);
+        }
+
+        let prev = &mut scratch.prev;
+        let curr = &mut scratch.curr;
+        prev.clear();
+        prev.extend(0..=short.len());
+        curr.clear();
+        curr.resize(short.len() + 1, 0);
+
+        for (i, lc) in long.iter().enumerate() {
+            curr[0] = i + 1;
+            for (j, sc) in short.iter().enumerate() {
+                let cost = usize::from(lc != sc);
+                curr[j + 1] = (prev[j + 1] + 1).min(curr[j] + 1).min(prev[j] + cost);
+            }
+            std::mem::swap(prev, curr);
+        }
+        (prev[short.len()], max_len)
+    })
+}
 
 /// Classic Levenshtein edit distance (insertions, deletions, substitutions),
-/// computed with a two-row dynamic program in `O(|a|·|b|)` time and
-/// `O(min(|a|,|b|))` space.
+/// computed with a two-row dynamic program in `O(|a|·|b|)` time after common
+/// prefix/suffix trimming, using thread-local buffers (no per-call
+/// allocation in steady state).
 pub fn levenshtein(a: &str, b: &str) -> usize {
     if a == b {
         return 0;
     }
-    let (short, long): (Vec<char>, Vec<char>) = {
-        let ac: Vec<char> = a.chars().collect();
-        let bc: Vec<char> = b.chars().collect();
-        if ac.len() <= bc.len() {
-            (ac, bc)
-        } else {
-            (bc, ac)
-        }
-    };
-    if short.is_empty() {
-        return long.len();
-    }
-
-    let mut prev: Vec<usize> = (0..=short.len()).collect();
-    let mut curr: Vec<usize> = vec![0; short.len() + 1];
-
-    for (i, lc) in long.iter().enumerate() {
-        curr[0] = i + 1;
-        for (j, sc) in short.iter().enumerate() {
-            let cost = usize::from(lc != sc);
-            curr[j + 1] = (prev[j + 1] + 1).min(curr[j] + 1).min(prev[j] + cost);
-        }
-        std::mem::swap(&mut prev, &mut curr);
-    }
-    prev[short.len()]
+    levenshtein_with_max_len(a, b).0
 }
 
 /// Levenshtein distance normalized to `[0, 1]` by the length of the longer
-/// string.  Two empty strings have distance `0`.
+/// string.  Two empty strings have distance `0`.  The length is produced by
+/// the same pass that decodes the strings for the distance — no second scan.
 pub fn normalized_levenshtein(a: &str, b: &str) -> f64 {
-    let max_len = a.chars().count().max(b.chars().count());
+    let (distance, max_len) = levenshtein_with_max_len(a, b);
     if max_len == 0 {
-        return 0.0;
+        0.0
+    } else {
+        distance as f64 / max_len as f64
     }
-    levenshtein(a, b) as f64 / max_len as f64
 }
 
 /// Damerau-Levenshtein distance (restricted variant: adjacent transpositions
 /// count as a single edit).  Useful for typo-heavy data where character swaps
-/// are common.
+/// are common.  Shares the thread-local buffers and the prefix/suffix trim
+/// with [`levenshtein`] (trimming is safe for the restricted variant: a
+/// transposition never pays to cross into a run of already-equal characters).
 pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
-    let ac: Vec<char> = a.chars().collect();
-    let bc: Vec<char> = b.chars().collect();
-    let (n, m) = (ac.len(), bc.len());
-    if n == 0 {
-        return m;
+    if a == b {
+        return 0;
     }
-    if m == 0 {
-        return n;
-    }
-
-    // Three-row dynamic program: d[i-2], d[i-1], d[i].
-    let mut prev2: Vec<usize> = vec![0; m + 1];
-    let mut prev: Vec<usize> = (0..=m).collect();
-    let mut curr: Vec<usize> = vec![0; m + 1];
-
-    for i in 1..=n {
-        curr[0] = i;
-        for j in 1..=m {
-            let cost = usize::from(ac[i - 1] != bc[j - 1]);
-            let mut best = (prev[j] + 1).min(curr[j - 1] + 1).min(prev[j - 1] + cost);
-            if i > 1 && j > 1 && ac[i - 1] == bc[j - 2] && ac[i - 2] == bc[j - 1] {
-                best = best.min(prev2[j - 2] + 1);
-            }
-            curr[j] = best;
+    SCRATCH.with(|scratch| {
+        let scratch = &mut *scratch.borrow_mut();
+        let (prefix, suffix) = decode_and_trim(scratch, a, b);
+        let (na, nb) = (scratch.a_chars.len(), scratch.b_chars.len());
+        let ac = &scratch.a_chars[prefix..na - suffix];
+        let bc = &scratch.b_chars[prefix..nb - suffix];
+        let (n, m) = (ac.len(), bc.len());
+        if n == 0 {
+            return m;
         }
-        std::mem::swap(&mut prev2, &mut prev);
-        std::mem::swap(&mut prev, &mut curr);
-    }
-    prev[m]
+        if m == 0 {
+            return n;
+        }
+
+        // Three-row dynamic program: d[i-2], d[i-1], d[i].
+        let prev2 = &mut scratch.prev2;
+        let prev = &mut scratch.prev;
+        let curr = &mut scratch.curr;
+        prev2.clear();
+        prev2.resize(m + 1, 0);
+        prev.clear();
+        prev.extend(0..=m);
+        curr.clear();
+        curr.resize(m + 1, 0);
+
+        for i in 1..=n {
+            curr[0] = i;
+            for j in 1..=m {
+                let cost = usize::from(ac[i - 1] != bc[j - 1]);
+                let mut best = (prev[j] + 1).min(curr[j - 1] + 1).min(prev[j - 1] + cost);
+                if i > 1 && j > 1 && ac[i - 1] == bc[j - 2] && ac[i - 2] == bc[j - 1] {
+                    best = best.min(prev2[j - 2] + 1);
+                }
+                curr[j] = best;
+            }
+            std::mem::swap(prev2, prev);
+            std::mem::swap(prev, curr);
+        }
+        prev[m]
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    /// Allocation-per-call reference implementations, kept to pin the
+    /// buffer-reusing, trimming versions above to the textbook recurrences.
+    mod reference {
+        pub fn levenshtein(a: &str, b: &str) -> usize {
+            let ac: Vec<char> = a.chars().collect();
+            let bc: Vec<char> = b.chars().collect();
+            let mut prev: Vec<usize> = (0..=bc.len()).collect();
+            let mut curr = vec![0usize; bc.len() + 1];
+            for (i, x) in ac.iter().enumerate() {
+                curr[0] = i + 1;
+                for (j, y) in bc.iter().enumerate() {
+                    let cost = usize::from(x != y);
+                    curr[j + 1] = (prev[j + 1] + 1).min(curr[j] + 1).min(prev[j] + cost);
+                }
+                std::mem::swap(&mut prev, &mut curr);
+            }
+            prev[bc.len()]
+        }
+
+        pub fn damerau(a: &str, b: &str) -> usize {
+            let ac: Vec<char> = a.chars().collect();
+            let bc: Vec<char> = b.chars().collect();
+            let (n, m) = (ac.len(), bc.len());
+            let mut d = vec![vec![0usize; m + 1]; n + 1];
+            for (i, row) in d.iter_mut().enumerate() {
+                row[0] = i;
+            }
+            for (j, cell) in d[0].iter_mut().enumerate() {
+                *cell = j;
+            }
+            for i in 1..=n {
+                for j in 1..=m {
+                    let cost = usize::from(ac[i - 1] != bc[j - 1]);
+                    let mut best = (d[i - 1][j] + 1)
+                        .min(d[i][j - 1] + 1)
+                        .min(d[i - 1][j - 1] + cost);
+                    if i > 1 && j > 1 && ac[i - 1] == bc[j - 2] && ac[i - 2] == bc[j - 1] {
+                        best = best.min(d[i - 2][j - 2] + 1);
+                    }
+                    d[i][j] = best;
+                }
+            }
+            d[n][m]
+        }
+    }
 
     #[test]
     fn basic_cases() {
@@ -104,6 +235,19 @@ mod tests {
     fn unicode_aware() {
         assert_eq!(levenshtein("héllo", "hello"), 1);
         assert_eq!(levenshtein("日本語", "日本"), 1);
+    }
+
+    #[test]
+    fn trimming_edge_cases() {
+        // Entire shorter string is a prefix of the longer one.
+        assert_eq!(levenshtein("DOTH", "DOTHAN"), 2);
+        // Shared prefix AND suffix around a middle edit.
+        assert_eq!(levenshtein("abcXdef", "abcYdef"), 1);
+        // Overlapping prefix/suffix candidates ("aaa" vs "aa").
+        assert_eq!(levenshtein("aaa", "aa"), 1);
+        assert_eq!(damerau_levenshtein("aaa", "aa"), 1);
+        // Transposition straddling a shared prefix.
+        assert_eq!(damerau_levenshtein("aab", "aba"), 1);
     }
 
     #[test]
@@ -132,6 +276,24 @@ mod tests {
     }
 
     proptest! {
+        #[test]
+        fn matches_reference_implementation(a in "\\PC{0,24}", b in "\\PC{0,24}") {
+            prop_assert_eq!(levenshtein(&a, &b), reference::levenshtein(&a, &b));
+            prop_assert_eq!(damerau_levenshtein(&a, &b), reference::damerau(&a, &b));
+        }
+
+        #[test]
+        fn matches_reference_on_trim_heavy_inputs(
+            prefix in "[ab]{0,10}", mid_a in "[abc]{0,6}", mid_b in "[abc]{0,6}", suffix in "[ab]{0,10}"
+        ) {
+            // Inputs engineered to exercise the prefix/suffix trimming paths,
+            // including transpositions at the trim boundaries.
+            let a = format!("{prefix}{mid_a}{suffix}");
+            let b = format!("{prefix}{mid_b}{suffix}");
+            prop_assert_eq!(levenshtein(&a, &b), reference::levenshtein(&a, &b));
+            prop_assert_eq!(damerau_levenshtein(&a, &b), reference::damerau(&a, &b));
+        }
+
         #[test]
         fn symmetric(a in "\\PC{0,24}", b in "\\PC{0,24}") {
             prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));

@@ -6,11 +6,13 @@
 //! full part, the farthest resident tuple is evicted to its own closest
 //! non-full part.
 
-use dataset::{Dataset, TupleId};
-use distance::{record_distance, Metric};
+use dataset::{Dataset, TupleId, ValueId};
+use distance::Metric;
+use mlnclean::DistanceCache;
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -116,12 +118,18 @@ pub fn partition_dataset(ds: &Dataset, config: &PartitionConfig) -> Partitioning
     } else {
         config.attributes.clone()
     };
-    let tuple_values = |t: TupleId| -> Vec<&str> {
-        let tuple = ds.tuple(t);
-        projection.iter().map(|&a| tuple.value(a)).collect()
-    };
+    // Project every tuple onto interned ids once; tuple-to-centroid distances
+    // then run through a value-pair memo, so each distinct value pair pays
+    // the string metric exactly once for the whole partitioning pass.
+    let projected: Vec<Vec<ValueId>> = ds
+        .tuple_ids()
+        .map(|t| ds.tuple(t).project_ids(&projection))
+        .collect();
+    let cache = RefCell::new(DistanceCache::new(config.metric));
     let distance = |a: TupleId, b: TupleId| -> f64 {
-        record_distance(&config.metric, &tuple_values(a), &tuple_values(b))
+        cache
+            .borrow_mut()
+            .record_distance(ds.pool(), &projected[a.0], &projected[b.0])
     };
 
     let mut heaps: Vec<BinaryHeap<HeapEntry>> = (0..k).map(|_| BinaryHeap::new()).collect();

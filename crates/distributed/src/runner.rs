@@ -112,17 +112,14 @@ impl DistributedMlnClean {
             seed: self.seed,
         };
         let partitioning = partition_dataset(dirty, &partition_config);
+        // Each part is a row projection sharing a snapshot of the parent's
+        // value pool: what moves to a worker is `Vec<ValueId>` row images
+        // plus one compact pool of distinct strings, never per-row clones —
+        // and ids stay comparable across all workers and the coordinator.
         let parts: Vec<Dataset> = partitioning
             .parts
             .iter()
-            .map(|ids| {
-                let mut part = Dataset::with_capacity(dirty.schema().clone(), ids.len());
-                for &t in ids {
-                    part.push_row(dirty.tuple(t).values().to_vec())
-                        .expect("same schema");
-                }
-                part
-            })
+            .map(|ids| dirty.project_rows(ids))
             .collect();
         timings.partition = start.elapsed();
 
@@ -208,13 +205,22 @@ impl DistributedMlnClean {
         let start = Instant::now();
         let mut repaired = dirty.clone();
         let attr_ids: Vec<dataset::AttrId> = dirty.schema().attr_ids().collect();
+        // Ids below this bound belong to the shared pool prefix every part
+        // snapshot agrees on; anything a worker interned locally (rare — only
+        // values its repairs introduced) is carried over by string.
+        let shared_prefix = repaired.pool().len();
         let mut rsc_records = Vec::with_capacity(phase_b.len());
         let mut fscr_records = Vec::with_capacity(phase_b.len());
         for ((repaired_part, rsc, fscr), ids) in phase_b.into_iter().zip(&partitioning.parts) {
             for (local_idx, &global_id) in ids.iter().enumerate() {
                 let local = repaired_part.tuple(TupleId(local_idx));
                 for &attr in &attr_ids {
-                    repaired.set_value(global_id, attr, local.value(attr).to_string());
+                    let id = local.value_id(attr);
+                    if id.index() < shared_prefix {
+                        repaired.set_value_id(global_id, attr, id);
+                    } else {
+                        repaired.set_value(global_id, attr, local.value(attr).to_string());
+                    }
                 }
             }
             rsc_records.push(rsc);

@@ -13,11 +13,15 @@
 //! the weight learned there, and pushes the merged weight back into every
 //! partition's index before RSC/FSCR run.
 
+use dataset::ValuePool;
 use mlnclean::MlnIndex;
 use std::collections::HashMap;
 
 /// Identity of a γ across partitions: same rule, same reason values, same
-/// result values.
+/// result values.  Values are resolved strings: partitions built by the
+/// runner share one pool snapshot, but `merge_weights` also accepts indexes
+/// over unrelated pools (e.g. hand-built partitions in tests), where raw ids
+/// would not be comparable.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct GammaKey {
     /// Rule index.
@@ -29,11 +33,19 @@ pub struct GammaKey {
 }
 
 impl GammaKey {
-    fn of(gamma: &mlnclean::Gamma) -> Self {
+    fn of(gamma: &mlnclean::Gamma, pool: &ValuePool) -> Self {
         GammaKey {
             rule: gamma.rule.index(),
-            reason: gamma.reason_values.clone(),
-            result: gamma.result_values.clone(),
+            reason: gamma
+                .resolve_reason_values(pool)
+                .into_iter()
+                .map(str::to_string)
+                .collect(),
+            result: gamma
+                .resolve_result_values(pool)
+                .into_iter()
+                .map(str::to_string)
+                .collect(),
         }
     }
 }
@@ -49,7 +61,9 @@ pub fn merge_weights(indices: &mut [MlnIndex]) -> usize {
         for block in &index.blocks {
             for gamma in block.gammas() {
                 let n = gamma.support() as f64;
-                let entry = accum.entry(GammaKey::of(gamma)).or_insert((0.0, 0.0, 0));
+                let entry = accum
+                    .entry(GammaKey::of(gamma, index.pool()))
+                    .or_insert((0.0, 0.0, 0));
                 entry.0 += n * gamma.weight;
                 entry.1 += n;
                 entry.2 += 1;
@@ -62,10 +76,11 @@ pub fn merge_weights(indices: &mut [MlnIndex]) -> usize {
     // Pass 2: write the merged weight back and recompute each block's softmax
     // probabilities.
     for index in indices.iter_mut() {
-        for block in &mut index.blocks {
+        let (blocks, pool) = index.split_mut();
+        for block in blocks.iter_mut() {
             for group in &mut block.groups {
                 for gamma in &mut group.gammas {
-                    if let Some((num, den, _)) = accum.get(&GammaKey::of(gamma)) {
+                    if let Some((num, den, _)) = accum.get(&GammaKey::of(gamma, pool)) {
                         if *den > 0.0 {
                             gamma.weight = num / den;
                         }
@@ -122,26 +137,21 @@ mod tests {
             ]),
             part(&[("DOTHAN", "AL"), ("BOAZ", "AK")]),
         ];
-        let w1 = indices[0].blocks[0]
-            .gammas()
-            .find(|g| g.reason_values == vec!["DOTHAN"])
-            .unwrap()
-            .weight;
-        let w2 = indices[1].blocks[0]
-            .gammas()
-            .find(|g| g.reason_values == vec!["DOTHAN"])
-            .unwrap()
-            .weight;
+        let dothan_weight = |index: &MlnIndex| -> f64 {
+            index.blocks[0]
+                .gammas()
+                .find(|g| g.resolve_reason_values(index.pool()) == vec!["DOTHAN"])
+                .unwrap()
+                .weight
+        };
+        let w1 = dothan_weight(&indices[0]);
+        let w2 = dothan_weight(&indices[1]);
         let shared = merge_weights(&mut indices);
         assert!(shared >= 1, "the DOTHAN/AL γ appears in both partitions");
 
         let expected = (3.0 * w1 + 1.0 * w2) / 4.0;
         for index in &indices {
-            let merged = index.blocks[0]
-                .gammas()
-                .find(|g| g.reason_values == vec!["DOTHAN"])
-                .unwrap()
-                .weight;
+            let merged = dothan_weight(index);
             assert!(
                 (merged - expected).abs() < 1e-12,
                 "got {merged}, want {expected}"

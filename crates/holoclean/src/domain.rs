@@ -7,9 +7,12 @@
 //! attribute values, or if it is among the globally most frequent values of
 //! `A`.  The current (possibly dirty) value is always kept as a candidate so
 //! "no repair" remains an option.
+//!
+//! Candidates are interned [`ValueId`]s: the whole generate-score-prune loop
+//! runs without materializing a single string.
 
 use crate::features::CooccurrenceModel;
-use dataset::{AttrId, CellRef, Dataset};
+use dataset::{AttrId, CellRef, Dataset, ValueId};
 
 /// Candidate generator.
 #[derive(Debug, Clone)]
@@ -39,15 +42,15 @@ impl CandidateDomain {
         ds: &Dataset,
         model: &CooccurrenceModel,
         cell: CellRef,
-    ) -> Vec<String> {
+    ) -> Vec<ValueId> {
         let attr = cell.attr;
         let tuple = ds.tuple(cell.tuple);
-        let current = tuple.value(attr).to_string();
+        let current = tuple.value_id(attr);
 
         // Score every value observed for the attribute in the clean part by
         // the sum of its conditional probabilities given the tuple's other
         // attribute values.
-        let mut scored: Vec<(String, f64)> = model
+        let mut scored: Vec<(ValueId, f64)> = model
             .observed_values(attr)
             .into_iter()
             .map(|candidate| {
@@ -55,7 +58,7 @@ impl CandidateDomain {
                     .schema()
                     .attr_ids()
                     .filter(|&b| b != attr)
-                    .map(|b| model.conditional(attr, &candidate, b, tuple.value(b)))
+                    .map(|b| model.conditional(attr, candidate, b, tuple.value_id(b)))
                     .sum();
                 (candidate, score)
             })
@@ -63,16 +66,16 @@ impl CandidateDomain {
         scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         scored.truncate(self.max_candidates);
 
-        let mut out: Vec<String> = scored.into_iter().map(|(v, _)| v).collect();
+        let mut out: Vec<ValueId> = scored.into_iter().map(|(v, _)| v).collect();
         if !out.contains(&current) {
             out.push(current);
         }
         out
     }
 
-    /// Convenience: candidates for a given attribute value pair without an
-    /// enclosing dataset (used in tests of the pruning behaviour).
-    pub fn prune_to_budget(&self, mut values: Vec<String>) -> Vec<String> {
+    /// Convenience: prune an arbitrary candidate list to the generator's
+    /// budget (used in tests of the pruning behaviour).
+    pub fn prune_to_budget(&self, mut values: Vec<ValueId>) -> Vec<ValueId> {
         values.truncate(self.max_candidates);
         values
     }
@@ -103,10 +106,10 @@ mod tests {
         let gen = CandidateDomain::default();
         // t2.CT = "DOTH" (a typo).
         let cands = gen.candidates(&ds, &model, CellRef::new(TupleId(1), ct));
-        assert!(cands.contains(&"DOTHAN".to_string()));
-        assert!(cands.contains(&"BOAZ".to_string()));
+        assert!(cands.contains(&ds.pool().lookup("DOTHAN").unwrap()));
+        assert!(cands.contains(&ds.pool().lookup("BOAZ").unwrap()));
         assert!(
-            cands.contains(&"DOTH".to_string()),
+            cands.contains(&ds.pool().lookup("DOTH").unwrap()),
             "the current value is always kept"
         );
     }
@@ -119,13 +122,13 @@ mod tests {
         let gen = CandidateDomain::default();
         // t4.ST = "AK"; the context (BOAZ, 2567688400, ELIZA) co-occurs with AL.
         let cands = gen.candidates(&ds, &model, CellRef::new(TupleId(3), st));
-        assert_eq!(cands[0], "AL");
+        assert_eq!(ds.pool().resolve(cands[0]), "AL");
     }
 
     #[test]
     fn budget_is_enforced() {
         let gen = CandidateDomain::new(2);
-        let pruned = gen.prune_to_budget(vec!["a".into(), "b".into(), "c".into()]);
+        let pruned = gen.prune_to_budget(vec![ValueId(0), ValueId(1), ValueId(2)]);
         assert_eq!(pruned.len(), 2);
         assert_eq!(gen.budget(), 2);
     }

@@ -4,17 +4,21 @@
 //! `a` of A co-occurs with value `b` of B among tuples whose cells were *not*
 //! flagged as noisy.  At repair time the conditional probability
 //! `P(A = a | B = b)` (with add-one smoothing) scores repair candidates.
+//!
+//! All statistics are keyed on interned [`ValueId`]s from the training
+//! dataset's pool: training is integer hashing, and the per-candidate scoring
+//! loop of the repairer never materializes a string.
 
-use dataset::{AttrId, CellRef, Dataset};
+use dataset::{AttrId, CellRef, Dataset, ValueId};
 use std::collections::{BTreeSet, HashMap};
 
 /// Co-occurrence model over the clean partition.
 #[derive(Debug, Clone)]
 pub struct CooccurrenceModel {
     /// `(target attr, evidence attr) -> (target value, evidence value) -> count`
-    pair_counts: HashMap<(AttrId, AttrId), HashMap<(String, String), usize>>,
+    pair_counts: HashMap<(AttrId, AttrId), HashMap<(ValueId, ValueId), usize>>,
     /// `(evidence attr) -> evidence value -> count` (marginals of the clean part).
-    evidence_counts: HashMap<AttrId, HashMap<String, usize>>,
+    evidence_counts: HashMap<AttrId, HashMap<ValueId, usize>>,
     /// Distinct values per target attribute in the clean partition (for
     /// smoothing denominators).
     domain_sizes: HashMap<AttrId, usize>,
@@ -25,10 +29,10 @@ impl CooccurrenceModel {
     /// cell that appears in `noisy` — HoloClean learns its parameters from
     /// the part of the data the detector considers clean.
     pub fn train(ds: &Dataset, noisy: &BTreeSet<CellRef>) -> Self {
-        let mut pair_counts: HashMap<(AttrId, AttrId), HashMap<(String, String), usize>> =
+        let mut pair_counts: HashMap<(AttrId, AttrId), HashMap<(ValueId, ValueId), usize>> =
             HashMap::new();
-        let mut evidence_counts: HashMap<AttrId, HashMap<String, usize>> = HashMap::new();
-        let mut domains: HashMap<AttrId, BTreeSet<String>> = HashMap::new();
+        let mut evidence_counts: HashMap<AttrId, HashMap<ValueId, usize>> = HashMap::new();
+        let mut domains: HashMap<AttrId, BTreeSet<ValueId>> = HashMap::new();
 
         for t in ds.tuples() {
             let clean_attrs: Vec<AttrId> = ds
@@ -37,22 +41,18 @@ impl CooccurrenceModel {
                 .filter(|&a| !noisy.contains(&CellRef::new(t.id(), a)))
                 .collect();
             for &a in &clean_attrs {
-                let va = t.value(a).to_string();
-                domains.entry(a).or_default().insert(va.clone());
-                *evidence_counts
-                    .entry(a)
-                    .or_default()
-                    .entry(va.clone())
-                    .or_insert(0) += 1;
+                let va = t.value_id(a);
+                domains.entry(a).or_default().insert(va);
+                *evidence_counts.entry(a).or_default().entry(va).or_insert(0) += 1;
                 for &b in &clean_attrs {
                     if a == b {
                         continue;
                     }
-                    let vb = t.value(b).to_string();
+                    let vb = t.value_id(b);
                     *pair_counts
                         .entry((a, b))
                         .or_default()
-                        .entry((va.clone(), vb))
+                        .entry((va, vb))
                         .or_insert(0) += 1;
                 }
             }
@@ -74,20 +74,20 @@ impl CooccurrenceModel {
     pub fn conditional(
         &self,
         target_attr: AttrId,
-        candidate: &str,
+        candidate: ValueId,
         evidence_attr: AttrId,
-        evidence_value: &str,
+        evidence_value: ValueId,
     ) -> f64 {
         let joint = self
             .pair_counts
             .get(&(target_attr, evidence_attr))
-            .and_then(|m| m.get(&(candidate.to_string(), evidence_value.to_string())))
+            .and_then(|m| m.get(&(candidate, evidence_value)))
             .copied()
             .unwrap_or(0);
         let evidence = self
             .evidence_counts
             .get(&evidence_attr)
-            .and_then(|m| m.get(evidence_value))
+            .and_then(|m| m.get(&evidence_value))
             .copied()
             .unwrap_or(0);
         let domain = self.domain_sizes.get(&target_attr).copied().unwrap_or(1);
@@ -96,20 +96,24 @@ impl CooccurrenceModel {
 
     /// How often `value` appears in the clean partition of `attr` (its prior
     /// support).
-    pub fn support(&self, attr: AttrId, value: &str) -> usize {
+    pub fn support(&self, attr: AttrId, value: ValueId) -> usize {
         self.evidence_counts
             .get(&attr)
-            .and_then(|m| m.get(value))
+            .and_then(|m| m.get(&value))
             .copied()
             .unwrap_or(0)
     }
 
-    /// The values observed for `attr` in the clean partition.
-    pub fn observed_values(&self, attr: AttrId) -> Vec<String> {
-        self.evidence_counts
+    /// The values observed for `attr` in the clean partition, in id order
+    /// (deterministic regardless of hash-map iteration).
+    pub fn observed_values(&self, attr: AttrId) -> Vec<ValueId> {
+        let mut out: Vec<ValueId> = self
+            .evidence_counts
             .get(&attr)
-            .map(|m| m.keys().cloned().collect())
-            .unwrap_or_default()
+            .map(|m| m.keys().copied().collect())
+            .unwrap_or_default();
+        out.sort();
+        out
     }
 }
 
@@ -124,9 +128,10 @@ mod tests {
         let model = CooccurrenceModel::train(&ds, &BTreeSet::new());
         let ct = ds.schema().attr_id("CT").unwrap();
         let st = ds.schema().attr_id("ST").unwrap();
+        let dothan = ds.pool().lookup("DOTHAN").unwrap();
         // P(ST=AL | CT=DOTHAN) should dominate P(ST=AK | CT=DOTHAN).
-        let al = model.conditional(st, "AL", ct, "DOTHAN");
-        let ak = model.conditional(st, "AK", ct, "DOTHAN");
+        let al = model.conditional(st, ds.pool().lookup("AL").unwrap(), ct, dothan);
+        let ak = model.conditional(st, ds.pool().lookup("AK").unwrap(), ct, dothan);
         assert!(al > ak);
     }
 
@@ -134,23 +139,28 @@ mod tests {
     fn noisy_cells_are_excluded_from_training() {
         let ds = sample_hospital_dataset();
         let st = ds.schema().attr_id("ST").unwrap();
+        let ak = ds.pool().lookup("AK").unwrap();
+        let al = ds.pool().lookup("AL").unwrap();
         // Mark t4.ST (the AK error) noisy: AK should vanish from the model.
         let noisy: BTreeSet<CellRef> = [CellRef::new(dataset::TupleId(3), st)]
             .into_iter()
             .collect();
         let model = CooccurrenceModel::train(&ds, &noisy);
-        assert_eq!(model.support(st, "AK"), 0);
-        assert!(model.support(st, "AL") > 0);
-        assert!(!model.observed_values(st).contains(&"AK".to_string()));
+        assert_eq!(model.support(st, ak), 0);
+        assert!(model.support(st, al) > 0);
+        assert!(!model.observed_values(st).contains(&ak));
     }
 
     #[test]
     fn smoothing_keeps_probabilities_positive() {
-        let ds = sample_hospital_dataset();
+        let mut ds = sample_hospital_dataset();
         let model = CooccurrenceModel::train(&ds, &BTreeSet::new());
         let ct = ds.schema().attr_id("CT").unwrap();
         let st = ds.schema().attr_id("ST").unwrap();
-        let p = model.conditional(st, "NEVERSEEN", ct, "ALSONEVERSEEN");
+        // Values the model never saw (interned after training).
+        let unseen_a = ds.intern("NEVERSEEN");
+        let unseen_b = ds.intern("ALSONEVERSEEN");
+        let p = model.conditional(st, unseen_a, ct, unseen_b);
         assert!(p > 0.0 && p < 1.0);
     }
 }

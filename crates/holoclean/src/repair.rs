@@ -18,7 +18,7 @@
 
 use crate::domain::CandidateDomain;
 use crate::features::CooccurrenceModel;
-use dataset::{CellRef, Dataset};
+use dataset::{CellRef, Dataset, ValueId};
 use rules::{Rule, RuleSet};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap};
@@ -103,20 +103,20 @@ impl HoloClean {
                 continue;
             }
             let candidates = generator.candidates(dirty, &model, cell);
-            let current = dirty.cell(cell).to_string();
+            let current = dirty.cell_id(cell);
 
-            let mut best_value = current.clone();
+            let mut best_value = current;
             let mut best_score = f64::NEG_INFINITY;
             for candidate in candidates {
                 let score =
-                    self.score_candidate(dirty, rules, &constraints, &model, cell, &candidate);
+                    self.score_candidate(dirty, rules, &constraints, &model, cell, candidate);
                 if score > best_score {
                     best_score = score;
                     best_value = candidate;
                 }
             }
             if best_value != current {
-                repaired.set_value(cell.tuple, cell.attr, best_value);
+                repaired.set_value_id(cell.tuple, cell.attr, best_value);
                 repaired_cells.push(cell);
             }
         }
@@ -138,7 +138,7 @@ impl HoloClean {
         constraints: &ConstraintIndex,
         model: &CooccurrenceModel,
         cell: CellRef,
-        candidate: &str,
+        candidate: ValueId,
     ) -> f64 {
         let tuple = dirty.tuple(cell.tuple);
 
@@ -149,7 +149,7 @@ impl HoloClean {
             .filter(|&b| b != cell.attr)
             .map(|b| {
                 model
-                    .conditional(cell.attr, candidate, b, tuple.value(b))
+                    .conditional(cell.attr, candidate, b, tuple.value_id(b))
                     .ln()
             })
             .sum();
@@ -170,8 +170,8 @@ impl HoloClean {
 /// a hash lookup instead of a full violation-detection pass.  For every rule
 /// the index stores, per reason-part value vector, how many tuples carry each
 /// result-part value vector.
-/// For one rule: reason values → (result values → tuple count).
-type RuleCounts = HashMap<Vec<String>, HashMap<Vec<String>, usize>>;
+/// For one rule: reason value ids → (result value ids → tuple count).
+type RuleCounts = HashMap<Vec<ValueId>, HashMap<Vec<ValueId>, usize>>;
 
 struct ConstraintIndex {
     /// `per_rule[i]` : reason values → (result values → tuple count).
@@ -183,13 +183,13 @@ impl ConstraintIndex {
         let schema = ds.schema();
         let mut per_rule = Vec::with_capacity(rules.len());
         for (_, rule) in rules.iter_with_ids() {
-            let mut map: HashMap<Vec<String>, HashMap<Vec<String>, usize>> = HashMap::new();
+            let mut map: RuleCounts = HashMap::new();
             for t in ds.tuples() {
-                if !rule.is_relevant(schema, t) {
+                if !rule.is_relevant(schema, &t) {
                     continue;
                 }
-                let reason = rule.reason_values(schema, t);
-                let result = rule.result_values(schema, t);
+                let reason = rule.reason_value_ids(schema, &t);
+                let result = rule.result_value_ids(schema, &t);
                 *map.entry(reason).or_default().entry(result).or_insert(0) += 1;
             }
             per_rule.push(map);
@@ -204,7 +204,7 @@ impl ConstraintIndex {
         ds: &Dataset,
         rules: &RuleSet,
         cell: CellRef,
-        candidate: &str,
+        candidate: ValueId,
     ) -> usize {
         let schema = ds.schema();
         let attr_name = schema.attr_name(cell.attr).to_string();
@@ -215,20 +215,19 @@ impl ConstraintIndex {
             if !rule.all_attrs().contains(&attr_name) {
                 continue;
             }
-            if !rule.is_relevant(schema, tuple) {
+            if !rule.is_relevant(schema, &tuple) {
                 continue;
             }
-            // Project the tuple under the hypothetical edit.
-            let project = |attrs: &[String]| -> Vec<String> {
+            // Project the tuple under the hypothetical edit — id copies only.
+            let project = |attrs: &[String]| -> Vec<ValueId> {
                 attrs
                     .iter()
                     .map(|a| {
-                        if *a == attr_name {
-                            candidate.to_string()
+                        let id = schema.attr_id(a).expect("validated attribute");
+                        if id == cell.attr {
+                            candidate
                         } else {
-                            tuple
-                                .value(schema.attr_id(a).expect("validated attribute"))
-                                .to_string()
+                            tuple.value_id(id)
                         }
                     })
                     .collect()
@@ -239,8 +238,8 @@ impl ConstraintIndex {
             if let Some(results) = self.per_rule[idx].get(&reason) {
                 // The tuple's own (pre-edit) contribution must not count as a
                 // conflicting witness.
-                let own_reason = rule.reason_values(schema, tuple);
-                let own_result = rule.result_values(schema, tuple);
+                let own_reason = rule.reason_value_ids(schema, &tuple);
+                let own_result = rule.result_value_ids(schema, &tuple);
                 let conflicting = results.iter().any(|(r, &count)| {
                     if *r == result {
                         return false;
@@ -258,11 +257,11 @@ impl ConstraintIndex {
             if let Rule::Cfd(cfd) = rule {
                 let matches_pattern = cfd.conditions().iter().all(|c| match &c.constant {
                     Some(v) => {
-                        let idx = schema.attr_id(&c.attr).expect("validated attribute");
-                        let value = if c.attr == attr_name {
-                            candidate
+                        let id = schema.attr_id(&c.attr).expect("validated attribute");
+                        let value = if id == cell.attr {
+                            ds.pool().resolve(candidate)
                         } else {
-                            tuple.value(idx)
+                            tuple.value(id)
                         };
                         value == v
                     }
@@ -271,11 +270,11 @@ impl ConstraintIndex {
                 if matches_pattern {
                     let breaks_consequent = cfd.consequents().iter().any(|c| match &c.constant {
                         Some(v) => {
-                            let idx = schema.attr_id(&c.attr).expect("validated attribute");
-                            let value = if c.attr == attr_name {
-                                candidate
+                            let id = schema.attr_id(&c.attr).expect("validated attribute");
+                            let value = if id == cell.attr {
+                                ds.pool().resolve(candidate)
                             } else {
-                                tuple.value(idx)
+                                tuple.value(id)
                             };
                             value != v
                         }

@@ -16,7 +16,7 @@ use crate::program::MlnProgram;
 use dataset::Dataset;
 use rules::{Rule, RuleId, RuleSet};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 
 /// One ground MLN rule derived from a rule and a dataset: the attribute
 /// values of the reason and result parts, plus how many tuples carry exactly
@@ -84,17 +84,44 @@ pub fn rule_to_clause(program: &mut MlnProgram, rule: &Rule) -> Clause {
 /// (see [`Rule::is_relevant`]) contribute.
 pub fn ground_rules_for_dataset(ds: &Dataset, rules: &RuleSet) -> Vec<GroundRuleInstance> {
     let schema = ds.schema();
+    let pool = ds.pool();
     let mut out = Vec::new();
     for (rule_id, rule) in rules.iter_with_ids() {
-        let mut support: BTreeMap<(Vec<String>, Vec<String>), usize> = BTreeMap::new();
+        // Group by interned ids (integer hashing per tuple), then resolve and
+        // sort once so the output keeps the historical string order.
+        let mut support: HashMap<(Vec<dataset::ValueId>, Vec<dataset::ValueId>), usize> =
+            HashMap::new();
         for t in ds.tuples() {
-            if !rule.is_relevant(schema, t) {
+            if !rule.is_relevant(schema, &t) {
                 continue;
             }
-            let key = (rule.reason_values(schema, t), rule.result_values(schema, t));
+            let key = (
+                rule.reason_value_ids(schema, &t),
+                rule.result_value_ids(schema, &t),
+            );
             *support.entry(key).or_insert(0) += 1;
         }
-        for ((reason_values, result_values), count) in support {
+        type ResolvedGrounding = ((Vec<String>, Vec<String>), usize);
+        let mut grounded: Vec<ResolvedGrounding> = support
+            .into_iter()
+            .map(|((reason, result), count)| {
+                (
+                    (
+                        reason
+                            .iter()
+                            .map(|&v| pool.resolve(v).to_string())
+                            .collect(),
+                        result
+                            .iter()
+                            .map(|&v| pool.resolve(v).to_string())
+                            .collect(),
+                    ),
+                    count,
+                )
+            })
+            .collect();
+        grounded.sort_by(|a, b| a.0.cmp(&b.0));
+        for ((reason_values, result_values), count) in grounded {
             out.push(GroundRuleInstance {
                 rule: rule_id,
                 reason_attrs: rule.reason_attrs(),

@@ -5,7 +5,7 @@
 //! The paper's example r3 is `HN("ELIZA"), CT("BOAZ") ⇒ PN("2567688400")`:
 //! a hospital named ELIZA in city BOAZ must have that exact phone number.
 
-use dataset::{Dataset, Schema, Tuple};
+use dataset::{Dataset, Schema, Tuple, ValueId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -154,6 +154,22 @@ impl ConditionalFd {
             .collect()
     }
 
+    /// Project a tuple onto the reason-part value ids (no string cloning).
+    pub fn reason_value_ids(&self, schema: &Schema, tuple: &Tuple) -> Vec<ValueId> {
+        self.conditions
+            .iter()
+            .map(|c| tuple.value_id(schema.attr_id(&c.attr).expect("validated attribute")))
+            .collect()
+    }
+
+    /// Project a tuple onto the result-part value ids (no string cloning).
+    pub fn result_value_ids(&self, schema: &Schema, tuple: &Tuple) -> Vec<ValueId> {
+        self.consequents
+            .iter()
+            .map(|c| tuple.value_id(schema.attr_id(&c.attr).expect("validated attribute")))
+            .collect()
+    }
+
     /// Whether a single tuple violates the CFD: it matches the full constant
     /// pattern of the conditions but disagrees with a constant consequent.
     pub fn violated_by_tuple(&self, ds: &Dataset, tuple: &Tuple) -> bool {
@@ -171,7 +187,9 @@ impl ConditionalFd {
 
     /// Whether a pair of tuples violates the CFD's variable (FD-like) part:
     /// both match the constant pattern, agree on all variable condition
-    /// attributes, but disagree on a variable consequent attribute.
+    /// attributes, but disagree on a variable consequent attribute.  The
+    /// variable-part checks compare interned ids, so both tuples must come
+    /// from the same dataset (or datasets sharing a pool snapshot).
     pub fn violated_by_pair(&self, ds: &Dataset, a: &Tuple, b: &Tuple) -> bool {
         let schema = ds.schema();
         if !self.matches_pattern(schema, a) || !self.matches_pattern(schema, b) {
@@ -183,7 +201,7 @@ impl ConditionalFd {
             .filter(|c| c.constant.is_none())
             .all(|c| {
                 let id = schema.attr_id(&c.attr).expect("validated attribute");
-                a.value(id) == b.value(id)
+                a.value_id(id) == b.value_id(id)
             });
         if !same_variables {
             return false;
@@ -193,7 +211,7 @@ impl ConditionalFd {
             .filter(|c| c.constant.is_none())
             .any(|c| {
                 let id = schema.attr_id(&c.attr).expect("validated attribute");
-                a.value(id) != b.value(id)
+                a.value_id(id) != b.value_id(id)
             })
     }
 }
@@ -228,7 +246,7 @@ mod tests {
         // t1, t2 (ALABAMA/DOTHAN) are not relevant; t3..t6 are (HN=ELIZA).
         let relevant: Vec<bool> = ds
             .tuples()
-            .map(|t| cfd.is_relevant(ds.schema(), t))
+            .map(|t| cfd.is_relevant(ds.schema(), &t))
             .collect();
         assert_eq!(relevant, vec![false, false, true, true, true, true]);
     }
@@ -237,8 +255,8 @@ mod tests {
     fn pattern_matching() {
         let ds = sample_hospital_dataset();
         let cfd = r3();
-        assert!(!cfd.matches_pattern(ds.schema(), ds.tuple(TupleId(2)))); // t3: CT=DOTHAN
-        assert!(cfd.matches_pattern(ds.schema(), ds.tuple(TupleId(4)))); // t5: ELIZA/BOAZ
+        assert!(!cfd.matches_pattern(ds.schema(), &ds.tuple(TupleId(2)))); // t3: CT=DOTHAN
+        assert!(cfd.matches_pattern(ds.schema(), &ds.tuple(TupleId(4)))); // t5: ELIZA/BOAZ
     }
 
     #[test]
@@ -247,13 +265,13 @@ mod tests {
         let cfd = r3();
         // All ELIZA/BOAZ tuples in Table 1 already carry the right phone
         // number, so none violates the constant consequent.
-        assert!(ds.tuples().all(|t| !cfd.violated_by_tuple(&ds, t)));
+        assert!(ds.tuples().all(|t| !cfd.violated_by_tuple(&ds, &t)));
 
         // Corrupt t5's phone number and the violation appears.
         let mut dirty = ds.clone();
         let pn = dirty.schema().attr_id("PN").unwrap();
         dirty.set_value(TupleId(4), pn, "1111111111");
-        assert!(cfd.violated_by_tuple(&dirty, dirty.tuple(TupleId(4))));
+        assert!(cfd.violated_by_tuple(&dirty, &dirty.tuple(TupleId(4))));
     }
 
     #[test]
@@ -270,9 +288,9 @@ mod tests {
         let t4 = ds.tuple(TupleId(3)); // ELIZA BOAZ AK
         let t5 = ds.tuple(TupleId(4)); // ELIZA BOAZ AL
         let t1 = ds.tuple(TupleId(0)); // ALABAMA DOTHAN AL
-        assert!(cfd.violated_by_pair(&ds, t4, t5));
+        assert!(cfd.violated_by_pair(&ds, &t4, &t5));
         assert!(
-            !cfd.violated_by_pair(&ds, t1, t5),
+            !cfd.violated_by_pair(&ds, &t1, &t5),
             "t1 does not match the pattern"
         );
     }
@@ -282,8 +300,8 @@ mod tests {
         let ds = sample_hospital_dataset();
         let cfd = r3();
         let t3 = ds.tuple(TupleId(2));
-        assert_eq!(cfd.reason_values(ds.schema(), t3), vec!["ELIZA", "DOTHAN"]);
-        assert_eq!(cfd.result_values(ds.schema(), t3), vec!["2567638410"]);
+        assert_eq!(cfd.reason_values(ds.schema(), &t3), vec!["ELIZA", "DOTHAN"]);
+        assert_eq!(cfd.result_values(ds.schema(), &t3), vec!["2567638410"]);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! tuples with the same phone number must not be in different states.
 
 use crate::ops::Op;
-use dataset::{Dataset, Schema, Tuple};
+use dataset::{Dataset, Schema, Tuple, ValueId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -42,7 +42,10 @@ impl DcPredicate {
         }
     }
 
-    /// Evaluate the predicate on a pair of tuples.
+    /// Evaluate the predicate on a pair of tuples.  Equality-flavoured
+    /// operators compare interned ids — both tuples must come from the same
+    /// dataset (or datasets sharing a pool snapshot); ordering operators fall
+    /// back to the resolved strings.
     pub fn eval(&self, schema: &Schema, a: &Tuple, b: &Tuple) -> bool {
         let l = schema
             .attr_id(&self.left_attr)
@@ -50,7 +53,11 @@ impl DcPredicate {
         let r = schema
             .attr_id(&self.right_attr)
             .expect("validated attribute");
-        self.op.eval(a.value(l), b.value(r))
+        match self.op {
+            Op::Eq => a.value_id(l) == b.value_id(r),
+            Op::Neq => a.value_id(l) != b.value_id(r),
+            _ => self.op.eval(a.value(l), b.value(r)),
+        }
     }
 }
 
@@ -153,6 +160,22 @@ impl DenialConstraint {
             .collect()
     }
 
+    /// Project a tuple onto the reason-part value ids (no string cloning).
+    pub fn reason_value_ids(&self, schema: &Schema, tuple: &Tuple) -> Vec<ValueId> {
+        self.reason_attrs()
+            .iter()
+            .map(|a| tuple.value_id(schema.attr_id(a).expect("validated attribute")))
+            .collect()
+    }
+
+    /// Project a tuple onto the result-part value ids (no string cloning).
+    pub fn result_value_ids(&self, schema: &Schema, tuple: &Tuple) -> Vec<ValueId> {
+        self.result_attrs()
+            .iter()
+            .map(|a| tuple.value_id(schema.attr_id(a).expect("validated attribute")))
+            .collect()
+    }
+
     /// Whether an *ordered* pair of distinct tuples violates the DC (all
     /// predicates evaluate to true).
     pub fn violated_by(&self, ds: &Dataset, a: &Tuple, b: &Tuple) -> bool {
@@ -196,10 +219,10 @@ mod tests {
         let t4 = ds.tuple(TupleId(3)); // PN 2567688400, ST AK
         let t5 = ds.tuple(TupleId(4)); // PN 2567688400, ST AL
         let t1 = ds.tuple(TupleId(0)); // PN 3347938701, ST AL
-        assert!(dc.violated_by(&ds, t4, t5));
-        assert!(dc.violated_by(&ds, t5, t4), "symmetric for this DC");
-        assert!(!dc.violated_by(&ds, t1, t5), "different phone numbers");
-        assert!(!dc.violated_by(&ds, t4, t4), "never violated with itself");
+        assert!(dc.violated_by(&ds, &t4, &t5));
+        assert!(dc.violated_by(&ds, &t5, &t4), "symmetric for this DC");
+        assert!(!dc.violated_by(&ds, &t1, &t5), "different phone numbers");
+        assert!(!dc.violated_by(&ds, &t4, &t4), "never violated with itself");
     }
 
     #[test]
@@ -215,9 +238,9 @@ mod tests {
         let t1 = ds.tuple(TupleId(0)); // 3347938701 / AL
         let t4 = ds.tuple(TupleId(3)); // 2567688400 / AK
                                        // t1.PN > t4.PN but t1.ST(AL) > t4.ST(AK) → second predicate false.
-        assert!(!dc.violated_by(&ds, t1, t4));
+        assert!(!dc.violated_by(&ds, &t1, &t4));
         // t4.PN < t1.PN → first predicate false.
-        assert!(!dc.violated_by(&ds, t4, t1));
+        assert!(!dc.violated_by(&ds, &t4, &t1));
     }
 
     #[test]
@@ -225,7 +248,7 @@ mod tests {
         let p = DcPredicate::new("CT", Op::Eq, "ST");
         let ds = sample_hospital_dataset();
         let t1 = ds.tuple(TupleId(0));
-        assert!(!p.eval(ds.schema(), t1, t1), "DOTHAN != AL");
+        assert!(!p.eval(ds.schema(), &t1, &t1), "DOTHAN != AL");
     }
 
     #[test]

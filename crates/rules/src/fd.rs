@@ -1,7 +1,7 @@
 //! Functional dependencies `X → Y`: the values on X uniquely determine the
 //! values on Y.
 
-use dataset::{Dataset, Schema, Tuple};
+use dataset::{Dataset, Schema, Tuple, ValueId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -69,20 +69,39 @@ impl FunctionalDependency {
             .collect()
     }
 
+    /// Project a tuple onto the reason-part value ids (no string cloning).
+    pub fn reason_value_ids(&self, schema: &Schema, tuple: &Tuple) -> Vec<ValueId> {
+        self.lhs
+            .iter()
+            .map(|a| tuple.value_id(schema.attr_id(a).expect("validated attribute")))
+            .collect()
+    }
+
+    /// Project a tuple onto the result-part value ids (no string cloning).
+    pub fn result_value_ids(&self, schema: &Schema, tuple: &Tuple) -> Vec<ValueId> {
+        self.rhs
+            .iter()
+            .map(|a| tuple.value_id(schema.attr_id(a).expect("validated attribute")))
+            .collect()
+    }
+
     /// Whether a pair of tuples violates this FD: they agree on every LHS
-    /// attribute but disagree on at least one RHS attribute.
+    /// attribute but disagree on at least one RHS attribute.  Both checks are
+    /// pure [`ValueId`] comparisons — no string is touched — so both tuples
+    /// must be views of `ds` (or of datasets sharing its pool snapshot); ids
+    /// from unrelated pools are not comparable.
     pub fn violated_by(&self, ds: &Dataset, a: &Tuple, b: &Tuple) -> bool {
         let schema = ds.schema();
         let same_lhs = self.lhs.iter().all(|attr| {
             let id = schema.attr_id(attr).expect("validated attribute");
-            a.value(id) == b.value(id)
+            a.value_id(id) == b.value_id(id)
         });
         if !same_lhs {
             return false;
         }
         self.rhs.iter().any(|attr| {
             let id = schema.attr_id(attr).expect("validated attribute");
-            a.value(id) != b.value(id)
+            a.value_id(id) != b.value_id(id)
         })
     }
 }
@@ -103,8 +122,12 @@ mod tests {
         let ds = sample_hospital_dataset();
         let fd = FunctionalDependency::new(vec!["CT"], vec!["ST"]);
         let t4 = ds.tuple(TupleId(3));
-        assert_eq!(fd.reason_values(ds.schema(), t4), vec!["BOAZ"]);
-        assert_eq!(fd.result_values(ds.schema(), t4), vec!["AK"]);
+        assert_eq!(fd.reason_values(ds.schema(), &t4), vec!["BOAZ"]);
+        assert_eq!(fd.result_values(ds.schema(), &t4), vec!["AK"]);
+        assert_eq!(
+            fd.reason_value_ids(ds.schema(), &t4),
+            vec![ds.pool().lookup("BOAZ").unwrap()]
+        );
     }
 
     #[test]
@@ -114,13 +137,13 @@ mod tests {
         let t4 = ds.tuple(TupleId(3)); // BOAZ, AK
         let t5 = ds.tuple(TupleId(4)); // BOAZ, AL
         let t1 = ds.tuple(TupleId(0)); // DOTHAN, AL
-        assert!(fd.violated_by(&ds, t4, t5));
+        assert!(fd.violated_by(&ds, &t4, &t5));
         assert!(
-            !fd.violated_by(&ds, t1, t5),
+            !fd.violated_by(&ds, &t1, &t5),
             "different cities cannot violate CT->ST"
         );
         assert!(
-            !fd.violated_by(&ds, t5, t5),
+            !fd.violated_by(&ds, &t5, &t5),
             "a tuple never violates an FD with itself"
         );
     }
@@ -131,8 +154,8 @@ mod tests {
         let fd = FunctionalDependency::new(vec!["HN", "CT"], vec!["PN", "ST"]);
         assert!(fd.is_valid_for(ds.schema()));
         let t5 = ds.tuple(TupleId(4));
-        assert_eq!(fd.reason_values(ds.schema(), t5), vec!["ELIZA", "BOAZ"]);
-        assert_eq!(fd.result_values(ds.schema(), t5), vec!["2567688400", "AL"]);
+        assert_eq!(fd.reason_values(ds.schema(), &t5), vec!["ELIZA", "BOAZ"]);
+        assert_eq!(fd.result_values(ds.schema(), &t5), vec!["2567688400", "AL"]);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::cfd::ConditionalFd;
 use crate::dc::DenialConstraint;
 use crate::fd::FunctionalDependency;
-use dataset::{Schema, Tuple};
+use dataset::{Schema, Tuple, ValueId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -109,6 +109,26 @@ impl Rule {
             Rule::Fd(fd) => fd.result_values(schema, tuple),
             Rule::Cfd(cfd) => cfd.result_values(schema, tuple),
             Rule::Dc(dc) => dc.result_values(schema, tuple),
+        }
+    }
+
+    /// Project a tuple onto its reason-part value ids — the interned
+    /// counterpart of [`Rule::reason_values`], used on every hot grouping
+    /// path (index build, violation bucketing, constraint statistics).
+    pub fn reason_value_ids(&self, schema: &Schema, tuple: &Tuple) -> Vec<ValueId> {
+        match self {
+            Rule::Fd(fd) => fd.reason_value_ids(schema, tuple),
+            Rule::Cfd(cfd) => cfd.reason_value_ids(schema, tuple),
+            Rule::Dc(dc) => dc.reason_value_ids(schema, tuple),
+        }
+    }
+
+    /// Project a tuple onto its result-part value ids.
+    pub fn result_value_ids(&self, schema: &Schema, tuple: &Tuple) -> Vec<ValueId> {
+        match self {
+            Rule::Fd(fd) => fd.result_value_ids(schema, tuple),
+            Rule::Cfd(cfd) => cfd.result_value_ids(schema, tuple),
+            Rule::Dc(dc) => dc.result_value_ids(schema, tuple),
         }
     }
 }
@@ -233,9 +253,9 @@ mod tests {
         let rules = sample_hospital_rules();
         let ds = sample_hospital_dataset();
         let t1 = ds.tuple(dataset::TupleId(0));
-        assert!(rules.rule(RuleId(0)).is_relevant(ds.schema(), t1));
-        assert!(rules.rule(RuleId(1)).is_relevant(ds.schema(), t1));
-        assert!(!rules.rule(RuleId(2)).is_relevant(ds.schema(), t1));
+        assert!(rules.rule(RuleId(0)).is_relevant(ds.schema(), &t1));
+        assert!(rules.rule(RuleId(1)).is_relevant(ds.schema(), &t1));
+        assert!(!rules.rule(RuleId(2)).is_relevant(ds.schema(), &t1));
     }
 
     #[test]

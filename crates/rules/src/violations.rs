@@ -45,7 +45,7 @@ pub fn detect_violations(ds: &Dataset, rules: &RuleSet) -> Vec<Violation> {
             Rule::Cfd(cfd) => {
                 // Single-tuple violations of constant consequents.
                 for t in ds.tuples() {
-                    if cfd.violated_by_tuple(ds, t) {
+                    if cfd.violated_by_tuple(ds, &t) {
                         out.push(Violation {
                             rule: rule_id,
                             kind: ViolationKind::Single,
@@ -91,13 +91,15 @@ fn detect_grouped_pairs<F>(
             .all(|p| p.op == crate::ops::Op::Eq && p.left_attr == p.right_attr),
     };
 
-    let mut buckets: HashMap<Vec<String>, Vec<TupleId>> = HashMap::new();
+    // Buckets are keyed on interned ids: building a key is a handful of u32
+    // copies per tuple instead of string clones, and hashing is integer work.
+    let mut buckets: HashMap<Vec<dataset::ValueId>, Vec<TupleId>> = HashMap::new();
     for t in ds.tuples() {
-        if !rule.is_relevant(schema, t) {
+        if !rule.is_relevant(schema, &t) {
             continue;
         }
         let key = if groupable {
-            rule.reason_values(schema, t)
+            rule.reason_value_ids(schema, &t)
         } else {
             Vec::new()
         };
@@ -109,7 +111,7 @@ fn detect_grouped_pairs<F>(
             for j in (i + 1)..ids.len() {
                 let a = ds.tuple(ids[i]);
                 let b = ds.tuple(ids[j]);
-                if violates(a, b) || violates(b, a) {
+                if violates(&a, &b) || violates(&b, &a) {
                     out.push(Violation {
                         rule: rule_id,
                         kind: ViolationKind::Pair,

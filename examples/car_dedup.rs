@@ -18,7 +18,7 @@ fn with_duplicates(clean: &Dataset, copies: usize) -> Dataset {
     let mut out = clean.clone();
     for i in 0..copies {
         let source = clean.tuple(dataset::TupleId(i * 7 % clean.len()));
-        out.push_row(source.values().to_vec()).expect("same schema");
+        out.push_row(source.owned_values()).expect("same schema");
     }
     out
 }

@@ -98,11 +98,7 @@ fn distributed_dedup_collapses_duplicates_globally() {
         .with_rows(400)
         .with_customers(25)
         .generate();
-    let copy_source: Vec<Vec<String>> = clean
-        .tuples()
-        .take(40)
-        .map(|t| t.values().to_vec())
-        .collect();
+    let copy_source: Vec<Vec<String>> = clean.tuples().take(40).map(|t| t.owned_values()).collect();
     for row in copy_source {
         clean.push_row(row).unwrap();
     }

@@ -1,0 +1,131 @@
+//! End-to-end equivalence of the interned (`ValueId`-threaded) pipeline with
+//! the historical string pipeline.
+//!
+//! The golden files under `tests/golden/` were produced by the pre-interning
+//! pipeline (owned `String`s end to end) on the seeded HAI and CAR workloads.
+//! The interned pipeline must reproduce them byte for byte — same repairs,
+//! same deduplicated output, same F1 — in both the serial and the parallel
+//! Stage-I configuration.  This pins the representation change (value pool +
+//! columnar cells) to pure-performance status: it must not move a single
+//! cell.
+//!
+//! Regenerate the fixtures (only when an *intentional* behaviour change
+//! lands) with:
+//!
+//! ```bash
+//! cargo test --test interned_equivalence -- --ignored regenerate
+//! ```
+
+use dataset::{csv, DirtyDataset, RepairEvaluation};
+use mlnclean::{CleanConfig, MlnClean};
+use rules::RuleSet;
+use std::path::PathBuf;
+
+struct Case {
+    name: &'static str,
+    dirty: DirtyDataset,
+    rules: RuleSet,
+    config: CleanConfig,
+}
+
+/// The two single-node workloads of the paper at smoke scale, with the
+/// per-dataset configs the bench harness uses (τ optimum + AGP merge guard).
+fn cases() -> Vec<Case> {
+    vec![
+        Case {
+            name: "hai",
+            dirty: datagen::HaiGenerator::default()
+                .with_rows(400)
+                .dirty(0.05, 0.5, 1),
+            rules: datagen::HaiGenerator::rules(),
+            config: CleanConfig::default()
+                .with_tau(2)
+                .with_agp_distance_guard(0.15),
+        },
+        Case {
+            name: "car",
+            dirty: datagen::CarGenerator::default()
+                .with_rows(600)
+                .dirty(0.05, 0.5, 1),
+            rules: datagen::CarGenerator::rules(),
+            config: CleanConfig::default()
+                .with_tau(1)
+                .with_agp_distance_guard(0.15),
+        },
+    ]
+}
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+/// Run one case and render its observable output: repaired CSV, deduplicated
+/// CSV, and the cell-level evaluation line.
+fn render(case: &Case, parallel: bool) -> (String, String, String) {
+    let outcome = MlnClean::new(case.config.clone().with_parallel(parallel))
+        .clean(&case.dirty.dirty, &case.rules)
+        .expect("workload cleans");
+    let report = RepairEvaluation::evaluate(&case.dirty, &outcome.repaired);
+    let eval = format!(
+        "precision={:.9} recall={:.9} f1={:.9} changed={}\n",
+        report.precision(),
+        report.recall(),
+        report.f1(),
+        outcome.fscr.changed_cell_count(),
+    );
+    (
+        csv::to_csv(&outcome.repaired),
+        csv::to_csv(&outcome.deduplicated),
+        eval,
+    )
+}
+
+#[test]
+fn interned_pipeline_matches_string_pipeline_golden() {
+    for case in cases() {
+        let golden_repaired =
+            std::fs::read_to_string(golden_dir().join(format!("{}_repaired.csv", case.name)))
+                .expect("golden repaired fixture exists; regenerate with --ignored");
+        let golden_dedup =
+            std::fs::read_to_string(golden_dir().join(format!("{}_deduplicated.csv", case.name)))
+                .expect("golden dedup fixture exists");
+        let golden_eval =
+            std::fs::read_to_string(golden_dir().join(format!("{}_eval.txt", case.name)))
+                .expect("golden eval fixture exists");
+
+        for parallel in [false, true] {
+            let (repaired, dedup, eval) = render(&case, parallel);
+            let mode = if parallel { "parallel" } else { "serial" };
+            assert_eq!(
+                repaired, golden_repaired,
+                "{} ({mode}): repaired output diverged from the string pipeline",
+                case.name
+            );
+            assert_eq!(
+                dedup, golden_dedup,
+                "{} ({mode}): deduplicated output diverged from the string pipeline",
+                case.name
+            );
+            assert_eq!(
+                eval, golden_eval,
+                "{} ({mode}): evaluation diverged from the string pipeline",
+                case.name
+            );
+        }
+    }
+}
+
+/// Writes the fixtures from whatever pipeline is currently compiled in.  Run
+/// only to re-baseline after an intentional behaviour change.
+#[test]
+#[ignore]
+fn regenerate_golden_fixtures() {
+    let dir = golden_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+    for case in cases() {
+        let (repaired, dedup, eval) = render(&case, false);
+        std::fs::write(dir.join(format!("{}_repaired.csv", case.name)), repaired).unwrap();
+        std::fs::write(dir.join(format!("{}_deduplicated.csv", case.name)), dedup).unwrap();
+        std::fs::write(dir.join(format!("{}_eval.txt", case.name)), eval).unwrap();
+    }
+}

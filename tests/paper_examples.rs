@@ -45,17 +45,20 @@ fn figure2_mln_index_structure() {
 
     // Block B1 groups by city; the BOAZ group holds t4, t5, t6.
     let boaz = index
-        .block(RuleId(0))
-        .group_by_key(&["BOAZ".to_string()])
+        .group_by_key(RuleId(0), &["BOAZ"])
         .expect("BOAZ group exists");
     assert_eq!(boaz.all_tuples(), vec![TupleId(3), TupleId(4), TupleId(5)]);
 
     // Block B3 (the CFD) holds only the ELIZA tuples, split into the DOTHAN
     // and BOAZ reason groups of Figure 2.
     let b3 = index.block(RuleId(2));
-    let keys: Vec<Vec<String>> = b3.groups.iter().map(|g| g.key.clone()).collect();
-    assert!(keys.contains(&vec!["ELIZA".to_string(), "DOTHAN".to_string()]));
-    assert!(keys.contains(&vec!["ELIZA".to_string(), "BOAZ".to_string()]));
+    let keys: Vec<Vec<&str>> = b3
+        .groups
+        .iter()
+        .map(|g| g.resolve_key(index.pool()))
+        .collect();
+    assert!(keys.contains(&vec!["ELIZA", "DOTHAN"]));
+    assert!(keys.contains(&vec!["ELIZA", "BOAZ"]));
 }
 
 #[test]
@@ -98,14 +101,23 @@ fn figure4_clean_data_versions_after_stage_one() {
     assert_eq!(b1.group_count(), 2);
     for group in &b1.groups {
         assert!(group.is_clean());
-        assert_eq!(group.gammas[0].result_values, vec!["AL"]);
+        assert_eq!(
+            group.gammas[0].resolve_result_values(outcome.index.pool()),
+            vec!["AL"]
+        );
     }
 
     let b3 = outcome.index.block(RuleId(2));
     assert_eq!(b3.group_count(), 1);
     let gamma = &b3.groups[0].gammas[0];
-    assert_eq!(gamma.reason_values, vec!["ELIZA", "BOAZ"]);
-    assert_eq!(gamma.result_values, vec!["2567688400"]);
+    assert_eq!(
+        gamma.resolve_reason_values(outcome.index.pool()),
+        vec!["ELIZA", "BOAZ"]
+    );
+    assert_eq!(
+        gamma.resolve_result_values(outcome.index.pool()),
+        vec!["2567688400"]
+    );
     assert_eq!(gamma.support(), 4);
 }
 
