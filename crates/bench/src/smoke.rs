@@ -7,11 +7,18 @@
 //! memory-side picture: value-pool size, distinct values per attribute, and
 //! the Stage-I distance-cache hit rate), seeding the `BENCH_*.json`
 //! trajectory that later PRs can compare against.
+//!
+//! Since the incremental engine landed the artifact also records a
+//! **streaming** section: the same tiny HAI ingested in 8 micro-batches
+//! through `CleaningSession` (per-batch wall-time, dirty-block counts, and a
+//! byte-identity check against the one-shot run), plus an incremental
+//! re-clean probe on CAR whose tail batch leaves the CFD block untouched —
+//! dirty blocks < total blocks — measured against a full batch re-run.
 
 use crate::common::{Scale, Workload};
-use dataset::RepairEvaluation;
-use mlnclean::{CacheStats, MlnClean};
-use std::time::Instant;
+use dataset::{csv, RepairEvaluation};
+use mlnclean::{CacheStats, CleaningSession, MlnClean};
+use std::time::{Duration, Instant};
 
 /// Run the smoke workload and return the JSON artifact as `(file name,
 /// contents)` pairs, like every other experiment.
@@ -58,6 +65,12 @@ pub fn run(scale: Scale) -> Vec<(String, String)> {
     cache.absorb(outcome.agp.cache);
     cache.absorb(outcome.rsc.cache);
 
+    // Streaming scenarios: the same HAI workload ingested in 8 micro-batches,
+    // plus the CAR incremental re-clean probe (dirty blocks < total blocks).
+    let stream = run_hai_stream(&dirty.dirty, &workload, &outcome, wall);
+    let reclean = run_incremental_reclean(scale);
+    let streaming = render_streaming(&stream, &reclean);
+
     let json = format!(
         concat!(
             "{{\n",
@@ -75,7 +88,8 @@ pub fn run(scale: Scale) -> Vec<(String, String)> {
             "    \"agp\": {agp:.6},\n",
             "    \"weight_learning\": {learning:.6},\n",
             "    \"rsc\": {rsc:.6},\n",
-            "    \"fscr\": {fscr:.6}\n",
+            "    \"fscr\": {fscr:.6},\n",
+            "    \"dedup\": {dedup:.6}\n",
             "  }},\n",
             "  \"memory\": {{\n",
             "    \"cells\": {cells},\n",
@@ -92,7 +106,8 @@ pub fn run(scale: Scale) -> Vec<(String, String)> {
             "  }},\n",
             "  \"precision\": {precision:.6},\n",
             "  \"recall\": {recall:.6},\n",
-            "  \"f1\": {f1:.6}\n",
+            "  \"f1\": {f1:.6},\n",
+            "  \"streaming\": {streaming}\n",
             "}}\n",
         ),
         workload = workload.name(),
@@ -108,6 +123,7 @@ pub fn run(scale: Scale) -> Vec<(String, String)> {
         learning = timings.weight_learning.as_secs_f64(),
         rsc = timings.rsc.as_secs_f64(),
         fscr = timings.fscr.as_secs_f64(),
+        dedup = timings.dedup.as_secs_f64(),
         cells = ds.cell_count(),
         pool_values = pool_values,
         pool_bytes = pool_bytes,
@@ -118,6 +134,7 @@ pub fn run(scale: Scale) -> Vec<(String, String)> {
         precision = report.precision(),
         recall = report.recall(),
         f1 = report.f1(),
+        streaming = streaming,
     );
 
     println!(
@@ -132,6 +149,211 @@ pub fn run(scale: Scale) -> Vec<(String, String)> {
 
 fn rayon_threads() -> usize {
     rayon::current_num_threads()
+}
+
+/// One micro-batch's measurements in the streaming scenario.
+struct BatchPoint {
+    rows: usize,
+    wall: Duration,
+    dirty_blocks: usize,
+    total_blocks: usize,
+    touched_groups: usize,
+    total_groups: usize,
+}
+
+/// The HAI micro-batch stream: per-batch wall-time and dirtiness, plus
+/// byte-identity of the final incremental result with the one-shot run.
+struct StreamProbe {
+    per_batch: Vec<BatchPoint>,
+    stream_total: Duration,
+    one_shot: Duration,
+    final_matches_one_shot: bool,
+}
+
+/// Ingest the smoke HAI workload in 8 micro-batches, re-cleaning after every
+/// batch (`CleaningSession::outcome`), and compare the final result with the
+/// already-measured one-shot outcome.
+fn run_hai_stream(
+    dirty: &dataset::Dataset,
+    workload: &Workload,
+    one_shot: &mlnclean::CleaningOutcome,
+    one_shot_wall: Duration,
+) -> StreamProbe {
+    let rules = workload.rules();
+    let mut session = CleaningSession::new(workload.clean_config(), dirty.schema().clone(), rules)
+        .expect("the smoke rules match the smoke schema");
+
+    let mut per_batch = Vec::new();
+    let mut last = None;
+    let stream_started = Instant::now();
+    for batch in datagen::row_batches(dirty, 8) {
+        let started = Instant::now();
+        let report = session.ingest_batch(batch).expect("rows match the schema");
+        let outcome = session.outcome();
+        per_batch.push(BatchPoint {
+            rows: report.rows,
+            wall: started.elapsed(),
+            dirty_blocks: report.dirty_blocks,
+            total_blocks: report.total_blocks,
+            touched_groups: report.touched_groups,
+            total_groups: report.total_groups,
+        });
+        last = Some(outcome);
+    }
+    let stream_total = stream_started.elapsed();
+
+    let final_matches_one_shot = last.is_some_and(|outcome| {
+        csv::to_csv(&outcome.repaired) == csv::to_csv(&one_shot.repaired)
+            && csv::to_csv(outcome.deduplicated()) == csv::to_csv(one_shot.deduplicated())
+    });
+    StreamProbe {
+        per_batch,
+        stream_total,
+        one_shot: one_shot_wall,
+        final_matches_one_shot,
+    }
+}
+
+/// The incremental re-clean probe: after a bulk ingest + clean of the CAR
+/// workload, a small tail batch of non-acura rows arrives.  The CFD block
+/// (`Make="acura"`) stays clean — dirty blocks < total blocks — and the
+/// incremental re-clean is measured against a full batch re-run over the
+/// same accumulated data (which it must match byte for byte).
+struct RecleanProbe {
+    head_rows: usize,
+    tail_rows: usize,
+    dirty_blocks: usize,
+    total_blocks: usize,
+    incremental: Duration,
+    full: Duration,
+    matches_full: bool,
+}
+
+fn run_incremental_reclean(scale: Scale) -> RecleanProbe {
+    let workload = Workload::Car;
+    let dirty = workload.dirty(scale, 0.05, 0.5, 1).dirty;
+    let rules = workload.rules();
+    let config = workload.clean_config();
+
+    // Order-preserving split: the tail is the last few non-acura rows (they
+    // are irrelevant to the CFD, so its block must stay clean).
+    let (head, tail) = datagen::CarGenerator::non_acura_tail_split(&dirty, 16);
+
+    let tail_rows: Vec<Vec<String>> = tail
+        .iter()
+        .map(|&t| dirty.tuple(t).owned_values())
+        .collect();
+
+    // Three repetitions, best (minimum) wall-time of each side — single
+    // runs of a few milliseconds are too noisy for a stable speedup.
+    let mut incremental = Duration::MAX;
+    let mut full = Duration::MAX;
+    let mut dirty_blocks = 0;
+    let mut total_blocks = 0;
+    let mut matches_full = true;
+    for _ in 0..3 {
+        let mut session =
+            CleaningSession::new(config.clone(), dirty.schema().clone(), rules.clone())
+                .expect("the CAR rules match the CAR schema");
+        session
+            .ingest_dataset(&dirty.project_rows(&head))
+            .expect("same schema");
+        let _ = session.outcome();
+
+        // The measured incremental re-clean: tail ingest + re-clean (the
+        // batch copy is prepared before the timer starts, mirroring the full
+        // re-run whose inputs are also ready-made).
+        let batch = tail_rows.clone();
+        let started = Instant::now();
+        let report = session.ingest_batch(batch).expect("rows match the schema");
+        let incremental_outcome = session.outcome();
+        incremental = incremental.min(started.elapsed());
+        dirty_blocks = report.dirty_blocks;
+        total_blocks = report.total_blocks;
+
+        // The full batch re-run over the same accumulated rows.
+        let started = Instant::now();
+        let full_outcome = MlnClean::new(config.clone())
+            .clean(session.dataset(), &rules)
+            .expect("the CAR workload cleans");
+        full = full.min(started.elapsed());
+        matches_full &=
+            csv::to_csv(&incremental_outcome.repaired) == csv::to_csv(&full_outcome.repaired);
+    }
+
+    RecleanProbe {
+        head_rows: head.len(),
+        tail_rows: tail.len(),
+        dirty_blocks,
+        total_blocks,
+        incremental,
+        full,
+        matches_full,
+    }
+}
+
+/// Render the streaming section of `BENCH_smoke.json` (the value of the
+/// `"streaming"` key, indented to nest under the top-level object).
+fn render_streaming(stream: &StreamProbe, reclean: &RecleanProbe) -> String {
+    let per_batch: String = stream
+        .per_batch
+        .iter()
+        .map(|p| {
+            format!(
+                "      {{ \"rows\": {}, \"wall_seconds\": {:.6}, \"dirty_blocks\": {}, \
+                 \"total_blocks\": {}, \"touched_groups\": {}, \"total_groups\": {} }}",
+                p.rows,
+                p.wall.as_secs_f64(),
+                p.dirty_blocks,
+                p.total_blocks,
+                p.touched_groups,
+                p.total_groups,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    // Clamp the denominator so the ratio stays finite (bare `inf` would make
+    // the JSON unparseable) even on a coarse monotonic clock.
+    let speedup = reclean.full.as_secs_f64() / reclean.incremental.as_secs_f64().max(1e-9);
+    format!(
+        concat!(
+            "{{\n",
+            "    \"hai_stream\": {{\n",
+            "      \"batches\": {batches},\n",
+            "      \"stream_total_seconds\": {stream_total:.6},\n",
+            "      \"one_shot_seconds\": {one_shot:.6},\n",
+            "      \"final_matches_one_shot\": {matches},\n",
+            "      \"per_batch\": [\n",
+            "{per_batch}\n",
+            "      ]\n",
+            "    }},\n",
+            "    \"incremental_reclean\": {{\n",
+            "      \"workload\": \"CAR\",\n",
+            "      \"head_rows\": {head_rows},\n",
+            "      \"tail_rows\": {tail_rows},\n",
+            "      \"dirty_blocks\": {dirty_blocks},\n",
+            "      \"total_blocks\": {total_blocks},\n",
+            "      \"incremental_seconds\": {incremental:.6},\n",
+            "      \"full_reclean_seconds\": {full:.6},\n",
+            "      \"speedup\": {speedup:.3},\n",
+            "      \"matches_full_reclean\": {matches_full}\n",
+            "    }}\n",
+            "  }}",
+        ),
+        batches = stream.per_batch.len(),
+        stream_total = stream.stream_total.as_secs_f64(),
+        one_shot = stream.one_shot.as_secs_f64(),
+        matches = stream.final_matches_one_shot,
+        per_batch = per_batch,
+        head_rows = reclean.head_rows,
+        tail_rows = reclean.tail_rows,
+        dirty_blocks = reclean.dirty_blocks,
+        total_blocks = reclean.total_blocks,
+        incremental = reclean.incremental.as_secs_f64(),
+        full = reclean.full.as_secs_f64(),
+        speedup = speedup,
+        matches_full = reclean.matches_full,
+    )
 }
 
 #[cfg(test)]
@@ -150,7 +372,33 @@ mod tests {
         assert!(json.contains("\"pool_distinct_values\""));
         assert!(json.contains("\"distinct_per_attribute\""));
         assert!(json.contains("\"hit_rate\""));
+        // The dedup stage is timed separately from FSCR now.
+        assert!(json.contains("\"dedup\""));
+        // The streaming section: per-batch points and the incremental
+        // re-clean probe, both byte-identical to their batch counterparts.
+        assert!(json.contains("\"streaming\""));
+        assert!(json.contains("\"hai_stream\""));
+        assert!(json.contains("\"incremental_reclean\""));
+        assert!(json.contains("\"final_matches_one_shot\": true"));
+        assert!(json.contains("\"matches_full_reclean\": true"));
         // Crude structural sanity: balanced braces, no trailing comma issues.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn incremental_reclean_skips_the_untouched_cfd_block() {
+        let probe = run_incremental_reclean(Scale::Tiny);
+        assert!(probe.tail_rows > 0);
+        assert!(
+            probe.dirty_blocks < probe.total_blocks,
+            "the non-acura tail must leave the CFD block clean \
+             ({}/{} dirty)",
+            probe.dirty_blocks,
+            probe.total_blocks
+        );
+        assert!(
+            probe.matches_full,
+            "incremental re-clean must match the batch re-run"
+        );
     }
 }

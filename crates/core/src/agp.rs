@@ -100,8 +100,7 @@ impl AbnormalGroupProcessor {
         let processed: Vec<(Block, AgpRecord)> = taken
             .into_par_iter()
             .map(|mut block| {
-                let mut record = AgpRecord::default();
-                self.process_block(&mut block, pool, &mut record);
+                let record = self.process_block(&mut block, pool);
                 (block, record)
             })
             .collect();
@@ -120,14 +119,19 @@ impl AbnormalGroupProcessor {
         let (blocks, pool) = index.split_mut();
         let mut record = AgpRecord::default();
         for block in blocks.iter_mut() {
-            self.process_block(block, pool, &mut record);
+            let block_record = self.process_block(block, pool);
+            record.merges.extend(block_record.merges);
+            record.cache.absorb(block_record.cache);
         }
         record
     }
 
     /// Process a single block: detect abnormal groups (size ≤ τ) and merge
-    /// each into its nearest normal group.
-    fn process_block(&self, block: &mut Block, pool: &ValuePool, record: &mut AgpRecord) {
+    /// each into its nearest normal group.  This is the per-block unit both
+    /// the whole-index paths above and the incremental
+    /// [`crate::CleaningSession`] compose.
+    pub(crate) fn process_block(&self, block: &mut Block, pool: &ValuePool) -> AgpRecord {
+        let mut record = AgpRecord::default();
         // Partition group indices into abnormal and normal by the size test.
         let abnormal_idx: Vec<usize> = block
             .groups
@@ -137,7 +141,7 @@ impl AbnormalGroupProcessor {
             .map(|(i, _)| i)
             .collect();
         if abnormal_idx.is_empty() {
-            return;
+            return record;
         }
         // One distance memo per block: every group comparison below shares it.
         let mut cache = DistanceCache::new(self.metric);
@@ -251,6 +255,7 @@ impl AbnormalGroupProcessor {
             });
         }
         record.cache.absorb(cache.stats());
+        record
     }
 }
 

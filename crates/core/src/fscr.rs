@@ -84,6 +84,31 @@ impl FscrRecord {
     }
 }
 
+/// The fused assignment chosen for one tuple — the cacheable per-tuple result
+/// of the fusion stage.  [`crate::CleaningSession`] memoises these across
+/// micro-batches and replays them for tuples whose blocks stayed clean.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TupleFusion {
+    /// The fused `(attribute, value)` assignment (empty when the tuple has no
+    /// versions or every fusion order failed).
+    pub fused: Vec<(AttrId, ValueId)>,
+    /// The fusion score of the applied assignment (0 when fusion failed or
+    /// there was nothing to fuse).
+    pub f_score: f64,
+    /// Whether any pair of the tuple's versions conflicted.
+    pub conflict_detected: bool,
+    /// Whether every fusion order failed (the tuple is left unchanged).
+    pub fusion_failed: bool,
+}
+
+/// Precomputed fusion inputs over a Stage-I-cleaned index: per tuple the γs
+/// covering it (its data versions), and per block the substitution
+/// candidates sorted by descending probability.
+pub struct FusionPlan<'a> {
+    tuple_versions: HashMap<TupleId, Vec<&'a Gamma>>,
+    block_candidates: HashMap<RuleId, Vec<&'a Gamma>>,
+}
+
 /// The FSCR strategy.
 #[derive(Debug, Clone)]
 pub struct ConflictResolver {
@@ -98,17 +123,8 @@ impl ConflictResolver {
         ConflictResolver { max_exhaustive }
     }
 
-    /// Fuse every tuple of `dirty` using the Stage-I-cleaned `index` and
-    /// return the repaired dataset (same shape as the input) plus the record.
-    pub fn resolve(&self, dirty: &Dataset, index: &MlnIndex) -> (Dataset, FscrRecord) {
-        let mut repaired = dirty.clone();
-        let mut record = FscrRecord::default();
-        let pool = index.pool();
-        let schema = dirty.schema();
-
-        // Per block: tuple -> γ (the group representative covering it), and
-        // the list of candidate γs (for conflict substitution), sorted by
-        // descending probability.
+    /// Precompute the fusion inputs for a cleaned index.
+    pub fn plan<'a>(&self, index: &'a MlnIndex) -> FusionPlan<'a> {
         let mut tuple_versions: HashMap<TupleId, Vec<&Gamma>> = HashMap::new();
         let mut block_candidates: HashMap<RuleId, Vec<&Gamma>> = HashMap::new();
         for block in &index.blocks {
@@ -127,60 +143,55 @@ impl ConflictResolver {
                 }
             }
         }
-
-        for t in dirty.tuple_ids() {
-            let versions = match tuple_versions.get(&t) {
-                Some(v) if !v.is_empty() => v,
-                // The tuple participates in no block (no rule is relevant to
-                // it): nothing to fuse, keep it as is.
-                _ => {
-                    record.outcomes.push(FusionOutcome {
-                        tuple: t,
-                        fused: Vec::new(),
-                        f_score: 0.0,
-                        conflict_detected: false,
-                        fusion_failed: false,
-                    });
-                    continue;
-                }
-            };
-
-            let conflict_detected = versions
-                .iter()
-                .enumerate()
-                .any(|(i, a)| versions.iter().skip(i + 1).any(|b| a.conflicts_with(b)));
-
-            let (best_fusion, best_score) = self.best_fusion(versions, &block_candidates);
-
-            let fusion_failed = best_fusion.is_none();
-            let fused_pairs: Vec<(AttrId, ValueId)> = best_fusion.unwrap_or_default();
-
-            for &(attr, value) in &fused_pairs {
-                // The index pool is a snapshot of the dirty dataset's pool,
-                // so γ ids write straight into the repaired clone.
-                let old = dirty.value_id(t, attr);
-                if old != value {
-                    record.changes.push(CellChange {
-                        cell: CellRef::new(t, attr),
-                        old: pool.resolve(old).to_string(),
-                        new: pool.resolve(value).to_string(),
-                    });
-                }
-                repaired.set_value_id(t, attr, value);
-            }
-
-            record.outcomes.push(FusionOutcome {
-                tuple: t,
-                fused: fused_pairs
-                    .into_iter()
-                    .map(|(a, v)| (schema.attr_name(a).to_string(), pool.resolve(v).to_string()))
-                    .collect(),
-                f_score: if fusion_failed { 0.0 } else { best_score },
-                conflict_detected,
-                fusion_failed,
-            });
+        FusionPlan {
+            tuple_versions,
+            block_candidates,
         }
+    }
 
+    /// Fuse one tuple's data versions into its best consistent assignment
+    /// (lines 3–27 of Algorithm 2 for a single tuple).
+    pub fn fuse_tuple(&self, plan: &FusionPlan<'_>, t: TupleId) -> TupleFusion {
+        let versions = match plan.tuple_versions.get(&t) {
+            Some(v) if !v.is_empty() => v,
+            // The tuple participates in no block (no rule is relevant to
+            // it): nothing to fuse, keep it as is.
+            _ => {
+                return TupleFusion {
+                    fused: Vec::new(),
+                    f_score: 0.0,
+                    conflict_detected: false,
+                    fusion_failed: false,
+                }
+            }
+        };
+
+        let conflict_detected = versions
+            .iter()
+            .enumerate()
+            .any(|(i, a)| versions.iter().skip(i + 1).any(|b| a.conflicts_with(b)));
+
+        let (best_fusion, best_score) = self.best_fusion(versions, &plan.block_candidates);
+
+        let fusion_failed = best_fusion.is_none();
+        TupleFusion {
+            fused: best_fusion.unwrap_or_default(),
+            f_score: if fusion_failed { 0.0 } else { best_score },
+            conflict_detected,
+            fusion_failed,
+        }
+    }
+
+    /// Fuse every tuple of `dirty` using the Stage-I-cleaned `index` and
+    /// return the repaired dataset (same shape as the input) plus the record.
+    pub fn resolve(&self, dirty: &Dataset, index: &MlnIndex) -> (Dataset, FscrRecord) {
+        let mut repaired = dirty.clone();
+        let mut record = FscrRecord::default();
+        let plan = self.plan(index);
+        for t in dirty.tuple_ids() {
+            let fusion = self.fuse_tuple(&plan, t);
+            apply_tuple_fusion(&mut repaired, index.pool(), t, &fusion, &mut record);
+        }
         (repaired, record)
     }
 
@@ -299,6 +310,50 @@ impl ConflictResolver {
         }
         Some((fused, score, substitutions))
     }
+}
+
+/// Write one tuple's fusion into `repaired` in place (its cells still hold
+/// the dirty values for this tuple — each cell is read before it is
+/// overwritten, and a fusion never writes the same attribute twice) and
+/// append the provenance (cell changes + outcome) to the record.  `pool`
+/// must resolve every id of both the fusion and the tuple's dirty cells
+/// (the dataset pool, or the index's snapshot of it).
+pub(crate) fn apply_tuple_fusion(
+    repaired: &mut Dataset,
+    pool: &dataset::ValuePool,
+    t: TupleId,
+    fusion: &TupleFusion,
+    record: &mut FscrRecord,
+) {
+    for &(attr, value) in &fusion.fused {
+        // The pool is (a snapshot of) the dirty dataset's pool, so γ ids
+        // write straight into the repaired dataset.
+        let old = repaired.value_id(t, attr);
+        if old != value {
+            record.changes.push(CellChange {
+                cell: CellRef::new(t, attr),
+                old: pool.resolve(old).to_string(),
+                new: pool.resolve(value).to_string(),
+            });
+        }
+        repaired.set_value_id(t, attr, value);
+    }
+    record.outcomes.push(FusionOutcome {
+        tuple: t,
+        fused: fusion
+            .fused
+            .iter()
+            .map(|&(a, v)| {
+                (
+                    repaired.schema().attr_name(a).to_string(),
+                    pool.resolve(v).to_string(),
+                )
+            })
+            .collect(),
+        f_score: fusion.f_score,
+        conflict_detected: fusion.conflict_detected,
+        fusion_failed: fusion.fusion_failed,
+    });
 }
 
 /// Whether a γ disagrees with the attribute assignment built so far.

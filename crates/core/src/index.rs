@@ -18,9 +18,11 @@
 
 use crate::gamma::Gamma;
 use dataset::{AttrId, Dataset, TupleId, ValueId, ValuePool};
-use rules::{RuleId, RuleSet};
+use rayon::prelude::*;
+use rules::{Rule, RuleId, RuleSet};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::cmp::Ordering;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 /// A second-layer group: all γs sharing the same reason-part values within a
@@ -154,6 +156,37 @@ impl fmt::Display for IndexError {
 
 impl std::error::Error for IndexError {}
 
+/// What one [`MlnIndex::insert_tuples`] call changed, per block — the
+/// dirtiness information the incremental [`crate::CleaningSession`] uses to
+/// decide which blocks must re-run the cleaning stages.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InsertReport {
+    /// Number of dataset rows scanned by the insertion.
+    pub rows: usize,
+    /// Per block (rule order): distinct groups that gained a tuple or a γ,
+    /// or were newly created.
+    pub touched_groups: Vec<usize>,
+    /// Per block (rule order): groups newly created by the insertion.
+    pub created_groups: Vec<usize>,
+}
+
+impl InsertReport {
+    /// Whether block `i` was touched at all.
+    pub fn block_is_touched(&self, i: usize) -> bool {
+        self.touched_groups.get(i).is_some_and(|&n| n > 0)
+    }
+
+    /// Number of blocks touched by the insertion.
+    pub fn touched_block_count(&self) -> usize {
+        self.touched_groups.iter().filter(|&&n| n > 0).count()
+    }
+
+    /// Total distinct groups touched across all blocks.
+    pub fn total_touched_groups(&self) -> usize {
+        self.touched_groups.iter().sum()
+    }
+}
+
 /// The full two-layer MLN index.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MlnIndex {
@@ -164,11 +197,53 @@ pub struct MlnIndex {
     pool: ValuePool,
 }
 
+/// Compare two id vectors by their string-resolved values — the ordering the
+/// historical string-keyed index used for groups and γs, preserved so every
+/// downstream tie-break stays byte-identical.
+fn cmp_resolved(pool: &ValuePool, a: &[ValueId], b: &[ValueId]) -> Ordering {
+    let ka = a.iter().map(|&v| pool.resolve(v));
+    let kb = b.iter().map(|&v| pool.resolve(v));
+    ka.cmp(kb)
+}
+
 impl MlnIndex {
-    /// Build the index for `ds` under `rules` (lines 1–13 of Algorithm 1).
+    /// Build the index for `ds` under `rules` (lines 1–13 of Algorithm 1),
+    /// constructing the per-rule blocks in parallel.  Blocks are independent
+    /// and reassembled in rule order, so the result is byte-identical to
+    /// [`MlnIndex::build_serial`].
     pub fn build(ds: &Dataset, rules: &RuleSet) -> Result<Self, IndexError> {
-        // Validate every rule against the schema first, so later projections
-        // cannot panic.
+        Self::build_with(ds, rules, true)
+    }
+
+    /// Serial reference implementation of [`MlnIndex::build`], kept for the
+    /// parallel-equivalence tests and single-core profiling.
+    pub fn build_serial(ds: &Dataset, rules: &RuleSet) -> Result<Self, IndexError> {
+        Self::build_with(ds, rules, false)
+    }
+
+    /// Build the index, choosing the parallel or the serial per-rule-block
+    /// path (the [`crate::CleanConfig::parallel`] toggle).
+    pub fn build_with(ds: &Dataset, rules: &RuleSet, parallel: bool) -> Result<Self, IndexError> {
+        Self::validate(ds, rules)?;
+        let pool = ds.pool().clone();
+        let pairs: Vec<(RuleId, &Rule)> = rules.iter_with_ids().collect();
+        let blocks: Vec<Block> = if parallel {
+            pairs
+                .into_par_iter()
+                .map(|(rule_id, rule)| build_block(ds, &pool, rule_id, rule))
+                .collect()
+        } else {
+            pairs
+                .into_iter()
+                .map(|(rule_id, rule)| build_block(ds, &pool, rule_id, rule))
+                .collect()
+        };
+        Ok(MlnIndex { blocks, pool })
+    }
+
+    /// Check every rule against the dataset schema, so later projections
+    /// cannot panic.
+    fn validate(ds: &Dataset, rules: &RuleSet) -> Result<(), IndexError> {
         for (rule_id, rule) in rules.iter_with_ids() {
             for attr in rule.all_attrs() {
                 if ds.schema().attr_id(&attr).is_none() {
@@ -179,82 +254,91 @@ impl MlnIndex {
                 }
             }
         }
+        Ok(())
+    }
 
-        let schema = ds.schema();
-        let pool = ds.pool().clone();
-        let mut blocks = Vec::with_capacity(rules.len());
-        for (rule_id, rule) in rules.iter_with_ids() {
-            let reason_attrs: Vec<AttrId> = rule
-                .reason_attrs()
-                .iter()
-                .map(|a| schema.attr_id(a).expect("validated above"))
-                .collect();
-            let result_attrs: Vec<AttrId> = rule
-                .result_attrs()
-                .iter()
-                .map(|a| schema.attr_id(a).expect("validated above"))
-                .collect();
-
-            // group key -> (full γ key -> gamma); all keys are id vectors, so
-            // the per-tuple work is integer hashing — no string is cloned,
-            // hashed or compared while scanning the data.
-            let mut groups: HashMap<Vec<ValueId>, HashMap<Vec<ValueId>, Gamma>> = HashMap::new();
-            for t in ds.tuples() {
-                if !rule.is_relevant(schema, &t) {
-                    continue;
-                }
-                let vl = t.project_ids(&reason_attrs);
-                let vr = t.project_ids(&result_attrs);
-                let mut full_key = vl.clone();
-                full_key.extend(vr.iter().copied());
-
-                let gamma = groups
-                    .entry(vl.clone())
-                    .or_default()
-                    .entry(full_key)
-                    .or_insert_with(|| {
-                        Gamma::new(rule_id, reason_attrs.clone(), vl, result_attrs.clone(), vr)
-                    });
-                gamma.tuples.push(t.id());
-            }
-
-            // Restore the historical deterministic ordering: groups sorted by
-            // their string-resolved keys, γs within a group by their resolved
-            // full value vector (exactly the old BTreeMap-over-Vec<String>
-            // iteration order).
-            let mut groups: Vec<Group> = groups
-                .into_iter()
-                .map(|(key, gammas)| {
-                    let mut gammas: Vec<Gamma> = gammas.into_values().collect();
-                    gammas.sort_by(|a, b| {
-                        let ka = a
-                            .reason_values
-                            .iter()
-                            .chain(&a.result_values)
-                            .map(|&v| pool.resolve(v));
-                        let kb = b
-                            .reason_values
-                            .iter()
-                            .chain(&b.result_values)
-                            .map(|&v| pool.resolve(v));
-                        ka.cmp(kb)
-                    });
-                    Group { key, gammas }
-                })
-                .collect();
-            groups.sort_by(|a, b| {
-                let ka = a.key.iter().map(|&v| pool.resolve(v));
-                let kb = b.key.iter().map(|&v| pool.resolve(v));
-                ka.cmp(kb)
-            });
-            blocks.push(Block {
-                rule: rule_id,
-                reason_attrs,
-                result_attrs,
-                groups,
-            });
+    /// Incrementally insert the dataset rows `from..ds.len()` into the
+    /// existing blocks/groups.
+    ///
+    /// `self` must have been built (or incrementally grown) from exactly the
+    /// first `from` rows of `ds` under the same `rules`; the call then makes
+    /// it byte-identical to `MlnIndex::build(ds, rules)` — new γs and groups
+    /// are spliced in at their string-sorted positions, and tuple ids append
+    /// in dataset order.  The pool snapshot is refreshed from `ds`, which is
+    /// sound because [`ValuePool`] ids are append-only stable.
+    ///
+    /// Blocks are processed in parallel when `parallel` is set (byte-identical
+    /// to the serial path).  The returned [`InsertReport`] says which groups
+    /// and blocks were touched.
+    pub fn insert_tuples(
+        &mut self,
+        ds: &Dataset,
+        rules: &RuleSet,
+        from: usize,
+        parallel: bool,
+    ) -> InsertReport {
+        // A hard assert, not a debug one: a mismatched rule set would make
+        // the zip below silently drop blocks from the index in release
+        // builds.
+        assert_eq!(
+            self.blocks.len(),
+            rules.len(),
+            "insert_tuples requires the rule set the index was built from"
+        );
+        self.pool = ds.pool().clone();
+        let rows = ds.len().saturating_sub(from);
+        if rows == 0 {
+            return InsertReport {
+                rows: 0,
+                touched_groups: vec![0; self.blocks.len()],
+                created_groups: vec![0; self.blocks.len()],
+            };
         }
-        Ok(MlnIndex { blocks, pool })
+
+        let (blocks, pool) = self.split_mut();
+        let pairs: Vec<(Block, &Rule)> = std::mem::take(blocks)
+            .into_iter()
+            .zip(rules.iter_with_ids().map(|(_, rule)| rule))
+            .collect();
+        let inserted: Vec<(Block, usize, usize)> = if parallel {
+            pairs
+                .into_par_iter()
+                .map(|(mut block, rule)| {
+                    let (touched, created) =
+                        insert_range_into_block(&mut block, ds, pool, rule, from);
+                    (block, touched, created)
+                })
+                .collect()
+        } else {
+            pairs
+                .into_iter()
+                .map(|(mut block, rule)| {
+                    let (touched, created) =
+                        insert_range_into_block(&mut block, ds, pool, rule, from);
+                    (block, touched, created)
+                })
+                .collect()
+        };
+
+        let mut report = InsertReport {
+            rows,
+            touched_groups: Vec::with_capacity(inserted.len()),
+            created_groups: Vec::with_capacity(inserted.len()),
+        };
+        for (block, touched, created) in inserted {
+            blocks.push(block);
+            report.touched_groups.push(touched);
+            report.created_groups.push(created);
+        }
+        report
+    }
+
+    /// Replace the pool snapshot (the new pool must be an append-only
+    /// descendant of the old one, so every stored id keeps resolving to the
+    /// same string).
+    pub(crate) fn set_pool(&mut self, pool: ValuePool) {
+        debug_assert!(pool.len() >= self.pool.len(), "pools only ever grow");
+        self.pool = pool;
     }
 
     /// The pool snapshot every block id resolves through.
@@ -291,6 +375,159 @@ impl MlnIndex {
         let ids = ids?;
         self.block(rule).group_by_key_ids(&ids)
     }
+}
+
+/// Build one rule's block from scratch (the per-rule body of Algorithm 1,
+/// lines 1–13) — the unit of work of the parallel index construction.
+fn build_block(ds: &Dataset, pool: &ValuePool, rule_id: RuleId, rule: &Rule) -> Block {
+    let schema = ds.schema();
+    let reason_attrs: Vec<AttrId> = rule
+        .reason_attrs()
+        .iter()
+        .map(|a| {
+            schema
+                .attr_id(a)
+                .expect("rules validated against the schema")
+        })
+        .collect();
+    let result_attrs: Vec<AttrId> = rule
+        .result_attrs()
+        .iter()
+        .map(|a| {
+            schema
+                .attr_id(a)
+                .expect("rules validated against the schema")
+        })
+        .collect();
+
+    // group key -> (full γ key -> gamma); all keys are id vectors, so the
+    // per-tuple work is integer hashing — no string is cloned, hashed or
+    // compared while scanning the data.
+    let mut groups: HashMap<Vec<ValueId>, HashMap<Vec<ValueId>, Gamma>> = HashMap::new();
+    for t in ds.tuples() {
+        if !rule.is_relevant(schema, &t) {
+            continue;
+        }
+        let vl = t.project_ids(&reason_attrs);
+        let vr = t.project_ids(&result_attrs);
+        let mut full_key = vl.clone();
+        full_key.extend(vr.iter().copied());
+
+        let gamma = groups
+            .entry(vl.clone())
+            .or_default()
+            .entry(full_key)
+            .or_insert_with(|| {
+                Gamma::new(rule_id, reason_attrs.clone(), vl, result_attrs.clone(), vr)
+            });
+        gamma.tuples.push(t.id());
+    }
+
+    // Restore the historical deterministic ordering: groups sorted by their
+    // string-resolved keys, γs within a group by their resolved full value
+    // vector (exactly the old BTreeMap-over-Vec<String> iteration order).
+    let mut groups: Vec<Group> = groups
+        .into_iter()
+        .map(|(key, gammas)| {
+            let mut gammas: Vec<Gamma> = gammas.into_values().collect();
+            gammas.sort_by(|a, b| cmp_resolved_gammas(pool, a, b));
+            Group { key, gammas }
+        })
+        .collect();
+    groups.sort_by(|a, b| cmp_resolved(pool, &a.key, &b.key));
+    Block {
+        rule: rule_id,
+        reason_attrs,
+        result_attrs,
+        groups,
+    }
+}
+
+/// Compare two γs by their string-resolved full value vector (reason part
+/// then result part) — the within-group ordering of the index.
+fn cmp_resolved_gammas(pool: &ValuePool, a: &Gamma, b: &Gamma) -> Ordering {
+    let ka = a
+        .reason_values
+        .iter()
+        .chain(&a.result_values)
+        .map(|&v| pool.resolve(v));
+    let kb = b
+        .reason_values
+        .iter()
+        .chain(&b.result_values)
+        .map(|&v| pool.resolve(v));
+    ka.cmp(kb)
+}
+
+/// Insert the rows `from..ds.len()` into one block, keeping the block
+/// byte-identical to a full rebuild: new groups and γs go to their
+/// string-sorted positions, tuple ids append in dataset order.  Returns
+/// `(touched groups, created groups)`.
+fn insert_range_into_block(
+    block: &mut Block,
+    ds: &Dataset,
+    pool: &ValuePool,
+    rule: &Rule,
+    from: usize,
+) -> (usize, usize) {
+    let schema = ds.schema();
+    let mut touched: HashSet<Vec<ValueId>> = HashSet::new();
+    let mut created = 0usize;
+    for t in (from..ds.len()).map(TupleId) {
+        let tuple = ds.tuple(t);
+        if !rule.is_relevant(schema, &tuple) {
+            continue;
+        }
+        let vl = tuple.project_ids(&block.reason_attrs);
+        let vr = tuple.project_ids(&block.result_attrs);
+
+        match block
+            .groups
+            .binary_search_by(|g| cmp_resolved(pool, &g.key, &vl))
+        {
+            Ok(i) => {
+                let group = &mut block.groups[i];
+                let probe = Gamma::new(
+                    block.rule,
+                    block.reason_attrs.clone(),
+                    vl.clone(),
+                    block.result_attrs.clone(),
+                    vr,
+                );
+                match group
+                    .gammas
+                    .binary_search_by(|g| cmp_resolved_gammas(pool, g, &probe))
+                {
+                    Ok(j) => group.gammas[j].tuples.push(t),
+                    Err(j) => {
+                        let mut gamma = probe;
+                        gamma.tuples.push(t);
+                        group.gammas.insert(j, gamma);
+                    }
+                }
+            }
+            Err(i) => {
+                let mut gamma = Gamma::new(
+                    block.rule,
+                    block.reason_attrs.clone(),
+                    vl.clone(),
+                    block.result_attrs.clone(),
+                    vr,
+                );
+                gamma.tuples.push(t);
+                block.groups.insert(
+                    i,
+                    Group {
+                        key: vl.clone(),
+                        gammas: vec![gamma],
+                    },
+                );
+                created += 1;
+            }
+        }
+        touched.insert(vl);
+    }
+    (touched.len(), created)
 }
 
 #[cfg(test)]
@@ -407,6 +644,91 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn parallel_and_serial_build_are_byte_identical() {
+        let cases = [
+            sample_hospital_dataset(),
+            datagen::HaiGenerator::default()
+                .with_rows(300)
+                .with_providers(12)
+                .dirty(0.08, 0.5, 11)
+                .dirty,
+        ];
+        for (ds, rules) in [
+            (&cases[0], sample_hospital_rules()),
+            (&cases[1], datagen::HaiGenerator::rules()),
+        ] {
+            let par = MlnIndex::build(ds, &rules).unwrap();
+            let ser = MlnIndex::build_serial(ds, &rules).unwrap();
+            assert_eq!(par, ser);
+            assert_eq!(format!("{par:?}"), format!("{ser:?}"));
+        }
+    }
+
+    #[test]
+    fn incremental_insert_matches_full_build() {
+        // For every split point: build on the prefix, insert the rest, and
+        // the index must be byte-identical to a full build — serial and
+        // parallel insertion alike.
+        let ds = sample_hospital_dataset();
+        let rules = sample_hospital_rules();
+        let full = MlnIndex::build(&ds, &rules).unwrap();
+        for split in 0..=ds.len() {
+            for parallel in [false, true] {
+                let prefix = ds.project_rows(&(0..split).map(TupleId).collect::<Vec<_>>());
+                let mut index = MlnIndex::build_serial(&prefix, &rules).unwrap();
+                let report = index.insert_tuples(&ds, &rules, split, parallel);
+                assert_eq!(report.rows, ds.len() - split);
+                assert_eq!(
+                    format!("{index:?}"),
+                    format!("{full:?}"),
+                    "split {split} (parallel={parallel}) diverged from the full build"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_insert_matches_full_build_on_hai() {
+        let dirty = datagen::HaiGenerator::default()
+            .with_rows(240)
+            .with_providers(10)
+            .dirty(0.08, 0.5, 7)
+            .dirty;
+        let rules = datagen::HaiGenerator::rules();
+        let full = MlnIndex::build(&dirty, &rules).unwrap();
+        // Grow in uneven micro-batches from an empty index.
+        let empty = Dataset::new(dirty.schema().clone());
+        let mut index = MlnIndex::build(&empty, &rules).unwrap();
+        let mut at = 0usize;
+        while at < dirty.len() {
+            let upto = (at + 37).min(dirty.len());
+            let prefix = dirty.project_rows(&(0..upto).map(TupleId).collect::<Vec<_>>());
+            index.insert_tuples(&prefix, &rules, at, true);
+            at = upto;
+        }
+        assert_eq!(format!("{index:?}"), format!("{full:?}"));
+    }
+
+    #[test]
+    fn insert_report_tracks_touched_and_created_groups() {
+        let ds = sample_hospital_dataset();
+        let rules = sample_hospital_rules();
+        // Build on the first four rows, then insert the last two (t5/t6 are
+        // BOAZ duplicates of existing groups).
+        let prefix = ds.project_rows(&[TupleId(0), TupleId(1), TupleId(2), TupleId(3)]);
+        let mut index = MlnIndex::build(&prefix, &rules).unwrap();
+        let report = index.insert_tuples(&ds, &rules, 4, false);
+        assert_eq!(report.rows, 2);
+        assert_eq!(report.touched_groups.len(), rules.len());
+        assert!(report.touched_block_count() > 0);
+        assert!(report.total_touched_groups() > 0);
+        // The BOAZ rows join existing groups in block B1: nothing created
+        // there.
+        assert_eq!(report.created_groups[0], 0);
+        assert!(report.block_is_touched(0));
     }
 
     #[test]

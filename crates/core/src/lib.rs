@@ -33,7 +33,36 @@
 //! let st = dirty.schema().attr_id("ST").unwrap();
 //! assert_eq!(outcome.repaired.value(dataset::TupleId(3), st), "AL");
 //! // After deduplication only two distinct hospital entities remain.
-//! assert_eq!(outcome.deduplicated.len(), 2);
+//! assert_eq!(outcome.deduplicated().len(), 2);
+//! ```
+//!
+//! # Streaming / incremental cleaning
+//!
+//! [`MlnClean::clean`] is the one-batch special case of the incremental
+//! engine.  For micro-batch ingest, open a [`CleaningSession`] and feed it
+//! batches; every [`CleaningSession::outcome`] re-cleans only the blocks the
+//! ingests since the last call touched, yet is byte-identical to a batch run
+//! over all rows ingested so far:
+//!
+//! ```
+//! use dataset::sample_hospital_dataset;
+//! use rules::sample_hospital_rules;
+//! use mlnclean::{CleanConfig, CleaningSession};
+//!
+//! let dirty = sample_hospital_dataset();
+//! let config = CleanConfig::default().with_tau(1);
+//! let mut session =
+//!     CleaningSession::new(config, dirty.schema().clone(), sample_hospital_rules()).unwrap();
+//! // Ingest the six sample rows in micro-batches of two.
+//! for chunk in (0..dirty.len()).step_by(2) {
+//!     let rows: Vec<Vec<String>> = (chunk..(chunk + 2).min(dirty.len()))
+//!         .map(|t| dirty.tuple(dataset::TupleId(t)).owned_values())
+//!         .collect();
+//!     let report = session.ingest_batch(rows).unwrap();
+//!     assert!(report.dirty_blocks <= report.total_blocks);
+//! }
+//! let outcome = session.finish();
+//! assert_eq!(outcome.deduplicated().len(), 2);
 //! ```
 
 pub mod agp;
@@ -45,14 +74,21 @@ pub mod gamma;
 pub mod index;
 pub mod pipeline;
 pub mod rsc;
+pub mod session;
+pub mod stage;
 pub mod weights;
 
 pub use agp::{AbnormalGroupProcessor, AgpMerge, AgpRecord};
 pub use cache::{CacheStats, DistanceCache};
 pub use config::CleanConfig;
 pub use evaluation::{evaluate_agp, evaluate_fscr, evaluate_rsc, ComponentEvaluation};
-pub use fscr::{ConflictResolver, FscrRecord, FusionOutcome};
+pub use fscr::{ConflictResolver, FscrRecord, FusionOutcome, FusionPlan, TupleFusion};
 pub use gamma::Gamma;
-pub use index::{Block, Group, MlnIndex};
+pub use index::{Block, Group, InsertReport, MlnIndex};
 pub use pipeline::{CleaningError, CleaningOutcome, MlnClean, StageTimings};
 pub use rsc::{ReliabilityCleaner, RscRecord, RscRepair};
+pub use session::{BatchReport, CleaningSession, IngestError};
+pub use stage::{
+    AgpStage, DedupStage, FscrStage, PipelineStage, RscStage, StageContext, StageRecords,
+    WeightLearningStage,
+};

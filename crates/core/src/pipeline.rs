@@ -1,17 +1,23 @@
 //! The end-to-end MLNClean pipeline (Algorithm 1 of the paper):
 //! index construction → AGP → weight learning → RSC → FSCR → deduplication.
+//!
+//! [`MlnClean`] is the batch entry point.  Since the incremental engine
+//! landed it is a thin wrapper over [`crate::CleaningSession`]: one bulk
+//! ingest of the whole dataset followed by
+//! [`crate::CleaningSession::finish`] — the batch pipeline is literally the
+//! one-batch special case of the streaming one.
 
-use crate::agp::{AbnormalGroupProcessor, AgpRecord};
+use crate::agp::AgpRecord;
 use crate::config::CleanConfig;
-use crate::fscr::{ConflictResolver, FscrRecord};
+use crate::fscr::FscrRecord;
 use crate::index::{IndexError, MlnIndex};
-use crate::rsc::{ReliabilityCleaner, RscRecord};
-use crate::weights::assign_weights;
+use crate::rsc::RscRecord;
+use crate::session::CleaningSession;
 use dataset::Dataset;
 use rules::RuleSet;
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Errors that abort a cleaning run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,14 +56,16 @@ pub struct StageTimings {
     pub weight_learning: Duration,
     /// Reliability-score cleaning.
     pub rsc: Duration,
-    /// Fusion-score conflict resolution (and duplicate removal).
+    /// Fusion-score conflict resolution.
     pub fscr: Duration,
+    /// Exact-duplicate removal (zero when deduplication is disabled).
+    pub dedup: Duration,
 }
 
 impl StageTimings {
     /// Total time across all stages.
     pub fn total(&self) -> Duration {
-        self.index + self.agp + self.weight_learning + self.rsc + self.fscr
+        self.index + self.agp + self.weight_learning + self.rsc + self.fscr + self.dedup
     }
 }
 
@@ -67,9 +75,11 @@ pub struct CleaningOutcome {
     /// The repaired dataset with one row per input tuple (use this for
     /// cell-level evaluation).
     pub repaired: Dataset,
-    /// The repaired dataset after removing exact duplicates (MLNClean's final
-    /// output); equals `repaired` when deduplication is disabled.
-    pub deduplicated: Dataset,
+    /// The repaired dataset after removing exact duplicates, or `None` when
+    /// deduplication is disabled (access through
+    /// [`CleaningOutcome::deduplicated`], which falls back to `repaired`
+    /// without cloning).
+    pub(crate) deduplicated: Option<Dataset>,
     /// The MLN index in its final (post-RSC) state.
     pub index: MlnIndex,
     /// What AGP did.
@@ -80,6 +90,20 @@ pub struct CleaningOutcome {
     pub fscr: FscrRecord,
     /// Per-stage wall-clock timings.
     pub timings: StageTimings,
+}
+
+impl CleaningOutcome {
+    /// MLNClean's final output: the repaired dataset after exact-duplicate
+    /// removal.  When deduplication is disabled this is the repaired dataset
+    /// itself (no copy is made).
+    pub fn deduplicated(&self) -> &Dataset {
+        self.deduplicated.as_ref().unwrap_or(&self.repaired)
+    }
+
+    /// Consume the outcome, keeping only the final (deduplicated) dataset.
+    pub fn into_deduplicated(self) -> Dataset {
+        self.deduplicated.unwrap_or(self.repaired)
+    }
 }
 
 /// The MLNClean cleaner.
@@ -105,72 +129,23 @@ impl MlnClean {
     /// structure localizes suspicious data, and the two cleaning stages
     /// rewrite it.  The returned [`CleaningOutcome`] keeps full provenance of
     /// every decision for evaluation and debugging.
+    ///
+    /// This is the one-batch special case of the incremental engine: a
+    /// [`CleaningSession`] is opened, the whole dataset is ingested at once
+    /// (sharing its columnar storage and value pool), and
+    /// [`CleaningSession::finish`] runs every stage exactly as the
+    /// pre-session monolithic pipeline did.
     pub fn clean(
         &self,
         dirty: &Dataset,
         rules: &RuleSet,
     ) -> Result<CleaningOutcome, CleaningError> {
-        if rules.is_empty() {
-            return Err(CleaningError::NoRules);
-        }
-
-        let mut timings = StageTimings::default();
-
-        // MLN index construction (Algorithm 1, lines 1–13).
-        let start = Instant::now();
-        let mut index = MlnIndex::build(dirty, rules)?;
-        timings.index = start.elapsed();
-
-        // Stage I: abnormal group processing — the per-block hot loop, run on
-        // the rayon pool unless `config.parallel` forces the serial path …
-        let start = Instant::now();
-        let mut agp_processor = AbnormalGroupProcessor::new(self.config.tau, self.config.metric);
-        if let Some(guard) = self.config.agp_distance_guard {
-            agp_processor = agp_processor.with_distance_guard(guard);
-        }
-        let agp = if self.config.parallel {
-            agp_processor.process(&mut index)
-        } else {
-            agp_processor.process_serial(&mut index)
-        };
-        timings.agp = start.elapsed();
-
-        // … Markov weight learning (the dominant cost in the paper) …
-        let start = Instant::now();
-        assign_weights(&mut index, &self.config.learning);
-        timings.weight_learning = start.elapsed();
-
-        // … and reliability-score cleaning within each group (also per-block
-        // parallel).
-        let start = Instant::now();
-        let rsc_cleaner = ReliabilityCleaner::new(self.config.metric);
-        let rsc = if self.config.parallel {
-            rsc_cleaner.clean(&mut index)
-        } else {
-            rsc_cleaner.clean_serial(&mut index)
-        };
-        timings.rsc = start.elapsed();
-
-        // Stage II: fusion-score conflict resolution + duplicate elimination.
-        let start = Instant::now();
-        let resolver = ConflictResolver::new(self.config.max_exhaustive_fusion);
-        let (repaired, fscr) = resolver.resolve(dirty, &index);
-        let deduplicated = if self.config.deduplicate {
-            repaired.deduplicated()
-        } else {
-            repaired.clone()
-        };
-        timings.fscr = start.elapsed();
-
-        Ok(CleaningOutcome {
-            repaired,
-            deduplicated,
-            index,
-            agp,
-            rsc,
-            fscr,
-            timings,
-        })
+        let mut session =
+            CleaningSession::new(self.config.clone(), dirty.schema().clone(), rules.clone())?;
+        session
+            .ingest_dataset(dirty)
+            .expect("the session was created with this dataset's schema");
+        Ok(session.finish())
     }
 }
 
@@ -189,7 +164,7 @@ mod tests {
 
         assert_eq!(outcome.repaired, sample_hospital_truth());
         // t1/t2 collapse to one row, t3..t6 to another.
-        assert_eq!(outcome.deduplicated.len(), 2);
+        assert_eq!(outcome.deduplicated().len(), 2);
         assert_eq!(outcome.agp.detected_count(), 3);
         assert!(outcome.timings.total() > Duration::ZERO);
     }
@@ -231,7 +206,7 @@ mod tests {
         let outcome = MlnClean::new(CleanConfig::default().with_deduplicate(false))
             .clean(&dirty, &rules)
             .unwrap();
-        assert_eq!(outcome.deduplicated.len(), dirty.len());
+        assert_eq!(outcome.deduplicated().len(), dirty.len());
     }
 
     #[test]
@@ -280,8 +255,8 @@ mod tests {
             dataset::csv::to_csv(&ser.repaired)
         );
         assert_eq!(
-            dataset::csv::to_csv(&par.deduplicated),
-            dataset::csv::to_csv(&ser.deduplicated)
+            dataset::csv::to_csv(par.deduplicated()),
+            dataset::csv::to_csv(ser.deduplicated())
         );
         // Full provenance must match too: same merges, repairs and fusions in
         // the same order.

@@ -135,8 +135,10 @@ impl ReliabilityCleaner {
         record
     }
 
-    /// Clean a single block in place.
-    fn clean_block(&self, block: &mut Block, pool: &ValuePool) -> RscRecord {
+    /// Clean a single block in place.  This is the per-block unit both the
+    /// whole-index paths above and the incremental
+    /// [`crate::CleaningSession`] compose.
+    pub(crate) fn clean_block(&self, block: &mut Block, pool: &ValuePool) -> RscRecord {
         let mut record = RscRecord::default();
         let mut cache = DistanceCache::new(self.metric);
         for group in &mut block.groups {

@@ -1,0 +1,488 @@
+//! The incremental cleaning engine: a [`CleaningSession`] owns the dataset,
+//! the MLN index and all per-stage state across micro-batch ingests.
+//!
+//! The paper's Algorithm 1 is batch-only: every run rebuilds the index,
+//! re-learns every weight and re-cleans every block.  The session keeps two
+//! copies of the index instead:
+//!
+//! * a **pristine** index, incrementally maintained so it is byte-identical
+//!   to `MlnIndex::build` over all rows ingested so far, and
+//! * a **cleaned** index holding, per block, the post-AGP/weights/RSC state
+//!   of the last refresh, plus the per-block provenance records.
+//!
+//! [`CleaningSession::ingest_batch`] appends rows, splices them into the
+//! pristine blocks/groups and marks the touched blocks dirty.  Producing an
+//! [`CleaningOutcome`] then re-runs AGP → weight learning → RSC **only on
+//! dirty blocks** (from their pristine state — Stage I is per-block
+//! deterministic, so an untouched block's cached clean state is exactly what
+//! a full batch run would recompute) and re-fuses **only the tuples covered
+//! by dirty blocks** (FSCR is per-tuple deterministic given the cleaned
+//! blocks; all other tuples replay their memoised [`TupleFusion`]).  The
+//! result is byte-identical — output CSV and AGP/RSC/FSCR provenance — to a
+//! single batch run over the accumulated data, which is what
+//! [`crate::MlnClean::clean`] now is: one bulk ingest plus
+//! [`CleaningSession::finish`].
+
+use crate::agp::AgpRecord;
+use crate::fscr::{apply_tuple_fusion, ConflictResolver, FscrRecord, TupleFusion};
+use crate::index::{Block, InsertReport, MlnIndex};
+use crate::pipeline::{CleaningError, CleaningOutcome, StageTimings};
+use crate::rsc::RscRecord;
+use crate::stage::{AgpStage, RscStage, WeightLearningStage};
+use crate::CleanConfig;
+use dataset::{ArityMismatch, Dataset, Schema, TupleId};
+use rayon::prelude::*;
+use rules::RuleSet;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::Instant;
+
+/// Errors of a micro-batch ingest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngestError {
+    /// A row's arity does not match the session schema.
+    Arity(ArityMismatch),
+    /// The ingested dataset's schema differs from the session schema.
+    SchemaMismatch,
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Arity(e) => write!(f, "cannot ingest batch: {e}"),
+            IngestError::SchemaMismatch => {
+                write!(
+                    f,
+                    "cannot ingest batch: dataset schema differs from the session schema"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+impl From<ArityMismatch> for IngestError {
+    fn from(e: ArityMismatch) -> Self {
+        IngestError::Arity(e)
+    }
+}
+
+/// What one micro-batch ingest changed — the dirtiness the next re-clean
+/// will have to pay for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchReport {
+    /// 1-based ordinal of this ingest within the session.
+    pub batch: usize,
+    /// Rows in this batch.
+    pub rows: usize,
+    /// Total rows ingested so far.
+    pub total_rows: usize,
+    /// Blocks currently dirty (touched since the last re-clean, including by
+    /// this batch).
+    pub dirty_blocks: usize,
+    /// Total blocks (= rules).
+    pub total_blocks: usize,
+    /// Distinct groups touched by this batch alone.
+    pub touched_groups: usize,
+    /// Total groups across all blocks after this batch.
+    pub total_groups: usize,
+}
+
+/// Cached post-Stage-I provenance of one block.
+#[derive(Debug, Clone, Default)]
+struct BlockRecords {
+    agp: AgpRecord,
+    rsc: RscRecord,
+}
+
+/// An incremental MLNClean engine over micro-batch ingest.
+///
+/// See the [module docs](self) for the design; see
+/// [`crate::MlnClean::clean`] for the batch special case (one bulk ingest +
+/// [`CleaningSession::finish`]).
+#[derive(Debug, Clone)]
+pub struct CleaningSession {
+    config: CleanConfig,
+    rules: RuleSet,
+    dataset: Dataset,
+    /// Byte-identical to `MlnIndex::build(&self.dataset, &self.rules)`.
+    pristine: MlnIndex,
+    /// Per block: the post-AGP/weights/RSC state of the last refresh.
+    cleaned: MlnIndex,
+    block_records: Vec<BlockRecords>,
+    block_dirty: Vec<bool>,
+    /// Per tuple: the memoised FSCR fusion (`None` = must be (re)fused).
+    fusions: Vec<Option<TupleFusion>>,
+    timings: StageTimings,
+    batches: usize,
+}
+
+impl CleaningSession {
+    /// Open a session for `schema` under `rules`.
+    ///
+    /// Fails like [`crate::MlnClean::clean`] does: on an empty rule set, or
+    /// on a rule referencing an attribute the schema does not have.
+    pub fn new(config: CleanConfig, schema: Schema, rules: RuleSet) -> Result<Self, CleaningError> {
+        if rules.is_empty() {
+            return Err(CleaningError::NoRules);
+        }
+        let dataset = Dataset::new(schema);
+        let pristine = MlnIndex::build_serial(&dataset, &rules)?;
+        let cleaned = pristine.clone();
+        let blocks = pristine.block_count();
+        Ok(CleaningSession {
+            config,
+            rules,
+            dataset,
+            pristine,
+            cleaned,
+            block_records: vec![BlockRecords::default(); blocks],
+            block_dirty: vec![false; blocks],
+            fusions: Vec::new(),
+            timings: StageTimings::default(),
+            batches: 0,
+        })
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &CleanConfig {
+        &self.config
+    }
+
+    /// The rule set the session cleans against.
+    pub fn rules(&self) -> &RuleSet {
+        &self.rules
+    }
+
+    /// The accumulated (dirty) dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// Rows ingested so far.
+    pub fn len(&self) -> usize {
+        self.dataset.len()
+    }
+
+    /// Whether nothing has been ingested yet.
+    pub fn is_empty(&self) -> bool {
+        self.dataset.is_empty()
+    }
+
+    /// Number of blocks (= rules).
+    pub fn total_blocks(&self) -> usize {
+        self.pristine.block_count()
+    }
+
+    /// Blocks currently dirty (they will re-run Stage I on the next
+    /// outcome).
+    pub fn dirty_block_count(&self) -> usize {
+        self.block_dirty.iter().filter(|&&d| d).count()
+    }
+
+    /// Batches ingested so far.
+    pub fn batches(&self) -> usize {
+        self.batches
+    }
+
+    /// Cumulative per-stage wall-clock timings across all ingests and
+    /// re-cleans of this session.
+    pub fn timings(&self) -> StageTimings {
+        self.timings
+    }
+
+    /// Ingest one micro-batch of string rows.
+    ///
+    /// The batch is atomic: every row's arity is validated before any row is
+    /// appended.  The rows are appended to the dataset, spliced into the
+    /// pristine blocks/groups, and the touched blocks are marked dirty.
+    pub fn ingest_batch(&mut self, rows: Vec<Vec<String>>) -> Result<BatchReport, IngestError> {
+        let from = self.dataset.len();
+        let started = Instant::now();
+        self.dataset.extend_rows(rows)?;
+        let report =
+            self.pristine
+                .insert_tuples(&self.dataset, &self.rules, from, self.config.parallel);
+        self.timings.index += started.elapsed();
+        Ok(self.register_ingest(report))
+    }
+
+    /// Ingest a whole dataset (the batch special case).
+    ///
+    /// When the session is still empty this shares the dataset's columnar
+    /// storage and value pool outright (no re-interning) and builds the
+    /// pristine index with the bulk `MlnIndex::build_with` path; otherwise
+    /// the rows are appended via [`Dataset::extend_from`], which re-interns
+    /// each distinct value once.
+    pub fn ingest_dataset(&mut self, ds: &Dataset) -> Result<BatchReport, IngestError> {
+        if ds.schema() != self.dataset.schema() {
+            return Err(IngestError::SchemaMismatch);
+        }
+        let started = Instant::now();
+        let report = if self.dataset.is_empty() {
+            self.dataset = ds.clone();
+            self.pristine = MlnIndex::build_with(&self.dataset, &self.rules, self.config.parallel)
+                .expect("rules were validated when the session was created");
+            // A bulk build touches exactly the groups it creates.
+            let groups: Vec<usize> = self
+                .pristine
+                .blocks
+                .iter()
+                .map(|b| b.group_count())
+                .collect();
+            InsertReport {
+                rows: ds.len(),
+                touched_groups: groups.clone(),
+                created_groups: groups,
+            }
+        } else {
+            let from = self.dataset.len();
+            self.dataset
+                .extend_from(ds)
+                .map_err(|_| IngestError::SchemaMismatch)?;
+            self.pristine
+                .insert_tuples(&self.dataset, &self.rules, from, self.config.parallel)
+        };
+        self.timings.index += started.elapsed();
+        Ok(self.register_ingest(report))
+    }
+
+    /// Book-keep one ingest: grow the fusion cache, mark dirty blocks, build
+    /// the batch report.
+    fn register_ingest(&mut self, insert: InsertReport) -> BatchReport {
+        self.batches += 1;
+        self.fusions.resize(self.dataset.len(), None);
+        for (dirty, &touched) in self.block_dirty.iter_mut().zip(&insert.touched_groups) {
+            if touched > 0 {
+                *dirty = true;
+            }
+        }
+        BatchReport {
+            batch: self.batches,
+            rows: insert.rows,
+            total_rows: self.dataset.len(),
+            dirty_blocks: self.dirty_block_count(),
+            total_blocks: self.pristine.block_count(),
+            touched_groups: insert.total_touched_groups(),
+            total_groups: self.pristine.blocks.iter().map(|b| b.group_count()).sum(),
+        }
+    }
+
+    /// Re-run Stage I (AGP → weight learning → RSC) on every dirty block,
+    /// from its pristine state, and refresh the cleaned index and the
+    /// per-block provenance.  Clean blocks keep their cached state — their
+    /// pristine content is exactly what a full rebuild would produce, so the
+    /// cached cleaned state is too.
+    fn refresh(&mut self) {
+        if !self.block_dirty.iter().any(|&d| d) {
+            return;
+        }
+
+        // Tuples covered by a dirty block must be re-fused: their version
+        // set or their substitution candidates may have changed.  (Block
+        // membership only ever grows, and AGP/RSC preserve it, so pristine
+        // membership is the right over-approximation.)
+        for (block, &dirty) in self.pristine.blocks.iter().zip(&self.block_dirty) {
+            if !dirty {
+                continue;
+            }
+            for gamma in block.gammas() {
+                for &t in &gamma.tuples {
+                    self.fusions[t.index()] = None;
+                }
+            }
+        }
+
+        let dirty_idx: Vec<usize> = (0..self.block_dirty.len())
+            .filter(|&i| self.block_dirty[i])
+            .collect();
+        let config = &self.config;
+        let pristine = &self.pristine;
+        let pool = pristine.pool();
+        let parallel = self.config.parallel;
+
+        // Three wall-clock-timed passes over the dirty blocks — one per
+        // stage, parallel across blocks — so `StageTimings` keeps the same
+        // wall-time semantics as the historical whole-index pipeline (a
+        // single fused per-block pass would sum per-worker CPU time
+        // instead).
+        let work: Vec<(usize, Block)> = dirty_idx
+            .iter()
+            .map(|&i| (i, pristine.blocks[i].clone()))
+            .collect();
+
+        let started = Instant::now();
+        let run_agp = |(i, mut block): (usize, Block)| {
+            let agp = AgpStage::run_block(config, &mut block, pool);
+            (i, block, agp)
+        };
+        let work: Vec<(usize, Block, AgpRecord)> = if parallel {
+            work.into_par_iter().map(run_agp).collect()
+        } else {
+            work.into_iter().map(run_agp).collect()
+        };
+        self.timings.agp += started.elapsed();
+
+        let started = Instant::now();
+        let run_weights = |(i, mut block, agp): (usize, Block, AgpRecord)| {
+            WeightLearningStage::run_block(config, &mut block);
+            (i, block, agp)
+        };
+        let work: Vec<(usize, Block, AgpRecord)> = if parallel {
+            work.into_par_iter().map(run_weights).collect()
+        } else {
+            work.into_iter().map(run_weights).collect()
+        };
+        self.timings.weight_learning += started.elapsed();
+
+        let started = Instant::now();
+        let run_rsc = |(i, mut block, agp): (usize, Block, AgpRecord)| {
+            let rsc = RscStage::run_block(config, &mut block, pool);
+            (i, block, BlockRecords { agp, rsc })
+        };
+        let refreshed: Vec<(usize, Block, BlockRecords)> = if parallel {
+            work.into_par_iter().map(run_rsc).collect()
+        } else {
+            work.into_iter().map(run_rsc).collect()
+        };
+        self.timings.rsc += started.elapsed();
+
+        self.cleaned.set_pool(self.dataset.pool().clone());
+        for (i, block, records) in refreshed {
+            self.cleaned.blocks[i] = block;
+            self.block_records[i] = records;
+        }
+        for dirty in &mut self.block_dirty {
+            *dirty = false;
+        }
+    }
+
+    /// Make sure every tuple has a memoised fusion: refresh the dirty
+    /// blocks, then (re)fuse exactly the invalidated tuples.
+    fn ensure_fusions(&mut self) {
+        self.refresh();
+        if self.fusions.iter().all(Option::is_some) {
+            return; // nothing invalidated — skip the whole-index plan build
+        }
+        let started = Instant::now();
+        let resolver = ConflictResolver::new(self.config.max_exhaustive_fusion);
+        let plan = resolver.plan(&self.cleaned);
+        for i in 0..self.fusions.len() {
+            if self.fusions[i].is_none() {
+                self.fusions[i] = Some(resolver.fuse_tuple(&plan, TupleId(i)));
+            }
+        }
+        self.timings.fscr += started.elapsed();
+    }
+
+    /// Re-clean whatever is dirty and produce the full [`CleaningOutcome`]
+    /// over all rows ingested so far — byte-identical (output CSV and
+    /// AGP/RSC/FSCR provenance) to a single `MlnClean::clean` batch run on
+    /// the accumulated dataset.
+    ///
+    /// Can be called after every batch; only the work made necessary by the
+    /// ingests since the previous call is redone.  The outcome snapshots the
+    /// session (one dataset copy for the repairs plus one cleaned-index
+    /// copy); [`CleaningSession::finish`] moves the state out instead.
+    pub fn outcome(&mut self) -> CleaningOutcome {
+        self.ensure_fusions();
+        assemble_outcome(
+            &self.config,
+            &self.fusions,
+            &self.block_records,
+            self.dataset.clone(),
+            self.cleaned.clone(),
+            &mut self.timings,
+        )
+    }
+
+    /// Close the session, producing the final [`CleaningOutcome`].
+    ///
+    /// Unlike [`CleaningSession::outcome`] this moves the accumulated
+    /// dataset and the cleaned index into the outcome (the repairs are
+    /// applied in place), so the batch wrapper [`crate::MlnClean::clean`]
+    /// pays no extra copies over the historical monolithic pipeline.
+    pub fn finish(mut self) -> CleaningOutcome {
+        self.ensure_fusions();
+        let CleaningSession {
+            config,
+            cleaned,
+            block_records,
+            fusions,
+            dataset,
+            mut timings,
+            ..
+        } = self;
+        assemble_outcome(
+            &config,
+            &fusions,
+            &block_records,
+            dataset,
+            cleaned,
+            &mut timings,
+        )
+    }
+}
+
+/// Apply the memoised fusions to `repaired` in place, deduplicate, and
+/// assemble the [`CleaningOutcome`] — the shared tail of
+/// [`CleaningSession::outcome`] (which passes clones) and
+/// [`CleaningSession::finish`] (which passes the moved session state).
+///
+/// Every cell of `repaired` still holds its dirty value until its own fusion
+/// is applied, so in-place application reads exactly what a clone-based path
+/// would.  All resolved ids are covered by the cleaned index's pool
+/// snapshot: fused ids come from its γs, and a non-empty fusion implies the
+/// tuple's blocks went through a refresh after its ingest (which synced the
+/// snapshot).
+fn assemble_outcome(
+    config: &CleanConfig,
+    fusions: &[Option<TupleFusion>],
+    block_records: &[BlockRecords],
+    mut repaired: Dataset,
+    cleaned: MlnIndex,
+    timings: &mut StageTimings,
+) -> CleaningOutcome {
+    let started = Instant::now();
+    let mut fscr = FscrRecord::default();
+    for (i, fusion) in fusions.iter().enumerate() {
+        let fusion = fusion.as_ref().expect("ensure_fusions ran");
+        apply_tuple_fusion(&mut repaired, cleaned.pool(), TupleId(i), fusion, &mut fscr);
+    }
+    timings.fscr += started.elapsed();
+
+    let deduplicated = if config.deduplicate {
+        let started = Instant::now();
+        let deduplicated = repaired.deduplicated();
+        timings.dedup += started.elapsed();
+        Some(deduplicated)
+    } else {
+        None
+    };
+    let (agp, rsc) = collect_stage_records(block_records);
+
+    CleaningOutcome {
+        repaired,
+        deduplicated,
+        index: cleaned,
+        agp,
+        rsc,
+        fscr,
+        timings: *timings,
+    }
+}
+
+/// Concatenate the cached per-block provenance in block order — exactly the
+/// order the whole-index stage runs emit their records in.
+fn collect_stage_records(block_records: &[BlockRecords]) -> (AgpRecord, RscRecord) {
+    let mut agp = AgpRecord::default();
+    let mut rsc = RscRecord::default();
+    for records in block_records {
+        agp.merges.extend_from_slice(&records.agp.merges);
+        agp.cache.absorb(records.agp.cache);
+        rsc.repairs.extend_from_slice(&records.rsc.repairs);
+        rsc.cache.absorb(records.rsc.cache);
+    }
+    (agp, rsc)
+}

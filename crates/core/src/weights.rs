@@ -3,37 +3,47 @@
 //! prior `w⁰(γᵢ) = c(γᵢ) / Σⱼ c(γⱼ)` of Eq. 4, and the corresponding
 //! block-normalized probability `Pr(γᵢ) ∝ exp(wᵢ)` of Eq. 3.
 
-use crate::index::MlnIndex;
+use crate::index::{Block, MlnIndex};
 use mln::{learn_gamma_weights, LearningConfig};
 
 /// Learn and assign weights/probabilities for every γ of every block.
 pub fn assign_weights(index: &mut MlnIndex, config: &LearningConfig) {
     for block in &mut index.blocks {
-        // Collect the support counts of every γ in the block, in a stable
-        // (group, gamma) order.
-        let counts: Vec<usize> = block
-            .groups
-            .iter()
-            .flat_map(|g| g.gammas.iter().map(|gamma| gamma.support()))
-            .collect();
-        if counts.is_empty() {
-            continue;
-        }
-        let weights = learn_gamma_weights(&counts, config);
+        assign_block_weights(block, config);
+    }
+}
 
-        // Block-level softmax turns the weights into the probabilities of
-        // Eq. 3 (Pr(γ) ∝ exp(w)).
-        let max_w = weights.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let exps: Vec<f64> = weights.iter().map(|w| (w - max_w).exp()).collect();
-        let z: f64 = exps.iter().sum();
+/// Learn and assign weights/probabilities for every γ of one block.
+///
+/// Weights are a pure function of the block's own support counts (the
+/// softmax of Eq. 3 normalizes within the block), so re-learning a single
+/// dirty block — as the incremental [`crate::CleaningSession`] does — gives
+/// exactly the weights a whole-index pass would.
+pub fn assign_block_weights(block: &mut Block, config: &LearningConfig) {
+    // Collect the support counts of every γ in the block, in a stable
+    // (group, gamma) order.
+    let counts: Vec<usize> = block
+        .groups
+        .iter()
+        .flat_map(|g| g.gammas.iter().map(|gamma| gamma.support()))
+        .collect();
+    if counts.is_empty() {
+        return;
+    }
+    let weights = learn_gamma_weights(&counts, config);
 
-        let mut idx = 0;
-        for group in &mut block.groups {
-            for gamma in &mut group.gammas {
-                gamma.weight = weights[idx];
-                gamma.probability = exps[idx] / z;
-                idx += 1;
-            }
+    // Block-level softmax turns the weights into the probabilities of
+    // Eq. 3 (Pr(γ) ∝ exp(w)).
+    let max_w = weights.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = weights.iter().map(|w| (w - max_w).exp()).collect();
+    let z: f64 = exps.iter().sum();
+
+    let mut idx = 0;
+    for group in &mut block.groups {
+        for gamma in &mut group.gammas {
+            gamma.weight = weights[idx];
+            gamma.probability = exps[idx] / z;
+            idx += 1;
         }
     }
 }

@@ -7,7 +7,7 @@
 //! HoloClean-style co-occurrence models fragile on it (Figure 7a).
 
 use crate::make_dirty;
-use dataset::{Dataset, DirtyDataset, Schema};
+use dataset::{Dataset, DirtyDataset, Schema, TupleId};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use rules::{parse_rules, RuleSet};
@@ -134,6 +134,28 @@ impl CarGenerator {
              FD: Model, Type -> Make",
         )
         .expect("the CAR rule set is well-formed")
+    }
+
+    /// Order-preserving split of a CAR dataset into `(head, tail)` tuple
+    /// ids, where the tail is (at most) the last `tail_rows` rows whose
+    /// `Make` is not `"acura"`.
+    ///
+    /// Such tail rows are irrelevant to the `Make="acura"` CFD, so ingesting
+    /// them into an incremental cleaning session leaves the CFD block
+    /// untouched — the partial-dirtiness scenario the streaming bench and
+    /// the session-equivalence tests both probe.
+    pub fn non_acura_tail_split(ds: &Dataset, tail_rows: usize) -> (Vec<TupleId>, Vec<TupleId>) {
+        let make = ds
+            .schema()
+            .attr_id("Make")
+            .expect("a CAR dataset has a Make column");
+        let non_acura: Vec<TupleId> = ds
+            .tuple_ids()
+            .filter(|&t| ds.value(t, make) != "acura")
+            .collect();
+        let tail: Vec<TupleId> = non_acura[non_acura.len().saturating_sub(tail_rows)..].to_vec();
+        let head: Vec<TupleId> = ds.tuple_ids().filter(|t| !tail.contains(t)).collect();
+        (head, tail)
     }
 
     /// Doors for acura vehicles as a function of vehicle type — the

@@ -23,10 +23,12 @@
 
 pub mod car;
 pub mod hai;
+pub mod stream;
 pub mod tpch;
 
 pub use car::CarGenerator;
 pub use hai::HaiGenerator;
+pub use stream::{row_batches, BatchStream};
 pub use tpch::TpchGenerator;
 
 use dataset::{AttrId, Dataset, DirtyDataset, ErrorInjector, ErrorSpec};

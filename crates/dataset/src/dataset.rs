@@ -36,6 +36,18 @@ impl fmt::Display for ArityMismatch {
 
 impl std::error::Error for ArityMismatch {}
 
+/// Error returned when two datasets' schemas differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SchemaMismatch;
+
+impl fmt::Display for SchemaMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "the datasets have different schemas")
+    }
+}
+
+impl std::error::Error for SchemaMismatch {}
+
 /// An in-memory relation: schema + interned columnar cells.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Dataset {
@@ -146,6 +158,65 @@ impl Dataset {
         let id = TupleId(self.rows);
         self.rows += 1;
         Ok(id)
+    }
+
+    /// Append a batch of string rows, returning the range of assigned row
+    /// indices.  The batch is atomic: every row's arity is validated before
+    /// any row is appended, so a failed call leaves the dataset untouched.
+    pub fn extend_rows<I>(&mut self, rows: I) -> Result<std::ops::Range<usize>, ArityMismatch>
+    where
+        I: IntoIterator<Item = Vec<String>>,
+    {
+        let rows: Vec<Vec<String>> = rows.into_iter().collect();
+        let arity = self.schema.arity();
+        for row in &rows {
+            if row.len() != arity {
+                return Err(ArityMismatch {
+                    expected: arity,
+                    actual: row.len(),
+                });
+            }
+        }
+        let start = self.rows;
+        for row in rows {
+            self.push_row(row).expect("arity validated above");
+        }
+        Ok(start..self.rows)
+    }
+
+    /// Append every row of `other` (which must have the same schema),
+    /// returning the range of assigned row indices.
+    ///
+    /// This is the micro-batch ingest primitive: values are re-interned into
+    /// this dataset's pool **once per distinct id** of `other`'s pool (not
+    /// once per cell), so appending a batch that mostly repeats known values
+    /// costs one hash probe per distinct value plus one `u32` push per cell.
+    pub fn extend_from(
+        &mut self,
+        other: &Dataset,
+    ) -> Result<std::ops::Range<usize>, SchemaMismatch> {
+        if self.schema != other.schema {
+            return Err(SchemaMismatch);
+        }
+        let mut map: Vec<Option<ValueId>> = vec![None; other.pool.len()];
+        let start = self.rows;
+        let Dataset { pool, columns, .. } = self;
+        for (column, other_column) in columns.iter_mut().zip(&other.columns) {
+            column.reserve(other.rows);
+            for &id in other_column {
+                let mapped = match map[id.index()] {
+                    Some(mapped) => mapped,
+                    None => {
+                        let mapped = pool.intern(other.pool.resolve(id));
+                        map[id.index()] = Some(mapped);
+                        mapped
+                    }
+                };
+                column.push(mapped);
+            }
+        }
+        self.rows += other.rows;
+        Ok(start..self.rows)
     }
 
     /// A row view of the tuple with id `id`.
@@ -491,6 +562,59 @@ mod tests {
         b.push_row(vec!["r".into(), "s".into()]).unwrap();
         assert_ne!(a.pool(), b.pool());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn extend_rows_is_atomic_on_arity_errors() {
+        let mut ds = Dataset::new(Schema::new(&["a", "b"]));
+        ds.push_row(vec!["1".into(), "2".into()]).unwrap();
+        let err = ds
+            .extend_rows(vec![vec!["3".into(), "4".into()], vec!["5".into()]])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ArityMismatch {
+                expected: 2,
+                actual: 1
+            }
+        );
+        assert_eq!(ds.len(), 1, "a failed batch must not append anything");
+        let range = ds
+            .extend_rows(vec![
+                vec!["3".into(), "4".into()],
+                vec!["5".into(), "6".into()],
+            ])
+            .unwrap();
+        assert_eq!(range, 1..3);
+        assert_eq!(ds.value(TupleId(2), AttrId(0)), "5");
+    }
+
+    #[test]
+    fn extend_from_remaps_foreign_pool_ids() {
+        let dirty = sample_hospital_dataset();
+        // A receiving dataset whose pool assigns different ids to the same
+        // strings (values interned in a scrambled order first).
+        let mut out = Dataset::new(dirty.schema().clone());
+        out.intern("BOAZ");
+        out.intern("DOTHAN");
+        let range = out.extend_from(&dirty).unwrap();
+        assert_eq!(range, 0..dirty.len());
+        assert_eq!(out, dirty, "cell values must survive the id remap");
+        assert_ne!(out.pool(), dirty.pool());
+
+        // Appending the same batch again only pushes ids, never new strings.
+        let before = out.pool().len();
+        out.extend_from(&dirty).unwrap();
+        assert_eq!(out.pool().len(), before);
+        assert_eq!(out.len(), 2 * dirty.len());
+    }
+
+    #[test]
+    fn extend_from_rejects_different_schemas() {
+        let dirty = sample_hospital_dataset();
+        let mut out = Dataset::new(Schema::new(&["x"]));
+        assert_eq!(out.extend_from(&dirty), Err(SchemaMismatch));
+        assert!(out.is_empty());
     }
 
     #[test]

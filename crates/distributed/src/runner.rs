@@ -1,13 +1,19 @@
 //! The distributed execution driver: partition, clean every part on its own
 //! worker thread, merge weights globally, finish the parts, and gather the
 //! final clean dataset.
+//!
+//! The per-part work drives the same explicit stage objects
+//! ([`mlnclean::AgpStage`], [`mlnclean::WeightLearningStage`],
+//! [`mlnclean::RscStage`], [`mlnclean::FscrStage`]) the batch and
+//! incremental paths compose — the distributed plan merely splits Stage I
+//! around the coordinator's Eq. 6 weight merge.
 
 use crate::partition::{partition_dataset, PartitionConfig, Partitioning};
 use crate::weights::merge_weights;
 use dataset::{Dataset, TupleId};
 use mlnclean::{
-    AbnormalGroupProcessor, AgpRecord, CleanConfig, CleaningError, ConflictResolver, FscrRecord,
-    MlnIndex, ReliabilityCleaner, RscRecord,
+    AgpRecord, AgpStage, CleanConfig, CleaningError, FscrRecord, FscrStage, MlnIndex,
+    PipelineStage, RscRecord, RscStage, StageContext, StageRecords, WeightLearningStage,
 };
 use rules::RuleSet;
 use serde::{Deserialize, Serialize};
@@ -40,8 +46,10 @@ impl PhaseTimings {
 pub struct DistributedOutcome {
     /// The repaired dataset with one row per input tuple.
     pub repaired: Dataset,
-    /// The repaired dataset after global duplicate removal.
-    pub deduplicated: Dataset,
+    /// The repaired dataset after global duplicate removal, or `None` when
+    /// deduplication is disabled (access through
+    /// [`DistributedOutcome::deduplicated`]).
+    deduplicated: Option<Dataset>,
     /// How the data was partitioned.
     pub partitioning: Partitioning,
     /// Per-part AGP records.
@@ -56,6 +64,20 @@ pub struct DistributedOutcome {
     pub shared_gammas: usize,
     /// Phase timings.
     pub timings: PhaseTimings,
+}
+
+impl DistributedOutcome {
+    /// The final output: the repaired dataset after global duplicate
+    /// removal.  When deduplication is disabled this is the repaired dataset
+    /// itself (no copy is made).
+    pub fn deduplicated(&self) -> &Dataset {
+        self.deduplicated.as_ref().unwrap_or(&self.repaired)
+    }
+
+    /// Consume the outcome, keeping only the final (deduplicated) dataset.
+    pub fn into_deduplicated(self) -> Dataset {
+        self.deduplicated.unwrap_or(self.repaired)
+    }
 }
 
 /// Distributed MLNClean: the stand-alone pipeline executed over `workers`
@@ -123,7 +145,10 @@ impl DistributedMlnClean {
             .collect();
         timings.partition = start.elapsed();
 
-        // Phase A (parallel): index + AGP + local weight learning.
+        // Phase A (parallel): index + AGP + local weight learning — the same
+        // stage objects the batch pipeline composes, driven per partition.
+        // (The workers already provide one level of parallelism; the stages
+        // only nest block-level parallelism when the config asks for it.)
         let start = Instant::now();
         let phase_a: Vec<Result<(MlnIndex, AgpRecord), CleaningError>> =
             std::thread::scope(|scope| {
@@ -132,22 +157,14 @@ impl DistributedMlnClean {
                     .map(|part| {
                         let config = self.config.clone();
                         scope.spawn(move || -> Result<(MlnIndex, AgpRecord), CleaningError> {
-                            let mut index = MlnIndex::build(part, rules)?;
-                            let mut agp_processor =
-                                AbnormalGroupProcessor::new(config.tau, config.metric);
-                            if let Some(guard) = config.agp_distance_guard {
-                                agp_processor = agp_processor.with_distance_guard(guard);
-                            }
-                            // The workers already provide one level of
-                            // parallelism; only nest block-level parallelism
-                            // when the config asks for it.
-                            let agp = if config.parallel {
-                                agp_processor.process(&mut index)
-                            } else {
-                                agp_processor.process_serial(&mut index)
-                            };
-                            mlnclean::weights::assign_weights(&mut index, &config.learning);
-                            Ok((index, agp))
+                            let mut index = MlnIndex::build_with(part, rules, config.parallel)?;
+                            let mut records = StageRecords::default();
+                            let mut ctx =
+                                StageContext::new(part, &config, &mut index, &mut records);
+                            AgpStage.run(&mut ctx);
+                            WeightLearningStage.run(&mut ctx);
+                            drop(ctx);
+                            Ok((index, records.agp))
                         })
                     })
                     .collect();
@@ -170,7 +187,8 @@ impl DistributedMlnClean {
         let shared_gammas = merge_weights(&mut indices);
         timings.weight_merge = start.elapsed();
 
-        // Phase B (parallel): RSC + FSCR per part.
+        // Phase B (parallel): RSC + FSCR per part, again via the shared
+        // stage objects.
         let start = Instant::now();
         let phase_b: Vec<(Dataset, RscRecord, FscrRecord)> = std::thread::scope(|scope| {
             let handles: Vec<_> = indices
@@ -179,16 +197,12 @@ impl DistributedMlnClean {
                 .map(|(index, part)| {
                     let config = self.config.clone();
                     scope.spawn(move || {
-                        let rsc_cleaner = ReliabilityCleaner::new(config.metric);
-                        let rsc = if config.parallel {
-                            rsc_cleaner.clean(index)
-                        } else {
-                            rsc_cleaner.clean_serial(index)
-                        };
-                        let (repaired_part, fscr) =
-                            ConflictResolver::new(config.max_exhaustive_fusion)
-                                .resolve(part, index);
-                        (repaired_part, rsc, fscr)
+                        let mut records = StageRecords::default();
+                        let mut ctx = StageContext::new(part, &config, index, &mut records);
+                        RscStage.run(&mut ctx);
+                        FscrStage.run(&mut ctx);
+                        let repaired_part = ctx.repaired.take().expect("FSCR produced a repair");
+                        (repaired_part, records.rsc, records.fscr)
                     })
                 })
                 .collect();
@@ -226,11 +240,7 @@ impl DistributedMlnClean {
             rsc_records.push(rsc);
             fscr_records.push(fscr);
         }
-        let deduplicated = if self.config.deduplicate {
-            repaired.deduplicated()
-        } else {
-            repaired.clone()
-        };
+        let deduplicated = self.config.deduplicate.then(|| repaired.deduplicated());
         timings.gather = start.elapsed();
 
         Ok(DistributedOutcome {

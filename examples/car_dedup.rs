@@ -64,7 +64,7 @@ fn main() {
     println!(
         "rows before cleaning: {}, after duplicate elimination: {}",
         dirty.dirty.len(),
-        outcome.deduplicated.len()
+        outcome.deduplicated().len()
     );
     println!(
         "duplicate groups re-established by repairing the dirty cells: {}",

@@ -31,8 +31,8 @@ fn main() {
     println!("repaired data:\n{}", outcome.repaired);
     println!(
         "after duplicate elimination ({} rows):\n{}",
-        outcome.deduplicated.len(),
-        outcome.deduplicated
+        outcome.deduplicated().len(),
+        outcome.deduplicated()
     );
 
     // Show the individual decisions the pipeline took.

@@ -109,9 +109,9 @@ fn distributed_dedup_collapses_duplicates_globally() {
     // Most duplicate pairs collapse; a few may escape when their two copies
     // land in different partitions and receive different (spurious) repairs.
     assert!(
-        outcome.deduplicated.len() <= clean.len() - 20,
+        outcome.deduplicated().len() <= clean.len() - 20,
         "expected at least half of the 40 duplicates to collapse, got {} of {} rows",
-        outcome.deduplicated.len(),
+        outcome.deduplicated().len(),
         clean.len()
     );
 }

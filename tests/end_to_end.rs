@@ -167,7 +167,7 @@ fn cleaning_is_deterministic() {
         .clean(&dirty.dirty, &rules)
         .unwrap();
     assert_eq!(a.repaired, b.repaired);
-    assert_eq!(a.deduplicated, b.deduplicated);
+    assert_eq!(a.deduplicated(), b.deduplicated());
 }
 
 #[test]

@@ -75,7 +75,7 @@ fn render(case: &Case, parallel: bool) -> (String, String, String) {
     );
     (
         csv::to_csv(&outcome.repaired),
-        csv::to_csv(&outcome.deduplicated),
+        csv::to_csv(outcome.deduplicated()),
         eval,
     )
 }

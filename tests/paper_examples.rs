@@ -84,7 +84,7 @@ fn full_pipeline_reproduces_the_running_example() {
     // The final output equals the ground truth and deduplicates to the two
     // real-world entities of the example (the ALABAMA hospital and ELIZA).
     assert_eq!(outcome.repaired, sample_hospital_truth());
-    assert_eq!(outcome.deduplicated.len(), 2);
+    assert_eq!(outcome.deduplicated().len(), 2);
 }
 
 #[test]

@@ -1,0 +1,246 @@
+//! Incremental-vs-batch equivalence: cleaning N micro-batches through
+//! `CleaningSession` must yield **byte-identical** repaired/deduplicated CSV
+//! and identical AGP/RSC/FSCR provenance to one `MlnClean::clean` batch run
+//! over the same rows — in both the serial and the parallel Stage-I
+//! configuration, and regardless of how often intermediate outcomes are
+//! drawn.
+
+use dataset::{csv, Dataset, TupleId};
+use mlnclean::{CleanConfig, CleaningError, CleaningOutcome, CleaningSession, MlnClean};
+use rules::RuleSet;
+
+/// Byte-level comparison of two outcomes: output CSVs plus full provenance.
+fn assert_outcomes_identical(label: &str, incremental: &CleaningOutcome, batch: &CleaningOutcome) {
+    assert_eq!(
+        csv::to_csv(&incremental.repaired),
+        csv::to_csv(&batch.repaired),
+        "{label}: repaired CSV diverged"
+    );
+    assert_eq!(
+        csv::to_csv(incremental.deduplicated()),
+        csv::to_csv(batch.deduplicated()),
+        "{label}: deduplicated CSV diverged"
+    );
+    assert_eq!(
+        incremental.agp, batch.agp,
+        "{label}: AGP provenance diverged"
+    );
+    assert_eq!(
+        incremental.rsc, batch.rsc,
+        "{label}: RSC provenance diverged"
+    );
+    assert_eq!(
+        incremental.fscr, batch.fscr,
+        "{label}: FSCR provenance diverged"
+    );
+}
+
+/// Ingest `ds` into a fresh session in micro-batches of `batch_rows`,
+/// optionally drawing an intermediate outcome after every batch (which
+/// exercises the re-clean + fusion-cache reuse paths), and return the final
+/// outcome.
+fn stream_clean(
+    ds: &Dataset,
+    rules: &RuleSet,
+    config: CleanConfig,
+    batch_rows: usize,
+    outcome_per_batch: bool,
+) -> Result<CleaningOutcome, CleaningError> {
+    let mut session = CleaningSession::new(config, ds.schema().clone(), rules.clone())?;
+    for batch in datagen::BatchStream::new(ds, batch_rows) {
+        let report = session.ingest_batch(batch).expect("rows match the schema");
+        assert!(report.dirty_blocks <= report.total_blocks);
+        assert!(report.touched_groups <= report.total_groups);
+        if outcome_per_batch {
+            let _ = session.outcome();
+        }
+    }
+    Ok(session.finish())
+}
+
+#[test]
+fn hospital_sample_micro_batches_match_batch_run() {
+    let dirty = dataset::sample_hospital_dataset();
+    let rules = rules::sample_hospital_rules();
+    for parallel in [false, true] {
+        let config = CleanConfig::default().with_tau(1).with_parallel(parallel);
+        let batch = MlnClean::new(config.clone()).clean(&dirty, &rules).unwrap();
+        for batch_rows in [1, 2, 3, 4, 6] {
+            for per_batch in [false, true] {
+                let incremental =
+                    stream_clean(&dirty, &rules, config.clone(), batch_rows, per_batch).unwrap();
+                assert_outcomes_identical(
+                    &format!(
+                        "hospital (parallel={parallel}, batch={batch_rows}, per_batch={per_batch})"
+                    ),
+                    &incremental,
+                    &batch,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn seeded_hai_micro_batches_match_batch_run() {
+    let dirty = datagen::HaiGenerator::default()
+        .with_rows(320)
+        .with_providers(12)
+        .dirty(0.06, 0.5, 13)
+        .dirty;
+    let rules = datagen::HaiGenerator::rules();
+    for parallel in [false, true] {
+        let config = CleanConfig::default()
+            .with_tau(2)
+            .with_agp_distance_guard(0.15)
+            .with_parallel(parallel);
+        let batch = MlnClean::new(config.clone()).clean(&dirty, &rules).unwrap();
+        // Uneven micro-batches, with intermediate re-cleans so cached fusions
+        // and cleaned blocks get reused and invalidated across batches.
+        let incremental = stream_clean(&dirty, &rules, config.clone(), 47, true).unwrap();
+        assert_outcomes_identical(&format!("hai (parallel={parallel})"), &incremental, &batch);
+    }
+}
+
+#[test]
+fn seeded_car_micro_batches_match_batch_run() {
+    // CAR carries the CFD (`Make="acura"`), so some batches leave the CFD
+    // block untouched — the partial-dirtiness path.
+    let dirty = datagen::CarGenerator::default()
+        .with_rows(400)
+        .dirty(0.05, 0.5, 3)
+        .dirty;
+    let rules = datagen::CarGenerator::rules();
+    let config = CleanConfig::default()
+        .with_tau(1)
+        .with_agp_distance_guard(0.15);
+    let batch = MlnClean::new(config.clone()).clean(&dirty, &rules).unwrap();
+    let incremental = stream_clean(&dirty, &rules, config, 61, true).unwrap();
+    assert_outcomes_identical("car", &incremental, &batch);
+}
+
+#[test]
+fn bulk_ingest_then_micro_batches_match_batch_run() {
+    // The mixed path: one bulk `ingest_dataset` (the MlnClean special case)
+    // followed by incremental tail batches.
+    let dirty = datagen::HaiGenerator::default()
+        .with_rows(260)
+        .with_providers(10)
+        .dirty(0.06, 0.5, 29)
+        .dirty;
+    let rules = datagen::HaiGenerator::rules();
+    let config = CleanConfig::default().with_tau(2);
+
+    let head_ids: Vec<TupleId> = (0..200).map(TupleId).collect();
+    let head = dirty.project_rows(&head_ids);
+
+    let mut session =
+        CleaningSession::new(config.clone(), dirty.schema().clone(), rules.clone()).unwrap();
+    session.ingest_dataset(&head).unwrap();
+    let _ = session.outcome();
+    let tail: Vec<Vec<String>> = (200..dirty.len())
+        .map(|t| dirty.tuple(TupleId(t)).owned_values())
+        .collect();
+    let report = session.ingest_batch(tail).unwrap();
+    assert_eq!(report.total_rows, dirty.len());
+    let incremental = session.finish();
+
+    let batch = MlnClean::new(config).clean(&dirty, &rules).unwrap();
+    assert_outcomes_identical("bulk+tail", &incremental, &batch);
+}
+
+#[test]
+fn dirty_block_tracking_skips_untouched_cfd_block() {
+    // On CAR, a tail batch of non-acura rows must leave the CFD block clean:
+    // dirty blocks < total blocks, while the output stays byte-identical to
+    // a full batch run.
+    let dirty = datagen::CarGenerator::default()
+        .with_rows(400)
+        .dirty(0.05, 0.5, 3)
+        .dirty;
+    let rules = datagen::CarGenerator::rules();
+    let config = CleanConfig::default().with_tau(1);
+
+    // Order-preserving split: head = everything except the last few
+    // non-acura rows, tail = those rows.
+    let (head, tail) = datagen::CarGenerator::non_acura_tail_split(&dirty, 10);
+    assert!(
+        !tail.is_empty(),
+        "the CAR sample must contain non-acura rows"
+    );
+
+    let mut session =
+        CleaningSession::new(config.clone(), dirty.schema().clone(), rules.clone()).unwrap();
+    session.ingest_dataset(&dirty.project_rows(&head)).unwrap();
+    let _ = session.outcome();
+    assert_eq!(session.dirty_block_count(), 0);
+
+    let tail_rows: Vec<Vec<String>> = tail
+        .iter()
+        .map(|&t| dirty.tuple(t).owned_values())
+        .collect();
+    let report = session.ingest_batch(tail_rows).unwrap();
+    assert!(
+        report.dirty_blocks < report.total_blocks,
+        "the CFD block must stay clean: {report:?}"
+    );
+    assert_eq!(report.dirty_blocks, 1, "only the FD block is touched");
+
+    // Still byte-identical to a batch run over head ++ tail.
+    let reordered = dirty.project_rows(
+        &head
+            .iter()
+            .chain(tail.iter())
+            .copied()
+            .collect::<Vec<TupleId>>(),
+    );
+    let batch = MlnClean::new(config).clean(&reordered, &rules).unwrap();
+    assert_outcomes_identical("car tail", &session.finish(), &batch);
+}
+
+#[test]
+fn session_rejects_bad_input() {
+    let dirty = dataset::sample_hospital_dataset();
+    let rules = rules::sample_hospital_rules();
+
+    // Empty rule set.
+    let err = CleaningSession::new(
+        CleanConfig::default(),
+        dirty.schema().clone(),
+        RuleSet::default(),
+    )
+    .unwrap_err();
+    assert_eq!(err, CleaningError::NoRules);
+
+    // Rule referencing an unknown attribute.
+    let err = CleaningSession::new(
+        CleanConfig::default(),
+        dirty.schema().clone(),
+        rules::parse_rules("FD: nope -> ST").unwrap(),
+    )
+    .unwrap_err();
+    assert!(matches!(err, CleaningError::Index(_)));
+
+    // Arity mismatch is atomic: nothing is ingested.
+    let mut session =
+        CleaningSession::new(CleanConfig::default(), dirty.schema().clone(), rules).unwrap();
+    let err = session
+        .ingest_batch(vec![vec!["only-one-value".to_string()]])
+        .unwrap_err();
+    assert!(matches!(err, mlnclean::IngestError::Arity(_)));
+    assert!(session.is_empty());
+    assert_eq!(session.batches(), 0);
+}
+
+#[test]
+fn outcome_on_an_empty_session_is_empty() {
+    let dirty = dataset::sample_hospital_dataset();
+    let rules = rules::sample_hospital_rules();
+    let mut session =
+        CleaningSession::new(CleanConfig::default(), dirty.schema().clone(), rules).unwrap();
+    let outcome = session.outcome();
+    assert!(outcome.repaired.is_empty());
+    assert!(outcome.deduplicated().is_empty());
+    assert!(outcome.agp.merges.is_empty());
+    assert!(outcome.fscr.outcomes.is_empty());
+}
