@@ -66,10 +66,12 @@ pub fn run(scale: Scale) -> Vec<(String, String)> {
     cache.absorb(outcome.rsc.cache);
 
     // Streaming scenarios: the same HAI workload ingested in 8 micro-batches,
-    // plus the CAR incremental re-clean probe (dirty blocks < total blocks).
+    // the CAR incremental re-clean probe (dirty blocks < total blocks), and
+    // the typed-mutation probe (delete + re-update a CAR tail).
     let stream = run_hai_stream(&dirty.dirty, &workload, &outcome, wall);
     let reclean = run_incremental_reclean(scale);
-    let streaming = render_streaming(&stream, &reclean);
+    let mutation = run_mutation_probe(scale);
+    let streaming = render_streaming(&stream, &reclean, &mutation);
 
     let json = format!(
         concat!(
@@ -176,7 +178,7 @@ struct StreamProbe {
 fn run_hai_stream(
     dirty: &dataset::Dataset,
     workload: &Workload,
-    one_shot: &mlnclean::CleaningOutcome,
+    one_shot: &mlnclean::Report,
     one_shot_wall: Duration,
 ) -> StreamProbe {
     let rules = workload.rules();
@@ -292,9 +294,119 @@ fn run_incremental_reclean(scale: Scale) -> RecleanProbe {
     }
 }
 
+/// The typed-mutation probe: after a bulk ingest + clean of the CAR
+/// workload, a change set deletes a few non-acura tail rows and re-updates a
+/// few cells of others.  The CFD block (`Make="acura"`) stays clean — dirty
+/// blocks < total blocks — and the incremental re-clean is measured against
+/// a full batch re-run over the net surviving rows (which it must match byte
+/// for byte).
+struct MutationProbe {
+    rows: usize,
+    deleted_rows: usize,
+    updated_cells: usize,
+    dirty_blocks: usize,
+    total_blocks: usize,
+    incremental: Duration,
+    full: Duration,
+    matches_full: bool,
+}
+
+fn run_mutation_probe(scale: Scale) -> MutationProbe {
+    use dataset::TupleId;
+    use mlnclean::ChangeSet;
+
+    let workload = Workload::Car;
+    let dirty = workload.dirty(scale, 0.05, 0.5, 1).dirty;
+    let rules = workload.rules();
+    let config = workload.clean_config();
+
+    // Put the non-acura rows at the tail so the mutations below address them
+    // with stable ids; the CFD block must stay clean throughout.
+    let (head, tail) = datagen::CarGenerator::non_acura_tail_split(&dirty, 12);
+    let ordered: Vec<TupleId> = head.iter().chain(tail.iter()).copied().collect();
+    let feed = dirty.project_rows(&ordered);
+    let model_attr = dirty.schema().attr_id("Model").unwrap();
+
+    // The change set: delete the last 4 rows, re-update the Model cell of
+    // the 4 before them to a value guaranteed to differ (so every update is
+    // a real overwrite, not a no-op the session skips).  The first non-acura
+    // row sits at index head.len() in the reordered feed (`tail` ids are in
+    // the pre-reorder numbering).
+    let total = feed.len();
+    let donor = feed.value(TupleId(head.len()), model_attr).to_string();
+    let mut changes = ChangeSet::new();
+    let mut deletes = 0usize;
+    for _ in 0..4.min(tail.len()) {
+        changes = changes.delete(TupleId(total - 1 - deletes));
+        deletes += 1;
+    }
+    let survivors = total - deletes;
+    for i in 0..4.min(survivors) {
+        let t = TupleId(survivors - 1 - i);
+        // Deletes only shear off rows above `t`, so `feed` still holds t's
+        // current value.
+        let v = if feed.value(t, model_attr) == donor {
+            format!("{donor}-corrected")
+        } else {
+            donor.clone()
+        };
+        changes = changes.update(t, model_attr, v);
+    }
+
+    // Three repetitions, best (minimum) wall-time of each side.
+    let mut incremental = Duration::MAX;
+    let mut full = Duration::MAX;
+    let mut deleted_rows = 0;
+    let mut updated_cells = 0;
+    let mut dirty_blocks = 0;
+    let mut total_blocks = 0;
+    let mut matches_full = true;
+    for _ in 0..3 {
+        let mut session =
+            CleaningSession::new(config.clone(), feed.schema().clone(), rules.clone())
+                .expect("the CAR rules match the CAR schema");
+        session.ingest_dataset(&feed).expect("same schema");
+        let _ = session.outcome();
+
+        let batch = changes.clone();
+        let started = Instant::now();
+        let report = session.apply(batch).expect("mutations are in bounds");
+        let incremental_outcome = session.outcome();
+        incremental = incremental.min(started.elapsed());
+        deleted_rows = report.deleted_rows;
+        updated_cells = report.updated_cells;
+        dirty_blocks = report.dirty_blocks;
+        total_blocks = report.total_blocks;
+
+        // The full batch re-run over the net surviving rows.
+        let started = Instant::now();
+        let full_outcome = MlnClean::new(config.clone())
+            .clean(session.dataset(), &rules)
+            .expect("the CAR workload cleans");
+        full = full.min(started.elapsed());
+        matches_full &=
+            csv::to_csv(&incremental_outcome.repaired) == csv::to_csv(&full_outcome.repaired);
+    }
+
+    MutationProbe {
+        rows: total,
+        deleted_rows,
+        updated_cells,
+        dirty_blocks,
+        total_blocks,
+        incremental,
+        full,
+        matches_full,
+    }
+}
+
 /// Render the streaming section of `BENCH_smoke.json` (the value of the
 /// `"streaming"` key, indented to nest under the top-level object).
-fn render_streaming(stream: &StreamProbe, reclean: &RecleanProbe) -> String {
+fn render_streaming(
+    stream: &StreamProbe,
+    reclean: &RecleanProbe,
+    mutation: &MutationProbe,
+) -> String {
     let per_batch: String = stream
         .per_batch
         .iter()
@@ -315,6 +427,8 @@ fn render_streaming(stream: &StreamProbe, reclean: &RecleanProbe) -> String {
     // Clamp the denominator so the ratio stays finite (bare `inf` would make
     // the JSON unparseable) even on a coarse monotonic clock.
     let speedup = reclean.full.as_secs_f64() / reclean.incremental.as_secs_f64().max(1e-9);
+    let mutation_speedup =
+        mutation.full.as_secs_f64() / mutation.incremental.as_secs_f64().max(1e-9);
     format!(
         concat!(
             "{{\n",
@@ -337,6 +451,18 @@ fn render_streaming(stream: &StreamProbe, reclean: &RecleanProbe) -> String {
             "      \"full_reclean_seconds\": {full:.6},\n",
             "      \"speedup\": {speedup:.3},\n",
             "      \"matches_full_reclean\": {matches_full}\n",
+            "    }},\n",
+            "    \"mutation\": {{\n",
+            "      \"workload\": \"CAR\",\n",
+            "      \"rows\": {mutation_rows},\n",
+            "      \"deleted_rows\": {mutation_deleted},\n",
+            "      \"updated_cells\": {mutation_updated},\n",
+            "      \"dirty_blocks\": {mutation_dirty},\n",
+            "      \"total_blocks\": {mutation_total},\n",
+            "      \"incremental_seconds\": {mutation_incremental:.6},\n",
+            "      \"full_reclean_seconds\": {mutation_full:.6},\n",
+            "      \"speedup\": {mutation_speedup:.3},\n",
+            "      \"matches_full_reclean\": {mutation_matches}\n",
             "    }}\n",
             "  }}",
         ),
@@ -353,6 +479,15 @@ fn render_streaming(stream: &StreamProbe, reclean: &RecleanProbe) -> String {
         full = reclean.full.as_secs_f64(),
         speedup = speedup,
         matches_full = reclean.matches_full,
+        mutation_rows = mutation.rows,
+        mutation_deleted = mutation.deleted_rows,
+        mutation_updated = mutation.updated_cells,
+        mutation_dirty = mutation.dirty_blocks,
+        mutation_total = mutation.total_blocks,
+        mutation_incremental = mutation.incremental.as_secs_f64(),
+        mutation_full = mutation.full.as_secs_f64(),
+        mutation_speedup = mutation_speedup,
+        mutation_matches = mutation.matches_full,
     )
 }
 
@@ -379,8 +514,12 @@ mod tests {
         assert!(json.contains("\"streaming\""));
         assert!(json.contains("\"hai_stream\""));
         assert!(json.contains("\"incremental_reclean\""));
+        assert!(json.contains("\"mutation\""));
+        assert!(json.contains("\"deleted_rows\""));
+        assert!(json.contains("\"updated_cells\""));
         assert!(json.contains("\"final_matches_one_shot\": true"));
         assert!(json.contains("\"matches_full_reclean\": true"));
+        assert!(!json.contains("\"matches_full_reclean\": false"));
         // Crude structural sanity: balanced braces, no trailing comma issues.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
@@ -399,6 +538,23 @@ mod tests {
         assert!(
             probe.matches_full,
             "incremental re-clean must match the batch re-run"
+        );
+    }
+
+    #[test]
+    fn mutation_probe_skips_the_untouched_cfd_block() {
+        let probe = run_mutation_probe(Scale::Tiny);
+        assert!(probe.deleted_rows > 0 && probe.updated_cells > 0);
+        assert!(
+            probe.dirty_blocks < probe.total_blocks,
+            "non-acura deletes/updates must leave the CFD block clean \
+             ({}/{} dirty)",
+            probe.dirty_blocks,
+            probe.total_blocks
+        );
+        assert!(
+            probe.matches_full,
+            "mutated session must match a batch clean of the net rows"
         );
     }
 }

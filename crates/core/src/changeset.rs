@@ -1,0 +1,156 @@
+//! Typed mutation streams: the one ingest vocabulary of the incremental
+//! engine.
+//!
+//! A [`ChangeSet`] is an ordered list of [`Mutation`]s — row insertions, cell
+//! updates and row deletions — applied atomically by
+//! [`crate::CleaningSession::apply`].  Mutations execute **in order**, and
+//! tuple ids are interpreted against the session state *at the point of the
+//! sequence where the mutation applies*: a `Delete(t)` shifts every later row
+//! down by one, so a subsequent mutation naming `TupleId(t)` addresses the
+//! row that followed the deleted one.  This is exactly the numbering a batch
+//! rebuild over the surviving rows would assign, which is what makes the
+//! session byte-identical to a one-shot clean of the net data.
+
+use dataset::{AttrId, TupleId};
+use serde::{Deserialize, Serialize};
+
+/// One typed mutation of the session's data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Mutation {
+    /// Append a batch of string rows (each row in schema order).
+    Insert(Vec<Vec<String>>),
+    /// Overwrite one cell of an existing tuple with a new string value.
+    Update(TupleId, AttrId, String),
+    /// Remove one tuple; all later tuple ids shift down by one.
+    Delete(TupleId),
+}
+
+/// An ordered, atomically-applied sequence of [`Mutation`]s.
+///
+/// Build one with the fluent methods and hand it to
+/// [`crate::CleaningSession::apply`]:
+///
+/// ```
+/// use dataset::{AttrId, TupleId};
+/// use mlnclean::ChangeSet;
+///
+/// let changes = ChangeSet::new()
+///     .insert(vec![vec!["ELIZA".into(), "BOAZ".into()]])
+///     .update(TupleId(0), AttrId(1), "DOTHAN")
+///     .delete(TupleId(0));
+/// assert_eq!(changes.len(), 3);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ChangeSet {
+    mutations: Vec<Mutation>,
+}
+
+impl ChangeSet {
+    /// An empty change set.
+    pub fn new() -> Self {
+        ChangeSet::default()
+    }
+
+    /// A change set holding one batch insertion — the shape
+    /// [`crate::CleaningSession::ingest_batch`] desugars to.
+    pub fn inserting(rows: Vec<Vec<String>>) -> Self {
+        ChangeSet::new().insert(rows)
+    }
+
+    /// Append a batch insertion.
+    pub fn insert(mut self, rows: Vec<Vec<String>>) -> Self {
+        self.mutations.push(Mutation::Insert(rows));
+        self
+    }
+
+    /// Append a single-row insertion.
+    pub fn insert_row(self, row: Vec<String>) -> Self {
+        self.insert(vec![row])
+    }
+
+    /// Append a cell update.
+    pub fn update(mut self, tuple: TupleId, attr: AttrId, value: impl Into<String>) -> Self {
+        self.mutations
+            .push(Mutation::Update(tuple, attr, value.into()));
+        self
+    }
+
+    /// Append a row deletion.
+    pub fn delete(mut self, tuple: TupleId) -> Self {
+        self.mutations.push(Mutation::Delete(tuple));
+        self
+    }
+
+    /// Append an arbitrary mutation.
+    pub fn push(&mut self, mutation: Mutation) {
+        self.mutations.push(mutation);
+    }
+
+    /// Number of mutations.
+    pub fn len(&self) -> usize {
+        self.mutations.len()
+    }
+
+    /// Whether the change set holds no mutations.
+    pub fn is_empty(&self) -> bool {
+        self.mutations.is_empty()
+    }
+
+    /// Iterate over the mutations in application order.
+    pub fn iter(&self) -> impl Iterator<Item = &Mutation> {
+        self.mutations.iter()
+    }
+
+    /// Consume the change set into its mutations.
+    pub fn into_mutations(self) -> Vec<Mutation> {
+        self.mutations
+    }
+}
+
+impl FromIterator<Mutation> for ChangeSet {
+    fn from_iter<I: IntoIterator<Item = Mutation>>(iter: I) -> Self {
+        ChangeSet {
+            mutations: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl IntoIterator for ChangeSet {
+    type Item = Mutation;
+    type IntoIter = std::vec::IntoIter<Mutation>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.mutations.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fluent_construction_preserves_order() {
+        let cs = ChangeSet::new()
+            .insert_row(vec!["a".into()])
+            .update(TupleId(0), AttrId(0), "b")
+            .delete(TupleId(0));
+        let kinds: Vec<&'static str> = cs
+            .iter()
+            .map(|m| match m {
+                Mutation::Insert(_) => "insert",
+                Mutation::Update(..) => "update",
+                Mutation::Delete(_) => "delete",
+            })
+            .collect();
+        assert_eq!(kinds, vec!["insert", "update", "delete"]);
+        assert!(!cs.is_empty());
+        assert_eq!(cs.into_mutations().len(), 3);
+    }
+
+    #[test]
+    fn inserting_is_one_insert_mutation() {
+        let cs = ChangeSet::inserting(vec![vec!["x".into()], vec!["y".into()]]);
+        assert_eq!(cs.len(), 1);
+        assert!(matches!(cs.iter().next(), Some(Mutation::Insert(rows)) if rows.len() == 2));
+    }
+}

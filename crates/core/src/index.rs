@@ -187,6 +187,32 @@ impl InsertReport {
     }
 }
 
+/// What one [`MlnIndex::remove_tuples`] call changed, per block — the
+/// mirror image of [`InsertReport`] for deletions.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RemoveReport {
+    /// Number of tuples removed from the index.
+    pub rows: usize,
+    /// Per block (rule order): distinct groups that lost a tuple, a γ, or
+    /// were dropped entirely.
+    pub touched_groups: Vec<usize>,
+    /// Per block (rule order): groups dropped because the removal emptied
+    /// them.
+    pub removed_groups: Vec<usize>,
+}
+
+impl RemoveReport {
+    /// Whether block `i` was touched at all.
+    pub fn block_is_touched(&self, i: usize) -> bool {
+        self.touched_groups.get(i).is_some_and(|&n| n > 0)
+    }
+
+    /// Number of blocks touched by the removal.
+    pub fn touched_block_count(&self) -> usize {
+        self.touched_groups.iter().filter(|&&n| n > 0).count()
+    }
+}
+
 /// The full two-layer MLN index.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MlnIndex {
@@ -285,7 +311,9 @@ impl MlnIndex {
             rules.len(),
             "insert_tuples requires the rule set the index was built from"
         );
-        self.pool = ds.pool().clone();
+        if ds.pool().len() != self.pool.len() {
+            self.set_pool(ds.pool().clone());
+        }
         let rows = ds.len().saturating_sub(from);
         if rows == 0 {
             return InsertReport {
@@ -331,6 +359,147 @@ impl MlnIndex {
             report.created_groups.push(created);
         }
         report
+    }
+
+    /// Incrementally remove tuples from the blocks/groups — the splice-out
+    /// mirror of [`MlnIndex::insert_tuples`].
+    ///
+    /// `ds` must be the dataset the index was built from **still containing**
+    /// the rows (the caller compacts the dataset afterwards); `ids` are
+    /// interpreted against that pre-removal numbering.  After the call the
+    /// index is byte-identical to `MlnIndex::build` over the surviving rows
+    /// (with their post-compaction ids): each tuple is spliced out of its
+    /// sorted γ position, γs and groups emptied by the removal are dropped,
+    /// and every surviving id greater than a removed one shifts down.
+    ///
+    /// Blocks are processed in parallel when `parallel` is set
+    /// (byte-identical to the serial path).  The returned [`RemoveReport`]
+    /// says which groups and blocks were touched.
+    pub fn remove_tuples(
+        &mut self,
+        ds: &Dataset,
+        rules: &RuleSet,
+        ids: &[TupleId],
+        parallel: bool,
+    ) -> RemoveReport {
+        assert_eq!(
+            self.blocks.len(),
+            rules.len(),
+            "remove_tuples requires the rule set the index was built from"
+        );
+        let mut removed: Vec<usize> = ids.iter().map(|t| t.0).collect();
+        removed.sort_unstable();
+        removed.dedup();
+        if removed.is_empty() {
+            return RemoveReport {
+                rows: 0,
+                touched_groups: vec![0; self.blocks.len()],
+                removed_groups: vec![0; self.blocks.len()],
+            };
+        }
+        assert!(
+            *removed.last().expect("non-empty") < ds.len(),
+            "remove_tuples with an out-of-range tuple id"
+        );
+
+        let (blocks, pool) = self.split_mut();
+        let removed = &removed;
+        let pairs: Vec<(Block, &Rule)> = std::mem::take(blocks)
+            .into_iter()
+            .zip(rules.iter_with_ids().map(|(_, rule)| rule))
+            .collect();
+        let run = |(mut block, rule): (Block, &Rule)| {
+            let (touched, dropped) = remove_ids_from_block(&mut block, ds, pool, rule, removed);
+            remap_block_after_removal(&mut block, removed);
+            (block, touched, dropped)
+        };
+        let spliced: Vec<(Block, usize, usize)> = if parallel {
+            pairs.into_par_iter().map(run).collect()
+        } else {
+            pairs.into_iter().map(run).collect()
+        };
+
+        let mut report = RemoveReport {
+            rows: removed.len(),
+            touched_groups: Vec::with_capacity(spliced.len()),
+            removed_groups: Vec::with_capacity(spliced.len()),
+        };
+        for (block, touched, dropped) in spliced {
+            blocks.push(block);
+            report.touched_groups.push(touched);
+            report.removed_groups.push(dropped);
+        }
+        report
+    }
+
+    /// Incrementally re-home one tuple after a cell update.
+    ///
+    /// `ds` must already hold the **new** value; `old_row` is the tuple's
+    /// full pre-update id row (schema order, resolving in `ds`'s pool, whose
+    /// interned values are append-only).  For every block whose membership
+    /// or projection changed, the tuple is spliced out of its old γ position
+    /// and into its new one (both string-sorted, so the block stays
+    /// byte-identical to a rebuild over the updated dataset).  Blocks whose
+    /// rule does not see the change are untouched.
+    ///
+    /// Returns the number of distinct groups touched per block (0 =
+    /// untouched).
+    pub fn update_tuple(
+        &mut self,
+        ds: &Dataset,
+        rules: &RuleSet,
+        t: TupleId,
+        old_row: &[ValueId],
+        parallel: bool,
+    ) -> Vec<usize> {
+        assert_eq!(
+            self.blocks.len(),
+            rules.len(),
+            "update_tuple requires the rule set the index was built from"
+        );
+        // The update may have interned a brand-new value; pools are
+        // append-only, so a length check spots that without cloning on the
+        // (common) all-values-known path.
+        if ds.pool().len() != self.pool.len() {
+            self.set_pool(ds.pool().clone());
+        }
+        let (blocks, pool) = self.split_mut();
+        let pairs: Vec<(Block, &Rule)> = std::mem::take(blocks)
+            .into_iter()
+            .zip(rules.iter_with_ids().map(|(_, rule)| rule))
+            .collect();
+        let run = |(mut block, rule): (Block, &Rule)| {
+            let touched = rehome_tuple_in_block(&mut block, ds, pool, rule, t, old_row);
+            (block, touched)
+        };
+        let rehomed: Vec<(Block, usize)> = if parallel {
+            pairs.into_par_iter().map(run).collect()
+        } else {
+            pairs.into_iter().map(run).collect()
+        };
+        let mut touched_groups = Vec::with_capacity(rehomed.len());
+        for (block, touched) in rehomed {
+            blocks.push(block);
+            touched_groups.push(touched);
+        }
+        touched_groups
+    }
+
+    /// Splice removed tuple ids out of every γ tuple list and shift the
+    /// surviving ids down, **without** restructuring groups or γs.
+    ///
+    /// This keeps cached post-Stage-I block state (where AGP may have merged
+    /// groups and RSC rewritten γs) consistent after a dataset compaction:
+    /// blocks the removal never touched only need the id shift, and blocks
+    /// it did touch are about to be re-cleaned from pristine state anyway.
+    /// `removed` must be sorted, deduplicated pre-removal row indices.
+    pub(crate) fn remap_removed(&mut self, removed: &[usize]) {
+        if removed.is_empty() {
+            return;
+        }
+        for block in &mut self.blocks {
+            remap_block_after_removal(block, removed);
+        }
     }
 
     /// Replace the pool snapshot (the new pool must be an append-only
@@ -528,6 +697,177 @@ fn insert_range_into_block(
         touched.insert(vl);
     }
     (touched.len(), created)
+}
+
+/// Splice the (sorted, deduplicated, pre-removal) row indices `removed` out
+/// of one block: each removed tuple leaves its γ, and γs/groups emptied by
+/// the removal are dropped — exactly what a rebuild over the survivors would
+/// omit.  Ids are NOT shifted here (see [`remap_block_after_removal`]).
+/// Returns `(touched groups, dropped groups)`.
+fn remove_ids_from_block(
+    block: &mut Block,
+    ds: &Dataset,
+    pool: &ValuePool,
+    rule: &Rule,
+    removed: &[usize],
+) -> (usize, usize) {
+    let schema = ds.schema();
+    let mut touched: HashSet<Vec<ValueId>> = HashSet::new();
+    let mut dropped = 0usize;
+    for &r in removed {
+        let t = TupleId(r);
+        let tuple = ds.tuple(t);
+        if !rule.is_relevant(schema, &tuple) {
+            continue;
+        }
+        let vl = tuple.project_ids(&block.reason_attrs);
+        let vr = tuple.project_ids(&block.result_attrs);
+        let i = block
+            .groups
+            .binary_search_by(|g| cmp_resolved(pool, &g.key, &vl))
+            .expect("removed tuple's group is in the index");
+        let group = &mut block.groups[i];
+        let probe = Gamma::new(
+            block.rule,
+            block.reason_attrs.clone(),
+            vl.clone(),
+            block.result_attrs.clone(),
+            vr,
+        );
+        let j = group
+            .gammas
+            .binary_search_by(|g| cmp_resolved_gammas(pool, g, &probe))
+            .expect("removed tuple's γ is in the index");
+        let gamma = &mut group.gammas[j];
+        let k = gamma
+            .tuples
+            .binary_search(&t)
+            .expect("removed tuple id is in its γ");
+        gamma.tuples.remove(k);
+        if gamma.tuples.is_empty() {
+            group.gammas.remove(j);
+        }
+        if group.gammas.is_empty() {
+            block.groups.remove(i);
+            dropped += 1;
+        }
+        touched.insert(vl);
+    }
+    (touched.len(), dropped)
+}
+
+/// Shift every γ tuple id down by the number of (sorted, deduplicated)
+/// `removed` indices below it, dropping exact matches — the id-space
+/// compaction that follows a dataset row removal.
+fn remap_block_after_removal(block: &mut Block, removed: &[usize]) {
+    for group in &mut block.groups {
+        for gamma in &mut group.gammas {
+            dataset::remap_ids_after_removal(&mut gamma.tuples, removed);
+        }
+    }
+}
+
+/// Move tuple `t` from its pre-update γ to its post-update γ within one
+/// block, splicing both ends at their string-sorted positions.  Returns the
+/// number of distinct groups touched (0 when the rule cannot see the
+/// update).
+fn rehome_tuple_in_block(
+    block: &mut Block,
+    ds: &Dataset,
+    pool: &ValuePool,
+    rule: &Rule,
+    t: TupleId,
+    old_row: &[ValueId],
+) -> usize {
+    let schema = ds.schema();
+    let tuple = ds.tuple(t);
+    let old_relevant = rule.is_relevant_ids(schema, pool, old_row);
+    let new_relevant = rule.is_relevant(schema, &tuple);
+    let project_old =
+        |attrs: &[AttrId]| -> Vec<ValueId> { attrs.iter().map(|a| old_row[a.index()]).collect() };
+    let old_vl = project_old(&block.reason_attrs);
+    let old_vr = project_old(&block.result_attrs);
+    let new_vl = tuple.project_ids(&block.reason_attrs);
+    let new_vr = tuple.project_ids(&block.result_attrs);
+    if old_relevant == new_relevant && (!old_relevant || (old_vl == new_vl && old_vr == new_vr)) {
+        return 0; // the rule cannot tell the old and new rows apart
+    }
+
+    let mut touched: HashSet<Vec<ValueId>> = HashSet::new();
+    if old_relevant {
+        let i = block
+            .groups
+            .binary_search_by(|g| cmp_resolved(pool, &g.key, &old_vl))
+            .expect("updated tuple's old group is in the index");
+        let group = &mut block.groups[i];
+        let probe = Gamma::new(
+            block.rule,
+            block.reason_attrs.clone(),
+            old_vl.clone(),
+            block.result_attrs.clone(),
+            old_vr,
+        );
+        let j = group
+            .gammas
+            .binary_search_by(|g| cmp_resolved_gammas(pool, g, &probe))
+            .expect("updated tuple's old γ is in the index");
+        let gamma = &mut group.gammas[j];
+        let k = gamma
+            .tuples
+            .binary_search(&t)
+            .expect("updated tuple id is in its old γ");
+        gamma.tuples.remove(k);
+        if gamma.tuples.is_empty() {
+            group.gammas.remove(j);
+        }
+        if group.gammas.is_empty() {
+            block.groups.remove(i);
+        }
+        touched.insert(old_vl);
+    }
+    if new_relevant {
+        let mut gamma = Gamma::new(
+            block.rule,
+            block.reason_attrs.clone(),
+            new_vl.clone(),
+            block.result_attrs.clone(),
+            new_vr,
+        );
+        match block
+            .groups
+            .binary_search_by(|g| cmp_resolved(pool, &g.key, &new_vl))
+        {
+            Ok(i) => {
+                let group = &mut block.groups[i];
+                match group
+                    .gammas
+                    .binary_search_by(|g| cmp_resolved_gammas(pool, g, &gamma))
+                {
+                    Ok(j) => {
+                        let tuples = &mut group.gammas[j].tuples;
+                        let k = tuples.binary_search(&t).unwrap_err();
+                        tuples.insert(k, t);
+                    }
+                    Err(j) => {
+                        gamma.tuples.push(t);
+                        group.gammas.insert(j, gamma);
+                    }
+                }
+            }
+            Err(i) => {
+                gamma.tuples.push(t);
+                block.groups.insert(
+                    i,
+                    Group {
+                        key: new_vl.clone(),
+                        gammas: vec![gamma],
+                    },
+                );
+            }
+        }
+        touched.insert(new_vl);
+    }
+    touched.len()
 }
 
 #[cfg(test)]
@@ -729,6 +1069,115 @@ mod tests {
         // there.
         assert_eq!(report.created_groups[0], 0);
         assert!(report.block_is_touched(0));
+    }
+
+    #[test]
+    fn incremental_remove_matches_rebuild_on_survivors() {
+        // For every subset size: remove a spread of tuples and compare with a
+        // fresh build over the surviving rows (sharing the pool snapshot so
+        // ids are directly comparable) — serial and parallel alike.
+        let ds = sample_hospital_dataset();
+        let rules = sample_hospital_rules();
+        let cases: Vec<Vec<TupleId>> = vec![
+            vec![TupleId(0)],
+            vec![TupleId(5)],
+            vec![TupleId(2), TupleId(4)],
+            vec![TupleId(1), TupleId(2), TupleId(3)],
+            (0..ds.len()).map(TupleId).collect(),
+        ];
+        for removed in cases {
+            for parallel in [false, true] {
+                let mut index = MlnIndex::build(&ds, &rules).unwrap();
+                let report = index.remove_tuples(&ds, &rules, &removed, parallel);
+                assert_eq!(report.rows, removed.len());
+                let survivors: Vec<TupleId> =
+                    ds.tuple_ids().filter(|t| !removed.contains(t)).collect();
+                let rebuilt = MlnIndex::build_serial(&ds.project_rows(&survivors), &rules).unwrap();
+                assert_eq!(
+                    format!("{index:?}"),
+                    format!("{rebuilt:?}"),
+                    "removing {removed:?} (parallel={parallel}) diverged from a rebuild"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn remove_report_counts_touched_and_dropped_groups() {
+        let ds = sample_hospital_dataset();
+        let rules = sample_hospital_rules();
+        let mut index = MlnIndex::build(&ds, &rules).unwrap();
+        // t2 is the only DOTH tuple: its B1 group disappears entirely.
+        let report = index.remove_tuples(&ds, &rules, &[TupleId(1)], false);
+        assert_eq!(report.rows, 1);
+        assert!(report.block_is_touched(0));
+        assert!(report.touched_block_count() >= 1);
+        assert!(report.removed_groups[0] >= 1, "the DOTH group must drop");
+        // Removing nothing is a no-op.
+        let untouched = index.clone();
+        let report = index.remove_tuples(&ds, &rules, &[], true);
+        assert_eq!(report.rows, 0);
+        assert_eq!(format!("{index:?}"), format!("{untouched:?}"));
+    }
+
+    #[test]
+    fn incremental_update_matches_rebuild_on_updated_data() {
+        // Rewrite single cells (including ones that flip CFD relevance and
+        // ones no rule can see) and compare with a fresh build over the
+        // updated dataset.
+        let ds = sample_hospital_dataset();
+        let rules = sample_hospital_rules();
+        let schema = ds.schema().clone();
+        let cases: Vec<(usize, &str, &str)> = vec![
+            (3, "ST", "AL"),      // the paper's t4 repair
+            (1, "CT", "DOTHAN"),  // heals the typo group
+            (2, "HN", "ALABAMA"), // flips t3 out of the CFD block
+            (0, "HN", "ELIZA"),   // flips t1 into the CFD block
+            (4, "PN", "999"),     // brand-new value, new γ
+            (5, "ST", "AL"),      // no-op update (same value)
+        ];
+        for (row, attr, value) in cases {
+            for parallel in [false, true] {
+                let mut updated = ds.clone();
+                let mut index = MlnIndex::build(&ds, &rules).unwrap();
+                let t = TupleId(row);
+                let a = schema.attr_id(attr).unwrap();
+                let old_row = updated.row_ids(t);
+                updated.set_value(t, a, value);
+                let touched = index.update_tuple(&updated, &rules, t, &old_row, parallel);
+                let rebuilt = MlnIndex::build_serial(&updated, &rules).unwrap();
+                assert_eq!(
+                    format!("{index:?}"),
+                    format!("{rebuilt:?}"),
+                    "updating t{row}.{attr}={value} (parallel={parallel}) diverged from a rebuild"
+                );
+                if updated.value(t, a) == ds.value(t, a) {
+                    assert!(
+                        touched.iter().all(|&n| n == 0),
+                        "no-op update must not touch"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn update_leaves_unrelated_blocks_untouched() {
+        // An update to an attribute only rule r1 (CT -> ST) can see must not
+        // touch the DC or CFD blocks... unless relevance flips.  Updating ST
+        // touches B1 (result part) and B2 (result part) but never B3.
+        let ds = sample_hospital_dataset();
+        let rules = sample_hospital_rules();
+        let mut updated = ds.clone();
+        let mut index = MlnIndex::build(&ds, &rules).unwrap();
+        let t = TupleId(3);
+        let st = ds.schema().attr_id("ST").unwrap();
+        let old_row = updated.row_ids(t);
+        updated.set_value(t, st, "AL");
+        let touched = index.update_tuple(&updated, &rules, t, &old_row, false);
+        assert!(touched[0] > 0, "B1's result part changed");
+        assert!(touched[1] > 0, "B2's result part changed");
+        assert_eq!(touched[2], 0, "B3 (HN,CT => PN) cannot see ST");
     }
 
     #[test]

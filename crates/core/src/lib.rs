@@ -39,15 +39,16 @@
 //! # Streaming / incremental cleaning
 //!
 //! [`MlnClean::clean`] is the one-batch special case of the incremental
-//! engine.  For micro-batch ingest, open a [`CleaningSession`] and feed it
-//! batches; every [`CleaningSession::outcome`] re-cleans only the blocks the
-//! ingests since the last call touched, yet is byte-identical to a batch run
-//! over all rows ingested so far:
+//! engine.  For live data, open a [`CleaningSession`] and feed it typed
+//! [`ChangeSet`]s — inserts, cell updates and row deletions; every
+//! [`CleaningSession::outcome`] re-cleans only the blocks the mutations
+//! since the last call touched, yet is byte-identical to a batch run over
+//! the net surviving rows:
 //!
 //! ```
-//! use dataset::sample_hospital_dataset;
+//! use dataset::{sample_hospital_dataset, TupleId};
 //! use rules::sample_hospital_rules;
-//! use mlnclean::{CleanConfig, CleaningSession};
+//! use mlnclean::{ChangeSet, CleanConfig, CleaningSession};
 //!
 //! let dirty = sample_hospital_dataset();
 //! let config = CleanConfig::default().with_tau(1);
@@ -56,18 +57,36 @@
 //! // Ingest the six sample rows in micro-batches of two.
 //! for chunk in (0..dirty.len()).step_by(2) {
 //!     let rows: Vec<Vec<String>> = (chunk..(chunk + 2).min(dirty.len()))
-//!         .map(|t| dirty.tuple(dataset::TupleId(t)).owned_values())
+//!         .map(|t| dirty.tuple(TupleId(t)).owned_values())
 //!         .collect();
-//!     let report = session.ingest_batch(rows).unwrap();
+//!     let report = session.apply(ChangeSet::inserting(rows)).unwrap();
 //!     assert!(report.dirty_blocks <= report.total_blocks);
 //! }
+//! // A later change set can mix kinds: fix a cell, drop a row.
+//! let st = dirty.schema().attr_id("ST").unwrap();
+//! session
+//!     .apply(ChangeSet::new().update(TupleId(3), st, "AL").delete(TupleId(5)))
+//!     .unwrap();
 //! let outcome = session.finish();
 //! assert_eq!(outcome.deduplicated().len(), 2);
 //! ```
+//!
+//! # Engines
+//!
+//! The batch pipeline, the incremental session and the distributed runner
+//! are three execution plans for the same computation.  The [`Engine`] trait
+//! is their shared front door: `run(&Dataset, &RuleSet) -> Result<Report,
+//! CleanError>`, with one [`Report`] (repaired/deduplicated data + merged
+//! [`Timings`]) and one [`CleanError`] across all drivers.
+
+#![deny(missing_docs)]
 
 pub mod agp;
 pub mod cache;
+pub mod changeset;
 pub mod config;
+pub mod engine;
+pub mod error;
 pub mod evaluation;
 pub mod fscr;
 pub mod gamma;
@@ -80,15 +99,24 @@ pub mod weights;
 
 pub use agp::{AbnormalGroupProcessor, AgpMerge, AgpRecord};
 pub use cache::{CacheStats, DistanceCache};
+pub use changeset::{ChangeSet, Mutation};
 pub use config::CleanConfig;
+pub use engine::{Engine, IncrementalMlnClean, PartitionReport, Report, Timings};
+pub use error::CleanError;
 pub use evaluation::{evaluate_agp, evaluate_fscr, evaluate_rsc, ComponentEvaluation};
 pub use fscr::{ConflictResolver, FscrRecord, FusionOutcome, FusionPlan, TupleFusion};
 pub use gamma::Gamma;
-pub use index::{Block, Group, InsertReport, MlnIndex};
-pub use pipeline::{CleaningError, CleaningOutcome, MlnClean, StageTimings};
+pub use index::{Block, Group, InsertReport, MlnIndex, RemoveReport};
+pub use pipeline::MlnClean;
 pub use rsc::{ReliabilityCleaner, RscRecord, RscRepair};
-pub use session::{BatchReport, CleaningSession, IngestError};
+pub use session::{BatchReport, CleaningSession};
 pub use stage::{
     AgpStage, DedupStage, FscrStage, PipelineStage, RscStage, StageContext, StageRecords,
     WeightLearningStage,
 };
+
+// Deprecated shims for the historical per-driver vocabulary.
+#[allow(deprecated)]
+pub use pipeline::{CleaningError, CleaningOutcome, StageTimings};
+#[allow(deprecated)]
+pub use session::IngestError;

@@ -1,112 +1,37 @@
-//! The end-to-end MLNClean pipeline (Algorithm 1 of the paper):
+//! The batch driver of the MLNClean pipeline (Algorithm 1 of the paper):
 //! index construction → AGP → weight learning → RSC → FSCR → deduplication.
 //!
-//! [`MlnClean`] is the batch entry point.  Since the incremental engine
-//! landed it is a thin wrapper over [`crate::CleaningSession`]: one bulk
-//! ingest of the whole dataset followed by
+//! [`MlnClean`] is the one-shot batch [`Engine`].  Since the incremental
+//! engine landed it is a thin wrapper over [`crate::CleaningSession`]: one
+//! bulk ingest of the whole dataset followed by
 //! [`crate::CleaningSession::finish`] — the batch pipeline is literally the
 //! one-batch special case of the streaming one.
+//!
+//! This module also carries the `#[deprecated]` shims for the historical
+//! per-driver vocabulary (`CleaningError`, `CleaningOutcome`,
+//! `StageTimings`), all of which collapsed into [`CleanError`], [`Report`]
+//! and [`Timings`].
 
-use crate::agp::AgpRecord;
 use crate::config::CleanConfig;
-use crate::fscr::FscrRecord;
-use crate::index::{IndexError, MlnIndex};
-use crate::rsc::RscRecord;
+use crate::engine::{Engine, Report, Timings};
+use crate::error::CleanError;
 use crate::session::CleaningSession;
 use dataset::Dataset;
 use rules::RuleSet;
-use serde::{Deserialize, Serialize};
-use std::fmt;
-use std::time::Duration;
 
-/// Errors that abort a cleaning run.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum CleaningError {
-    /// The rule set does not match the dataset schema.
-    Index(IndexError),
-    /// The rule set is empty — there is nothing to clean against.
-    NoRules,
-}
+/// Historical name of the batch/driver error enum.
+#[deprecated(note = "the per-driver error enums merged into `CleanError`")]
+pub type CleaningError = CleanError;
 
-impl fmt::Display for CleaningError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            CleaningError::Index(e) => write!(f, "cannot build the MLN index: {e}"),
-            CleaningError::NoRules => write!(f, "the rule set is empty"),
-        }
-    }
-}
+/// Historical name of the batch outcome type.
+#[deprecated(note = "the per-driver outcome types merged into `Report`")]
+pub type CleaningOutcome = Report;
 
-impl std::error::Error for CleaningError {}
+/// Historical name of the single-node stage timings.
+#[deprecated(note = "`StageTimings` and `PhaseTimings` merged into `Timings`")]
+pub type StageTimings = Timings;
 
-impl From<IndexError> for CleaningError {
-    fn from(e: IndexError) -> Self {
-        CleaningError::Index(e)
-    }
-}
-
-/// Wall-clock timings of each pipeline stage.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
-pub struct StageTimings {
-    /// MLN index construction.
-    pub index: Duration,
-    /// Abnormal group processing.
-    pub agp: Duration,
-    /// MLN weight learning.
-    pub weight_learning: Duration,
-    /// Reliability-score cleaning.
-    pub rsc: Duration,
-    /// Fusion-score conflict resolution.
-    pub fscr: Duration,
-    /// Exact-duplicate removal (zero when deduplication is disabled).
-    pub dedup: Duration,
-}
-
-impl StageTimings {
-    /// Total time across all stages.
-    pub fn total(&self) -> Duration {
-        self.index + self.agp + self.weight_learning + self.rsc + self.fscr + self.dedup
-    }
-}
-
-/// The result of a cleaning run.
-#[derive(Debug, Clone)]
-pub struct CleaningOutcome {
-    /// The repaired dataset with one row per input tuple (use this for
-    /// cell-level evaluation).
-    pub repaired: Dataset,
-    /// The repaired dataset after removing exact duplicates, or `None` when
-    /// deduplication is disabled (access through
-    /// [`CleaningOutcome::deduplicated`], which falls back to `repaired`
-    /// without cloning).
-    pub(crate) deduplicated: Option<Dataset>,
-    /// The MLN index in its final (post-RSC) state.
-    pub index: MlnIndex,
-    /// What AGP did.
-    pub agp: AgpRecord,
-    /// What RSC did.
-    pub rsc: RscRecord,
-    /// What FSCR did.
-    pub fscr: FscrRecord,
-    /// Per-stage wall-clock timings.
-    pub timings: StageTimings,
-}
-
-impl CleaningOutcome {
-    /// MLNClean's final output: the repaired dataset after exact-duplicate
-    /// removal.  When deduplication is disabled this is the repaired dataset
-    /// itself (no copy is made).
-    pub fn deduplicated(&self) -> &Dataset {
-        self.deduplicated.as_ref().unwrap_or(&self.repaired)
-    }
-
-    /// Consume the outcome, keeping only the final (deduplicated) dataset.
-    pub fn into_deduplicated(self) -> Dataset {
-        self.deduplicated.unwrap_or(self.repaired)
-    }
-}
-
-/// The MLNClean cleaner.
+/// The MLNClean batch cleaner — the one-shot [`Engine`].
 #[derive(Debug, Clone, Default)]
 pub struct MlnClean {
     config: CleanConfig,
@@ -127,25 +52,29 @@ impl MlnClean {
     ///
     /// Both error detection and error repair happen here: the index/group
     /// structure localizes suspicious data, and the two cleaning stages
-    /// rewrite it.  The returned [`CleaningOutcome`] keeps full provenance of
-    /// every decision for evaluation and debugging.
+    /// rewrite it.  The returned [`Report`] keeps full provenance of every
+    /// decision for evaluation and debugging.
     ///
     /// This is the one-batch special case of the incremental engine: a
     /// [`CleaningSession`] is opened, the whole dataset is ingested at once
     /// (sharing its columnar storage and value pool), and
     /// [`CleaningSession::finish`] runs every stage exactly as the
     /// pre-session monolithic pipeline did.
-    pub fn clean(
-        &self,
-        dirty: &Dataset,
-        rules: &RuleSet,
-    ) -> Result<CleaningOutcome, CleaningError> {
+    pub fn clean(&self, dirty: &Dataset, rules: &RuleSet) -> Result<Report, CleanError> {
         let mut session =
             CleaningSession::new(self.config.clone(), dirty.schema().clone(), rules.clone())?;
-        session
-            .ingest_dataset(dirty)
-            .expect("the session was created with this dataset's schema");
+        session.ingest_dataset(dirty)?;
         Ok(session.finish())
+    }
+}
+
+impl Engine for MlnClean {
+    fn name(&self) -> &'static str {
+        "batch"
+    }
+
+    fn run(&self, dirty: &Dataset, rules: &RuleSet) -> Result<Report, CleanError> {
+        self.clean(dirty, rules)
     }
 }
 
@@ -154,6 +83,7 @@ mod tests {
     use super::*;
     use dataset::{sample_hospital_dataset, sample_hospital_truth, RepairEvaluation, TupleId};
     use rules::sample_hospital_rules;
+    use std::time::Duration;
 
     #[test]
     fn end_to_end_on_the_paper_sample() {
@@ -167,6 +97,9 @@ mod tests {
         assert_eq!(outcome.deduplicated().len(), 2);
         assert_eq!(outcome.agp.detected_count(), 3);
         assert!(outcome.timings.total() > Duration::ZERO);
+        // Single-node runs carry the final index and no partition report.
+        assert!(outcome.index.is_some());
+        assert!(outcome.partitions.is_none());
     }
 
     #[test]
@@ -188,7 +121,7 @@ mod tests {
         let err = MlnClean::default()
             .clean(&dirty, &RuleSet::default())
             .unwrap_err();
-        assert_eq!(err, CleaningError::NoRules);
+        assert_eq!(err, CleanError::NoRules);
     }
 
     #[test]
@@ -196,7 +129,24 @@ mod tests {
         let dirty = sample_hospital_dataset();
         let rules = rules::parse_rules("FD: nope -> ST").unwrap();
         let err = MlnClean::default().clean(&dirty, &rules).unwrap_err();
-        assert!(matches!(err, CleaningError::Index(_)));
+        assert!(matches!(err, CleanError::Index(_)));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_aliases_still_name_the_unified_types() {
+        // Downstream code written against the historical vocabulary keeps
+        // compiling for one release.
+        let err: CleaningError = CleanError::NoRules;
+        assert_eq!(err, CleanError::NoRules);
+        let t: StageTimings = Timings::default();
+        assert_eq!(t.total(), Duration::ZERO);
+        fn takes_outcome(_o: &CleaningOutcome) {}
+        let dirty = sample_hospital_dataset();
+        let outcome = MlnClean::new(CleanConfig::default())
+            .clean(&dirty, &sample_hospital_rules())
+            .unwrap();
+        takes_outcome(&outcome);
     }
 
     #[test]

@@ -6,27 +6,35 @@
 //! copies of the index instead:
 //!
 //! * a **pristine** index, incrementally maintained so it is byte-identical
-//!   to `MlnIndex::build` over all rows ingested so far, and
+//!   to `MlnIndex::build` over the net rows ingested so far, and
 //! * a **cleaned** index holding, per block, the post-AGP/weights/RSC state
 //!   of the last refresh, plus the per-block provenance records.
 //!
-//! [`CleaningSession::ingest_batch`] appends rows, splices them into the
-//! pristine blocks/groups and marks the touched blocks dirty.  Producing an
-//! [`CleaningOutcome`] then re-runs AGP → weight learning → RSC **only on
-//! dirty blocks** (from their pristine state — Stage I is per-block
-//! deterministic, so an untouched block's cached clean state is exactly what
-//! a full batch run would recompute) and re-fuses **only the tuples covered
-//! by dirty blocks** (FSCR is per-tuple deterministic given the cleaned
-//! blocks; all other tuples replay their memoised [`TupleFusion`]).  The
-//! result is byte-identical — output CSV and AGP/RSC/FSCR provenance — to a
-//! single batch run over the accumulated data, which is what
+//! [`CleaningSession::apply`] is the one ingest path: it consumes a typed
+//! [`ChangeSet`] of [`Mutation`]s — inserts, cell updates and row deletions —
+//! splices each into the pristine blocks/groups
+//! ([`MlnIndex::insert_tuples`], [`MlnIndex::update_tuple`],
+//! [`MlnIndex::remove_tuples`]) and marks the touched blocks dirty.
+//! Deletions compact the dataset (later tuple ids shift down by one), and the
+//! session remaps its cached cleaned index and per-block provenance in step,
+//! so untouched blocks keep serving their cached state.  Producing a
+//! [`Report`] then re-runs AGP → weight learning → RSC **only on dirty
+//! blocks** (from their pristine state — Stage I is per-block deterministic,
+//! so an untouched block's cached clean state is exactly what a full batch
+//! run would recompute) and re-fuses **only the tuples covered by dirty
+//! blocks** (FSCR is per-tuple deterministic given the cleaned blocks; all
+//! other tuples replay their memoised [`TupleFusion`]).  The result is
+//! byte-identical — output CSV and AGP/RSC/FSCR provenance — to a single
+//! batch run over the **net surviving rows**, which is what
 //! [`crate::MlnClean::clean`] now is: one bulk ingest plus
 //! [`CleaningSession::finish`].
 
 use crate::agp::AgpRecord;
+use crate::changeset::{ChangeSet, Mutation};
+use crate::engine::{Report, Timings};
+use crate::error::CleanError;
 use crate::fscr::{apply_tuple_fusion, ConflictResolver, FscrRecord, TupleFusion};
 use crate::index::{Block, InsertReport, MlnIndex};
-use crate::pipeline::{CleaningError, CleaningOutcome, StageTimings};
 use crate::rsc::RscRecord;
 use crate::stage::{AgpStage, RscStage, WeightLearningStage};
 use crate::CleanConfig;
@@ -34,58 +42,35 @@ use dataset::{ArityMismatch, Dataset, Schema, TupleId};
 use rayon::prelude::*;
 use rules::RuleSet;
 use serde::{Deserialize, Serialize};
-use std::fmt;
 use std::time::Instant;
 
-/// Errors of a micro-batch ingest.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum IngestError {
-    /// A row's arity does not match the session schema.
-    Arity(ArityMismatch),
-    /// The ingested dataset's schema differs from the session schema.
-    SchemaMismatch,
-}
+/// Historical name of the session ingest error enum.
+#[deprecated(note = "the per-driver error enums merged into `CleanError`")]
+pub type IngestError = CleanError;
 
-impl fmt::Display for IngestError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            IngestError::Arity(e) => write!(f, "cannot ingest batch: {e}"),
-            IngestError::SchemaMismatch => {
-                write!(
-                    f,
-                    "cannot ingest batch: dataset schema differs from the session schema"
-                )
-            }
-        }
-    }
-}
-
-impl std::error::Error for IngestError {}
-
-impl From<ArityMismatch> for IngestError {
-    fn from(e: ArityMismatch) -> Self {
-        IngestError::Arity(e)
-    }
-}
-
-/// What one micro-batch ingest changed — the dirtiness the next re-clean
-/// will have to pay for.
+/// What one [`CleaningSession::apply`] call changed — the dirtiness the next
+/// re-clean will have to pay for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BatchReport {
-    /// 1-based ordinal of this ingest within the session.
+    /// 1-based ordinal of this change set within the session.
     pub batch: usize,
-    /// Rows in this batch.
+    /// Rows inserted by this change set.
     pub rows: usize,
-    /// Total rows ingested so far.
+    /// Cells overwritten by `Update` mutations in this change set.
+    pub updated_cells: usize,
+    /// Rows removed by `Delete` mutations in this change set.
+    pub deleted_rows: usize,
+    /// Net rows held by the session after this change set.
     pub total_rows: usize,
     /// Blocks currently dirty (touched since the last re-clean, including by
-    /// this batch).
+    /// this change set).
     pub dirty_blocks: usize,
     /// Total blocks (= rules).
     pub total_blocks: usize,
-    /// Distinct groups touched by this batch alone.
+    /// Groups touched by this change set (summed over its mutations; a group
+    /// touched by two mutations counts twice).
     pub touched_groups: usize,
-    /// Total groups across all blocks after this batch.
+    /// Total groups across all blocks after this change set.
     pub total_groups: usize,
 }
 
@@ -96,7 +81,7 @@ struct BlockRecords {
     rsc: RscRecord,
 }
 
-/// An incremental MLNClean engine over micro-batch ingest.
+/// An incremental MLNClean engine over typed mutation ingest.
 ///
 /// See the [module docs](self) for the design; see
 /// [`crate::MlnClean::clean`] for the batch special case (one bulk ingest +
@@ -114,7 +99,7 @@ pub struct CleaningSession {
     block_dirty: Vec<bool>,
     /// Per tuple: the memoised FSCR fusion (`None` = must be (re)fused).
     fusions: Vec<Option<TupleFusion>>,
-    timings: StageTimings,
+    timings: Timings,
     batches: usize,
 }
 
@@ -123,9 +108,9 @@ impl CleaningSession {
     ///
     /// Fails like [`crate::MlnClean::clean`] does: on an empty rule set, or
     /// on a rule referencing an attribute the schema does not have.
-    pub fn new(config: CleanConfig, schema: Schema, rules: RuleSet) -> Result<Self, CleaningError> {
+    pub fn new(config: CleanConfig, schema: Schema, rules: RuleSet) -> Result<Self, CleanError> {
         if rules.is_empty() {
-            return Err(CleaningError::NoRules);
+            return Err(CleanError::NoRules);
         }
         let dataset = Dataset::new(schema);
         let pristine = MlnIndex::build_serial(&dataset, &rules)?;
@@ -140,7 +125,7 @@ impl CleaningSession {
             block_records: vec![BlockRecords::default(); blocks],
             block_dirty: vec![false; blocks],
             fusions: Vec::new(),
-            timings: StageTimings::default(),
+            timings: Timings::default(),
             batches: 0,
         })
     }
@@ -160,12 +145,12 @@ impl CleaningSession {
         &self.dataset
     }
 
-    /// Rows ingested so far.
+    /// Net rows held by the session.
     pub fn len(&self) -> usize {
         self.dataset.len()
     }
 
-    /// Whether nothing has been ingested yet.
+    /// Whether the session currently holds no rows.
     pub fn is_empty(&self) -> bool {
         self.dataset.is_empty()
     }
@@ -181,43 +166,184 @@ impl CleaningSession {
         self.block_dirty.iter().filter(|&&d| d).count()
     }
 
-    /// Batches ingested so far.
+    /// Change sets applied so far.
     pub fn batches(&self) -> usize {
         self.batches
     }
 
     /// Cumulative per-stage wall-clock timings across all ingests and
     /// re-cleans of this session.
-    pub fn timings(&self) -> StageTimings {
+    pub fn timings(&self) -> Timings {
         self.timings
     }
 
-    /// Ingest one micro-batch of string rows.
+    /// Apply one typed [`ChangeSet`] — the session's one ingest path.
     ///
-    /// The batch is atomic: every row's arity is validated before any row is
-    /// appended.  The rows are appended to the dataset, spliced into the
-    /// pristine blocks/groups, and the touched blocks are marked dirty.
-    pub fn ingest_batch(&mut self, rows: Vec<Vec<String>>) -> Result<BatchReport, IngestError> {
-        let from = self.dataset.len();
+    /// The change set is atomic: every mutation is validated (row arity,
+    /// tuple and attribute bounds, with tuple ids tracked through the
+    /// sequence's own insertions and deletions) before anything is applied,
+    /// so a failed call leaves the session untouched.  Mutations then apply
+    /// in order; a `Delete(t)` shifts every later row down by one, exactly
+    /// like a batch rebuild over the surviving rows would.
+    pub fn apply(&mut self, changes: ChangeSet) -> Result<BatchReport, CleanError> {
+        self.validate(&changes)?;
         let started = Instant::now();
-        self.dataset.extend_rows(rows)?;
-        let report =
-            self.pristine
-                .insert_tuples(&self.dataset, &self.rules, from, self.config.parallel);
-        self.timings.index += started.elapsed();
-        Ok(self.register_ingest(report))
+        let parallel = self.config.parallel;
+        let mut inserted = 0usize;
+        let mut updated_cells = 0usize;
+        let mut deleted_rows = 0usize;
+        let mut touched_groups = 0usize;
+
+        let mut mutations = changes.into_mutations().into_iter().peekable();
+        while let Some(mutation) = mutations.next() {
+            match mutation {
+                Mutation::Insert(rows) => {
+                    let from = self.dataset.len();
+                    self.dataset.extend_rows(rows).expect("validated above");
+                    let report =
+                        self.pristine
+                            .insert_tuples(&self.dataset, &self.rules, from, parallel);
+                    self.fusions.resize(self.dataset.len(), None);
+                    inserted += report.rows;
+                    touched_groups += report.total_touched_groups();
+                    self.mark_dirty(&report.touched_groups);
+                }
+                Mutation::Update(t, attr, value) => {
+                    if self.dataset.value(t, attr) == value {
+                        continue; // no-op: the cell already holds this value
+                    }
+                    updated_cells += 1;
+                    let old_row = self.dataset.row_ids(t);
+                    self.dataset.set_value(t, attr, value);
+                    let touched = self.pristine.update_tuple(
+                        &self.dataset,
+                        &self.rules,
+                        t,
+                        &old_row,
+                        parallel,
+                    );
+                    touched_groups += touched.iter().sum::<usize>();
+                    self.mark_dirty(&touched);
+                    // The tuple's own versions may have moved even when no
+                    // other tuple's did; always re-fuse it.
+                    self.fusions[t.index()] = None;
+                }
+                Mutation::Delete(first) => {
+                    // Coalesce the run of consecutive deletes into one batch
+                    // removal, converting each sequentially-interpreted id to
+                    // its absolute pre-run row index, so the index splice-out
+                    // and the O(rows) id-space remap run once per run instead
+                    // of once per delete.
+                    // `removed` stays sorted; each sequential id resolves to
+                    // the (t+1)-th surviving absolute index by binary search
+                    // on "surviving rows at or below a".
+                    let mut removed: Vec<usize> = vec![first.index()];
+                    while let Some(Mutation::Delete(_)) = mutations.peek() {
+                        let Some(Mutation::Delete(t)) = mutations.next() else {
+                            unreachable!("peeked a delete");
+                        };
+                        let t = t.index();
+                        let (mut lo, mut hi) = (t, t + removed.len());
+                        while lo < hi {
+                            let mid = lo + (hi - lo) / 2;
+                            let surviving = mid + 1 - removed.partition_point(|&r| r <= mid);
+                            if surviving > t {
+                                hi = mid;
+                            } else {
+                                lo = mid + 1;
+                            }
+                        }
+                        removed.insert(removed.partition_point(|&r| r < lo), lo);
+                    }
+                    let removed_ids: Vec<TupleId> = removed.iter().map(|&r| TupleId(r)).collect();
+                    let report = self.pristine.remove_tuples(
+                        &self.dataset,
+                        &self.rules,
+                        &removed_ids,
+                        parallel,
+                    );
+                    self.dataset.remove_rows(&removed_ids);
+                    let mut idx = 0usize;
+                    self.fusions.retain(|_| {
+                        let keep = removed.binary_search(&idx).is_err();
+                        idx += 1;
+                        keep
+                    });
+                    // Cached cleaned blocks and provenance live in tuple-id
+                    // space: shift them down past the removed rows.  Dirty
+                    // blocks get rebuilt from pristine at the next refresh;
+                    // untouched blocks never contained the tuples, so the
+                    // shift alone keeps their cache byte-identical to what a
+                    // batch run over the survivors would produce.
+                    self.cleaned.remap_removed(&removed);
+                    for records in &mut self.block_records {
+                        remap_records_after_removal(records, &removed);
+                    }
+                    deleted_rows += removed.len();
+                    touched_groups += report.touched_groups.iter().sum::<usize>();
+                    self.mark_dirty(&report.touched_groups);
+                }
+            }
+        }
+
+        Ok(self.finalize_change(
+            started,
+            inserted,
+            updated_cells,
+            deleted_rows,
+            touched_groups,
+        ))
     }
 
-    /// Ingest a whole dataset (the batch special case).
+    /// Shared post-ingest bookkeeping of [`CleaningSession::apply`] and
+    /// [`CleaningSession::ingest_dataset`]: re-sync the cleaned index's pool
+    /// snapshot (new values interned by the change must resolve there even
+    /// when no block went dirty; pools are append-only, so a length check
+    /// spots growth without cloning), account the wall time, bump the batch
+    /// ordinal and assemble the [`BatchReport`].
+    fn finalize_change(
+        &mut self,
+        started: Instant,
+        rows: usize,
+        updated_cells: usize,
+        deleted_rows: usize,
+        touched_groups: usize,
+    ) -> BatchReport {
+        if self.dataset.pool().len() != self.cleaned.pool().len() {
+            self.cleaned.set_pool(self.dataset.pool().clone());
+        }
+        self.timings.index += started.elapsed();
+        self.batches += 1;
+        BatchReport {
+            batch: self.batches,
+            rows,
+            updated_cells,
+            deleted_rows,
+            total_rows: self.dataset.len(),
+            dirty_blocks: self.dirty_block_count(),
+            total_blocks: self.pristine.block_count(),
+            touched_groups,
+            total_groups: self.pristine.blocks.iter().map(|b| b.group_count()).sum(),
+        }
+    }
+
+    /// Ingest one micro-batch of string rows — a thin convenience for
+    /// [`CleaningSession::apply`] with a single `Insert` mutation.
+    pub fn ingest_batch(&mut self, rows: Vec<Vec<String>>) -> Result<BatchReport, CleanError> {
+        self.apply(ChangeSet::inserting(rows))
+    }
+
+    /// Ingest a whole dataset (the batch special case) — a convenience kept
+    /// for its bulk fast path.
     ///
     /// When the session is still empty this shares the dataset's columnar
     /// storage and value pool outright (no re-interning) and builds the
     /// pristine index with the bulk `MlnIndex::build_with` path; otherwise
     /// the rows are appended via [`Dataset::extend_from`], which re-interns
     /// each distinct value once.
-    pub fn ingest_dataset(&mut self, ds: &Dataset) -> Result<BatchReport, IngestError> {
+    pub fn ingest_dataset(&mut self, ds: &Dataset) -> Result<BatchReport, CleanError> {
         if ds.schema() != self.dataset.schema() {
-            return Err(IngestError::SchemaMismatch);
+            return Err(CleanError::Schema(dataset::SchemaMismatch));
         }
         let started = Instant::now();
         let report = if self.dataset.is_empty() {
@@ -238,34 +364,58 @@ impl CleaningSession {
             }
         } else {
             let from = self.dataset.len();
-            self.dataset
-                .extend_from(ds)
-                .map_err(|_| IngestError::SchemaMismatch)?;
+            self.dataset.extend_from(ds)?;
             self.pristine
                 .insert_tuples(&self.dataset, &self.rules, from, self.config.parallel)
         };
-        self.timings.index += started.elapsed();
-        Ok(self.register_ingest(report))
+        self.fusions.resize(self.dataset.len(), None);
+        self.mark_dirty(&report.touched_groups);
+        Ok(self.finalize_change(started, report.rows, 0, 0, report.total_touched_groups()))
     }
 
-    /// Book-keep one ingest: grow the fusion cache, mark dirty blocks, build
-    /// the batch report.
-    fn register_ingest(&mut self, insert: InsertReport) -> BatchReport {
-        self.batches += 1;
-        self.fusions.resize(self.dataset.len(), None);
-        for (dirty, &touched) in self.block_dirty.iter_mut().zip(&insert.touched_groups) {
+    /// Pre-validate a change set against the session schema, tracking the
+    /// row count through the sequence's own inserts and deletes.
+    fn validate(&self, changes: &ChangeSet) -> Result<(), CleanError> {
+        let arity = self.dataset.schema().arity();
+        let mut rows = self.dataset.len();
+        for mutation in changes.iter() {
+            match mutation {
+                Mutation::Insert(batch) => {
+                    for row in batch {
+                        if row.len() != arity {
+                            return Err(CleanError::Arity(ArityMismatch {
+                                expected: arity,
+                                actual: row.len(),
+                            }));
+                        }
+                    }
+                    rows += batch.len();
+                }
+                Mutation::Update(t, attr, _) => {
+                    if t.index() >= rows {
+                        return Err(CleanError::UnknownTuple { tuple: *t, rows });
+                    }
+                    if attr.index() >= arity {
+                        return Err(CleanError::UnknownAttribute { attr: *attr, arity });
+                    }
+                }
+                Mutation::Delete(t) => {
+                    if t.index() >= rows {
+                        return Err(CleanError::UnknownTuple { tuple: *t, rows });
+                    }
+                    rows -= 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Mark every block with a non-zero touched-group count dirty.
+    fn mark_dirty(&mut self, touched_groups: &[usize]) {
+        for (dirty, &touched) in self.block_dirty.iter_mut().zip(touched_groups) {
             if touched > 0 {
                 *dirty = true;
             }
-        }
-        BatchReport {
-            batch: self.batches,
-            rows: insert.rows,
-            total_rows: self.dataset.len(),
-            dirty_blocks: self.dirty_block_count(),
-            total_blocks: self.pristine.block_count(),
-            touched_groups: insert.total_touched_groups(),
-            total_groups: self.pristine.blocks.iter().map(|b| b.group_count()).sum(),
         }
     }
 
@@ -280,9 +430,9 @@ impl CleaningSession {
         }
 
         // Tuples covered by a dirty block must be re-fused: their version
-        // set or their substitution candidates may have changed.  (Block
-        // membership only ever grows, and AGP/RSC preserve it, so pristine
-        // membership is the right over-approximation.)
+        // set or their substitution candidates may have changed.  (AGP/RSC
+        // preserve block membership, so pristine membership is the right
+        // over-approximation.)
         for (block, &dirty) in self.pristine.blocks.iter().zip(&self.block_dirty) {
             if !dirty {
                 continue;
@@ -303,7 +453,7 @@ impl CleaningSession {
         let parallel = self.config.parallel;
 
         // Three wall-clock-timed passes over the dirty blocks — one per
-        // stage, parallel across blocks — so `StageTimings` keeps the same
+        // stage, parallel across blocks — so the [`Timings`] keep the same
         // wall-time semantics as the historical whole-index pipeline (a
         // single fused per-block pass would sum per-worker CPU time
         // instead).
@@ -348,7 +498,9 @@ impl CleaningSession {
         };
         self.timings.rsc += started.elapsed();
 
-        self.cleaned.set_pool(self.dataset.pool().clone());
+        if self.dataset.pool().len() != self.cleaned.pool().len() {
+            self.cleaned.set_pool(self.dataset.pool().clone());
+        }
         for (i, block, records) in refreshed {
             self.cleaned.blocks[i] = block;
             self.block_records[i] = records;
@@ -376,16 +528,17 @@ impl CleaningSession {
         self.timings.fscr += started.elapsed();
     }
 
-    /// Re-clean whatever is dirty and produce the full [`CleaningOutcome`]
-    /// over all rows ingested so far — byte-identical (output CSV and
+    /// Re-clean whatever is dirty and produce the full [`Report`] over the
+    /// net rows ingested so far — byte-identical (output CSV and
     /// AGP/RSC/FSCR provenance) to a single `MlnClean::clean` batch run on
-    /// the accumulated dataset.
+    /// the accumulated surviving data.
     ///
-    /// Can be called after every batch; only the work made necessary by the
-    /// ingests since the previous call is redone.  The outcome snapshots the
-    /// session (one dataset copy for the repairs plus one cleaned-index
-    /// copy); [`CleaningSession::finish`] moves the state out instead.
-    pub fn outcome(&mut self) -> CleaningOutcome {
+    /// Can be called after every change set; only the work made necessary by
+    /// the mutations since the previous call is redone.  The report
+    /// snapshots the session (one dataset copy for the repairs plus one
+    /// cleaned-index copy); [`CleaningSession::finish`] moves the state out
+    /// instead.
+    pub fn outcome(&mut self) -> Report {
         self.ensure_fusions();
         assemble_outcome(
             &self.config,
@@ -397,13 +550,13 @@ impl CleaningSession {
         )
     }
 
-    /// Close the session, producing the final [`CleaningOutcome`].
+    /// Close the session, producing the final [`Report`].
     ///
     /// Unlike [`CleaningSession::outcome`] this moves the accumulated
-    /// dataset and the cleaned index into the outcome (the repairs are
+    /// dataset and the cleaned index into the report (the repairs are
     /// applied in place), so the batch wrapper [`crate::MlnClean::clean`]
     /// pays no extra copies over the historical monolithic pipeline.
-    pub fn finish(mut self) -> CleaningOutcome {
+    pub fn finish(mut self) -> Report {
         self.ensure_fusions();
         let CleaningSession {
             config,
@@ -425,25 +578,38 @@ impl CleaningSession {
     }
 }
 
+/// Shift the cached per-block provenance past removed rows: tuple ids in AGP
+/// merges and RSC repairs decrement by the number of removed ids below them
+/// (exact matches are dropped; they only occur in records of blocks that are
+/// dirty and about to be regenerated anyway).  `removed` must be sorted,
+/// deduplicated pre-removal row indices.
+fn remap_records_after_removal(records: &mut BlockRecords, removed: &[usize]) {
+    for merge in &mut records.agp.merges {
+        dataset::remap_ids_after_removal(&mut merge.tuples, removed);
+    }
+    for repair in &mut records.rsc.repairs {
+        dataset::remap_ids_after_removal(&mut repair.tuples, removed);
+    }
+}
+
 /// Apply the memoised fusions to `repaired` in place, deduplicate, and
-/// assemble the [`CleaningOutcome`] — the shared tail of
+/// assemble the [`Report`] — the shared tail of
 /// [`CleaningSession::outcome`] (which passes clones) and
 /// [`CleaningSession::finish`] (which passes the moved session state).
 ///
 /// Every cell of `repaired` still holds its dirty value until its own fusion
 /// is applied, so in-place application reads exactly what a clone-based path
 /// would.  All resolved ids are covered by the cleaned index's pool
-/// snapshot: fused ids come from its γs, and a non-empty fusion implies the
-/// tuple's blocks went through a refresh after its ingest (which synced the
-/// snapshot).
+/// snapshot: fused ids come from its γs, and the snapshot is re-synced with
+/// the dataset pool on every ingest and refresh.
 fn assemble_outcome(
     config: &CleanConfig,
     fusions: &[Option<TupleFusion>],
     block_records: &[BlockRecords],
     mut repaired: Dataset,
     cleaned: MlnIndex,
-    timings: &mut StageTimings,
-) -> CleaningOutcome {
+    timings: &mut Timings,
+) -> Report {
     let started = Instant::now();
     let mut fscr = FscrRecord::default();
     for (i, fusion) in fusions.iter().enumerate() {
@@ -462,14 +628,15 @@ fn assemble_outcome(
     };
     let (agp, rsc) = collect_stage_records(block_records);
 
-    CleaningOutcome {
+    Report {
         repaired,
         deduplicated,
-        index: cleaned,
+        index: Some(cleaned),
         agp,
         rsc,
         fscr,
         timings: *timings,
+        partitions: None,
     }
 }
 

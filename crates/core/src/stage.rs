@@ -19,9 +19,9 @@
 
 use crate::agp::{AbnormalGroupProcessor, AgpRecord};
 use crate::config::CleanConfig;
+use crate::engine::Timings;
 use crate::fscr::{ConflictResolver, FscrRecord};
 use crate::index::{Block, MlnIndex};
-use crate::pipeline::StageTimings;
 use crate::rsc::{ReliabilityCleaner, RscRecord};
 use crate::weights::{assign_block_weights, assign_weights};
 use dataset::{Dataset, ValuePool};
@@ -37,7 +37,7 @@ pub struct StageRecords {
     /// What FSCR did.
     pub fscr: FscrRecord,
     /// Per-stage wall-clock timings.
-    pub timings: StageTimings,
+    pub timings: Timings,
 }
 
 /// Everything a stage may read or mutate, shared by the batch, incremental

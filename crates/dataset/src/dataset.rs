@@ -219,6 +219,55 @@ impl Dataset {
         Ok(start..self.rows)
     }
 
+    /// Remove one row, compacting the dataset: every tuple id greater than
+    /// `t` shifts down by one, exactly as if the dataset had been built
+    /// without the removed row.  The pool is untouched (interned values are
+    /// append-only, so ids held elsewhere keep resolving).
+    ///
+    /// # Panics
+    /// Panics if `t` is out of range.
+    pub fn remove_row(&mut self, t: TupleId) {
+        assert!(t.0 < self.rows, "tuple id {t} out of range");
+        for column in &mut self.columns {
+            column.remove(t.0);
+        }
+        self.rows -= 1;
+    }
+
+    /// Remove several rows at once (ids interpreted against the *current*
+    /// numbering, i.e. all relative to the same pre-removal state).  The
+    /// surviving rows are compacted in order, as if the dataset had been
+    /// built from them alone.
+    ///
+    /// # Panics
+    /// Panics if any id is out of range.
+    pub fn remove_rows(&mut self, ids: &[TupleId]) {
+        if ids.is_empty() {
+            return;
+        }
+        let mut removed: Vec<usize> = ids.iter().map(|t| t.0).collect();
+        removed.sort_unstable();
+        removed.dedup();
+        assert!(
+            removed.last().is_none_or(|&t| t < self.rows),
+            "tuple id out of range"
+        );
+        for column in &mut self.columns {
+            let mut keep = 0usize;
+            let mut next = removed.iter().peekable();
+            for i in 0..column.len() {
+                if next.peek().is_some_and(|&&r| r == i) {
+                    next.next();
+                    continue;
+                }
+                column[keep] = column[i];
+                keep += 1;
+            }
+            column.truncate(keep);
+        }
+        self.rows -= removed.len();
+    }
+
     /// A row view of the tuple with id `id`.
     ///
     /// # Panics
@@ -615,6 +664,40 @@ mod tests {
         let mut out = Dataset::new(Schema::new(&["x"]));
         assert_eq!(out.extend_from(&dirty), Err(SchemaMismatch));
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn remove_row_compacts_like_a_rebuild() {
+        let ds = sample_hospital_dataset();
+        let mut removed = ds.clone();
+        removed.remove_row(TupleId(2));
+        let survivors: Vec<TupleId> = (0..ds.len()).filter(|&t| t != 2).map(TupleId).collect();
+        let rebuilt = ds.project_rows(&survivors);
+        assert_eq!(removed, rebuilt);
+        // Ids above the removal point shifted down by one.
+        let ct = ds.schema().attr_id("CT").unwrap();
+        assert_eq!(removed.value(TupleId(2), ct), ds.value(TupleId(3), ct));
+    }
+
+    #[test]
+    fn remove_rows_handles_unsorted_and_duplicate_ids() {
+        let ds = sample_hospital_dataset();
+        let mut removed = ds.clone();
+        removed.remove_rows(&[TupleId(4), TupleId(1), TupleId(4)]);
+        let rebuilt = ds.project_rows(&[TupleId(0), TupleId(2), TupleId(3), TupleId(5)]);
+        assert_eq!(removed, rebuilt);
+        assert_eq!(removed.len(), 4);
+        // Removing nothing is a no-op.
+        let before = removed.clone();
+        removed.remove_rows(&[]);
+        assert_eq!(removed, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn remove_row_rejects_out_of_range_ids() {
+        let mut ds = sample_hospital_dataset();
+        ds.remove_row(TupleId(6));
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub use errors::{DirtyDataset, ErrorInjector, ErrorSpec, ErrorType, InjectedErro
 pub use metrics::{ComponentMetrics, RepairEvaluation, RepairReport};
 pub use pool::{ValueId, ValuePool};
 pub use schema::{AttrId, Schema};
-pub use tuple::{Tuple, TupleId};
+pub use tuple::{remap_ids_after_removal, Tuple, TupleId};
 
 /// Build the six-tuple hospital sample of Table 1 in the paper, used by the
 /// documentation examples and the paper-walkthrough integration tests.

@@ -26,6 +26,25 @@ impl fmt::Display for TupleId {
     }
 }
 
+/// Remap a tuple-id list past a row removal: ids matching a removed row are
+/// dropped, and every surviving id shifts down by the number of removed rows
+/// below it — the id-space compaction that follows
+/// [`Dataset::remove_rows`](crate::Dataset::remove_rows).  `removed` must be
+/// sorted, deduplicated pre-removal row indices.  This is the single source
+/// of truth for post-removal renumbering; every structure caching `TupleId`s
+/// across a compaction (MLN-index γs, provenance records) goes through it.
+pub fn remap_ids_after_removal(ids: &mut Vec<TupleId>, removed: &[usize]) {
+    debug_assert!(removed.windows(2).all(|w| w[0] < w[1]), "sorted + deduped");
+    ids.retain_mut(|t| {
+        let below = removed.partition_point(|&r| r < t.0);
+        if removed.get(below).is_some_and(|&r| r == t.0) {
+            return false;
+        }
+        t.0 -= below;
+        true
+    });
+}
+
 /// A row view: one tuple of a dataset, read through the columnar storage.
 ///
 /// `Tuple` is a cheap `Copy` handle (a row index plus a dataset reference);
@@ -191,6 +210,18 @@ mod tests {
         let a = ds.tuple(TupleId(0));
         assert!(a.same_values(&other.tuple(TupleId(0))));
         assert!(!a.same_values(&other.tuple(TupleId(1))));
+    }
+
+    #[test]
+    fn remap_after_removal_drops_and_shifts() {
+        let mut ids: Vec<TupleId> = [0, 2, 3, 5, 7].into_iter().map(TupleId).collect();
+        remap_ids_after_removal(&mut ids, &[2, 6]);
+        // 2 dropped; 3 → 2, 5 → 4, 7 → 5; 0 untouched.
+        assert_eq!(ids, vec![TupleId(0), TupleId(2), TupleId(4), TupleId(5)]);
+        // Empty removal is a no-op.
+        let before = ids.clone();
+        remap_ids_after_removal(&mut ids, &[]);
+        assert_eq!(ids, before);
     }
 
     #[test]

@@ -17,10 +17,20 @@
 //! 5. the repaired parts are gathered back in the original tuple order and
 //!    duplicates are removed globally ([`runner`]).
 
+//!
+//! The runner implements the unified [`mlnclean::Engine`] trait: it returns
+//! the same [`mlnclean::Report`] (with a [`mlnclean::PartitionReport`]
+//! attached and provenance remapped to global tuple ids) and the same
+//! [`mlnclean::CleanError`] as the batch and incremental drivers.
+
 pub mod partition;
 pub mod runner;
 pub mod weights;
 
 pub use partition::{partition_dataset, PartitionConfig, Partitioning};
-pub use runner::{DistributedMlnClean, DistributedOutcome, PhaseTimings};
+pub use runner::DistributedMlnClean;
 pub use weights::{merge_weights, GammaKey};
+
+// Deprecated shims for the historical per-driver vocabulary.
+#[allow(deprecated)]
+pub use runner::{DistributedOutcome, PhaseTimings};

@@ -6,79 +6,31 @@
 //! ([`mlnclean::AgpStage`], [`mlnclean::WeightLearningStage`],
 //! [`mlnclean::RscStage`], [`mlnclean::FscrStage`]) the batch and
 //! incremental paths compose — the distributed plan merely splits Stage I
-//! around the coordinator's Eq. 6 weight merge.
+//! around the coordinator's Eq. 6 weight merge.  Like every other driver it
+//! implements [`Engine`] and returns the unified [`Report`]: the per-part
+//! provenance records are remapped into **global** tuple coordinates before
+//! reporting, so `report.agp`/`report.rsc`/`report.fscr` read exactly like a
+//! single-node run's (the historical per-part, local-coordinate vectors are
+//! gone).
 
 use crate::partition::{partition_dataset, PartitionConfig, Partitioning};
 use crate::weights::merge_weights;
 use dataset::{Dataset, TupleId};
 use mlnclean::{
-    AgpRecord, AgpStage, CleanConfig, CleaningError, FscrRecord, FscrStage, MlnIndex,
-    PipelineStage, RscRecord, RscStage, StageContext, StageRecords, WeightLearningStage,
+    AgpRecord, AgpStage, CleanConfig, CleanError, Engine, FscrRecord, FscrStage, MlnIndex,
+    PartitionReport, PipelineStage, Report, RscRecord, RscStage, StageContext, StageRecords,
+    Timings, WeightLearningStage,
 };
 use rules::RuleSet;
-use serde::{Deserialize, Serialize};
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
-/// Wall-clock timings of the distributed phases.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
-pub struct PhaseTimings {
-    /// Data partitioning (Algorithm 3).
-    pub partition: Duration,
-    /// Parallel phase A: index construction, AGP, local weight learning.
-    pub local_learning: Duration,
-    /// Coordinator phase: Eq. 6 weight merging.
-    pub weight_merge: Duration,
-    /// Parallel phase B: RSC + FSCR per part.
-    pub local_cleaning: Duration,
-    /// Gathering parts and removing duplicates.
-    pub gather: Duration,
-}
+/// Historical name of the distributed phase timings.
+#[deprecated(note = "`StageTimings` and `PhaseTimings` merged into `Timings`")]
+pub type PhaseTimings = Timings;
 
-impl PhaseTimings {
-    /// Total wall-clock time.
-    pub fn total(&self) -> Duration {
-        self.partition + self.local_learning + self.weight_merge + self.local_cleaning + self.gather
-    }
-}
-
-/// The outcome of a distributed run.
-#[derive(Debug, Clone)]
-pub struct DistributedOutcome {
-    /// The repaired dataset with one row per input tuple.
-    pub repaired: Dataset,
-    /// The repaired dataset after global duplicate removal, or `None` when
-    /// deduplication is disabled (access through
-    /// [`DistributedOutcome::deduplicated`]).
-    deduplicated: Option<Dataset>,
-    /// How the data was partitioned.
-    pub partitioning: Partitioning,
-    /// Per-part AGP records.
-    pub agp: Vec<AgpRecord>,
-    /// Per-part RSC records.
-    pub rsc: Vec<RscRecord>,
-    /// Per-part FSCR records (cell references are in *local* part
-    /// coordinates; see [`DistributedOutcome::partitioning`] for the
-    /// local-to-global tuple mapping).
-    pub fscr: Vec<FscrRecord>,
-    /// Number of γs whose weight was adjusted with cross-partition evidence.
-    pub shared_gammas: usize,
-    /// Phase timings.
-    pub timings: PhaseTimings,
-}
-
-impl DistributedOutcome {
-    /// The final output: the repaired dataset after global duplicate
-    /// removal.  When deduplication is disabled this is the repaired dataset
-    /// itself (no copy is made).
-    pub fn deduplicated(&self) -> &Dataset {
-        self.deduplicated.as_ref().unwrap_or(&self.repaired)
-    }
-
-    /// Consume the outcome, keeping only the final (deduplicated) dataset.
-    pub fn into_deduplicated(self) -> Dataset {
-        self.deduplicated.unwrap_or(self.repaired)
-    }
-}
+/// Historical name of the distributed outcome type.
+#[deprecated(note = "the per-driver outcome types merged into `Report`")]
+pub type DistributedOutcome = Report;
 
 /// Distributed MLNClean: the stand-alone pipeline executed over `workers`
 /// parallel partitions.
@@ -109,15 +61,14 @@ impl DistributedMlnClean {
     }
 
     /// Clean `dirty` against `rules` using the distributed execution plan.
-    pub fn clean(
-        &self,
-        dirty: &Dataset,
-        rules: &RuleSet,
-    ) -> Result<DistributedOutcome, CleaningError> {
-        if rules.is_empty() {
-            return Err(CleaningError::NoRules);
+    pub fn clean(&self, dirty: &Dataset, rules: &RuleSet) -> Result<Report, CleanError> {
+        if self.workers == 0 {
+            return Err(CleanError::Partition { workers: 0 });
         }
-        let mut timings = PhaseTimings::default();
+        if rules.is_empty() {
+            return Err(CleanError::NoRules);
+        }
+        let mut timings = Timings::default();
 
         // Partition (Algorithm 3), measuring tuple distance over the
         // rule-constrained attributes so related tuples co-locate.
@@ -133,7 +84,7 @@ impl DistributedMlnClean {
             attributes: constrained,
             seed: self.seed,
         };
-        let partitioning = partition_dataset(dirty, &partition_config);
+        let partitioning: Partitioning = partition_dataset(dirty, &partition_config);
         // Each part is a row projection sharing a snapshot of the parent's
         // value pool: what moves to a worker is `Vec<ValueId>` row images
         // plus one compact pool of distinct strings, never per-row clones —
@@ -149,38 +100,43 @@ impl DistributedMlnClean {
         // stage objects the batch pipeline composes, driven per partition.
         // (The workers already provide one level of parallelism; the stages
         // only nest block-level parallelism when the config asks for it.)
-        let start = Instant::now();
-        let phase_a: Vec<Result<(MlnIndex, AgpRecord), CleaningError>> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = parts
-                    .iter()
-                    .map(|part| {
-                        let config = self.config.clone();
-                        scope.spawn(move || -> Result<(MlnIndex, AgpRecord), CleaningError> {
-                            let mut index = MlnIndex::build_with(part, rules, config.parallel)?;
-                            let mut records = StageRecords::default();
-                            let mut ctx =
-                                StageContext::new(part, &config, &mut index, &mut records);
-                            AgpStage.run(&mut ctx);
-                            WeightLearningStage.run(&mut ctx);
-                            drop(ctx);
-                            Ok((index, records.agp))
-                        })
+        // Per-worker stage clocks are summed into the report's stage fields:
+        // workers run concurrently, so those entries read as aggregate
+        // worker time rather than elapsed wall time.
+        type PhaseA = (MlnIndex, AgpRecord, Timings);
+        let phase_a: Vec<Result<PhaseA, CleanError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = parts
+                .iter()
+                .map(|part| {
+                    let config = self.config.clone();
+                    scope.spawn(move || -> Result<PhaseA, CleanError> {
+                        let start = Instant::now();
+                        let mut index = MlnIndex::build_with(part, rules, config.parallel)?;
+                        let mut records = StageRecords::default();
+                        records.timings.index = start.elapsed();
+                        let mut ctx = StageContext::new(part, &config, &mut index, &mut records);
+                        AgpStage.run(&mut ctx);
+                        WeightLearningStage.run(&mut ctx);
+                        drop(ctx);
+                        Ok((index, records.agp, records.timings))
                     })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("worker panicked"))
-                    .collect()
-            });
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
         let mut indices = Vec::with_capacity(phase_a.len());
         let mut agp_records = Vec::with_capacity(phase_a.len());
         for result in phase_a {
-            let (index, agp) = result?;
+            let (index, agp, worker) = result?;
             indices.push(index);
             agp_records.push(agp);
+            timings.index += worker.index;
+            timings.agp += worker.agp;
+            timings.weight_learning += worker.weight_learning;
         }
-        timings.local_learning = start.elapsed();
 
         // Coordinator: Eq. 6 weight merge.
         let start = Instant::now();
@@ -189,8 +145,7 @@ impl DistributedMlnClean {
 
         // Phase B (parallel): RSC + FSCR per part, again via the shared
         // stage objects.
-        let start = Instant::now();
-        let phase_b: Vec<(Dataset, RscRecord, FscrRecord)> = std::thread::scope(|scope| {
+        let phase_b: Vec<(Dataset, RscRecord, FscrRecord, Timings)> = std::thread::scope(|scope| {
             let handles: Vec<_> = indices
                 .iter_mut()
                 .zip(parts.iter())
@@ -202,7 +157,7 @@ impl DistributedMlnClean {
                         RscStage.run(&mut ctx);
                         FscrStage.run(&mut ctx);
                         let repaired_part = ctx.repaired.take().expect("FSCR produced a repair");
-                        (repaired_part, records.rsc, records.fscr)
+                        (repaired_part, records.rsc, records.fscr, records.timings)
                     })
                 })
                 .collect();
@@ -211,10 +166,10 @@ impl DistributedMlnClean {
                 .map(|h| h.join().expect("worker panicked"))
                 .collect()
         });
-        timings.local_cleaning = start.elapsed();
 
         // Gather: write every part's repairs back at the original tuple ids,
-        // then deduplicate globally (conflicts across parts reduce to exact
+        // remap the per-part provenance into global coordinates, then
+        // deduplicate globally (conflicts across parts reduce to exact
         // duplicates after cleaning, which the global pass removes).
         let start = Instant::now();
         let mut repaired = dirty.clone();
@@ -223,9 +178,17 @@ impl DistributedMlnClean {
         // snapshot agrees on; anything a worker interned locally (rare — only
         // values its repairs introduced) is carried over by string.
         let shared_prefix = repaired.pool().len();
-        let mut rsc_records = Vec::with_capacity(phase_b.len());
-        let mut fscr_records = Vec::with_capacity(phase_b.len());
-        for ((repaired_part, rsc, fscr), ids) in phase_b.into_iter().zip(&partitioning.parts) {
+        let mut agp = AgpRecord::default();
+        let mut rsc = RscRecord::default();
+        let mut fscr = FscrRecord::default();
+        for (part_agp, ids) in agp_records.into_iter().zip(&partitioning.parts) {
+            absorb_agp_globally(&mut agp, part_agp, ids);
+        }
+        for ((repaired_part, part_rsc, part_fscr, worker), ids) in
+            phase_b.into_iter().zip(&partitioning.parts)
+        {
+            timings.rsc += worker.rsc;
+            timings.fscr += worker.fscr;
             for (local_idx, &global_id) in ids.iter().enumerate() {
                 let local = repaired_part.tuple(TupleId(local_idx));
                 for &attr in &attr_ids {
@@ -237,22 +200,73 @@ impl DistributedMlnClean {
                     }
                 }
             }
-            rsc_records.push(rsc);
-            fscr_records.push(fscr);
+            absorb_rsc_globally(&mut rsc, part_rsc, ids);
+            absorb_fscr_globally(&mut fscr, part_fscr, ids);
         }
-        let deduplicated = self.config.deduplicate.then(|| repaired.deduplicated());
         timings.gather = start.elapsed();
 
-        Ok(DistributedOutcome {
+        let start = Instant::now();
+        let deduplicated = self.config.deduplicate.then(|| repaired.deduplicated());
+        timings.dedup = start.elapsed();
+
+        Ok(Report::new(
             repaired,
             deduplicated,
-            partitioning,
-            agp: agp_records,
-            rsc: rsc_records,
-            fscr: fscr_records,
-            shared_gammas,
+            None,
+            agp,
+            rsc,
+            fscr,
             timings,
-        })
+            Some(PartitionReport {
+                parts: partitioning.parts,
+                shared_gammas,
+            }),
+        ))
+    }
+}
+
+impl Engine for DistributedMlnClean {
+    fn name(&self) -> &'static str {
+        "distributed"
+    }
+
+    fn run(&self, dirty: &Dataset, rules: &RuleSet) -> Result<Report, CleanError> {
+        self.clean(dirty, rules)
+    }
+}
+
+/// Fold one part's AGP record into the global one, remapping its local tuple
+/// ids through the part's global id list.
+fn absorb_agp_globally(global: &mut AgpRecord, part: AgpRecord, ids: &[TupleId]) {
+    for mut merge in part.merges {
+        for t in &mut merge.tuples {
+            *t = ids[t.index()];
+        }
+        global.merges.push(merge);
+    }
+    global.cache.absorb(part.cache);
+}
+
+/// Fold one part's RSC record into the global one (local → global ids).
+fn absorb_rsc_globally(global: &mut RscRecord, part: RscRecord, ids: &[TupleId]) {
+    for mut repair in part.repairs {
+        for t in &mut repair.tuples {
+            *t = ids[t.index()];
+        }
+        global.repairs.push(repair);
+    }
+    global.cache.absorb(part.cache);
+}
+
+/// Fold one part's FSCR record into the global one (local → global ids).
+fn absorb_fscr_globally(global: &mut FscrRecord, part: FscrRecord, ids: &[TupleId]) {
+    for mut outcome in part.outcomes {
+        outcome.tuple = ids[outcome.tuple.index()];
+        global.outcomes.push(outcome);
+    }
+    for mut change in part.changes {
+        change.cell.tuple = ids[change.cell.tuple.index()];
+        global.changes.push(change);
     }
 }
 
@@ -261,6 +275,7 @@ mod tests {
     use super::*;
     use datagen::{HaiGenerator, TpchGenerator};
     use dataset::RepairEvaluation;
+    use std::time::Duration;
 
     #[test]
     fn distributed_run_repairs_injected_errors() {
@@ -275,13 +290,50 @@ mod tests {
         let outcome = cleaner.clean(&dirty.dirty, &rules).unwrap();
 
         assert_eq!(outcome.repaired.len(), dirty.dirty.len());
-        assert_eq!(outcome.partitioning.parts.len(), 4);
+        let partitions = outcome.partitions.as_ref().expect("distributed report");
+        assert_eq!(partitions.parts.len(), 4);
+        assert!(outcome.index.is_none(), "one index per part, none global");
         let report = RepairEvaluation::evaluate(&dirty, &outcome.repaired);
         assert!(
             report.f1() > 0.5,
             "distributed cleaning should repair most errors: {report}"
         );
         assert!(outcome.timings.total() > Duration::ZERO);
+        assert!(outcome.timings.partition >= Duration::ZERO);
+    }
+
+    #[test]
+    fn provenance_is_reported_in_global_coordinates() {
+        let gen = HaiGenerator::default().with_rows(400).with_providers(12);
+        let rules = HaiGenerator::rules();
+        let dirty = gen.dirty(0.08, 0.5, 5);
+        let outcome = DistributedMlnClean::new(3, CleanConfig::default().with_tau(2))
+            .clean(&dirty.dirty, &rules)
+            .unwrap();
+        // One FSCR outcome per input tuple, each naming a valid global id,
+        // covering the whole dataset exactly once.
+        assert_eq!(outcome.fscr.outcomes.len(), dirty.dirty.len());
+        let mut tuples: Vec<usize> = outcome
+            .fscr
+            .outcomes
+            .iter()
+            .map(|o| o.tuple.index())
+            .collect();
+        tuples.sort_unstable();
+        tuples.dedup();
+        assert_eq!(tuples.len(), dirty.dirty.len());
+        // Every recorded cell change matches the actual global repair.
+        for change in &outcome.fscr.changes {
+            assert_eq!(outcome.repaired.cell(change.cell), change.new);
+            assert_eq!(dirty.dirty.cell(change.cell), change.old);
+        }
+        // AGP/RSC tuples stay in range too.
+        for merge in &outcome.agp.merges {
+            assert!(merge.tuples.iter().all(|t| t.index() < dirty.dirty.len()));
+        }
+        for repair in &outcome.rsc.repairs {
+            assert!(repair.tuples.iter().all(|t| t.index() < dirty.dirty.len()));
+        }
     }
 
     #[test]
@@ -313,7 +365,17 @@ mod tests {
         let err = DistributedMlnClean::new(2, CleanConfig::default())
             .clean(&dirty, &RuleSet::default())
             .unwrap_err();
-        assert_eq!(err, CleaningError::NoRules);
+        assert_eq!(err, CleanError::NoRules);
+    }
+
+    #[test]
+    fn zero_workers_are_a_partition_error() {
+        let gen = HaiGenerator::default().with_rows(20);
+        let dirty = gen.generate();
+        let mut cleaner = DistributedMlnClean::new(2, CleanConfig::default());
+        cleaner.workers = 0; // bypass the constructor clamp
+        let err = cleaner.clean(&dirty, &HaiGenerator::rules()).unwrap_err();
+        assert_eq!(err, CleanError::Partition { workers: 0 });
     }
 
     #[test]
@@ -332,6 +394,12 @@ mod tests {
         let outcome = DistributedMlnClean::new(4, CleanConfig::default().with_tau(2))
             .clean(&dirty.dirty, &rules)
             .unwrap();
-        assert!(outcome.shared_gammas > 0);
+        assert!(
+            outcome
+                .partitions
+                .expect("distributed report")
+                .shared_gammas
+                > 0
+        );
     }
 }

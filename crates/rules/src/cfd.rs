@@ -125,6 +125,29 @@ impl ConditionalFd {
         constants.iter().any(|c| c.matches(schema, tuple))
     }
 
+    /// Id-row form of [`ConditionalFd::is_relevant`], for callers holding a
+    /// raw `Vec<ValueId>` row image (e.g. the pre-update snapshot of a tuple
+    /// that has already been overwritten in its dataset) instead of a live
+    /// [`Tuple`] view.  `row` must be in schema order and resolve in `pool`.
+    pub fn is_relevant_ids(
+        &self,
+        schema: &Schema,
+        pool: &dataset::ValuePool,
+        row: &[ValueId],
+    ) -> bool {
+        let mut any_constant = false;
+        for c in &self.conditions {
+            if let Some(v) = &c.constant {
+                any_constant = true;
+                let id = schema.attr_id(&c.attr).expect("validated attribute");
+                if pool.resolve(row[id.index()]) == v {
+                    return true;
+                }
+            }
+        }
+        !any_constant
+    }
+
     /// Whether `tuple` fully matches the constant pattern of the conditions.
     pub fn matches_pattern(&self, schema: &Schema, tuple: &Tuple) -> bool {
         self.conditions.iter().all(|c| c.matches(schema, tuple))

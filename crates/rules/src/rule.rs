@@ -94,6 +94,22 @@ impl Rule {
         }
     }
 
+    /// Id-row form of [`Rule::is_relevant`]: decide block membership from a
+    /// raw schema-ordered `ValueId` row resolved through `pool`.  Used by the
+    /// incremental index maintenance to evaluate the *pre-update* state of a
+    /// tuple whose dataset cells have already been overwritten.
+    pub fn is_relevant_ids(
+        &self,
+        schema: &Schema,
+        pool: &dataset::ValuePool,
+        row: &[ValueId],
+    ) -> bool {
+        match self {
+            Rule::Fd(_) | Rule::Dc(_) => true,
+            Rule::Cfd(cfd) => cfd.is_relevant_ids(schema, pool, row),
+        }
+    }
+
     /// Project a tuple onto its reason-part values (the `vl` of Algorithm 1).
     pub fn reason_values(&self, schema: &Schema, tuple: &Tuple) -> Vec<String> {
         match self {
@@ -256,6 +272,23 @@ mod tests {
         assert!(rules.rule(RuleId(0)).is_relevant(ds.schema(), &t1));
         assert!(rules.rule(RuleId(1)).is_relevant(ds.schema(), &t1));
         assert!(!rules.rule(RuleId(2)).is_relevant(ds.schema(), &t1));
+    }
+
+    #[test]
+    fn id_row_relevance_agrees_with_the_tuple_view() {
+        let rules = sample_hospital_rules();
+        let ds = sample_hospital_dataset();
+        for rule in rules.iter() {
+            for t in ds.tuples() {
+                let row = ds.row_ids(t.id());
+                assert_eq!(
+                    rule.is_relevant_ids(ds.schema(), ds.pool(), &row),
+                    rule.is_relevant(ds.schema(), &t),
+                    "{rule} diverged on {:?}",
+                    t.id()
+                );
+            }
+        }
     }
 
     #[test]

@@ -5,8 +5,9 @@
 use datagen::{CarGenerator, HaiGenerator};
 use dataset::csv::{parse_csv, to_csv};
 use dataset::RepairEvaluation;
+use distributed::DistributedMlnClean;
 use holoclean::{HoloClean, HoloCleanConfig};
-use mlnclean::{CleanConfig, MlnClean};
+use mlnclean::{CleanConfig, Engine, IncrementalMlnClean, MlnClean};
 use rules::parse_rules;
 
 fn hai_config() -> CleanConfig {
@@ -154,6 +155,58 @@ PORTLAND,OR,97201
 
     let round_trip = parse_csv(&to_csv(&outcome.repaired)).unwrap();
     assert_eq!(round_trip, outcome.repaired);
+}
+
+#[test]
+fn every_engine_cleans_through_the_same_front_door() {
+    // The unified Engine abstraction: batch, incremental and distributed
+    // drivers run through one trait, return one Report shape, and reach
+    // comparable quality on the same workload.
+    let dirty = HaiGenerator::default()
+        .with_rows(600)
+        .with_providers(15)
+        .dirty(0.05, 0.5, 42);
+    let rules = HaiGenerator::rules();
+    let engines: [&dyn Engine; 3] = [
+        &MlnClean::new(hai_config()),
+        &IncrementalMlnClean::new(hai_config()).with_batch_rows(97),
+        &DistributedMlnClean::new(4, hai_config()),
+    ];
+    let mut f1s = Vec::new();
+    for engine in engines {
+        let report = engine.run(&dirty.dirty, &rules).unwrap();
+        assert_eq!(
+            report.repaired.len(),
+            dirty.dirty.len(),
+            "{}",
+            engine.name()
+        );
+        assert!(report.timings.total() > std::time::Duration::ZERO);
+        // Provenance is global-coordinate for every driver: one FSCR outcome
+        // per input tuple.
+        assert_eq!(report.fscr.outcomes.len(), dirty.dirty.len());
+        match engine.name() {
+            "distributed" => {
+                assert!(report.index.is_none());
+                assert!(report.partitions.is_some());
+            }
+            _ => {
+                assert!(report.index.is_some());
+                assert!(report.partitions.is_none());
+            }
+        }
+        f1s.push(RepairEvaluation::evaluate(&dirty, &report.repaired).f1());
+    }
+    // Batch and incremental are byte-identical (pinned elsewhere); the
+    // distributed plan reorders tuples into partitions, so it only has to be
+    // comparable in quality.
+    assert_eq!(f1s[0], f1s[1], "batch vs incremental F1");
+    assert!(
+        (f1s[0] - f1s[2]).abs() < 0.15,
+        "single-node {:.3} vs distributed {:.3}",
+        f1s[0],
+        f1s[2]
+    );
 }
 
 #[test]

@@ -97,25 +97,25 @@ fn figure4_clean_data_versions_after_stage_one() {
         .clean(&dirty, &rules)
         .expect("rules match the schema");
 
-    let b1 = outcome.index.block(RuleId(0));
+    let b1 = outcome.index().block(RuleId(0));
     assert_eq!(b1.group_count(), 2);
     for group in &b1.groups {
         assert!(group.is_clean());
         assert_eq!(
-            group.gammas[0].resolve_result_values(outcome.index.pool()),
+            group.gammas[0].resolve_result_values(outcome.index().pool()),
             vec!["AL"]
         );
     }
 
-    let b3 = outcome.index.block(RuleId(2));
+    let b3 = outcome.index().block(RuleId(2));
     assert_eq!(b3.group_count(), 1);
     let gamma = &b3.groups[0].gammas[0];
     assert_eq!(
-        gamma.resolve_reason_values(outcome.index.pool()),
+        gamma.resolve_reason_values(outcome.index().pool()),
         vec!["ELIZA", "BOAZ"]
     );
     assert_eq!(
-        gamma.resolve_result_values(outcome.index.pool()),
+        gamma.resolve_result_values(outcome.index().pool()),
         vec!["2567688400"]
     );
     assert_eq!(gamma.support(), 4);

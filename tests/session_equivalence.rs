@@ -1,16 +1,17 @@
-//! Incremental-vs-batch equivalence: cleaning N micro-batches through
-//! `CleaningSession` must yield **byte-identical** repaired/deduplicated CSV
-//! and identical AGP/RSC/FSCR provenance to one `MlnClean::clean` batch run
-//! over the same rows — in both the serial and the parallel Stage-I
-//! configuration, and regardless of how often intermediate outcomes are
-//! drawn.
+//! Incremental-vs-batch equivalence: driving a `CleaningSession` through
+//! micro-batches — and, since the typed-ingest redesign, through interleaved
+//! `Insert`/`Update`/`Delete` mutations — must yield **byte-identical**
+//! repaired/deduplicated CSV and identical AGP/RSC/FSCR provenance to one
+//! `MlnClean::clean` batch run over the net surviving rows — in both the
+//! serial and the parallel Stage-I configuration, and regardless of how
+//! often intermediate outcomes are drawn.
 
-use dataset::{csv, Dataset, TupleId};
-use mlnclean::{CleanConfig, CleaningError, CleaningOutcome, CleaningSession, MlnClean};
+use dataset::{csv, AttrId, Dataset, Schema, TupleId};
+use mlnclean::{ChangeSet, CleanConfig, CleanError, CleaningSession, MlnClean, Mutation, Report};
 use rules::RuleSet;
 
 /// Byte-level comparison of two outcomes: output CSVs plus full provenance.
-fn assert_outcomes_identical(label: &str, incremental: &CleaningOutcome, batch: &CleaningOutcome) {
+fn assert_outcomes_identical(label: &str, incremental: &Report, batch: &Report) {
     assert_eq!(
         csv::to_csv(&incremental.repaired),
         csv::to_csv(&batch.repaired),
@@ -45,12 +46,12 @@ fn stream_clean(
     config: CleanConfig,
     batch_rows: usize,
     outcome_per_batch: bool,
-) -> Result<CleaningOutcome, CleaningError> {
+) -> Result<Report, CleanError> {
     let mut session = CleaningSession::new(config, ds.schema().clone(), rules.clone())?;
     for batch in datagen::BatchStream::new(ds, batch_rows) {
         let report = session.ingest_batch(batch).expect("rows match the schema");
         assert!(report.dirty_blocks <= report.total_blocks);
-        assert!(report.touched_groups <= report.total_groups);
+        assert!(report.touched_groups <= report.total_groups + report.rows);
         if outcome_per_batch {
             let _ = session.outcome();
         }
@@ -210,7 +211,7 @@ fn session_rejects_bad_input() {
         RuleSet::default(),
     )
     .unwrap_err();
-    assert_eq!(err, CleaningError::NoRules);
+    assert_eq!(err, CleanError::NoRules);
 
     // Rule referencing an unknown attribute.
     let err = CleaningSession::new(
@@ -219,7 +220,7 @@ fn session_rejects_bad_input() {
         rules::parse_rules("FD: nope -> ST").unwrap(),
     )
     .unwrap_err();
-    assert!(matches!(err, CleaningError::Index(_)));
+    assert!(matches!(err, CleanError::Index(_)));
 
     // Arity mismatch is atomic: nothing is ingested.
     let mut session =
@@ -227,9 +228,383 @@ fn session_rejects_bad_input() {
     let err = session
         .ingest_batch(vec![vec!["only-one-value".to_string()]])
         .unwrap_err();
-    assert!(matches!(err, mlnclean::IngestError::Arity(_)));
+    assert!(matches!(err, CleanError::Arity(_)));
     assert!(session.is_empty());
     assert_eq!(session.batches(), 0);
+}
+
+#[test]
+fn change_set_validation_is_atomic() {
+    let dirty = dataset::sample_hospital_dataset();
+    let rules = rules::sample_hospital_rules();
+    let mut session =
+        CleaningSession::new(CleanConfig::default(), dirty.schema().clone(), rules).unwrap();
+    let rows: Vec<Vec<String>> = dirty.tuples().map(|t| t.owned_values()).collect();
+    session.ingest_batch(rows).unwrap();
+
+    // A change set that starts valid but ends out of bounds must apply
+    // nothing at all: tuple ids are tracked through the sequence, so after
+    // one delete only 5 rows remain and `TupleId(5)` is out of range.
+    let before = csv::to_csv(session.dataset());
+    let st = dirty.schema().attr_id("ST").unwrap();
+    let err = session
+        .apply(
+            ChangeSet::new()
+                .update(TupleId(0), st, "AL")
+                .delete(TupleId(0))
+                .delete(TupleId(5)),
+        )
+        .unwrap_err();
+    assert_eq!(
+        err,
+        CleanError::UnknownTuple {
+            tuple: TupleId(5),
+            rows: 5
+        }
+    );
+    assert_eq!(csv::to_csv(session.dataset()), before, "nothing applied");
+
+    // Unknown attributes are caught too.
+    let err = session
+        .apply(ChangeSet::new().update(TupleId(0), AttrId(99), "x"))
+        .unwrap_err();
+    assert!(matches!(err, CleanError::UnknownAttribute { .. }));
+
+    // An insertion inside the set extends the addressable range.
+    session
+        .apply(
+            ChangeSet::new()
+                .insert_row(dirty.tuple(TupleId(0)).owned_values())
+                .delete(TupleId(6)),
+        )
+        .unwrap();
+    assert_eq!(session.len(), dirty.len());
+}
+
+/// Apply one mutation to the plain-row reference model, mirroring the
+/// session's sequential semantics (deletes shift later ids down).
+fn apply_to_model(model: &mut Vec<Vec<String>>, mutation: &Mutation) {
+    match mutation {
+        Mutation::Insert(rows) => model.extend(rows.iter().cloned()),
+        Mutation::Update(t, a, v) => model[t.index()][a.index()] = v.clone(),
+        Mutation::Delete(t) => {
+            model.remove(t.index());
+        }
+    }
+}
+
+/// Batch-clean the model rows from scratch (fresh dataset, fresh pool) — the
+/// ground truth every session state must match byte for byte.
+fn batch_clean_model(
+    schema: &Schema,
+    model: &[Vec<String>],
+    rules: &RuleSet,
+    config: &CleanConfig,
+) -> Report {
+    let mut net = Dataset::new(schema.clone());
+    net.extend_rows(model.to_vec()).expect("model rows fit");
+    MlnClean::new(config.clone())
+        .clean(&net, rules)
+        .expect("model batch cleans")
+}
+
+#[test]
+fn scripted_mutations_on_the_hospital_sample_match_batch_runs() {
+    // A deterministic script exercising every mutation kind — including CFD
+    // relevance flips, value healing, deletes at the front/middle, and
+    // re-inserts — checked against a fresh batch clean after EVERY change
+    // set, in serial and parallel mode.
+    let dirty = dataset::sample_hospital_dataset();
+    let rules = rules::sample_hospital_rules();
+    let schema = dirty.schema().clone();
+    let ct = schema.attr_id("CT").unwrap();
+    let st = schema.attr_id("ST").unwrap();
+    let hn = schema.attr_id("HN").unwrap();
+    let all_rows: Vec<Vec<String>> = dirty.tuples().map(|t| t.owned_values()).collect();
+
+    let scripts: Vec<ChangeSet> = vec![
+        ChangeSet::inserting(all_rows.clone()),
+        // Heal the t2 typo, break t1 instead.
+        ChangeSet::new()
+            .update(TupleId(1), ct, "DOTHAN")
+            .update(TupleId(0), st, "AK"),
+        // Drop the broken row, flip t3 out of the CFD block.
+        ChangeSet::new()
+            .delete(TupleId(0))
+            .update(TupleId(1), hn, "ALABAMA"),
+        // Mixed set: insert two rows back, delete one, update across the
+        // shifted numbering (ids resolve sequentially).
+        ChangeSet::new()
+            .insert(vec![all_rows[0].clone(), all_rows[1].clone()])
+            .delete(TupleId(2))
+            .update(TupleId(4), ct, "BOAZ"),
+        // Delete everything but two rows.
+        ChangeSet::new()
+            .delete(TupleId(0))
+            .delete(TupleId(0))
+            .delete(TupleId(1)),
+    ];
+
+    for parallel in [false, true] {
+        let config = CleanConfig::default().with_tau(1).with_parallel(parallel);
+        let mut session =
+            CleaningSession::new(config.clone(), schema.clone(), rules.clone()).unwrap();
+        let mut model: Vec<Vec<String>> = Vec::new();
+        for (step, changes) in scripts.iter().enumerate() {
+            for mutation in changes.iter() {
+                apply_to_model(&mut model, mutation);
+            }
+            let report = session.apply(changes.clone()).unwrap();
+            assert_eq!(report.total_rows, model.len(), "step {step} row count");
+            let incremental = session.outcome();
+            let batch = batch_clean_model(&schema, &model, &rules, &config);
+            assert_outcomes_identical(
+                &format!("hospital script step {step} (parallel={parallel})"),
+                &incremental,
+                &batch,
+            );
+        }
+    }
+}
+
+/// Tiny deterministic RNG (SplitMix64) for the randomized mutation scripts.
+struct ScriptRng(u64);
+
+impl ScriptRng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next() % bound.max(1) as u64) as usize
+    }
+}
+
+/// Generate and apply `rounds` random change sets against both the session
+/// and the plain-row model, drawing an intermediate outcome after each round,
+/// and return nothing — the caller compares the final states.
+///
+/// Inserts draw rows from `reserve`; updates draw values from the attribute's
+/// domain in the combined workload (so repairs stay plausible); deletes pick
+/// any live row.  Every change set mixes one to four mutations.
+fn run_random_script(
+    session: &mut CleaningSession,
+    model: &mut Vec<Vec<String>>,
+    reserve: &[Vec<String>],
+    domains: &[Vec<String>],
+    rounds: usize,
+    outcome_per_round: bool,
+    rng: &mut ScriptRng,
+) {
+    let mut reserve_at = 0usize;
+    for _ in 0..rounds {
+        let mut changes = ChangeSet::new();
+        let mut rows = model.len();
+        for _ in 0..(1 + rng.below(4)) {
+            let pick = rng.below(10);
+            if pick < 4 && reserve_at < reserve.len() {
+                // Insert one to three reserve rows.
+                let n = (1 + rng.below(3)).min(reserve.len() - reserve_at);
+                let batch = reserve[reserve_at..reserve_at + n].to_vec();
+                reserve_at += n;
+                rows += n;
+                changes = changes.insert(batch);
+            } else if pick < 8 && rows > 0 {
+                // Update a random live cell to a random in-domain value.
+                let t = TupleId(rng.below(rows));
+                let a = rng.below(domains.len());
+                let v = domains[a][rng.below(domains[a].len())].clone();
+                changes = changes.update(t, AttrId(a), v);
+            } else if rows > 1 {
+                // Delete a random live row.
+                let t = TupleId(rng.below(rows));
+                rows -= 1;
+                changes = changes.delete(t);
+            }
+        }
+        if changes.is_empty() {
+            continue;
+        }
+        for mutation in changes.iter() {
+            apply_to_model(model, mutation);
+        }
+        let report = session.apply(changes).expect("script mutations are valid");
+        assert_eq!(report.total_rows, model.len());
+        if outcome_per_round {
+            let _ = session.outcome();
+        }
+    }
+}
+
+/// Shared body of the randomized interleaving tests: seed a workload, split
+/// it into an initial bulk plus an insertion reserve, run a random script,
+/// and require byte-identity with a fresh batch clean of the net rows.
+#[allow(clippy::too_many_arguments)]
+fn random_interleaving_case(
+    dirty: &Dataset,
+    rules: &RuleSet,
+    config: &CleanConfig,
+    base_rows: usize,
+    rounds: usize,
+    outcome_per_round: bool,
+    seed: u64,
+    label: &str,
+) {
+    let schema = dirty.schema().clone();
+    let all: Vec<Vec<String>> = dirty.tuples().map(|t| t.owned_values()).collect();
+    let (base, reserve) = all.split_at(base_rows.min(all.len()));
+    let domains: Vec<Vec<String>> = schema
+        .attr_ids()
+        .map(|a| dirty.domain(a).into_iter().collect())
+        .collect();
+
+    let mut session = CleaningSession::new(config.clone(), schema.clone(), rules.clone()).unwrap();
+    let mut model: Vec<Vec<String>> = base.to_vec();
+    session.ingest_batch(base.to_vec()).unwrap();
+
+    let mut rng = ScriptRng(seed);
+    run_random_script(
+        &mut session,
+        &mut model,
+        reserve,
+        &domains,
+        rounds,
+        outcome_per_round,
+        &mut rng,
+    );
+
+    let incremental = session.finish();
+    let batch = batch_clean_model(&schema, &model, rules, config);
+    assert_outcomes_identical(label, &incremental, &batch);
+}
+
+#[test]
+fn random_interleavings_on_seeded_hai_match_batch_runs() {
+    let dirty = datagen::HaiGenerator::default()
+        .with_rows(260)
+        .with_providers(10)
+        .dirty(0.06, 0.5, 13)
+        .dirty;
+    let rules = datagen::HaiGenerator::rules();
+    for parallel in [false, true] {
+        let config = CleanConfig::default()
+            .with_tau(2)
+            .with_agp_distance_guard(0.15)
+            .with_parallel(parallel);
+        random_interleaving_case(
+            &dirty,
+            &rules,
+            &config,
+            200,
+            8,
+            true,
+            0xA11CE,
+            &format!("hai random interleaving (parallel={parallel})"),
+        );
+    }
+}
+
+#[test]
+fn random_interleavings_on_seeded_car_match_batch_runs() {
+    let dirty = datagen::CarGenerator::default()
+        .with_rows(320)
+        .dirty(0.05, 0.5, 3)
+        .dirty;
+    let rules = datagen::CarGenerator::rules();
+    for parallel in [false, true] {
+        let config = CleanConfig::default()
+            .with_tau(1)
+            .with_agp_distance_guard(0.15)
+            .with_parallel(parallel);
+        random_interleaving_case(
+            &dirty,
+            &rules,
+            &config,
+            260,
+            8,
+            true,
+            0xCA55E77E,
+            &format!("car random interleaving (parallel={parallel})"),
+        );
+    }
+}
+
+#[test]
+fn mutations_on_non_cfd_rows_keep_the_cfd_block_clean() {
+    // Updating and deleting non-acura CAR rows (on attributes the CFD cannot
+    // see flips for) must leave the CFD block untouched: dirty blocks <
+    // total blocks, while staying byte-identical to the batch run.
+    let dirty = datagen::CarGenerator::default()
+        .with_rows(320)
+        .dirty(0.05, 0.5, 3)
+        .dirty;
+    let rules = datagen::CarGenerator::rules();
+    let config = CleanConfig::default().with_tau(1);
+    let (head, tail) = datagen::CarGenerator::non_acura_tail_split(&dirty, 8);
+    assert!(!tail.is_empty());
+
+    let mut session =
+        CleaningSession::new(config.clone(), dirty.schema().clone(), rules.clone()).unwrap();
+    let ordered: Vec<TupleId> = head.iter().chain(tail.iter()).copied().collect();
+    session
+        .ingest_dataset(&dirty.project_rows(&ordered))
+        .unwrap();
+    let _ = session.outcome();
+    assert_eq!(session.dirty_block_count(), 0);
+
+    // Delete one non-acura row and rewrite a (non-Make) cell of another.
+    let model_attr = dirty.schema().attr_id("Model").unwrap();
+    let victim = TupleId(ordered.len() - 1);
+    let patched = TupleId(ordered.len() - 3);
+    let new_value = dirty.value(tail[0], model_attr).to_string();
+    let mut model: Vec<Vec<String>> = ordered
+        .iter()
+        .map(|&t| dirty.tuple(t).owned_values())
+        .collect();
+    let changes = ChangeSet::new()
+        .delete(victim)
+        .update(patched, model_attr, new_value);
+    for mutation in changes.iter() {
+        apply_to_model(&mut model, mutation);
+    }
+    let report = session.apply(changes).unwrap();
+    assert!(
+        report.dirty_blocks < report.total_blocks,
+        "the CFD block must stay clean: {report:?}"
+    );
+    assert_eq!(report.deleted_rows, 1);
+    assert_eq!(report.updated_cells, 1);
+
+    let incremental = session.finish();
+    let batch = batch_clean_model(dirty.schema(), &model, &rules, &config);
+    assert_outcomes_identical("car mutation tail", &incremental, &batch);
+}
+
+#[test]
+fn no_op_updates_count_nothing_and_dirty_nothing() {
+    let dirty = dataset::sample_hospital_dataset();
+    let rules = rules::sample_hospital_rules();
+    let mut session =
+        CleaningSession::new(CleanConfig::default(), dirty.schema().clone(), rules).unwrap();
+    session
+        .ingest_batch(dirty.tuples().map(|t| t.owned_values()).collect())
+        .unwrap();
+    let _ = session.outcome();
+    assert_eq!(session.dirty_block_count(), 0);
+
+    // Re-writing a cell to the value it already holds overwrites nothing.
+    let ct = dirty.schema().attr_id("CT").unwrap();
+    let current = dirty.value(TupleId(0), ct).to_string();
+    let report = session
+        .apply(ChangeSet::new().update(TupleId(0), ct, current))
+        .unwrap();
+    assert_eq!(report.updated_cells, 0);
+    assert_eq!(report.dirty_blocks, 0);
+    assert_eq!(session.dirty_block_count(), 0);
 }
 
 #[test]
@@ -243,4 +618,89 @@ fn outcome_on_an_empty_session_is_empty() {
     assert!(outcome.deduplicated().is_empty());
     assert!(outcome.agp.merges.is_empty());
     assert!(outcome.fscr.outcomes.is_empty());
+}
+
+#[test]
+fn deleting_every_row_leaves_an_empty_but_consistent_session() {
+    let dirty = dataset::sample_hospital_dataset();
+    let rules = rules::sample_hospital_rules();
+    let mut session =
+        CleaningSession::new(CleanConfig::default(), dirty.schema().clone(), rules).unwrap();
+    let rows: Vec<Vec<String>> = dirty.tuples().map(|t| t.owned_values()).collect();
+    session.ingest_batch(rows.clone()).unwrap();
+    let _ = session.outcome();
+    // Delete front-first: every remaining row is always TupleId(0).
+    let mut changes = ChangeSet::new();
+    for _ in 0..dirty.len() {
+        changes = changes.delete(TupleId(0));
+    }
+    let report = session.apply(changes).unwrap();
+    assert_eq!(report.total_rows, 0);
+    assert_eq!(report.deleted_rows, dirty.len());
+    let outcome = session.outcome();
+    assert!(outcome.repaired.is_empty());
+    assert!(outcome.fscr.outcomes.is_empty());
+    // And the session keeps working afterwards.
+    session.ingest_batch(rows).unwrap();
+    assert_eq!(session.finish().repaired.len(), dirty.len());
+}
+
+mod proptest_interleavings {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+
+        // Random interleavings of insert/update/delete on a seeded HAI
+        // workload are byte-identical to a batch clean of the net dataset,
+        // serial and parallel.
+        #[test]
+        fn random_hai_interleavings_match_batch(seed in 0u64..10_000) {
+            let dirty = datagen::HaiGenerator::default()
+                .with_rows(150)
+                .with_providers(8)
+                .dirty(0.08, 0.5, 7)
+                .dirty;
+            let rules = datagen::HaiGenerator::rules();
+            let parallel = seed % 2 == 0;
+            let config = CleanConfig::default()
+                .with_tau(2)
+                .with_parallel(parallel);
+            random_interleaving_case(
+                &dirty,
+                &rules,
+                &config,
+                110,
+                6,
+                seed % 3 == 0,
+                seed,
+                &format!("proptest hai seed={seed} parallel={parallel}"),
+            );
+        }
+
+        // Same property on CAR, whose CFD makes block dirtiness partial.
+        #[test]
+        fn random_car_interleavings_match_batch(seed in 0u64..10_000) {
+            let dirty = datagen::CarGenerator::default()
+                .with_rows(160)
+                .dirty(0.06, 0.5, 5)
+                .dirty;
+            let rules = datagen::CarGenerator::rules();
+            let parallel = seed % 2 == 1;
+            let config = CleanConfig::default()
+                .with_tau(1)
+                .with_parallel(parallel);
+            random_interleaving_case(
+                &dirty,
+                &rules,
+                &config,
+                120,
+                6,
+                seed % 3 == 1,
+                seed,
+                &format!("proptest car seed={seed} parallel={parallel}"),
+            );
+        }
+    }
 }
