@@ -17,7 +17,8 @@
 
 use crate::common::{Scale, Workload};
 use dataset::{csv, RepairEvaluation};
-use mlnclean::{CacheStats, CleaningSession, MlnClean};
+use distributed::DistributedStreamingSession;
+use mlnclean::{CacheStats, ChangeSet, CleaningSession, MlnClean, Report};
 use std::time::{Duration, Instant};
 
 /// Run the smoke workload and return the JSON artifact as `(file name,
@@ -71,7 +72,8 @@ pub fn run(scale: Scale) -> Vec<(String, String)> {
     let stream = run_hai_stream(&dirty.dirty, &workload, &outcome, wall);
     let reclean = run_incremental_reclean(scale);
     let mutation = run_mutation_probe(scale);
-    let streaming = render_streaming(&stream, &reclean, &mutation);
+    let distributed = run_distributed_stream(scale);
+    let streaming = render_streaming(&stream, &reclean, &mutation, &distributed);
 
     let json = format!(
         concat!(
@@ -400,12 +402,88 @@ fn run_mutation_probe(scale: Scale) -> MutationProbe {
     }
 }
 
+/// The distributed-streaming probe: the same tiny HAI workload ingested in
+/// 8 micro-batches through a 2-partition `DistributedStreamingSession`
+/// (merge cadence 1) **and** a single `CleaningSession`, asserting
+/// byte-identity of the repaired CSV and the full AGP/RSC/FSCR provenance,
+/// and reporting the per-round cross-partition merge cost.
+struct DistributedStreamProbe {
+    partitions: usize,
+    merge_every: usize,
+    batches: usize,
+    merge_rounds: usize,
+    weight_merge: Duration,
+    gather: Duration,
+    shared_gammas: usize,
+    partition_sizes: Vec<usize>,
+    matches_single_session: bool,
+}
+
+/// Compare two reports at the byte level: output CSVs plus full provenance.
+fn reports_identical(a: &Report, b: &Report) -> bool {
+    csv::to_csv(&a.repaired) == csv::to_csv(&b.repaired)
+        && csv::to_csv(a.deduplicated()) == csv::to_csv(b.deduplicated())
+        && a.agp == b.agp
+        && a.rsc == b.rsc
+        && a.fscr == b.fscr
+}
+
+fn run_distributed_stream(scale: Scale) -> DistributedStreamProbe {
+    let workload = Workload::Hai;
+    let dirty = workload.dirty(scale, 0.05, 0.5, 1).dirty;
+    let rules = workload.rules();
+    let config = workload.clean_config();
+    let (partitions, merge_every) = (2usize, 1usize);
+
+    let mut single = CleaningSession::new(config.clone(), dirty.schema().clone(), rules.clone())
+        .expect("the smoke rules match the smoke schema");
+    let mut streamed = DistributedStreamingSession::new(
+        config,
+        dirty.schema().clone(),
+        rules,
+        partitions,
+        merge_every,
+    )
+    .expect("the smoke rules match the smoke schema");
+
+    let mut batches = 0usize;
+    for batch in datagen::row_batches(&dirty, 8) {
+        single
+            .apply(ChangeSet::inserting(batch.clone()))
+            .expect("rows match the schema");
+        streamed
+            .apply(ChangeSet::inserting(batch))
+            .expect("rows match the schema");
+        batches += 1;
+    }
+    let partition_sizes = streamed.partition_sizes();
+    let streamed = streamed.finish();
+    let single = single.finish();
+
+    DistributedStreamProbe {
+        partitions,
+        merge_every,
+        batches,
+        merge_rounds: streamed.timings.merge_rounds,
+        weight_merge: streamed.timings.weight_merge,
+        gather: streamed.timings.gather,
+        shared_gammas: streamed
+            .partitions
+            .as_ref()
+            .map(|p| p.shared_gammas)
+            .unwrap_or(0),
+        partition_sizes,
+        matches_single_session: reports_identical(&streamed, &single),
+    }
+}
+
 /// Render the streaming section of `BENCH_smoke.json` (the value of the
 /// `"streaming"` key, indented to nest under the top-level object).
 fn render_streaming(
     stream: &StreamProbe,
     reclean: &RecleanProbe,
     mutation: &MutationProbe,
+    distributed: &DistributedStreamProbe,
 ) -> String {
     let per_batch: String = stream
         .per_batch
@@ -463,6 +541,19 @@ fn render_streaming(
             "      \"full_reclean_seconds\": {mutation_full:.6},\n",
             "      \"speedup\": {mutation_speedup:.3},\n",
             "      \"matches_full_reclean\": {mutation_matches}\n",
+            "    }},\n",
+            "    \"distributed_stream\": {{\n",
+            "      \"workload\": \"HAI\",\n",
+            "      \"partitions\": {ds_partitions},\n",
+            "      \"merge_every\": {ds_merge_every},\n",
+            "      \"batches\": {ds_batches},\n",
+            "      \"merge_rounds\": {ds_rounds},\n",
+            "      \"weight_merge_seconds\": {ds_weight_merge:.6},\n",
+            "      \"gather_seconds\": {ds_gather:.6},\n",
+            "      \"per_round_merge_seconds\": {ds_per_round:.6},\n",
+            "      \"shared_gammas\": {ds_shared},\n",
+            "      \"partition_sizes\": {ds_sizes:?},\n",
+            "      \"matches_single_session\": {ds_matches}\n",
             "    }}\n",
             "  }}",
         ),
@@ -488,6 +579,17 @@ fn render_streaming(
         mutation_full = mutation.full.as_secs_f64(),
         mutation_speedup = mutation_speedup,
         mutation_matches = mutation.matches_full,
+        ds_partitions = distributed.partitions,
+        ds_merge_every = distributed.merge_every,
+        ds_batches = distributed.batches,
+        ds_rounds = distributed.merge_rounds,
+        ds_weight_merge = distributed.weight_merge.as_secs_f64(),
+        ds_gather = distributed.gather.as_secs_f64(),
+        ds_per_round = (distributed.weight_merge + distributed.gather).as_secs_f64()
+            / distributed.merge_rounds.max(1) as f64,
+        ds_shared = distributed.shared_gammas,
+        ds_sizes = distributed.partition_sizes,
+        ds_matches = distributed.matches_single_session,
     )
 }
 
@@ -520,6 +622,11 @@ mod tests {
         assert!(json.contains("\"final_matches_one_shot\": true"));
         assert!(json.contains("\"matches_full_reclean\": true"));
         assert!(!json.contains("\"matches_full_reclean\": false"));
+        // The distributed-streaming probe: per-round merge accounting and
+        // byte-identity with the single-session stream.
+        assert!(json.contains("\"distributed_stream\""));
+        assert!(json.contains("\"per_round_merge_seconds\""));
+        assert!(json.contains("\"matches_single_session\": true"));
         // Crude structural sanity: balanced braces, no trailing comma issues.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
@@ -538,6 +645,23 @@ mod tests {
         assert!(
             probe.matches_full,
             "incremental re-clean must match the batch re-run"
+        );
+    }
+
+    #[test]
+    fn distributed_stream_probe_matches_the_single_session() {
+        let probe = run_distributed_stream(Scale::Tiny);
+        assert_eq!(probe.partitions, 2);
+        assert_eq!(probe.batches, 8);
+        assert!(
+            probe.merge_rounds >= 1 && probe.merge_rounds <= probe.batches,
+            "cadence 1 merges at most once per batch: {}",
+            probe.merge_rounds
+        );
+        assert_eq!(probe.partition_sizes.len(), 2);
+        assert!(
+            probe.matches_single_session,
+            "distributed streaming must match the single-session stream byte for byte"
         );
     }
 

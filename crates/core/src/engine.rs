@@ -68,6 +68,12 @@ pub struct Timings {
     /// Gathering per-part repairs back into one dataset (distributed driver
     /// only).
     pub gather: Duration,
+    /// Number of coordinator merge rounds accumulated into
+    /// [`Timings::weight_merge`] and [`Timings::gather`]: the streaming
+    /// distributed driver merges every K batches and bumps this per round
+    /// (so per-round averages are derivable), the batch distributed driver
+    /// performs exactly one merge, and the single-node drivers none.
+    pub merge_rounds: usize,
 }
 
 impl Timings {
@@ -321,8 +327,55 @@ mod tests {
             index: Duration::from_secs(1),
             partition: Duration::from_secs(2),
             gather: Duration::from_secs(3),
+            merge_rounds: 4, // a count, not a duration: never part of total()
             ..Timings::default()
         };
         assert_eq!(t.total(), Duration::from_secs(6));
+    }
+
+    #[test]
+    fn partition_report_sizes_and_skew() {
+        // Skewed partitions: 3 rows vs 1 row.
+        let skewed = PartitionReport {
+            parts: vec![vec![TupleId(0), TupleId(2), TupleId(3)], vec![TupleId(1)]],
+            shared_gammas: 2,
+        };
+        assert_eq!(skewed.sizes(), vec![3, 1]);
+        assert!((skewed.skew() - 3.0).abs() < f64::EPSILON);
+
+        // An empty partition must not divide by zero.
+        let with_empty = PartitionReport {
+            parts: vec![vec![TupleId(0), TupleId(1)], Vec::new()],
+            shared_gammas: 0,
+        };
+        assert_eq!(with_empty.sizes(), vec![2, 0]);
+        assert!((with_empty.skew() - 2.0).abs() < f64::EPSILON);
+
+        // No partitions at all: sizes empty, skew 0.
+        let empty = PartitionReport::default();
+        assert!(empty.sizes().is_empty());
+        assert!(empty.skew().abs() < f64::EPSILON);
+
+        // Perfectly balanced partitions have skew 1.
+        let balanced = PartitionReport {
+            parts: vec![vec![TupleId(0)], vec![TupleId(1)]],
+            shared_gammas: 1,
+        };
+        assert!((balanced.skew() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_ingest_error_alias_round_trips() {
+        // The session's historical error enum names the unified one.
+        let err: crate::IngestError = CleanError::NoRules;
+        assert_eq!(err, CleanError::NoRules);
+        fn takes_ingest_error(e: crate::IngestError) -> CleanError {
+            e
+        }
+        assert_eq!(
+            takes_ingest_error(CleanError::Partition { workers: 0 }),
+            CleanError::Partition { workers: 0 }
+        );
     }
 }

@@ -110,9 +110,10 @@ mod tests {
     use super::*;
     use std::error::Error;
 
-    #[test]
-    fn displays_cover_every_variant() {
-        let cases: Vec<CleanError> = vec![
+    /// One instance of every variant — keep in sync with the enum so the
+    /// Display/source tests below stay exhaustive.
+    fn every_variant() -> Vec<CleanError> {
+        vec![
             CleanError::Index(IndexError::UnknownAttribute {
                 rule: rules::RuleId(0),
                 attribute: "X".into(),
@@ -132,20 +133,54 @@ mod tests {
                 arity: 4,
             },
             CleanError::Partition { workers: 0 },
+        ]
+    }
+
+    #[test]
+    fn displays_cover_every_variant() {
+        // Every Display names the offending detail, not just a static label.
+        let expected_fragments = [
+            "X",
+            "schema has 3 attributes",
+            "different schemas",
+            "empty",
+            "t8", // TupleId(7) renders 1-based, like the paper's tuples
+            "AttrId(9)",
+            "0 workers",
         ];
-        for e in cases {
-            assert!(!e.to_string().is_empty());
+        let variants = every_variant();
+        assert_eq!(
+            variants.len(),
+            expected_fragments.len(),
+            "a variant was added without a Display expectation (zip would \
+             silently skip it)"
+        );
+        for (e, fragment) in variants.into_iter().zip(expected_fragments) {
+            let rendered = e.to_string();
+            assert!(!rendered.is_empty());
+            assert!(
+                rendered.contains(fragment),
+                "{rendered:?} should mention {fragment:?}"
+            );
         }
     }
 
     #[test]
     fn sources_chain_to_the_underlying_errors() {
-        let e = CleanError::from(ArityMismatch {
-            expected: 2,
-            actual: 1,
-        });
-        assert!(e.source().is_some());
-        assert!(CleanError::NoRules.source().is_none());
+        // Exactly the wrapper variants chain a source; the leaf variants
+        // are self-contained.
+        for e in every_variant() {
+            match &e {
+                CleanError::Index(_) | CleanError::Arity(_) | CleanError::Schema(_) => {
+                    let source = e.source().unwrap_or_else(|| {
+                        panic!("{e} must chain its underlying error");
+                    });
+                    // The chained source renders on its own, too.
+                    assert!(!source.to_string().is_empty());
+                }
+                _ => assert!(e.source().is_none(), "{e} is a leaf variant"),
+            }
+        }
     }
 
     #[test]

@@ -317,8 +317,10 @@ impl ConflictResolver {
 /// overwritten, and a fusion never writes the same attribute twice) and
 /// append the provenance (cell changes + outcome) to the record.  `pool`
 /// must resolve every id of both the fusion and the tuple's dirty cells
-/// (the dataset pool, or the index's snapshot of it).
-pub(crate) fn apply_tuple_fusion(
+/// (the dataset pool, or the index's snapshot of it).  Public so external
+/// engine builders (e.g. the distributed streaming driver) can replay
+/// memoised [`TupleFusion`]s exactly like [`crate::CleaningSession`] does.
+pub fn apply_tuple_fusion(
     repaired: &mut Dataset,
     pool: &dataset::ValuePool,
     t: TupleId,

@@ -225,8 +225,10 @@ pub struct MlnIndex {
 
 /// Compare two id vectors by their string-resolved values — the ordering the
 /// historical string-keyed index used for groups and γs, preserved so every
-/// downstream tie-break stays byte-identical.
-fn cmp_resolved(pool: &ValuePool, a: &[ValueId], b: &[ValueId]) -> Ordering {
+/// downstream tie-break stays byte-identical.  Public because external
+/// coordinators that assemble blocks (e.g. the distributed streaming merge)
+/// must restore exactly this ordering; do not reimplement it.
+pub fn cmp_resolved(pool: &ValuePool, a: &[ValueId], b: &[ValueId]) -> Ordering {
     let ka = a.iter().map(|&v| pool.resolve(v));
     let kb = b.iter().map(|&v| pool.resolve(v));
     ka.cmp(kb)
@@ -485,6 +487,16 @@ impl MlnIndex {
         touched_groups
     }
 
+    /// Assemble an index from externally built blocks and the pool their
+    /// value ids resolve through — the constructor external coordinators
+    /// (e.g. the distributed streaming driver, which merges per-partition
+    /// pristine blocks into global ones) use.  The caller is responsible
+    /// for the blocks' invariants: groups sorted by string-resolved key, γs
+    /// by resolved value vector, tuple lists ascending.
+    pub fn from_parts(blocks: Vec<Block>, pool: ValuePool) -> Self {
+        MlnIndex { blocks, pool }
+    }
+
     /// Splice removed tuple ids out of every γ tuple list and shift the
     /// surviving ids down, **without** restructuring groups or γs.
     ///
@@ -493,7 +505,7 @@ impl MlnIndex {
     /// blocks the removal never touched only need the id shift, and blocks
     /// it did touch are about to be re-cleaned from pristine state anyway.
     /// `removed` must be sorted, deduplicated pre-removal row indices.
-    pub(crate) fn remap_removed(&mut self, removed: &[usize]) {
+    pub fn remap_removed(&mut self, removed: &[usize]) {
         if removed.is_empty() {
             return;
         }
@@ -613,8 +625,9 @@ fn build_block(ds: &Dataset, pool: &ValuePool, rule_id: RuleId, rule: &Rule) -> 
 }
 
 /// Compare two γs by their string-resolved full value vector (reason part
-/// then result part) — the within-group ordering of the index.
-fn cmp_resolved_gammas(pool: &ValuePool, a: &Gamma, b: &Gamma) -> Ordering {
+/// then result part) — the within-group ordering of the index.  Public for
+/// the same reason as [`cmp_resolved`].
+pub fn cmp_resolved_gammas(pool: &ValuePool, a: &Gamma, b: &Gamma) -> Ordering {
     let ka = a
         .reason_values
         .iter()

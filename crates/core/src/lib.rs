@@ -104,7 +104,9 @@ pub use config::CleanConfig;
 pub use engine::{Engine, IncrementalMlnClean, PartitionReport, Report, Timings};
 pub use error::CleanError;
 pub use evaluation::{evaluate_agp, evaluate_fscr, evaluate_rsc, ComponentEvaluation};
-pub use fscr::{ConflictResolver, FscrRecord, FusionOutcome, FusionPlan, TupleFusion};
+pub use fscr::{
+    apply_tuple_fusion, ConflictResolver, FscrRecord, FusionOutcome, FusionPlan, TupleFusion,
+};
 pub use gamma::Gamma;
 pub use index::{Block, Group, InsertReport, MlnIndex, RemoveReport};
 pub use pipeline::MlnClean;
@@ -114,6 +116,7 @@ pub use stage::{
     AgpStage, DedupStage, FscrStage, PipelineStage, RscStage, StageContext, StageRecords,
     WeightLearningStage,
 };
+pub use weights::{GammaSignature, SessionWeights};
 
 // Deprecated shims for the historical per-driver vocabulary.
 #[allow(deprecated)]

@@ -37,6 +37,7 @@ use crate::fscr::{apply_tuple_fusion, ConflictResolver, FscrRecord, TupleFusion}
 use crate::index::{Block, InsertReport, MlnIndex};
 use crate::rsc::RscRecord;
 use crate::stage::{AgpStage, RscStage, WeightLearningStage};
+use crate::weights::SessionWeights;
 use crate::CleanConfig;
 use dataset::{ArityMismatch, Dataset, Schema, TupleId};
 use rayon::prelude::*;
@@ -50,7 +51,7 @@ pub type IngestError = CleanError;
 
 /// What one [`CleaningSession::apply`] call changed — the dirtiness the next
 /// re-clean will have to pay for.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BatchReport {
     /// 1-based ordinal of this change set within the session.
     pub batch: usize,
@@ -72,6 +73,11 @@ pub struct BatchReport {
     pub touched_groups: usize,
     /// Total groups across all blocks after this change set.
     pub total_groups: usize,
+    /// Sorted indices of the blocks this change set touched (a subset of the
+    /// blocks currently dirty).  External coordinators — e.g. the
+    /// distributed streaming driver — use this to track per-block dirtiness
+    /// across partitions without reaching into the session.
+    pub touched_blocks: Vec<usize>,
 }
 
 /// Cached post-Stage-I provenance of one block.
@@ -99,6 +105,13 @@ pub struct CleaningSession {
     block_dirty: Vec<bool>,
     /// Per tuple: the memoised FSCR fusion (`None` = must be (re)fused).
     fusions: Vec<Option<TupleFusion>>,
+    /// Externally injected γ-weight overrides (empty = none) — see
+    /// [`CleaningSession::inject_weights`].
+    injected: SessionWeights,
+    /// O(index) id-compaction passes performed so far (at most one per
+    /// change set containing deletes) — see
+    /// [`CleaningSession::remap_passes`].
+    remap_passes: usize,
     timings: Timings,
     batches: usize,
 }
@@ -125,6 +138,8 @@ impl CleaningSession {
             block_records: vec![BlockRecords::default(); blocks],
             block_dirty: vec![false; blocks],
             fusions: Vec::new(),
+            injected: SessionWeights::default(),
+            remap_passes: 0,
             timings: Timings::default(),
             batches: 0,
         })
@@ -171,6 +186,54 @@ impl CleaningSession {
         self.batches
     }
 
+    /// The incrementally maintained pristine index — byte-identical to
+    /// `MlnIndex::build` over the net rows ingested so far.
+    ///
+    /// External coordinators (e.g. the distributed streaming driver) read
+    /// the per-block state here to merge it across partitions.
+    pub fn pristine_index(&self) -> &MlnIndex {
+        &self.pristine
+    }
+
+    /// O(index) id-compaction passes performed so far — the regression
+    /// counter for the batched delete remap.  Every change set pays at most
+    /// **one** such pass no matter how many deletes it contains or how they
+    /// interleave with inserts and updates (a change set without deletes
+    /// pays none).
+    pub fn remap_passes(&self) -> usize {
+        self.remap_passes
+    }
+
+    /// Snapshot the per-γ weights of the last re-clean (the cleaned index)
+    /// as a pool-independent [`SessionWeights`] table — the export half of
+    /// the session weight hooks.
+    pub fn export_weights(&self) -> SessionWeights {
+        SessionWeights::from_index(&self.cleaned)
+    }
+
+    /// Inject externally merged γ weights — the import half of the session
+    /// weight hooks.
+    ///
+    /// A distributed coordinator learns weights over evidence this session
+    /// cannot see (the other partitions); injecting the merged table makes
+    /// the **next** re-clean override the locally learned weight of every
+    /// matching γ (and re-normalize each block's probabilities) right after
+    /// weight learning, before RSC runs — the per-partition half of the
+    /// paper's Eq. 6 phase.  Every block is marked dirty so the injected
+    /// weights take effect on the next [`CleaningSession::outcome`].  The
+    /// injection persists across re-cleans until replaced; injecting an
+    /// empty table clears it.  Note that a session with injected weights
+    /// intentionally diverges from the single-node batch run it is
+    /// otherwise byte-identical to.
+    pub fn inject_weights(&mut self, weights: SessionWeights) {
+        self.injected = weights;
+        if !self.injected.is_empty() {
+            for dirty in &mut self.block_dirty {
+                *dirty = true;
+            }
+        }
+    }
+
     /// Cumulative per-stage wall-clock timings across all ingests and
     /// re-cleans of this session.
     pub fn timings(&self) -> Timings {
@@ -185,17 +248,28 @@ impl CleaningSession {
     /// so a failed call leaves the session untouched.  Mutations then apply
     /// in order; a `Delete(t)` shifts every later row down by one, exactly
     /// like a batch rebuild over the surviving rows would.
+    ///
+    /// Deletions are **remap-batched**: rows marked for deletion stay in
+    /// place (in *virtual* coordinates — the rows at entry plus whatever
+    /// this change set inserts) while the walk translates every later
+    /// sequentially-interpreted tuple id onto the survivors, and one
+    /// compaction at the end splices all doomed rows out of the dataset,
+    /// the pristine index, the cached cleaned index and the provenance.  A
+    /// bulk retraction therefore costs a single O(index) id-remap pass no
+    /// matter how its deletes interleave with inserts and updates
+    /// ([`CleaningSession::remap_passes`] counts the passes).
     pub fn apply(&mut self, changes: ChangeSet) -> Result<BatchReport, CleanError> {
         self.validate(&changes)?;
         let started = Instant::now();
         let parallel = self.config.parallel;
         let mut inserted = 0usize;
         let mut updated_cells = 0usize;
-        let mut deleted_rows = 0usize;
         let mut touched_groups = 0usize;
+        let mut touched_blocks = vec![false; self.pristine.block_count()];
+        // Virtual row indices marked for deletion, kept sorted.
+        let mut removed: Vec<usize> = Vec::new();
 
-        let mut mutations = changes.into_mutations().into_iter().peekable();
-        while let Some(mutation) = mutations.next() {
+        for mutation in changes.into_mutations() {
             match mutation {
                 Mutation::Insert(rows) => {
                     let from = self.dataset.len();
@@ -207,8 +281,10 @@ impl CleaningSession {
                     inserted += report.rows;
                     touched_groups += report.total_touched_groups();
                     self.mark_dirty(&report.touched_groups);
+                    record_touched(&mut touched_blocks, &report.touched_groups);
                 }
                 Mutation::Update(t, attr, value) => {
+                    let t = TupleId(nth_surviving(&removed, t.index()));
                     if self.dataset.value(t, attr) == value {
                         continue; // no-op: the cell already holds this value
                     }
@@ -224,66 +300,48 @@ impl CleaningSession {
                     );
                     touched_groups += touched.iter().sum::<usize>();
                     self.mark_dirty(&touched);
+                    record_touched(&mut touched_blocks, &touched);
                     // The tuple's own versions may have moved even when no
                     // other tuple's did; always re-fuse it.
                     self.fusions[t.index()] = None;
                 }
-                Mutation::Delete(first) => {
-                    // Coalesce the run of consecutive deletes into one batch
-                    // removal, converting each sequentially-interpreted id to
-                    // its absolute pre-run row index, so the index splice-out
-                    // and the O(rows) id-space remap run once per run instead
-                    // of once per delete.
-                    // `removed` stays sorted; each sequential id resolves to
-                    // the (t+1)-th surviving absolute index by binary search
-                    // on "surviving rows at or below a".
-                    let mut removed: Vec<usize> = vec![first.index()];
-                    while let Some(Mutation::Delete(_)) = mutations.peek() {
-                        let Some(Mutation::Delete(t)) = mutations.next() else {
-                            unreachable!("peeked a delete");
-                        };
-                        let t = t.index();
-                        let (mut lo, mut hi) = (t, t + removed.len());
-                        while lo < hi {
-                            let mid = lo + (hi - lo) / 2;
-                            let surviving = mid + 1 - removed.partition_point(|&r| r <= mid);
-                            if surviving > t {
-                                hi = mid;
-                            } else {
-                                lo = mid + 1;
-                            }
-                        }
-                        removed.insert(removed.partition_point(|&r| r < lo), lo);
-                    }
-                    let removed_ids: Vec<TupleId> = removed.iter().map(|&r| TupleId(r)).collect();
-                    let report = self.pristine.remove_tuples(
-                        &self.dataset,
-                        &self.rules,
-                        &removed_ids,
-                        parallel,
-                    );
-                    self.dataset.remove_rows(&removed_ids);
-                    let mut idx = 0usize;
-                    self.fusions.retain(|_| {
-                        let keep = removed.binary_search(&idx).is_err();
-                        idx += 1;
-                        keep
-                    });
-                    // Cached cleaned blocks and provenance live in tuple-id
-                    // space: shift them down past the removed rows.  Dirty
-                    // blocks get rebuilt from pristine at the next refresh;
-                    // untouched blocks never contained the tuples, so the
-                    // shift alone keeps their cache byte-identical to what a
-                    // batch run over the survivors would produce.
-                    self.cleaned.remap_removed(&removed);
-                    for records in &mut self.block_records {
-                        remap_records_after_removal(records, &removed);
-                    }
-                    deleted_rows += removed.len();
-                    touched_groups += report.touched_groups.iter().sum::<usize>();
-                    self.mark_dirty(&report.touched_groups);
+                Mutation::Delete(t) => {
+                    // Translate the sequential id onto the survivors and
+                    // defer the actual removal to the single compaction
+                    // below.
+                    let v = nth_surviving(&removed, t.index());
+                    removed.insert(removed.partition_point(|&r| r < v), v);
                 }
             }
+        }
+
+        let deleted_rows = removed.len();
+        if !removed.is_empty() {
+            let removed_ids: Vec<TupleId> = removed.iter().map(|&r| TupleId(r)).collect();
+            let report =
+                self.pristine
+                    .remove_tuples(&self.dataset, &self.rules, &removed_ids, parallel);
+            self.dataset.remove_rows(&removed_ids);
+            let mut idx = 0usize;
+            self.fusions.retain(|_| {
+                let keep = removed.binary_search(&idx).is_err();
+                idx += 1;
+                keep
+            });
+            // Cached cleaned blocks and provenance live in tuple-id space:
+            // shift them down past the removed rows.  Dirty blocks get
+            // rebuilt from pristine at the next refresh; untouched blocks
+            // never contained the tuples, so the shift alone keeps their
+            // cache byte-identical to what a batch run over the survivors
+            // would produce.
+            self.cleaned.remap_removed(&removed);
+            for records in &mut self.block_records {
+                remap_records_after_removal(records, &removed);
+            }
+            self.remap_passes += 1;
+            touched_groups += report.touched_groups.iter().sum::<usize>();
+            self.mark_dirty(&report.touched_groups);
+            record_touched(&mut touched_blocks, &report.touched_groups);
         }
 
         Ok(self.finalize_change(
@@ -292,6 +350,7 @@ impl CleaningSession {
             updated_cells,
             deleted_rows,
             touched_groups,
+            touched_blocks,
         ))
     }
 
@@ -308,6 +367,7 @@ impl CleaningSession {
         updated_cells: usize,
         deleted_rows: usize,
         touched_groups: usize,
+        touched_blocks: Vec<bool>,
     ) -> BatchReport {
         if self.dataset.pool().len() != self.cleaned.pool().len() {
             self.cleaned.set_pool(self.dataset.pool().clone());
@@ -324,6 +384,11 @@ impl CleaningSession {
             total_blocks: self.pristine.block_count(),
             touched_groups,
             total_groups: self.pristine.blocks.iter().map(|b| b.group_count()).sum(),
+            touched_blocks: touched_blocks
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &t)| t.then_some(i))
+                .collect(),
         }
     }
 
@@ -370,7 +435,16 @@ impl CleaningSession {
         };
         self.fusions.resize(self.dataset.len(), None);
         self.mark_dirty(&report.touched_groups);
-        Ok(self.finalize_change(started, report.rows, 0, 0, report.total_touched_groups()))
+        let mut touched_blocks = vec![false; self.pristine.block_count()];
+        record_touched(&mut touched_blocks, &report.touched_groups);
+        Ok(self.finalize_change(
+            started,
+            report.rows,
+            0,
+            0,
+            report.total_touched_groups(),
+            touched_blocks,
+        ))
     }
 
     /// Pre-validate a change set against the session schema, tracking the
@@ -475,8 +549,15 @@ impl CleaningSession {
         self.timings.agp += started.elapsed();
 
         let started = Instant::now();
+        let injected = &self.injected;
         let run_weights = |(i, mut block, agp): (usize, Block, AgpRecord)| {
             WeightLearningStage::run_block(config, &mut block);
+            // Externally merged weights (if any) override the locally
+            // learned ones before RSC sees the block — the per-partition
+            // half of the distributed Eq. 6 phase.
+            if !injected.is_empty() {
+                injected.apply_to_block(&mut block, pool);
+            }
             (i, block, agp)
         };
         let work: Vec<(usize, Block, AgpRecord)> = if parallel {
@@ -575,6 +656,37 @@ impl CleaningSession {
             cleaned,
             &mut timings,
         )
+    }
+}
+
+/// The `t`-th (0-based) surviving virtual row index given the sorted list of
+/// virtual indices already marked for deletion — the translation from a
+/// sequentially-interpreted tuple id (deletes shift later ids down) to the
+/// deferred-compaction coordinate space.  Binary search on "surviving rows
+/// at or below `mid`".  Public so external coordinators batching deletions
+/// the same way (the distributed streaming driver) share this exact
+/// translation instead of copying it.
+pub fn nth_surviving(removed: &[usize], t: usize) -> usize {
+    let (mut lo, mut hi) = (t, t + removed.len());
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        let surviving = mid + 1 - removed.partition_point(|&r| r <= mid);
+        if surviving > t {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    lo
+}
+
+/// Accumulate which blocks a mutation touched (non-zero touched-group
+/// count) into the change set's per-block flags.
+fn record_touched(touched_blocks: &mut [bool], touched_groups: &[usize]) {
+    for (flag, &touched) in touched_blocks.iter_mut().zip(touched_groups) {
+        if touched > 0 {
+            *flag = true;
+        }
     }
 }
 

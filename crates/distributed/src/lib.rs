@@ -18,19 +18,31 @@
 //!    duplicates are removed globally ([`runner`]).
 
 //!
-//! The runner implements the unified [`mlnclean::Engine`] trait: it returns
-//! the same [`mlnclean::Report`] (with a [`mlnclean::PartitionReport`]
+//! Both runners implement the unified [`mlnclean::Engine`] trait: they
+//! return the same [`mlnclean::Report`] (with a [`mlnclean::PartitionReport`]
 //! attached and provenance remapped to global tuple ids) and the same
 //! [`mlnclean::CleanError`] as the batch and incremental drivers.
+//!
+//! Besides the batch runner there is a **streaming** driver
+//! ([`streaming::DistributedStreamingSession`] /
+//! [`DistributedStreamingMlnClean`]): one typed [`mlnclean::ChangeSet`]
+//! stream routed across per-partition [`mlnclean::CleaningSession`]s, with a
+//! periodic cross-partition per-block state and weight merge whose outcome
+//! is byte-identical to a single session over the same stream (pinned by
+//! `tests/streaming_equivalence.rs`).
 
 pub mod partition;
 pub mod runner;
+pub mod streaming;
 pub mod weights;
 
-pub use partition::{partition_dataset, PartitionConfig, Partitioning};
+pub use partition::{partition_dataset, route_row, PartitionConfig, Partitioning};
 pub use runner::DistributedMlnClean;
-pub use weights::{merge_weights, GammaKey};
+pub use streaming::{DistributedStreamingMlnClean, DistributedStreamingSession};
+pub use weights::{merge_weights, merged_weight_table};
 
 // Deprecated shims for the historical per-driver vocabulary.
 #[allow(deprecated)]
 pub use runner::{DistributedOutcome, PhaseTimings};
+#[allow(deprecated)]
+pub use weights::GammaKey;

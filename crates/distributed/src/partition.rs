@@ -102,6 +102,30 @@ impl PartialOrd for HeapEntry {
     }
 }
 
+/// Deterministic stream router: FNV-1a over the row's values (with a
+/// separator octet between cells), reduced modulo `parts`.
+///
+/// The capacity-bounded centroid partitioner of Algorithm 3
+/// ([`partition_dataset`]) needs the whole dataset up front; a live
+/// [`mlnclean::ChangeSet`] stream does not have it, so the streaming driver
+/// hashes each inserted row to its partition instead — stable across runs,
+/// partition counts permitting, and independent of insertion order.
+pub fn route_row(row: &[String], parts: usize) -> usize {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    for value in row {
+        for &byte in value.as_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        // Cell separator so ["ab", "c"] and ["a", "bc"] hash differently.
+        hash ^= 0xff;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    (hash % parts.max(1) as u64) as usize
+}
+
 /// Partition `ds` into `config.parts` parts per Algorithm 3.
 pub fn partition_dataset(ds: &Dataset, config: &PartitionConfig) -> Partitioning {
     let k = config.parts.max(1).min(ds.len().max(1));
@@ -228,6 +252,26 @@ mod tests {
     use super::*;
     use dataset::{sample_hospital_dataset, Schema};
     use proptest::prelude::*;
+
+    #[test]
+    fn route_row_is_deterministic_and_in_range() {
+        let rows: Vec<Vec<String>> = vec![
+            vec!["ELIZA".into(), "BOAZ".into()],
+            vec!["EL".into(), "IZABOAZ".into()],
+            vec!["".into(), "".into()],
+        ];
+        for parts in [1usize, 2, 4, 7] {
+            for row in &rows {
+                let p = route_row(row, parts);
+                assert!(p < parts);
+                assert_eq!(p, route_row(row, parts), "routing must be stable");
+            }
+        }
+        // The separator keeps different cell splits of the same bytes apart.
+        assert_ne!(route_row(&rows[0], 1 << 30), route_row(&rows[1], 1 << 30));
+        // Zero parts is clamped rather than a division by zero.
+        assert_eq!(route_row(&rows[0], 0), 0);
+    }
 
     #[test]
     fn every_tuple_lands_in_exactly_one_part() {

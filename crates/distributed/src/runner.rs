@@ -138,10 +138,12 @@ impl DistributedMlnClean {
             timings.weight_learning += worker.weight_learning;
         }
 
-        // Coordinator: Eq. 6 weight merge.
+        // Coordinator: Eq. 6 weight merge (the batch plan's one and only
+        // merge round).
         let start = Instant::now();
         let shared_gammas = merge_weights(&mut indices);
         timings.weight_merge = start.elapsed();
+        timings.merge_rounds = 1;
 
         // Phase B (parallel): RSC + FSCR per part, again via the shared
         // stage objects.

@@ -13,56 +13,30 @@
 //! the weight learned there, and pushes the merged weight back into every
 //! partition's index before RSC/FSCR run.
 
-use dataset::ValuePool;
-use mlnclean::MlnIndex;
+use mlnclean::{GammaSignature, MlnIndex, SessionWeights};
 use std::collections::HashMap;
 
-/// Identity of a γ across partitions: same rule, same reason values, same
-/// result values.  Values are resolved strings: partitions built by the
-/// runner share one pool snapshot, but `merge_weights` also accepts indexes
-/// over unrelated pools (e.g. hand-built partitions in tests), where raw ids
+/// Historical name of the cross-pool γ identity, now shared with the
+/// session weight hooks as [`mlnclean::GammaSignature`] (same shape: rule
+/// index plus resolved reason/result values).
+#[deprecated(note = "renamed to `mlnclean::GammaSignature`")]
+pub type GammaKey = GammaSignature;
+
+/// Accumulate `(Σ n·w, Σ n, #partitions)` per γ identity across partition
+/// indexes — pass 1 of the Eq. 6 merge, shared by [`merge_weights`] and
+/// [`merged_weight_table`].  Identities are resolved strings: partitions
+/// built by the runner share one pool snapshot, but the accumulation also
+/// accepts indexes over unrelated pools (e.g. hand-built partitions in
+/// tests, or streaming sessions with per-partition pools), where raw ids
 /// would not be comparable.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct GammaKey {
-    /// Rule index.
-    pub rule: usize,
-    /// Reason-part values.
-    pub reason: Vec<String>,
-    /// Result-part values.
-    pub result: Vec<String>,
-}
-
-impl GammaKey {
-    fn of(gamma: &mlnclean::Gamma, pool: &ValuePool) -> Self {
-        GammaKey {
-            rule: gamma.rule.index(),
-            reason: gamma
-                .resolve_reason_values(pool)
-                .into_iter()
-                .map(str::to_string)
-                .collect(),
-            result: gamma
-                .resolve_result_values(pool)
-                .into_iter()
-                .map(str::to_string)
-                .collect(),
-        }
-    }
-}
-
-/// Merge the γ weights of every partition index in place (Eq. 6) and refresh
-/// the per-block probabilities.  Returns the number of distinct γs that
-/// appeared in more than one partition (i.e. actually benefited from global
-/// evidence).
-pub fn merge_weights(indices: &mut [MlnIndex]) -> usize {
-    // Pass 1: accumulate Σ n·w and Σ n per γ key.
-    let mut accum: HashMap<GammaKey, (f64, f64, usize)> = HashMap::new();
+fn accumulate_evidence(indices: &[MlnIndex]) -> HashMap<GammaSignature, (f64, f64, usize)> {
+    let mut accum: HashMap<GammaSignature, (f64, f64, usize)> = HashMap::new();
     for index in indices.iter() {
         for block in &index.blocks {
             for gamma in block.gammas() {
                 let n = gamma.support() as f64;
                 let entry = accum
-                    .entry(GammaKey::of(gamma, index.pool()))
+                    .entry(GammaSignature::of(gamma, index.pool()))
                     .or_insert((0.0, 0.0, 0));
                 entry.0 += n * gamma.weight;
                 entry.1 += n;
@@ -70,7 +44,34 @@ pub fn merge_weights(indices: &mut [MlnIndex]) -> usize {
             }
         }
     }
+    accum
+}
 
+/// The Eq. 6 evidence-weighted average as a transferable [`SessionWeights`]
+/// table — for coordinators that push approximately merged weights into
+/// live sessions through [`mlnclean::CleaningSession::inject_weights`]
+/// rather than rewriting indexes in place.
+///
+/// Note the streaming driver does **not** use this approximation: it merges
+/// the per-γ supports across partitions and re-learns, which reproduces the
+/// exact single-node weight (see [`crate::streaming`]).
+pub fn merged_weight_table(indices: &[MlnIndex]) -> SessionWeights {
+    let mut table = SessionWeights::new();
+    for (signature, (num, den, _)) in accumulate_evidence(indices) {
+        if den > 0.0 {
+            table.set(signature, num / den);
+        }
+    }
+    table
+}
+
+/// Merge the γ weights of every partition index in place (Eq. 6) and refresh
+/// the per-block probabilities.  Returns the number of distinct γs that
+/// appeared in more than one partition (i.e. actually benefited from global
+/// evidence).
+pub fn merge_weights(indices: &mut [MlnIndex]) -> usize {
+    // Pass 1: accumulate Σ n·w and Σ n per γ identity.
+    let accum = accumulate_evidence(indices);
     let shared = accum.values().filter(|(_, _, parts)| *parts > 1).count();
 
     // Pass 2: write the merged weight back and recompute each block's softmax
@@ -80,7 +81,7 @@ pub fn merge_weights(indices: &mut [MlnIndex]) -> usize {
         for block in blocks.iter_mut() {
             for group in &mut block.groups {
                 for gamma in &mut group.gammas {
-                    if let Some((num, den, _)) = accum.get(&GammaKey::of(gamma, pool)) {
+                    if let Some((num, den, _)) = accum.get(&GammaSignature::of(gamma, pool)) {
                         if *den > 0.0 {
                             gamma.weight = num / den;
                         }
@@ -184,5 +185,32 @@ mod tests {
         merge_weights(&mut indices);
         let after = indices[1].blocks[0].gammas().next().unwrap().weight;
         assert!((before - after).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merged_weight_table_matches_the_in_place_merge() {
+        // The transferable table and the in-place Eq. 6 merge must agree on
+        // every γ weight.
+        let mut indices = vec![
+            part(&[("DOTHAN", "AL"), ("DOTHAN", "AL"), ("BOAZ", "AL")]),
+            part(&[("DOTHAN", "AL"), ("BOAZ", "AK")]),
+        ];
+        let table = merged_weight_table(&indices);
+        assert!(!table.is_empty());
+        merge_weights(&mut indices);
+        for index in &indices {
+            for block in &index.blocks {
+                for gamma in block.gammas() {
+                    let merged = table
+                        .get(&GammaSignature::of(gamma, index.pool()))
+                        .expect("every γ is in the table");
+                    assert!(
+                        (gamma.weight - merged).abs() < 1e-12,
+                        "table {merged} vs in-place {}",
+                        gamma.weight
+                    );
+                }
+            }
+        }
     }
 }
