@@ -4,6 +4,7 @@
 //! cargo run -p bench --release --bin experiments -- all
 //! cargo run -p bench --release --bin experiments -- fig6 --scale small
 //! cargo run -p bench --release --bin experiments -- table6 --scale full --out results
+//! cargo run -p bench --release --bin experiments -- ladder --max-rows 100000
 //! ```
 
 use bench::{Experiment, Scale};
@@ -12,8 +13,8 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: experiments <fig6|fig7|fig8|...|fig15|table5|table6|smoke|all> \
-         [--scale tiny|small|full] [--out DIR]"
+        "usage: experiments <fig6|fig7|fig8|...|fig15|table5|table6|smoke|ladder|all> \
+         [--scale tiny|small|full] [--out DIR] [--max-rows N]"
     );
     ExitCode::FAILURE
 }
@@ -27,6 +28,7 @@ fn main() -> ExitCode {
     let mut experiments: Option<Vec<Experiment>> = None;
     let mut scale = Scale::Small;
     let mut out_dir = PathBuf::from("results");
+    let mut max_rows: Option<usize> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -47,6 +49,17 @@ fn main() -> ExitCode {
                     return usage();
                 };
                 out_dir = PathBuf::from(value);
+                i += 2;
+            }
+            "--max-rows" => {
+                let Some(value) = args.get(i + 1) else {
+                    return usage();
+                };
+                let Ok(parsed) = value.parse::<usize>() else {
+                    eprintln!("invalid --max-rows {value:?}");
+                    return usage();
+                };
+                max_rows = Some(parsed);
                 i += 2;
             }
             other => {
@@ -76,7 +89,7 @@ fn main() -> ExitCode {
             scale
         );
         let started = std::time::Instant::now();
-        let files = experiment.run(scale);
+        let files = experiment.run_with(scale, max_rows);
         for (name, contents) in files {
             let path = out_dir.join(name);
             if let Err(e) = std::fs::write(&path, contents) {

@@ -2,8 +2,70 @@
 //! builders, and result-table formatting.
 
 use datagen::{CarGenerator, HaiGenerator, TpchGenerator};
-use dataset::DirtyDataset;
+use dataset::{csv, DirtyDataset};
+use mlnclean::Report;
 use rules::RuleSet;
+
+/// Number of worker threads the rayon pool uses (recorded in every
+/// `BENCH_*.json` so perf points are comparable across machines).
+pub fn rayon_threads() -> usize {
+    rayon::current_num_threads()
+}
+
+/// Compare two cleaning reports at the byte level: the repaired and
+/// deduplicated CSVs plus the full AGP/RSC/FSCR provenance.  This is the
+/// cross-engine equivalence check of the smoke and ladder experiments.
+pub fn reports_identical(a: &Report, b: &Report) -> bool {
+    csv::to_csv(&a.repaired) == csv::to_csv(&b.repaired)
+        && csv::to_csv(a.deduplicated()) == csv::to_csv(b.deduplicated())
+        && a.agp == b.agp
+        && a.rsc == b.rsc
+        && a.fscr == b.fscr
+}
+
+/// Peak-RSS meter backed by Linux's `/proc/self/status` (`VmHWM`, the
+/// resident-set high-water mark) with an explicit capability probe so the
+/// artifacts stay honest on platforms without procfs.
+///
+/// Writing `"5"` to `/proc/self/clear_refs` resets the high-water mark to
+/// the *current* RSS, which lets the ladder attribute a per-engine peak to
+/// each engine run instead of one monotone process-wide number.  Where the
+/// reset is unavailable the readings are still recorded, flagged
+/// `resettable: false` (they then measure the process-wide peak so far).
+#[derive(Debug, Clone, Copy)]
+pub struct PeakRss {
+    /// `VmHWM` is readable at all.
+    pub supported: bool,
+    /// The high-water mark can be reset between engine runs.
+    pub resettable: bool,
+}
+
+impl PeakRss {
+    /// Probe what the platform supports.
+    pub fn probe() -> Self {
+        let supported = Self::read_kib().is_some();
+        let resettable = supported && std::fs::write("/proc/self/clear_refs", "5").is_ok();
+        PeakRss {
+            supported,
+            resettable,
+        }
+    }
+
+    /// Reset the high-water mark to the current RSS (no-op when the platform
+    /// cannot).
+    pub fn reset(&self) {
+        if self.resettable {
+            let _ = std::fs::write("/proc/self/clear_refs", "5");
+        }
+    }
+
+    /// Read the peak RSS in KiB, or `None` off-Linux.
+    pub fn read_kib() -> Option<u64> {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+        line.split_whitespace().nth(1)?.parse().ok()
+    }
+}
 
 /// How large the synthetic datasets are.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -243,6 +305,22 @@ mod tests {
             let dirty = w.dirty(Scale::Tiny, 0.05, 0.5, 1);
             assert!(w.rules().is_valid_for(dirty.dirty.schema()), "{}", w.name());
             assert!(dirty.error_count() > 0);
+        }
+    }
+
+    #[test]
+    fn peak_rss_meter_is_consistent_with_its_probe() {
+        let meter = PeakRss::probe();
+        // On Linux both capabilities hold and a reading exists; elsewhere the
+        // probe must say so instead of fabricating numbers.
+        if meter.supported {
+            let kib = PeakRss::read_kib().expect("supported meter reads");
+            assert!(kib > 0);
+            meter.reset();
+            assert!(PeakRss::read_kib().is_some());
+        } else {
+            assert!(!meter.resettable);
+            assert!(PeakRss::read_kib().is_none());
         }
     }
 

@@ -1,0 +1,597 @@
+//! Paper-scale benchmark ladder: the same TPC-H cleaning workload at
+//! 10⁴ → 10⁵ → 10⁶ (→ 10⁷, opt-in) rows, across all three engines.
+//!
+//! The paper's evaluation runs to 6 M tuples; the per-figure experiments in
+//! this crate stop around 10⁴ rows so they stay interactive.  The ladder is
+//! the bridge: every rung streams a seeded dirty TPC-H workload (see
+//! [`datagen::DirtyRowStream`] — rows are produced batch-by-batch and never
+//! all resident) through
+//!
+//! * the **batch** engine ([`MlnClean`], materialise then clean),
+//! * the **incremental** engine ([`CleaningSession`], micro-batch ingest
+//!   then one `outcome()`), and
+//! * the **distributed-streaming** engine
+//!   ([`DistributedStreamingSession`], 2 partitions, periodic weight merge),
+//!
+//! recording per engine: ingest throughput (rows/s), outcome latency, the
+//! per-stage breakdown, and the peak RSS attributable to the run (via
+//! [`PeakRss`]).  At rungs small enough for it to be cheap the three
+//! engines' reports are compared byte-for-byte (repaired CSV + full
+//! provenance), extending the smoke test's equivalence guarantee to
+//! paper-scale inputs.  On the largest rung the incremental session is kept
+//! alive and probed with a sustained stream of single-cell mutations,
+//! reporting p50/p99/max `apply` + `outcome` latency.
+//!
+//! The artifact is `BENCH_ladder.json`; `scripts/assert_bench.py ladder`
+//! checks its invariants and gates CI against the committed baseline.
+
+use crate::common::{rayon_threads, reports_identical, PeakRss, Scale, Workload};
+use datagen::{batched, TpchGenerator};
+use dataset::{Dataset, TupleId};
+use distributed::DistributedStreamingSession;
+use mlnclean::{ChangeSet, CleaningSession, MlnClean, Report};
+use std::time::{Duration, Instant};
+
+/// Tunables of the ladder run.  [`run`] derives the row cap from the scale
+/// or an explicit `--max-rows`; tests shrink everything.
+#[derive(Debug, Clone)]
+pub struct LadderConfig {
+    /// Candidate rung sizes, ascending; rungs above `max_rows` are skipped.
+    pub rungs: Vec<usize>,
+    /// Largest rung to run.
+    pub max_rows: usize,
+    /// Micro-batch size for the streaming engines.
+    pub batch_rows: usize,
+    /// Error rate over the rule-related cells.
+    pub error_rate: f64,
+    /// Typo/replacement split (the paper's Rret).
+    pub replacement_ratio: f64,
+    /// Seed of both the row stream and the error stream.
+    pub seed: u64,
+    /// Partition count of the distributed engine.
+    pub partitions: usize,
+    /// Merge cadence (in batches) of the distributed engine.
+    pub merge_every: usize,
+    /// Byte-identity across engines is asserted at rungs up to this size
+    /// (the comparison costs a CSV render of every report).
+    pub identity_limit: usize,
+    /// Mutation-latency samples taken on the largest executed rung (scaled
+    /// down on big rungs, where TPC-H's single rule makes every mutation
+    /// re-clean the one FD block).
+    pub mutation_samples: usize,
+}
+
+impl Default for LadderConfig {
+    fn default() -> Self {
+        LadderConfig {
+            rungs: vec![10_000, 100_000, 1_000_000, 10_000_000],
+            max_rows: 100_000,
+            batch_rows: 4_096,
+            error_rate: 0.02,
+            replacement_ratio: 0.5,
+            seed: 1,
+            partitions: 2,
+            merge_every: 8,
+            identity_limit: 100_000,
+            mutation_samples: 40,
+        }
+    }
+}
+
+impl LadderConfig {
+    /// The rungs that will actually run under the current cap.
+    fn active_rungs(&self) -> Vec<usize> {
+        self.rungs
+            .iter()
+            .copied()
+            .filter(|&r| r <= self.max_rows)
+            .collect()
+    }
+
+    /// Mutation samples for a rung of `rows` rows.  TPC-H has one rule, so
+    /// each sampled mutation re-cleans the whole FD block — seconds at 10⁵
+    /// rows and up.  Scale the sample count down with the rung so the probe
+    /// stays a bounded share of the run; the floor keeps the percentile
+    /// ranks meaningful.
+    fn samples_for(&self, rows: usize) -> usize {
+        self.mutation_samples.min((800_000 / rows.max(1)).max(8))
+    }
+
+    /// The TPC-H generator of one rung: customer count scales with the rung
+    /// so block/group counts grow with the data (1 customer per 25 line
+    /// items, like the probe workloads elsewhere in this crate).
+    fn generator(&self, rows: usize) -> TpchGenerator {
+        TpchGenerator::default()
+            .with_rows(rows)
+            .with_customers((rows / 25).max(1))
+            .with_seed(self.seed)
+    }
+}
+
+/// Run the ladder at the default rungs for `scale` (overridden by
+/// `--max-rows` on the command line, threaded through as `max_rows`).
+pub fn run(scale: Scale, max_rows: Option<usize>) -> Vec<(String, String)> {
+    let config = LadderConfig {
+        max_rows: max_rows.unwrap_or(match scale {
+            Scale::Tiny => 10_000,
+            Scale::Small => 100_000,
+            Scale::Full => 1_000_000,
+        }),
+        ..LadderConfig::default()
+    };
+    run_config(&config)
+}
+
+/// Run the ladder with explicit tunables and return the JSON artifact.
+pub fn run_config(config: &LadderConfig) -> Vec<(String, String)> {
+    let meter = PeakRss::probe();
+    let rungs = config.active_rungs();
+    let largest = rungs.last().copied();
+
+    let mut rung_jsons = Vec::with_capacity(rungs.len());
+    for rows in rungs {
+        let point = run_rung(config, rows, &meter, Some(rows) == largest);
+        println!(
+            "ladder rung {rows}: batch {:.3}s, incremental {:.3}s, distributed {:.3}s{}",
+            point.batch.total().as_secs_f64(),
+            point.incremental.total().as_secs_f64(),
+            point.distributed.total().as_secs_f64(),
+            if point.identity_checked {
+                " (byte-identity checked)"
+            } else {
+                ""
+            }
+        );
+        rung_jsons.push(render_rung(&point));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"ladder\",\n",
+            "  \"workload\": \"TPC-H\",\n",
+            "  \"max_rows\": {max_rows},\n",
+            "  \"batch_rows\": {batch_rows},\n",
+            "  \"error_rate\": {error_rate},\n",
+            "  \"replacement_ratio\": {replacement_ratio},\n",
+            "  \"seed\": {seed},\n",
+            "  \"partitions\": {partitions},\n",
+            "  \"merge_every\": {merge_every},\n",
+            "  \"identity_limit\": {identity_limit},\n",
+            "  \"threads\": {threads},\n",
+            "  \"rss_meter\": {{ \"supported\": {rss_supported}, ",
+            "\"resettable\": {rss_resettable} }},\n",
+            "  \"rungs\": [\n",
+            "{rungs}\n",
+            "  ]\n",
+            "}}\n",
+        ),
+        max_rows = config.max_rows,
+        batch_rows = config.batch_rows,
+        error_rate = config.error_rate,
+        replacement_ratio = config.replacement_ratio,
+        seed = config.seed,
+        partitions = config.partitions,
+        merge_every = config.merge_every,
+        identity_limit = config.identity_limit,
+        threads = rayon_threads(),
+        rss_supported = meter.supported,
+        rss_resettable = meter.resettable,
+        rungs = rung_jsons.join(",\n"),
+    );
+
+    vec![("BENCH_ladder.json".to_string(), json)]
+}
+
+/// One engine's measurements on one rung.
+struct EngineRun {
+    report: Report,
+    ingest: Duration,
+    outcome: Duration,
+    peak_rss_kib: Option<u64>,
+}
+
+impl EngineRun {
+    fn total(&self) -> Duration {
+        self.ingest + self.outcome
+    }
+}
+
+/// One rung's measurements across the three engines.
+struct RungPoint {
+    rows: usize,
+    customers: usize,
+    batches: usize,
+    injected_errors: u64,
+    batch: EngineRun,
+    incremental: EngineRun,
+    distributed: EngineRun,
+    identity_checked: bool,
+    incremental_matches_batch: Option<bool>,
+    distributed_matches_batch: Option<bool>,
+    mutation: Option<MutationLatency>,
+}
+
+/// Tail latency of `apply` + `outcome` under a sustained mutation stream.
+struct MutationLatency {
+    samples: usize,
+    p50: Duration,
+    p99: Duration,
+    max: Duration,
+}
+
+fn run_rung(config: &LadderConfig, rows: usize, meter: &PeakRss, is_largest: bool) -> RungPoint {
+    let gen = config.generator(rows);
+    let rules = TpchGenerator::rules();
+    let clean_config = Workload::Tpch.clean_config();
+    let batches = rows.div_ceil(config.batch_rows);
+
+    // Batch engine: materialise the dirty stream, then one-shot clean.
+    // Generation is part of every engine's ingest time, so the three
+    // ingest/throughput numbers are comparable.
+    meter.reset();
+    let mut stream = gen.dirty_row_stream(config.error_rate, config.replacement_ratio, config.seed);
+    let started = Instant::now();
+    let mut ds = Dataset::with_capacity(TpchGenerator::schema(), rows);
+    for row in &mut stream {
+        ds.push_row(row).expect("row matches the TPC-H schema");
+    }
+    let ingest = started.elapsed();
+    let injected_errors = stream.injected_errors();
+    let started = Instant::now();
+    let report = MlnClean::new(clean_config.clone())
+        .clean(&ds, &rules)
+        .expect("the ladder workload cleans");
+    let batch = EngineRun {
+        report,
+        ingest,
+        outcome: started.elapsed(),
+        peak_rss_kib: PeakRss::read_kib(),
+    };
+    drop(ds);
+
+    // Incremental engine: micro-batch ingest, then one outcome.  The session
+    // stays alive for the mutation probe on the largest rung.
+    meter.reset();
+    let mut session =
+        CleaningSession::new(clean_config.clone(), TpchGenerator::schema(), rules.clone())
+            .expect("the TPC-H rules match the TPC-H schema");
+    let mut stream = gen.dirty_row_stream(config.error_rate, config.replacement_ratio, config.seed);
+    let started = Instant::now();
+    for batch in batched(&mut stream, config.batch_rows) {
+        session.ingest_batch(batch).expect("rows match the schema");
+    }
+    let ingest = started.elapsed();
+    let started = Instant::now();
+    let report = session.outcome();
+    let incremental = EngineRun {
+        report,
+        ingest,
+        outcome: started.elapsed(),
+        peak_rss_kib: PeakRss::read_kib(),
+    };
+
+    // Mutation probe before the distributed run so the probe's re-cleans do
+    // not sit inside the distributed engine's RSS window, then drop the
+    // session (its rows now differ from the shared stream).
+    let mutation = is_largest.then(|| mutation_probe(&mut session, &gen, config.samples_for(rows)));
+    drop(session);
+
+    // Distributed-streaming engine: the same batches fanned out over
+    // `partitions` per-partition sessions with periodic weight merge.
+    meter.reset();
+    let mut session = DistributedStreamingSession::new(
+        clean_config,
+        TpchGenerator::schema(),
+        rules,
+        config.partitions,
+        config.merge_every,
+    )
+    .expect("the TPC-H rules match the TPC-H schema");
+    let mut stream = gen.dirty_row_stream(config.error_rate, config.replacement_ratio, config.seed);
+    let started = Instant::now();
+    for batch in batched(&mut stream, config.batch_rows) {
+        session
+            .apply(ChangeSet::inserting(batch))
+            .expect("rows match the schema");
+    }
+    let ingest = started.elapsed();
+    let started = Instant::now();
+    let report = session.finish();
+    let distributed = EngineRun {
+        report,
+        ingest,
+        outcome: started.elapsed(),
+        peak_rss_kib: PeakRss::read_kib(),
+    };
+
+    // Cross-engine byte-identity, where the CSV render is affordable.
+    let identity_checked = rows <= config.identity_limit;
+    let (incremental_matches_batch, distributed_matches_batch) = if identity_checked {
+        (
+            Some(reports_identical(&incremental.report, &batch.report)),
+            Some(reports_identical(&distributed.report, &batch.report)),
+        )
+    } else {
+        (None, None)
+    };
+
+    RungPoint {
+        rows,
+        customers: gen.customers,
+        batches,
+        injected_errors,
+        batch,
+        incremental,
+        distributed,
+        identity_checked,
+        incremental_matches_batch,
+        distributed_matches_batch,
+        mutation,
+    }
+}
+
+/// Keep mutating one cell at a time and re-asking for the outcome, recording
+/// the latency distribution the incremental engine sustains at this rung.
+fn mutation_probe(
+    session: &mut CleaningSession,
+    gen: &TpchGenerator,
+    samples: usize,
+) -> MutationLatency {
+    let schema = TpchGenerator::schema();
+    let address = schema.attr_id("Address").expect("TPC-H has an Address");
+    let rows = gen.rows;
+    let samples = samples.max(1);
+
+    let mut latencies = Vec::with_capacity(samples);
+    for i in 0..samples {
+        // Spread the touched rows across the dataset; a fresh suite number
+        // guarantees the update is a real overwrite, never a skipped no-op.
+        let tuple = TupleId((i.wrapping_mul(9973) + 17) % rows.max(1));
+        let value = format!("{} REWRITE BLVD SUITE {}", 100 + (i * 53) % 900, i + 1);
+        let started = Instant::now();
+        session
+            .apply(ChangeSet::new().update(tuple, address, value))
+            .expect("the mutation addresses a live row");
+        let _ = session.outcome();
+        latencies.push(started.elapsed());
+    }
+    latencies.sort();
+
+    // Nearest-rank percentiles.
+    let rank = |q: f64| {
+        let n = latencies.len();
+        latencies[(((n as f64 * q).ceil() as usize).max(1) - 1).min(n - 1)]
+    };
+    MutationLatency {
+        samples,
+        p50: rank(0.50),
+        p99: rank(0.99),
+        max: *latencies.last().expect("at least one sample"),
+    }
+}
+
+/// Render one engine's JSON object (the value of `"batch"` etc.).
+fn render_engine(rows: usize, run: &EngineRun) -> String {
+    let t = &run.report.timings;
+    format!(
+        concat!(
+            "        {{\n",
+            "          \"ingest_seconds\": {ingest:.6},\n",
+            "          \"ingest_rows_per_sec\": {rps:.1},\n",
+            "          \"outcome_seconds\": {outcome:.6},\n",
+            "          \"total_seconds\": {total:.6},\n",
+            "          \"peak_rss_kib\": {rss},\n",
+            "          \"merge_rounds\": {merge_rounds},\n",
+            "          \"stage_seconds\": {{\n",
+            "            \"index\": {index:.6},\n",
+            "            \"agp\": {agp:.6},\n",
+            "            \"weight_learning\": {learning:.6},\n",
+            "            \"rsc\": {rsc:.6},\n",
+            "            \"fscr\": {fscr:.6},\n",
+            "            \"dedup\": {dedup:.6},\n",
+            "            \"partition\": {partition:.6},\n",
+            "            \"weight_merge\": {weight_merge:.6},\n",
+            "            \"gather\": {gather:.6}\n",
+            "          }}\n",
+            "        }}",
+        ),
+        ingest = run.ingest.as_secs_f64(),
+        rps = rows as f64 / run.ingest.as_secs_f64().max(1e-9),
+        outcome = run.outcome.as_secs_f64(),
+        total = run.total().as_secs_f64(),
+        rss = json_opt_u64(run.peak_rss_kib),
+        merge_rounds = t.merge_rounds,
+        index = t.index.as_secs_f64(),
+        agp = t.agp.as_secs_f64(),
+        learning = t.weight_learning.as_secs_f64(),
+        rsc = t.rsc.as_secs_f64(),
+        fscr = t.fscr.as_secs_f64(),
+        dedup = t.dedup.as_secs_f64(),
+        partition = t.partition.as_secs_f64(),
+        weight_merge = t.weight_merge.as_secs_f64(),
+        gather = t.gather.as_secs_f64(),
+    )
+}
+
+fn render_rung(point: &RungPoint) -> String {
+    let mutation = match &point.mutation {
+        None => "null".to_string(),
+        Some(m) => format!(
+            concat!(
+                "{{ \"samples\": {samples}, \"p50_seconds\": {p50:.6}, ",
+                "\"p99_seconds\": {p99:.6}, \"max_seconds\": {max:.6} }}",
+            ),
+            samples = m.samples,
+            p50 = m.p50.as_secs_f64(),
+            p99 = m.p99.as_secs_f64(),
+            max = m.max.as_secs_f64(),
+        ),
+    };
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"rows\": {rows},\n",
+            "      \"customers\": {customers},\n",
+            "      \"batches\": {batches},\n",
+            "      \"injected_errors\": {injected},\n",
+            "      \"byte_identity\": {{\n",
+            "        \"checked\": {checked},\n",
+            "        \"incremental_matches_batch\": {inc_match},\n",
+            "        \"distributed_matches_batch\": {dist_match}\n",
+            "      }},\n",
+            "      \"engines\": {{\n",
+            "        \"batch\":\n",
+            "{batch},\n",
+            "        \"incremental\":\n",
+            "{incremental},\n",
+            "        \"distributed\":\n",
+            "{distributed}\n",
+            "      }},\n",
+            "      \"mutation_latency\": {mutation}\n",
+            "    }}",
+        ),
+        rows = point.rows,
+        customers = point.customers,
+        batches = point.batches,
+        injected = point.injected_errors,
+        checked = point.identity_checked,
+        inc_match = json_opt_bool(point.incremental_matches_batch),
+        dist_match = json_opt_bool(point.distributed_matches_batch),
+        batch = render_engine(point.rows, &point.batch),
+        incremental = render_engine(point.rows, &point.incremental),
+        distributed = render_engine(point.rows, &point.distributed),
+        mutation = mutation,
+    )
+}
+
+fn json_opt_u64(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".to_string(), |v| v.to_string())
+}
+
+fn json_opt_bool(v: Option<bool>) -> String {
+    v.map_or_else(|| "null".to_string(), |v| v.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn micro_config() -> LadderConfig {
+        LadderConfig {
+            rungs: vec![300, 900],
+            max_rows: 900,
+            batch_rows: 128,
+            identity_limit: 900,
+            mutation_samples: 4,
+            ..LadderConfig::default()
+        }
+    }
+
+    #[test]
+    fn micro_ladder_runs_and_engines_agree() {
+        let files = run_config(&micro_config());
+        assert_eq!(files.len(), 1);
+        let (name, json) = &files[0];
+        assert_eq!(name, "BENCH_ladder.json");
+        // Both rungs ran and the engines stayed byte-identical.
+        assert!(json.contains("\"rows\": 300"));
+        assert!(json.contains("\"rows\": 900"));
+        assert_eq!(json.matches("\"checked\": true").count(), 2);
+        assert_eq!(
+            json.matches("\"incremental_matches_batch\": true").count(),
+            2
+        );
+        assert_eq!(
+            json.matches("\"distributed_matches_batch\": true").count(),
+            2
+        );
+        // Only the largest rung carries the mutation probe.
+        assert_eq!(json.matches("\"mutation_latency\": null").count(), 1);
+        assert_eq!(json.matches("\"p99_seconds\"").count(), 1);
+        // Crude structural sanity: balanced braces.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn ladder_artifact_schema_keys_are_pinned() {
+        // Golden pin of the artifact's schema: `scripts/assert_bench.py` and
+        // the committed baseline both rely on these exact keys, so renaming
+        // any of them must be a conscious, test-visible decision.
+        let config = LadderConfig {
+            rungs: vec![250],
+            max_rows: 250,
+            batch_rows: 64,
+            identity_limit: 250,
+            mutation_samples: 2,
+            ..LadderConfig::default()
+        };
+        let (_, json) = run_config(&config).pop().unwrap();
+        for key in [
+            "\"experiment\"",
+            "\"workload\"",
+            "\"max_rows\"",
+            "\"batch_rows\"",
+            "\"error_rate\"",
+            "\"replacement_ratio\"",
+            "\"seed\"",
+            "\"partitions\"",
+            "\"merge_every\"",
+            "\"identity_limit\"",
+            "\"threads\"",
+            "\"rss_meter\"",
+            "\"supported\"",
+            "\"resettable\"",
+            "\"rungs\"",
+            "\"rows\"",
+            "\"customers\"",
+            "\"batches\"",
+            "\"injected_errors\"",
+            "\"byte_identity\"",
+            "\"checked\"",
+            "\"incremental_matches_batch\"",
+            "\"distributed_matches_batch\"",
+            "\"engines\"",
+            "\"batch\"",
+            "\"incremental\"",
+            "\"distributed\"",
+            "\"ingest_seconds\"",
+            "\"ingest_rows_per_sec\"",
+            "\"outcome_seconds\"",
+            "\"total_seconds\"",
+            "\"peak_rss_kib\"",
+            "\"merge_rounds\"",
+            "\"stage_seconds\"",
+            "\"index\"",
+            "\"agp\"",
+            "\"weight_learning\"",
+            "\"rsc\"",
+            "\"fscr\"",
+            "\"dedup\"",
+            "\"partition\"",
+            "\"weight_merge\"",
+            "\"gather\"",
+            "\"mutation_latency\"",
+            "\"samples\"",
+            "\"p50_seconds\"",
+            "\"p99_seconds\"",
+            "\"max_seconds\"",
+        ] {
+            assert!(json.contains(key), "BENCH_ladder.json lost the {key} key");
+        }
+    }
+
+    #[test]
+    fn rungs_above_the_cap_are_skipped() {
+        let config = LadderConfig {
+            max_rows: 123,
+            ..LadderConfig::default()
+        };
+        assert!(config.active_rungs().is_empty());
+        let config = LadderConfig {
+            max_rows: 100_000,
+            ..LadderConfig::default()
+        };
+        assert_eq!(config.active_rungs(), vec![10_000, 100_000]);
+    }
+}

@@ -11,6 +11,7 @@ pub mod common;
 pub mod fig15;
 pub mod fig6;
 pub mod fig7;
+pub mod ladder;
 pub mod smoke;
 pub mod sweeps;
 pub mod table5;
@@ -39,6 +40,10 @@ pub enum Experiment {
     /// wall-time and repair quality.  Not part of the paper; excluded from
     /// [`Experiment::ALL`].
     Smoke,
+    /// Paper-scale benchmark ladder: the TPC-H workload at 10⁴–10⁷ rows
+    /// across all three engines, emitting `BENCH_ladder.json`.  Not part of
+    /// the paper's figures; excluded from [`Experiment::ALL`].
+    Ladder,
 }
 
 impl Experiment {
@@ -67,6 +72,7 @@ impl Experiment {
             "table5" => Some(vec![Experiment::Table5]),
             "table6" => Some(vec![Experiment::Table6]),
             "smoke" => Some(vec![Experiment::Smoke]),
+            "ladder" => Some(vec![Experiment::Ladder]),
             _ => None,
         }
     }
@@ -82,12 +88,19 @@ impl Experiment {
             Experiment::Table5 => "table5",
             Experiment::Table6 => "table6",
             Experiment::Smoke => "smoke",
+            Experiment::Ladder => "ladder",
         }
     }
 
     /// Run the experiment, printing its tables and returning the CSV files it
     /// produced (path, contents).
     pub fn run(&self, scale: Scale) -> Vec<(String, String)> {
+        self.run_with(scale, None)
+    }
+
+    /// Like [`Experiment::run`], with the ladder's row cap threaded through
+    /// (`--max-rows` on the command line; ignored by every other experiment).
+    pub fn run_with(&self, scale: Scale, max_rows: Option<usize>) -> Vec<(String, String)> {
         match self {
             Experiment::Fig6 => fig6::run(scale),
             Experiment::Fig7 => fig7::run(scale),
@@ -97,6 +110,7 @@ impl Experiment {
             Experiment::Table5 => table5::run(scale),
             Experiment::Table6 => table6::run(scale),
             Experiment::Smoke => smoke::run(scale),
+            Experiment::Ladder => ladder::run(scale, max_rows),
         }
     }
 }

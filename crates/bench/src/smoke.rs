@@ -15,10 +15,10 @@
 //! re-clean probe on CAR whose tail batch leaves the CFD block untouched —
 //! dirty blocks < total blocks — measured against a full batch re-run.
 
-use crate::common::{Scale, Workload};
+use crate::common::{rayon_threads, reports_identical, Scale, Workload};
 use dataset::{csv, RepairEvaluation};
 use distributed::DistributedStreamingSession;
-use mlnclean::{CacheStats, ChangeSet, CleaningSession, MlnClean, Report};
+use mlnclean::{CacheStats, ChangeSet, CleaningSession, MlnClean};
 use std::time::{Duration, Instant};
 
 /// Run the smoke workload and return the JSON artifact as `(file name,
@@ -149,10 +149,6 @@ pub fn run(scale: Scale) -> Vec<(String, String)> {
     );
 
     vec![("BENCH_smoke.json".to_string(), json)]
-}
-
-fn rayon_threads() -> usize {
-    rayon::current_num_threads()
 }
 
 /// One micro-batch's measurements in the streaming scenario.
@@ -417,15 +413,6 @@ struct DistributedStreamProbe {
     shared_gammas: usize,
     partition_sizes: Vec<usize>,
     matches_single_session: bool,
-}
-
-/// Compare two reports at the byte level: output CSVs plus full provenance.
-fn reports_identical(a: &Report, b: &Report) -> bool {
-    csv::to_csv(&a.repaired) == csv::to_csv(&b.repaired)
-        && csv::to_csv(a.deduplicated()) == csv::to_csv(b.deduplicated())
-        && a.agp == b.agp
-        && a.rsc == b.rsc
-        && a.fscr == b.fscr
 }
 
 fn run_distributed_stream(scale: Scale) -> DistributedStreamProbe {

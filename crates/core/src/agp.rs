@@ -13,12 +13,13 @@
 //! once per block no matter how many group comparisons revisit it.
 
 use crate::cache::{CacheStats, DistanceCache};
-use crate::index::{Block, Group, MlnIndex};
+use crate::index::{Block, MlnIndex};
 use dataset::{TupleId, ValueId, ValuePool};
 use distance::Metric;
 use rayon::prelude::*;
 use rules::RuleId;
 use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
 
 /// One merge performed (or attempted) by AGP.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -146,22 +147,37 @@ impl AbnormalGroupProcessor {
         // One distance memo per block: every group comparison below shares it.
         let mut cache = DistanceCache::new(self.metric);
         // Snapshot the keys of the normal groups: only they are valid merge
-        // targets — abnormal groups never merge into each other.
-        let normal_keys: Vec<Vec<ValueId>> = block
+        // targets — abnormal groups never merge into each other.  Membership
+        // is hashed (not scanned): the nearest-normal search below tests every
+        // candidate group against this set, and a linear scan turns the block
+        // into an O(abnormal × groups × normal) hot spot at paper scale.
+        // `abnormal_idx` is ascending by construction, so binary search works.
+        let normal_keys: HashSet<Vec<ValueId>> = block
             .groups
             .iter()
             .enumerate()
-            .filter(|(i, _)| !abnormal_idx.contains(i))
+            .filter(|(i, _)| abnormal_idx.binary_search(i).is_err())
             .map(|(_, g)| g.key.clone())
             .collect();
 
-        // Remove the abnormal groups from the block (in reverse index order
-        // so removal does not shift the remaining abnormal indices).
-        let mut abnormal_groups = Vec::new();
-        for &idx in abnormal_idx.iter().rev() {
-            abnormal_groups.push(block.groups.remove(idx));
+        // Split the abnormal groups out of the block in one order-preserving
+        // pass (repeated `Vec::remove` is quadratic in the group count).
+        let mut abnormal_groups = Vec::with_capacity(abnormal_idx.len());
+        let mut kept = Vec::with_capacity(block.groups.len() - abnormal_idx.len());
+        for (i, group) in std::mem::take(&mut block.groups).into_iter().enumerate() {
+            if abnormal_idx.binary_search(&i).is_ok() {
+                abnormal_groups.push(group);
+            } else {
+                kept.push(group);
+            }
         }
-        abnormal_groups.reverse();
+        block.groups = kept;
+
+        // Dominant-γ value ids per (surviving) group, computed on first use
+        // and invalidated when a merge mutates the group — recomputing (and
+        // re-allocating) them for every abnormal × candidate pair dominates
+        // the nearest-normal search at paper scale.
+        let mut dominant_memo: Vec<Option<Vec<ValueId>>> = vec![None; block.groups.len()];
 
         for group in abnormal_groups {
             let tuples = group.all_tuples();
@@ -174,19 +190,25 @@ impl AbnormalGroupProcessor {
 
             // Nearest normal group by dominant-γ distance, optionally subject
             // to the normalized-distance merge guard.
-            let target_key: Option<Vec<ValueId>> = {
+            let target_idx: Option<usize> = {
                 let dominant = group.dominant_gamma();
                 match dominant {
                     None => None,
                     Some(dominant) => {
                         let dominant_ids = dominant.value_ids();
-                        let mut best: Option<(&Group, f64)> = None;
-                        for candidate in block
-                            .groups
-                            .iter()
-                            .filter(|g| normal_keys.contains(&g.key) && !g.gammas.is_empty())
-                        {
-                            let d = group_distance(&mut cache, pool, &dominant_ids, candidate);
+                        let mut best: Option<(usize, f64)> = None;
+                        for (ci, candidate) in block.groups.iter().enumerate() {
+                            if candidate.gammas.is_empty() || !normal_keys.contains(&candidate.key)
+                            {
+                                continue;
+                            }
+                            let candidate_ids = dominant_memo[ci].get_or_insert_with(|| {
+                                candidate
+                                    .dominant_gamma()
+                                    .expect("candidate has γs")
+                                    .value_ids()
+                            });
+                            let d = cache.record_distance(pool, &dominant_ids, candidate_ids);
                             // Strict `<` so ties keep the *first* minimal
                             // candidate, matching the historical
                             // `Iterator::min_by` tie-breaking exactly.
@@ -195,35 +217,31 @@ impl AbnormalGroupProcessor {
                                 Some((_, best_d)) => d < *best_d,
                             };
                             if closer {
-                                best = Some((candidate, d));
+                                best = Some((ci, d));
                             }
                         }
-                        best.map(|(g, _)| g)
-                            .filter(|g| match self.distance_guard {
+                        best.map(|(ci, _)| ci)
+                            .filter(|&ci| match self.distance_guard {
                                 None => true,
-                                Some(guard) => g
-                                    .dominant_gamma()
-                                    .map(|other| {
-                                        cache.normalized_record_distance(
-                                            pool,
-                                            &dominant_ids,
-                                            &other.value_ids(),
-                                        ) <= guard
-                                    })
-                                    .unwrap_or(false),
+                                Some(guard) => {
+                                    let other_ids = dominant_memo[ci]
+                                        .as_deref()
+                                        .expect("memo was filled during the search");
+                                    cache.normalized_record_distance(pool, &dominant_ids, other_ids)
+                                        <= guard
+                                }
                             })
-                            .map(|g| g.key.clone())
                     }
                 }
             };
 
-            match &target_key {
-                Some(key) => {
-                    let target = block
-                        .groups
-                        .iter_mut()
-                        .find(|g| &g.key == key)
-                        .expect("target key came from the block");
+            let target_key: Option<Vec<ValueId>> =
+                target_idx.map(|ci| block.groups[ci].key.clone());
+            match target_idx {
+                Some(ci) => {
+                    // The merge below can change the target's dominant γ.
+                    dominant_memo[ci] = None;
+                    let target = &mut block.groups[ci];
                     // Move the abnormal group's γs into the target group,
                     // merging identical γs (same full value vector — an id
                     // comparison).
@@ -242,6 +260,7 @@ impl AbnormalGroupProcessor {
                     // No normal group exists in this block (e.g. every group
                     // is tiny); put the group back untouched.
                     block.groups.push(group);
+                    dominant_memo.push(None);
                 }
             }
 
@@ -256,21 +275,6 @@ impl AbnormalGroupProcessor {
         }
         record.cache.absorb(cache.stats());
         record
-    }
-}
-
-/// Distance between an abnormal group's dominant γ and a candidate group
-/// (the candidate is represented by its own dominant γ, per the paper's
-/// definition of group distance).
-fn group_distance(
-    cache: &mut DistanceCache,
-    pool: &ValuePool,
-    dominant_ids: &[ValueId],
-    candidate: &Group,
-) -> f64 {
-    match candidate.dominant_gamma() {
-        Some(other) => cache.record_distance(pool, dominant_ids, &other.value_ids()),
-        None => f64::INFINITY,
     }
 }
 

@@ -7,6 +7,7 @@
 //! HoloClean-style co-occurrence models fragile on it (Figure 7a).
 
 use crate::make_dirty;
+use crate::stream::{DirtyRowStream, StreamColumn};
 use dataset::{Dataset, DirtyDataset, Schema, TupleId};
 use rand::prelude::*;
 use rand::rngs::StdRng;
@@ -185,10 +186,9 @@ impl CarGenerator {
         ["2", "3", "4", "5"][hash % 4]
     }
 
-    /// Generate the clean dataset.
-    pub fn generate(&self) -> Dataset {
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let schema = Schema::new(&[
+    /// The CAR schema.
+    pub fn schema() -> Schema {
+        Schema::new(&[
             "Model",
             "Make",
             "Type",
@@ -197,60 +197,46 @@ impl CarGenerator {
             "WheelDrive",
             "Doors",
             "Engine",
-        ]);
+        ])
+    }
 
-        // Model catalogue: every model name is unique to one make, so the FD
-        // Model, Type → Make holds by construction.  Model names come from a
-        // pool of distinct stems (suffixed when the pool wraps around) so
-        // that different models are far apart in edit distance.
-        let mut catalogue: Vec<(String, String)> = Vec::new();
-        for (mi, make) in MAKES.iter().enumerate() {
-            for m in 0..self.models_per_make.max(1) {
-                let flat = mi * self.models_per_make.max(1) + m;
-                let stem = MODEL_STEMS[flat % MODEL_STEMS.len()];
-                let model = if flat < MODEL_STEMS.len() {
-                    stem.to_string()
-                } else {
-                    format!("{}-{}", stem, flat / MODEL_STEMS.len() + 1)
-                };
-                catalogue.push((model, make.to_string()));
-            }
+    /// Number of catalogue entries (models across all makes).
+    fn catalogue_len(&self) -> usize {
+        MAKES.len() * self.models_per_make.max(1)
+    }
+
+    /// The `flat`-th catalogue entry as `(model, make)`.  Every model name is
+    /// unique to one make, so the FD Model, Type → Make holds by
+    /// construction.  Model names come from a pool of distinct stems
+    /// (suffixed when the pool wraps around) so that different models are far
+    /// apart in edit distance.
+    fn catalogue_entry(&self, flat: usize) -> (String, &'static str) {
+        let make = MAKES[flat / self.models_per_make.max(1)];
+        let stem = MODEL_STEMS[flat % MODEL_STEMS.len()];
+        let model = if flat < MODEL_STEMS.len() {
+            stem.to_string()
+        } else {
+            format!("{}-{}", stem, flat / MODEL_STEMS.len() + 1)
+        };
+        (model, make)
+    }
+
+    /// Stream the clean rows one at a time.  [`CarGenerator::generate`]
+    /// drains this same stream, so streamed rows are byte-identical to the
+    /// materialised dataset whatever the consumer's batch size.
+    pub fn row_stream(&self) -> CarRows {
+        CarRows {
+            rng: StdRng::seed_from_u64(self.seed),
+            gen: self.clone(),
+            produced: 0,
         }
+    }
 
-        let mut ds = Dataset::with_capacity(schema, self.rows);
-        for _ in 0..self.rows {
-            // Skewed model popularity (roughly Zipf-like): listings of the
-            // popular models dominate, as they do on the real site.  This is
-            // what gives the FD groups enough support for AGP/RSC while
-            // keeping a long sparse tail.
-            let skew: f64 = rng.gen::<f64>();
-            let model_idx = ((skew * skew) * catalogue.len() as f64) as usize;
-            let (model, make) = catalogue[model_idx.min(catalogue.len() - 1)].clone();
-            let vehicle_type = TYPES[rng.gen_range(0..TYPES.len())];
-            let doors = if make == "acura" {
-                Self::acura_doors_for(vehicle_type)
-            } else {
-                Self::other_doors_for(&model, vehicle_type)
-            };
-            let year = format!("{}", rng.gen_range(1998..2020));
-            let condition = CONDITIONS[rng.gen_range(0..CONDITIONS.len())];
-            let wheel_drive = WHEEL_DRIVES[rng.gen_range(0..WHEEL_DRIVES.len())];
-            let engine = format!(
-                "{:.1}L-V{}",
-                rng.gen_range(1.0..5.7),
-                [4, 6, 8][rng.gen_range(0..3usize)]
-            );
-            ds.push_row(vec![
-                model,
-                make,
-                vehicle_type.to_string(),
-                year,
-                condition.to_string(),
-                wheel_drive.to_string(),
-                doors.to_string(),
-                engine,
-            ])
-            .expect("row matches the CAR schema");
+    /// Generate the clean dataset by materialising the row stream.
+    pub fn generate(&self) -> Dataset {
+        let mut ds = Dataset::with_capacity(Self::schema(), self.rows);
+        for row in self.row_stream() {
+            ds.push_row(row).expect("row matches the CAR schema");
         }
         ds
     }
@@ -260,7 +246,103 @@ impl CarGenerator {
         let clean = self.generate();
         make_dirty(&clean, &Self::rules(), error_rate, replacement_ratio, seed)
     }
+
+    /// Stream dirty rows: the clean row stream with the rule-related cells
+    /// (`Model`, `Make`, `Type`, `Doors`) corrupted by the per-cell streaming
+    /// protocol (deterministic in `seed`, batch-size independent).
+    pub fn dirty_row_stream(
+        &self,
+        error_rate: f64,
+        replacement_ratio: f64,
+        seed: u64,
+    ) -> DirtyRowStream<CarRows> {
+        let catalogue = self.clone();
+        let n = self.catalogue_len() as u64;
+        DirtyRowStream::new(
+            self.row_stream(),
+            vec![
+                StreamColumn::new(
+                    0,
+                    Box::new(move |draw| catalogue.catalogue_entry((draw % n) as usize).0),
+                ),
+                StreamColumn::new(
+                    1,
+                    Box::new(|draw| MAKES[(draw % MAKES.len() as u64) as usize].to_string()),
+                ),
+                StreamColumn::new(
+                    2,
+                    Box::new(|draw| TYPES[(draw % TYPES.len() as u64) as usize].to_string()),
+                ),
+                StreamColumn::new(
+                    6,
+                    Box::new(|draw| ["2", "3", "4", "5"][(draw % 4) as usize].to_string()),
+                ),
+            ],
+            error_rate,
+            replacement_ratio,
+            seed,
+        )
+    }
 }
+
+/// Iterator over the clean CAR rows, in row order (see
+/// [`CarGenerator::row_stream`]).
+#[derive(Debug, Clone)]
+pub struct CarRows {
+    rng: StdRng,
+    gen: CarGenerator,
+    produced: usize,
+}
+
+impl Iterator for CarRows {
+    type Item = Vec<String>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.produced >= self.gen.rows {
+            return None;
+        }
+        self.produced += 1;
+        // Skewed model popularity (roughly Zipf-like): listings of the
+        // popular models dominate, as they do on the real site.  This is
+        // what gives the FD groups enough support for AGP/RSC while
+        // keeping a long sparse tail.
+        let catalogue_len = self.gen.catalogue_len();
+        let skew: f64 = self.rng.gen::<f64>();
+        let model_idx = ((skew * skew) * catalogue_len as f64) as usize;
+        let (model, make) = self.gen.catalogue_entry(model_idx.min(catalogue_len - 1));
+        let vehicle_type = TYPES[self.rng.gen_range(0..TYPES.len())];
+        let doors = if make == "acura" {
+            CarGenerator::acura_doors_for(vehicle_type)
+        } else {
+            CarGenerator::other_doors_for(&model, vehicle_type)
+        };
+        let year = format!("{}", self.rng.gen_range(1998..2020));
+        let condition = CONDITIONS[self.rng.gen_range(0..CONDITIONS.len())];
+        let wheel_drive = WHEEL_DRIVES[self.rng.gen_range(0..WHEEL_DRIVES.len())];
+        let engine = format!(
+            "{:.1}L-V{}",
+            self.rng.gen_range(1.0..5.7),
+            [4, 6, 8][self.rng.gen_range(0..3usize)]
+        );
+        Some(vec![
+            model,
+            make.to_string(),
+            vehicle_type.to_string(),
+            year,
+            condition.to_string(),
+            wheel_drive.to_string(),
+            doors.to_string(),
+            engine,
+        ])
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.gen.rows - self.produced;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for CarRows {}
 
 #[cfg(test)]
 mod tests {

@@ -8,6 +8,7 @@
 //! repeated across many rows.
 
 use crate::make_dirty;
+use crate::stream::{DirtyRowStream, StreamColumn};
 use dataset::{Dataset, DirtyDataset, Schema};
 use rand::prelude::*;
 use rand::rngs::StdRng;
@@ -131,10 +132,9 @@ impl HaiGenerator {
         .expect("the HAI rule set is well-formed")
     }
 
-    /// Generate the clean dataset.
-    pub fn generate(&self) -> Dataset {
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let schema = Schema::new(&[
+    /// The HAI schema.
+    pub fn schema() -> Schema {
+        Schema::new(&[
             "ProviderID",
             "HospitalName",
             "City",
@@ -145,75 +145,91 @@ impl HaiGenerator {
             "MeasureID",
             "MeasureName",
             "Score",
-        ]);
+        ])
+    }
 
-        // Provider master data, internally consistent so that every FD holds:
-        // each provider has one city/state/zip/county/phone, each zip maps to
-        // one city and county, each phone to one zip/state.
-        struct Provider {
-            id: String,
-            name: String,
-            city: String,
-            state: String,
-            zip: String,
-            county: String,
-            phone: String,
+    // Provider master data as pure functions of the provider index, so the
+    // row stream carries no provider table.  The fields are internally
+    // consistent so that every FD holds: each provider has one
+    // city/state/zip/county/phone, each zip maps to one city and county,
+    // each phone to one zip/state.
+
+    /// Provider id of the `i`-th provider.
+    fn provider_id(i: usize) -> String {
+        format!("P{:05}", 10_000 + i)
+    }
+
+    /// Hospital name of the `i`-th provider.
+    fn provider_name(i: usize) -> String {
+        format!("{} MEDICAL CENTER {}", CITY_STEMS[i % CITY_STEMS.len()], i)
+    }
+
+    /// City of the `i`-th provider — unique per provider so ZIP→City cannot
+    /// clash across providers sharing a stem.
+    fn provider_city(i: usize) -> String {
+        format!(
+            "{}{}",
+            CITY_STEMS[i % CITY_STEMS.len()],
+            i / CITY_STEMS.len()
+        )
+    }
+
+    /// State of the `i`-th provider.
+    fn provider_state(i: usize) -> &'static str {
+        STATES[i % STATES.len()]
+    }
+
+    /// ZIP code of the `i`-th provider.
+    fn provider_zip(i: usize) -> String {
+        format!("{:05}", 35000 + i)
+    }
+
+    /// County of the `i`-th provider.
+    fn provider_county(i: usize) -> String {
+        format!(
+            "{}{}",
+            COUNTY_STEMS[i % COUNTY_STEMS.len()],
+            i / COUNTY_STEMS.len()
+        )
+    }
+
+    /// Phone number of the `i`-th provider.
+    fn provider_phone(i: usize) -> String {
+        format!("{:010}", 2_560_000_000u64 + i as u64 * 97)
+    }
+
+    /// Measure id of the `i`-th measure (MeasureID → MeasureName dictionary).
+    fn measure_id(i: usize) -> String {
+        format!("M{:04}", 100 + i)
+    }
+
+    /// Measure name of the `i`-th measure.
+    fn measure_name(i: usize) -> String {
+        format!(
+            "{}_{}_RATE",
+            MEASURE_STEMS[i % MEASURE_STEMS.len()],
+            i / MEASURE_STEMS.len()
+        )
+    }
+
+    /// Stream the clean rows one at a time.  [`HaiGenerator::generate`]
+    /// drains this same stream, so streamed rows are byte-identical to the
+    /// materialised dataset whatever the consumer's batch size.
+    pub fn row_stream(&self) -> HaiRows {
+        HaiRows {
+            rng: StdRng::seed_from_u64(self.seed),
+            providers: self.providers.max(1),
+            measures: self.measures.max(1),
+            rows: self.rows,
+            produced: 0,
         }
-        let providers: Vec<Provider> = (0..self.providers.max(1))
-            .map(|i| {
-                let state = STATES[i % STATES.len()].to_string();
-                let city_stem = CITY_STEMS[i % CITY_STEMS.len()];
-                // Make the city unique per provider so ZIP→City cannot clash
-                // across providers sharing a stem.
-                let city = format!("{}{}", city_stem, i / CITY_STEMS.len());
-                let county = format!(
-                    "{}{}",
-                    COUNTY_STEMS[i % COUNTY_STEMS.len()],
-                    i / COUNTY_STEMS.len()
-                );
-                let zip = format!("{:05}", 35000 + i);
-                let phone = format!("{:010}", 2_560_000_000u64 + i as u64 * 97);
-                Provider {
-                    id: format!("P{:05}", 10_000 + i),
-                    name: format!("{} MEDICAL CENTER {}", city_stem, i),
-                    city,
-                    state,
-                    zip,
-                    county,
-                    phone,
-                }
-            })
-            .collect();
+    }
 
-        // Measure dictionary: MeasureID → MeasureName.
-        let measures: Vec<(String, String)> = (0..self.measures.max(1))
-            .map(|i| {
-                let stem = MEASURE_STEMS[i % MEASURE_STEMS.len()];
-                (
-                    format!("M{:04}", 100 + i),
-                    format!("{}_{}_RATE", stem, i / MEASURE_STEMS.len()),
-                )
-            })
-            .collect();
-
-        let mut ds = Dataset::with_capacity(schema, self.rows);
-        for _ in 0..self.rows {
-            let p = &providers[rng.gen_range(0..providers.len())];
-            let (mid, mname) = &measures[rng.gen_range(0..measures.len())];
-            let score = format!("{:.3}", rng.gen_range(0.0..5.0));
-            ds.push_row(vec![
-                p.id.clone(),
-                p.name.clone(),
-                p.city.clone(),
-                p.state.clone(),
-                p.zip.clone(),
-                p.county.clone(),
-                p.phone.clone(),
-                mid.clone(),
-                mname.clone(),
-                score,
-            ])
-            .expect("row matches the HAI schema");
+    /// Generate the clean dataset by materialising the row stream.
+    pub fn generate(&self) -> Dataset {
+        let mut ds = Dataset::with_capacity(Self::schema(), self.rows);
+        for row in self.row_stream() {
+            ds.push_row(row).expect("row matches the HAI schema");
         }
         ds
     }
@@ -223,7 +239,94 @@ impl HaiGenerator {
         let clean = self.generate();
         make_dirty(&clean, &Self::rules(), error_rate, replacement_ratio, seed)
     }
+
+    /// Stream dirty rows: the clean row stream with every rule-related cell
+    /// corrupted by the per-cell streaming protocol (deterministic in `seed`,
+    /// batch-size independent).  Replacement errors draw the corresponding
+    /// field of another provider (or another measure for the dictionary
+    /// attributes), mirroring the batch injector's same-domain draws.
+    pub fn dirty_row_stream(
+        &self,
+        error_rate: f64,
+        replacement_ratio: f64,
+        seed: u64,
+    ) -> DirtyRowStream<HaiRows> {
+        let p = self.providers.max(1) as u64;
+        let m = self.measures.max(1) as u64;
+        let provider_col = |col: usize, f: fn(usize) -> String| {
+            StreamColumn::new(col, Box::new(move |draw: u64| f((draw % p) as usize)))
+        };
+        DirtyRowStream::new(
+            self.row_stream(),
+            vec![
+                provider_col(0, Self::provider_id),
+                provider_col(2, Self::provider_city),
+                StreamColumn::new(
+                    3,
+                    Box::new(move |draw| Self::provider_state((draw % p) as usize).to_string()),
+                ),
+                provider_col(4, Self::provider_zip),
+                provider_col(5, Self::provider_county),
+                provider_col(6, Self::provider_phone),
+                StreamColumn::new(
+                    7,
+                    Box::new(move |draw| Self::measure_id((draw % m) as usize)),
+                ),
+                StreamColumn::new(
+                    8,
+                    Box::new(move |draw| Self::measure_name((draw % m) as usize)),
+                ),
+            ],
+            error_rate,
+            replacement_ratio,
+            seed,
+        )
+    }
 }
+
+/// Iterator over the clean HAI rows, in row order (see
+/// [`HaiGenerator::row_stream`]).
+#[derive(Debug, Clone)]
+pub struct HaiRows {
+    rng: StdRng,
+    providers: usize,
+    measures: usize,
+    rows: usize,
+    produced: usize,
+}
+
+impl Iterator for HaiRows {
+    type Item = Vec<String>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.produced >= self.rows {
+            return None;
+        }
+        self.produced += 1;
+        let p = self.rng.gen_range(0..self.providers);
+        let m = self.rng.gen_range(0..self.measures);
+        let score = format!("{:.3}", self.rng.gen_range(0.0..5.0));
+        Some(vec![
+            HaiGenerator::provider_id(p),
+            HaiGenerator::provider_name(p),
+            HaiGenerator::provider_city(p),
+            HaiGenerator::provider_state(p).to_string(),
+            HaiGenerator::provider_zip(p),
+            HaiGenerator::provider_county(p),
+            HaiGenerator::provider_phone(p),
+            HaiGenerator::measure_id(m),
+            HaiGenerator::measure_name(m),
+            score,
+        ])
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.rows - self.produced;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for HaiRows {}
 
 #[cfg(test)]
 mod tests {

@@ -26,10 +26,10 @@ pub mod hai;
 pub mod stream;
 pub mod tpch;
 
-pub use car::CarGenerator;
-pub use hai::HaiGenerator;
-pub use stream::{row_batches, BatchStream};
-pub use tpch::TpchGenerator;
+pub use car::{CarGenerator, CarRows};
+pub use hai::{HaiGenerator, HaiRows};
+pub use stream::{batched, row_batches, BatchStream, Batched, DirtyRowStream, StreamColumn};
+pub use tpch::{TpchGenerator, TpchRows};
 
 use dataset::{AttrId, Dataset, DirtyDataset, ErrorInjector, ErrorSpec};
 use rules::RuleSet;
@@ -85,6 +85,107 @@ mod tests {
             );
         }
         assert!(dirty.error_count() > 0);
+    }
+
+    #[test]
+    fn row_streams_match_the_materialised_datasets() {
+        // The generators drain their own row streams, so an external consumer
+        // of `row_stream()` must see exactly the rows of `generate()` — this
+        // is what makes streamed ingest byte-identical to batch ingest.
+        let hai = HaiGenerator::default().with_rows(120);
+        let car = CarGenerator::default().with_rows(120);
+        let tpch = TpchGenerator::default().with_rows(120);
+        let hai_ds = hai.generate();
+        let car_ds = car.generate();
+        let tpch_ds = tpch.generate();
+        for (i, row) in hai.row_stream().enumerate() {
+            assert_eq!(row, hai_ds.tuple(dataset::TupleId(i)).owned_values());
+        }
+        for (i, row) in car.row_stream().enumerate() {
+            assert_eq!(row, car_ds.tuple(dataset::TupleId(i)).owned_values());
+        }
+        for (i, row) in tpch.row_stream().enumerate() {
+            assert_eq!(row, tpch_ds.tuple(dataset::TupleId(i)).owned_values());
+        }
+    }
+
+    #[test]
+    fn dirty_streams_are_batch_size_independent() {
+        // Per-cell decisions depend only on (seed, row, column), so however
+        // the stream is batched, the same seed yields the same dirty rows.
+        let gen = TpchGenerator::default().with_rows(500).with_customers(40);
+        let whole: Vec<Vec<String>> = gen.dirty_row_stream(0.08, 0.5, 9).collect();
+        for batch_size in [1usize, 7, 128, 1000] {
+            let rebatched: Vec<Vec<String>> =
+                batched(gen.dirty_row_stream(0.08, 0.5, 9), batch_size)
+                    .flatten()
+                    .collect();
+            assert_eq!(
+                whole, rebatched,
+                "batch size {batch_size} changed the stream"
+            );
+        }
+        // A different seed yields a different corruption pattern.
+        let reseeded: Vec<Vec<String>> = gen.dirty_row_stream(0.08, 0.5, 10).collect();
+        assert_ne!(whole, reseeded);
+    }
+
+    #[test]
+    fn row_streams_yield_exact_counts_at_rung_boundaries() {
+        // The scale ladder trusts `row_stream()` to produce exactly the
+        // requested number of rows at every rung.
+        for rows in [0usize, 1, 99, 10_000] {
+            assert_eq!(
+                TpchGenerator::default()
+                    .with_rows(rows)
+                    .row_stream()
+                    .count(),
+                rows
+            );
+            assert_eq!(
+                HaiGenerator::default().with_rows(rows).row_stream().count(),
+                rows
+            );
+            assert_eq!(
+                CarGenerator::default().with_rows(rows).row_stream().count(),
+                rows
+            );
+        }
+        // Batching covers every row exactly once: ceil-division batch count,
+        // full batches except possibly the last.
+        let sizes: Vec<usize> = batched(
+            TpchGenerator::default().with_rows(10_000).row_stream(),
+            4096,
+        )
+        .map(|b| b.len())
+        .collect();
+        assert_eq!(sizes, vec![4096, 4096, 1808]);
+    }
+
+    #[test]
+    fn dirty_stream_rate_is_within_tolerance() {
+        // The streaming protocol corrupts each eligible cell independently;
+        // over tens of thousands of cells the achieved rate concentrates
+        // around the requested one.
+        let gen = TpchGenerator::default()
+            .with_rows(20_000)
+            .with_customers(800);
+        let mut stream = gen.dirty_row_stream(0.05, 0.5, 3);
+        let mut corrupted = 0usize;
+        let clean = gen.row_stream();
+        for (dirty, clean) in (&mut stream).zip(clean) {
+            corrupted += dirty.iter().zip(&clean).filter(|(d, c)| d != c).count();
+        }
+        let eligible = stream.eligible_cells();
+        assert_eq!(eligible, 40_000, "2 rule-related cells per row");
+        let achieved = stream.injected_errors() as f64 / eligible as f64;
+        assert!(
+            (0.04..=0.06).contains(&achieved),
+            "achieved rate {achieved} strays from the requested 0.05"
+        );
+        // Injected-error accounting matches the observable cell diffs.
+        assert_eq!(corrupted as u64, stream.injected_errors());
+        assert!(stream.typo_count() > 0 && stream.replacement_count() > 0);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! customer's line items.
 
 use crate::make_dirty;
+use crate::stream::{DirtyRowStream, StreamColumn};
 use dataset::{Dataset, DirtyDataset, Schema};
 use rand::prelude::*;
 use rand::rngs::StdRng;
@@ -86,10 +87,9 @@ impl TpchGenerator {
         parse_rules("FD: CustKey -> Address").expect("the TPC-H rule set is well-formed")
     }
 
-    /// Generate the clean dataset.
-    pub fn generate(&self) -> Dataset {
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let schema = Schema::new(&[
+    /// The TPC-H join schema (customer attributes, then line-item ones).
+    pub fn schema() -> Schema {
+        Schema::new(&[
             "CustKey",
             "CustName",
             "Address",
@@ -99,46 +99,58 @@ impl TpchGenerator {
             "PartKey",
             "Quantity",
             "ExtendedPrice",
-        ]);
+        ])
+    }
 
-        struct Customer {
-            key: String,
-            name: String,
-            address: String,
-            nation: String,
-            phone: String,
+    /// Customer key of the `i`-th customer (customer master data is a pure
+    /// function of the index, so the row stream needs no customer table).
+    fn customer_key(i: usize) -> String {
+        format!("C{:07}", i + 1)
+    }
+
+    /// Customer name of the `i`-th customer.
+    fn customer_name(i: usize) -> String {
+        format!("Customer#{:09}", i + 1)
+    }
+
+    /// Address of the `i`-th customer.
+    fn customer_address(i: usize) -> String {
+        format!("{} MARKET ST SUITE {}", 100 + (i * 37) % 900, i + 1)
+    }
+
+    /// Nation of the `i`-th customer.
+    fn customer_nation(i: usize) -> &'static str {
+        NATIONS[i % NATIONS.len()]
+    }
+
+    /// Phone number of the `i`-th customer.
+    fn customer_phone(i: usize) -> String {
+        format!(
+            "{:02}-{:03}-{:03}-{:04}",
+            10 + i % 25,
+            i % 1000,
+            (i * 7) % 1000,
+            (i * 13) % 10_000
+        )
+    }
+
+    /// Stream the clean rows one at a time.  [`TpchGenerator::generate`]
+    /// drains this same stream, so streamed rows are byte-identical to the
+    /// materialised dataset whatever the consumer's batch size.
+    pub fn row_stream(&self) -> TpchRows {
+        TpchRows {
+            rng: StdRng::seed_from_u64(self.seed),
+            customers: self.customers.max(1),
+            rows: self.rows,
+            produced: 0,
         }
-        let customers: Vec<Customer> = (0..self.customers.max(1))
-            .map(|i| Customer {
-                key: format!("C{:07}", i + 1),
-                name: format!("Customer#{:09}", i + 1),
-                address: format!("{} MARKET ST SUITE {}", 100 + (i * 37) % 900, i + 1),
-                nation: NATIONS[i % NATIONS.len()].to_string(),
-                phone: format!(
-                    "{:02}-{:03}-{:03}-{:04}",
-                    10 + i % 25,
-                    i % 1000,
-                    (i * 7) % 1000,
-                    (i * 13) % 10_000
-                ),
-            })
-            .collect();
+    }
 
-        let mut ds = Dataset::with_capacity(schema, self.rows);
-        for row in 0..self.rows {
-            let c = &customers[rng.gen_range(0..customers.len())];
-            ds.push_row(vec![
-                c.key.clone(),
-                c.name.clone(),
-                c.address.clone(),
-                c.nation.clone(),
-                c.phone.clone(),
-                format!("O{:08}", row + 1),
-                format!("P{:06}", rng.gen_range(1..20_000)),
-                format!("{}", rng.gen_range(1..50)),
-                format!("{:.2}", rng.gen_range(900.0..105_000.0)),
-            ])
-            .expect("row matches the TPC-H schema");
+    /// Generate the clean dataset by materialising the row stream.
+    pub fn generate(&self) -> Dataset {
+        let mut ds = Dataset::with_capacity(Self::schema(), self.rows);
+        for row in self.row_stream() {
+            ds.push_row(row).expect("row matches the TPC-H schema");
         }
         ds
     }
@@ -148,7 +160,77 @@ impl TpchGenerator {
         let clean = self.generate();
         make_dirty(&clean, &Self::rules(), error_rate, replacement_ratio, seed)
     }
+
+    /// Stream dirty rows: the clean row stream with the rule-related cells
+    /// (`CustKey`, `Address`) corrupted by the per-cell streaming protocol —
+    /// deterministic in `seed` and independent of how the consumer batches
+    /// the stream.  Replacement errors draw another customer's key/address.
+    pub fn dirty_row_stream(
+        &self,
+        error_rate: f64,
+        replacement_ratio: f64,
+        seed: u64,
+    ) -> DirtyRowStream<TpchRows> {
+        let n = self.customers.max(1) as u64;
+        DirtyRowStream::new(
+            self.row_stream(),
+            vec![
+                StreamColumn::new(
+                    0,
+                    Box::new(move |draw| Self::customer_key((draw % n) as usize)),
+                ),
+                StreamColumn::new(
+                    2,
+                    Box::new(move |draw| Self::customer_address((draw % n) as usize)),
+                ),
+            ],
+            error_rate,
+            replacement_ratio,
+            seed,
+        )
+    }
 }
+
+/// Iterator over the clean TPC-H rows, in row order (see
+/// [`TpchGenerator::row_stream`]).
+#[derive(Debug, Clone)]
+pub struct TpchRows {
+    rng: StdRng,
+    customers: usize,
+    rows: usize,
+    produced: usize,
+}
+
+impl Iterator for TpchRows {
+    type Item = Vec<String>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.produced >= self.rows {
+            return None;
+        }
+        let row = self.produced;
+        self.produced += 1;
+        let c = self.rng.gen_range(0..self.customers);
+        Some(vec![
+            TpchGenerator::customer_key(c),
+            TpchGenerator::customer_name(c),
+            TpchGenerator::customer_address(c),
+            TpchGenerator::customer_nation(c).to_string(),
+            TpchGenerator::customer_phone(c),
+            format!("O{:08}", row + 1),
+            format!("P{:06}", self.rng.gen_range(1..20_000)),
+            format!("{}", self.rng.gen_range(1..50)),
+            format!("{:.2}", self.rng.gen_range(900.0..105_000.0)),
+        ])
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.rows - self.produced;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for TpchRows {}
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Invariant checks and the CI regression gate for the BENCH_*.json artifacts.
+
+Usage:
+    assert_bench.py smoke  results/BENCH_smoke.json
+    assert_bench.py ladder results/BENCH_ladder.json [--baseline BENCH_ladder.json]
+                                                     [--tolerance 0.25]
+
+`smoke` asserts the streaming/incremental/distributed probes of the smoke
+artifact kept their correctness invariants (byte-identity with the batch
+engine, dirty blocks < total blocks, real mutations applied).
+
+`ladder` asserts the structural invariants of the benchmark ladder (monotone
+rung sizes, byte-identity wherever it was checked, errors injected, RSS
+recorded when the meter is available, sane latency percentiles) and, when
+`--baseline` points at a committed artifact, gates throughput and peak RSS
+against it: the run fails if any engine's effective throughput regresses by
+more than the tolerance or its peak RSS grows by more than the tolerance.
+Set BENCH_GATE_SKIP=1 to skip the baseline gate (e.g. while intentionally
+re-baselining); the invariant checks always run.
+"""
+
+import argparse
+import json
+import math
+import os
+import sys
+
+ENGINES = ("batch", "incremental", "distributed")
+STAGES = (
+    "index",
+    "agp",
+    "weight_learning",
+    "rsc",
+    "fscr",
+    "dedup",
+    "partition",
+    "weight_merge",
+    "gather",
+)
+
+
+def fail(msg):
+    sys.exit(f"assert_bench: FAIL: {msg}")
+
+
+def check(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def check_smoke(d):
+    s = d["streaming"]
+    check(s["hai_stream"]["final_matches_one_shot"] is True,
+          "streamed HAI result diverged from the one-shot run")
+    r = s["incremental_reclean"]
+    check(r["matches_full_reclean"] is True,
+          "incremental re-clean diverged from the full batch re-run")
+    check(r["dirty_blocks"] < r["total_blocks"],
+          f"the non-acura tail dirtied every block: {r}")
+    print("streaming smoke ok:", r["dirty_blocks"], "of", r["total_blocks"],
+          "blocks dirty, speedup", r["speedup"])
+    m = s["mutation"]
+    check(m["matches_full_reclean"] is True,
+          f"mutated session diverged from the batch re-run: {m}")
+    check(m["dirty_blocks"] < m["total_blocks"],
+          f"mutations dirtied every block: {m}")
+    check(m["deleted_rows"] > 0 and m["updated_cells"] > 0,
+          f"the mutation probe applied no real mutations: {m}")
+    print("mutation smoke ok:", m["deleted_rows"], "deletes +",
+          m["updated_cells"], "updates,", m["dirty_blocks"], "of",
+          m["total_blocks"], "blocks dirty, speedup", m["speedup"])
+    ds = s["distributed_stream"]
+    check(ds["matches_single_session"] is True,
+          f"distributed stream diverged from the single session: {ds}")
+    check(ds["partitions"] == 2 and ds["batches"] == 8, str(ds))
+    check(1 <= ds["merge_rounds"] <= ds["batches"], str(ds))
+    check(sum(ds["partition_sizes"]) > 0, str(ds))
+    print("distributed-stream smoke ok:", ds["partitions"], "partitions,",
+          ds["merge_rounds"], "merge rounds,",
+          "%.6fs" % ds["per_round_merge_seconds"], "per round,",
+          ds["shared_gammas"], "shared gammas, byte-identical to the",
+          "single-session stream")
+
+
+def check_ladder(d):
+    check(d["experiment"] == "ladder", "not a ladder artifact")
+    rungs = d["rungs"]
+    check(len(rungs) >= 1, "the ladder ran no rungs")
+    sizes = [r["rows"] for r in rungs]
+    check(sizes == sorted(set(sizes)),
+          f"rung sizes must be strictly increasing: {sizes}")
+    rss_supported = d["rss_meter"]["supported"]
+
+    for i, r in enumerate(rungs):
+        where = f"rung {r['rows']}"
+        check(r["batches"] == math.ceil(r["rows"] / d["batch_rows"]),
+              f"{where}: batch count does not cover the rows")
+        check(r["injected_errors"] > 0, f"{where}: no errors injected")
+
+        ident = r["byte_identity"]
+        if r["rows"] <= d["identity_limit"]:
+            check(ident["checked"] is True,
+                  f"{where}: identity must be checked at rungs <= identity_limit")
+        if ident["checked"]:
+            check(ident["incremental_matches_batch"] is True,
+                  f"{where}: incremental engine diverged from batch")
+            check(ident["distributed_matches_batch"] is True,
+                  f"{where}: distributed engine diverged from batch")
+
+        for name in ENGINES:
+            e = r["engines"][name]
+            tag = f"{where}/{name}"
+            check(e["ingest_rows_per_sec"] > 0, f"{tag}: zero ingest throughput")
+            check(e["ingest_seconds"] > 0 and e["outcome_seconds"] > 0,
+                  f"{tag}: non-positive timings")
+            check(e["total_seconds"] >= e["outcome_seconds"],
+                  f"{tag}: total below outcome")
+            for stage in STAGES:
+                check(e["stage_seconds"][stage] >= 0, f"{tag}: negative {stage}")
+            if rss_supported:
+                check(isinstance(e["peak_rss_kib"], int) and e["peak_rss_kib"] > 0,
+                      f"{tag}: RSS meter is supported but no peak recorded")
+
+        mut = r["mutation_latency"]
+        if i == len(rungs) - 1:
+            check(mut is not None, f"{where}: largest rung lacks the mutation probe")
+            check(mut["samples"] > 0, f"{where}: no mutation samples")
+            check(0 < mut["p50_seconds"] <= mut["p99_seconds"] <= mut["max_seconds"],
+                  f"{where}: mutation percentiles out of order: {mut}")
+        else:
+            check(mut is None, f"{where}: mutation probe ran on a non-final rung")
+
+    print(f"ladder invariants ok: rungs {sizes}, "
+          f"identity checked on {sum(r['byte_identity']['checked'] for r in rungs)}, "
+          f"rss meter {'on' if rss_supported else 'off'}")
+
+
+def throughput(rung, engine):
+    return rung["rows"] / max(rung["engines"][engine]["total_seconds"], 1e-9)
+
+
+def gate_ladder(new, base, tolerance):
+    if os.environ.get("BENCH_GATE_SKIP") == "1":
+        print("ladder gate SKIPPED (BENCH_GATE_SKIP=1)")
+        return
+    base_by_rows = {r["rows"]: r for r in base["rungs"]}
+    compared = 0
+    for r in new["rungs"]:
+        b = base_by_rows.get(r["rows"])
+        if b is None:
+            continue
+        for name in ENGINES:
+            tag = f"rung {r['rows']}/{name}"
+            new_tp, base_tp = throughput(r, name), throughput(b, name)
+            check(new_tp >= (1.0 - tolerance) * base_tp,
+                  f"{tag}: throughput regressed {base_tp:.0f} -> {new_tp:.0f} rows/s "
+                  f"(> {tolerance:.0%} drop); re-baseline deliberately or set "
+                  f"BENCH_GATE_SKIP=1")
+            new_rss = r["engines"][name]["peak_rss_kib"]
+            base_rss = b["engines"][name]["peak_rss_kib"]
+            if isinstance(new_rss, int) and isinstance(base_rss, int):
+                check(new_rss <= (1.0 + tolerance) * base_rss,
+                      f"{tag}: peak RSS grew {base_rss} -> {new_rss} KiB "
+                      f"(> {tolerance:.0%}); re-baseline deliberately or set "
+                      f"BENCH_GATE_SKIP=1")
+            compared += 1
+    check(compared > 0, "baseline shares no rungs with this run")
+    print(f"ladder gate ok: {compared} engine points within "
+          f"{tolerance:.0%} of the baseline")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("kind", choices=["smoke", "ladder"])
+    parser.add_argument("artifact")
+    parser.add_argument("--baseline", help="committed BENCH_ladder.json to gate against")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed relative regression (default 0.25)")
+    args = parser.parse_args()
+
+    with open(args.artifact) as f:
+        d = json.load(f)
+    if args.kind == "smoke":
+        check_smoke(d)
+    else:
+        check_ladder(d)
+        if args.baseline:
+            with open(args.baseline) as f:
+                base = json.load(f)
+            check_ladder(base)
+            gate_ladder(d, base, args.tolerance)
+
+
+if __name__ == "__main__":
+    main()
