@@ -57,14 +57,14 @@ fn stage_breakdown(c: &mut Criterion) {
         b.iter(|| {
             let mut index = base_index.clone();
             AbnormalGroupProcessor::new(1, Metric::Levenshtein).process(&mut index);
-            mlnclean::weights::assign_weights(&mut index, &LearningConfig::default());
+            mlnclean::weights::assign_weights(&mut index);
             ReliabilityCleaner::new(Metric::Levenshtein).clean(&mut index)
         });
     });
     group.bench_function("fscr", |b| {
         let mut index = base_index.clone();
         AbnormalGroupProcessor::new(1, Metric::Levenshtein).process(&mut index);
-        mlnclean::weights::assign_weights(&mut index, &LearningConfig::default());
+        mlnclean::weights::assign_weights(&mut index);
         ReliabilityCleaner::new(Metric::Levenshtein).clean(&mut index);
         b.iter(|| ConflictResolver::new(6).resolve(&dirty.dirty, &index));
     });

@@ -1,9 +1,9 @@
-//! Paper-scale benchmark ladder: the same TPC-H cleaning workload at
+//! Paper-scale benchmark ladder: the same cleaning workload at
 //! 10⁴ → 10⁵ → 10⁶ (→ 10⁷, opt-in) rows, across all three engines.
 //!
 //! The paper's evaluation runs to 6 M tuples; the per-figure experiments in
 //! this crate stop around 10⁴ rows so they stay interactive.  The ladder is
-//! the bridge: every rung streams a seeded dirty TPC-H workload (see
+//! the bridge: every rung streams a seeded dirty workload (see
 //! [`datagen::DirtyRowStream`] — rows are produced batch-by-batch and never
 //! all resident) through
 //!
@@ -20,14 +20,22 @@
 //! provenance), extending the smoke test's equivalence guarantee to
 //! paper-scale inputs.  On the largest rung the incremental session is kept
 //! alive and probed with a sustained stream of single-cell mutations,
-//! reporting p50/p99/max `apply` + `outcome` latency.
+//! reporting p50/p99/max `apply` + `outcome` latency plus the group-scoped
+//! re-clean counters: how many MLN groups the most expensive mutation
+//! re-cleaned versus how many groups the index holds in total (the CI
+//! evidence that a pure-FD mutation stream no longer re-cleans every group).
 //!
-//! The artifact is `BENCH_ladder.json`; `scripts/assert_bench.py ladder`
-//! checks its invariants and gates CI against the committed baseline.
+//! [`run`] ladders all three of the paper's workloads: TPC-H (the original
+//! ladder, rungs up to 10⁷) plus HAI and CAR at 10⁴/10⁵.  The artifacts are
+//! `BENCH_ladder.json`, `BENCH_ladder_hai.json` and `BENCH_ladder_car.json`;
+//! `scripts/assert_bench.py ladder` checks each one's invariants and gates
+//! CI against the committed baselines.
 
 use crate::common::{rayon_threads, reports_identical, PeakRss, Scale, Workload};
-use datagen::{batched, TpchGenerator};
-use dataset::{Dataset, TupleId};
+use datagen::{
+    batched, CarGenerator, CarRows, DirtyRowStream, HaiGenerator, HaiRows, TpchGenerator, TpchRows,
+};
+use dataset::{Dataset, Schema, TupleId};
 use distributed::DistributedStreamingSession;
 use mlnclean::{ChangeSet, CleaningSession, MlnClean, Report};
 use std::time::{Duration, Instant};
@@ -36,6 +44,8 @@ use std::time::{Duration, Instant};
 /// or an explicit `--max-rows`; tests shrink everything.
 #[derive(Debug, Clone)]
 pub struct LadderConfig {
+    /// Which of the paper's workloads this ladder runs.
+    pub workload: Workload,
     /// Candidate rung sizes, ascending; rungs above `max_rows` are skipped.
     pub rungs: Vec<usize>,
     /// Largest rung to run.
@@ -64,6 +74,7 @@ pub struct LadderConfig {
 impl Default for LadderConfig {
     fn default() -> Self {
         LadderConfig {
+            workload: Workload::Tpch,
             rungs: vec![10_000, 100_000, 1_000_000, 10_000_000],
             max_rows: 100_000,
             batch_rows: 4_096,
@@ -88,38 +99,153 @@ impl LadderConfig {
             .collect()
     }
 
-    /// Mutation samples for a rung of `rows` rows.  TPC-H has one rule, so
-    /// each sampled mutation re-cleans the whole FD block — seconds at 10⁵
-    /// rows and up.  Scale the sample count down with the rung so the probe
-    /// stays a bounded share of the run; the floor keeps the percentile
-    /// ranks meaningful.
+    /// Mutation samples for a rung of `rows` rows.  Even group-scoped,
+    /// every sampled mutation pays a full `outcome()` assembly, so scale
+    /// the sample count down with the rung to keep the probe a bounded
+    /// share of the run; the floor keeps the percentile ranks meaningful.
     fn samples_for(&self, rows: usize) -> usize {
         self.mutation_samples.min((800_000 / rows.max(1)).max(8))
     }
 
-    /// The TPC-H generator of one rung: customer count scales with the rung
-    /// so block/group counts grow with the data (1 customer per 25 line
-    /// items, like the probe workloads elsewhere in this crate).
-    fn generator(&self, rows: usize) -> TpchGenerator {
-        TpchGenerator::default()
-            .with_rows(rows)
-            .with_customers((rows / 25).max(1))
-            .with_seed(self.seed)
+    /// The artifact this ladder writes.
+    fn artifact_name(&self) -> &'static str {
+        match self.workload {
+            Workload::Tpch => "BENCH_ladder.json",
+            Workload::Hai => "BENCH_ladder_hai.json",
+            Workload::Car => "BENCH_ladder_car.json",
+        }
+    }
+
+    /// The workload's schema.
+    fn schema(&self) -> Schema {
+        match self.workload {
+            Workload::Tpch => TpchGenerator::schema(),
+            Workload::Hai => HaiGenerator::schema(),
+            Workload::Car => CarGenerator::schema(),
+        }
+    }
+
+    /// Entity count scaling the group structure of one rung (recorded as
+    /// `"entities"` in the artifact): customers for TPC-H (1 per 25 line
+    /// items), providers for HAI (1 per 40 measures), models-per-make for
+    /// CAR (1 per 2 000 listings) — all grow with the rung so block/group
+    /// counts grow with the data, like the probe workloads elsewhere in
+    /// this crate.
+    fn entities(&self, rows: usize) -> usize {
+        match self.workload {
+            Workload::Tpch => (rows / 25).max(1),
+            Workload::Hai => (rows / 40).max(1),
+            Workload::Car => (rows / 2_000).max(3),
+        }
+    }
+
+    /// The seeded dirty row stream of one rung.
+    fn stream(&self, rows: usize) -> LadderStream {
+        let (e, r, s) = (self.error_rate, self.replacement_ratio, self.seed);
+        match self.workload {
+            Workload::Tpch => LadderStream::Tpch(
+                TpchGenerator::default()
+                    .with_rows(rows)
+                    .with_customers(self.entities(rows))
+                    .with_seed(self.seed)
+                    .dirty_row_stream(e, r, s),
+            ),
+            Workload::Hai => LadderStream::Hai(
+                HaiGenerator::default()
+                    .with_rows(rows)
+                    .with_providers(self.entities(rows))
+                    .with_seed(self.seed)
+                    .dirty_row_stream(e, r, s),
+            ),
+            Workload::Car => LadderStream::Car(
+                CarGenerator {
+                    models_per_make: self.entities(rows),
+                    rows,
+                    seed: self.seed,
+                }
+                .dirty_row_stream(e, r, s),
+            ),
+        }
+    }
+
+    /// The attribute the mutation probe overwrites: the consequent of one of
+    /// the workload's FDs, so every sampled mutation dirties the groups that
+    /// cover the tuple — and only those.
+    fn mutation_attr(&self) -> &'static str {
+        match self.workload {
+            Workload::Tpch => "Address",
+            Workload::Hai => "City",
+            Workload::Car => "Make",
+        }
+    }
+
+    /// The `i`-th mutation value: fresh per sample, so the update is a real
+    /// overwrite, never a skipped no-op.
+    fn mutation_value(&self, i: usize) -> String {
+        match self.workload {
+            Workload::Tpch => {
+                format!("{} REWRITE BLVD SUITE {}", 100 + (i * 53) % 900, i + 1)
+            }
+            Workload::Hai => format!("REWRITEVILLE{}", i + 1),
+            Workload::Car => format!("rewrite-make-{}", i + 1),
+        }
     }
 }
 
-/// Run the ladder at the default rungs for `scale` (overridden by
-/// `--max-rows` on the command line, threaded through as `max_rows`).
+/// One rung's dirty row stream, whatever the workload (the three generators
+/// stream through differently typed [`DirtyRowStream`]s).
+enum LadderStream {
+    Tpch(DirtyRowStream<TpchRows>),
+    Hai(DirtyRowStream<HaiRows>),
+    Car(DirtyRowStream<CarRows>),
+}
+
+impl LadderStream {
+    fn injected_errors(&self) -> u64 {
+        match self {
+            LadderStream::Tpch(s) => s.injected_errors(),
+            LadderStream::Hai(s) => s.injected_errors(),
+            LadderStream::Car(s) => s.injected_errors(),
+        }
+    }
+}
+
+impl Iterator for LadderStream {
+    type Item = Vec<String>;
+
+    fn next(&mut self) -> Option<Vec<String>> {
+        match self {
+            LadderStream::Tpch(s) => s.next(),
+            LadderStream::Hai(s) => s.next(),
+            LadderStream::Car(s) => s.next(),
+        }
+    }
+}
+
+/// Run the ladders of all three workloads at the default rungs for `scale`
+/// (overridden by `--max-rows` on the command line, threaded through as
+/// `max_rows`): TPC-H at the full rung set, HAI and CAR at 10⁴/10⁵ (the
+/// paper's single-node datasets stop around those sizes).
 pub fn run(scale: Scale, max_rows: Option<usize>) -> Vec<(String, String)> {
-    let config = LadderConfig {
-        max_rows: max_rows.unwrap_or(match scale {
-            Scale::Tiny => 10_000,
-            Scale::Small => 100_000,
-            Scale::Full => 1_000_000,
-        }),
-        ..LadderConfig::default()
-    };
-    run_config(&config)
+    let max_rows = max_rows.unwrap_or(match scale {
+        Scale::Tiny => 10_000,
+        Scale::Small => 100_000,
+        Scale::Full => 1_000_000,
+    });
+    let mut files = Vec::new();
+    for workload in [Workload::Tpch, Workload::Hai, Workload::Car] {
+        let config = LadderConfig {
+            workload,
+            rungs: match workload {
+                Workload::Tpch => LadderConfig::default().rungs,
+                Workload::Hai | Workload::Car => vec![10_000, 100_000],
+            },
+            max_rows,
+            ..LadderConfig::default()
+        };
+        files.extend(run_config(&config));
+    }
+    files
 }
 
 /// Run the ladder with explicit tunables and return the JSON artifact.
@@ -132,7 +258,7 @@ pub fn run_config(config: &LadderConfig) -> Vec<(String, String)> {
     for rows in rungs {
         let point = run_rung(config, rows, &meter, Some(rows) == largest);
         println!(
-            "ladder rung {rows}: batch {:.3}s, incremental {:.3}s, distributed {:.3}s{}",
+            "ladder [{workload}] rung {rows}: batch {:.3}s, incremental {:.3}s, distributed {:.3}s{}",
             point.batch.total().as_secs_f64(),
             point.incremental.total().as_secs_f64(),
             point.distributed.total().as_secs_f64(),
@@ -140,7 +266,8 @@ pub fn run_config(config: &LadderConfig) -> Vec<(String, String)> {
                 " (byte-identity checked)"
             } else {
                 ""
-            }
+            },
+            workload = config.workload.name(),
         );
         rung_jsons.push(render_rung(&point));
     }
@@ -149,7 +276,7 @@ pub fn run_config(config: &LadderConfig) -> Vec<(String, String)> {
         concat!(
             "{{\n",
             "  \"experiment\": \"ladder\",\n",
-            "  \"workload\": \"TPC-H\",\n",
+            "  \"workload\": \"{workload}\",\n",
             "  \"max_rows\": {max_rows},\n",
             "  \"batch_rows\": {batch_rows},\n",
             "  \"error_rate\": {error_rate},\n",
@@ -166,6 +293,7 @@ pub fn run_config(config: &LadderConfig) -> Vec<(String, String)> {
             "  ]\n",
             "}}\n",
         ),
+        workload = config.workload.name(),
         max_rows = config.max_rows,
         batch_rows = config.batch_rows,
         error_rate = config.error_rate,
@@ -180,7 +308,7 @@ pub fn run_config(config: &LadderConfig) -> Vec<(String, String)> {
         rungs = rung_jsons.join(",\n"),
     );
 
-    vec![("BENCH_ladder.json".to_string(), json)]
+    vec![(config.artifact_name().to_string(), json)]
 }
 
 /// One engine's measurements on one rung.
@@ -200,7 +328,7 @@ impl EngineRun {
 /// One rung's measurements across the three engines.
 struct RungPoint {
     rows: usize,
-    customers: usize,
+    entities: usize,
     batches: usize,
     injected_errors: u64,
     batch: EngineRun,
@@ -212,29 +340,35 @@ struct RungPoint {
     mutation: Option<MutationLatency>,
 }
 
-/// Tail latency of `apply` + `outcome` under a sustained mutation stream.
+/// Tail latency of `apply` + `outcome` under a sustained mutation stream,
+/// plus the group-scoped re-clean counters backing the CI probe that a
+/// pure-FD mutation stream no longer re-cleans every group.
 struct MutationLatency {
     samples: usize,
     p50: Duration,
     p99: Duration,
     max: Duration,
+    /// Most output groups any single sampled mutation re-cleaned.
+    recleaned_groups: u64,
+    /// Groups the session's index held when the probe finished.
+    total_groups: usize,
 }
 
 fn run_rung(config: &LadderConfig, rows: usize, meter: &PeakRss, is_largest: bool) -> RungPoint {
-    let gen = config.generator(rows);
-    let rules = TpchGenerator::rules();
-    let clean_config = Workload::Tpch.clean_config();
+    let schema = config.schema();
+    let rules = config.workload.rules();
+    let clean_config = config.workload.clean_config();
     let batches = rows.div_ceil(config.batch_rows);
 
     // Batch engine: materialise the dirty stream, then one-shot clean.
     // Generation is part of every engine's ingest time, so the three
     // ingest/throughput numbers are comparable.
     meter.reset();
-    let mut stream = gen.dirty_row_stream(config.error_rate, config.replacement_ratio, config.seed);
+    let mut stream = config.stream(rows);
     let started = Instant::now();
-    let mut ds = Dataset::with_capacity(TpchGenerator::schema(), rows);
+    let mut ds = Dataset::with_capacity(schema.clone(), rows);
     for row in &mut stream {
-        ds.push_row(row).expect("row matches the TPC-H schema");
+        ds.push_row(row).expect("row matches the workload schema");
     }
     let ingest = started.elapsed();
     let injected_errors = stream.injected_errors();
@@ -253,10 +387,9 @@ fn run_rung(config: &LadderConfig, rows: usize, meter: &PeakRss, is_largest: boo
     // Incremental engine: micro-batch ingest, then one outcome.  The session
     // stays alive for the mutation probe on the largest rung.
     meter.reset();
-    let mut session =
-        CleaningSession::new(clean_config.clone(), TpchGenerator::schema(), rules.clone())
-            .expect("the TPC-H rules match the TPC-H schema");
-    let mut stream = gen.dirty_row_stream(config.error_rate, config.replacement_ratio, config.seed);
+    let mut session = CleaningSession::new(clean_config.clone(), schema.clone(), rules.clone())
+        .expect("the workload's rules match its schema");
+    let mut stream = config.stream(rows);
     let started = Instant::now();
     for batch in batched(&mut stream, config.batch_rows) {
         session.ingest_batch(batch).expect("rows match the schema");
@@ -274,7 +407,8 @@ fn run_rung(config: &LadderConfig, rows: usize, meter: &PeakRss, is_largest: boo
     // Mutation probe before the distributed run so the probe's re-cleans do
     // not sit inside the distributed engine's RSS window, then drop the
     // session (its rows now differ from the shared stream).
-    let mutation = is_largest.then(|| mutation_probe(&mut session, &gen, config.samples_for(rows)));
+    let mutation =
+        is_largest.then(|| mutation_probe(&mut session, config, rows, config.samples_for(rows)));
     drop(session);
 
     // Distributed-streaming engine: the same batches fanned out over
@@ -282,13 +416,13 @@ fn run_rung(config: &LadderConfig, rows: usize, meter: &PeakRss, is_largest: boo
     meter.reset();
     let mut session = DistributedStreamingSession::new(
         clean_config,
-        TpchGenerator::schema(),
+        schema,
         rules,
         config.partitions,
         config.merge_every,
     )
-    .expect("the TPC-H rules match the TPC-H schema");
-    let mut stream = gen.dirty_row_stream(config.error_rate, config.replacement_ratio, config.seed);
+    .expect("the workload's rules match its schema");
+    let mut stream = config.stream(rows);
     let started = Instant::now();
     for batch in batched(&mut stream, config.batch_rows) {
         session
@@ -318,7 +452,7 @@ fn run_rung(config: &LadderConfig, rows: usize, meter: &PeakRss, is_largest: boo
 
     RungPoint {
         rows,
-        customers: gen.customers,
+        entities: config.entities(rows),
         batches,
         injected_errors,
         batch,
@@ -332,29 +466,35 @@ fn run_rung(config: &LadderConfig, rows: usize, meter: &PeakRss, is_largest: boo
 }
 
 /// Keep mutating one cell at a time and re-asking for the outcome, recording
-/// the latency distribution the incremental engine sustains at this rung.
+/// the latency distribution the incremental engine sustains at this rung and
+/// the worst-case group-scoped re-clean cost of a single mutation.
 fn mutation_probe(
     session: &mut CleaningSession,
-    gen: &TpchGenerator,
+    config: &LadderConfig,
+    rows: usize,
     samples: usize,
 ) -> MutationLatency {
-    let schema = TpchGenerator::schema();
-    let address = schema.attr_id("Address").expect("TPC-H has an Address");
-    let rows = gen.rows;
+    let schema = config.schema();
+    let attr = schema
+        .attr_id(config.mutation_attr())
+        .expect("the workload schema has the mutated attribute");
     let samples = samples.max(1);
 
     let mut latencies = Vec::with_capacity(samples);
+    let mut recleaned_groups = 0u64;
     for i in 0..samples {
-        // Spread the touched rows across the dataset; a fresh suite number
+        // Spread the touched rows across the dataset; a fresh value
         // guarantees the update is a real overwrite, never a skipped no-op.
         let tuple = TupleId((i.wrapping_mul(9973) + 17) % rows.max(1));
-        let value = format!("{} REWRITE BLVD SUITE {}", 100 + (i * 53) % 900, i + 1);
+        let value = config.mutation_value(i);
+        let recleaned_before = session.recleaned_groups();
         let started = Instant::now();
         session
-            .apply(ChangeSet::new().update(tuple, address, value))
+            .apply(ChangeSet::new().update(tuple, attr, value))
             .expect("the mutation addresses a live row");
         let _ = session.outcome();
         latencies.push(started.elapsed());
+        recleaned_groups = recleaned_groups.max(session.recleaned_groups() - recleaned_before);
     }
     latencies.sort();
 
@@ -368,6 +508,8 @@ fn mutation_probe(
         p50: rank(0.50),
         p99: rank(0.99),
         max: *latencies.last().expect("at least one sample"),
+        recleaned_groups,
+        total_groups: session.total_groups(),
     }
 }
 
@@ -420,19 +562,22 @@ fn render_rung(point: &RungPoint) -> String {
         Some(m) => format!(
             concat!(
                 "{{ \"samples\": {samples}, \"p50_seconds\": {p50:.6}, ",
-                "\"p99_seconds\": {p99:.6}, \"max_seconds\": {max:.6} }}",
+                "\"p99_seconds\": {p99:.6}, \"max_seconds\": {max:.6}, ",
+                "\"recleaned_groups\": {recleaned}, \"total_groups\": {total} }}",
             ),
             samples = m.samples,
             p50 = m.p50.as_secs_f64(),
             p99 = m.p99.as_secs_f64(),
             max = m.max.as_secs_f64(),
+            recleaned = m.recleaned_groups,
+            total = m.total_groups,
         ),
     };
     format!(
         concat!(
             "    {{\n",
             "      \"rows\": {rows},\n",
-            "      \"customers\": {customers},\n",
+            "      \"entities\": {entities},\n",
             "      \"batches\": {batches},\n",
             "      \"injected_errors\": {injected},\n",
             "      \"byte_identity\": {{\n",
@@ -452,7 +597,7 @@ fn render_rung(point: &RungPoint) -> String {
             "    }}",
         ),
         rows = point.rows,
-        customers = point.customers,
+        entities = point.entities,
         batches = point.batches,
         injected = point.injected_errors,
         checked = point.identity_checked,
@@ -509,8 +654,73 @@ mod tests {
         // Only the largest rung carries the mutation probe.
         assert_eq!(json.matches("\"mutation_latency\": null").count(), 1);
         assert_eq!(json.matches("\"p99_seconds\"").count(), 1);
+        // The group-scoped probe: single-cell mutations re-clean a strict
+        // subset of the groups.
+        let (recleaned, total) = probe_counts(json);
+        assert!(
+            recleaned > 0 && recleaned < total,
+            "mutations should re-clean some but not all groups \
+             (recleaned {recleaned} of {total})"
+        );
         // Crude structural sanity: balanced braces.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    /// Pull `"recleaned_groups"`/`"total_groups"` out of the artifact.
+    fn probe_counts(json: &str) -> (u64, u64) {
+        let grab = |key: &str| -> u64 {
+            let at = json.find(key).unwrap_or_else(|| panic!("{key} missing"));
+            json[at + key.len()..]
+                .chars()
+                .take_while(|c| c.is_ascii_digit())
+                .collect::<String>()
+                .parse()
+                .expect("the probe counters are integers")
+        };
+        (grab("\"recleaned_groups\": "), grab("\"total_groups\": "))
+    }
+
+    #[test]
+    fn hai_and_car_micro_ladders_run() {
+        // The non-TPC-H workloads ladder the same way: own artifact, the
+        // same schema, byte-identical engines, and a group-scoped mutation
+        // probe on the largest rung.
+        for (workload, artifact) in [
+            (Workload::Hai, "BENCH_ladder_hai.json"),
+            (Workload::Car, "BENCH_ladder_car.json"),
+        ] {
+            let config = LadderConfig {
+                workload,
+                rungs: vec![500],
+                max_rows: 500,
+                batch_rows: 128,
+                identity_limit: 500,
+                mutation_samples: 3,
+                ..LadderConfig::default()
+            };
+            let files = run_config(&config);
+            assert_eq!(files.len(), 1);
+            let (name, json) = &files[0];
+            assert_eq!(name, artifact);
+            assert!(json.contains(&format!("\"workload\": \"{}\"", workload.name())));
+            assert_eq!(json.matches("\"checked\": true").count(), 1, "{name}");
+            assert_eq!(
+                json.matches("\"incremental_matches_batch\": true").count(),
+                1,
+                "{name}"
+            );
+            assert_eq!(
+                json.matches("\"distributed_matches_batch\": true").count(),
+                1,
+                "{name}"
+            );
+            let (recleaned, total) = probe_counts(json);
+            assert!(
+                recleaned > 0 && recleaned < total,
+                "{name}: recleaned {recleaned} of {total}"
+            );
+            assert_eq!(json.matches('{').count(), json.matches('}').count());
+        }
     }
 
     #[test]
@@ -544,7 +754,7 @@ mod tests {
             "\"resettable\"",
             "\"rungs\"",
             "\"rows\"",
-            "\"customers\"",
+            "\"entities\"",
             "\"batches\"",
             "\"injected_errors\"",
             "\"byte_identity\"",
@@ -576,6 +786,8 @@ mod tests {
             "\"p50_seconds\"",
             "\"p99_seconds\"",
             "\"max_seconds\"",
+            "\"recleaned_groups\"",
+            "\"total_groups\"",
         ] {
             assert!(json.contains(key), "BENCH_ladder.json lost the {key} key");
         }

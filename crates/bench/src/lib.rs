@@ -40,9 +40,10 @@ pub enum Experiment {
     /// wall-time and repair quality.  Not part of the paper; excluded from
     /// [`Experiment::ALL`].
     Smoke,
-    /// Paper-scale benchmark ladder: the TPC-H workload at 10⁴–10⁷ rows
-    /// across all three engines, emitting `BENCH_ladder.json`.  Not part of
-    /// the paper's figures; excluded from [`Experiment::ALL`].
+    /// Paper-scale benchmark ladder: TPC-H at 10⁴–10⁷ rows plus HAI and CAR
+    /// at 10⁴–10⁵, across all three engines, emitting `BENCH_ladder.json`,
+    /// `BENCH_ladder_hai.json` and `BENCH_ladder_car.json`.  Not part of the
+    /// paper's figures; excluded from [`Experiment::ALL`].
     Ladder,
 }
 

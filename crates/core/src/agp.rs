@@ -13,13 +13,12 @@
 //! once per block no matter how many group comparisons revisit it.
 
 use crate::cache::{CacheStats, DistanceCache};
-use crate::index::{Block, MlnIndex};
+use crate::index::{Block, Group, MlnIndex};
 use dataset::{TupleId, ValueId, ValuePool};
 use distance::Metric;
 use rayon::prelude::*;
 use rules::RuleId;
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
 
 /// One merge performed (or attempted) by AGP.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -39,12 +38,22 @@ pub struct AgpMerge {
 
 /// The full AGP record of one cleaning run, used both for reporting and for
 /// the Precision-A / Recall-A evaluation.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct AgpRecord {
     /// Every detected abnormal group, in processing order.
     pub merges: Vec<AgpMerge>,
     /// Distance-cache counters accumulated over all blocks.
     pub cache: CacheStats,
+}
+
+/// Equality compares the *decisions* (the merges), not the distance-cache
+/// counters: the incremental [`crate::CleaningSession`] keeps a persistent
+/// per-block cache across refreshes, so its hit/miss split legitimately
+/// differs from a cold batch run even when the merges are byte-identical.
+impl PartialEq for AgpRecord {
+    fn eq(&self, other: &Self) -> bool {
+        self.merges == other.merges
+    }
 }
 
 impl AgpRecord {
@@ -130,118 +139,154 @@ impl AbnormalGroupProcessor {
     /// Process a single block: detect abnormal groups (size ≤ τ) and merge
     /// each into its nearest normal group.  This is the per-block unit both
     /// the whole-index paths above and the incremental
-    /// [`crate::CleaningSession`] compose.
+    /// [`crate::CleaningSession`] compose, expressed as plan + apply so the
+    /// session can inspect the plan (to scope its refresh to affected
+    /// groups) before mutating anything.
     pub(crate) fn process_block(&self, block: &mut Block, pool: &ValuePool) -> AgpRecord {
-        let mut record = AgpRecord::default();
+        // One distance memo per block: every group comparison below shares it.
+        let mut cache = DistanceCache::new(self.metric);
+        let plan = self.plan_block(block, pool, &mut cache);
+        Self::apply_plan(block, &plan);
+        let mut record = plan.record;
+        record.cache.absorb(cache.stats());
+        record
+    }
+
+    /// Decide every merge of one block against the *pristine* pre-merge
+    /// snapshot, without mutating the block.
+    ///
+    /// Because each abnormal group's nearest-normal search sees the same
+    /// snapshot (the original dominant γ of every normal group), the
+    /// decisions are independent of the order in which merges are later
+    /// applied — the property the group-scoped incremental refresh relies on
+    /// to recompute a single group without replaying its siblings.
+    pub(crate) fn plan_block(
+        &self,
+        block: &Block,
+        pool: &ValuePool,
+        cache: &mut DistanceCache,
+    ) -> AgpPlan {
         // Partition group indices into abnormal and normal by the size test.
-        let abnormal_idx: Vec<usize> = block
+        let abnormal: Vec<usize> = block
             .groups
             .iter()
             .enumerate()
             .filter(|(_, g)| g.tuple_count() <= self.tau)
             .map(|(i, _)| i)
             .collect();
-        if abnormal_idx.is_empty() {
-            return record;
+        let mut plan = AgpPlan {
+            abnormal,
+            targets: Vec::new(),
+            record: AgpRecord::default(),
+        };
+        if plan.abnormal.is_empty() {
+            return plan;
         }
-        // One distance memo per block: every group comparison below shares it.
-        let mut cache = DistanceCache::new(self.metric);
-        // Snapshot the keys of the normal groups: only they are valid merge
-        // targets — abnormal groups never merge into each other.  Membership
-        // is hashed (not scanned): the nearest-normal search below tests every
-        // candidate group against this set, and a linear scan turns the block
-        // into an O(abnormal × groups × normal) hot spot at paper scale.
-        // `abnormal_idx` is ascending by construction, so binary search works.
-        let normal_keys: HashSet<Vec<ValueId>> = block
+        // Dominant-γ value ids of every *normal* group, computed once from
+        // the snapshot: only normal groups are valid merge targets (abnormal
+        // groups never merge into each other), and computing them up front
+        // keeps the nearest-normal search below from re-deriving (and
+        // re-allocating) them per abnormal × candidate pair.
+        // `plan.abnormal` is ascending by construction, so binary search
+        // works for the membership test.
+        let normal_ids: Vec<Option<Vec<ValueId>>> = block
             .groups
             .iter()
             .enumerate()
-            .filter(|(i, _)| abnormal_idx.binary_search(i).is_err())
-            .map(|(_, g)| g.key.clone())
+            .map(|(i, g)| {
+                if plan.abnormal.binary_search(&i).is_ok() || g.gammas.is_empty() {
+                    None
+                } else {
+                    Some(g.dominant_gamma().expect("normal group has γs").value_ids())
+                }
+            })
             .collect();
 
-        // Split the abnormal groups out of the block in one order-preserving
-        // pass (repeated `Vec::remove` is quadratic in the group count).
-        let mut abnormal_groups = Vec::with_capacity(abnormal_idx.len());
-        let mut kept = Vec::with_capacity(block.groups.len() - abnormal_idx.len());
-        for (i, group) in std::mem::take(&mut block.groups).into_iter().enumerate() {
-            if abnormal_idx.binary_search(&i).is_ok() {
-                abnormal_groups.push(group);
-            } else {
-                kept.push(group);
-            }
-        }
-        block.groups = kept;
-
-        // Dominant-γ value ids per (surviving) group, computed on first use
-        // and invalidated when a merge mutates the group — recomputing (and
-        // re-allocating) them for every abnormal × candidate pair dominates
-        // the nearest-normal search at paper scale.
-        let mut dominant_memo: Vec<Option<Vec<ValueId>>> = vec![None; block.groups.len()];
-
-        for group in abnormal_groups {
-            let tuples = group.all_tuples();
-            let gamma_count = group.gamma_count();
-            let abnormal_key: Vec<String> = group
-                .resolve_key(pool)
-                .into_iter()
-                .map(str::to_string)
-                .collect();
-
+        for &ai in &plan.abnormal {
+            let group = &block.groups[ai];
             // Nearest normal group by dominant-γ distance, optionally subject
             // to the normalized-distance merge guard.
-            let target_idx: Option<usize> = {
-                let dominant = group.dominant_gamma();
-                match dominant {
-                    None => None,
-                    Some(dominant) => {
-                        let dominant_ids = dominant.value_ids();
-                        let mut best: Option<(usize, f64)> = None;
-                        for (ci, candidate) in block.groups.iter().enumerate() {
-                            if candidate.gammas.is_empty() || !normal_keys.contains(&candidate.key)
-                            {
-                                continue;
-                            }
-                            let candidate_ids = dominant_memo[ci].get_or_insert_with(|| {
-                                candidate
-                                    .dominant_gamma()
-                                    .expect("candidate has γs")
-                                    .value_ids()
-                            });
-                            let d = cache.record_distance(pool, &dominant_ids, candidate_ids);
-                            // Strict `<` so ties keep the *first* minimal
-                            // candidate, matching the historical
-                            // `Iterator::min_by` tie-breaking exactly.
-                            let closer = match &best {
-                                None => true,
-                                Some((_, best_d)) => d < *best_d,
-                            };
-                            if closer {
-                                best = Some((ci, d));
-                            }
+            let target_idx: Option<usize> = match group.dominant_gamma() {
+                None => None,
+                Some(dominant) => {
+                    let dominant_ids = dominant.value_ids();
+                    let mut best: Option<(usize, f64)> = None;
+                    for (ci, candidate_ids) in normal_ids.iter().enumerate() {
+                        let Some(candidate_ids) = candidate_ids else {
+                            continue;
+                        };
+                        let d = cache.record_distance(pool, &dominant_ids, candidate_ids);
+                        // Strict `<` so ties keep the *first* minimal
+                        // candidate, matching the historical
+                        // `Iterator::min_by` tie-breaking exactly.
+                        let closer = match &best {
+                            None => true,
+                            Some((_, best_d)) => d < *best_d,
+                        };
+                        if closer {
+                            best = Some((ci, d));
                         }
-                        best.map(|(ci, _)| ci)
-                            .filter(|&ci| match self.distance_guard {
-                                None => true,
-                                Some(guard) => {
-                                    let other_ids = dominant_memo[ci]
-                                        .as_deref()
-                                        .expect("memo was filled during the search");
-                                    cache.normalized_record_distance(pool, &dominant_ids, other_ids)
-                                        <= guard
-                                }
-                            })
                     }
+                    best.map(|(ci, _)| ci)
+                        .filter(|&ci| match self.distance_guard {
+                            None => true,
+                            Some(guard) => {
+                                let other_ids = normal_ids[ci]
+                                    .as_deref()
+                                    .expect("targets come from the normal set");
+                                cache.normalized_record_distance(pool, &dominant_ids, other_ids)
+                                    <= guard
+                            }
+                        })
                 }
             };
 
-            let target_key: Option<Vec<ValueId>> =
-                target_idx.map(|ci| block.groups[ci].key.clone());
-            match target_idx {
-                Some(ci) => {
-                    // The merge below can change the target's dominant γ.
-                    dominant_memo[ci] = None;
-                    let target = &mut block.groups[ci];
+            plan.record.merges.push(AgpMerge {
+                rule: block.rule,
+                abnormal_key: group
+                    .resolve_key(pool)
+                    .into_iter()
+                    .map(str::to_string)
+                    .collect(),
+                target_key: target_idx.map(|ci| {
+                    block.groups[ci]
+                        .key
+                        .iter()
+                        .map(|&v| pool.resolve(v).to_string())
+                        .collect()
+                }),
+                tuples: group.all_tuples(),
+                gamma_count: group.gamma_count(),
+            });
+            plan.targets.push(target_idx);
+        }
+        plan
+    }
+
+    /// Execute a plan produced by [`AbnormalGroupProcessor::plan_block`] on
+    /// the same block it was planned against.
+    ///
+    /// The resulting group layout matches the historical in-place merge loop
+    /// byte for byte: surviving normal groups keep their relative order,
+    /// merged-in γs land in abnormal order (extending value-identical γs,
+    /// appending new ones), and abnormal groups without a target are put
+    /// back at the end of the block.
+    pub(crate) fn apply_plan(block: &mut Block, plan: &AgpPlan) {
+        if plan.abnormal.is_empty() {
+            return;
+        }
+        let mut slots: Vec<Option<Group>> = std::mem::take(&mut block.groups)
+            .into_iter()
+            .map(Some)
+            .collect();
+        let mut unmerged: Vec<Group> = Vec::new();
+        for (&ai, &target) in plan.abnormal.iter().zip(&plan.targets) {
+            let group = slots[ai].take().expect("abnormal indices are distinct");
+            match target {
+                Some(ti) => {
+                    let target = slots[ti]
+                        .as_mut()
+                        .expect("targets are normal groups, never taken");
                     // Move the abnormal group's γs into the target group,
                     // merging identical γs (same full value vector — an id
                     // comparison).
@@ -256,26 +301,29 @@ impl AbnormalGroupProcessor {
                         }
                     }
                 }
-                None => {
-                    // No normal group exists in this block (e.g. every group
-                    // is tiny); put the group back untouched.
-                    block.groups.push(group);
-                    dominant_memo.push(None);
-                }
+                // No normal group exists in this block (e.g. every group is
+                // tiny); the group goes back untouched, after the survivors.
+                None => unmerged.push(group),
             }
-
-            record.merges.push(AgpMerge {
-                rule: block.rule,
-                abnormal_key,
-                target_key: target_key
-                    .map(|key| key.iter().map(|&v| pool.resolve(v).to_string()).collect()),
-                tuples,
-                gamma_count,
-            });
         }
-        record.cache.absorb(cache.stats());
-        record
+        block.groups = slots.into_iter().flatten().chain(unmerged).collect();
     }
+}
+
+/// The decisions AGP would make for one block, computed against the pristine
+/// pre-merge snapshot by [`AbnormalGroupProcessor::plan_block`].
+#[derive(Debug, Clone)]
+pub(crate) struct AgpPlan {
+    /// Indices (ascending, into the snapshot's group list) of the abnormal
+    /// groups.
+    pub(crate) abnormal: Vec<usize>,
+    /// For each abnormal group (in `abnormal` order), the snapshot index of
+    /// the normal group it merges into — `None` when the block has no
+    /// normal group or the distance guard vetoed the merge.
+    pub(crate) targets: Vec<Option<usize>>,
+    /// The [`AgpMerge`] entries describing the planned merges (cache
+    /// counters are left to the caller, who owns the [`DistanceCache`]).
+    pub(crate) record: AgpRecord,
 }
 
 #[cfg(test)]

@@ -35,6 +35,7 @@ use crate::session::CleaningSession;
 use dataset::{Dataset, TupleId};
 use rules::RuleSet;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Wall-clock timings of a cleaning run — one struct subsuming the historical
@@ -133,9 +134,12 @@ pub struct Report {
     /// deduplication is disabled (access through [`Report::deduplicated`],
     /// which falls back to `repaired` without cloning).
     pub(crate) deduplicated: Option<Dataset>,
-    /// The MLN index in its final (post-RSC) state.  `None` for the
-    /// distributed driver, which keeps one index per partition.
-    pub index: Option<MlnIndex>,
+    /// The MLN index in its final (post-RSC) state, shared with the engine
+    /// that produced it (`Arc` so an incremental session can hand out
+    /// repeated outcome snapshots without cloning the index each time).
+    /// `None` for the distributed driver, which keeps one index per
+    /// partition.
+    pub index: Option<Arc<MlnIndex>>,
     /// What AGP did (concatenated across partitions for the distributed
     /// driver, in worker order).
     pub agp: AgpRecord,
@@ -158,7 +162,7 @@ impl Report {
     pub fn new(
         repaired: Dataset,
         deduplicated: Option<Dataset>,
-        index: Option<MlnIndex>,
+        index: Option<Arc<MlnIndex>>,
         agp: AgpRecord,
         rsc: RscRecord,
         fscr: FscrRecord,
@@ -362,20 +366,5 @@ mod tests {
             shared_gammas: 1,
         };
         assert!((balanced.skew() - 1.0).abs() < f64::EPSILON);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_ingest_error_alias_round_trips() {
-        // The session's historical error enum names the unified one.
-        let err: crate::IngestError = CleanError::NoRules;
-        assert_eq!(err, CleanError::NoRules);
-        fn takes_ingest_error(e: crate::IngestError) -> CleanError {
-            e
-        }
-        assert_eq!(
-            takes_ingest_error(CleanError::Partition { workers: 0 }),
-            CleanError::Partition { workers: 0 }
-        );
     }
 }

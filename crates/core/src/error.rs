@@ -5,10 +5,7 @@
 //! distributed runner borrowed the batch one.  [`CleanError`] replaces all of
 //! them: every driver behind the [`crate::Engine`] trait and every
 //! [`crate::CleaningSession`] entry point returns it, so callers match one
-//! enum no matter which execution plan produced the failure.  The historical
-//! names survive as `#[deprecated]` type aliases
-//! ([`crate::CleaningError`], [`crate::IngestError`]) so downstream code
-//! migrates in one release.
+//! enum no matter which execution plan produced the failure.
 
 use crate::index::IndexError;
 use dataset::{ArityMismatch, AttrId, SchemaMismatch, TupleId};

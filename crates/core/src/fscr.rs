@@ -25,9 +25,10 @@
 use crate::gamma::Gamma;
 use crate::index::MlnIndex;
 use dataset::{AttrId, CellRef, Dataset, TupleId, ValueId};
-use rules::RuleId;
+use rayon::prelude::*;
+use rules::{Rule, RuleId, RuleSet};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// A successful fusion: the fused `(attribute, value)` assignment, its fusion
 /// score, and how many versions were substituted with block-level candidates.
@@ -149,6 +150,56 @@ impl ConflictResolver {
         }
     }
 
+    /// Precompute fusion inputs restricted to the blocks that cover at least
+    /// one tuple of `tuples` (a rule's block covers exactly the tuples its
+    /// rule is relevant to).  For every tuple in `tuples` the restricted plan
+    /// is byte-identical to the full [`Self::plan`]: a tuple's versions come
+    /// only from covering blocks, and substitution candidates are per block.
+    /// Blocks covering none of the tuples are skipped entirely — this is
+    /// what makes the incremental session's re-fusion cost proportional to
+    /// the invalidated set instead of the whole index.
+    pub fn plan_for<'a>(
+        &self,
+        index: &'a MlnIndex,
+        dirty: &Dataset,
+        rules: &RuleSet,
+        tuples: &HashSet<TupleId>,
+    ) -> FusionPlan<'a> {
+        let rule_list: Vec<&Rule> = rules.iter().collect();
+        let schema = dirty.schema();
+        let mut tuple_versions: HashMap<TupleId, Vec<&Gamma>> = HashMap::new();
+        let mut block_candidates: HashMap<RuleId, Vec<&Gamma>> = HashMap::new();
+        for block in &index.blocks {
+            let rule = rule_list[block.rule.index()];
+            let covers = tuples
+                .iter()
+                .any(|&t| rule.is_relevant(schema, &dirty.tuple(t)));
+            if !covers {
+                continue;
+            }
+            let mut candidates: Vec<&Gamma> = block.gammas().collect();
+            candidates.sort_by(|a, b| {
+                b.probability
+                    .partial_cmp(&a.probability)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            block_candidates.insert(block.rule, candidates);
+            for group in &block.groups {
+                for gamma in &group.gammas {
+                    for &t in &gamma.tuples {
+                        if tuples.contains(&t) {
+                            tuple_versions.entry(t).or_default().push(gamma);
+                        }
+                    }
+                }
+            }
+        }
+        FusionPlan {
+            tuple_versions,
+            block_candidates,
+        }
+    }
+
     /// Fuse one tuple's data versions into its best consistent assignment
     /// (lines 3–27 of Algorithm 2 for a single tuple).
     pub fn fuse_tuple(&self, plan: &FusionPlan<'_>, t: TupleId) -> TupleFusion {
@@ -191,6 +242,25 @@ impl ConflictResolver {
         for t in dirty.tuple_ids() {
             let fusion = self.fuse_tuple(&plan, t);
             apply_tuple_fusion(&mut repaired, index.pool(), t, &fusion, &mut record);
+        }
+        (repaired, record)
+    }
+
+    /// Parallel variant of [`Self::resolve`]: fusion decisions are computed
+    /// across tuples in parallel (each tuple's decision only reads the shared
+    /// plan) and applied serially in tuple order, so the repaired dataset and
+    /// the record are byte-identical to the serial reference path.
+    pub fn resolve_parallel(&self, dirty: &Dataset, index: &MlnIndex) -> (Dataset, FscrRecord) {
+        let mut repaired = dirty.clone();
+        let mut record = FscrRecord::default();
+        let plan = self.plan(index);
+        let tuples: Vec<TupleId> = dirty.tuple_ids().collect();
+        let fusions: Vec<TupleFusion> = tuples
+            .par_iter()
+            .map(|&t| self.fuse_tuple(&plan, t))
+            .collect();
+        for (t, fusion) in tuples.iter().zip(&fusions) {
+            apply_tuple_fusion(&mut repaired, index.pool(), *t, fusion, &mut record);
         }
         (repaired, record)
     }
@@ -358,6 +428,47 @@ pub fn apply_tuple_fusion(
     });
 }
 
+/// Append the provenance of a memoised fusion to `record` without touching
+/// any dataset.  `dirty` must still hold the tuple's pre-fusion values: this
+/// produces exactly the `CellChange`s and `FusionOutcome` that
+/// [`apply_tuple_fusion`] would while applying the fusion to a fresh clone of
+/// `dirty`.  The incremental session uses it to rebuild the FSCR record from
+/// its memoised fusions at `outcome()` time instead of re-fusing the world.
+pub fn record_tuple_fusion(
+    dirty: &Dataset,
+    pool: &dataset::ValuePool,
+    t: TupleId,
+    fusion: &TupleFusion,
+    record: &mut FscrRecord,
+) {
+    for &(attr, value) in &fusion.fused {
+        let old = dirty.value_id(t, attr);
+        if old != value {
+            record.changes.push(CellChange {
+                cell: CellRef::new(t, attr),
+                old: pool.resolve(old).to_string(),
+                new: pool.resolve(value).to_string(),
+            });
+        }
+    }
+    record.outcomes.push(FusionOutcome {
+        tuple: t,
+        fused: fusion
+            .fused
+            .iter()
+            .map(|&(a, v)| {
+                (
+                    dirty.schema().attr_name(a).to_string(),
+                    pool.resolve(v).to_string(),
+                )
+            })
+            .collect(),
+        f_score: fusion.f_score,
+        conflict_detected: fusion.conflict_detected,
+        fusion_failed: fusion.fusion_failed,
+    });
+}
+
 /// Whether a γ disagrees with the attribute assignment built so far.
 fn conflicts_with_fusion(gamma: &Gamma, fused: &[(AttrId, ValueId)]) -> bool {
     gamma
@@ -398,14 +509,13 @@ mod tests {
     use crate::weights::assign_weights;
     use dataset::sample_hospital_dataset;
     use distance::Metric;
-    use mln::LearningConfig;
     use rules::sample_hospital_rules;
 
     fn stage1_index(ds: &Dataset) -> MlnIndex {
         let rules = sample_hospital_rules();
         let mut index = MlnIndex::build(ds, &rules).unwrap();
         AbnormalGroupProcessor::new(1, Metric::Levenshtein).process(&mut index);
-        assign_weights(&mut index, &LearningConfig::default());
+        assign_weights(&mut index);
         ReliabilityCleaner::new(Metric::Levenshtein).clean(&mut index);
         index
     }
@@ -476,6 +586,34 @@ mod tests {
         }
         // Table 1 has 4 erroneous cells; all are rewritten.
         assert_eq!(record.changed_cell_count(), 4);
+    }
+
+    #[test]
+    fn parallel_resolve_matches_serial_byte_for_byte() {
+        let dirty = sample_hospital_dataset();
+        let index = stage1_index(&dirty);
+        let resolver = ConflictResolver::new(6);
+        let (serial_ds, serial_rec) = resolver.resolve(&dirty, &index);
+        let (par_ds, par_rec) = resolver.resolve_parallel(&dirty, &index);
+        assert_eq!(serial_ds, par_ds);
+        assert_eq!(serial_rec, par_rec);
+    }
+
+    #[test]
+    fn restricted_plan_matches_the_full_plan_for_its_tuples() {
+        let dirty = sample_hospital_dataset();
+        let index = stage1_index(&dirty);
+        let resolver = ConflictResolver::new(6);
+        let full = resolver.plan(&index);
+        let subset: HashSet<TupleId> = [TupleId(2), TupleId(4)].into_iter().collect();
+        let restricted = resolver.plan_for(&index, &dirty, &sample_hospital_rules(), &subset);
+        for &t in &subset {
+            assert_eq!(
+                resolver.fuse_tuple(&full, t),
+                resolver.fuse_tuple(&restricted, t),
+                "restricted plan diverged for {t:?}"
+            );
+        }
     }
 
     #[test]

@@ -444,8 +444,10 @@ impl MlnIndex {
     /// byte-identical to a rebuild over the updated dataset).  Blocks whose
     /// rule does not see the change are untouched.
     ///
-    /// Returns the number of distinct groups touched per block (0 =
-    /// untouched).
+    /// Returns, per block (rule order), the interned keys of the distinct
+    /// groups touched — the tuple's pre-update group, its post-update group,
+    /// or both (empty = block untouched).  The keys are what the incremental
+    /// [`crate::CleaningSession`] marks dirty for its group-scoped refresh.
     pub fn update_tuple(
         &mut self,
         ds: &Dataset,
@@ -453,7 +455,7 @@ impl MlnIndex {
         t: TupleId,
         old_row: &[ValueId],
         parallel: bool,
-    ) -> Vec<usize> {
+    ) -> Vec<Vec<Vec<ValueId>>> {
         assert_eq!(
             self.blocks.len(),
             rules.len(),
@@ -474,7 +476,7 @@ impl MlnIndex {
             let touched = rehome_tuple_in_block(&mut block, ds, pool, rule, t, old_row);
             (block, touched)
         };
-        let rehomed: Vec<(Block, usize)> = if parallel {
+        let rehomed: Vec<(Block, Vec<Vec<ValueId>>)> = if parallel {
             pairs.into_par_iter().map(run).collect()
         } else {
             pairs.into_iter().map(run).collect()
@@ -520,6 +522,14 @@ impl MlnIndex {
     pub(crate) fn set_pool(&mut self, pool: ValuePool) {
         debug_assert!(pool.len() >= self.pool.len(), "pools only ever grow");
         self.pool = pool;
+    }
+
+    /// Catch the pool snapshot up to an append-only descendant by copying
+    /// only its tail of new values (see [`ValuePool::sync_from`]) — the
+    /// cheap alternative to [`MlnIndex::set_pool`]'s whole-pool clone on the
+    /// incremental paths.
+    pub(crate) fn sync_pool_from(&mut self, descendant: &ValuePool) {
+        self.pool.sync_from(descendant);
     }
 
     /// The pool snapshot every block id resolves through.
@@ -782,8 +792,8 @@ fn remap_block_after_removal(block: &mut Block, removed: &[usize]) {
 
 /// Move tuple `t` from its pre-update γ to its post-update γ within one
 /// block, splicing both ends at their string-sorted positions.  Returns the
-/// number of distinct groups touched (0 when the rule cannot see the
-/// update).
+/// interned keys of the distinct groups touched — old first, then new when
+/// they differ (empty when the rule cannot see the update).
 fn rehome_tuple_in_block(
     block: &mut Block,
     ds: &Dataset,
@@ -791,7 +801,7 @@ fn rehome_tuple_in_block(
     rule: &Rule,
     t: TupleId,
     old_row: &[ValueId],
-) -> usize {
+) -> Vec<Vec<ValueId>> {
     let schema = ds.schema();
     let tuple = ds.tuple(t);
     let old_relevant = rule.is_relevant_ids(schema, pool, old_row);
@@ -803,10 +813,10 @@ fn rehome_tuple_in_block(
     let new_vl = tuple.project_ids(&block.reason_attrs);
     let new_vr = tuple.project_ids(&block.result_attrs);
     if old_relevant == new_relevant && (!old_relevant || (old_vl == new_vl && old_vr == new_vr)) {
-        return 0; // the rule cannot tell the old and new rows apart
+        return Vec::new(); // the rule cannot tell the old and new rows apart
     }
 
-    let mut touched: HashSet<Vec<ValueId>> = HashSet::new();
+    let mut touched: Vec<Vec<ValueId>> = Vec::with_capacity(2);
     if old_relevant {
         let i = block
             .groups
@@ -836,7 +846,7 @@ fn rehome_tuple_in_block(
         if group.gammas.is_empty() {
             block.groups.remove(i);
         }
-        touched.insert(old_vl);
+        touched.push(old_vl);
     }
     if new_relevant {
         let mut gamma = Gamma::new(
@@ -878,9 +888,11 @@ fn rehome_tuple_in_block(
                 );
             }
         }
-        touched.insert(new_vl);
+        if !touched.contains(&new_vl) {
+            touched.push(new_vl);
+        }
     }
-    touched.len()
+    touched
 }
 
 #[cfg(test)]
@@ -1166,7 +1178,7 @@ mod tests {
                 );
                 if updated.value(t, a) == ds.value(t, a) {
                     assert!(
-                        touched.iter().all(|&n| n == 0),
+                        touched.iter().all(|keys| keys.is_empty()),
                         "no-op update must not touch"
                     );
                 }
@@ -1188,9 +1200,13 @@ mod tests {
         let old_row = updated.row_ids(t);
         updated.set_value(t, st, "AL");
         let touched = index.update_tuple(&updated, &rules, t, &old_row, false);
-        assert!(touched[0] > 0, "B1's result part changed");
-        assert!(touched[1] > 0, "B2's result part changed");
-        assert_eq!(touched[2], 0, "B3 (HN,CT => PN) cannot see ST");
+        assert!(!touched[0].is_empty(), "B1's result part changed");
+        assert!(!touched[1].is_empty(), "B2's result part changed");
+        assert!(touched[2].is_empty(), "B3 (HN,CT => PN) cannot see ST");
+        // ST is a result-part attribute in B1 and B2: the tuple stays in the
+        // same group, so exactly one key is reported per touched block.
+        assert_eq!(touched[0].len(), 1);
+        assert_eq!(touched[1].len(), 1);
     }
 
     #[test]

@@ -117,9 +117,3 @@ pub use stage::{
     WeightLearningStage,
 };
 pub use weights::{GammaSignature, SessionWeights};
-
-// Deprecated shims for the historical per-driver vocabulary.
-#[allow(deprecated)]
-pub use pipeline::{CleaningError, CleaningOutcome, StageTimings};
-#[allow(deprecated)]
-pub use session::IngestError;

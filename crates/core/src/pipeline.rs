@@ -6,30 +6,13 @@
 //! bulk ingest of the whole dataset followed by
 //! [`crate::CleaningSession::finish`] — the batch pipeline is literally the
 //! one-batch special case of the streaming one.
-//!
-//! This module also carries the `#[deprecated]` shims for the historical
-//! per-driver vocabulary (`CleaningError`, `CleaningOutcome`,
-//! `StageTimings`), all of which collapsed into [`CleanError`], [`Report`]
-//! and [`Timings`].
 
 use crate::config::CleanConfig;
-use crate::engine::{Engine, Report, Timings};
+use crate::engine::{Engine, Report};
 use crate::error::CleanError;
 use crate::session::CleaningSession;
 use dataset::Dataset;
 use rules::RuleSet;
-
-/// Historical name of the batch/driver error enum.
-#[deprecated(note = "the per-driver error enums merged into `CleanError`")]
-pub type CleaningError = CleanError;
-
-/// Historical name of the batch outcome type.
-#[deprecated(note = "the per-driver outcome types merged into `Report`")]
-pub type CleaningOutcome = Report;
-
-/// Historical name of the single-node stage timings.
-#[deprecated(note = "`StageTimings` and `PhaseTimings` merged into `Timings`")]
-pub type StageTimings = Timings;
 
 /// The MLNClean batch cleaner — the one-shot [`Engine`].
 #[derive(Debug, Clone, Default)]
@@ -130,23 +113,6 @@ mod tests {
         let rules = rules::parse_rules("FD: nope -> ST").unwrap();
         let err = MlnClean::default().clean(&dirty, &rules).unwrap_err();
         assert!(matches!(err, CleanError::Index(_)));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_aliases_still_name_the_unified_types() {
-        // Downstream code written against the historical vocabulary keeps
-        // compiling for one release.
-        let err: CleaningError = CleanError::NoRules;
-        assert_eq!(err, CleanError::NoRules);
-        let t: StageTimings = Timings::default();
-        assert_eq!(t.total(), Duration::ZERO);
-        fn takes_outcome(_o: &CleaningOutcome) {}
-        let dirty = sample_hospital_dataset();
-        let outcome = MlnClean::new(CleanConfig::default())
-            .clean(&dirty, &sample_hospital_rules())
-            .unwrap();
-        takes_outcome(&outcome);
     }
 
     #[test]

@@ -46,12 +46,22 @@ pub struct RscRepair {
 }
 
 /// The full RSC record of one run.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct RscRecord {
     /// Every γ replacement, in processing order.
     pub repairs: Vec<RscRepair>,
     /// Distance-cache counters accumulated over all blocks.
     pub cache: CacheStats,
+}
+
+/// Equality compares the *repairs*, not the distance-cache counters: the
+/// incremental [`crate::CleaningSession`] keeps a persistent per-block cache
+/// across refreshes, so its hit/miss split legitimately differs from a cold
+/// batch run even when the repairs are byte-identical.
+impl PartialEq for RscRecord {
+    fn eq(&self, other: &Self) -> bool {
+        self.repairs == other.repairs
+    }
 }
 
 impl RscRecord {
@@ -141,11 +151,34 @@ impl ReliabilityCleaner {
     pub(crate) fn clean_block(&self, block: &mut Block, pool: &ValuePool) -> RscRecord {
         let mut record = RscRecord::default();
         let mut cache = DistanceCache::new(self.metric);
+        let rule = block.rule;
         for group in &mut block.groups {
-            if group.gammas.len() <= 1 {
-                continue; // already the ideal state; skipped like G21 in the paper
-            }
+            record
+                .repairs
+                .extend(self.clean_group(rule, group, pool, &mut cache));
+        }
+        record.cache.absorb(cache.stats());
+        record
+    }
 
+    /// Clean a single group in place, returning the repairs it produced.
+    ///
+    /// Groups are scored independently (Z is group-local: the largest
+    /// support-scaled pair distance among the group's own γs), so this is
+    /// the unit the group-scoped incremental refresh re-runs for a dirty
+    /// group without touching its siblings.
+    pub(crate) fn clean_group(
+        &self,
+        rule: RuleId,
+        group: &mut crate::index::Group,
+        pool: &ValuePool,
+        cache: &mut DistanceCache,
+    ) -> Vec<RscRepair> {
+        if group.gammas.len() <= 1 {
+            return Vec::new(); // already the ideal state; skipped like G21 in the paper
+        }
+        let mut repairs = Vec::new();
+        {
             // Pairwise γ distances, each pair computed once (the matrix is
             // symmetric; the value-pair memo additionally dedups across
             // groups of the block).
@@ -210,8 +243,8 @@ impl ReliabilityCleaner {
                 if i == best_idx {
                     continue;
                 }
-                record.repairs.push(RscRepair {
-                    rule: block.rule,
+                repairs.push(RscRepair {
+                    rule,
                     group_key: group
                         .resolve_key(pool)
                         .into_iter()
@@ -234,8 +267,7 @@ impl ReliabilityCleaner {
             final_gamma.tuples = merged_tuples;
             group.gammas = vec![final_gamma];
         }
-        record.cache.absorb(cache.stats());
-        record
+        repairs
     }
 }
 
@@ -257,7 +289,6 @@ mod tests {
     use crate::index::MlnIndex;
     use crate::weights::assign_weights;
     use dataset::sample_hospital_dataset;
-    use mln::LearningConfig;
     use rules::sample_hospital_rules;
 
     /// Index after AGP(τ=1) + weight learning, ready for RSC — the state of
@@ -267,7 +298,7 @@ mod tests {
         let rules = sample_hospital_rules();
         let mut index = MlnIndex::build(&ds, &rules).unwrap();
         AbnormalGroupProcessor::new(1, Metric::Levenshtein).process(&mut index);
-        assign_weights(&mut index, &LearningConfig::default());
+        assign_weights(&mut index);
         index
     }
 
@@ -403,7 +434,7 @@ mod tests {
         let truth = dataset::sample_hospital_truth();
         let rules = sample_hospital_rules();
         let mut index = MlnIndex::build(&truth, &rules).unwrap();
-        assign_weights(&mut index, &LearningConfig::default());
+        assign_weights(&mut index);
         let record = ReliabilityCleaner::new(Metric::Levenshtein).clean(&mut index);
         assert_eq!(record.repaired_count(), 0);
     }

@@ -14,40 +14,54 @@
 //! [`ChangeSet`] of [`Mutation`]s — inserts, cell updates and row deletions —
 //! splices each into the pristine blocks/groups
 //! ([`MlnIndex::insert_tuples`], [`MlnIndex::update_tuple`],
-//! [`MlnIndex::remove_tuples`]) and marks the touched blocks dirty.
-//! Deletions compact the dataset (later tuple ids shift down by one), and the
-//! session remaps its cached cleaned index and per-block provenance in step,
-//! so untouched blocks keep serving their cached state.  Producing a
-//! [`Report`] then re-runs AGP → weight learning → RSC **only on dirty
-//! blocks** (from their pristine state — Stage I is per-block deterministic,
-//! so an untouched block's cached clean state is exactly what a full batch
-//! run would recompute) and re-fuses **only the tuples covered by dirty
-//! blocks** (FSCR is per-tuple deterministic given the cleaned blocks; all
-//! other tuples replay their memoised [`TupleFusion`]).  The result is
-//! byte-identical — output CSV and AGP/RSC/FSCR provenance — to a single
-//! batch run over the **net surviving rows**, which is what
-//! [`crate::MlnClean::clean`] now is: one bulk ingest plus
-//! [`CleaningSession::finish`].
+//! [`MlnIndex::remove_tuples`]) and records the dirtiness **per group**, not
+//! per block: a pure cell update marks only the group keys it rehomed the
+//! tuple across, while structural changes (inserts, deletes, injected
+//! weights, any change to a block's total support) fall back to marking the
+//! whole block dirty.  Deletions compact the dataset (later tuple ids shift
+//! down by one), and the session remaps its cached cleaned index, per-block
+//! provenance and per-group clean state in step, so untouched state keeps
+//! serving from cache.
+//!
+//! Producing a [`Report`] then re-runs Stage I **only on the affected
+//! groups** of dirty blocks: AGP merge *decisions* are re-planned per block
+//! (they are cheap and order-independent), but the expensive
+//! part — merging γs, the closed-form block softmax
+//! ([`crate::weights::assign_group_weights`], whose denominator is the
+//! block's total support and therefore survives any within-block merge) and
+//! RSC's pairwise γ scoring — is recomputed only for output groups whose
+//! sources changed, everything else reuses the cached per-group entry.  Stage
+//! II re-fuses **only the invalidated tuples** against a fusion plan
+//! restricted to their covering blocks
+//! ([`crate::fscr::ConflictResolver::plan_for`]), folds the new fusions into
+//! an incrementally maintained repaired dataset, and replays memoised
+//! fusions into the provenance record without cloning anything but the
+//! output snapshot itself.  The result is byte-identical — output CSV and
+//! AGP/RSC/FSCR provenance — to a single batch run over the **net surviving
+//! rows**, which is what [`crate::MlnClean::clean`] now is: one bulk ingest
+//! plus [`CleaningSession::finish`].
 
-use crate::agp::AgpRecord;
+use crate::agp::{AgpPlan, AgpRecord};
+use crate::cache::{CacheStats, DistanceCache};
 use crate::changeset::{ChangeSet, Mutation};
 use crate::engine::{Report, Timings};
 use crate::error::CleanError;
-use crate::fscr::{apply_tuple_fusion, ConflictResolver, FscrRecord, TupleFusion};
-use crate::index::{Block, InsertReport, MlnIndex};
-use crate::rsc::RscRecord;
+use crate::fscr::{
+    apply_tuple_fusion, record_tuple_fusion, ConflictResolver, FscrRecord, TupleFusion,
+};
+use crate::index::{Block, Group, InsertReport, MlnIndex};
+use crate::rsc::{ReliabilityCleaner, RscRecord, RscRepair};
 use crate::stage::{AgpStage, RscStage, WeightLearningStage};
-use crate::weights::SessionWeights;
+use crate::weights::{assign_group_weights, block_support, SessionWeights};
 use crate::CleanConfig;
-use dataset::{ArityMismatch, Dataset, Schema, TupleId};
+use dataset::{ArityMismatch, AttrId, Dataset, Schema, TupleId, ValueId, ValuePool};
+use distance::Metric;
 use rayon::prelude::*;
 use rules::RuleSet;
 use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 use std::time::Instant;
-
-/// Historical name of the session ingest error enum.
-#[deprecated(note = "the per-driver error enums merged into `CleanError`")]
-pub type IngestError = CleanError;
 
 /// What one [`CleaningSession::apply`] call changed — the dirtiness the next
 /// re-clean will have to pay for.
@@ -87,6 +101,72 @@ struct BlockRecords {
     rsc: RscRecord,
 }
 
+/// The cached clean state of one **output group** of a block — the unit the
+/// group-scoped refresh reuses when nothing feeding the group changed.
+#[derive(Debug, Clone)]
+struct GroupEntry {
+    /// Pristine group keys fused into this output group: the group's own key
+    /// first, then the AGP-merged abnormal keys in merge order.  A reuse is
+    /// only sound when the fresh plan derives the exact same source list.
+    sources: Vec<Vec<ValueId>>,
+    /// The group's post-weights/RSC state.
+    group: Group,
+    /// The RSC repairs cleaning this group produced.
+    repairs: Vec<RscRepair>,
+}
+
+/// Per-block dirtiness and group-scoped clean cache.
+#[derive(Debug, Clone)]
+struct BlockCache {
+    /// The block's total tuple support (the closed-form softmax denominator,
+    /// [`block_support`]) at the last refresh — `None` before the first.
+    /// Every group's probabilities divide by this Z, so a support change
+    /// (inserts, deletes, a CFD flipping a tuple's relevance) invalidates
+    /// the whole block at once.
+    last_z: Option<usize>,
+    /// Pristine group keys whose content changed since the last refresh
+    /// (pure cell updates only; structural changes set `fully_dirty`).
+    dirty_keys: HashSet<Vec<ValueId>>,
+    /// Re-clean every group at the next refresh.
+    fully_dirty: bool,
+    /// Cached clean state per output-group key.
+    entries: HashMap<Vec<ValueId>, GroupEntry>,
+    /// Persistent distance memo shared by AGP planning and RSC scoring
+    /// across refreshes of this block.
+    distances: DistanceCache,
+}
+
+impl BlockCache {
+    fn new(metric: Metric) -> Self {
+        BlockCache {
+            last_z: None,
+            dirty_keys: HashSet::new(),
+            fully_dirty: false,
+            entries: HashMap::new(),
+            distances: DistanceCache::new(metric),
+        }
+    }
+
+    /// Whether the next refresh must revisit this block at all.
+    fn is_dirty(&self) -> bool {
+        self.fully_dirty || !self.dirty_keys.is_empty()
+    }
+}
+
+/// What refreshing one dirty block produced.
+struct RefreshedBlock {
+    block_idx: usize,
+    block: Block,
+    records: BlockRecords,
+    cache: BlockCache,
+    /// Tuples whose memoised fusion must be invalidated (their data versions
+    /// changed: they sit in a recomputed output group, or in a cache entry
+    /// that no longer exists).
+    invalidated: Vec<TupleId>,
+    /// Output groups Stage I actually recomputed (vs reused from cache).
+    recleaned: u64,
+}
+
 /// An incremental MLNClean engine over typed mutation ingest.
 ///
 /// See the [module docs](self) for the design; see
@@ -100,11 +180,19 @@ pub struct CleaningSession {
     /// Byte-identical to `MlnIndex::build(&self.dataset, &self.rules)`.
     pristine: MlnIndex,
     /// Per block: the post-AGP/weights/RSC state of the last refresh.
-    cleaned: MlnIndex,
+    /// Shared with every [`Report`] handed out so far (copy-on-write: the
+    /// next refresh that must mutate it clones only then).
+    cleaned: Arc<MlnIndex>,
     block_records: Vec<BlockRecords>,
-    block_dirty: Vec<bool>,
+    /// Per block: group-scoped dirtiness and the reusable clean state.
+    caches: Vec<BlockCache>,
     /// Per tuple: the memoised FSCR fusion (`None` = must be (re)fused).
     fusions: Vec<Option<TupleFusion>>,
+    /// The repaired dataset, maintained incrementally: every row holds its
+    /// memoised fusion's image (or its dirty values while its fusion is
+    /// pending — [`CleaningSession::ensure_fusions`] settles those before
+    /// any report reads this).
+    repaired: Dataset,
     /// Externally injected γ-weight overrides (empty = none) — see
     /// [`CleaningSession::inject_weights`].
     injected: SessionWeights,
@@ -112,6 +200,9 @@ pub struct CleaningSession {
     /// change set containing deletes) — see
     /// [`CleaningSession::remap_passes`].
     remap_passes: usize,
+    /// Cumulative output groups Stage I recomputed across all refreshes —
+    /// see [`CleaningSession::recleaned_groups`].
+    recleaned_groups: u64,
     timings: Timings,
     batches: usize,
 }
@@ -127,19 +218,22 @@ impl CleaningSession {
         }
         let dataset = Dataset::new(schema);
         let pristine = MlnIndex::build_serial(&dataset, &rules)?;
-        let cleaned = pristine.clone();
+        let cleaned = Arc::new(pristine.clone());
         let blocks = pristine.block_count();
+        let metric = config.metric;
         Ok(CleaningSession {
             config,
             rules,
+            repaired: dataset.clone(),
             dataset,
             pristine,
             cleaned,
             block_records: vec![BlockRecords::default(); blocks],
-            block_dirty: vec![false; blocks],
+            caches: vec![BlockCache::new(metric); blocks],
             fusions: Vec::new(),
             injected: SessionWeights::default(),
             remap_passes: 0,
+            recleaned_groups: 0,
             timings: Timings::default(),
             batches: 0,
         })
@@ -175,15 +269,30 @@ impl CleaningSession {
         self.pristine.block_count()
     }
 
-    /// Blocks currently dirty (they will re-run Stage I on the next
-    /// outcome).
+    /// Blocks currently dirty (at least one of their groups will re-run
+    /// Stage I on the next outcome).
     pub fn dirty_block_count(&self) -> usize {
-        self.block_dirty.iter().filter(|&&d| d).count()
+        self.caches.iter().filter(|c| c.is_dirty()).count()
     }
 
     /// Change sets applied so far.
     pub fn batches(&self) -> usize {
         self.batches
+    }
+
+    /// Cumulative number of output groups Stage I actually recomputed across
+    /// all refreshes of this session — the incrementality probe.  A pure
+    /// cell-update stream re-cleans only the groups its tuples move across,
+    /// so this stays far below "groups × refreshes"; compare against
+    /// [`CleaningSession::total_groups`] to assert group-scoped re-cleaning
+    /// is working.
+    pub fn recleaned_groups(&self) -> u64 {
+        self.recleaned_groups
+    }
+
+    /// Total groups across all pristine blocks right now.
+    pub fn total_groups(&self) -> usize {
+        self.pristine.blocks.iter().map(|b| b.group_count()).sum()
     }
 
     /// The incrementally maintained pristine index — byte-identical to
@@ -219,17 +328,19 @@ impl CleaningSession {
     /// the **next** re-clean override the locally learned weight of every
     /// matching γ (and re-normalize each block's probabilities) right after
     /// weight learning, before RSC runs — the per-partition half of the
-    /// paper's Eq. 6 phase.  Every block is marked dirty so the injected
-    /// weights take effect on the next [`CleaningSession::outcome`].  The
-    /// injection persists across re-cleans until replaced; injecting an
-    /// empty table clears it.  Note that a session with injected weights
-    /// intentionally diverges from the single-node batch run it is
-    /// otherwise byte-identical to.
+    /// paper's Eq. 6 phase.  Every block is marked fully dirty so the
+    /// injected weights take effect on the next
+    /// [`CleaningSession::outcome`] (injected weights renormalize whole
+    /// blocks, so the group-scoped fast path does not apply).  The injection
+    /// persists across re-cleans until replaced; injecting an empty table
+    /// clears it.  Note that a session with injected weights intentionally
+    /// diverges from the single-node batch run it is otherwise
+    /// byte-identical to.
     pub fn inject_weights(&mut self, weights: SessionWeights) {
         self.injected = weights;
         if !self.injected.is_empty() {
-            for dirty in &mut self.block_dirty {
-                *dirty = true;
+            for cache in &mut self.caches {
+                cache.fully_dirty = true;
             }
         }
     }
@@ -278,9 +389,19 @@ impl CleaningSession {
                         self.pristine
                             .insert_tuples(&self.dataset, &self.rules, from, parallel);
                     self.fusions.resize(self.dataset.len(), None);
+                    // Mirror the new rows (still dirty; their pending
+                    // fusions settle them) into the maintained repaired
+                    // dataset.
+                    self.repaired.sync_pool_from(self.dataset.pool());
+                    for t in from..self.dataset.len() {
+                        let row = self.dataset.row_ids(TupleId(t));
+                        self.repaired
+                            .push_row_ids(&row)
+                            .expect("repaired shares the dataset schema");
+                    }
                     inserted += report.rows;
                     touched_groups += report.total_touched_groups();
-                    self.mark_dirty(&report.touched_groups);
+                    self.mark_fully_dirty(&report.touched_groups);
                     record_touched(&mut touched_blocks, &report.touched_groups);
                 }
                 Mutation::Update(t, attr, value) => {
@@ -298,9 +419,9 @@ impl CleaningSession {
                         &old_row,
                         parallel,
                     );
-                    touched_groups += touched.iter().sum::<usize>();
-                    self.mark_dirty(&touched);
-                    record_touched(&mut touched_blocks, &touched);
+                    touched_groups += touched.iter().map(Vec::len).sum::<usize>();
+                    self.mark_dirty_keys(&touched);
+                    record_touched_keys(&mut touched_blocks, &touched);
                     // The tuple's own versions may have moved even when no
                     // other tuple's did; always re-fuse it.
                     self.fusions[t.index()] = None;
@@ -322,25 +443,29 @@ impl CleaningSession {
                 self.pristine
                     .remove_tuples(&self.dataset, &self.rules, &removed_ids, parallel);
             self.dataset.remove_rows(&removed_ids);
+            self.repaired.remove_rows(&removed_ids);
             let mut idx = 0usize;
             self.fusions.retain(|_| {
                 let keep = removed.binary_search(&idx).is_err();
                 idx += 1;
                 keep
             });
-            // Cached cleaned blocks and provenance live in tuple-id space:
-            // shift them down past the removed rows.  Dirty blocks get
-            // rebuilt from pristine at the next refresh; untouched blocks
-            // never contained the tuples, so the shift alone keeps their
-            // cache byte-identical to what a batch run over the survivors
-            // would produce.
-            self.cleaned.remap_removed(&removed);
+            // Cached cleaned blocks, provenance and per-group clean state
+            // live in tuple-id space: shift them down past the removed
+            // rows.  Dirty blocks get rebuilt from pristine at the next
+            // refresh; untouched blocks never contained the tuples, so the
+            // shift alone keeps their cache byte-identical to what a batch
+            // run over the survivors would produce.
+            Arc::make_mut(&mut self.cleaned).remap_removed(&removed);
             for records in &mut self.block_records {
                 remap_records_after_removal(records, &removed);
             }
+            for cache in &mut self.caches {
+                remap_cache_after_removal(cache, &removed);
+            }
             self.remap_passes += 1;
             touched_groups += report.touched_groups.iter().sum::<usize>();
-            self.mark_dirty(&report.touched_groups);
+            self.mark_fully_dirty(&report.touched_groups);
             record_touched(&mut touched_blocks, &report.touched_groups);
         }
 
@@ -355,11 +480,12 @@ impl CleaningSession {
     }
 
     /// Shared post-ingest bookkeeping of [`CleaningSession::apply`] and
-    /// [`CleaningSession::ingest_dataset`]: re-sync the cleaned index's pool
-    /// snapshot (new values interned by the change must resolve there even
-    /// when no block went dirty; pools are append-only, so a length check
-    /// spots growth without cloning), account the wall time, bump the batch
-    /// ordinal and assemble the [`BatchReport`].
+    /// [`CleaningSession::ingest_dataset`]: catch the cleaned index's and
+    /// the repaired dataset's pool snapshots up to the dataset pool (new
+    /// values interned by the change must resolve there even when no block
+    /// went dirty; pools are append-only, so only the new tail is copied),
+    /// account the wall time, bump the batch ordinal and assemble the
+    /// [`BatchReport`].
     fn finalize_change(
         &mut self,
         started: Instant,
@@ -370,8 +496,9 @@ impl CleaningSession {
         touched_blocks: Vec<bool>,
     ) -> BatchReport {
         if self.dataset.pool().len() != self.cleaned.pool().len() {
-            self.cleaned.set_pool(self.dataset.pool().clone());
+            Arc::make_mut(&mut self.cleaned).sync_pool_from(self.dataset.pool());
         }
+        self.repaired.sync_pool_from(self.dataset.pool());
         self.timings.index += started.elapsed();
         self.batches += 1;
         BatchReport {
@@ -383,7 +510,7 @@ impl CleaningSession {
             dirty_blocks: self.dirty_block_count(),
             total_blocks: self.pristine.block_count(),
             touched_groups,
-            total_groups: self.pristine.blocks.iter().map(|b| b.group_count()).sum(),
+            total_groups: self.total_groups(),
             touched_blocks: touched_blocks
                 .iter()
                 .enumerate()
@@ -413,6 +540,7 @@ impl CleaningSession {
         let started = Instant::now();
         let report = if self.dataset.is_empty() {
             self.dataset = ds.clone();
+            self.repaired = ds.clone();
             self.pristine = MlnIndex::build_with(&self.dataset, &self.rules, self.config.parallel)
                 .expect("rules were validated when the session was created");
             // A bulk build touches exactly the groups it creates.
@@ -430,11 +558,20 @@ impl CleaningSession {
         } else {
             let from = self.dataset.len();
             self.dataset.extend_from(ds)?;
-            self.pristine
-                .insert_tuples(&self.dataset, &self.rules, from, self.config.parallel)
+            let report =
+                self.pristine
+                    .insert_tuples(&self.dataset, &self.rules, from, self.config.parallel);
+            self.repaired.sync_pool_from(self.dataset.pool());
+            for t in from..self.dataset.len() {
+                let row = self.dataset.row_ids(TupleId(t));
+                self.repaired
+                    .push_row_ids(&row)
+                    .expect("repaired shares the dataset schema");
+            }
+            report
         };
         self.fusions.resize(self.dataset.len(), None);
-        self.mark_dirty(&report.touched_groups);
+        self.mark_fully_dirty(&report.touched_groups);
         let mut touched_blocks = vec![false; self.pristine.block_count()];
         record_touched(&mut touched_blocks, &report.touched_groups);
         Ok(self.finalize_change(
@@ -484,129 +621,236 @@ impl CleaningSession {
         Ok(())
     }
 
-    /// Mark every block with a non-zero touched-group count dirty.
-    fn mark_dirty(&mut self, touched_groups: &[usize]) {
-        for (dirty, &touched) in self.block_dirty.iter_mut().zip(touched_groups) {
+    /// Mark every block with a non-zero touched-group count **fully** dirty
+    /// (structural changes: inserts, deletes).
+    fn mark_fully_dirty(&mut self, touched_groups: &[usize]) {
+        for (cache, &touched) in self.caches.iter_mut().zip(touched_groups) {
             if touched > 0 {
-                *dirty = true;
+                cache.fully_dirty = true;
             }
         }
     }
 
-    /// Re-run Stage I (AGP → weight learning → RSC) on every dirty block,
-    /// from its pristine state, and refresh the cleaned index and the
-    /// per-block provenance.  Clean blocks keep their cached state — their
-    /// pristine content is exactly what a full rebuild would produce, so the
-    /// cached cleaned state is too.
+    /// Mark the specific group keys a pure cell update touched (per block:
+    /// the tuple's old group key, plus its new one when it rehomed).
+    fn mark_dirty_keys(&mut self, touched: &[Vec<Vec<ValueId>>]) {
+        for (cache, keys) in self.caches.iter_mut().zip(touched) {
+            for key in keys {
+                cache.dirty_keys.insert(key.clone());
+            }
+        }
+    }
+
+    /// Re-run Stage I on the dirty blocks' affected groups, from their
+    /// pristine state, and refresh the cleaned index, the per-block
+    /// provenance and the per-group clean cache.  Clean blocks — and clean
+    /// groups of dirty blocks — keep their cached state: their pristine
+    /// content is exactly what a full rebuild would produce, so the cached
+    /// cleaned state is too.
     fn refresh(&mut self) {
-        if !self.block_dirty.iter().any(|&d| d) {
+        // A dirty block between the two refresh passes: index, owned cache,
+        // fresh softmax support Z, and the AGP plan (`None` when injected
+        // weights force the traditional whole-block path).
+        type PlannedBlock = (usize, BlockCache, usize, Option<(AgpPlan, CacheStats)>);
+
+        let dirty_idx: Vec<usize> = (0..self.caches.len())
+            .filter(|&i| self.caches[i].is_dirty())
+            .collect();
+        if dirty_idx.is_empty() {
             return;
         }
 
-        // Tuples covered by a dirty block must be re-fused: their version
-        // set or their substitution candidates may have changed.  (AGP/RSC
-        // preserve block membership, so pristine membership is the right
-        // over-approximation.)
-        for (block, &dirty) in self.pristine.blocks.iter().zip(&self.block_dirty) {
-            if !dirty {
-                continue;
-            }
-            for gamma in block.gammas() {
-                for &t in &gamma.tuples {
-                    self.fusions[t.index()] = None;
-                }
-            }
-        }
-
-        let dirty_idx: Vec<usize> = (0..self.block_dirty.len())
-            .filter(|&i| self.block_dirty[i])
-            .collect();
+        let parallel = self.config.parallel;
         let config = &self.config;
         let pristine = &self.pristine;
         let pool = pristine.pool();
-        let parallel = self.config.parallel;
+        let injected = &self.injected;
+        let metric = self.config.metric;
 
-        // Three wall-clock-timed passes over the dirty blocks — one per
-        // stage, parallel across blocks — so the [`Timings`] keep the same
-        // wall-time semantics as the historical whole-index pipeline (a
-        // single fused per-block pass would sum per-worker CPU time
-        // instead).
-        let work: Vec<(usize, Block)> = dirty_idx
+        // Take each dirty block's cache out so the worker owns it (the slot
+        // keeps a fresh placeholder until write-back).
+        let work: Vec<(usize, BlockCache)> = dirty_idx
             .iter()
-            .map(|&i| (i, pristine.blocks[i].clone()))
+            .map(|&i| {
+                (
+                    i,
+                    std::mem::replace(&mut self.caches[i], BlockCache::new(metric)),
+                )
+            })
             .collect();
 
+        // Pass 1 (timed as AGP): re-plan each dirty block's merges against
+        // its pristine snapshot.  Planning is order-independent and cheap
+        // relative to the γ-merging/weighting/scoring it steers, and a fresh
+        // plan is what lets the rebuild pass below detect — per output group
+        // — whether the cached entry's sources still hold.  Sessions with
+        // injected weights skip planning: they take the traditional
+        // whole-block path in pass 2.
         let started = Instant::now();
-        let run_agp = |(i, mut block): (usize, Block)| {
-            let agp = AgpStage::run_block(config, &mut block, pool);
-            (i, block, agp)
+        let plan_one = |(i, mut cache): (usize, BlockCache)| {
+            let block = &pristine.blocks[i];
+            let z = block_support(block);
+            if cache.last_z != Some(z) {
+                // The block softmax denominator changed: every cached
+                // group's probabilities are stale at once.
+                cache.fully_dirty = true;
+            }
+            let plan = if injected.is_empty() {
+                let before = cache.distances.stats();
+                let plan =
+                    AgpStage::processor(config).plan_block(block, pool, &mut cache.distances);
+                let stats = stats_delta(before, cache.distances.stats());
+                Some((plan, stats))
+            } else {
+                None
+            };
+            (i, cache, z, plan)
         };
-        let work: Vec<(usize, Block, AgpRecord)> = if parallel {
-            work.into_par_iter().map(run_agp).collect()
+        let planned: Vec<PlannedBlock> = if parallel {
+            work.into_par_iter().map(plan_one).collect()
         } else {
-            work.into_iter().map(run_agp).collect()
+            work.into_iter().map(plan_one).collect()
         };
         self.timings.agp += started.elapsed();
 
+        // Pass 2 (timed as RSC; the closed-form per-group weighting rides
+        // along — it is O(γs) and not worth its own wall-clock pass):
+        // rebuild exactly the output groups whose sources changed, reuse
+        // every other cached entry byte-for-byte.
         let started = Instant::now();
-        let injected = &self.injected;
-        let run_weights = |(i, mut block, agp): (usize, Block, AgpRecord)| {
-            WeightLearningStage::run_block(config, &mut block);
-            // Externally merged weights (if any) override the locally
-            // learned ones before RSC sees the block — the per-partition
-            // half of the distributed Eq. 6 phase.
-            if !injected.is_empty() {
-                injected.apply_to_block(&mut block, pool);
+        let rebuild_one = |(i, cache, z, plan): PlannedBlock| {
+            let block = &pristine.blocks[i];
+            match plan {
+                Some((plan, agp_stats)) => {
+                    refresh_block_scoped(config, block, pool, cache, z, plan, agp_stats, i)
+                }
+                None => refresh_block_traditional(config, injected, block, pool, cache, z, i),
             }
-            (i, block, agp)
         };
-        let work: Vec<(usize, Block, AgpRecord)> = if parallel {
-            work.into_par_iter().map(run_weights).collect()
+        let refreshed: Vec<RefreshedBlock> = if parallel {
+            planned.into_par_iter().map(rebuild_one).collect()
         } else {
-            work.into_iter().map(run_weights).collect()
-        };
-        self.timings.weight_learning += started.elapsed();
-
-        let started = Instant::now();
-        let run_rsc = |(i, mut block, agp): (usize, Block, AgpRecord)| {
-            let rsc = RscStage::run_block(config, &mut block, pool);
-            (i, block, BlockRecords { agp, rsc })
-        };
-        let refreshed: Vec<(usize, Block, BlockRecords)> = if parallel {
-            work.into_par_iter().map(run_rsc).collect()
-        } else {
-            work.into_iter().map(run_rsc).collect()
+            planned.into_iter().map(rebuild_one).collect()
         };
         self.timings.rsc += started.elapsed();
 
         if self.dataset.pool().len() != self.cleaned.pool().len() {
-            self.cleaned.set_pool(self.dataset.pool().clone());
+            Arc::make_mut(&mut self.cleaned).sync_pool_from(self.dataset.pool());
         }
-        for (i, block, records) in refreshed {
-            self.cleaned.blocks[i] = block;
-            self.block_records[i] = records;
+        let cleaned = Arc::make_mut(&mut self.cleaned);
+        for refreshed in refreshed {
+            cleaned.blocks[refreshed.block_idx] = refreshed.block;
+            self.block_records[refreshed.block_idx] = refreshed.records;
+            self.caches[refreshed.block_idx] = refreshed.cache;
+            self.recleaned_groups += refreshed.recleaned;
+            for t in refreshed.invalidated {
+                self.fusions[t.index()] = None;
+            }
         }
-        for dirty in &mut self.block_dirty {
-            *dirty = false;
+
+        // Conflicted fusions read their covering blocks' substitution
+        // candidate lists, which change whenever *any* group of a covering
+        // block recomputes — invalidate them wholesale for every refreshed
+        // block.  (Conflict-free fusions depend only on the tuple's own
+        // versions, which the per-group invalidation above already covers.)
+        for &i in &dirty_idx {
+            for gamma in self.pristine.blocks[i].gammas() {
+                for &t in &gamma.tuples {
+                    if self.fusions[t.index()]
+                        .as_ref()
+                        .is_some_and(|f| f.conflict_detected)
+                    {
+                        self.fusions[t.index()] = None;
+                    }
+                }
+            }
         }
     }
 
     /// Make sure every tuple has a memoised fusion: refresh the dirty
-    /// blocks, then (re)fuse exactly the invalidated tuples.
+    /// blocks, then (re)fuse exactly the invalidated tuples against a plan
+    /// restricted to their covering blocks, folding each new fusion into the
+    /// maintained repaired dataset.
     fn ensure_fusions(&mut self) {
         self.refresh();
-        if self.fusions.iter().all(Option::is_some) {
-            return; // nothing invalidated — skip the whole-index plan build
+        let invalid: Vec<TupleId> = self
+            .fusions
+            .iter()
+            .enumerate()
+            .filter_map(|(i, f)| f.is_none().then_some(TupleId(i)))
+            .collect();
+        if invalid.is_empty() {
+            return; // nothing invalidated — skip the plan build entirely
         }
         let started = Instant::now();
         let resolver = ConflictResolver::new(self.config.max_exhaustive_fusion);
-        let plan = resolver.plan(&self.cleaned);
-        for i in 0..self.fusions.len() {
-            if self.fusions[i].is_none() {
-                self.fusions[i] = Some(resolver.fuse_tuple(&plan, TupleId(i)));
+        let tuples: HashSet<TupleId> = invalid.iter().copied().collect();
+        let plan = resolver.plan_for(&self.cleaned, &self.dataset, &self.rules, &tuples);
+        // Fusion is a pure function of (plan, tuple) — fan the invalidated
+        // tuples out across the pool when configured to.
+        let fused: Vec<TupleFusion> = if self.config.parallel {
+            invalid
+                .par_iter()
+                .map(|&t| resolver.fuse_tuple(&plan, t))
+                .collect()
+        } else {
+            invalid
+                .iter()
+                .map(|&t| resolver.fuse_tuple(&plan, t))
+                .collect()
+        };
+        drop(plan);
+        // Fold each new fusion into the maintained repaired dataset: reset
+        // the row to its dirty values (its previous fusion may have written
+        // cells the new one no longer does), then apply the fusion.
+        let mut scratch = FscrRecord::default();
+        for (&t, fusion) in invalid.iter().zip(&fused) {
+            for (a, &id) in self.dataset.row_ids(t).iter().enumerate() {
+                self.repaired.set_value_id(t, AttrId(a), id);
             }
+            apply_tuple_fusion(
+                &mut self.repaired,
+                self.cleaned.pool(),
+                t,
+                fusion,
+                &mut scratch,
+            );
+        }
+        for (t, fusion) in invalid.into_iter().zip(fused) {
+            self.fusions[t.index()] = Some(fusion);
         }
         self.timings.fscr += started.elapsed();
+    }
+
+    /// Rebuild the FSCR provenance from the memoised fusions (in tuple
+    /// order, exactly like a batch run emits it) and compute the
+    /// deduplicated output if configured — the shared tail of
+    /// [`CleaningSession::outcome`] and [`CleaningSession::finish`].
+    /// `ensure_fusions` must have run.
+    fn assemble_records(&mut self) -> (FscrRecord, Option<Dataset>) {
+        let started = Instant::now();
+        let mut fscr = FscrRecord::default();
+        for (i, fusion) in self.fusions.iter().enumerate() {
+            let fusion = fusion.as_ref().expect("ensure_fusions ran");
+            record_tuple_fusion(
+                &self.dataset,
+                self.cleaned.pool(),
+                TupleId(i),
+                fusion,
+                &mut fscr,
+            );
+        }
+        self.timings.fscr += started.elapsed();
+
+        let deduplicated = if self.config.deduplicate {
+            let started = Instant::now();
+            let deduplicated = self.repaired.deduplicated();
+            self.timings.dedup += started.elapsed();
+            Some(deduplicated)
+        } else {
+            None
+        };
+        (fscr, deduplicated)
     }
 
     /// Re-clean whatever is dirty and produce the full [`Report`] over the
@@ -615,47 +859,248 @@ impl CleaningSession {
     /// the accumulated surviving data.
     ///
     /// Can be called after every change set; only the work made necessary by
-    /// the mutations since the previous call is redone.  The report
-    /// snapshots the session (one dataset copy for the repairs plus one
-    /// cleaned-index copy); [`CleaningSession::finish`] moves the state out
-    /// instead.
+    /// the mutations since the previous call is redone, and the snapshot
+    /// cost is one repaired-dataset copy plus an `Arc` bump of the cleaned
+    /// index (the session maintains the repaired dataset incrementally
+    /// instead of re-deriving it per call).  [`CleaningSession::finish`]
+    /// moves the state out instead.
     pub fn outcome(&mut self) -> Report {
         self.ensure_fusions();
-        assemble_outcome(
-            &self.config,
-            &self.fusions,
-            &self.block_records,
-            self.dataset.clone(),
-            self.cleaned.clone(),
-            &mut self.timings,
-        )
+        let (fscr, deduplicated) = self.assemble_records();
+        let (agp, rsc) = collect_stage_records(&self.block_records);
+        Report {
+            repaired: self.repaired.clone(),
+            deduplicated,
+            index: Some(Arc::clone(&self.cleaned)),
+            agp,
+            rsc,
+            fscr,
+            timings: self.timings,
+            partitions: None,
+        }
     }
 
     /// Close the session, producing the final [`Report`].
     ///
-    /// Unlike [`CleaningSession::outcome`] this moves the accumulated
-    /// dataset and the cleaned index into the report (the repairs are
-    /// applied in place), so the batch wrapper [`crate::MlnClean::clean`]
-    /// pays no extra copies over the historical monolithic pipeline.
+    /// Unlike [`CleaningSession::outcome`] this moves the maintained
+    /// repaired dataset and the cleaned index into the report, so the batch
+    /// wrapper [`crate::MlnClean::clean`] pays no extra copies over the
+    /// historical monolithic pipeline.
     pub fn finish(mut self) -> Report {
         self.ensure_fusions();
-        let CleaningSession {
-            config,
-            cleaned,
-            block_records,
-            fusions,
-            dataset,
-            mut timings,
-            ..
-        } = self;
-        assemble_outcome(
-            &config,
-            &fusions,
-            &block_records,
-            dataset,
-            cleaned,
-            &mut timings,
-        )
+        let (fscr, deduplicated) = self.assemble_records();
+        let (agp, rsc) = collect_stage_records(&self.block_records);
+        Report {
+            repaired: self.repaired,
+            deduplicated,
+            index: Some(self.cleaned),
+            agp,
+            rsc,
+            fscr,
+            timings: self.timings,
+            partitions: None,
+        }
+    }
+}
+
+/// Refresh one dirty block the group-scoped way: derive the post-AGP output
+/// layout from the fresh plan, then rebuild only the output groups whose
+/// source set changed (or whose sources are marked dirty), reusing every
+/// other cached [`GroupEntry`] byte-for-byte.
+///
+/// Soundness of the reuse: the plan is recomputed from the current pristine
+/// snapshot every refresh, so any drift in merge *decisions* shows up as a
+/// changed source list; any drift in group *content* was recorded as a dirty
+/// key (pure updates) or as `fully_dirty` (inserts, deletes, support
+/// changes) when the mutation applied.  Weights only depend on `(own
+/// support, z)` and `z` is pinned by the `last_z` check, RSC is group-local,
+/// so an entry whose sources are clean and unchanged is exactly what the
+/// rebuild would recompute.
+#[allow(clippy::too_many_arguments)]
+fn refresh_block_scoped(
+    config: &CleanConfig,
+    pristine: &Block,
+    pool: &ValuePool,
+    mut cache: BlockCache,
+    z: usize,
+    plan: AgpPlan,
+    agp_stats: CacheStats,
+    block_idx: usize,
+) -> RefreshedBlock {
+    // Post-AGP output layout (matching `apply_plan` exactly): surviving
+    // normal groups in pristine order, each with its merged-in abnormals in
+    // plan order, then target-less abnormals at the end.
+    let n = pristine.groups.len();
+    let mut is_abnormal = vec![false; n];
+    for &ai in &plan.abnormal {
+        is_abnormal[ai] = true;
+    }
+    let mut merged_into: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut unmerged: Vec<usize> = Vec::new();
+    for (&ai, &target) in plan.abnormal.iter().zip(&plan.targets) {
+        match target {
+            Some(ti) => merged_into[ti].push(ai),
+            None => unmerged.push(ai),
+        }
+    }
+    let mut outputs: Vec<(usize, Vec<usize>)> = Vec::with_capacity(n);
+    for lead in 0..n {
+        if is_abnormal[lead] {
+            continue;
+        }
+        let mut sources = vec![lead];
+        sources.extend(merged_into[lead].iter().copied());
+        outputs.push((lead, sources));
+    }
+    for &ai in &unmerged {
+        outputs.push((ai, vec![ai]));
+    }
+
+    let cleaner = ReliabilityCleaner::new(config.metric);
+    let rsc_before = cache.distances.stats();
+    let mut entries: HashMap<Vec<ValueId>, GroupEntry> = HashMap::with_capacity(outputs.len());
+    let mut groups: Vec<Group> = Vec::with_capacity(outputs.len());
+    let mut repairs: Vec<RscRepair> = Vec::new();
+    let mut invalidated: Vec<TupleId> = Vec::new();
+    let mut recleaned = 0u64;
+
+    for (lead, source_idx) in outputs {
+        let key = pristine.groups[lead].key.clone();
+        let sources: Vec<Vec<ValueId>> = source_idx
+            .iter()
+            .map(|&s| pristine.groups[s].key.clone())
+            .collect();
+        let reusable = !cache.fully_dirty
+            && !sources.iter().any(|s| cache.dirty_keys.contains(s))
+            && cache
+                .entries
+                .get(&key)
+                .is_some_and(|entry| entry.sources == sources);
+        if reusable {
+            let entry = cache.entries.remove(&key).expect("probed just above");
+            groups.push(entry.group.clone());
+            repairs.extend(entry.repairs.iter().cloned());
+            entries.insert(key, entry);
+            continue;
+        }
+
+        recleaned += 1;
+        // Rebuild: merge the source γs the way `apply_plan` does …
+        let mut group = pristine.groups[lead].clone();
+        for &ai in &source_idx[1..] {
+            for gamma in pristine.groups[ai].gammas.iter().cloned() {
+                if let Some(existing) = group.gammas.iter_mut().find(|g| {
+                    g.reason_values == gamma.reason_values && g.result_values == gamma.result_values
+                }) {
+                    existing.tuples.extend(gamma.tuples);
+                } else {
+                    group.gammas.push(gamma);
+                }
+            }
+        }
+        // … weight against the block-wide Z (AGP merges preserve it) …
+        assign_group_weights(&mut group, z);
+        // … and clean the group in place.
+        let group_repairs =
+            cleaner.clean_group(pristine.rule, &mut group, pool, &mut cache.distances);
+        invalidated.extend(group.all_tuples());
+        if let Some(old) = cache.entries.remove(&key) {
+            invalidated.extend(old.group.all_tuples());
+        }
+        repairs.extend(group_repairs.iter().cloned());
+        groups.push(group.clone());
+        entries.insert(
+            key,
+            GroupEntry {
+                sources,
+                group,
+                repairs: group_repairs,
+            },
+        );
+    }
+
+    // Output groups that disappeared since the last refresh: their tuples
+    // live somewhere else now; re-fuse them.
+    for (_, old) in cache.entries.drain() {
+        invalidated.extend(old.group.all_tuples());
+    }
+
+    let rsc_stats = stats_delta(rsc_before, cache.distances.stats());
+    cache.entries = entries;
+    cache.last_z = Some(z);
+    cache.dirty_keys.clear();
+    cache.fully_dirty = false;
+
+    let mut agp = plan.record;
+    agp.cache = agp_stats;
+    RefreshedBlock {
+        block_idx,
+        block: Block {
+            rule: pristine.rule,
+            reason_attrs: pristine.reason_attrs.clone(),
+            result_attrs: pristine.result_attrs.clone(),
+            groups,
+        },
+        records: BlockRecords {
+            agp,
+            rsc: RscRecord {
+                repairs,
+                cache: rsc_stats,
+            },
+        },
+        cache,
+        invalidated,
+        recleaned,
+    }
+}
+
+/// Refresh one dirty block the traditional whole-block way — the path for
+/// sessions with injected weights, whose block-wide renormalization defeats
+/// group-scoped reuse.  The group cache is dropped (it would hold
+/// injected-weight state a later closed-form rebuild must not reuse) and
+/// every covered tuple is invalidated.
+fn refresh_block_traditional(
+    config: &CleanConfig,
+    injected: &SessionWeights,
+    pristine: &Block,
+    pool: &ValuePool,
+    mut cache: BlockCache,
+    z: usize,
+    block_idx: usize,
+) -> RefreshedBlock {
+    let mut block = pristine.clone();
+    let agp = AgpStage::run_block(config, &mut block, pool);
+    WeightLearningStage::run_block(config, &mut block);
+    injected.apply_to_block(&mut block, pool);
+    let rsc = RscStage::run_block(config, &mut block, pool);
+
+    let mut invalidated: Vec<TupleId> = pristine
+        .gammas()
+        .flat_map(|g| g.tuples.iter().copied())
+        .collect();
+    for (_, old) in cache.entries.drain() {
+        invalidated.extend(old.group.all_tuples());
+    }
+    let recleaned = block.group_count() as u64;
+    cache.last_z = Some(z);
+    cache.dirty_keys.clear();
+    cache.fully_dirty = false;
+
+    RefreshedBlock {
+        block_idx,
+        block,
+        records: BlockRecords { agp, rsc },
+        cache,
+        invalidated,
+        recleaned,
+    }
+}
+
+/// The growth of a [`DistanceCache`]'s counters between two snapshots.
+fn stats_delta(before: CacheStats, after: CacheStats) -> CacheStats {
+    CacheStats {
+        hits: after.hits - before.hits,
+        misses: after.misses - before.misses,
     }
 }
 
@@ -690,6 +1135,16 @@ fn record_touched(touched_blocks: &mut [bool], touched_groups: &[usize]) {
     }
 }
 
+/// Accumulate which blocks a cell update touched (non-empty touched-key
+/// list) into the change set's per-block flags.
+fn record_touched_keys(touched_blocks: &mut [bool], touched: &[Vec<Vec<ValueId>>]) {
+    for (flag, keys) in touched_blocks.iter_mut().zip(touched) {
+        if !keys.is_empty() {
+            *flag = true;
+        }
+    }
+}
+
 /// Shift the cached per-block provenance past removed rows: tuple ids in AGP
 /// merges and RSC repairs decrement by the number of removed ids below them
 /// (exact matches are dropped; they only occur in records of blocks that are
@@ -704,51 +1159,19 @@ fn remap_records_after_removal(records: &mut BlockRecords, removed: &[usize]) {
     }
 }
 
-/// Apply the memoised fusions to `repaired` in place, deduplicate, and
-/// assemble the [`Report`] — the shared tail of
-/// [`CleaningSession::outcome`] (which passes clones) and
-/// [`CleaningSession::finish`] (which passes the moved session state).
-///
-/// Every cell of `repaired` still holds its dirty value until its own fusion
-/// is applied, so in-place application reads exactly what a clone-based path
-/// would.  All resolved ids are covered by the cleaned index's pool
-/// snapshot: fused ids come from its γs, and the snapshot is re-synced with
-/// the dataset pool on every ingest and refresh.
-fn assemble_outcome(
-    config: &CleanConfig,
-    fusions: &[Option<TupleFusion>],
-    block_records: &[BlockRecords],
-    mut repaired: Dataset,
-    cleaned: MlnIndex,
-    timings: &mut Timings,
-) -> Report {
-    let started = Instant::now();
-    let mut fscr = FscrRecord::default();
-    for (i, fusion) in fusions.iter().enumerate() {
-        let fusion = fusion.as_ref().expect("ensure_fusions ran");
-        apply_tuple_fusion(&mut repaired, cleaned.pool(), TupleId(i), fusion, &mut fscr);
-    }
-    timings.fscr += started.elapsed();
-
-    let deduplicated = if config.deduplicate {
-        let started = Instant::now();
-        let deduplicated = repaired.deduplicated();
-        timings.dedup += started.elapsed();
-        Some(deduplicated)
-    } else {
-        None
-    };
-    let (agp, rsc) = collect_stage_records(block_records);
-
-    Report {
-        repaired,
-        deduplicated,
-        index: Some(cleaned),
-        agp,
-        rsc,
-        fscr,
-        timings: *timings,
-        partitions: None,
+/// Shift a block cache's per-group clean state past removed rows, like
+/// [`remap_records_after_removal`] does for the provenance.  Blocks the
+/// removal touched are fully dirty and will rebuild from pristine anyway;
+/// untouched blocks never contained the removed tuples, so the shift keeps
+/// their entries byte-identical to a post-removal rebuild.
+fn remap_cache_after_removal(cache: &mut BlockCache, removed: &[usize]) {
+    for entry in cache.entries.values_mut() {
+        for gamma in &mut entry.group.gammas {
+            dataset::remap_ids_after_removal(&mut gamma.tuples, removed);
+        }
+        for repair in &mut entry.repairs {
+            dataset::remap_ids_after_removal(&mut repair.tuples, removed);
+        }
     }
 }
 

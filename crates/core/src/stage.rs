@@ -92,7 +92,7 @@ pub struct AgpStage;
 
 impl AgpStage {
     /// The AGP processor configured per `config`.
-    fn processor(config: &CleanConfig) -> AbnormalGroupProcessor {
+    pub(crate) fn processor(config: &CleanConfig) -> AbnormalGroupProcessor {
         let mut processor = AbnormalGroupProcessor::new(config.tau, config.metric);
         if let Some(guard) = config.agp_distance_guard {
             processor = processor.with_distance_guard(guard);
@@ -129,10 +129,12 @@ impl PipelineStage for AgpStage {
 pub struct WeightLearningStage;
 
 impl WeightLearningStage {
-    /// Learn and assign weights for a single block (the incremental
-    /// per-dirty-block entry point).
+    /// Assign weights for a single block (the incremental per-dirty-block
+    /// entry point).  The config parameter is kept for call-site stability;
+    /// the closed-form softmax needs no learning configuration.
     pub fn run_block(config: &CleanConfig, block: &mut Block) {
-        assign_block_weights(block, &config.learning);
+        let _ = config;
+        assign_block_weights(block);
     }
 }
 
@@ -143,7 +145,7 @@ impl PipelineStage for WeightLearningStage {
 
     fn run(&self, ctx: &mut StageContext<'_>) {
         let start = Instant::now();
-        assign_weights(ctx.index, &ctx.config.learning);
+        assign_weights(ctx.index);
         ctx.records.timings.weight_learning += start.elapsed();
     }
 }
@@ -189,7 +191,11 @@ impl PipelineStage for FscrStage {
     fn run(&self, ctx: &mut StageContext<'_>) {
         let start = Instant::now();
         let resolver = ConflictResolver::new(ctx.config.max_exhaustive_fusion);
-        let (repaired, record) = resolver.resolve(ctx.dataset, ctx.index);
+        let (repaired, record) = if ctx.config.parallel {
+            resolver.resolve_parallel(ctx.dataset, ctx.index)
+        } else {
+            resolver.resolve(ctx.dataset, ctx.index)
+        };
         ctx.repaired = Some(repaired);
         ctx.records.fscr = record;
         ctx.records.timings.fscr += start.elapsed();

@@ -1,48 +1,81 @@
-//! Block-level weight learning: attach to every γ of every block the weight
-//! learned by the Tuffy-style diagonal-Newton learner, starting from the
-//! prior `w⁰(γᵢ) = c(γᵢ) / Σⱼ c(γⱼ)` of Eq. 4, and the corresponding
-//! block-normalized probability `Pr(γᵢ) ∝ exp(wᵢ)` of Eq. 3.
+//! Block-level weight learning in closed form: the Eq. 3 block softmax of
+//! the Eq. 4 support evidence, `Pr(γᵢ) = softmax(w)ᵢ` with `wᵢ = ln c(γᵢ)`,
+//! which collapses algebraically to `Pr(γᵢ) = c(γᵢ) / Σⱼ c(γⱼ)` — the exact
+//! fixed point the old Tuffy-style diagonal-Newton learner converged to
+//! within its tolerance.
+//!
+//! The closed form is what makes the softmax *incrementally maintainable*:
+//! a γ's weight depends only on its own support and its probability only on
+//! the block total `Z = Σⱼ c(γⱼ)`, which AGP merges preserve (merging moves
+//! tuples between γs of the same block, it never changes their total).  The
+//! group-scoped [`crate::CleaningSession`] re-clean exploits exactly this —
+//! a recomputed group gets byte-identical weights to a whole-block pass as
+//! long as `Z` is unchanged, without touching the other groups.
 
 use crate::gamma::Gamma;
-use crate::index::{Block, MlnIndex};
+use crate::index::{Block, Group, MlnIndex};
 use dataset::ValuePool;
-use mln::{learn_gamma_weights, LearningConfig};
 use std::collections::HashMap;
 
-/// Learn and assign weights/probabilities for every γ of every block.
-pub fn assign_weights(index: &mut MlnIndex, config: &LearningConfig) {
+/// Assign weights/probabilities for every γ of every block.
+pub fn assign_weights(index: &mut MlnIndex) {
     for block in &mut index.blocks {
-        assign_block_weights(block, config);
+        assign_block_weights(block);
     }
 }
 
-/// Learn and assign weights/probabilities for every γ of one block.
+/// The closed-form weight of a γ with support `c`: `w = ln c` (Eq. 4
+/// evidence on the Eq. 3 log scale).  Supports below 1 are clamped — the
+/// pipeline never produces a tuple-less γ, but a clamp beats `-∞`.
+pub fn gamma_weight(support: usize) -> f64 {
+    (support.max(1) as f64).ln()
+}
+
+/// Total support of a block — the softmax denominator `Z = Σⱼ c(γⱼ)` of
+/// Eq. 3 under the closed-form weights.  AGP merges preserve this total
+/// (tuples only move between γs of the block), which is what lets the
+/// incremental session weight a single recomputed group without reading the
+/// rest of the block.
+pub fn block_support(block: &Block) -> usize {
+    block.gammas().map(|g| g.support()).sum()
+}
+
+/// Assign closed-form weights/probabilities to every γ of one group, given
+/// the block's total support `z` (see [`block_support`]).  The per-group
+/// entry point of the incremental block softmax: byte-identical to
+/// [`assign_block_weights`] for that group because both are the same pure
+/// function of `(own support, z)`.
+pub fn assign_group_weights(group: &mut Group, z: usize) {
+    debug_assert!(z > 0, "a non-empty block has positive total support");
+    for gamma in &mut group.gammas {
+        gamma.weight = gamma_weight(gamma.support());
+        gamma.probability = gamma.support() as f64 / z as f64;
+    }
+}
+
+/// Assign weights/probabilities for every γ of one block.
 ///
 /// Weights are a pure function of the block's own support counts (the
-/// softmax of Eq. 3 normalizes within the block), so re-learning a single
-/// dirty block — as the incremental [`crate::CleaningSession`] does — gives
-/// exactly the weights a whole-index pass would.
-pub fn assign_block_weights(block: &mut Block, config: &LearningConfig) {
-    // Collect the support counts of every γ in the block, in a stable
-    // (group, gamma) order.
-    let counts: Vec<usize> = block
-        .groups
-        .iter()
-        .flat_map(|g| g.gammas.iter().map(|gamma| gamma.support()))
-        .collect();
-    if counts.is_empty() {
+/// softmax of Eq. 3 normalizes within the block), so re-weighting a single
+/// dirty block — or, through [`assign_group_weights`], a single dirty group
+/// — gives exactly the weights a whole-index pass would.
+pub fn assign_block_weights(block: &mut Block) {
+    let z = block_support(block);
+    if z == 0 {
+        // Degenerate (no γ holds a tuple): fall back to a uniform block so
+        // probabilities still sum to one.
+        let n = block.gammas().count();
+        for group in &mut block.groups {
+            for gamma in &mut group.gammas {
+                gamma.weight = 0.0;
+                gamma.probability = 1.0 / n as f64;
+            }
+        }
         return;
     }
-    let weights = learn_gamma_weights(&counts, config);
-
-    let mut idx = 0;
     for group in &mut block.groups {
-        for gamma in &mut group.gammas {
-            gamma.weight = weights[idx];
-            idx += 1;
-        }
+        assign_group_weights(group, z);
     }
-    renormalize_block(block);
 }
 
 /// Recompute every γ probability of a block from its current weights — the
@@ -191,7 +224,7 @@ mod tests {
         let ds = sample_hospital_dataset();
         let rules = sample_hospital_rules();
         let mut index = MlnIndex::build(&ds, &rules).unwrap();
-        assign_weights(&mut index, &LearningConfig::default());
+        assign_weights(&mut index);
 
         let boaz = index.group_by_key(RuleId(0), &["BOAZ"]).unwrap();
         let al = boaz
@@ -216,7 +249,7 @@ mod tests {
         let ds = sample_hospital_dataset();
         let rules = sample_hospital_rules();
         let mut index = MlnIndex::build(&ds, &rules).unwrap();
-        assign_weights(&mut index, &LearningConfig::default());
+        assign_weights(&mut index);
         for block in &index.blocks {
             let total: f64 = block.gammas().map(|g| g.probability).sum();
             assert!(
@@ -290,7 +323,7 @@ mod tests {
         let ds = sample_hospital_dataset();
         let rules = sample_hospital_rules();
         let mut index = MlnIndex::build(&ds, &rules).unwrap();
-        assign_weights(&mut index, &LearningConfig::default());
+        assign_weights(&mut index);
         let pool = index.pool().clone();
         let block = &mut index.blocks[0];
 

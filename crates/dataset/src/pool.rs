@@ -104,6 +104,32 @@ impl ValuePool {
         id
     }
 
+    /// Catch this pool up to an append-only descendant of itself by copying
+    /// the descendant's tail of new values.
+    ///
+    /// Because ids are assigned densely in first-appearance order and never
+    /// renumbered, a snapshot taken at time *t* agrees with any later version
+    /// of the same pool on all ids below its length — so syncing is a pure
+    /// append of `Arc<str>` clones (no re-hashing of the shared prefix, no
+    /// clone of the whole map).  This is what lets long-lived sessions keep
+    /// several pool snapshots (cleaned index, repaired dataset) in step with
+    /// the dirty dataset's pool at O(new values) per change set instead of
+    /// O(pool) clones.
+    pub fn sync_from(&mut self, descendant: &ValuePool) {
+        debug_assert!(
+            descendant.values.len() >= self.values.len(),
+            "sync_from target must be an append-only descendant"
+        );
+        for value in &descendant.values[self.values.len()..] {
+            let id = ValueId(
+                u32::try_from(self.values.len())
+                    .expect("value pool overflow (>4G distinct values)"),
+            );
+            self.values.push(Arc::clone(value));
+            self.by_value.insert(Arc::clone(value), id);
+        }
+    }
+
     /// Intern a batch of values, returning their ids in order (a convenience
     /// over calling [`ValuePool::intern`] per value — same cost, one hash
     /// probe per value).

@@ -40,9 +40,3 @@ pub use partition::{partition_dataset, route_row, PartitionConfig, Partitioning}
 pub use runner::DistributedMlnClean;
 pub use streaming::{DistributedStreamingMlnClean, DistributedStreamingSession};
 pub use weights::{merge_weights, merged_weight_table};
-
-// Deprecated shims for the historical per-driver vocabulary.
-#[allow(deprecated)]
-pub use runner::{DistributedOutcome, PhaseTimings};
-#[allow(deprecated)]
-pub use weights::GammaKey;

@@ -24,14 +24,6 @@ use mlnclean::{
 use rules::RuleSet;
 use std::time::Instant;
 
-/// Historical name of the distributed phase timings.
-#[deprecated(note = "`StageTimings` and `PhaseTimings` merged into `Timings`")]
-pub type PhaseTimings = Timings;
-
-/// Historical name of the distributed outcome type.
-#[deprecated(note = "the per-driver outcome types merged into `Report`")]
-pub type DistributedOutcome = Report;
-
 /// Distributed MLNClean: the stand-alone pipeline executed over `workers`
 /// parallel partitions.
 #[derive(Debug, Clone)]

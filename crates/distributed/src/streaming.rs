@@ -761,7 +761,7 @@ impl DistributedStreamingSession {
         Report::new(
             repaired,
             deduplicated,
-            Some(cleaned),
+            Some(std::sync::Arc::new(cleaned)),
             agp,
             rsc,
             fscr,
@@ -1055,18 +1055,5 @@ mod tests {
             csv::to_csv(&streamed.repaired)
         );
         assert_eq!(batch.fscr, streamed.fscr);
-    }
-
-    #[test]
-    fn deprecated_distributed_aliases_still_compile() {
-        #![allow(deprecated)]
-        let timings: crate::PhaseTimings = Timings::default();
-        assert_eq!(timings.total(), std::time::Duration::ZERO);
-        fn takes_outcome(_: &crate::DistributedOutcome) {}
-        let dirty = sample_hospital_dataset();
-        let report = DistributedStreamingMlnClean::new(2, CleanConfig::default().with_tau(1))
-            .run(&dirty, &rules::sample_hospital_rules())
-            .unwrap();
-        takes_outcome(&report);
     }
 }

@@ -16,12 +16,6 @@
 use mlnclean::{GammaSignature, MlnIndex, SessionWeights};
 use std::collections::HashMap;
 
-/// Historical name of the cross-pool γ identity, now shared with the
-/// session weight hooks as [`mlnclean::GammaSignature`] (same shape: rule
-/// index plus resolved reason/result values).
-#[deprecated(note = "renamed to `mlnclean::GammaSignature`")]
-pub type GammaKey = GammaSignature;
-
 /// Accumulate `(Σ n·w, Σ n, #partitions)` per γ identity across partition
 /// indexes — pass 1 of the Eq. 6 merge, shared by [`merge_weights`] and
 /// [`merged_weight_table`].  Identities are resolved strings: partitions
@@ -112,7 +106,6 @@ pub fn merge_weights(indices: &mut [MlnIndex]) -> usize {
 mod tests {
     use super::*;
     use dataset::{Dataset, Schema};
-    use mln::LearningConfig;
     use mlnclean::MlnIndex;
 
     fn part(rows: &[(&str, &str)]) -> MlnIndex {
@@ -122,7 +115,7 @@ mod tests {
         }
         let rules = rules::parse_rules("FD: CT -> ST").unwrap();
         let mut index = MlnIndex::build(&ds, &rules).unwrap();
-        mlnclean::weights::assign_weights(&mut index, &LearningConfig::default());
+        mlnclean::weights::assign_weights(&mut index);
         index
     }
 

@@ -19,6 +19,7 @@
 use crate::domain::CandidateDomain;
 use crate::features::CooccurrenceModel;
 use dataset::{CellRef, Dataset, ValueId};
+use rayon::prelude::*;
 use rules::{Rule, RuleSet};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap};
@@ -82,7 +83,56 @@ impl HoloClean {
     }
 
     /// Repair the `noisy` cells of `dirty` under `rules`.
+    ///
+    /// Candidate scoring is independent per cell (every score reads only the
+    /// dirty dataset and the trained model), so the argmax of each noisy
+    /// cell is computed across cells in parallel; repairs are then applied
+    /// serially in the `BTreeSet`'s cell order, which makes the outcome
+    /// byte-identical to [`Self::repair_serial`].
     pub fn repair(
+        &self,
+        dirty: &Dataset,
+        rules: &RuleSet,
+        noisy: &BTreeSet<CellRef>,
+    ) -> RepairOutcome {
+        let train_start = Instant::now();
+        let model = CooccurrenceModel::train(dirty, noisy);
+        let constraints = ConstraintIndex::build(dirty, rules);
+        let training_time = train_start.elapsed();
+
+        let infer_start = Instant::now();
+        let generator = CandidateDomain::new(self.config.max_candidates);
+        let mut repaired = dirty.clone();
+        let mut repaired_cells = Vec::new();
+
+        let cells: Vec<CellRef> = noisy
+            .iter()
+            .copied()
+            .filter(|cell| generator.has_candidates(&model, cell.attr))
+            .collect();
+        let winners: Vec<ValueId> = cells
+            .par_iter()
+            .map(|&cell| self.best_candidate(dirty, rules, &constraints, &model, &generator, cell))
+            .collect();
+        for (&cell, &best_value) in cells.iter().zip(&winners) {
+            if best_value != dirty.cell_id(cell) {
+                repaired.set_value_id(cell.tuple, cell.attr, best_value);
+                repaired_cells.push(cell);
+            }
+        }
+        let inference_time = infer_start.elapsed();
+
+        RepairOutcome {
+            repaired,
+            repaired_cells,
+            training_time,
+            inference_time,
+        }
+    }
+
+    /// Serial reference path of [`Self::repair`]: one cell at a time, in the
+    /// same `BTreeSet` order the parallel path applies its winners in.
+    pub fn repair_serial(
         &self,
         dirty: &Dataset,
         rules: &RuleSet,
@@ -102,20 +152,9 @@ impl HoloClean {
             if !generator.has_candidates(&model, cell.attr) {
                 continue;
             }
-            let candidates = generator.candidates(dirty, &model, cell);
-            let current = dirty.cell_id(cell);
-
-            let mut best_value = current;
-            let mut best_score = f64::NEG_INFINITY;
-            for candidate in candidates {
-                let score =
-                    self.score_candidate(dirty, rules, &constraints, &model, cell, candidate);
-                if score > best_score {
-                    best_score = score;
-                    best_value = candidate;
-                }
-            }
-            if best_value != current {
+            let best_value =
+                self.best_candidate(dirty, rules, &constraints, &model, &generator, cell);
+            if best_value != dirty.cell_id(cell) {
                 repaired.set_value_id(cell.tuple, cell.attr, best_value);
                 repaired_cells.push(cell);
             }
@@ -128,6 +167,31 @@ impl HoloClean {
             training_time,
             inference_time,
         }
+    }
+
+    /// Argmax over one noisy cell's candidate domain (ties keep the earlier
+    /// candidate, starting from the cell's current value).
+    fn best_candidate(
+        &self,
+        dirty: &Dataset,
+        rules: &RuleSet,
+        constraints: &ConstraintIndex,
+        model: &CooccurrenceModel,
+        generator: &CandidateDomain,
+        cell: CellRef,
+    ) -> ValueId {
+        let candidates = generator.candidates(dirty, model, cell);
+        let current = dirty.cell_id(cell);
+        let mut best_value = current;
+        let mut best_score = f64::NEG_INFINITY;
+        for candidate in candidates {
+            let score = self.score_candidate(dirty, rules, constraints, model, cell, candidate);
+            if score > best_score {
+                best_score = score;
+                best_value = candidate;
+            }
+        }
+        best_value
     }
 
     /// Log-linear score of one candidate for one cell.
@@ -348,6 +412,18 @@ mod tests {
             repl_f1 + 0.05 >= typo_f1,
             "replacement errors ({repl_f1:.3}) should not be much harder than typos ({typo_f1:.3}) on sparse data"
         );
+    }
+
+    #[test]
+    fn parallel_repair_matches_serial_byte_for_byte() {
+        let gen = HaiGenerator::default().with_rows(300);
+        let rules = HaiGenerator::rules();
+        let dirty = gen.dirty(0.05, 0.5, 7);
+        let cleaner = HoloClean::default();
+        let parallel = cleaner.repair(&dirty.dirty, &rules, &dirty.erroneous_cells());
+        let serial = cleaner.repair_serial(&dirty.dirty, &rules, &dirty.erroneous_cells());
+        assert_eq!(parallel.repaired, serial.repaired);
+        assert_eq!(parallel.repaired_cells, serial.repaired_cells);
     }
 
     #[test]

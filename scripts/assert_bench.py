@@ -12,12 +12,19 @@ engine, dirty blocks < total blocks, real mutations applied).
 
 `ladder` asserts the structural invariants of the benchmark ladder (monotone
 rung sizes, byte-identity wherever it was checked, errors injected, RSS
-recorded when the meter is available, sane latency percentiles) and, when
-`--baseline` points at a committed artifact, gates throughput and peak RSS
+recorded when the meter is available, sane latency percentiles, and the
+group-scoped re-clean probe: a single-cell mutation must re-clean a strict,
+non-empty subset of the MLN groups) and, when `--baseline` points at a
+committed artifact, gates throughput, peak RSS and mutation tail latency
 against it: the run fails if any engine's effective throughput regresses by
-more than the tolerance or its peak RSS grows by more than the tolerance.
+more than the tolerance, its peak RSS grows by more than the tolerance, or
+the mutation probe's p50/p99 latency regresses past the tolerance (plus a
+small absolute grace for timer noise on sub-100ms probes).
 Set BENCH_GATE_SKIP=1 to skip the baseline gate (e.g. while intentionally
 re-baselining); the invariant checks always run.
+
+The same `ladder` subcommand checks every per-workload artifact
+(`BENCH_ladder.json`, `BENCH_ladder_hai.json`, `BENCH_ladder_car.json`).
 """
 
 import argparse
@@ -128,6 +135,10 @@ def check_ladder(d):
             check(mut["samples"] > 0, f"{where}: no mutation samples")
             check(0 < mut["p50_seconds"] <= mut["p99_seconds"] <= mut["max_seconds"],
                   f"{where}: mutation percentiles out of order: {mut}")
+            check(0 < mut["recleaned_groups"] < mut["total_groups"],
+                  f"{where}: a single-cell mutation must re-clean a strict, "
+                  f"non-empty subset of the groups, got "
+                  f"{mut['recleaned_groups']} of {mut['total_groups']}")
         else:
             check(mut is None, f"{where}: mutation probe ran on a non-final rung")
 
@@ -165,8 +176,20 @@ def gate_ladder(new, base, tolerance):
                       f"(> {tolerance:.0%}); re-baseline deliberately or set "
                       f"BENCH_GATE_SKIP=1")
             compared += 1
+        # Mutation tail-latency gate: where both runs probed the same rung,
+        # p50 and p99 may not regress past the tolerance.  The absolute 50ms
+        # grace keeps sub-100ms probes from failing on timer noise alone.
+        mut, base_mut = r["mutation_latency"], b["mutation_latency"]
+        if mut is not None and base_mut is not None:
+            for q in ("p50_seconds", "p99_seconds"):
+                limit = (1.0 + tolerance) * base_mut[q] + 0.05
+                check(mut[q] <= limit,
+                      f"rung {r['rows']}: mutation {q} regressed "
+                      f"{base_mut[q]:.6f}s -> {mut[q]:.6f}s (limit {limit:.6f}s); "
+                      f"re-baseline deliberately or set BENCH_GATE_SKIP=1")
+                compared += 1
     check(compared > 0, "baseline shares no rungs with this run")
-    print(f"ladder gate ok: {compared} engine points within "
+    print(f"ladder gate ok: {compared} points within "
           f"{tolerance:.0%} of the baseline")
 
 

@@ -3,22 +3,37 @@
 //! The build environment cannot reach crates.io, so this crate provides the
 //! data-parallel subset the workspace uses — `par_iter()` on slices,
 //! `into_par_iter()` on `Vec`, with `map(..).collect()` (into `Vec`) and
-//! `for_each` — implemented with `std::thread::scope` over contiguous
-//! chunks.  Semantics match rayon where it matters here:
+//! `for_each` — backed by a work-stealing scheduler.  Semantics match rayon
+//! where it matters here:
 //!
-//! * output order equals input order (chunks are reassembled in sequence),
-//!   so parallel and serial pipelines produce identical results;
+//! * output order equals input order (batches carry their input offset and
+//!   are reassembled by offset), so parallel and serial pipelines produce
+//!   identical results;
 //! * worker count defaults to `std::thread::available_parallelism`, is
 //!   overridable with `RAYON_NUM_THREADS`, and collapses to a plain serial
 //!   loop when 1 (no thread overhead on single-core machines);
-//! * a panic in any closure propagates to the caller.
+//! * a panic in any closure propagates to the caller (first payload wins,
+//!   remaining batches are abandoned).
 //!
-//! There is no work stealing: each worker gets one contiguous chunk.  For the
-//! block-shaped workloads in this repo (many similar-cost items) that is
-//! within noise of real rayon, and swapping in the real crate is a
-//! Cargo.toml-only change.
+//! Scheduling: the input is pre-split into many small batches (several per
+//! worker) and workers claim the next unclaimed batch through a shared
+//! atomic cursor.  Unlike static equal-size chunking, a thread that finishes
+//! its batch early immediately steals the next one, so skewed workloads
+//! (one huge item among many tiny ones) no longer leave threads idle.
+//! Helper threads come from a lazily started, process-wide reusable pool
+//! rather than being spawned per call; the calling thread always
+//! participates in the claim loop itself, so progress is guaranteed even
+//! when the pool is saturated, and calls made *from* a pool worker fall
+//! back to scoped helper threads to avoid deadlocking the pool on nested
+//! parallelism.  Swapping in the real crate remains a Cargo.toml-only
+//! change.
 
+use std::cell::Cell;
+use std::collections::VecDeque;
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
 
 /// Number of worker threads: `RAYON_NUM_THREADS` if set and positive,
 /// otherwise `available_parallelism`.
@@ -34,6 +49,234 @@ pub fn current_num_threads() -> usize {
         .map(NonZeroUsize::get)
         .unwrap_or(1)
 }
+
+// ---------------------------------------------------------------------------
+// Reusable worker pool.
+// ---------------------------------------------------------------------------
+
+/// A queued unit of pool work.  Jobs are lifetime-erased closures; the
+/// submitting call keeps every borrow alive until its completion latch
+/// trips, which is what makes the erasure sound.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Pool {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    workers: usize,
+}
+
+thread_local! {
+    /// Set on pool worker threads so nested parallel calls can detect they
+    /// must not wait on the pool they are running inside of.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+impl Pool {
+    fn submit(&self, job: Job) {
+        self.queue.lock().unwrap().push_back(job);
+        self.available.notify_one();
+    }
+}
+
+/// The process-wide pool, started on first parallel call.  Workers never
+/// exit; an idle pool costs a few parked threads.
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<&'static Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let workers = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+            .max(2)
+            - 1;
+        let pool: &'static Pool = Box::leak(Box::new(Pool {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            workers,
+        }));
+        for i in 0..workers {
+            std::thread::Builder::new()
+                .name(format!("rayon-worker-{i}"))
+                .spawn(move || {
+                    IN_POOL.with(|flag| flag.set(true));
+                    loop {
+                        let job = {
+                            let mut queue = pool.queue.lock().unwrap();
+                            loop {
+                                if let Some(job) = queue.pop_front() {
+                                    break job;
+                                }
+                                queue = pool.available.wait(queue).unwrap();
+                            }
+                        };
+                        job();
+                    }
+                })
+                .expect("spawn rayon pool worker");
+        }
+        pool
+    })
+}
+
+/// Counts completed helper jobs so a caller can block until every helper it
+/// submitted has finished (and thus no helper still borrows its stack).
+struct Latch {
+    done: Mutex<usize>,
+    all_done: Condvar,
+}
+
+impl Latch {
+    fn new() -> Self {
+        Latch {
+            done: Mutex::new(0),
+            all_done: Condvar::new(),
+        }
+    }
+
+    fn count_down(&self) {
+        let mut done = self.done.lock().unwrap();
+        *done += 1;
+        self.all_done.notify_all();
+    }
+
+    fn wait_for(&self, target: usize) {
+        let mut done = self.done.lock().unwrap();
+        while *done < target {
+            done = self.all_done.wait(done).unwrap();
+        }
+    }
+}
+
+/// Trips the latch even if the guarded job unwinds.
+struct LatchGuard<'a>(&'a Latch);
+
+impl Drop for LatchGuard<'_> {
+    fn drop(&mut self) {
+        self.0.count_down();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Work-stealing driver.
+// ---------------------------------------------------------------------------
+
+fn run_chunked<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Pre-split into several batches per worker: small enough that a thread
+    // stuck on an expensive batch strands little work, large enough that
+    // claim overhead stays negligible.
+    let batch_size = n.div_ceil(threads * 8).max(1);
+    type BatchSlot<T> = Mutex<Option<(usize, Vec<T>)>>;
+    let mut batches: Vec<BatchSlot<T>> = Vec::new();
+    {
+        let mut rest = items;
+        let mut start = 0;
+        while !rest.is_empty() {
+            let tail = rest.split_off(rest.len().min(batch_size));
+            let batch = std::mem::replace(&mut rest, tail);
+            start += batch.len();
+            let offset = start - batch.len();
+            batches.push(Mutex::new(Some((offset, batch))));
+        }
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let first_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+    let parts: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(batches.len()));
+
+    // Every participating thread runs this loop: claim the next batch via
+    // the shared cursor, map it, file the result under its input offset.
+    let claim_loop = || {
+        while !abort.load(Ordering::Relaxed) {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= batches.len() {
+                break;
+            }
+            let Some((offset, batch)) = batches[i].lock().unwrap().take() else {
+                continue;
+            };
+            let mapped = catch_unwind(AssertUnwindSafe(|| {
+                batch.into_iter().map(&f).collect::<Vec<R>>()
+            }));
+            match mapped {
+                Ok(part) => parts.lock().unwrap().push((offset, part)),
+                Err(payload) => {
+                    let mut slot = first_panic.lock().unwrap();
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                    }
+                    abort.store(true, Ordering::Relaxed);
+                }
+            }
+        }
+    };
+
+    if IN_POOL.with(|flag| flag.get()) {
+        // Nested call from inside a pool worker: waiting on the pool could
+        // deadlock (every worker might be the waiter), so fall back to
+        // scoped helper threads running the same claim loop.
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (1..threads).map(|_| scope.spawn(claim_loop)).collect();
+            claim_loop();
+            for handle in handles {
+                let _ = handle.join();
+            }
+        });
+    } else {
+        let pool = pool();
+        let helpers = (threads - 1).min(pool.workers);
+        let latch = Latch::new();
+        for _ in 0..helpers {
+            let job: Box<dyn FnOnce() + Send + '_> = Box::new(|| {
+                let _guard = LatchGuard(&latch);
+                claim_loop();
+            });
+            // SAFETY: only the lifetime is erased.  The borrows inside the
+            // job (the latch, the claim-loop state, `f`) live on this stack
+            // frame, and `latch.wait_for(helpers)` below does not return
+            // until every submitted job has run to completion (the latch is
+            // tripped by a drop guard, so a panicking job still counts
+            // down).  No job can outlive the frame it borrows from.
+            let job: Job = unsafe {
+                std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Box<dyn FnOnce() + Send>>(job)
+            };
+            pool.submit(job);
+        }
+        claim_loop();
+        latch.wait_for(helpers);
+    }
+
+    if let Some(payload) = first_panic.into_inner().unwrap() {
+        resume_unwind(payload);
+    }
+    let mut parts = parts.into_inner().unwrap();
+    parts.sort_unstable_by_key(|(offset, _)| *offset);
+    parts.into_iter().flat_map(|(_, part)| part).collect()
+}
+
+fn run_chunked_ref<'a, T, R, F>(items: &'a [T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    let refs: Vec<&'a T> = items.iter().collect();
+    run_chunked(refs, f)
+}
+
+// ---------------------------------------------------------------------------
+// Parallel-iterator façade.
+// ---------------------------------------------------------------------------
 
 /// A borrowed parallel iterator over a slice.
 pub struct ParIter<'a, T> {
@@ -79,50 +322,6 @@ impl<T: Send> IntoParallelIterator for Vec<T> {
     fn into_par_iter(self) -> IntoParIter<T> {
         IntoParIter { items: self }
     }
-}
-
-fn run_chunked<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    let threads = current_num_threads().min(items.len().max(1));
-    if threads <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-    let chunk_size = items.len().div_ceil(threads);
-    let mut chunks: Vec<Vec<T>> = Vec::new();
-    let mut items = items;
-    while !items.is_empty() {
-        let rest = items.split_off(items.len().min(chunk_size));
-        chunks.push(std::mem::replace(&mut items, rest));
-    }
-    let f = &f;
-    let mut out: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
-            .collect();
-        for handle in handles {
-            match handle.join() {
-                Ok(part) => out.push(part),
-                Err(payload) => std::panic::resume_unwind(payload),
-            }
-        }
-    });
-    out.into_iter().flatten().collect()
-}
-
-fn run_chunked_ref<'a, T, R, F>(items: &'a [T], f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&'a T) -> R + Sync,
-{
-    let refs: Vec<&'a T> = items.iter().collect();
-    run_chunked(refs, f)
 }
 
 impl<'a, T: Sync> ParIter<'a, T> {
@@ -185,6 +384,7 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use proptest::prelude::*;
 
     #[test]
     fn map_collect_preserves_order() {
@@ -225,5 +425,88 @@ mod tests {
                 panic!("boom");
             }
         });
+    }
+
+    #[test]
+    #[should_panic(expected = "late boom")]
+    fn panic_in_a_late_batch_propagates() {
+        // The panicking item sits in the last batch, after plenty of
+        // successful ones, so the abort path runs with results in flight.
+        let input: Vec<usize> = (0..4096).collect();
+        input.par_iter().for_each(|x| {
+            if *x == 4095 {
+                panic!("late boom");
+            }
+        });
+    }
+
+    /// Burn CPU proportional to `cost` and return a value derived from it,
+    /// so skewed inputs genuinely skew per-item runtime.
+    fn spin(cost: usize) -> u64 {
+        let mut acc = cost as u64;
+        for i in 0..cost * 50 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i as u64);
+        }
+        acc
+    }
+
+    #[test]
+    fn skewed_costs_match_serial_byte_for_byte() {
+        // One huge block followed by many tiny ones: the shape that static
+        // equal-size chunking handled worst.
+        let mut input = vec![20_000usize];
+        input.extend(std::iter::repeat_n(3, 1500));
+        let expect: Vec<u64> = input.iter().map(|c| spin(*c)).collect();
+        let out = input.par_iter().map(|c| spin(*c)).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn pool_is_reusable_across_calls() {
+        // Back-to-back parallel calls exercise pool reuse (the first call
+        // starts the workers, later ones only enqueue jobs).
+        for round in 0..32 {
+            let input: Vec<usize> = (0..(round * 37 + 1)).collect();
+            let expect: Vec<usize> = input.iter().map(|x| x + round).collect();
+            let out = input.par_iter().map(|x| x + round).collect();
+            assert_eq!(out, expect);
+        }
+    }
+
+    #[test]
+    fn nested_parallelism_preserves_order() {
+        // Outer par_iter over rows, inner par_iter per row: inner calls may
+        // run on pool workers and must take the scoped fallback instead of
+        // waiting on the pool they occupy.
+        let rows: Vec<usize> = (0..24).collect();
+        let out: Vec<Vec<usize>> = rows
+            .par_iter()
+            .map(|r| {
+                let inner: Vec<usize> = (0..50).collect();
+                inner.par_iter().map(|c| r * 100 + c).collect()
+            })
+            .collect();
+        for (r, row) in out.iter().enumerate() {
+            let expect: Vec<usize> = (0..50).map(|c| r * 100 + c).collect();
+            assert_eq!(row, &expect);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn stealing_matches_serial_on_random_skew(
+            costs in proptest::collection::vec(0usize..400, 0..80),
+            huge in 2_000usize..20_000,
+            huge_at in 0usize..80,
+        ) {
+            let mut input = costs;
+            let at = huge_at.min(input.len());
+            input.insert(at, huge);
+            let expect: Vec<u64> = input.iter().map(|c| spin(*c)).collect();
+            let out = input.par_iter().map(|c| spin(*c)).collect();
+            prop_assert_eq!(out, expect);
+        }
     }
 }
