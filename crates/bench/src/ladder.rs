@@ -276,6 +276,7 @@ pub fn run_config(config: &LadderConfig) -> Vec<(String, String)> {
         concat!(
             "{{\n",
             "  \"experiment\": \"ladder\",\n",
+            "  \"codec_version\": {codec_version},\n",
             "  \"workload\": \"{workload}\",\n",
             "  \"max_rows\": {max_rows},\n",
             "  \"batch_rows\": {batch_rows},\n",
@@ -293,6 +294,7 @@ pub fn run_config(config: &LadderConfig) -> Vec<(String, String)> {
             "  ]\n",
             "}}\n",
         ),
+        codec_version = transport::CODEC_VERSION,
         workload = config.workload.name(),
         max_rows = config.max_rows,
         batch_rows = config.batch_rows,
@@ -739,6 +741,7 @@ mod tests {
         let (_, json) = run_config(&config).pop().unwrap();
         for key in [
             "\"experiment\"",
+            "\"codec_version\"",
             "\"workload\"",
             "\"max_rows\"",
             "\"batch_rows\"",

@@ -20,6 +20,7 @@ use dataset::{csv, RepairEvaluation};
 use distributed::DistributedStreamingSession;
 use mlnclean::{CacheStats, ChangeSet, CleaningSession, MlnClean};
 use std::time::{Duration, Instant};
+use transport::{wire_session, FaultSchedule, WorkerCrash, CODEC_VERSION};
 
 /// Run the smoke workload and return the JSON artifact as `(file name,
 /// contents)` pairs, like every other experiment.
@@ -73,12 +74,14 @@ pub fn run(scale: Scale) -> Vec<(String, String)> {
     let reclean = run_incremental_reclean(scale);
     let mutation = run_mutation_probe(scale);
     let distributed = run_distributed_stream(scale);
-    let streaming = render_streaming(&stream, &reclean, &mutation, &distributed);
+    let wire = run_wire_probe(scale);
+    let streaming = render_streaming(&stream, &reclean, &mutation, &distributed, &wire);
 
     let json = format!(
         concat!(
             "{{\n",
             "  \"experiment\": \"smoke\",\n",
+            "  \"codec_version\": {codec_version},\n",
             "  \"workload\": \"{workload}\",\n",
             "  \"scale\": \"{scale:?}\",\n",
             "  \"rows\": {rows},\n",
@@ -114,6 +117,7 @@ pub fn run(scale: Scale) -> Vec<(String, String)> {
             "  \"streaming\": {streaming}\n",
             "}}\n",
         ),
+        codec_version = CODEC_VERSION,
         workload = workload.name(),
         scale = scale,
         rows = dirty.dirty.len(),
@@ -464,6 +468,75 @@ fn run_distributed_stream(scale: Scale) -> DistributedStreamProbe {
     }
 }
 
+/// The simulated-transport probe: the same HAI micro-batch stream driven
+/// through a wire-backed session — every coordinator/worker exchange crosses
+/// the binary codec and a hostile seeded network (delay, reordering,
+/// duplication, loss, plus one scheduled worker crash recovered by
+/// change-log replay) — asserting byte-identity with a single in-process
+/// session and recording the transport tallies.
+struct WireProbe {
+    partitions: usize,
+    merge_every: usize,
+    batches: usize,
+    counters: transport::NetCounters,
+    restarts: usize,
+    matches_single_session: bool,
+}
+
+fn run_wire_probe(scale: Scale) -> WireProbe {
+    let workload = Workload::Hai;
+    let dirty = workload.dirty(scale, 0.05, 0.5, 1).dirty;
+    let rules = workload.rules();
+    let config = workload.clean_config();
+    let (partitions, merge_every) = (2usize, 1usize);
+
+    let schedule = FaultSchedule {
+        seed: 42,
+        delay: (0, 4),
+        reorder: 0.2,
+        duplicate: 0.2,
+        loss: 0.15,
+        crashes: vec![WorkerCrash { at: 3, worker: 0 }],
+        ..FaultSchedule::reliable()
+    };
+
+    let mut single = CleaningSession::new(config.clone(), dirty.schema().clone(), rules.clone())
+        .expect("the smoke rules match the smoke schema");
+    let mut wired = wire_session(
+        config,
+        dirty.schema().clone(),
+        rules,
+        partitions,
+        merge_every,
+        schedule,
+    )
+    .expect("the smoke rules match the smoke schema");
+
+    let mut batches = 0usize;
+    for batch in datagen::row_batches(&dirty, 8) {
+        single
+            .apply(ChangeSet::inserting(batch.clone()))
+            .expect("rows match the schema");
+        wired
+            .apply(ChangeSet::inserting(batch))
+            .expect("rows match the schema");
+        batches += 1;
+    }
+    let counters = wired.backend_mut().counters();
+    let restarts = wired.backend_mut().total_restarts();
+    let wired = wired.finish();
+    let single = single.finish();
+
+    WireProbe {
+        partitions,
+        merge_every,
+        batches,
+        counters,
+        restarts,
+        matches_single_session: reports_identical(&wired, &single),
+    }
+}
+
 /// Render the streaming section of `BENCH_smoke.json` (the value of the
 /// `"streaming"` key, indented to nest under the top-level object).
 fn render_streaming(
@@ -471,6 +544,7 @@ fn render_streaming(
     reclean: &RecleanProbe,
     mutation: &MutationProbe,
     distributed: &DistributedStreamProbe,
+    wire: &WireProbe,
 ) -> String {
     let per_batch: String = stream
         .per_batch
@@ -541,6 +615,20 @@ fn render_streaming(
             "      \"shared_gammas\": {ds_shared},\n",
             "      \"partition_sizes\": {ds_sizes:?},\n",
             "      \"matches_single_session\": {ds_matches}\n",
+            "    }},\n",
+            "    \"simulated_transport\": {{\n",
+            "      \"workload\": \"HAI\",\n",
+            "      \"partitions\": {w_partitions},\n",
+            "      \"merge_every\": {w_merge_every},\n",
+            "      \"batches\": {w_batches},\n",
+            "      \"messages_sent\": {w_sent},\n",
+            "      \"messages_delivered\": {w_delivered},\n",
+            "      \"messages_dropped\": {w_dropped},\n",
+            "      \"messages_duplicated\": {w_duplicated},\n",
+            "      \"retransmits\": {w_retransmits},\n",
+            "      \"bytes_sent\": {w_bytes},\n",
+            "      \"worker_restarts\": {w_restarts},\n",
+            "      \"matches_single_session\": {w_matches}\n",
             "    }}\n",
             "  }}",
         ),
@@ -577,6 +665,17 @@ fn render_streaming(
         ds_shared = distributed.shared_gammas,
         ds_sizes = distributed.partition_sizes,
         ds_matches = distributed.matches_single_session,
+        w_partitions = wire.partitions,
+        w_merge_every = wire.merge_every,
+        w_batches = wire.batches,
+        w_sent = wire.counters.sent,
+        w_delivered = wire.counters.delivered,
+        w_dropped = wire.counters.dropped,
+        w_duplicated = wire.counters.duplicated,
+        w_retransmits = wire.counters.retransmits,
+        w_bytes = wire.counters.bytes_sent,
+        w_restarts = wire.restarts,
+        w_matches = wire.matches_single_session,
     )
 }
 
@@ -614,6 +713,12 @@ mod tests {
         assert!(json.contains("\"distributed_stream\""));
         assert!(json.contains("\"per_round_merge_seconds\""));
         assert!(json.contains("\"matches_single_session\": true"));
+        assert!(!json.contains("\"matches_single_session\": false"));
+        // The simulated-transport probe and the codec-versioned header.
+        assert!(json.contains(&format!("\"codec_version\": {CODEC_VERSION}")));
+        assert!(json.contains("\"simulated_transport\""));
+        assert!(json.contains("\"messages_sent\""));
+        assert!(json.contains("\"worker_restarts\""));
         // Crude structural sanity: balanced braces, no trailing comma issues.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
@@ -649,6 +754,30 @@ mod tests {
         assert!(
             probe.matches_single_session,
             "distributed streaming must match the single-session stream byte for byte"
+        );
+    }
+
+    #[test]
+    fn wire_probe_survives_the_hostile_schedule_byte_identically() {
+        let probe = run_wire_probe(Scale::Tiny);
+        assert_eq!(probe.partitions, 2);
+        assert_eq!(probe.batches, 8);
+        let c = probe.counters;
+        assert_eq!(
+            c.sent - c.dropped + c.duplicated,
+            c.delivered,
+            "every non-dropped copy must land: {c:?}"
+        );
+        assert!(c.dropped > 0, "the hostile schedule never dropped");
+        assert!(c.retransmits > 0, "loss never forced a retransmit");
+        assert!(
+            probe.restarts >= 1,
+            "the scheduled crash never fired ({} restarts)",
+            probe.restarts
+        );
+        assert!(
+            probe.matches_single_session,
+            "wire session must match the single session byte for byte"
         );
     }
 

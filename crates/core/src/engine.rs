@@ -34,7 +34,9 @@ use crate::rsc::RscRecord;
 use crate::session::CleaningSession;
 use dataset::{Dataset, TupleId};
 use rules::RuleSet;
-use serde::{Deserialize, Serialize};
+use serde::de::SeqAccess;
+use serde::ser::SerializeTuple;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -203,6 +205,66 @@ impl Report {
         self.index
             .as_ref()
             .expect("this driver keeps one index per partition; read Report::index instead")
+    }
+}
+
+// A report crosses the wire when a transport worker answers an `Outcome`
+// request, so it needs serde — manual because `index` is behind an `Arc`
+// (serialized through the deref, re-wrapped on decode; sharing is a process
+// property, not a wire one).  Encoded positionally as an 8-tuple, matching
+// the compact sequence framing every binary codec in this workspace uses.
+impl Serialize for Report {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut tup = serializer.serialize_tuple(8)?;
+        tup.serialize_element(&self.repaired)?;
+        tup.serialize_element(&self.deduplicated)?;
+        tup.serialize_element(&self.index.as_deref())?;
+        tup.serialize_element(&self.agp)?;
+        tup.serialize_element(&self.rsc)?;
+        tup.serialize_element(&self.fscr)?;
+        tup.serialize_element(&self.timings)?;
+        tup.serialize_element(&self.partitions)?;
+        tup.end()
+    }
+}
+
+impl<'de> Deserialize<'de> for Report {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct ReportVisitor;
+        impl<'de> serde::de::Visitor<'de> for ReportVisitor {
+            type Value = Report;
+            fn expecting(&self, f: &mut std::fmt::Formatter) -> std::fmt::Result {
+                write!(f, "an 8-field report tuple")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {
+                macro_rules! take {
+                    ($at:expr) => {
+                        seq.next_element()?.ok_or_else(|| {
+                            serde::de::Error::invalid_length($at, &"an 8-field report tuple")
+                        })?
+                    };
+                }
+                let repaired: Dataset = take!(0);
+                let deduplicated: Option<Dataset> = take!(1);
+                let index: Option<MlnIndex> = take!(2);
+                let agp: AgpRecord = take!(3);
+                let rsc: RscRecord = take!(4);
+                let fscr: FscrRecord = take!(5);
+                let timings: Timings = take!(6);
+                let partitions: Option<PartitionReport> = take!(7);
+                Ok(Report::new(
+                    repaired,
+                    deduplicated,
+                    index.map(Arc::new),
+                    agp,
+                    rsc,
+                    fscr,
+                    timings,
+                    partitions,
+                ))
+            }
+        }
+        deserializer.deserialize_tuple(8, ReportVisitor)
     }
 }
 

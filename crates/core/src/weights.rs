@@ -15,6 +15,9 @@
 use crate::gamma::Gamma;
 use crate::index::{Block, Group, MlnIndex};
 use dataset::ValuePool;
+use serde::de::SeqAccess;
+use serde::ser::SerializeSeq;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
 use std::collections::HashMap;
 
 /// Assign weights/probabilities for every γ of every block.
@@ -104,7 +107,7 @@ pub fn renormalize_block(block: &mut Block) {
 /// partitions) built over different [`ValuePool`]s agree on a γ's signature
 /// even though their raw [`dataset::ValueId`]s differ — this is what makes a
 /// [`SessionWeights`] table transferable between engines.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct GammaSignature {
     /// Index of the rule whose block the γ belongs to.
     pub rule: usize,
@@ -210,6 +213,43 @@ impl SessionWeights {
             renormalize_block(block);
         }
         overridden
+    }
+}
+
+// Serialized as a `(signature, weight)` entry list sorted by signature, so
+// the same table always yields the same wire bytes regardless of the hash
+// map's iteration order — merge-round messages must be byte-deterministic
+// for the transport replay/chaos harnesses to compare runs.
+impl Serialize for SessionWeights {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut entries: Vec<(&GammaSignature, f64)> =
+            self.weights.iter().map(|(s, &w)| (s, w)).collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        let mut seq = serializer.serialize_seq(Some(entries.len()))?;
+        for entry in &entries {
+            seq.serialize_element(entry)?;
+        }
+        seq.end()
+    }
+}
+
+impl<'de> Deserialize<'de> for SessionWeights {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct TableVisitor;
+        impl<'de> serde::de::Visitor<'de> for TableVisitor {
+            type Value = SessionWeights;
+            fn expecting(&self, f: &mut std::fmt::Formatter) -> std::fmt::Result {
+                write!(f, "a sequence of (signature, weight) entries")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {
+                let mut out = SessionWeights::new();
+                while let Some((signature, weight)) = seq.next_element::<(GammaSignature, f64)>()? {
+                    out.set(signature, weight);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_seq(TableVisitor)
     }
 }
 

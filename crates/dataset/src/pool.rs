@@ -210,6 +210,38 @@ impl PartialEq for ValuePool {
 
 impl Eq for ValuePool {}
 
+/// Serialized as the id-ordered value list only; the reverse map is derived
+/// state and is rebuilt on deserialization.  Because ids are dense in
+/// first-appearance order and the stored list is duplicate-free, re-interning
+/// the list reassigns every value its original id, so the round trip is
+/// exact.
+impl Serialize for ValuePool {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeSeq;
+        let mut seq = serializer.serialize_seq(Some(self.values.len()))?;
+        for value in &self.values {
+            seq.serialize_element(&**value)?;
+        }
+        seq.end()
+    }
+}
+
+impl<'de> Deserialize<'de> for ValuePool {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let values = Vec::<String>::deserialize(deserializer)?;
+        let mut pool = ValuePool::with_capacity(values.len());
+        for value in &values {
+            pool.intern(value);
+        }
+        if pool.len() != values.len() {
+            return Err(serde::de::Error::custom(
+                "value pool payload contains duplicate values",
+            ));
+        }
+        Ok(pool)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -22,11 +22,38 @@ impl fmt::Display for AttrId {
 }
 
 /// An ordered, named list of attributes.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schema {
     attributes: Vec<String>,
-    #[serde(skip)]
     by_name: HashMap<String, usize>,
+}
+
+/// Serialized as the attribute-name list only; the name→position map is
+/// derived state and is rebuilt on deserialization (unlike a derived impl
+/// with `#[serde(skip)]`, which would leave it empty and break name lookups
+/// on decoded schemas).
+impl Serialize for Schema {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.attributes.serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for Schema {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let attributes = Vec::<String>::deserialize(deserializer)?;
+        let mut by_name = HashMap::with_capacity(attributes.len());
+        for (idx, name) in attributes.iter().enumerate() {
+            if by_name.insert(name.clone(), idx).is_some() {
+                return Err(serde::de::Error::custom(format!(
+                    "duplicate attribute name {name:?} in serialized schema"
+                )));
+            }
+        }
+        Ok(Schema {
+            attributes,
+            by_name,
+        })
+    }
 }
 
 impl Schema {

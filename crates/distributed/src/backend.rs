@@ -1,0 +1,177 @@
+//! The partition boundary of the streaming coordinator, as a trait.
+//!
+//! [`crate::DistributedStreamingSession`] routes mutations, merges per-block
+//! state and gathers outcomes — but everything it wants from a partition fits
+//! through a narrow, message-shaped surface: *apply this slice*, *send me
+//! your pool tail*, *send me these pristine blocks*, *send me your rows*.
+//! [`PartitionBackend`] names that surface, so the same coordinator brain can
+//! drive
+//!
+//! * [`LocalPartitions`] — in-process [`CleaningSession`]s, one worker thread
+//!   per partition (the execution plan of PR 5), or
+//! * a wire-backed pool (the `transport` crate) where every call crosses a
+//!   simulated network as a serialized request/response pair.
+//!
+//! Every method is *by-value*: inputs and outputs are owned, serializable
+//! payloads, never borrows into partition state.  That is what makes the
+//! boundary promotable to a message boundary — and it is why the local
+//! backend clones pristine blocks instead of lending them (the merged block
+//! Stage I rewrites is a fresh allocation of the same order anyway).
+
+use dataset::{Schema, TupleId, ValueId};
+use mlnclean::{
+    BatchReport, Block, ChangeSet, CleanConfig, CleanError, CleaningSession, Mutation, Report,
+    SessionWeights,
+};
+use rules::RuleSet;
+use std::time::Duration;
+
+/// What the streaming coordinator asks of its partition pool — each method a
+/// request/response pair over owned payloads (see the [module docs](self)).
+///
+/// Calls take `&mut self` even when logically read-only: a wire backend must
+/// pump its network to serve them.
+pub trait PartitionBackend {
+    /// Number of partitions behind this backend (fixed for its lifetime).
+    fn partitions(&self) -> usize;
+
+    /// Apply one routed change set: `slices[p]` holds partition `p`'s
+    /// mutations in partition-local coordinates.  Returns each partition's
+    /// [`BatchReport`], `None` for partitions whose slice was empty (their
+    /// session state is untouched).
+    ///
+    /// The coordinator pre-validates the change set, so a slice cannot fail
+    /// validation; backends may panic on a malformed slice.
+    fn apply_slices(&mut self, slices: Vec<Vec<Mutation>>) -> Vec<Option<BatchReport>>;
+
+    /// The values partition `p` interned since the coordinator last asked:
+    /// its pool's values with ids `from..`, in id order.
+    fn pool_tail(&mut self, p: usize, from: usize) -> Vec<String>;
+
+    /// For every partition, the pristine (pre-Stage-I) state of the listed
+    /// blocks, in the listed order: `result[p][i]` is partition `p`'s copy of
+    /// block `blocks[i]`, in partition-local pool/tuple coordinates.
+    fn pristine_blocks(&mut self, blocks: &[usize]) -> Vec<Vec<Block>>;
+
+    /// Partition `p`'s current rows in local order, as partition-local value
+    /// ids (the coordinator translates them through its tables).
+    fn gather_rows(&mut self, p: usize) -> Vec<Vec<ValueId>>;
+
+    /// Aggregate index-maintenance wall clock across all partitions (the
+    /// per-worker stage sum a [`Report`] folds into its timings).
+    fn index_clock(&mut self) -> Duration;
+
+    /// Inject the merged weight table into partition `p` and draw its local
+    /// outcome (provenance and row ids in partition coordinates).
+    fn partition_outcome(&mut self, p: usize, weights: SessionWeights) -> Report;
+}
+
+/// The in-process backend: one [`CleaningSession`] per partition, change-set
+/// slices applied concurrently on scoped worker threads.
+#[derive(Debug)]
+pub struct LocalPartitions {
+    sessions: Vec<CleaningSession>,
+}
+
+impl LocalPartitions {
+    /// Open `partitions` sessions for `schema` under `rules`.
+    ///
+    /// Fails like [`CleaningSession::new`] does (empty rule set, rule
+    /// referencing an unknown attribute), plus [`CleanError::Partition`] on
+    /// zero partitions.
+    pub fn new(
+        config: CleanConfig,
+        schema: Schema,
+        rules: RuleSet,
+        partitions: usize,
+    ) -> Result<Self, CleanError> {
+        if partitions == 0 {
+            return Err(CleanError::Partition { workers: 0 });
+        }
+        let mut sessions = Vec::with_capacity(partitions);
+        for _ in 0..partitions {
+            sessions.push(CleaningSession::new(
+                config.clone(),
+                schema.clone(),
+                rules.clone(),
+            )?);
+        }
+        Ok(LocalPartitions { sessions })
+    }
+}
+
+impl PartitionBackend for LocalPartitions {
+    fn partitions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    fn apply_slices(&mut self, slices: Vec<Vec<Mutation>>) -> Vec<Option<BatchReport>> {
+        // Partition ingest: every session applies its slice on its own
+        // worker thread (sessions hold disjoint rows, so the incremental
+        // index maintenance parallelizes across partitions).
+        let sessions = &mut self.sessions;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = sessions
+                .iter_mut()
+                .zip(slices)
+                .map(|(session, muts)| {
+                    scope.spawn(move || {
+                        if muts.is_empty() {
+                            None
+                        } else {
+                            let changes: ChangeSet = muts.into_iter().collect();
+                            Some(
+                                session
+                                    .apply(changes)
+                                    .expect("the coordinator pre-validated the change set"),
+                            )
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("partition worker panicked"))
+                .collect()
+        })
+    }
+
+    fn pool_tail(&mut self, p: usize, from: usize) -> Vec<String> {
+        self.sessions[p]
+            .dataset()
+            .pool()
+            .iter()
+            .skip(from)
+            .map(|(_, value)| value.to_string())
+            .collect()
+    }
+
+    fn pristine_blocks(&mut self, blocks: &[usize]) -> Vec<Vec<Block>> {
+        self.sessions
+            .iter()
+            .map(|session| {
+                let index = session.pristine_index();
+                blocks.iter().map(|&b| index.blocks[b].clone()).collect()
+            })
+            .collect()
+    }
+
+    fn gather_rows(&mut self, p: usize) -> Vec<Vec<ValueId>> {
+        let dataset = self.sessions[p].dataset();
+        (0..dataset.len())
+            .map(|t| dataset.row_ids(TupleId(t)).to_vec())
+            .collect()
+    }
+
+    fn index_clock(&mut self) -> Duration {
+        self.sessions
+            .iter()
+            .map(|session| session.timings().index)
+            .sum()
+    }
+
+    fn partition_outcome(&mut self, p: usize, weights: SessionWeights) -> Report {
+        self.sessions[p].inject_weights(weights);
+        self.sessions[p].outcome()
+    }
+}

@@ -31,11 +31,13 @@
 //! is byte-identical to a single session over the same stream (pinned by
 //! `tests/streaming_equivalence.rs`).
 
+pub mod backend;
 pub mod partition;
 pub mod runner;
 pub mod streaming;
 pub mod weights;
 
+pub use backend::{LocalPartitions, PartitionBackend};
 pub use partition::{partition_dataset, route_row, PartitionConfig, Partitioning};
 pub use runner::DistributedMlnClean;
 pub use streaming::{DistributedStreamingMlnClean, DistributedStreamingSession};

@@ -53,16 +53,20 @@
 //! staler intermediate state — the final outcome is byte-identical either
 //! way.
 
+use crate::backend::{LocalPartitions, PartitionBackend};
 use crate::partition::route_row;
 use dataset::{ArityMismatch, Dataset, Schema, TupleId, ValueId, ValuePool};
 use mlnclean::index::{cmp_resolved, cmp_resolved_gammas};
 use mlnclean::session::nth_surviving;
 use mlnclean::{
     apply_tuple_fusion, AgpRecord, AgpStage, BatchReport, Block, ChangeSet, CleanConfig,
-    CleanError, CleaningSession, ConflictResolver, Engine, FscrRecord, Gamma, Group, MlnIndex,
-    Mutation, PartitionReport, Report, RscRecord, RscStage, SessionWeights, Timings, TupleFusion,
+    CleanError, ConflictResolver, Engine, FscrRecord, Gamma, Group, MlnIndex, Mutation,
+    PartitionReport, Report, RscRecord, RscStage, SessionWeights, Timings, TupleFusion,
     WeightLearningStage,
 };
+// Referenced by the module and method docs only.
+#[allow(unused_imports)]
+use mlnclean::CleaningSession;
 use rules::RuleSet;
 use std::collections::HashMap;
 use std::time::Instant;
@@ -71,18 +75,37 @@ use std::time::Instant;
 /// [`CleaningSession`]s behind the same `apply`/`outcome`/`finish` surface a
 /// single session offers.
 ///
+/// The coordinator is generic over its [`PartitionBackend`] — the default
+/// [`LocalPartitions`] keeps the sessions in-process (one worker thread per
+/// partition), while the `transport` crate plugs in a wire-backed pool where
+/// every backend call crosses a simulated network.  The routing/merge brain
+/// is identical either way, which is what pins the wire-backed service
+/// byte-identical to this driver.
+///
 /// See the [module docs](self) for the execution plan; see
 /// [`DistributedStreamingMlnClean`] for the [`Engine`] front door over a
 /// static dataset.
 #[derive(Debug)]
-pub struct DistributedStreamingSession {
+pub struct DistributedStreamingSession<B: PartitionBackend = LocalPartitions> {
     config: CleanConfig,
     merge_every: usize,
-    /// The accumulated (dirty) rows in global stream order — what a single
-    /// session's dataset would hold.
-    mirror: Dataset,
-    /// One incremental session per partition, over disjoint row subsets.
-    sessions: Vec<CleaningSession>,
+    /// The stream's schema (coordinator-resident copy: O(arity)).
+    schema: Schema,
+    /// The coordinator value pool: every value routed through `apply` is
+    /// interned here eagerly, so this pool is always a superset of every
+    /// partition pool (what the translation tables rely on).  O(distinct
+    /// values), not O(cells) — the coordinator holds **no** row payload; the
+    /// rows live only in the partitions and are gathered on demand by
+    /// [`DistributedStreamingSession::gather_dataset`].
+    pool: ValuePool,
+    /// Net row count of the stream (what the mirror dataset's length was).
+    rows: usize,
+    /// The partition pool: in-process sessions or a wire-backed service.
+    backend: B,
+    /// Per partition: its session's total group count, refreshed from every
+    /// [`BatchReport`] it returns (partitions untouched by a change set keep
+    /// their last count) — spares the coordinator a round trip per batch.
+    group_counts: Vec<usize>,
     /// Per partition: the global ids of its rows, ascending — the
     /// local-to-global mapping provenance is remapped through (rows route in
     /// stream order, so partition-local order is global order restricted to
@@ -111,10 +134,30 @@ pub struct DistributedStreamingSession {
     timings: Timings,
 }
 
+/// Entry counts of every collection a [`DistributedStreamingSession`]
+/// coordinator keeps resident between change sets, by category — see
+/// [`DistributedStreamingSession::footprint`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoordinatorFootprint {
+    /// Per-row id bookkeeping: global→partition home map, partition id
+    /// lists, fusion memo slots.  Grows O(rows), independent of arity.
+    pub row_entries: usize,
+    /// Partition-local → coordinator value-id translation entries.  Grows
+    /// O(distinct values summed over partitions).
+    pub translate_entries: usize,
+    /// Distinct values interned in the coordinator pool.
+    pub pool_values: usize,
+    /// Per-block dirtiness/statistics slots.  Fixed by the rule set.
+    pub block_entries: usize,
+    /// Resident dataset cells.  Always 0 since the coordinator shed its
+    /// mirror dataset: rows live only in the partitions.
+    pub cell_entries: usize,
+}
+
 impl DistributedStreamingSession {
-    /// Open a streaming coordinator over `partitions` sessions for `schema`
-    /// under `rules`, merging every `merge_every` change sets (clamped to at
-    /// least 1).
+    /// Open a streaming coordinator over `partitions` in-process sessions
+    /// for `schema` under `rules`, merging every `merge_every` change sets
+    /// (clamped to at least 1).
     ///
     /// Fails like [`CleaningSession::new`] does (empty rule set, rule
     /// referencing an unknown attribute), plus
@@ -126,25 +169,41 @@ impl DistributedStreamingSession {
         partitions: usize,
         merge_every: usize,
     ) -> Result<Self, CleanError> {
+        let backend =
+            LocalPartitions::new(config.clone(), schema.clone(), rules.clone(), partitions)?;
+        Self::with_backend(config, schema, rules, backend, merge_every)
+    }
+}
+
+impl<B: PartitionBackend> DistributedStreamingSession<B> {
+    /// Open a streaming coordinator over an already-running partition pool —
+    /// the constructor wire-backed services use ([`Self::new`] is the
+    /// in-process shorthand).
+    ///
+    /// The backend's partitions must be fresh (empty) sessions for `schema`
+    /// under `rules`.  Fails on zero partitions or a rule set the schema
+    /// rejects.
+    pub fn with_backend(
+        config: CleanConfig,
+        schema: Schema,
+        rules: RuleSet,
+        backend: B,
+        merge_every: usize,
+    ) -> Result<Self, CleanError> {
+        let partitions = backend.partitions();
         if partitions == 0 {
             return Err(CleanError::Partition { workers: 0 });
         }
-        let mut sessions = Vec::with_capacity(partitions);
-        for _ in 0..partitions {
-            sessions.push(CleaningSession::new(
-                config.clone(),
-                schema.clone(),
-                rules.clone(),
-            )?);
-        }
-        let mirror = Dataset::new(schema);
-        let cleaned = MlnIndex::build_serial(&mirror, &rules)?;
+        let cleaned = MlnIndex::build_serial(&Dataset::new(schema.clone()), &rules)?;
         let blocks = cleaned.block_count();
         Ok(DistributedStreamingSession {
             config,
             merge_every: merge_every.max(1),
-            mirror,
-            sessions,
+            schema,
+            pool: ValuePool::new(),
+            rows: 0,
+            backend,
+            group_counts: vec![0; partitions],
             parts: vec![Vec::new(); partitions],
             home: Vec::new(),
             translate: vec![Vec::new(); partitions],
@@ -162,7 +221,13 @@ impl DistributedStreamingSession {
 
     /// Number of partitions (= worker sessions).
     pub fn partition_count(&self) -> usize {
-        self.sessions.len()
+        self.backend.partitions()
+    }
+
+    /// The partition backend (for wire-backed services: transport counters,
+    /// chaos hooks).
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
     }
 
     /// The merge cadence K: dirty blocks are re-merged and re-cleaned every
@@ -173,12 +238,12 @@ impl DistributedStreamingSession {
 
     /// Net rows held across all partitions.
     pub fn len(&self) -> usize {
-        self.mirror.len()
+        self.rows
     }
 
     /// Whether the coordinator currently holds no rows.
     pub fn is_empty(&self) -> bool {
-        self.mirror.is_empty()
+        self.rows == 0
     }
 
     /// Change sets applied so far.
@@ -186,9 +251,57 @@ impl DistributedStreamingSession {
         self.batches
     }
 
-    /// The accumulated (dirty) rows in global stream order.
-    pub fn dataset(&self) -> &Dataset {
-        &self.mirror
+    /// Gather the accumulated (dirty) rows in global stream order from the
+    /// partitions — byte-identical to the dataset a single session fed the
+    /// same stream would hold.
+    ///
+    /// This is an O(rows) *transient* materialization: since the coordinator
+    /// shed its mirror dataset (see
+    /// [`DistributedStreamingSession::footprint`]), row payloads live only
+    /// in the partitions and are translated into the coordinator pool on
+    /// demand through the partition id lists.
+    pub fn gather_dataset(&mut self) -> Dataset {
+        self.extend_translations();
+        let partitions = self.backend.partitions();
+        let mut part_rows: Vec<Vec<Vec<ValueId>>> = (0..partitions)
+            .map(|p| self.backend.gather_rows(p))
+            .collect();
+        let mut gathered = Dataset::with_pool(self.schema.clone(), self.pool.clone(), self.rows);
+        // locals[p] walks partition p's rows in ascending local (= global
+        // stream) order; merging by smallest global id restores stream order.
+        let mut locals = vec![0usize; partitions];
+        for g in 0..self.rows {
+            let p = self.home[g];
+            let local = locals[p];
+            locals[p] += 1;
+            debug_assert_eq!(self.parts[p][local].index(), g);
+            let row: Vec<ValueId> = std::mem::take(&mut part_rows[p][local])
+                .iter()
+                .map(|v| self.translate[p][v.index()])
+                .collect();
+            gathered
+                .push_row_ids(&row)
+                .expect("partition rows share the stream schema");
+        }
+        gathered
+    }
+
+    /// The coordinator's resident-state footprint, in entry counts per
+    /// category — the regression probe pinning the routing-only property:
+    /// everything the coordinator retains between change sets is O(ids)
+    /// (row-id maps, value-translation tables, per-block state), never
+    /// O(cells) row payload (`cell_entries` is the count of resident dataset
+    /// cells and must stay 0).
+    pub fn footprint(&self) -> CoordinatorFootprint {
+        CoordinatorFootprint {
+            row_entries: self.home.len()
+                + self.fusions.len()
+                + self.parts.iter().map(Vec::len).sum::<usize>(),
+            translate_entries: self.translate.iter().map(Vec::len).sum(),
+            pool_values: self.pool.len(),
+            block_entries: self.dirty.len() + self.shared_per_block.len(),
+            cell_entries: 0,
+        }
     }
 
     /// Rows per partition, in partition order.
@@ -214,8 +327,8 @@ impl DistributedStreamingSession {
     /// sequential-id semantics [`CleaningSession::apply`] validates, so a
     /// failed call leaves the coordinator and every partition untouched.
     fn validate(&self, changes: &ChangeSet) -> Result<(), CleanError> {
-        let arity = self.mirror.schema().arity();
-        let mut rows = self.mirror.len();
+        let arity = self.schema.arity();
+        let mut rows = self.rows;
         for mutation in changes.iter() {
             match mutation {
                 Mutation::Insert(batch) => {
@@ -266,7 +379,7 @@ impl DistributedStreamingSession {
     pub fn apply(&mut self, changes: ChangeSet) -> Result<BatchReport, CleanError> {
         self.validate(&changes)?;
         let started = Instant::now();
-        let partitions = self.sessions.len();
+        let partitions = self.backend.partitions();
         let mut pending: Vec<Vec<Mutation>> = vec![Vec::new(); partitions];
         // Virtual rows a partition already has marked for deletion this
         // change set — its session interprets ids sequentially, so
@@ -275,15 +388,23 @@ impl DistributedStreamingSession {
         // Virtual global row indices marked for deletion, kept sorted.
         let mut removed: Vec<usize> = Vec::new();
         let mut inserted = 0usize;
-        let mut updated_cells = 0usize;
+        // Virtual row count during the walk: doomed rows stay in place until
+        // the single compaction below, exactly like the mirror-era length.
+        let mut virtual_rows = self.rows;
 
         for mutation in changes.into_mutations() {
             match mutation {
                 Mutation::Insert(rows) => {
                     for row in rows {
                         let p = route_row(&row, partitions);
-                        let g = TupleId(self.mirror.len());
-                        self.mirror.push_row(row.clone()).expect("validated above");
+                        let g = TupleId(virtual_rows);
+                        virtual_rows += 1;
+                        // Intern eagerly so the coordinator pool stays a
+                        // superset of every partition pool (in the exact
+                        // stream order the mirror used to intern in).
+                        for value in &row {
+                            self.pool.intern(value);
+                        }
                         self.home.push(p);
                         self.parts[p].push(g);
                         self.fusions.push(None);
@@ -295,11 +416,12 @@ impl DistributedStreamingSession {
                     }
                 }
                 Mutation::Update(t, attr, value) => {
+                    // No-op updates (cell already holds the value) are
+                    // detected by the home partition's session, which skips
+                    // them exactly like a single session would; the routing
+                    // layer no longer holds cell state to check against.
                     let v = nth_surviving(&removed, t.index());
-                    if self.mirror.value(TupleId(v), attr) == value {
-                        continue; // no-op, exactly like the single session
-                    }
-                    self.mirror.set_value(TupleId(v), attr, value.clone());
+                    self.pool.intern(&value);
                     let p = self.home[v];
                     let vl = self.parts[p]
                         .binary_search(&TupleId(v))
@@ -307,7 +429,6 @@ impl DistributedStreamingSession {
                     let local = vl - removed_locals[p].partition_point(|&r| r < vl);
                     pending[p].push(Mutation::Update(TupleId(local), attr, value));
                     self.fusions[v] = None;
-                    updated_cells += 1;
                 }
                 Mutation::Delete(t) => {
                     let v = nth_surviving(&removed, t.index());
@@ -326,9 +447,8 @@ impl DistributedStreamingSession {
 
         // One global compaction for all deletes of the change set.
         let deleted_rows = removed.len();
+        self.rows = virtual_rows - deleted_rows;
         if !removed.is_empty() {
-            let removed_ids: Vec<TupleId> = removed.iter().map(|&r| TupleId(r)).collect();
-            self.mirror.remove_rows(&removed_ids);
             let mut idx = 0usize;
             self.home.retain(|_| {
                 let keep = removed.binary_search(&idx).is_err();
@@ -357,50 +477,25 @@ impl DistributedStreamingSession {
             }
         }
 
-        // Partition ingest: every session applies its slice on its own
-        // worker thread (sessions hold disjoint rows, so the incremental
-        // index maintenance parallelizes across partitions).
-        let sessions = &mut self.sessions;
-        let reports: Vec<Option<BatchReport>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = sessions
-                .iter_mut()
-                .zip(pending)
-                .map(|(session, muts)| {
-                    scope.spawn(move || {
-                        if muts.is_empty() {
-                            None
-                        } else {
-                            let changes: ChangeSet = muts.into_iter().collect();
-                            Some(
-                                session
-                                    .apply(changes)
-                                    .expect("the coordinator pre-validated the change set"),
-                            )
-                        }
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("partition worker panicked"))
-                .collect()
-        });
+        // Partition ingest: the backend applies every partition's slice
+        // (in-process: one worker thread per partition; over the wire: one
+        // request/response per partition).
+        let reports = self.backend.apply_slices(pending);
         self.timings.partition += started.elapsed();
 
         let mut touched_groups = 0usize;
+        let mut updated_cells = 0usize;
         let mut touched_now = vec![false; self.dirty.len()];
-        for report in reports.iter().flatten() {
+        for (p, report) in reports.iter().enumerate() {
+            let Some(report) = report else { continue };
             touched_groups += report.touched_groups;
+            updated_cells += report.updated_cells;
+            self.group_counts[p] = report.total_groups;
             for &b in &report.touched_blocks {
                 self.dirty[b] = true;
                 touched_now[b] = true;
             }
         }
-        debug_assert!(self
-            .sessions
-            .iter()
-            .zip(&self.parts)
-            .all(|(s, p)| s.len() == p.len()));
 
         self.batches += 1;
         let report = BatchReport {
@@ -408,21 +503,11 @@ impl DistributedStreamingSession {
             rows: inserted,
             updated_cells,
             deleted_rows,
-            total_rows: self.mirror.len(),
+            total_rows: self.rows,
             dirty_blocks: self.dirty.iter().filter(|&&d| d).count(),
             total_blocks: self.dirty.len(),
             touched_groups,
-            total_groups: self
-                .sessions
-                .iter()
-                .map(|s| {
-                    s.pristine_index()
-                        .blocks
-                        .iter()
-                        .map(|b| b.group_count())
-                        .sum::<usize>()
-                })
-                .sum(),
+            total_groups: self.group_counts.iter().sum(),
             touched_blocks: touched_now
                 .iter()
                 .enumerate()
@@ -441,41 +526,38 @@ impl DistributedStreamingSession {
     /// value passed through the coordinator first (the mirror interns each
     /// mutation before routing it), so the lookup cannot miss.
     fn extend_translations(&mut self) {
-        let pool = self.mirror.pool();
-        for (session, map) in self.sessions.iter().zip(&mut self.translate) {
-            let local_pool = session.dataset().pool();
-            if map.len() == local_pool.len() {
-                continue;
-            }
-            for (id, value) in local_pool.iter().skip(map.len()) {
-                debug_assert_eq!(id.index(), map.len());
-                map.push(
-                    pool.lookup(value)
+        for p in 0..self.backend.partitions() {
+            let from = self.translate[p].len();
+            let tail = self.backend.pool_tail(p, from);
+            for value in &tail {
+                self.translate[p].push(
+                    self.pool
+                        .lookup(value)
                         .expect("every partition value passed through the coordinator"),
                 );
             }
         }
     }
 
-    /// Merge one global block from the partitions' pristine blocks: the
-    /// support of identical γs (same resolved reason/result values) is
+    /// Merge one global block from the partitions' pristine blocks
+    /// (`parts_blocks[p]` is partition `p`'s copy, fetched from the backend):
+    /// the support of identical γs (same resolved reason/result values) is
     /// summed across partitions, value ids translate into the coordinator
     /// pool, tuple ids remap through the partition id lists, and groups/γs
     /// restore the index's string-sorted ordering — byte-identical to what
     /// a single session's pristine block over the same rows holds.  Also
     /// returns the number of γs contributed by more than one partition.
-    fn merge_block(&self, b: usize) -> (Block, usize) {
-        let template = &self.sessions[0].pristine_index().blocks[b];
+    fn merge_block(&self, parts_blocks: &[&Block]) -> (Block, usize) {
+        let template = parts_blocks[0];
         let rule = template.rule;
         let reason_attrs = template.reason_attrs.clone();
         let result_attrs = template.result_attrs.clone();
-        let pool = self.mirror.pool();
+        let pool = &self.pool;
 
         // group key -> full γ key -> (merged γ, contributing partitions).
         type GammasByKey = HashMap<Vec<ValueId>, (Gamma, usize)>;
         let mut groups: HashMap<Vec<ValueId>, GammasByKey> = HashMap::new();
-        for (p, session) in self.sessions.iter().enumerate() {
-            let part_block = &session.pristine_index().blocks[b];
+        for (p, part_block) in parts_blocks.iter().enumerate() {
             for group in &part_block.groups {
                 for gamma in &group.gammas {
                     let vl: Vec<ValueId> = gamma
@@ -555,14 +637,18 @@ impl DistributedStreamingSession {
         }
         self.sync_cleaned_pool();
 
-        // Gather: merge the per-partition pristine blocks.
+        // Gather: fetch every partition's copy of the dirty blocks from the
+        // backend (one message-shaped exchange), then merge them.
         let started = Instant::now();
         self.extend_translations();
         let dirty_idx: Vec<usize> = (0..self.dirty.len()).filter(|&i| self.dirty[i]).collect();
+        let parts_blocks = self.backend.pristine_blocks(&dirty_idx);
         let merged: Vec<(usize, Block, usize)> = dirty_idx
             .iter()
-            .map(|&b| {
-                let (block, shared) = self.merge_block(b);
+            .enumerate()
+            .map(|(bi, &b)| {
+                let copies: Vec<&Block> = parts_blocks.iter().map(|part| &part[bi]).collect();
+                let (block, shared) = self.merge_block(&copies);
                 (b, block, shared)
             })
             .collect();
@@ -579,7 +665,7 @@ impl DistributedStreamingSession {
         }
 
         let config = &self.config;
-        let pool = self.mirror.pool();
+        let pool = &self.pool;
 
         // AGP on the merged blocks, one worker per block.
         let started = Instant::now();
@@ -619,7 +705,7 @@ impl DistributedStreamingSession {
 
         // RSC on the merged blocks, one worker per block.
         let config = &self.config;
-        let pool = self.mirror.pool();
+        let pool = &self.pool;
         let started = Instant::now();
         let finished: Vec<(usize, Block, usize, AgpRecord, RscRecord)> =
             std::thread::scope(|scope| {
@@ -655,9 +741,9 @@ impl DistributedStreamingSession {
     /// stream interned new values (pools are append-only, so a length check
     /// spots growth).
     fn sync_cleaned_pool(&mut self) {
-        if self.mirror.pool().len() != self.cleaned.pool().len() {
+        if self.pool.len() != self.cleaned.pool().len() {
             let blocks = std::mem::take(&mut self.cleaned.blocks);
-            self.cleaned = MlnIndex::from_parts(blocks, self.mirror.pool().clone());
+            self.cleaned = MlnIndex::from_parts(blocks, self.pool.clone());
         }
     }
 
@@ -688,18 +774,19 @@ impl DistributedStreamingSession {
     /// shared-γ count of the weight merge.
     pub fn outcome(&mut self) -> Report {
         self.ensure_fusions();
-        let repaired = self.mirror.clone();
+        let repaired = self.gather_dataset();
         let cleaned = self.cleaned.clone();
         self.assemble(repaired, cleaned)
     }
 
     /// Close the stream, moving the accumulated state into the final
-    /// [`Report`] (no dataset/index copies, unlike
-    /// [`DistributedStreamingSession::outcome`]).
+    /// [`Report`] (no index copy, unlike
+    /// [`DistributedStreamingSession::outcome`]; the repaired dataset is
+    /// gathered from the partitions either way — the coordinator holds no
+    /// resident copy to move out).
     pub fn finish(mut self) -> Report {
         self.ensure_fusions();
-        let schema = self.mirror.schema().clone();
-        let repaired = std::mem::replace(&mut self.mirror, Dataset::new(schema));
+        let repaired = self.gather_dataset();
         let cleaned = std::mem::replace(
             &mut self.cleaned,
             MlnIndex::from_parts(Vec::new(), ValuePool::new()),
@@ -716,9 +803,10 @@ impl DistributedStreamingSession {
     /// # Panics
     /// Panics when `p` is out of range.
     pub fn partition_outcome(&mut self, p: usize) -> Report {
+        assert!(p < self.backend.partitions(), "partition {p} out of range");
         self.merge_round();
-        self.sessions[p].inject_weights(self.merged_weights.clone());
-        self.sessions[p].outcome()
+        self.backend
+            .partition_outcome(p, self.merged_weights.clone())
     }
 
     /// Apply the memoised fusions and assemble the unified report — the
@@ -754,9 +842,7 @@ impl DistributedStreamingSession {
         // partitions' (concurrent) ingest clocks, like the batch runner's
         // per-worker stage sums.
         let mut timings = self.timings;
-        for session in &self.sessions {
-            timings.index += session.timings().index;
-        }
+        timings.index += self.backend.index_clock();
 
         Report::new(
             repaired,
@@ -964,7 +1050,7 @@ mod tests {
         session
             .apply(ChangeSet::inserting(hospital_rows(&dirty)))
             .unwrap();
-        let before = csv::to_csv(session.dataset());
+        let before = csv::to_csv(&session.gather_dataset());
         // Valid prefix, out-of-bounds tail: nothing may apply anywhere.
         let err = session
             .apply(ChangeSet::new().delete(TupleId(0)).delete(TupleId(5)))
@@ -976,7 +1062,7 @@ mod tests {
                 rows: 5
             }
         );
-        assert_eq!(csv::to_csv(session.dataset()), before);
+        assert_eq!(csv::to_csv(&session.gather_dataset()), before);
         assert_eq!(session.partition_sizes().iter().sum::<usize>(), 6);
         // Unknown attributes are caught too.
         let err = session
@@ -1055,5 +1141,67 @@ mod tests {
             csv::to_csv(&streamed.repaired)
         );
         assert_eq!(batch.fscr, streamed.fscr);
+    }
+
+    /// The routing-only regression probe: the coordinator's resident state
+    /// is O(ids) — it never retains row payload (`cell_entries` stays 0 and
+    /// the per-row bookkeeping is independent of arity).
+    #[test]
+    fn coordinator_footprint_is_o_ids_not_o_cells() {
+        // Two streams over the same fixed value domain, differing only in
+        // arity (wide = every row cloned to twice the width).  A mirror-era
+        // coordinator would hold rows × arity cells; a routing-only one holds
+        // identical id-state for both.
+        let narrow_schema = Schema::new(&["A", "B", "C"]);
+        let wide_schema = Schema::new(&["A", "B", "C", "D", "E", "F"]);
+        let rules = rules::parse_rules("FD: A -> B").unwrap();
+        let rows: Vec<Vec<String>> = (0..32)
+            .map(|i| {
+                vec![
+                    format!("k{}", i % 4),
+                    format!("v{}", i % 8),
+                    format!("w{}", i % 2),
+                ]
+            })
+            .collect();
+        let wide_rows: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                let mut doubled = r.clone();
+                doubled.extend(r.iter().cloned());
+                doubled
+            })
+            .collect();
+        let config = CleanConfig::default().with_tau(1);
+        let mut narrow =
+            DistributedStreamingSession::new(config.clone(), narrow_schema, rules.clone(), 2, 1)
+                .unwrap();
+        let mut wide = DistributedStreamingSession::new(config, wide_schema, rules, 2, 1).unwrap();
+        narrow.apply(ChangeSet::inserting(rows.clone())).unwrap();
+        wide.apply(ChangeSet::inserting(wide_rows)).unwrap();
+
+        let narrow_fp = narrow.footprint();
+        let wide_fp = wide.footprint();
+        // No resident cells, ever.
+        assert_eq!(narrow_fp.cell_entries, 0);
+        assert_eq!(wide_fp.cell_entries, 0);
+        // Same value domain ⇒ same pool/translate state; doubling the arity
+        // leaves the per-row id bookkeeping untouched (it would double the
+        // cell count of a resident mirror).
+        assert_eq!(narrow_fp.row_entries, wide_fp.row_entries);
+        assert_eq!(narrow_fp.pool_values, wide_fp.pool_values);
+        assert_eq!(narrow_fp.translate_entries, wide_fp.translate_entries);
+
+        // Row bookkeeping is linear in rows: stream the same rows again and
+        // the per-row entries double exactly while the pool stays put.
+        narrow.apply(ChangeSet::inserting(rows)).unwrap();
+        let grown = narrow.footprint();
+        assert_eq!(grown.row_entries, 2 * narrow_fp.row_entries);
+        assert_eq!(grown.pool_values, narrow_fp.pool_values);
+        assert_eq!(grown.cell_entries, 0);
+
+        // The gathered dataset is the transient O(cells) view.
+        assert_eq!(narrow.gather_dataset().len(), 64);
+        assert_eq!(wide.gather_dataset().len(), 32);
     }
 }

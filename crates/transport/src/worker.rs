@@ -1,0 +1,261 @@
+//! A partition worker: one [`CleaningSession`] behind an idempotent request
+//! handler, restartable from its durable change log.
+//!
+//! ## Exactly-once applies over at-least-once delivery
+//!
+//! The RPC layer retransmits requests until a response arrives, so a worker
+//! can see the same [`Request::ApplyBatch`] many times (and, after healing
+//! a long outage, arbitrarily stale copies).  The handler is idempotent by
+//! batch sequence number:
+//!
+//! * `batch_seq == next expected` — journal the change set, apply it, cache
+//!   and return the report;
+//! * `batch_seq <  next expected` — a duplicate of an already-applied
+//!   batch: re-acknowledge from the report cache without touching state;
+//! * `batch_seq >  next expected` — unreachable under the coordinator's
+//!   no-pipelining rule (it never issues batch `n+1` before every worker
+//!   acknowledged batch `n`); the worker panics to surface protocol bugs.
+//!
+//! ## Crash and replay
+//!
+//! [`PartitionWorker::crash_and_recover`] models a process kill: session and
+//! report cache are discarded, then rebuilt by replaying the change log —
+//! decode each journaled frame, re-apply in order, re-derive the reports.
+//! Because the cleaning pipeline is deterministic, the recovered session is
+//! byte-identical to the lost one, which is exactly what the chaos tests
+//! pin.
+
+use crate::codec;
+use crate::log::{ChangeLog, MemLog};
+use crate::message::{Request, Response};
+use dataset::{Schema, TupleId};
+use mlnclean::{BatchReport, ChangeSet, CleanConfig, CleanError, CleaningSession};
+use rules::RuleSet;
+
+/// One partition's state behind the wire (see the [module docs](self)).
+#[derive(Debug)]
+pub struct PartitionWorker {
+    config: CleanConfig,
+    schema: Schema,
+    rules: RuleSet,
+    session: CleaningSession,
+    log: MemLog,
+    reports: Vec<BatchReport>,
+    restarts: usize,
+}
+
+impl PartitionWorker {
+    /// Open a worker with an empty session and log.  Fails like
+    /// [`CleaningSession::new`] does.
+    pub fn new(config: CleanConfig, schema: Schema, rules: RuleSet) -> Result<Self, CleanError> {
+        let session = CleaningSession::new(config.clone(), schema.clone(), rules.clone())?;
+        Ok(PartitionWorker {
+            config,
+            schema,
+            rules,
+            session,
+            log: MemLog::new(),
+            reports: Vec::new(),
+            restarts: 0,
+        })
+    }
+
+    /// Batches applied so far (== next expected sequence number).
+    pub fn applied_batches(&self) -> u64 {
+        self.reports.len() as u64
+    }
+
+    /// How many times this worker was crashed and recovered.
+    pub fn restarts(&self) -> usize {
+        self.restarts
+    }
+
+    /// The worker's durable journal.
+    pub fn log(&self) -> &MemLog {
+        &self.log
+    }
+
+    /// Handle one request (see the [module docs](self) for the idempotency
+    /// contract).
+    pub fn handle(&mut self, request: Request) -> Response {
+        match request {
+            Request::ApplyBatch { batch_seq, changes } => {
+                let next = self.reports.len() as u64;
+                if batch_seq < next {
+                    // Duplicate delivery of an applied batch: re-ack from
+                    // the cache, leaving session state untouched.
+                    return Response::Applied {
+                        batch_seq,
+                        report: self.reports[batch_seq as usize].clone(),
+                    };
+                }
+                assert_eq!(
+                    batch_seq, next,
+                    "coordinator pipelined a batch past an unacknowledged one"
+                );
+                // Journal first, then apply: if the apply is reached, the
+                // log already explains it (the crash model only fires
+                // between deliveries, so the pair is atomic anyway).
+                self.log.append(
+                    batch_seq,
+                    &codec::to_bytes(&changes).expect("change sets encode"),
+                );
+                let report = self
+                    .session
+                    .apply(changes)
+                    .expect("the coordinator pre-validated the change set");
+                self.reports.push(report.clone());
+                Response::Applied { batch_seq, report }
+            }
+            Request::PoolTail { from } => Response::PoolTail {
+                values: self
+                    .session
+                    .dataset()
+                    .pool()
+                    .iter()
+                    .skip(from)
+                    .map(|(_, value)| value.to_string())
+                    .collect(),
+            },
+            Request::PristineBlocks { blocks } => {
+                let index = self.session.pristine_index();
+                Response::PristineBlocks {
+                    blocks: blocks.iter().map(|&b| index.blocks[b].clone()).collect(),
+                }
+            }
+            Request::GatherRows => {
+                let dataset = self.session.dataset();
+                Response::GatherRows {
+                    rows: (0..dataset.len())
+                        .map(|t| dataset.row_ids(TupleId(t)).to_vec())
+                        .collect(),
+                }
+            }
+            Request::IndexClock => Response::IndexClock {
+                clock: self.session.timings().index,
+            },
+            Request::Outcome { weights } => {
+                self.session.inject_weights(weights);
+                Response::Outcome {
+                    report: Box::new(self.session.outcome()),
+                }
+            }
+        }
+    }
+
+    /// Kill the worker's volatile state and recover it from the change log:
+    /// a fresh session replays every journaled batch in order, re-deriving
+    /// the report cache along the way.
+    pub fn crash_and_recover(&mut self) {
+        self.restarts += 1;
+        self.session =
+            CleaningSession::new(self.config.clone(), self.schema.clone(), self.rules.clone())
+                .expect("a session that opened once opens again");
+        self.reports.clear();
+        for entry in self.log.entries().to_vec() {
+            let changes: ChangeSet =
+                codec::from_bytes(&entry.payload).expect("journaled frames decode");
+            let report = self
+                .session
+                .apply(changes)
+                .expect("journaled batches were valid when first applied");
+            self.reports.push(report);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::csv;
+    use mlnclean::Mutation;
+    use rules::parse_rules;
+
+    fn worker() -> PartitionWorker {
+        let schema = Schema::new(&["City", "Zip"]);
+        let rules = parse_rules("FD: City -> Zip").unwrap();
+        PartitionWorker::new(CleanConfig::default(), schema, rules).unwrap()
+    }
+
+    fn insert(rows: &[(&str, &str)]) -> ChangeSet {
+        [Mutation::Insert(
+            rows.iter()
+                .map(|(c, z)| vec![c.to_string(), z.to_string()])
+                .collect(),
+        )]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn duplicate_applies_re_ack_without_reapplying() {
+        let mut w = worker();
+        let changes = insert(&[("BOAZ", "35016"), ("BOAZ", "35014")]);
+        let first = w.handle(Request::ApplyBatch {
+            batch_seq: 0,
+            changes: changes.clone(),
+        });
+        let Response::Applied { report, .. } = first else {
+            panic!("apply must ack");
+        };
+        // Deliver the exact same request again — a retransmit duplicate.
+        let dup = w.handle(Request::ApplyBatch {
+            batch_seq: 0,
+            changes,
+        });
+        let Response::Applied {
+            report: dup_report, ..
+        } = dup
+        else {
+            panic!("duplicate must re-ack");
+        };
+        assert_eq!(report, dup_report);
+        assert_eq!(w.applied_batches(), 1);
+        assert_eq!(w.session_rows(), 2, "rows must not double-apply");
+    }
+
+    #[test]
+    fn crash_recovery_replays_to_identical_state() {
+        let mut w = worker();
+        for (seq, batch) in [
+            insert(&[("BOAZ", "35016"), ("BOAZ", "35014"), ("ELBA", "36323")]),
+            [Mutation::Update(
+                TupleId(2),
+                dataset::AttrId(1),
+                "36325".into(),
+            )]
+            .into_iter()
+            .collect(),
+            [Mutation::Delete(TupleId(0))].into_iter().collect(),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            w.handle(Request::ApplyBatch {
+                batch_seq: seq as u64,
+                changes: batch,
+            });
+        }
+        let before_rows = dump(&mut w);
+        let before_reports = w.reports.clone();
+
+        w.crash_and_recover();
+
+        assert_eq!(w.restarts(), 1);
+        assert_eq!(dump(&mut w), before_rows, "replayed rows must be identical");
+        assert_eq!(
+            w.reports, before_reports,
+            "replayed reports must be identical"
+        );
+    }
+
+    fn dump(w: &mut PartitionWorker) -> String {
+        csv::to_csv(w.session.dataset())
+    }
+
+    impl PartitionWorker {
+        fn session_rows(&self) -> usize {
+            self.session.dataset().len()
+        }
+    }
+}

@@ -56,7 +56,14 @@ def check(cond, msg):
         fail(msg)
 
 
+def check_codec_header(d, where):
+    check(isinstance(d.get("codec_version"), int) and d["codec_version"] >= 1,
+          f"{where}: artifact lacks a codec_version header (wire artifacts "
+          f"must name the frame format they were written under)")
+
+
 def check_smoke(d):
+    check_codec_header(d, "smoke")
     s = d["streaming"]
     check(s["hai_stream"]["final_matches_one_shot"] is True,
           "streamed HAI result diverged from the one-shot run")
@@ -88,10 +95,33 @@ def check_smoke(d):
           "%.6fs" % ds["per_round_merge_seconds"], "per round,",
           ds["shared_gammas"], "shared gammas, byte-identical to the",
           "single-session stream")
+    w = s["simulated_transport"]
+    check(w["matches_single_session"] is True,
+          f"wire session diverged from the single session: {w}")
+    check(w["messages_sent"] - w["messages_dropped"] + w["messages_duplicated"]
+          == w["messages_delivered"],
+          f"transport counters do not balance "
+          f"(sent - dropped + duplicated != delivered): {w}")
+    check(w["messages_dropped"] > 0,
+          f"the hostile schedule never dropped a datagram: {w}")
+    check(w["retransmits"] > 0,
+          f"loss never forced the RPC layer to retransmit: {w}")
+    check(w["worker_restarts"] >= 1,
+          f"the scheduled worker crash never fired: {w}")
+    check(w["bytes_sent"] > 0, f"no bytes crossed the codec: {w}")
+    print("simulated-transport smoke ok:", w["messages_sent"], "sent,",
+          w["messages_dropped"], "dropped,", w["messages_duplicated"],
+          "duplicated,", w["retransmits"], "retransmits,",
+          w["worker_restarts"], "worker restart(s) replayed,",
+          "byte-identical to the single session")
 
 
-def check_ladder(d):
+def check_ladder(d, fresh=True):
     check(d["experiment"] == "ladder", "not a ladder artifact")
+    if fresh:
+        # Committed baselines may predate the wire codec; every freshly
+        # produced artifact must carry the versioned header.
+        check_codec_header(d, "ladder")
     rungs = d["rungs"]
     check(len(rungs) >= 1, "the ladder ran no rungs")
     sizes = [r["rows"] for r in rungs]
@@ -211,7 +241,7 @@ def main():
         if args.baseline:
             with open(args.baseline) as f:
                 base = json.load(f)
-            check_ladder(base)
+            check_ladder(base, fresh=False)
             gate_ladder(d, base, args.tolerance)
 
 

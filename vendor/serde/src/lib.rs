@@ -1,25 +1,35 @@
-//! Offline stand-in for `serde`.
+//! Offline stand-in for `serde` — a real (if compact) serialization
+//! framework, not a marker stub.
 //!
-//! Provides the `Serialize`/`Deserialize` trait names (empty marker traits)
-//! and re-exports the no-op derive macros from the sibling `serde_derive`
-//! stub, so `use serde::{Deserialize, Serialize}` plus
-//! `#[derive(Serialize, Deserialize)]` compile unchanged.  The workspace does
-//! not serialize through serde yet; swapping in the real crate is a
-//! Cargo.toml-only change.
+//! This crate implements the subset of serde's data model that the
+//! workspace's wire codec (`crates/transport`) and derives need:
+//!
+//! - [`Serialize`] / [`Serializer`] with the full compound-type surface
+//!   (seq, tuple, tuple struct, map, struct, and all enum variant shapes);
+//! - [`Deserialize`] / [`Deserializer`] with visitor-based dispatch
+//!   ([`de::Visitor`], [`de::SeqAccess`], [`de::MapAccess`],
+//!   [`de::EnumAccess`], [`de::VariantAccess`]);
+//! - impls for the std types the workspace serializes: primitives,
+//!   `String`, `Vec`, `Option`, tuples, `HashMap`/`BTreeMap`, `Duration`,
+//!   `Arc`, `Box`.
+//!
+//! The trait names, method names, and signatures follow real serde, so
+//! hand-written `Serialize`/`Deserialize`/`Serializer`/`Deserializer` impls
+//! in the workspace stay source-compatible when the real crates are swapped
+//! in (derive-generated code is regenerated on swap and thus free to use
+//! stub-internal conventions).  Omissions versus real serde: borrowed
+//! deserialization (`&'de str` etc.), `i128`/`u128`, zero-copy byte
+//! visiting, and the `serde(...)` attribute vocabulary beyond
+//! `#[serde(skip)]`.
 
-// Macro-namespace exports: the derive macros.
+// Macro-namespace exports: the derive macros (they share the trait names but
+// live in the macro namespace, as in real serde).
 pub use serde_derive::{Deserialize, Serialize};
 
-mod traits {
-    /// Marker trait matching `serde::Serialize`'s name.
-    pub trait Serialize {}
-    /// Marker trait matching `serde::Deserialize`'s name.
-    pub trait Deserialize<'de> {}
+pub mod de;
+pub mod ser;
 
-    impl<T: ?Sized> Serialize for T {}
-    impl<'de, T: ?Sized> Deserialize<'de> for T {}
-}
-
-// Type-namespace exports: the traits share the macro names, as in real serde.
-pub use traits::Deserialize;
-pub use traits::Serialize;
+pub use de::Deserialize;
+pub use de::Deserializer;
+pub use ser::Serialize;
+pub use ser::Serializer;

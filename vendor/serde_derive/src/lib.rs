@@ -1,20 +1,592 @@
-//! Offline stand-in for `serde_derive`.
+//! Offline stand-in for `serde_derive`: a real `#[derive(Serialize,
+//! Deserialize)]` implementation built directly on `proc_macro` token
+//! streams (the environment has no crates.io access, so no `syn`/`quote`).
 //!
-//! The real crates.io registry is unreachable in this build environment, so
-//! this proc-macro crate accepts the `#[derive(Serialize, Deserialize)]`
-//! attributes used throughout the workspace and expands to nothing.  Nothing
-//! in the workspace serializes through serde yet (JSON/CSV emission is
-//! hand-rolled); the derives only mark types as serializable for future use.
-//! Swapping in the real serde is a Cargo.toml-only change.
+//! Supported input shapes — exactly what the workspace derives on:
+//!
+//! - structs with named fields, tuple structs, unit structs;
+//! - enums with unit, newtype, tuple, and struct variants (including
+//!   explicit discriminants, which are ignored);
+//! - the `#[serde(skip)]` field attribute: the field is not serialized and
+//!   is rebuilt with `Default::default()` on deserialization (real serde's
+//!   semantics for `skip`).
+//!
+//! Not supported (the derive raises a `compile_error!` so the gap is loud
+//! rather than silent): generic types, lifetimes on the derived type, and
+//! any `#[serde(...)]` attribute other than `skip`.
+//!
+//! Generated code encodes structs positionally (`visit_seq`) and enums by
+//! variant index.  That is an internal convention shared with the wire codec
+//! in `crates/transport`; it is regenerated from real serde's derive if the
+//! real crates are ever swapped in, so only hand-written impls need to be
+//! API-compatible (and they are — see `vendor/serde`).
 
-use proc_macro::TokenStream;
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
 
-#[proc_macro_derive(Serialize, attributes(serde))]
-pub fn derive_serialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+/// One parsed field of a named struct or struct variant.
+struct Field {
+    name: String,
+    skip: bool,
 }
 
+/// The shape of one parsed enum variant.
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+/// One parsed enum variant.
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+/// The parsed derive input.
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        skips: Vec<bool>,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Real derive for `Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Real derive for `Deserialize`.
 #[proc_macro_derive(Deserialize, attributes(serde))]
-pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => gen(&item),
+        Err(msg) => format!("::core::compile_error!({msg:?});"),
+    };
+    code.parse().unwrap_or_else(|e| {
+        format!("::core::compile_error!(\"serde_derive generated invalid code: {e:?}\");")
+            .parse()
+            .unwrap()
+    })
+}
+
+type TokenIter = Peekable<<TokenStream as IntoIterator>::IntoIter>;
+
+// ---------------------------------------------------------------------------
+// Parsing.
+// ---------------------------------------------------------------------------
+
+/// Skip attributes (`#[...]`), returning whether any was `#[serde(skip)]`.
+/// Any other `#[serde(...)]` content is an error: better to fail the build
+/// than to silently ignore an attribute the stand-in does not implement.
+fn skip_attributes(iter: &mut TokenIter) -> Result<bool, String> {
+    let mut skip = false;
+    while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        iter.next();
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                let mut inner = g.stream().into_iter().peekable();
+                if matches!(inner.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "serde") {
+                    inner.next();
+                    match inner.next() {
+                        Some(TokenTree::Group(args)) => {
+                            for tok in args.stream() {
+                                match tok {
+                                    TokenTree::Ident(i) if i.to_string() == "skip" => skip = true,
+                                    TokenTree::Punct(p) if p.as_char() == ',' => {}
+                                    other => {
+                                        return Err(format!(
+                                            "unsupported #[serde(...)] attribute token `{other}` \
+                                             (this offline serde_derive only supports `skip`)"
+                                        ))
+                                    }
+                                }
+                            }
+                        }
+                        _ => return Err("malformed #[serde] attribute".to_string()),
+                    }
+                }
+            }
+            _ => return Err("malformed attribute".to_string()),
+        }
+    }
+    Ok(skip)
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_visibility(iter: &mut TokenIter) {
+    if matches!(iter.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        iter.next();
+        if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            iter.next();
+        }
+    }
+}
+
+/// Consume tokens of a type (or discriminant expression) up to a top-level
+/// comma, tracking `<...>` nesting so commas inside generics don't split.
+fn skip_to_field_end(iter: &mut TokenIter) {
+    let mut angle_depth = 0usize;
+    while let Some(tok) = iter.peek() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1)
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                iter.next();
+                return;
+            }
+            _ => {}
+        }
+        iter.next();
+    }
+}
+
+/// Parse the fields of a named struct (or struct variant) body.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let skip = skip_attributes(&mut iter)?;
+        if iter.peek().is_none() {
+            break;
+        }
+        skip_visibility(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        skip_to_field_end(&mut iter);
+        fields.push(Field { name, skip });
+    }
+    Ok(fields)
+}
+
+/// Parse the fields of a tuple struct (or tuple variant) body, returning the
+/// per-field skip flags.
+fn parse_tuple_fields(stream: TokenStream) -> Result<Vec<bool>, String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut skips = Vec::new();
+    loop {
+        let skip = skip_attributes(&mut iter)?;
+        if iter.peek().is_none() {
+            break;
+        }
+        skip_visibility(&mut iter);
+        skips.push(skip);
+        skip_to_field_end(&mut iter);
+    }
+    Ok(skips)
+}
+
+/// Parse the variants of an enum body.
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut iter)?;
+        let name = match iter.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        let shape = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                iter.next();
+                let skips = parse_tuple_fields(g)?;
+                if skips.iter().any(|&s| s) {
+                    return Err("#[serde(skip)] on enum variant fields is not supported".into());
+                }
+                VariantShape::Tuple(skips.len())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                iter.next();
+                let fields = parse_named_fields(g)?;
+                if fields.iter().any(|f| f.skip) {
+                    return Err("#[serde(skip)] on enum variant fields is not supported".into());
+                }
+                VariantShape::Struct(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        skip_to_field_end(&mut iter);
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+/// Parse the derive input into an [`Item`].
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut iter = input.into_iter().peekable();
+    skip_attributes(&mut iter)?;
+    skip_visibility(&mut iter);
+    let keyword = match iter.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "struct" || i.to_string() == "enum" => {
+            i.to_string()
+        }
+        Some(other) => return Err(format!("unexpected token `{other}` before item keyword")),
+        None => return Err("empty derive input".to_string()),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "cannot derive Serialize/Deserialize for generic type `{name}` \
+             (offline serde_derive supports concrete types only)"
+        ));
+    }
+    if keyword == "enum" {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = parse_variants(g.stream())?;
+                Ok(Item::Enum { name, variants })
+            }
+            other => Err(format!("expected enum body, found {other:?}")),
+        }
+    } else {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                Ok(Item::NamedStruct { name, fields })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let skips = parse_tuple_fields(g.stream())?;
+                Ok(Item::TupleStruct { name, skips })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+            other => Err(format!("expected struct body, found {other:?}")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Serialize.
+// ---------------------------------------------------------------------------
+
+const IMPL_ATTRS: &str =
+    "#[automatically_derived]\n#[allow(unused_mut, unused_variables, non_snake_case, clippy::all)]\n";
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::NamedStruct { name, fields } => {
+            let kept: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+            let mut body = format!(
+                "let mut __state = serde::Serializer::serialize_struct(__serializer, {:?}, {})?;\n",
+                name,
+                kept.len()
+            );
+            for f in &kept {
+                body.push_str(&format!(
+                    "serde::ser::SerializeStruct::serialize_field(&mut __state, {:?}, &self.{})?;\n",
+                    f.name, f.name
+                ));
+            }
+            body.push_str("serde::ser::SerializeStruct::end(__state)\n");
+            (name, body)
+        }
+        Item::TupleStruct { name, skips } => {
+            let kept: Vec<usize> = (0..skips.len()).filter(|&i| !skips[i]).collect();
+            let mut body = format!(
+                "let mut __state = serde::Serializer::serialize_tuple_struct(__serializer, {:?}, {})?;\n",
+                name,
+                kept.len()
+            );
+            for i in &kept {
+                body.push_str(&format!(
+                    "serde::ser::SerializeTupleStruct::serialize_field(&mut __state, &self.{i})?;\n"
+                ));
+            }
+            body.push_str("serde::ser::SerializeTupleStruct::end(__state)\n");
+            (name, body)
+        }
+        Item::UnitStruct { name } => (
+            name,
+            format!("serde::Serializer::serialize_unit_struct(__serializer, {name:?})\n"),
+        ),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => serde::Serializer::serialize_unit_variant(\
+                         __serializer, {name:?}, {idx}u32, {vname:?}),\n"
+                    )),
+                    VariantShape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(ref __f0) => serde::Serializer::serialize_newtype_variant(\
+                         __serializer, {name:?}, {idx}u32, {vname:?}, __f0),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let pats: Vec<String> = (0..*n).map(|i| format!("ref __f{i}")).collect();
+                        let mut arm = format!(
+                            "{name}::{vname}({}) => {{\n\
+                             let mut __state = serde::Serializer::serialize_tuple_variant(\
+                             __serializer, {name:?}, {idx}u32, {vname:?}, {n})?;\n",
+                            pats.join(", ")
+                        );
+                        for i in 0..*n {
+                            arm.push_str(&format!(
+                                "serde::ser::SerializeTupleVariant::serialize_field(&mut __state, __f{i})?;\n"
+                            ));
+                        }
+                        arm.push_str("serde::ser::SerializeTupleVariant::end(__state)\n}\n");
+                        arms.push_str(&arm);
+                    }
+                    VariantShape::Struct(fields) => {
+                        let pats: Vec<String> =
+                            fields.iter().map(|f| format!("ref {}", f.name)).collect();
+                        let mut arm = format!(
+                            "{name}::{vname} {{ {} }} => {{\n\
+                             let mut __state = serde::Serializer::serialize_struct_variant(\
+                             __serializer, {name:?}, {idx}u32, {vname:?}, {})?;\n",
+                            pats.join(", "),
+                            fields.len()
+                        );
+                        for f in fields {
+                            arm.push_str(&format!(
+                                "serde::ser::SerializeStructVariant::serialize_field(\
+                                 &mut __state, {:?}, {})?;\n",
+                                f.name, f.name
+                            ));
+                        }
+                        arm.push_str("serde::ser::SerializeStructVariant::end(__state)\n}\n");
+                        arms.push_str(&arm);
+                    }
+                }
+            }
+            (name, format!("match *self {{\n{arms}}}\n"))
+        }
+    };
+    format!(
+        "{IMPL_ATTRS}impl serde::Serialize for {name} {{\n\
+         fn serialize<__S: serde::Serializer>(&self, __serializer: __S) \
+         -> ::core::result::Result<__S::Ok, __S::Error> {{\n{body}}}\n}}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Deserialize.
+// ---------------------------------------------------------------------------
+
+/// A `visit_seq` body reading `bindings` positional elements and finishing
+/// with `construct`.
+fn seq_body(bindings: &[String], construct: &str, expected: &str) -> String {
+    let mut body = String::new();
+    for b in bindings {
+        body.push_str(&format!(
+            "let {b} = match serde::de::SeqAccess::next_element(&mut __seq)? {{\n\
+             ::core::option::Option::Some(__v) => __v,\n\
+             ::core::option::Option::None => return ::core::result::Result::Err(\
+             serde::de::Error::custom({:?})),\n}};\n",
+            format!("{expected} is missing elements")
+        ));
+    }
+    body.push_str(&format!("::core::result::Result::Ok({construct})\n"));
+    body
+}
+
+/// An inline visitor struct named `vis` whose `visit_seq` runs `seq` and
+/// whose value is `value_ty`.
+fn seq_visitor(vis: &str, value_ty: &str, expected: &str, seq: &str) -> String {
+    format!(
+        "struct {vis};\n\
+         impl<'de> serde::de::Visitor<'de> for {vis} {{\n\
+         type Value = {value_ty};\n\
+         fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+         __f.write_str({expected:?})\n}}\n\
+         fn visit_seq<__A: serde::de::SeqAccess<'de>>(self, mut __seq: __A) \
+         -> ::core::result::Result<Self::Value, __A::Error> {{\n{seq}}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::NamedStruct { name, fields } => {
+            let kept: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+            let bindings: Vec<String> =
+                kept.iter().map(|f| format!("__field_{}", f.name)).collect();
+            let mut init: Vec<String> = kept
+                .iter()
+                .map(|f| format!("{}: __field_{}", f.name, f.name))
+                .collect();
+            init.extend(
+                fields
+                    .iter()
+                    .filter(|f| f.skip)
+                    .map(|f| format!("{}: ::core::default::Default::default()", f.name)),
+            );
+            let expected = format!("struct {name}");
+            let construct = format!("{name} {{ {} }}", init.join(", "));
+            let visitor = seq_visitor(
+                "__Visitor",
+                name,
+                &expected,
+                &seq_body(&bindings, &construct, &expected),
+            );
+            let field_names: Vec<String> = kept.iter().map(|f| format!("{:?}", f.name)).collect();
+            let body = format!(
+                "{visitor}serde::Deserializer::deserialize_struct(\
+                 __deserializer, {name:?}, &[{}], __Visitor)\n",
+                field_names.join(", ")
+            );
+            (name, body)
+        }
+        Item::TupleStruct { name, skips } => {
+            let bindings: Vec<String> = (0..skips.len())
+                .filter(|&i| !skips[i])
+                .map(|i| format!("__f{i}"))
+                .collect();
+            let args: Vec<String> = (0..skips.len())
+                .map(|i| {
+                    if skips[i] {
+                        "::core::default::Default::default()".to_string()
+                    } else {
+                        format!("__f{i}")
+                    }
+                })
+                .collect();
+            let expected = format!("tuple struct {name}");
+            let construct = format!("{name}({})", args.join(", "));
+            let visitor = seq_visitor(
+                "__Visitor",
+                name,
+                &expected,
+                &seq_body(&bindings, &construct, &expected),
+            );
+            let body = format!(
+                "{visitor}serde::Deserializer::deserialize_tuple_struct(\
+                 __deserializer, {name:?}, {}, __Visitor)\n",
+                bindings.len()
+            );
+            (name, body)
+        }
+        Item::UnitStruct { name } => {
+            let body = format!(
+                "struct __Visitor;\n\
+                 impl<'de> serde::de::Visitor<'de> for __Visitor {{\n\
+                 type Value = {name};\n\
+                 fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+                 __f.write_str({:?})\n}}\n\
+                 fn visit_unit<__E: serde::de::Error>(self) -> ::core::result::Result<{name}, __E> {{\n\
+                 ::core::result::Result::Ok({name})\n}}\n}}\n\
+                 serde::Deserializer::deserialize_unit_struct(__deserializer, {name:?}, __Visitor)\n",
+                format!("unit struct {name}")
+            );
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                let arm_body = match &v.shape {
+                    VariantShape::Unit => format!(
+                        "{{ serde::de::VariantAccess::unit_variant(__variant)?;\n\
+                         ::core::result::Result::Ok({name}::{vname}) }}\n"
+                    ),
+                    VariantShape::Tuple(1) => format!(
+                        "serde::de::VariantAccess::newtype_variant(__variant)\
+                         .map({name}::{vname})\n"
+                    ),
+                    VariantShape::Tuple(n) => {
+                        let bindings: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let expected = format!("tuple variant {name}::{vname}");
+                        let construct = format!("{name}::{vname}({})", bindings.join(", "));
+                        let visitor = seq_visitor(
+                            &format!("__TupleVisitor{idx}"),
+                            name,
+                            &expected,
+                            &seq_body(&bindings, &construct, &expected),
+                        );
+                        format!(
+                            "{{\n{visitor}serde::de::VariantAccess::tuple_variant(\
+                             __variant, {n}, __TupleVisitor{idx})\n}}\n"
+                        )
+                    }
+                    VariantShape::Struct(fields) => {
+                        let bindings: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("__field_{}", f.name))
+                            .collect();
+                        let init: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{}: __field_{}", f.name, f.name))
+                            .collect();
+                        let expected = format!("struct variant {name}::{vname}");
+                        let construct = format!("{name}::{vname} {{ {} }}", init.join(", "));
+                        let visitor = seq_visitor(
+                            &format!("__StructVisitor{idx}"),
+                            name,
+                            &expected,
+                            &seq_body(&bindings, &construct, &expected),
+                        );
+                        let field_names: Vec<String> =
+                            fields.iter().map(|f| format!("{:?}", f.name)).collect();
+                        format!(
+                            "{{\n{visitor}serde::de::VariantAccess::struct_variant(\
+                             __variant, &[{}], __StructVisitor{idx})\n}}\n",
+                            field_names.join(", ")
+                        )
+                    }
+                };
+                arms.push_str(&format!("{idx}u64 => {arm_body},\n"));
+            }
+            let variant_names: Vec<String> =
+                variants.iter().map(|v| format!("{:?}", v.name)).collect();
+            let body = format!(
+                "struct __Visitor;\n\
+                 impl<'de> serde::de::Visitor<'de> for __Visitor {{\n\
+                 type Value = {name};\n\
+                 fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+                 __f.write_str({:?})\n}}\n\
+                 fn visit_enum<__A: serde::de::EnumAccess<'de>>(self, __data: __A) \
+                 -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                 let (__idx, __variant): (u64, __A::Variant) = \
+                 serde::de::EnumAccess::variant(__data)?;\n\
+                 match __idx {{\n{arms}\
+                 _ => ::core::result::Result::Err(serde::de::Error::custom({:?})),\n}}\n}}\n}}\n\
+                 serde::Deserializer::deserialize_enum(\
+                 __deserializer, {name:?}, &[{}], __Visitor)\n",
+                format!("enum {name}"),
+                format!("unknown variant index for enum {name}"),
+                variant_names.join(", ")
+            );
+            (name, body)
+        }
+    };
+    format!(
+        "{IMPL_ATTRS}impl<'de> serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: serde::Deserializer<'de>>(__deserializer: __D) \
+         -> ::core::result::Result<Self, __D::Error> {{\n{body}}}\n}}\n"
+    )
 }
