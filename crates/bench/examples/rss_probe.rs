@@ -1,0 +1,66 @@
+//! One-off RSS probe for the memory-budget work: run the incremental
+//! engine over the ladder's TPC-H stream at a given row count and print
+//! VmHWM at each phase boundary.
+//!
+//! Usage: `rss_probe [rows] [budget_bytes]`
+
+use bench::common::PeakRss;
+use datagen::{batched, TpchGenerator};
+use mlnclean::CleaningSession;
+use std::time::Instant;
+
+fn main() {
+    let rows: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000);
+    let budget: Option<usize> = std::env::args().nth(2).and_then(|s| s.parse().ok());
+    let entities = (rows / 25).max(1);
+
+    let meter = PeakRss::probe();
+    println!("meter: {meter:?}");
+
+    let clean_config = mlnclean::CleanConfig::default()
+        .with_tau(2)
+        .with_agp_distance_guard(0.15);
+    let clean_config = match budget {
+        Some(b) => {
+            println!("budget: {b} bytes");
+            clean_config.with_memory_budget(b)
+        }
+        None => clean_config,
+    };
+
+    meter.reset();
+    let mut session = CleaningSession::new(
+        clean_config,
+        TpchGenerator::schema(),
+        TpchGenerator::rules(),
+    )
+    .expect("rules match schema");
+    let mut stream = TpchGenerator::default()
+        .with_rows(rows)
+        .with_customers(entities)
+        .with_seed(1)
+        .dirty_row_stream(0.02, 0.5, 1);
+    let started = Instant::now();
+    for batch in batched(&mut stream, 4_096) {
+        session.ingest_batch(batch).expect("rows match schema");
+    }
+    println!(
+        "ingest {rows} rows: {:.1}s, VmHWM {:?} KiB",
+        started.elapsed().as_secs_f64(),
+        PeakRss::read_kib()
+    );
+    let started = Instant::now();
+    let report = session.outcome();
+    println!(
+        "outcome: {:.1}s, VmHWM {:?} KiB",
+        started.elapsed().as_secs_f64(),
+        PeakRss::read_kib()
+    );
+    println!("memory stats: {:?}", session.memory_stats());
+    drop(report);
+    drop(session);
+    println!("after drop: VmHWM {:?} KiB", PeakRss::read_kib());
+}

@@ -61,8 +61,21 @@ impl PeakRss {
 
     /// Read the peak RSS in KiB, or `None` off-Linux.
     pub fn read_kib() -> Option<u64> {
+        Self::status_kib("VmHWM:")
+    }
+
+    /// Read the *current* RSS in KiB, or `None` off-Linux.  Right after
+    /// [`reset`](Self::reset) this equals the high-water mark, which makes
+    /// it the floor to subtract when attributing peak growth to one run
+    /// (allocators retain freed memory, so the floor is not zero even when
+    /// everything from earlier runs has been dropped).
+    pub fn current_kib() -> Option<u64> {
+        Self::status_kib("VmRSS:")
+    }
+
+    fn status_kib(key: &str) -> Option<u64> {
         let status = std::fs::read_to_string("/proc/self/status").ok()?;
-        let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+        let line = status.lines().find(|l| l.starts_with(key))?;
         line.split_whitespace().nth(1)?.parse().ok()
     }
 }

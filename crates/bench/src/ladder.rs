@@ -25,6 +25,17 @@
 //! re-cleaned versus how many groups the index holds in total (the CI
 //! evidence that a pure-FD mutation stream no longer re-cleans every group).
 //!
+//! Every rung also carries a **budgeted re-run** of the incremental engine:
+//! the same stream cleaned under [`LadderConfig::memory_budget`] (2 GiB by
+//! default), asserted byte-identical to the unbudgeted report at every rung
+//! the ladder executes — including the 10⁶ nightly rung, which is the CI
+//! teeth behind the out-of-core session.  At rungs up to
+//! [`LadderConfig::rss_assert_limit`] (with a resettable meter) the probe
+//! additionally claims (`"rss_asserted": true`) that the run's RSS *growth*
+//! — peak minus the post-reset floor, so allocator retention from earlier
+//! rungs cannot fail it — stays within the budget, which
+//! `scripts/assert_bench.py` enforces with a tolerance.
+//!
 //! [`run`] ladders all three of the paper's workloads: TPC-H (the original
 //! ladder, rungs up to 10⁷) plus HAI and CAR at 10⁴/10⁵.  The artifacts are
 //! `BENCH_ladder.json`, `BENCH_ladder_hai.json` and `BENCH_ladder_car.json`;
@@ -69,6 +80,19 @@ pub struct LadderConfig {
     /// down on big rungs, where TPC-H's single rule makes every mutation
     /// re-clean the one FD block).
     pub mutation_samples: usize,
+    /// Budget, in bytes, of the budgeted re-run of the incremental engine
+    /// ([`mlnclean::CleanConfig::memory_budget`]): every rung re-cleans the
+    /// same stream under this bound on the session's evictable state and
+    /// asserts the report stays byte-identical to the unbudgeted run.
+    /// `None` skips the probe (`"budgeted": null` in the artifact).
+    pub memory_budget: Option<usize>,
+    /// Largest rung at which the budgeted probe also *asserts* its RSS
+    /// growth (peak − post-reset floor) against the budget
+    /// (`"rss_asserted": true` in the artifact, enforced by
+    /// `scripts/assert_bench.py`).  Above this, outcome-time transients
+    /// that no budget governs (resolved FSCR strings, the report itself,
+    /// pool clones) dominate RSS, so only byte-identity is claimed.
+    pub rss_assert_limit: usize,
 }
 
 impl Default for LadderConfig {
@@ -85,6 +109,8 @@ impl Default for LadderConfig {
             merge_every: 8,
             identity_limit: 100_000,
             mutation_samples: 40,
+            memory_budget: Some(2 * 1024 * 1024 * 1024),
+            rss_assert_limit: 100_000,
         }
     }
 }
@@ -340,6 +366,33 @@ struct RungPoint {
     incremental_matches_batch: Option<bool>,
     distributed_matches_batch: Option<bool>,
     mutation: Option<MutationLatency>,
+    budgeted: Option<BudgetedRun>,
+}
+
+/// The budgeted re-run of the incremental engine on one rung: the same
+/// stream cleaned under [`LadderConfig::memory_budget`], compared
+/// byte-for-byte against the unbudgeted incremental report (at *every*
+/// rung the probe runs, including rungs above `identity_limit` — this is
+/// the CI evidence that spilling/eviction never changes output).
+struct BudgetedRun {
+    budget_kib: u64,
+    matches_unbudgeted: bool,
+    /// Whole-process peak RSS over the budgeted run (reset → ingest →
+    /// outcome), read before the identity comparison renders any CSV.
+    peak_rss_kib: Option<u64>,
+    /// Current RSS right after the meter reset, i.e. the high-water mark's
+    /// starting floor.  Allocators retain freed memory from earlier rungs,
+    /// so the honest budget claim is about *growth*: peak − floor.
+    rss_floor_kib: Option<u64>,
+    /// Whether `peak ≤ floor + (1 + tolerance) × budget` is a claim this
+    /// rung makes (and `scripts/assert_bench.py` enforces).  Requires a
+    /// resettable meter — a monotone process-wide high-water mark cannot
+    /// attribute a peak to this probe.
+    rss_asserted: bool,
+    spilled_blocks: u64,
+    faulted_blocks: u64,
+    evicted_fusions: u64,
+    spilled_bytes: u64,
 }
 
 /// Tail latency of `apply` + `outcome` under a sustained mutation stream,
@@ -417,9 +470,9 @@ fn run_rung(config: &LadderConfig, rows: usize, meter: &PeakRss, is_largest: boo
     // `partitions` per-partition sessions with periodic weight merge.
     meter.reset();
     let mut session = DistributedStreamingSession::new(
-        clean_config,
-        schema,
-        rules,
+        clean_config.clone(),
+        schema.clone(),
+        rules.clone(),
         config.partitions,
         config.merge_every,
     )
@@ -440,6 +493,36 @@ fn run_rung(config: &LadderConfig, rows: usize, meter: &PeakRss, is_largest: boo
         outcome: started.elapsed(),
         peak_rss_kib: PeakRss::read_kib(),
     };
+
+    // Budgeted re-run of the incremental engine: the same stream under the
+    // configured memory budget must produce a byte-identical report.  RSS is
+    // read right after the outcome, *before* the identity comparison renders
+    // CSVs, so the comparison's allocations never inflate the measurement.
+    let budgeted = config.memory_budget.map(|budget| {
+        meter.reset();
+        let rss_floor_kib = PeakRss::current_kib();
+        let budgeted_config = clean_config.clone().with_memory_budget(budget);
+        let mut session = CleaningSession::new(budgeted_config, schema, rules)
+            .expect("the workload's rules match its schema");
+        let mut stream = config.stream(rows);
+        for batch in batched(&mut stream, config.batch_rows) {
+            session.ingest_batch(batch).expect("rows match the schema");
+        }
+        let report = session.outcome();
+        let peak_rss_kib = PeakRss::read_kib();
+        let stats = session.memory_stats();
+        BudgetedRun {
+            budget_kib: (budget / 1024) as u64,
+            matches_unbudgeted: reports_identical(&report, &incremental.report),
+            peak_rss_kib,
+            rss_floor_kib,
+            rss_asserted: meter.resettable && rows <= config.rss_assert_limit,
+            spilled_blocks: stats.spilled_blocks,
+            faulted_blocks: stats.faulted_blocks,
+            evicted_fusions: stats.evicted_fusions,
+            spilled_bytes: stats.spilled_bytes,
+        }
+    });
 
     // Cross-engine byte-identity, where the CSV render is affordable.
     let identity_checked = rows <= config.identity_limit;
@@ -464,6 +547,7 @@ fn run_rung(config: &LadderConfig, rows: usize, meter: &PeakRss, is_largest: boo
         incremental_matches_batch,
         distributed_matches_batch,
         mutation,
+        budgeted,
     }
 }
 
@@ -559,6 +643,31 @@ fn render_engine(rows: usize, run: &EngineRun) -> String {
 }
 
 fn render_rung(point: &RungPoint) -> String {
+    let budgeted = match &point.budgeted {
+        None => "null".to_string(),
+        Some(b) => format!(
+            concat!(
+                "{{ \"budget_kib\": {budget}, ",
+                "\"matches_unbudgeted\": {matches}, ",
+                "\"peak_rss_kib\": {rss}, ",
+                "\"rss_floor_kib\": {floor}, ",
+                "\"rss_asserted\": {asserted}, ",
+                "\"spilled_blocks\": {spilled}, ",
+                "\"faulted_blocks\": {faulted}, ",
+                "\"evicted_fusions\": {evicted}, ",
+                "\"spilled_bytes\": {bytes} }}",
+            ),
+            budget = b.budget_kib,
+            matches = b.matches_unbudgeted,
+            rss = json_opt_u64(b.peak_rss_kib),
+            floor = json_opt_u64(b.rss_floor_kib),
+            asserted = b.rss_asserted,
+            spilled = b.spilled_blocks,
+            faulted = b.faulted_blocks,
+            evicted = b.evicted_fusions,
+            bytes = b.spilled_bytes,
+        ),
+    };
     let mutation = match &point.mutation {
         None => "null".to_string(),
         Some(m) => format!(
@@ -595,6 +704,7 @@ fn render_rung(point: &RungPoint) -> String {
             "        \"distributed\":\n",
             "{distributed}\n",
             "      }},\n",
+            "      \"budgeted\": {budgeted},\n",
             "      \"mutation_latency\": {mutation}\n",
             "    }}",
         ),
@@ -608,6 +718,7 @@ fn render_rung(point: &RungPoint) -> String {
         batch = render_engine(point.rows, &point.batch),
         incremental = render_engine(point.rows, &point.incremental),
         distributed = render_engine(point.rows, &point.distributed),
+        budgeted = budgeted,
         mutation = mutation,
     )
 }
@@ -791,9 +902,67 @@ mod tests {
             "\"max_seconds\"",
             "\"recleaned_groups\"",
             "\"total_groups\"",
+            "\"budgeted\"",
+            "\"budget_kib\"",
+            "\"matches_unbudgeted\"",
+            "\"rss_floor_kib\"",
+            "\"rss_asserted\"",
+            "\"spilled_blocks\"",
+            "\"faulted_blocks\"",
+            "\"evicted_fusions\"",
+            "\"spilled_bytes\"",
         ] {
             assert!(json.contains(key), "BENCH_ladder.json lost the {key} key");
         }
+    }
+
+    #[test]
+    fn tight_budget_rung_spills_and_stays_byte_identical() {
+        // A 1-byte budget forces the probe through the whole out-of-core
+        // path (spill + evict) and the report must still match the
+        // unbudgeted incremental run byte-for-byte.
+        let config = LadderConfig {
+            rungs: vec![600],
+            max_rows: 600,
+            batch_rows: 128,
+            identity_limit: 600,
+            mutation_samples: 2,
+            memory_budget: Some(1),
+            rss_assert_limit: 0,
+            ..LadderConfig::default()
+        };
+        let (_, json) = run_config(&config).pop().unwrap();
+        assert!(json.contains("\"matches_unbudgeted\": true"), "{json}");
+        // RSS is never claimed against a 1-byte budget.
+        assert!(json.contains("\"rss_asserted\": false"));
+        let grab = |key: &str| -> u64 {
+            let at = json.find(key).unwrap_or_else(|| panic!("{key} missing"));
+            json[at + key.len()..]
+                .chars()
+                .take_while(|c| c.is_ascii_digit())
+                .collect::<String>()
+                .parse()
+                .expect("the spill counters are integers")
+        };
+        assert!(grab("\"spilled_blocks\": ") > 0, "{json}");
+        assert!(grab("\"evicted_fusions\": ") > 0, "{json}");
+        assert!(grab("\"spilled_bytes\": ") > 0, "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn budget_probe_can_be_disabled() {
+        let config = LadderConfig {
+            rungs: vec![250],
+            max_rows: 250,
+            batch_rows: 64,
+            identity_limit: 250,
+            mutation_samples: 2,
+            memory_budget: None,
+            ..LadderConfig::default()
+        };
+        let (_, json) = run_config(&config).pop().unwrap();
+        assert!(json.contains("\"budgeted\": null"));
     }
 
     #[test]

@@ -18,7 +18,7 @@
 use crate::common::{rayon_threads, reports_identical, Scale, Workload};
 use dataset::{csv, RepairEvaluation};
 use distributed::DistributedStreamingSession;
-use mlnclean::{CacheStats, ChangeSet, CleaningSession, MlnClean};
+use mlnclean::{CacheStats, ChangeSet, CleaningSession, MlnClean, SessionSnapshot};
 use std::time::{Duration, Instant};
 use transport::{wire_session, FaultSchedule, WorkerCrash, CODEC_VERSION};
 
@@ -74,8 +74,9 @@ pub fn run(scale: Scale) -> Vec<(String, String)> {
     let reclean = run_incremental_reclean(scale);
     let mutation = run_mutation_probe(scale);
     let distributed = run_distributed_stream(scale);
+    let suspend = run_suspend_resume(scale);
     let wire = run_wire_probe(scale);
-    let streaming = render_streaming(&stream, &reclean, &mutation, &distributed, &wire);
+    let streaming = render_streaming(&stream, &reclean, &mutation, &distributed, &suspend, &wire);
 
     let json = format!(
         concat!(
@@ -468,6 +469,73 @@ fn run_distributed_stream(scale: Scale) -> DistributedStreamProbe {
     }
 }
 
+/// The suspend/resume probe: the same HAI micro-batch stream, but the
+/// session is suspended halfway — its compacting `SessionSnapshot` encoded
+/// through the wire codec, the live session dropped, and a fresh session
+/// resumed from the decoded frame — then the stream finishes.  The resumed
+/// session's final outcome must be byte-identical to an uninterrupted run
+/// over the same batches.
+struct SuspendResumeProbe {
+    batches: usize,
+    suspended_at_batch: usize,
+    snapshot_bytes: usize,
+    matches_uninterrupted: bool,
+}
+
+fn run_suspend_resume(scale: Scale) -> SuspendResumeProbe {
+    let workload = Workload::Hai;
+    let dirty = workload.dirty(scale, 0.05, 0.5, 1).dirty;
+    let rules = workload.rules();
+    let config = workload.clean_config();
+
+    let mut uninterrupted =
+        CleaningSession::new(config.clone(), dirty.schema().clone(), rules.clone())
+            .expect("the smoke rules match the smoke schema");
+    let mut session = Some(
+        CleaningSession::new(config.clone(), dirty.schema().clone(), rules.clone())
+            .expect("the smoke rules match the smoke schema"),
+    );
+
+    let batches: Vec<Vec<Vec<String>>> = datagen::row_batches(&dirty, 8);
+    let suspend_after = batches.len() / 2;
+    let mut suspended_at_batch = 0usize;
+    let mut snapshot_bytes = 0usize;
+    for (i, batch) in batches.iter().enumerate() {
+        uninterrupted
+            .ingest_batch(batch.clone())
+            .expect("rows match the schema");
+        session
+            .as_mut()
+            .expect("session is live between suspends")
+            .ingest_batch(batch.clone())
+            .expect("rows match the schema");
+        if i + 1 == suspend_after {
+            // Suspend: snapshot → codec frame → drop the live session →
+            // decode → resume, exactly what a worker checkpoint does.
+            let live = session.take().expect("session is live");
+            suspended_at_batch = live.batches();
+            let frame = transport::to_bytes(&live.snapshot()).expect("session snapshots encode");
+            snapshot_bytes = frame.len();
+            drop(live);
+            let snapshot: SessionSnapshot =
+                transport::from_bytes(&frame).expect("snapshot frames decode");
+            session = Some(
+                CleaningSession::resume(config.clone(), rules.clone(), snapshot)
+                    .expect("a snapshot that was taken resumes"),
+            );
+        }
+    }
+    let resumed = session.expect("session is live").finish();
+    let reference = uninterrupted.finish();
+
+    SuspendResumeProbe {
+        batches: batches.len(),
+        suspended_at_batch,
+        snapshot_bytes,
+        matches_uninterrupted: reports_identical(&resumed, &reference),
+    }
+}
+
 /// The simulated-transport probe: the same HAI micro-batch stream driven
 /// through a wire-backed session — every coordinator/worker exchange crosses
 /// the binary codec and a hostile seeded network (delay, reordering,
@@ -544,6 +612,7 @@ fn render_streaming(
     reclean: &RecleanProbe,
     mutation: &MutationProbe,
     distributed: &DistributedStreamProbe,
+    suspend: &SuspendResumeProbe,
     wire: &WireProbe,
 ) -> String {
     let per_batch: String = stream
@@ -616,6 +685,13 @@ fn render_streaming(
             "      \"partition_sizes\": {ds_sizes:?},\n",
             "      \"matches_single_session\": {ds_matches}\n",
             "    }},\n",
+            "    \"suspend_resume\": {{\n",
+            "      \"workload\": \"HAI\",\n",
+            "      \"batches\": {sr_batches},\n",
+            "      \"suspended_at_batch\": {sr_at},\n",
+            "      \"snapshot_bytes\": {sr_bytes},\n",
+            "      \"matches_uninterrupted\": {sr_matches}\n",
+            "    }},\n",
             "    \"simulated_transport\": {{\n",
             "      \"workload\": \"HAI\",\n",
             "      \"partitions\": {w_partitions},\n",
@@ -665,6 +741,10 @@ fn render_streaming(
         ds_shared = distributed.shared_gammas,
         ds_sizes = distributed.partition_sizes,
         ds_matches = distributed.matches_single_session,
+        sr_batches = suspend.batches,
+        sr_at = suspend.suspended_at_batch,
+        sr_bytes = suspend.snapshot_bytes,
+        sr_matches = suspend.matches_uninterrupted,
         w_partitions = wire.partitions,
         w_merge_every = wire.merge_every,
         w_batches = wire.batches,
@@ -714,6 +794,11 @@ mod tests {
         assert!(json.contains("\"per_round_merge_seconds\""));
         assert!(json.contains("\"matches_single_session\": true"));
         assert!(!json.contains("\"matches_single_session\": false"));
+        // The suspend/resume probe: snapshot → codec → resume, identical.
+        assert!(json.contains("\"suspend_resume\""));
+        assert!(json.contains("\"suspended_at_batch\""));
+        assert!(json.contains("\"snapshot_bytes\""));
+        assert!(json.contains("\"matches_uninterrupted\": true"));
         // The simulated-transport probe and the codec-versioned header.
         assert!(json.contains(&format!("\"codec_version\": {CODEC_VERSION}")));
         assert!(json.contains("\"simulated_transport\""));
@@ -778,6 +863,18 @@ mod tests {
         assert!(
             probe.matches_single_session,
             "wire session must match the single session byte for byte"
+        );
+    }
+
+    #[test]
+    fn suspend_resume_probe_round_trips_byte_identically() {
+        let probe = run_suspend_resume(Scale::Tiny);
+        assert_eq!(probe.batches, 8);
+        assert!(probe.suspended_at_batch > 0);
+        assert!(probe.snapshot_bytes > 0);
+        assert!(
+            probe.matches_uninterrupted,
+            "the resumed session must match the uninterrupted run byte for byte"
         );
     }
 

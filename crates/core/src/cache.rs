@@ -71,6 +71,17 @@ impl DistanceCache {
         self.stats
     }
 
+    /// Number of distinct value pairs memoised so far (the cache's resident
+    /// footprint, used by the session's memory-budget accounting).
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the memo holds no pairs yet.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
     /// Raw and normalized distance between two interned values.
     fn pair(&mut self, pool: &ValuePool, a: ValueId, b: ValueId) -> (f64, f64) {
         if a == b {

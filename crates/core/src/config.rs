@@ -32,6 +32,16 @@ pub struct CleanConfig {
     /// Whether the final output should also drop exact duplicate tuples
     /// (MLNClean does; keep `true` unless you need one row per input tuple).
     pub deduplicate: bool,
+    /// Optional bound, in bytes, on the session's **evictable working
+    /// state**: the per-block γ clean caches (with their distance memos)
+    /// and the per-tuple fusion memo.  When the estimated resident size of
+    /// that pool exceeds the budget, the session spills cold clean block
+    /// caches to disk-backed segments (faulted back in transparently when a
+    /// block goes dirty) and then windows the fusion memo, evicting the
+    /// oldest memoised fusions first.  Outputs are byte-identical either
+    /// way — eviction only trades memory for recompute time.  `None` (the
+    /// default) keeps everything resident.
+    pub memory_budget: Option<usize>,
     /// Whether the per-block Stage-I loops (AGP and RSC) run on the rayon
     /// thread pool.  Blocks are independent, and the parallel path reassembles
     /// per-block results in block order, so the cleaned output is identical
@@ -49,6 +59,7 @@ impl Default for CleanConfig {
             max_exhaustive_fusion: 6,
             agp_distance_guard: None,
             deduplicate: true,
+            memory_budget: None,
             parallel: true,
         }
     }
@@ -82,6 +93,13 @@ impl CleanConfig {
     /// Set the AGP distance guard (see [`CleanConfig::agp_distance_guard`]).
     pub fn with_agp_distance_guard(mut self, guard: f64) -> Self {
         self.agp_distance_guard = Some(guard);
+        self
+    }
+
+    /// Bound the session's evictable working state to `bytes` (see
+    /// [`CleanConfig::memory_budget`]).
+    pub fn with_memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = Some(bytes);
         self
     }
 

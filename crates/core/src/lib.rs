@@ -111,7 +111,7 @@ pub use gamma::Gamma;
 pub use index::{Block, Group, InsertReport, MlnIndex, RemoveReport};
 pub use pipeline::MlnClean;
 pub use rsc::{ReliabilityCleaner, RscRecord, RscRepair};
-pub use session::{BatchReport, CleaningSession};
+pub use session::{BatchReport, CleaningSession, MemoryStats, SessionSnapshot};
 pub use stage::{
     AgpStage, DedupStage, FscrStage, PipelineStage, RscStage, StageContext, StageRecords,
     WeightLearningStage,

@@ -54,7 +54,9 @@ use crate::rsc::{ReliabilityCleaner, RscRecord, RscRepair};
 use crate::stage::{AgpStage, RscStage, WeightLearningStage};
 use crate::weights::{assign_group_weights, block_support, SessionWeights};
 use crate::CleanConfig;
-use dataset::{ArityMismatch, AttrId, Dataset, Schema, TupleId, ValueId, ValuePool};
+use dataset::{
+    ArityMismatch, AttrId, Dataset, Schema, SpillDir, SpillSlot, TupleId, ValueId, ValuePool,
+};
 use distance::Metric;
 use rayon::prelude::*;
 use rules::RuleSet;
@@ -103,7 +105,9 @@ struct BlockRecords {
 
 /// The cached clean state of one **output group** of a block — the unit the
 /// group-scoped refresh reuses when nothing feeding the group changed.
-#[derive(Debug, Clone)]
+/// Serializable so a memory-budgeted session can spill a whole block's
+/// entries to a disk segment through the `mlnw` codec.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct GroupEntry {
     /// Pristine group keys fused into this output group: the group's own key
     /// first, then the AGP-merged abnormal keys in merge order.  A reuse is
@@ -134,6 +138,15 @@ struct BlockCache {
     /// Persistent distance memo shared by AGP planning and RSC scoring
     /// across refreshes of this block.
     distances: DistanceCache,
+    /// Disk-backed image of `entries` while the block is spilled under a
+    /// memory budget.  `Some` ⇒ `entries` is empty and must be faulted back
+    /// in before the block is refreshed or id-remapped.  The dirtiness
+    /// fields (`last_z`, `dirty_keys`, `fully_dirty`) always stay resident:
+    /// marking a spilled block dirty never touches the segment.
+    spilled: Option<SpillSlot>,
+    /// LRU tick of the last refresh that rebuilt or reused this block's
+    /// entries — the spill victim order (coldest first).
+    last_touch: u64,
 }
 
 impl BlockCache {
@@ -144,6 +157,8 @@ impl BlockCache {
             fully_dirty: false,
             entries: HashMap::new(),
             distances: DistanceCache::new(metric),
+            spilled: None,
+            last_touch: 0,
         }
     }
 
@@ -165,6 +180,53 @@ struct RefreshedBlock {
     invalidated: Vec<TupleId>,
     /// Output groups Stage I actually recomputed (vs reused from cache).
     recleaned: u64,
+}
+
+/// Counters of the out-of-core machinery of a memory-budgeted session —
+/// see [`CleaningSession::memory_stats`].  All zero when no
+/// [`CleanConfig::memory_budget`] is set.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryStats {
+    /// Block caches spilled to disk segments (cumulative; a block spilled,
+    /// faulted in and re-spilled counts twice).
+    pub spilled_blocks: u64,
+    /// Spilled block caches faulted back in (the block went dirty, or a
+    /// delete had to remap its tuple ids).
+    pub faulted_blocks: u64,
+    /// Total bytes written to spill segments (cumulative).
+    pub spilled_bytes: u64,
+    /// Memoised per-tuple fusions evicted by the budget (each is re-derived
+    /// deterministically at the next outcome).
+    pub evicted_fusions: u64,
+    /// Spill attempts abandoned because the segment write failed; the block
+    /// stayed resident (graceful degradation, never a correctness loss).
+    pub spill_errors: u64,
+}
+
+/// A compacting suspend image of a [`CleaningSession`]: the net surviving
+/// rows, the injected weight overrides and the batch ordinal — everything a
+/// fresh session needs to continue the stream with byte-identical outputs.
+///
+/// The snapshot is *compacting* by construction: it captures the current
+/// dataset (net survivors), not the mutation history, so its size is bound
+/// by the live data no matter how long the stream ran.  It serializes
+/// through the `mlnw` codec (see `transport`), which is how a worker
+/// checkpoints itself and truncates its replay journal.
+///
+/// Caches, fusion memos and provenance are deliberately **not** captured:
+/// [`CleaningSession::resume`] rebuilds them on the next outcome, and the
+/// session's core invariant (outputs are byte-identical to a batch run over
+/// the net surviving rows) guarantees the resumed stream cannot diverge
+/// from the uninterrupted one.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionSnapshot {
+    /// The net surviving rows at the suspend point.
+    pub dataset: Dataset,
+    /// The injected γ-weight overrides in force (empty = none).
+    pub injected: SessionWeights,
+    /// Change sets applied before the suspend point (the resumed session
+    /// continues the [`BatchReport`] ordinals from here).
+    pub batches: usize,
 }
 
 /// An incremental MLNClean engine over typed mutation ingest.
@@ -205,6 +267,16 @@ pub struct CleaningSession {
     recleaned_groups: u64,
     timings: Timings,
     batches: usize,
+    /// Spill directory backing the memory budget, created lazily on the
+    /// first spill (sessions without a budget never touch the filesystem).
+    spill: Option<SpillDir>,
+    /// Monotonic clock stamping block refreshes for LRU victim selection.
+    lru_clock: u64,
+    /// Number of `Some` slots in `fusions` — kept exact so the budget
+    /// enforcement never has to scan the O(rows) memo to size it.
+    memoised_fusions: usize,
+    /// Out-of-core accounting — see [`CleaningSession::memory_stats`].
+    memory: MemoryStats,
 }
 
 impl CleaningSession {
@@ -236,6 +308,10 @@ impl CleaningSession {
             recleaned_groups: 0,
             timings: Timings::default(),
             batches: 0,
+            spill: None,
+            lru_clock: 0,
+            memoised_fusions: 0,
+            memory: MemoryStats::default(),
         })
     }
 
@@ -351,6 +427,184 @@ impl CleaningSession {
         self.timings
     }
 
+    /// Counters of the out-of-core machinery (spills, fault-ins, fusion
+    /// evictions).  All zero unless [`CleanConfig::memory_budget`] is set.
+    pub fn memory_stats(&self) -> MemoryStats {
+        self.memory
+    }
+
+    /// Estimated resident bytes of the session's **evictable working
+    /// state** — the pool [`CleanConfig::memory_budget`] bounds: per-block
+    /// γ clean caches, their distance memos, and the heap of the per-tuple
+    /// fusion memo.  A count-based heuristic (exact sizing would cost more
+    /// than the state is worth), consistent across calls, which is all the
+    /// spill policy needs.
+    pub fn resident_estimate(&self) -> usize {
+        let mut bytes = self.memoised_fusions * FUSION_SLOT_BYTES;
+        for cache in &self.caches {
+            bytes += approx_cache_bytes(cache);
+        }
+        bytes
+    }
+
+    /// Capture a compacting suspend image of the session: the net surviving
+    /// rows, the injected weights and the batch ordinal.  See
+    /// [`SessionSnapshot`] for what is (and deliberately is not) captured,
+    /// and [`CleaningSession::resume`] for the other half.
+    pub fn snapshot(&self) -> SessionSnapshot {
+        SessionSnapshot {
+            dataset: self.dataset.clone(),
+            injected: self.injected.clone(),
+            batches: self.batches,
+        }
+    }
+
+    /// Reopen a session from a [`SessionSnapshot`] — the suspend/resume
+    /// counterpart of [`CleaningSession::snapshot`].
+    ///
+    /// The resumed session continues the stream exactly where the suspended
+    /// one left off: every later outcome is byte-identical (output CSV and
+    /// AGP/RSC/FSCR provenance) to the uninterrupted session's, because
+    /// both are byte-identical to a batch run over the net surviving rows.
+    /// Cumulative diagnostics ([`CleaningSession::timings`],
+    /// [`CleaningSession::recleaned_groups`],
+    /// [`CleaningSession::remap_passes`]) restart from zero — they describe
+    /// work done by *this* process, not the stream.
+    pub fn resume(
+        config: CleanConfig,
+        rules: RuleSet,
+        snapshot: SessionSnapshot,
+    ) -> Result<Self, CleanError> {
+        let mut session = CleaningSession::new(config, snapshot.dataset.schema().clone(), rules)?;
+        if !snapshot.dataset.is_empty() {
+            session.ingest_dataset(&snapshot.dataset)?;
+        }
+        session.batches = snapshot.batches;
+        if !snapshot.injected.is_empty() {
+            session.inject_weights(snapshot.injected);
+        }
+        Ok(session)
+    }
+
+    /// Spill one clean resident block's cache entries to a disk segment.
+    /// Returns whether the block is now spilled.  The distance memo is
+    /// dropped with the entries: it is a pure accelerator whose hit/miss
+    /// statistics are excluded from provenance equality, so faulting back
+    /// in with a cold memo is byte-identity-safe.
+    fn spill_block(&mut self, i: usize) -> bool {
+        {
+            let cache = &self.caches[i];
+            if cache.spilled.is_some() || cache.is_dirty() || cache.entries.is_empty() {
+                return false;
+            }
+        }
+        if self.spill.is_none() {
+            match SpillDir::new() {
+                Ok(dir) => self.spill = Some(dir),
+                Err(_) => {
+                    self.memory.spill_errors += 1;
+                    return false;
+                }
+            }
+        }
+        let entries: Vec<(Vec<ValueId>, GroupEntry)> = std::mem::take(&mut self.caches[i].entries)
+            .into_iter()
+            .collect();
+        let bytes = mlnw::to_bytes(&entries).expect("in-memory γ state always encodes");
+        match self
+            .spill
+            .as_ref()
+            .expect("created just above")
+            .store(&bytes)
+        {
+            Ok(slot) => {
+                self.memory.spilled_blocks += 1;
+                self.memory.spilled_bytes += bytes.len() as u64;
+                let metric = self.config.metric;
+                let cache = &mut self.caches[i];
+                cache.spilled = Some(slot);
+                cache.distances = DistanceCache::new(metric);
+                true
+            }
+            Err(_) => {
+                // Keep the block resident — the budget is advisory, the
+                // entries are not (dropping them would break the fusion
+                // invalidation the next refresh derives from them).
+                self.memory.spill_errors += 1;
+                self.caches[i].entries = entries.into_iter().collect();
+                false
+            }
+        }
+    }
+
+    /// Fault a spilled block's cache entries back in (no-op when resident).
+    ///
+    /// Panics when the segment cannot be read back or no longer decodes:
+    /// the segment lives in a directory this session owns exclusively, so a
+    /// failure means the environment broke underneath us — and proceeding
+    /// without the entries would *silently* skip the fusion invalidation
+    /// the refresh derives from them, corrupting output instead of failing.
+    fn fault_in_block(&mut self, i: usize) {
+        let Some(slot) = self.caches[i].spilled.take() else {
+            return;
+        };
+        let bytes = slot.load().expect("spill segment must be readable");
+        let entries: Vec<(Vec<ValueId>, GroupEntry)> =
+            mlnw::from_bytes(&bytes).expect("spill segment must decode");
+        self.caches[i].entries = entries.into_iter().collect();
+        self.memory.faulted_blocks += 1;
+    }
+
+    /// Shed evictable state until [`CleaningSession::resident_estimate`]
+    /// fits the configured budget: spill clean block caches coldest-first,
+    /// then (when `evict_fusions` and still over) window the fusion memo by
+    /// evicting the oldest memoised fusions.  No-op without a budget.
+    fn enforce_budget(&mut self, evict_fusions: bool) {
+        let Some(budget) = self.config.memory_budget else {
+            return;
+        };
+        let mut resident = self.resident_estimate();
+        if resident <= budget {
+            return;
+        }
+
+        let mut victims: Vec<(u64, usize)> = self
+            .caches
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.spilled.is_none() && !c.is_dirty() && !c.entries.is_empty())
+            .map(|(i, c)| (c.last_touch, i))
+            .collect();
+        victims.sort_unstable();
+        for (_, i) in victims {
+            let freed = approx_cache_bytes(&self.caches[i]);
+            if self.spill_block(i) {
+                resident = resident.saturating_sub(freed);
+                if resident <= budget {
+                    return;
+                }
+            }
+        }
+
+        if !evict_fusions {
+            return;
+        }
+        // Window the memo: evict front-to-back, so in an append-mostly
+        // stream the oldest (coldest) tuples lose their memo first and the
+        // recent tail survives.  `ensure_fusions` re-derives evicted
+        // entries deterministically, so outputs are unaffected.
+        for slot in self.fusions.iter_mut() {
+            if resident <= budget {
+                break;
+            }
+            if slot.take().is_some() {
+                self.memoised_fusions -= 1;
+                self.memory.evicted_fusions += 1;
+                resident = resident.saturating_sub(FUSION_SLOT_BYTES);
+            }
+        }
+    }
+
     /// Apply one typed [`ChangeSet`] — the session's one ingest path.
     ///
     /// The change set is atomic: every mutation is validated (row arity,
@@ -424,7 +678,9 @@ impl CleaningSession {
                     record_touched_keys(&mut touched_blocks, &touched);
                     // The tuple's own versions may have moved even when no
                     // other tuple's did; always re-fuse it.
-                    self.fusions[t.index()] = None;
+                    if self.fusions[t.index()].take().is_some() {
+                        self.memoised_fusions -= 1;
+                    }
                 }
                 Mutation::Delete(t) => {
                     // Translate the sequential id onto the survivors and
@@ -445,17 +701,27 @@ impl CleaningSession {
             self.dataset.remove_rows(&removed_ids);
             self.repaired.remove_rows(&removed_ids);
             let mut idx = 0usize;
-            self.fusions.retain(|_| {
+            let mut dropped_fusions = 0usize;
+            self.fusions.retain(|f| {
                 let keep = removed.binary_search(&idx).is_err();
                 idx += 1;
+                if !keep && f.is_some() {
+                    dropped_fusions += 1;
+                }
                 keep
             });
+            self.memoised_fusions -= dropped_fusions;
             // Cached cleaned blocks, provenance and per-group clean state
             // live in tuple-id space: shift them down past the removed
             // rows.  Dirty blocks get rebuilt from pristine at the next
             // refresh; untouched blocks never contained the tuples, so the
             // shift alone keeps their cache byte-identical to what a batch
-            // run over the survivors would produce.
+            // run over the survivors would produce.  Spilled blocks hold
+            // entries in the same id space, so they must fault in for the
+            // shift (the budget re-spills them at the end of the call).
+            for i in 0..self.caches.len() {
+                self.fault_in_block(i);
+            }
             Arc::make_mut(&mut self.cleaned).remap_removed(&removed);
             for records in &mut self.block_records {
                 remap_records_after_removal(records, &removed);
@@ -469,6 +735,7 @@ impl CleaningSession {
             record_touched(&mut touched_blocks, &report.touched_groups);
         }
 
+        self.enforce_budget(true);
         Ok(self.finalize_change(
             started,
             inserted,
@@ -574,6 +841,7 @@ impl CleaningSession {
         self.mark_fully_dirty(&report.touched_groups);
         let mut touched_blocks = vec![false; self.pristine.block_count()];
         record_touched(&mut touched_blocks, &report.touched_groups);
+        self.enforce_budget(true);
         Ok(self.finalize_change(
             started,
             report.rows,
@@ -660,6 +928,14 @@ impl CleaningSession {
             return;
         }
 
+        // Dirty spilled blocks must be resident: the rebuild both reuses
+        // their entries and derives fusion invalidation from the ones that
+        // vanish.  (Clean spilled blocks stay on disk — that is the point.)
+        self.lru_clock += 1;
+        for &i in &dirty_idx {
+            self.fault_in_block(i);
+        }
+
         let parallel = self.config.parallel;
         let config = &self.config;
         let pristine = &self.pristine;
@@ -742,9 +1018,12 @@ impl CleaningSession {
             cleaned.blocks[refreshed.block_idx] = refreshed.block;
             self.block_records[refreshed.block_idx] = refreshed.records;
             self.caches[refreshed.block_idx] = refreshed.cache;
+            self.caches[refreshed.block_idx].last_touch = self.lru_clock;
             self.recleaned_groups += refreshed.recleaned;
             for t in refreshed.invalidated {
-                self.fusions[t.index()] = None;
+                if self.fusions[t.index()].take().is_some() {
+                    self.memoised_fusions -= 1;
+                }
             }
         }
 
@@ -761,6 +1040,7 @@ impl CleaningSession {
                         .is_some_and(|f| f.conflict_detected)
                     {
                         self.fusions[t.index()] = None;
+                        self.memoised_fusions -= 1;
                     }
                 }
             }
@@ -773,6 +1053,11 @@ impl CleaningSession {
     /// maintained repaired dataset.
     fn ensure_fusions(&mut self) {
         self.refresh();
+        // Shed cold caches *before* the fusion allocations below, but do
+        // not evict fusions here — the memo is about to be (re)filled, and
+        // evicting entries just to re-derive them in the same call would
+        // only churn.
+        self.enforce_budget(false);
         let invalid: Vec<TupleId> = self
             .fusions
             .iter()
@@ -816,6 +1101,7 @@ impl CleaningSession {
                 &mut scratch,
             );
         }
+        self.memoised_fusions += invalid.len();
         for (t, fusion) in invalid.into_iter().zip(fused) {
             self.fusions[t.index()] = Some(fusion);
         }
@@ -868,6 +1154,10 @@ impl CleaningSession {
         self.ensure_fusions();
         let (fscr, deduplicated) = self.assemble_records();
         let (agp, rsc) = collect_stage_records(&self.block_records);
+        // Post-outcome every block is clean and every fusion memoised — the
+        // session's widest footprint.  Shed back under the budget before
+        // handing the report out (the next outcome re-derives evictions).
+        self.enforce_budget(true);
         Report {
             repaired: self.repaired.clone(),
             deduplicated,
@@ -1094,6 +1384,66 @@ fn refresh_block_traditional(
         invalidated,
         recleaned,
     }
+}
+
+/// Estimated evictable heap per memoised fusion: the `Option<TupleFusion>`
+/// slot's fused-assignment buffer plus allocator slack.  The slots
+/// themselves (the `Vec`'s inline buffer) are not evictable and therefore
+/// not budgeted.
+const FUSION_SLOT_BYTES: usize = 64;
+
+/// Estimated bytes per memoised distance pair: the `(ValueId, ValueId) →
+/// (f64, f64)` entry plus hash-table overhead.
+const DISTANCE_PAIR_BYTES: usize = 48;
+
+/// Hash-table overhead per cache entry (control bytes plus slack).
+const HASH_SLOT_BYTES: usize = 16;
+
+/// Estimated resident bytes of one block cache (zero once spilled): the
+/// distance memo plus every [`GroupEntry`]'s owned buffers.  Counts what
+/// spilling the block would free, which is all the budget policy needs.
+fn approx_cache_bytes(cache: &BlockCache) -> usize {
+    let mut bytes = cache.distances.len() * DISTANCE_PAIR_BYTES;
+    for (key, entry) in &cache.entries {
+        bytes += approx_entry_bytes(key, entry);
+    }
+    bytes
+}
+
+/// Estimated bytes of one cached output-group entry.
+fn approx_entry_bytes(key: &[ValueId], entry: &GroupEntry) -> usize {
+    let mut bytes = std::mem::size_of::<GroupEntry>()
+        + std::mem::size_of::<Vec<ValueId>>()
+        + HASH_SLOT_BYTES
+        + std::mem::size_of_val(key);
+    for source in &entry.sources {
+        bytes += std::mem::size_of::<Vec<ValueId>>() + std::mem::size_of_val(source.as_slice());
+    }
+    bytes += approx_group_bytes(&entry.group);
+    for repair in &entry.repairs {
+        bytes += std::mem::size_of_val(repair)
+            + std::mem::size_of_val(repair.tuples.as_slice())
+            + repair
+                .group_key
+                .iter()
+                .chain(&repair.from_values)
+                .chain(&repair.to_values)
+                .map(|s| std::mem::size_of::<String>() + s.len())
+                .sum::<usize>();
+    }
+    bytes
+}
+
+/// Estimated bytes of one [`Group`]'s owned buffers.
+fn approx_group_bytes(group: &Group) -> usize {
+    let mut bytes = std::mem::size_of_val(group.key.as_slice());
+    for gamma in &group.gammas {
+        bytes += std::mem::size_of_val(gamma)
+            + std::mem::size_of_val(gamma.reason_values.as_slice())
+            + std::mem::size_of_val(gamma.result_values.as_slice())
+            + std::mem::size_of_val(gamma.tuples.as_slice());
+    }
+    bytes
 }
 
 /// The growth of a [`DistanceCache`]'s counters between two snapshots.

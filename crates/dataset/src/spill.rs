@@ -1,0 +1,176 @@
+//! Disk-backed spill segments for memory-budgeted sessions.
+//!
+//! The out-of-core session work (see `mlnclean::session`) sheds cold state —
+//! per-block γ caches, fusion memos, coordinator id tables — to disk when a
+//! memory budget is in force.  This module owns the file
+//! plumbing and nothing else: callers hand it opaque byte blobs (already
+//! encoded through the `mlnw` codec) and get back a [`SpillSlot`] handle that
+//! faults the blob back in on demand.
+//!
+//! Lifetime rules, chosen so `#[derive(Clone)]` on the owning session stays
+//! sound:
+//!
+//! * a [`SpillDir`] is shared by reference counting; the directory is
+//!   removed (best-effort) when the last handle drops;
+//! * a [`SpillSlot`] likewise shares its file; cloning a session clones the
+//!   handle, not the bytes, and re-spilling writes a *new* file — slots are
+//!   immutable once written;
+//! * all cleanup is best-effort: spill files live under the OS temp
+//!   directory, so a leaked file is reclaimed by the platform, never a
+//!   correctness problem.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Process-wide counter making spill directory names unique within a run.
+static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A temp directory holding spill segments, removed when the last clone of
+/// the handle drops.
+#[derive(Debug, Clone)]
+pub struct SpillDir {
+    inner: Arc<DirInner>,
+}
+
+#[derive(Debug)]
+struct DirInner {
+    path: PathBuf,
+    /// Names files within the directory (slots are immutable, so every
+    /// store gets a fresh name).
+    next_slot: AtomicU64,
+}
+
+impl Drop for DirInner {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+impl SpillDir {
+    /// Open a fresh spill directory under the OS temp dir.
+    pub fn new() -> io::Result<SpillDir> {
+        Self::under(&std::env::temp_dir())
+    }
+
+    /// Open a fresh spill directory under `base` (created if missing).
+    pub fn under(base: &Path) -> io::Result<SpillDir> {
+        let name = format!(
+            "mlnclean-spill-{}-{}",
+            std::process::id(),
+            DIR_COUNTER.fetch_add(1, Ordering::Relaxed),
+        );
+        let path = base.join(name);
+        std::fs::create_dir_all(&path)?;
+        Ok(SpillDir {
+            inner: Arc::new(DirInner {
+                path,
+                next_slot: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// Where the segments live.
+    pub fn path(&self) -> &Path {
+        &self.inner.path
+    }
+
+    /// Write `bytes` as a new immutable segment and return its handle.
+    pub fn store(&self, bytes: &[u8]) -> io::Result<SpillSlot> {
+        let id = self.inner.next_slot.fetch_add(1, Ordering::Relaxed);
+        let path = self.inner.path.join(format!("seg-{id}.mlnw"));
+        std::fs::write(&path, bytes)?;
+        Ok(SpillSlot {
+            inner: Arc::new(SlotInner {
+                path,
+                len: bytes.len(),
+                _dir: self.inner.clone(),
+            }),
+        })
+    }
+}
+
+/// Handle to one immutable spilled segment; the file is deleted when the
+/// last clone drops.
+#[derive(Debug, Clone)]
+pub struct SpillSlot {
+    inner: Arc<SlotInner>,
+}
+
+#[derive(Debug)]
+struct SlotInner {
+    path: PathBuf,
+    len: usize,
+    /// Keeps the owning directory alive at least as long as its segments.
+    _dir: Arc<DirInner>,
+}
+
+impl Drop for SlotInner {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+impl SpillSlot {
+    /// Fault the segment back in.
+    pub fn load(&self) -> io::Result<Vec<u8>> {
+        std::fs::read(&self.inner.path)
+    }
+
+    /// Size of the segment on disk, in bytes.
+    pub fn len(&self) -> usize {
+        self.inner.len
+    }
+
+    /// Whether the segment is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_and_load_round_trip() {
+        let dir = SpillDir::new().expect("temp dir is writable");
+        let slot = dir.store(b"gamma state").unwrap();
+        assert_eq!(slot.len(), 11);
+        assert!(!slot.is_empty());
+        assert_eq!(slot.load().unwrap(), b"gamma state");
+        // Slots are independent files.
+        let other = dir.store(b"").unwrap();
+        assert!(other.is_empty());
+        assert_eq!(other.load().unwrap(), Vec::<u8>::new());
+        assert_eq!(slot.load().unwrap(), b"gamma state");
+    }
+
+    #[test]
+    fn clones_share_the_file_and_cleanup_is_on_last_drop() {
+        let dir = SpillDir::new().unwrap();
+        let slot = dir.store(b"shared").unwrap();
+        let path = dir.path().join("seg-0.mlnw");
+        assert!(path.exists());
+        let clone = slot.clone();
+        drop(slot);
+        // First drop must not delete the file out from under the clone.
+        assert!(path.exists());
+        assert_eq!(clone.load().unwrap(), b"shared");
+        drop(clone);
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn directory_is_removed_with_its_last_handle() {
+        let dir = SpillDir::new().unwrap();
+        let path = dir.path().to_path_buf();
+        let slot = dir.store(b"x").unwrap();
+        drop(dir);
+        // A live slot keeps the directory alive.
+        assert!(path.exists());
+        drop(slot);
+        assert!(!path.exists());
+    }
+}

@@ -55,7 +55,7 @@
 
 use crate::backend::{LocalPartitions, PartitionBackend};
 use crate::partition::route_row;
-use dataset::{ArityMismatch, Dataset, Schema, TupleId, ValueId, ValuePool};
+use dataset::{ArityMismatch, Dataset, Schema, SpillDir, SpillSlot, TupleId, ValueId, ValuePool};
 use mlnclean::index::{cmp_resolved, cmp_resolved_gammas};
 use mlnclean::session::nth_surviving;
 use mlnclean::{
@@ -70,6 +70,11 @@ use mlnclean::CleaningSession;
 use rules::RuleSet;
 use std::collections::HashMap;
 use std::time::Instant;
+
+/// Budget-accounting heuristic for one memoised [`TupleFusion`] slot — the
+/// same per-slot cost the single session charges, so one `memory_budget`
+/// knob means the same thing on both drivers.
+const FUSION_SLOT_BYTES: usize = 64;
 
 /// The stateful distributed streaming coordinator: per-partition
 /// [`CleaningSession`]s behind the same `apply`/`outcome`/`finish` surface a
@@ -123,7 +128,18 @@ pub struct DistributedStreamingSession<B: PartitionBackend = LocalPartitions> {
     block_agp: Vec<AgpRecord>,
     block_rsc: Vec<RscRecord>,
     /// Per global row: the memoised FSCR fusion (`None` = must be re-fused).
+    /// This is the coordinator's only O(rows)-sized value state; under a
+    /// [`CleanConfig::memory_budget`] the whole memo is shed to a spill
+    /// segment between change sets (see [`Self::shed_fusions`]) and faulted
+    /// back in before any path that reads or invalidates slots.
     fusions: Vec<Option<TupleFusion>>,
+    /// Spilled fusion memo (`Some` ⇒ `fusions` is empty and the encoded
+    /// vector lives in the segment).
+    shed: Option<SpillSlot>,
+    /// Lazily created spill directory backing [`Self::shed`].
+    spill: Option<SpillDir>,
+    /// Times the fusion memo was shed to disk.
+    fusion_sheds: usize,
     /// Global blocks touched since the last merge round.
     dirty: Vec<bool>,
     /// Per block: γs that drew cross-partition evidence in its last merge.
@@ -211,6 +227,9 @@ impl<B: PartitionBackend> DistributedStreamingSession<B> {
             block_agp: vec![AgpRecord::default(); blocks],
             block_rsc: vec![RscRecord::default(); blocks],
             fusions: Vec::new(),
+            shed: None,
+            spill: None,
+            fusion_sheds: 0,
             dirty: vec![false; blocks],
             shared_per_block: vec![0; blocks],
             merged_weights: SessionWeights::new(),
@@ -323,6 +342,55 @@ impl<B: PartitionBackend> DistributedStreamingSession<B> {
         &self.merged_weights
     }
 
+    /// Times the coordinator shed its fusion memo to the spill layer (always
+    /// 0 without a [`CleanConfig::memory_budget`]).
+    pub fn fusion_sheds(&self) -> usize {
+        self.fusion_sheds
+    }
+
+    /// Fault the shed fusion memo back in.  Every path that pushes,
+    /// invalidates, remaps or reads fusion slots calls this first, so the
+    /// index-based bookkeeping always operates on resident state.
+    ///
+    /// Panics when the segment cannot be read back or decoded: the memo
+    /// records which tuples still have valid fusions, and proceeding
+    /// without it would silently re-fuse nothing (or everything) — a
+    /// corrupted output, not a recoverable slowdown.
+    fn reside_fusions(&mut self) {
+        if let Some(slot) = self.shed.take() {
+            let bytes = slot.load().expect("a shed fusion segment reads back");
+            self.fusions = mlnw::from_bytes(&bytes).expect("a shed fusion segment decodes");
+        }
+    }
+
+    /// Shed the fusion memo — the coordinator's only O(rows) value state —
+    /// to a spill segment when the configured budget cannot hold it.  A
+    /// failed spill (I/O error) leaves the memo resident: shedding is an
+    /// optimization, never a correctness requirement.
+    fn shed_fusions(&mut self) {
+        let Some(budget) = self.config.memory_budget else {
+            return;
+        };
+        if self.shed.is_some() || self.fusions.is_empty() {
+            return;
+        }
+        if self.fusions.len() * FUSION_SLOT_BYTES <= budget {
+            return;
+        }
+        if self.spill.is_none() {
+            match SpillDir::new() {
+                Ok(dir) => self.spill = Some(dir),
+                Err(_) => return,
+            }
+        }
+        let bytes = mlnw::to_bytes(&self.fusions).expect("in-memory fusion memos always encode");
+        if let Ok(slot) = self.spill.as_ref().expect("just ensured").store(&bytes) {
+            self.shed = Some(slot);
+            self.fusions = Vec::new();
+            self.fusion_sheds += 1;
+        }
+    }
+
     /// Pre-validate a change set against the global stream state — the same
     /// sequential-id semantics [`CleaningSession::apply`] validates, so a
     /// failed call leaves the coordinator and every partition untouched.
@@ -378,6 +446,9 @@ impl<B: PartitionBackend> DistributedStreamingSession<B> {
     /// block fields match the single session's exactly.
     pub fn apply(&mut self, changes: ChangeSet) -> Result<BatchReport, CleanError> {
         self.validate(&changes)?;
+        // Inserts push slots and updates/deletes invalidate or remap them
+        // by index — all of which needs the memo resident.
+        self.reside_fusions();
         let started = Instant::now();
         let partitions = self.backend.partitions();
         let mut pending: Vec<Vec<Mutation>> = vec![Vec::new(); partitions];
@@ -518,6 +589,7 @@ impl<B: PartitionBackend> DistributedStreamingSession<B> {
         if self.batches.is_multiple_of(self.merge_every) {
             self.merge_round();
         }
+        self.shed_fusions();
         Ok(report)
     }
 
@@ -635,6 +707,8 @@ impl<B: PartitionBackend> DistributedStreamingSession<B> {
         if !self.dirty.iter().any(|&d| d) {
             return;
         }
+        // Re-merged blocks invalidate their tuples' fusion slots below.
+        self.reside_fusions();
         self.sync_cleaned_pool();
 
         // Gather: fetch every partition's copy of the dirty blocks from the
@@ -752,6 +826,9 @@ impl<B: PartitionBackend> DistributedStreamingSession<B> {
     fn ensure_fusions(&mut self) {
         self.merge_round();
         self.sync_cleaned_pool();
+        // `assemble` reads every slot, so the memo must be resident even
+        // when no block was dirty.
+        self.reside_fusions();
         if self.fusions.iter().all(Option::is_some) {
             return;
         }
@@ -776,7 +853,9 @@ impl<B: PartitionBackend> DistributedStreamingSession<B> {
         self.ensure_fusions();
         let repaired = self.gather_dataset();
         let cleaned = self.cleaned.clone();
-        self.assemble(repaired, cleaned)
+        let report = self.assemble(repaired, cleaned);
+        self.shed_fusions();
+        report
     }
 
     /// Close the stream, moving the accumulated state into the final
@@ -1141,6 +1220,60 @@ mod tests {
             csv::to_csv(&streamed.repaired)
         );
         assert_eq!(batch.fscr, streamed.fscr);
+    }
+
+    /// Under a memory budget the coordinator sheds its only O(rows) value
+    /// state — the fusion memo — to the spill layer between change sets,
+    /// and the stream's outputs must not move by a byte.
+    #[test]
+    fn budgeted_coordinator_sheds_fusions_and_stays_byte_identical() {
+        let dirty = sample_hospital_dataset();
+        let rules = rules::sample_hospital_rules();
+        let config = CleanConfig::default().with_tau(1);
+
+        let run = |config: CleanConfig| {
+            let mut session = DistributedStreamingSession::new(
+                config,
+                dirty.schema().clone(),
+                rules.clone(),
+                2,
+                1,
+            )
+            .unwrap();
+            for row in hospital_rows(&dirty) {
+                session.apply(ChangeSet::inserting(vec![row])).unwrap();
+            }
+            let mid = session.outcome();
+            let st = dirty.schema().attr_id("ST").unwrap();
+            session
+                .apply(
+                    ChangeSet::new()
+                        .update(TupleId(3), st, "AL")
+                        .delete(TupleId(5)),
+                )
+                .unwrap();
+            let sheds = session.fusion_sheds();
+            (mid, session.finish(), sheds)
+        };
+
+        let (plain_mid, plain, plain_sheds) = run(config.clone());
+        assert_eq!(plain_sheds, 0, "no budget, no shedding");
+        let (tight_mid, tight, tight_sheds) = run(config.with_memory_budget(1));
+        assert!(tight_sheds > 0, "a 1-byte budget must shed the fusion memo");
+
+        for (label, a, b) in [
+            ("mid-stream outcome", &plain_mid, &tight_mid),
+            ("final outcome", &plain, &tight),
+        ] {
+            assert_eq!(
+                csv::to_csv(&a.repaired),
+                csv::to_csv(&b.repaired),
+                "{label}: repaired CSV diverged under a budget"
+            );
+            assert_eq!(a.agp, b.agp, "{label}: AGP diverged");
+            assert_eq!(a.rsc, b.rsc, "{label}: RSC diverged");
+            assert_eq!(a.fscr, b.fscr, "{label}: FSCR diverged");
+        }
     }
 
     /// The routing-only regression probe: the coordinator's resident state

@@ -1,0 +1,1117 @@
+//! The wire codec: a compact, self-describing binary format implementing the
+//! full serde [`Serializer`](ser::Serializer)/[`Deserializer`](de::Deserializer)
+//! surface.
+//!
+//! Every frame starts with a 6-byte header — the `MLNW` magic followed by a
+//! little-endian [`CODEC_VERSION`] — so a peer can reject frames from a
+//! different protocol generation before touching the payload (the benchmark
+//! reports embed the same version, tying artifacts to the codec that framed
+//! them).  After the header the payload is a stream of tagged values:
+//!
+//! | tag | value |
+//! |-----|-------|
+//! | `0` | unit |
+//! | `1`/`2` | `false` / `true` |
+//! | `3` | unsigned integer, LEB128 varint |
+//! | `4` | signed integer, zigzag varint |
+//! | `5`/`6` | `f32` / `f64`, little-endian IEEE bits |
+//! | `7` | `char`, varint scalar value |
+//! | `8` | string, varint byte length + UTF-8 bytes |
+//! | `9` | bytes, varint length + raw bytes |
+//! | `10`/`11` | `None` / `Some` + value |
+//! | `12` | sequence, varint element count + elements |
+//! | `13` | map, varint entry count + key/value pairs |
+//! | `14` | enum, varint variant index + payload value |
+//!
+//! Tuples and structs are framed as sequences (tag `12`) — field names never
+//! cross the wire; the derive machinery reads structs positionally through
+//! `visit_seq`.  Newtype structs are transparent and unit structs are unit.
+//!
+//! Because every value carries its tag, the decoder can skip unknown content
+//! (`deserialize_ignored_any`) and every `deserialize_*` method can share one
+//! tag dispatcher — the format is self-describing in the same sense as
+//! serde's data model, just without the field-name overhead of JSON.
+
+use serde::{de, ser, Deserialize, Serialize};
+use std::fmt;
+
+/// Protocol generation of this codec.  Bump on any change to the tag table
+/// or framing; peers refuse frames whose header disagrees.
+pub const CODEC_VERSION: u16 = 1;
+
+/// Frame magic: these four bytes open every encoded frame.
+pub const MAGIC: [u8; 4] = *b"MLNW";
+
+const TAG_UNIT: u8 = 0;
+const TAG_FALSE: u8 = 1;
+const TAG_TRUE: u8 = 2;
+const TAG_UINT: u8 = 3;
+const TAG_INT: u8 = 4;
+const TAG_F32: u8 = 5;
+const TAG_F64: u8 = 6;
+const TAG_CHAR: u8 = 7;
+const TAG_STR: u8 = 8;
+const TAG_BYTES: u8 = 9;
+const TAG_NONE: u8 = 10;
+const TAG_SOME: u8 = 11;
+const TAG_SEQ: u8 = 12;
+const TAG_MAP: u8 = 13;
+const TAG_ENUM: u8 = 14;
+
+/// Anything that can go wrong encoding or decoding a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Free-form error raised through `serde::{ser,de}::Error::custom`.
+    Message(String),
+    /// Input ended mid-value.
+    Eof,
+    /// A frame decoded cleanly but left unread bytes behind.
+    Trailing {
+        /// Offset of the first unread byte.
+        at: usize,
+    },
+    /// The frame does not open with the `MLNW` magic.
+    BadMagic,
+    /// The frame's codec version differs from ours.
+    Version {
+        /// Version found in the frame header.
+        found: u16,
+        /// Version this build speaks.
+        expected: u16,
+    },
+    /// A value's tag does not match what the caller asked for.
+    Tag {
+        /// Tag byte found in the input.
+        found: u8,
+        /// What the decoder was asked to produce.
+        expected: &'static str,
+    },
+    /// A string's bytes are not valid UTF-8.
+    Utf8,
+    /// A varint ran past ten bytes.
+    VarintOverflow,
+    /// A char scalar value outside the Unicode range.
+    BadChar(u32),
+    /// `serialize_seq(None)` — this format needs lengths up front.
+    UnsizedSequence,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Message(msg) => write!(f, "{msg}"),
+            CodecError::Eof => write!(f, "unexpected end of input"),
+            CodecError::Trailing { at } => write!(f, "trailing bytes after frame (offset {at})"),
+            CodecError::BadMagic => write!(f, "frame does not start with the MLNW magic"),
+            CodecError::Version { found, expected } => {
+                write!(
+                    f,
+                    "codec version mismatch: frame v{found}, expected v{expected}"
+                )
+            }
+            CodecError::Tag { found, expected } => {
+                write!(f, "unexpected tag {found}, expected {expected}")
+            }
+            CodecError::Utf8 => write!(f, "string is not valid UTF-8"),
+            CodecError::VarintOverflow => write!(f, "varint longer than ten bytes"),
+            CodecError::BadChar(v) => write!(f, "invalid char scalar value {v}"),
+            CodecError::UnsizedSequence => {
+                write!(f, "sequences without an up-front length are unsupported")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl ser::Error for CodecError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        CodecError::Message(msg.to_string())
+    }
+}
+
+impl de::Error for CodecError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        CodecError::Message(msg.to_string())
+    }
+}
+
+/// Encode a value into a fresh framed buffer (header + tagged payload).
+pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, CodecError> {
+    let mut enc = Encoder::new();
+    value.serialize(&mut enc)?;
+    Ok(enc.into_bytes())
+}
+
+/// Decode a framed buffer produced by [`to_bytes`].  Rejects bad magic,
+/// version mismatches and trailing garbage.
+pub fn from_bytes<T: de::DeserializeOwned>(bytes: &[u8]) -> Result<T, CodecError> {
+    let mut dec = Decoder::new(bytes)?;
+    let value = T::deserialize(&mut dec)?;
+    if dec.pos != bytes.len() {
+        return Err(CodecError::Trailing { at: dec.pos });
+    }
+    Ok(value)
+}
+
+// ---------------------------------------------------------------------------
+// Encoder.
+// ---------------------------------------------------------------------------
+
+/// Streaming encoder: the frame header is written on construction, values
+/// append as they serialize.
+#[derive(Debug)]
+pub struct Encoder {
+    out: Vec<u8>,
+}
+
+impl Encoder {
+    /// Open a frame: magic + version header, no payload yet.
+    pub fn new() -> Self {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&CODEC_VERSION.to_le_bytes());
+        Encoder { out }
+    }
+
+    /// Close the frame and take the bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.out
+    }
+
+    fn put_varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.out.push(byte);
+                return;
+            }
+            self.out.push(byte | 0x80);
+        }
+    }
+
+    fn put_uint(&mut self, v: u64) {
+        self.out.push(TAG_UINT);
+        self.put_varint(v);
+    }
+
+    fn put_int(&mut self, v: i64) {
+        self.out.push(TAG_INT);
+        // Zigzag: small magnitudes of either sign stay short on the wire.
+        self.put_varint(((v << 1) ^ (v >> 63)) as u64);
+    }
+
+    fn put_seq_header(&mut self, len: usize) {
+        self.out.push(TAG_SEQ);
+        self.put_varint(len as u64);
+    }
+}
+
+impl Default for Encoder {
+    fn default() -> Self {
+        Encoder::new()
+    }
+}
+
+impl ser::Serializer for &mut Encoder {
+    type Ok = ();
+    type Error = CodecError;
+    type SerializeSeq = Self;
+    type SerializeTuple = Self;
+    type SerializeTupleStruct = Self;
+    type SerializeTupleVariant = Self;
+    type SerializeMap = Self;
+    type SerializeStruct = Self;
+    type SerializeStructVariant = Self;
+
+    fn serialize_bool(self, v: bool) -> Result<(), CodecError> {
+        self.out.push(if v { TAG_TRUE } else { TAG_FALSE });
+        Ok(())
+    }
+    fn serialize_i8(self, v: i8) -> Result<(), CodecError> {
+        self.put_int(v as i64);
+        Ok(())
+    }
+    fn serialize_i16(self, v: i16) -> Result<(), CodecError> {
+        self.put_int(v as i64);
+        Ok(())
+    }
+    fn serialize_i32(self, v: i32) -> Result<(), CodecError> {
+        self.put_int(v as i64);
+        Ok(())
+    }
+    fn serialize_i64(self, v: i64) -> Result<(), CodecError> {
+        self.put_int(v);
+        Ok(())
+    }
+    fn serialize_u8(self, v: u8) -> Result<(), CodecError> {
+        self.put_uint(v as u64);
+        Ok(())
+    }
+    fn serialize_u16(self, v: u16) -> Result<(), CodecError> {
+        self.put_uint(v as u64);
+        Ok(())
+    }
+    fn serialize_u32(self, v: u32) -> Result<(), CodecError> {
+        self.put_uint(v as u64);
+        Ok(())
+    }
+    fn serialize_u64(self, v: u64) -> Result<(), CodecError> {
+        self.put_uint(v);
+        Ok(())
+    }
+    fn serialize_f32(self, v: f32) -> Result<(), CodecError> {
+        self.out.push(TAG_F32);
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_f64(self, v: f64) -> Result<(), CodecError> {
+        self.out.push(TAG_F64);
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_char(self, v: char) -> Result<(), CodecError> {
+        self.out.push(TAG_CHAR);
+        self.put_varint(v as u64);
+        Ok(())
+    }
+    fn serialize_str(self, v: &str) -> Result<(), CodecError> {
+        self.out.push(TAG_STR);
+        self.put_varint(v.len() as u64);
+        self.out.extend_from_slice(v.as_bytes());
+        Ok(())
+    }
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), CodecError> {
+        self.out.push(TAG_BYTES);
+        self.put_varint(v.len() as u64);
+        self.out.extend_from_slice(v);
+        Ok(())
+    }
+    fn serialize_none(self) -> Result<(), CodecError> {
+        self.out.push(TAG_NONE);
+        Ok(())
+    }
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), CodecError> {
+        self.out.push(TAG_SOME);
+        value.serialize(self)
+    }
+    fn serialize_unit(self) -> Result<(), CodecError> {
+        self.out.push(TAG_UNIT);
+        Ok(())
+    }
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), CodecError> {
+        self.serialize_unit()
+    }
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+    ) -> Result<(), CodecError> {
+        self.out.push(TAG_ENUM);
+        self.put_varint(variant_index as u64);
+        self.serialize_unit()
+    }
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        value.serialize(self)
+    }
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        self.out.push(TAG_ENUM);
+        self.put_varint(variant_index as u64);
+        value.serialize(self)
+    }
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self, CodecError> {
+        let len = len.ok_or(CodecError::UnsizedSequence)?;
+        self.put_seq_header(len);
+        Ok(self)
+    }
+    fn serialize_tuple(self, len: usize) -> Result<Self, CodecError> {
+        self.put_seq_header(len);
+        Ok(self)
+    }
+    fn serialize_tuple_struct(self, _name: &'static str, len: usize) -> Result<Self, CodecError> {
+        self.put_seq_header(len);
+        Ok(self)
+    }
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        len: usize,
+    ) -> Result<Self, CodecError> {
+        self.out.push(TAG_ENUM);
+        self.put_varint(variant_index as u64);
+        self.put_seq_header(len);
+        Ok(self)
+    }
+    fn serialize_map(self, len: Option<usize>) -> Result<Self, CodecError> {
+        let len = len.ok_or(CodecError::UnsizedSequence)?;
+        self.out.push(TAG_MAP);
+        self.put_varint(len as u64);
+        Ok(self)
+    }
+    fn serialize_struct(self, _name: &'static str, len: usize) -> Result<Self, CodecError> {
+        self.put_seq_header(len);
+        Ok(self)
+    }
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        len: usize,
+    ) -> Result<Self, CodecError> {
+        self.out.push(TAG_ENUM);
+        self.put_varint(variant_index as u64);
+        self.put_seq_header(len);
+        Ok(self)
+    }
+}
+
+impl ser::SerializeSeq for &mut Encoder {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeTuple for &mut Encoder {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeTupleStruct for &mut Encoder {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeTupleVariant for &mut Encoder {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeMap for &mut Encoder {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), CodecError> {
+        key.serialize(&mut **self)
+    }
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeStruct for &mut Encoder {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeStructVariant for &mut Encoder {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decoder.
+// ---------------------------------------------------------------------------
+
+/// Streaming decoder over a framed byte slice; the header is validated on
+/// construction.
+#[derive(Debug)]
+pub struct Decoder<'de> {
+    input: &'de [u8],
+    pos: usize,
+}
+
+impl<'de> Decoder<'de> {
+    /// Open a frame, validating magic and version.
+    pub fn new(input: &'de [u8]) -> Result<Self, CodecError> {
+        if input.len() < 6 {
+            return Err(CodecError::Eof);
+        }
+        if input[..4] != MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        let found = u16::from_le_bytes([input[4], input[5]]);
+        if found != CODEC_VERSION {
+            return Err(CodecError::Version {
+                found,
+                expected: CODEC_VERSION,
+            });
+        }
+        Ok(Decoder { input, pos: 6 })
+    }
+
+    fn byte(&mut self) -> Result<u8, CodecError> {
+        let b = *self.input.get(self.pos).ok_or(CodecError::Eof)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'de [u8], CodecError> {
+        let end = self.pos.checked_add(n).ok_or(CodecError::Eof)?;
+        let slice = self.input.get(self.pos..end).ok_or(CodecError::Eof)?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn varint(&mut self) -> Result<u64, CodecError> {
+        let mut out = 0u64;
+        for shift in (0..64).step_by(7) {
+            let byte = self.byte()?;
+            if shift == 63 && byte & 0x7e != 0 {
+                // Tenth byte: only bit 0 still fits in a u64.  `<< 63` would
+                // silently discard bits 1–6, decoding a different number than
+                // was encoded — reject instead of truncating.
+                return Err(CodecError::VarintOverflow);
+            }
+            out |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(out);
+            }
+        }
+        Err(CodecError::VarintOverflow)
+    }
+
+    fn zigzag(&mut self) -> Result<i64, CodecError> {
+        let raw = self.varint()?;
+        Ok(((raw >> 1) as i64) ^ -((raw & 1) as i64))
+    }
+
+    fn str_value(&mut self) -> Result<&'de str, CodecError> {
+        let len = self.varint()? as usize;
+        std::str::from_utf8(self.take(len)?).map_err(|_| CodecError::Utf8)
+    }
+}
+
+/// Forward a list of no-extra-argument `deserialize_*` methods to
+/// `deserialize_any` — the format is self-describing, so the tag in the
+/// input decides what gets visited, not the caller's hint.
+macro_rules! serde_forward_to_any {
+    ($($method:ident)*) => {
+        $(
+            fn $method<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+                self.deserialize_any(visitor)
+            }
+        )*
+    };
+}
+
+/// Hands a pre-read enum variant index to the derive's identifier seed.
+struct VariantIndex(u64);
+
+impl<'de> de::Deserializer<'de> for VariantIndex {
+    type Error = CodecError;
+
+    fn deserialize_any<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        visitor.visit_u64(self.0)
+    }
+
+    serde_forward_to_any! {
+        deserialize_bool deserialize_i8 deserialize_i16 deserialize_i32 deserialize_i64
+        deserialize_u8 deserialize_u16 deserialize_u32 deserialize_u64 deserialize_f32
+        deserialize_f64 deserialize_char deserialize_str deserialize_string
+        deserialize_bytes deserialize_byte_buf deserialize_option deserialize_unit
+        deserialize_seq deserialize_map deserialize_identifier deserialize_ignored_any
+    }
+
+    fn deserialize_unit_struct<V: de::Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        self.deserialize_any(visitor)
+    }
+    fn deserialize_newtype_struct<V: de::Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        self.deserialize_any(visitor)
+    }
+    fn deserialize_tuple<V: de::Visitor<'de>>(
+        self,
+        _len: usize,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        self.deserialize_any(visitor)
+    }
+    fn deserialize_tuple_struct<V: de::Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _len: usize,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        self.deserialize_any(visitor)
+    }
+    fn deserialize_struct<V: de::Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        self.deserialize_any(visitor)
+    }
+    fn deserialize_enum<V: de::Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        self.deserialize_any(visitor)
+    }
+}
+
+impl<'de> de::Deserializer<'de> for &mut Decoder<'de> {
+    type Error = CodecError;
+
+    fn deserialize_any<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        match self.byte()? {
+            TAG_UNIT => visitor.visit_unit(),
+            TAG_FALSE => visitor.visit_bool(false),
+            TAG_TRUE => visitor.visit_bool(true),
+            TAG_UINT => {
+                let v = self.varint()?;
+                visitor.visit_u64(v)
+            }
+            TAG_INT => {
+                let v = self.zigzag()?;
+                visitor.visit_i64(v)
+            }
+            TAG_F32 => {
+                let bytes: [u8; 4] = self.take(4)?.try_into().expect("take returned 4 bytes");
+                visitor.visit_f32(f32::from_le_bytes(bytes))
+            }
+            TAG_F64 => {
+                let bytes: [u8; 8] = self.take(8)?.try_into().expect("take returned 8 bytes");
+                visitor.visit_f64(f64::from_le_bytes(bytes))
+            }
+            TAG_CHAR => {
+                let raw = self.varint()?;
+                let raw = u32::try_from(raw).map_err(|_| CodecError::BadChar(u32::MAX))?;
+                let c = char::from_u32(raw).ok_or(CodecError::BadChar(raw))?;
+                visitor.visit_char(c)
+            }
+            TAG_STR => {
+                let s = self.str_value()?;
+                visitor.visit_str(s)
+            }
+            TAG_BYTES => {
+                let len = self.varint()? as usize;
+                let bytes = self.take(len)?;
+                visitor.visit_bytes(bytes)
+            }
+            TAG_NONE => visitor.visit_none(),
+            TAG_SOME => visitor.visit_some(self),
+            TAG_SEQ => {
+                let len = self.varint()? as usize;
+                visitor.visit_seq(SeqReader {
+                    de: self,
+                    remaining: len,
+                })
+            }
+            TAG_MAP => {
+                let len = self.varint()? as usize;
+                visitor.visit_map(MapReader {
+                    de: self,
+                    remaining: len,
+                })
+            }
+            TAG_ENUM => {
+                let index = self.varint()?;
+                visitor.visit_enum(EnumReader { de: self, index })
+            }
+            found => Err(CodecError::Tag {
+                found,
+                expected: "a value tag",
+            }),
+        }
+    }
+
+    serde_forward_to_any! {
+        deserialize_bool deserialize_i8 deserialize_i16 deserialize_i32 deserialize_i64
+        deserialize_u8 deserialize_u16 deserialize_u32 deserialize_u64 deserialize_f32
+        deserialize_f64 deserialize_char deserialize_str deserialize_string
+        deserialize_bytes deserialize_byte_buf deserialize_option deserialize_unit
+        deserialize_seq deserialize_map deserialize_identifier deserialize_ignored_any
+    }
+
+    fn deserialize_unit_struct<V: de::Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        self.deserialize_any(visitor)
+    }
+    fn deserialize_newtype_struct<V: de::Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        // Newtype structs are transparent on the wire.
+        visitor.visit_newtype_struct(self)
+    }
+    fn deserialize_tuple<V: de::Visitor<'de>>(
+        self,
+        _len: usize,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        self.deserialize_any(visitor)
+    }
+    fn deserialize_tuple_struct<V: de::Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _len: usize,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        self.deserialize_any(visitor)
+    }
+    fn deserialize_struct<V: de::Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        self.deserialize_any(visitor)
+    }
+    fn deserialize_enum<V: de::Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        self.deserialize_any(visitor)
+    }
+}
+
+struct SeqReader<'a, 'de> {
+    de: &'a mut Decoder<'de>,
+    remaining: usize,
+}
+
+impl<'de> de::SeqAccess<'de> for SeqReader<'_, 'de> {
+    type Error = CodecError;
+    fn next_element_seed<T: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, CodecError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+struct MapReader<'a, 'de> {
+    de: &'a mut Decoder<'de>,
+    remaining: usize,
+}
+
+impl<'de> de::MapAccess<'de> for MapReader<'_, 'de> {
+    type Error = CodecError;
+    fn next_key_seed<K: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, CodecError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+    fn next_value_seed<V: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: V,
+    ) -> Result<V::Value, CodecError> {
+        seed.deserialize(&mut *self.de)
+    }
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+struct EnumReader<'a, 'de> {
+    de: &'a mut Decoder<'de>,
+    index: u64,
+}
+
+impl<'de, 'a> de::EnumAccess<'de> for EnumReader<'a, 'de> {
+    type Error = CodecError;
+    type Variant = VariantReader<'a, 'de>;
+    fn variant_seed<V: de::DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self::Variant), CodecError> {
+        let value = seed.deserialize(VariantIndex(self.index))?;
+        Ok((value, VariantReader { de: self.de }))
+    }
+}
+
+struct VariantReader<'a, 'de> {
+    de: &'a mut Decoder<'de>,
+}
+
+impl<'de> de::VariantAccess<'de> for VariantReader<'_, 'de> {
+    type Error = CodecError;
+    fn unit_variant(self) -> Result<(), CodecError> {
+        <()>::deserialize(&mut *self.de)
+    }
+    fn newtype_variant_seed<T: de::DeserializeSeed<'de>>(
+        self,
+        seed: T,
+    ) -> Result<T::Value, CodecError> {
+        seed.deserialize(&mut *self.de)
+    }
+    fn tuple_variant<V: de::Visitor<'de>>(
+        self,
+        _len: usize,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        de::Deserializer::deserialize_any(&mut *self.de, visitor)
+    }
+    fn struct_variant<V: de::Visitor<'de>>(
+        self,
+        _fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        de::Deserializer::deserialize_any(&mut *self.de, visitor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use serde::{Deserialize, Serialize};
+    use std::collections::BTreeMap;
+    use std::time::Duration;
+
+    fn round_trip<T>(value: &T) -> T
+    where
+        T: Serialize + de::DeserializeOwned + std::fmt::Debug + PartialEq,
+    {
+        let bytes = to_bytes(value).expect("encode");
+        let back: T = from_bytes(&bytes).expect("decode");
+        assert_eq!(&back, value);
+        back
+    }
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Nested {
+        id: u64,
+        label: String,
+        weight: f64,
+        tags: Vec<String>,
+        extra: Option<Box<Nested>>,
+    }
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    enum Shape {
+        Unit,
+        Newtype(u32),
+        Tuple(i64, String),
+        Struct { x: f64, y: Vec<u8> },
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(&true);
+        round_trip(&false);
+        round_trip(&0u64);
+        round_trip(&u64::MAX);
+        round_trip(&-1i64);
+        round_trip(&i64::MIN);
+        round_trip(&3.5f64);
+        round_trip(&-0.25f32);
+        round_trip(&'γ');
+        round_trip(&String::from("wire"));
+        round_trip(&String::new());
+        round_trip(&());
+        round_trip(&Some(7usize));
+        round_trip(&Option::<usize>::None);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        round_trip(&vec![1u32, 2, 3]);
+        round_trip(&Vec::<String>::new());
+        round_trip(&(1u8, String::from("two"), 3.0f64));
+        let mut map = BTreeMap::new();
+        map.insert(String::from("a"), vec![1u64]);
+        map.insert(String::from("b"), vec![]);
+        round_trip(&map);
+        round_trip(&Duration::from_nanos(1_234_567_891));
+    }
+
+    #[test]
+    fn structs_and_enums_round_trip() {
+        round_trip(&Nested {
+            id: 42,
+            label: String::from("γ-block"),
+            weight: -1.5,
+            tags: vec![String::from("a"), String::from("b")],
+            extra: Some(Box::new(Nested {
+                id: 7,
+                label: String::new(),
+                weight: 0.0,
+                tags: vec![],
+                extra: None,
+            })),
+        });
+        round_trip(&Shape::Unit);
+        round_trip(&Shape::Newtype(9));
+        round_trip(&Shape::Tuple(-3, String::from("t")));
+        round_trip(&Shape::Struct {
+            x: 2.25,
+            y: vec![0, 255],
+        });
+        round_trip(&vec![Shape::Unit, Shape::Newtype(1), Shape::Unit]);
+    }
+
+    #[test]
+    fn header_is_validated() {
+        let bytes = to_bytes(&1u64).unwrap();
+        assert_eq!(&bytes[..4], b"MLNW");
+        assert_eq!(u16::from_le_bytes([bytes[4], bytes[5]]), CODEC_VERSION);
+
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        assert_eq!(from_bytes::<u64>(&bad_magic), Err(CodecError::BadMagic));
+
+        let mut bad_version = bytes.clone();
+        bad_version[4] = 0xFF;
+        assert!(matches!(
+            from_bytes::<u64>(&bad_version),
+            Err(CodecError::Version { .. })
+        ));
+
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(matches!(
+            from_bytes::<u64>(&trailing),
+            Err(CodecError::Trailing { .. })
+        ));
+
+        assert_eq!(from_bytes::<u64>(&bytes[..5]), Err(CodecError::Eof));
+    }
+
+    #[test]
+    fn truncated_payloads_error_not_panic() {
+        let bytes = to_bytes(&vec![String::from("abc"); 3]).unwrap();
+        for cut in 6..bytes.len() {
+            assert!(from_bytes::<Vec<String>>(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let value = Nested {
+            id: 1,
+            label: String::from("same"),
+            weight: 0.5,
+            tags: vec![String::from("x")],
+            extra: None,
+        };
+        assert_eq!(to_bytes(&value).unwrap(), to_bytes(&value).unwrap());
+    }
+
+    /// A raw frame whose payload is `TAG_UINT` followed by `varint_bytes`
+    /// verbatim — lets the fixtures drive the decoder with hand-built
+    /// (including invalid) varints.
+    fn uint_frame(varint_bytes: &[u8]) -> Vec<u8> {
+        let mut frame = Vec::with_capacity(7 + varint_bytes.len());
+        frame.extend_from_slice(&MAGIC);
+        frame.extend_from_slice(&CODEC_VERSION.to_le_bytes());
+        frame.push(TAG_UINT);
+        frame.extend_from_slice(varint_bytes);
+        frame
+    }
+
+    #[test]
+    fn ten_byte_varint_boundary() {
+        // u64::MAX is the largest canonical ten-byte varint: nine 0xFF bytes
+        // carry bits 0..=62, the tenth byte carries bit 63 alone.
+        let mut max = vec![0xFFu8; 9];
+        max.push(0x01);
+        assert_eq!(from_bytes::<u64>(&uint_frame(&max)), Ok(u64::MAX));
+        assert_eq!(to_bytes(&u64::MAX).unwrap(), uint_frame(&max));
+
+        // Payload bits above bit 63 must be rejected: `<< 63` would shift
+        // them off the end of the u64 and decode a silently different
+        // number than was encoded.
+        for tenth in [0x02u8, 0x03, 0x40, 0x7e, 0x7f] {
+            let mut bytes = vec![0xFFu8; 9];
+            bytes.push(tenth);
+            assert_eq!(
+                from_bytes::<u64>(&uint_frame(&bytes)),
+                Err(CodecError::VarintOverflow),
+                "tenth byte {tenth:#04x} must overflow"
+            );
+        }
+
+        // A continuation bit on the tenth byte can never finish a u64.
+        assert_eq!(
+            from_bytes::<u64>(&uint_frame(&[0xFF; 10])),
+            Err(CodecError::VarintOverflow)
+        );
+        assert_eq!(
+            from_bytes::<u64>(&uint_frame(&[0xFF; 11])),
+            Err(CodecError::VarintOverflow)
+        );
+
+        // Truncation inside the varint is Eof, never a panic or a zero.
+        for cut in 0..9 {
+            assert_eq!(
+                from_bytes::<u64>(&uint_frame(&vec![0xFFu8; cut])),
+                Err(CodecError::Eof),
+                "cut after {cut} continuation bytes"
+            );
+        }
+    }
+
+    /// Decode `bytes` as several unrelated target types.  The only
+    /// requirement is a typed `Result` back — never a panic, never an abort.
+    fn decode_all(bytes: &[u8]) {
+        let _ = from_bytes::<u64>(bytes);
+        let _ = from_bytes::<i64>(bytes);
+        let _ = from_bytes::<String>(bytes);
+        let _ = from_bytes::<Vec<u8>>(bytes);
+        let _ = from_bytes::<Nested>(bytes);
+        let _ = from_bytes::<Shape>(bytes);
+        let _ = from_bytes::<BTreeMap<String, u64>>(bytes);
+    }
+
+    #[test]
+    fn non_canonical_varints_decode_without_panic() {
+        // Redundant continuation padding is non-canonical but harmless: the
+        // decoder either accepts it (same value) or returns a typed error.
+        assert_eq!(from_bytes::<u64>(&uint_frame(&[0x80, 0x00])), Ok(0));
+        assert_eq!(from_bytes::<u64>(&uint_frame(&[0x81, 0x00])), Ok(1));
+        decode_all(&uint_frame(&[0x80, 0x80, 0x80, 0x00]));
+    }
+
+    proptest! {
+        #[test]
+        fn varint_round_trip_is_canonical(
+            values in proptest::collection::vec(0u64..u64::MAX, 1..24),
+        ) {
+            for &x in &values {
+                let bytes = to_bytes(&x).unwrap();
+                prop_assert_eq!(from_bytes::<u64>(&bytes), Ok(x));
+                // Canonical means minimal: header (6) + tag (1) + the
+                // fewest LEB128 bytes that hold x's significant bits.
+                let bits = (64 - x.leading_zeros()) as usize;
+                prop_assert_eq!(bytes.len(), 7 + bits.div_ceil(7).max(1), "x = {}", x);
+            }
+        }
+
+        #[test]
+        fn zigzag_round_trips(
+            values in proptest::collection::vec(i64::MIN..i64::MAX, 1..24),
+        ) {
+            for &x in &values {
+                let bytes = to_bytes(&x).unwrap();
+                prop_assert_eq!(from_bytes::<i64>(&bytes), Ok(x));
+            }
+        }
+
+        #[test]
+        fn decoder_survives_mangled_frames(
+            garbage in proptest::collection::vec(0usize..256, 0..64),
+            cut in 0usize..1024,
+            flip in 0usize..4096,
+        ) {
+            // Raw garbage: usually bad magic, sometimes a valid header with
+            // nonsense tags behind it.
+            let raw: Vec<u8> = garbage.iter().map(|&b| b as u8).collect();
+            decode_all(&raw);
+            let mut framed = uint_frame(&[]);
+            framed.truncate(6);
+            framed.extend_from_slice(&raw);
+            decode_all(&framed);
+
+            // A valid frame, truncated at an arbitrary byte and with an
+            // arbitrary bit flipped.
+            let frame = to_bytes(&Nested {
+                id: u64::MAX,
+                label: String::from("fuzz-γ"),
+                weight: -0.5,
+                tags: vec![String::from("a"), String::new()],
+                extra: Some(Box::new(Nested {
+                    id: 0,
+                    label: String::from("inner"),
+                    weight: 2.0,
+                    tags: vec![],
+                    extra: None,
+                })),
+            })
+            .unwrap();
+            decode_all(&frame[..cut % (frame.len() + 1)]);
+            let mut flipped = frame.clone();
+            let pos = flip % (flipped.len() * 8);
+            flipped[pos / 8] ^= 1 << (pos % 8);
+            decode_all(&flipped);
+        }
+    }
+}

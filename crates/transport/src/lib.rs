@@ -6,9 +6,9 @@
 //! promotes that partition boundary to a **message boundary** and makes the
 //! result testable without a network:
 //!
-//! * [`codec`] — a compact self-describing binary format implementing the
-//!   serde `Serializer`/`Deserializer` surface, with an `MLNW` magic +
-//!   version header on every frame;
+//! * [`codec`] — the [`mlnw`] codec (re-exported): a compact self-describing
+//!   binary format implementing the serde `Serializer`/`Deserializer`
+//!   surface, with an `MLNW` magic + version header on every frame;
 //! * [`message`] — the wire vocabulary: envelopes carrying the
 //!   request/response pairs of the
 //!   [`distributed::PartitionBackend`] surface ([`mlnclean::ChangeSet`]
@@ -47,4 +47,4 @@ pub use log::{ChangeLog, LogEntry, MemLog};
 pub use message::{Envelope, NodeId, Payload, Request, Response, COORDINATOR};
 pub use service::{wire_session, CleaningService, ClientId, Ticket, WireBackend, WireSession};
 pub use sim::{FaultSchedule, LinkOutage, NetCounters, SimNet, WorkerCrash};
-pub use worker::PartitionWorker;
+pub use worker::{PartitionWorker, WorkerCheckpoint};

@@ -53,13 +53,26 @@ impl MemLog {
     pub fn new() -> Self {
         MemLog::default()
     }
+
+    /// Drop every entry with `batch_seq <= seq`.
+    ///
+    /// Called when a checkpoint durably captures session state through batch
+    /// `seq`: recovery then resumes from the checkpoint and replays only the
+    /// tail, so the covered prefix is dead weight — without this the journal
+    /// of a long-lived stream grows without bound.
+    pub fn truncate_through(&mut self, seq: u64) {
+        self.entries.retain(|e| e.batch_seq > seq);
+    }
 }
 
 impl ChangeLog for MemLog {
     fn append(&mut self, batch_seq: u64, payload: &[u8]) {
+        // Dense in-order journaling, modulo a truncated prefix: after a
+        // checkpoint the log may start anywhere, but appends must still
+        // extend the tail contiguously.
         debug_assert_eq!(
             batch_seq,
-            self.entries.len() as u64,
+            self.entries.last().map_or(batch_seq, |e| e.batch_seq + 1),
             "batches must be journaled densely in order"
         );
         self.entries.push(LogEntry {
@@ -98,5 +111,31 @@ mod tests {
             let back: ChangeSet = codec::from_bytes(&entry.payload).unwrap();
             assert_eq!(back, batches[i]);
         }
+    }
+
+    #[test]
+    fn truncate_through_keeps_only_the_tail() {
+        let mut log = MemLog::new();
+        for seq in 0..5u64 {
+            log.append(seq, &[seq as u8]);
+        }
+        log.truncate_through(2);
+        assert_eq!(log.len(), 2);
+        assert_eq!(
+            log.entries()
+                .iter()
+                .map(|e| e.batch_seq)
+                .collect::<Vec<_>>(),
+            vec![3, 4]
+        );
+        // Appends keep extending the (now offset) tail densely.
+        log.append(5, &[5]);
+        assert_eq!(log.entries().last().unwrap().batch_seq, 5);
+        // Truncating everything empties the log; the next append may then
+        // start at any sequence number (a fresh post-checkpoint tail).
+        log.truncate_through(5);
+        assert!(log.is_empty());
+        log.append(6, &[6]);
+        assert_eq!(log.len(), 1);
     }
 }

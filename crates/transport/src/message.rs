@@ -85,6 +85,17 @@ pub enum Request {
         /// The coordinator's merged (Eq. 6) weight table.
         weights: SessionWeights,
     },
+    /// Take a durable checkpoint of the worker's session (a compacting
+    /// [`mlnclean::SessionSnapshot`] encoded through the codec) and truncate
+    /// the journaled prefix it covers.  Idempotent: the session state at a
+    /// fixed batch cursor is deterministic, so re-checkpointing at the same
+    /// cursor re-derives (or re-acknowledges) the same checkpoint — a
+    /// retransmit duplicate is harmless.
+    ///
+    /// Appended after the original request set: the codec identifies enum
+    /// variants positionally, so new vocabulary must extend the tail to keep
+    /// old frames decodable.
+    Checkpoint,
 }
 
 /// Worker → coordinator replies, one per [`Request`] shape.
@@ -123,6 +134,15 @@ pub enum Response {
         /// The worker's local cleaning outcome (boxed: a report dwarfs
         /// every other variant).
         report: Box<Report>,
+    },
+    /// Acknowledges [`Request::Checkpoint`] (appended at the tail for the
+    /// same positional-codec reason as its request).
+    Checkpointed {
+        /// Batches the checkpoint covers (== the worker's apply cursor at
+        /// checkpoint time); recovery replays only journal entries past it.
+        batches: u64,
+        /// Size of the encoded snapshot frame, for capacity accounting.
+        snapshot_bytes: u64,
     },
 }
 
@@ -169,10 +189,26 @@ mod tests {
             Request::Outcome {
                 weights: SessionWeights::new(),
             },
+            Request::Checkpoint,
         ];
         for req in reads {
             let bytes = to_bytes(&req).unwrap();
             assert_eq!(from_bytes::<Request>(&bytes).unwrap(), req);
         }
+
+        // The tail-appended response decodes to the same fields (Response
+        // has no PartialEq — a Report carries a Dataset — so match it).
+        let ack = Response::Checkpointed {
+            batches: 7,
+            snapshot_bytes: 4096,
+        };
+        let back = from_bytes::<Response>(&to_bytes(&ack).unwrap()).unwrap();
+        assert!(matches!(
+            back,
+            Response::Checkpointed {
+                batches: 7,
+                snapshot_bytes: 4096
+            }
+        ));
     }
 }

@@ -28,6 +28,7 @@
 //! every worker acknowledged batch `n` — so a worker can never see a
 //! sequence number it is not ready for.
 
+use crate::log::ChangeLog;
 use crate::message::{Envelope, Payload, Request, Response, COORDINATOR};
 use crate::sim::{FaultSchedule, NetCounters, SimNet, WorkerCrash};
 use crate::worker::PartitionWorker;
@@ -136,6 +137,38 @@ impl WireBackend {
     /// than a scheduled tick.
     pub fn crash_worker(&mut self, worker: usize) {
         self.workers[worker].crash_and_recover();
+    }
+
+    /// Broadcast [`Request::Checkpoint`] to every worker and wait for the
+    /// acknowledgements: each worker durably snapshots its session and
+    /// truncates the covered journal prefix, so later crashes recover by
+    /// resume-plus-tail-replay instead of full replay.  Returns, per
+    /// worker, the batch cursor the checkpoint covers and the encoded
+    /// snapshot size.  Safe to call at any quiescent point between applies
+    /// (the RPC layer retransmits through faults like any other request).
+    pub fn checkpoint_workers(&mut self) -> Vec<(u64, u64)> {
+        let calls = (0..self.workers.len())
+            .map(|worker| (worker, Request::Checkpoint))
+            .collect();
+        self.call_many(calls)
+            .into_iter()
+            .map(|response| {
+                let Response::Checkpointed {
+                    batches,
+                    snapshot_bytes,
+                } = response
+                else {
+                    unreachable!("Checkpoint answered with a mismatched response");
+                };
+                (batches, snapshot_bytes)
+            })
+            .collect()
+    }
+
+    /// Journal entries currently held across all workers (shrinks when
+    /// checkpoints truncate covered prefixes).
+    pub fn journaled_batches(&self) -> usize {
+        self.workers.iter().map(|w| w.log().len()).sum()
     }
 
     /// Fire every scheduled crash whose tick the clock has reached.  Crash

@@ -19,18 +19,48 @@
 //! ## Crash and replay
 //!
 //! [`PartitionWorker::crash_and_recover`] models a process kill: session and
-//! report cache are discarded, then rebuilt by replaying the change log —
-//! decode each journaled frame, re-apply in order, re-derive the reports.
-//! Because the cleaning pipeline is deterministic, the recovered session is
-//! byte-identical to the lost one, which is exactly what the chaos tests
-//! pin.
+//! report cache are discarded, then rebuilt from the last durable
+//! [`WorkerCheckpoint`] (if one was taken) plus the journal tail — resume
+//! the checkpointed [`mlnclean::SessionSnapshot`], restore its report
+//! cache, then decode and re-apply every journaled frame past the
+//! checkpoint cursor.  With no checkpoint the log is replayed from an empty
+//! session.  Because the cleaning pipeline is deterministic, the recovered
+//! session is byte-identical to the lost one, which is exactly what the
+//! chaos tests pin.
+//!
+//! ## Checkpoints bound the journal
+//!
+//! [`Request::Checkpoint`] makes the worker encode a compacting session
+//! snapshot through the codec, stash it (with the report cache it must be
+//! able to re-acknowledge from) as durable state beside the log, and
+//! [`MemLog::truncate_through`] the covered journal prefix — so a
+//! long-lived stream's journal stays bounded by the checkpoint cadence
+//! instead of growing forever.  The handler is idempotent: at a fixed batch
+//! cursor the snapshot is deterministic, and a retransmit duplicate at the
+//! same cursor is re-acknowledged from the stored checkpoint.
 
 use crate::codec;
 use crate::log::{ChangeLog, MemLog};
 use crate::message::{Request, Response};
 use dataset::{Schema, TupleId};
-use mlnclean::{BatchReport, ChangeSet, CleanConfig, CleanError, CleaningSession};
+use mlnclean::{BatchReport, ChangeSet, CleanConfig, CleanError, CleaningSession, SessionSnapshot};
 use rules::RuleSet;
+
+/// A durable session checkpoint: everything recovery needs besides the
+/// journal tail.  "Durable" in the same sense as [`MemLog`] — it survives
+/// the simulated crash (standing in for a disk/replicated store), while the
+/// live session does not.
+#[derive(Debug, Clone)]
+pub struct WorkerCheckpoint {
+    /// Codec frame of the [`SessionSnapshot`] at checkpoint time.
+    pub frame: Vec<u8>,
+    /// Report cache at checkpoint time: replaying only the journal tail
+    /// cannot re-derive pre-checkpoint reports, but stale duplicates of
+    /// pre-checkpoint batches still need re-acknowledging.
+    pub reports: Vec<BatchReport>,
+    /// Batches the checkpoint covers (the apply cursor when it was taken).
+    pub batches: u64,
+}
 
 /// One partition's state behind the wire (see the [module docs](self)).
 #[derive(Debug)]
@@ -41,6 +71,7 @@ pub struct PartitionWorker {
     session: CleaningSession,
     log: MemLog,
     reports: Vec<BatchReport>,
+    checkpoint: Option<WorkerCheckpoint>,
     restarts: usize,
 }
 
@@ -56,6 +87,7 @@ impl PartitionWorker {
             session,
             log: MemLog::new(),
             reports: Vec::new(),
+            checkpoint: None,
             restarts: 0,
         })
     }
@@ -73,6 +105,11 @@ impl PartitionWorker {
     /// The worker's durable journal.
     pub fn log(&self) -> &MemLog {
         &self.log
+    }
+
+    /// The worker's last durable checkpoint, if one was taken.
+    pub fn checkpoint(&self) -> Option<&WorkerCheckpoint> {
+        self.checkpoint.as_ref()
     }
 
     /// Handle one request (see the [module docs](self) for the idempotency
@@ -140,19 +177,73 @@ impl PartitionWorker {
                     report: Box::new(self.session.outcome()),
                 }
             }
+            Request::Checkpoint => {
+                let batches = self.reports.len() as u64;
+                // Retransmit duplicate at an unchanged cursor: re-ack from
+                // the stored checkpoint without re-encoding anything.
+                if let Some(cp) = &self.checkpoint {
+                    if cp.batches == batches {
+                        return Response::Checkpointed {
+                            batches,
+                            snapshot_bytes: cp.frame.len() as u64,
+                        };
+                    }
+                }
+                let frame =
+                    codec::to_bytes(&self.session.snapshot()).expect("session snapshots encode");
+                let snapshot_bytes = frame.len() as u64;
+                self.checkpoint = Some(WorkerCheckpoint {
+                    frame,
+                    reports: self.reports.clone(),
+                    batches,
+                });
+                // The checkpoint durably covers batches 0..batches, so the
+                // journaled prefix is dead weight.
+                if batches > 0 {
+                    self.log.truncate_through(batches - 1);
+                }
+                Response::Checkpointed {
+                    batches,
+                    snapshot_bytes,
+                }
+            }
         }
     }
 
-    /// Kill the worker's volatile state and recover it from the change log:
-    /// a fresh session replays every journaled batch in order, re-deriving
-    /// the report cache along the way.
+    /// Kill the worker's volatile state and recover it from durable state:
+    /// resume the last checkpoint (or open a fresh session if none was
+    /// taken), then replay the journal tail past the checkpoint cursor in
+    /// order, re-deriving the post-checkpoint report cache along the way.
     pub fn crash_and_recover(&mut self) {
         self.restarts += 1;
-        self.session =
-            CleaningSession::new(self.config.clone(), self.schema.clone(), self.rules.clone())
+        let replay_from = match &self.checkpoint {
+            Some(cp) => {
+                let snapshot: SessionSnapshot =
+                    codec::from_bytes(&cp.frame).expect("checkpoint frames decode");
+                self.session =
+                    CleaningSession::resume(self.config.clone(), self.rules.clone(), snapshot)
+                        .expect("a snapshot that was taken resumes");
+                self.reports = cp.reports.clone();
+                cp.batches
+            }
+            None => {
+                self.session = CleaningSession::new(
+                    self.config.clone(),
+                    self.schema.clone(),
+                    self.rules.clone(),
+                )
                 .expect("a session that opened once opens again");
-        self.reports.clear();
+                self.reports.clear();
+                0
+            }
+        };
         for entry in self.log.entries().to_vec() {
+            // The journal may still hold a truncated-away prefix only if the
+            // checkpoint raced an append; covered entries are already inside
+            // the resumed state and must not double-apply.
+            if entry.batch_seq < replay_from {
+                continue;
+            }
             let changes: ChangeSet =
                 codec::from_bytes(&entry.payload).expect("journaled frames decode");
             let report = self
@@ -247,6 +338,127 @@ mod tests {
             w.reports, before_reports,
             "replayed reports must be identical"
         );
+    }
+
+    #[test]
+    fn checkpoint_truncates_log_and_recovery_replays_only_the_tail() {
+        let mut w = worker();
+        let batches = [
+            insert(&[("BOAZ", "35016"), ("BOAZ", "35014"), ("ELBA", "36323")]),
+            [Mutation::Update(
+                TupleId(2),
+                dataset::AttrId(1),
+                "36325".into(),
+            )]
+            .into_iter()
+            .collect::<ChangeSet>(),
+            insert(&[("ELBA", "36323")]),
+            [Mutation::Delete(TupleId(0))].into_iter().collect(),
+        ];
+        // Apply two, checkpoint, apply two more.
+        for (seq, batch) in batches.iter().take(2).enumerate() {
+            w.handle(Request::ApplyBatch {
+                batch_seq: seq as u64,
+                changes: batch.clone(),
+            });
+        }
+        let Response::Checkpointed {
+            batches: covered,
+            snapshot_bytes,
+        } = w.handle(Request::Checkpoint)
+        else {
+            panic!("checkpoint must ack");
+        };
+        assert_eq!(covered, 2);
+        assert!(snapshot_bytes > 0);
+        assert!(w.log().is_empty(), "the covered journal prefix must go");
+
+        for (seq, batch) in batches.iter().enumerate().skip(2) {
+            w.handle(Request::ApplyBatch {
+                batch_seq: seq as u64,
+                changes: batch.clone(),
+            });
+        }
+        assert_eq!(w.log().len(), 2, "only the tail is journaled");
+        let before_rows = dump(&mut w);
+        let before_reports = w.reports.clone();
+
+        w.crash_and_recover();
+
+        assert_eq!(w.restarts(), 1);
+        assert_eq!(
+            dump(&mut w),
+            before_rows,
+            "checkpoint + tail replay must reconstruct identical rows"
+        );
+        assert_eq!(
+            w.reports, before_reports,
+            "the full report cache must survive (prefix from the \
+             checkpoint, tail re-derived)"
+        );
+
+        // A stale duplicate of a PRE-checkpoint batch still re-acks from
+        // the restored cache without touching state.
+        let rows_now = w.session_rows();
+        let dup = w.handle(Request::ApplyBatch {
+            batch_seq: 0,
+            changes: batches[0].clone(),
+        });
+        let Response::Applied { report, .. } = dup else {
+            panic!("duplicate must re-ack");
+        };
+        assert_eq!(report, before_reports[0]);
+        assert_eq!(w.session_rows(), rows_now);
+    }
+
+    #[test]
+    fn duplicate_checkpoint_re_acks_without_re_encoding() {
+        let mut w = worker();
+        w.handle(Request::ApplyBatch {
+            batch_seq: 0,
+            changes: insert(&[("BOAZ", "35016")]),
+        });
+        let Response::Checkpointed { batches, .. } = w.handle(Request::Checkpoint) else {
+            panic!("checkpoint must ack");
+        };
+        assert_eq!(batches, 1);
+        let frame = w.checkpoint().unwrap().frame.clone();
+        // Retransmit duplicate: same cursor, same stored frame, same ack.
+        let Response::Checkpointed { batches, .. } = w.handle(Request::Checkpoint) else {
+            panic!("duplicate checkpoint must re-ack");
+        };
+        assert_eq!(batches, 1);
+        assert_eq!(w.checkpoint().unwrap().frame, frame);
+
+        // After another batch the cursor moved, so a new checkpoint
+        // supersedes the old one.
+        w.handle(Request::ApplyBatch {
+            batch_seq: 1,
+            changes: insert(&[("ELBA", "36323")]),
+        });
+        let Response::Checkpointed { batches, .. } = w.handle(Request::Checkpoint) else {
+            panic!("checkpoint must ack");
+        };
+        assert_eq!(batches, 2);
+        assert!(w.log().is_empty());
+    }
+
+    #[test]
+    fn checkpoint_before_any_batch_recovers_an_empty_session() {
+        let mut w = worker();
+        let Response::Checkpointed { batches, .. } = w.handle(Request::Checkpoint) else {
+            panic!("checkpoint must ack");
+        };
+        assert_eq!(batches, 0);
+        w.crash_and_recover();
+        assert_eq!(w.applied_batches(), 0);
+        assert_eq!(w.session_rows(), 0);
+        // The degenerate checkpoint must not break later applies.
+        w.handle(Request::ApplyBatch {
+            batch_seq: 0,
+            changes: insert(&[("BOAZ", "35016")]),
+        });
+        assert_eq!(w.session_rows(), 1);
     }
 
     fn dump(w: &mut PartitionWorker) -> String {

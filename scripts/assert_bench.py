@@ -95,6 +95,14 @@ def check_smoke(d):
           "%.6fs" % ds["per_round_merge_seconds"], "per round,",
           ds["shared_gammas"], "shared gammas, byte-identical to the",
           "single-session stream")
+    sr = s["suspend_resume"]
+    check(sr["matches_uninterrupted"] is True,
+          f"suspended+resumed session diverged from the uninterrupted run: {sr}")
+    check(sr["snapshot_bytes"] > 0, f"the snapshot encoded no bytes: {sr}")
+    check(sr["suspended_at_batch"] > 0, f"the suspend fired before any batch: {sr}")
+    print("suspend-resume smoke ok: suspended after batch",
+          sr["suspended_at_batch"], "into a", sr["snapshot_bytes"],
+          "byte snapshot, resumed byte-identical to the uninterrupted run")
     w = s["simulated_transport"]
     check(w["matches_single_session"] is True,
           f"wire session diverged from the single session: {w}")
@@ -116,7 +124,7 @@ def check_smoke(d):
           "byte-identical to the single session")
 
 
-def check_ladder(d, fresh=True):
+def check_ladder(d, fresh=True, tolerance=0.25):
     check(d["experiment"] == "ladder", "not a ladder artifact")
     if fresh:
         # Committed baselines may predate the wire codec; every freshly
@@ -128,6 +136,8 @@ def check_ladder(d, fresh=True):
     check(sizes == sorted(set(sizes)),
           f"rung sizes must be strictly increasing: {sizes}")
     rss_supported = d["rss_meter"]["supported"]
+    budgeted_rungs = 0
+    rss_asserted_rungs = 0
 
     for i, r in enumerate(rungs):
         where = f"rung {r['rows']}"
@@ -159,6 +169,37 @@ def check_ladder(d, fresh=True):
                 check(isinstance(e["peak_rss_kib"], int) and e["peak_rss_kib"] > 0,
                       f"{tag}: RSS meter is supported but no peak recorded")
 
+        # Budgeted probe: the same rung under a fixed memory budget must stay
+        # byte-identical to the unbudgeted session at EVERY rung the probe
+        # ran (including the nightly 10^6 rung, above identity_limit).  The
+        # peak-RSS-under-budget claim is only made where the rung flags
+        # `rss_asserted`: above that, outcome-time transients no budget
+        # governs (resolved FSCR strings, the report itself) dominate the
+        # whole-process peak and the number would be a lie either way.
+        budgeted = r.get("budgeted")
+        if budgeted is not None:
+            budgeted_rungs += 1
+            check(budgeted["matches_unbudgeted"] is True,
+                  f"{where}: budgeted session diverged from the unbudgeted run")
+            check(budgeted["budget_kib"] > 0, f"{where}: empty memory budget")
+            if rss_supported:
+                rss = budgeted["peak_rss_kib"]
+                check(isinstance(rss, int) and rss > 0,
+                      f"{where}: RSS meter is supported but the budgeted probe "
+                      f"recorded no peak")
+                if budgeted["rss_asserted"]:
+                    # The claim is about growth: peak minus the post-reset
+                    # floor, so memory the allocator retains from earlier
+                    # rungs cannot fail an otherwise well-behaved probe.
+                    rss_asserted_rungs += 1
+                    floor = budgeted.get("rss_floor_kib") or 0
+                    limit = floor + (1.0 + tolerance) * budgeted["budget_kib"]
+                    check(rss <= limit,
+                          f"{where}: budgeted peak RSS {rss} KiB exceeds the "
+                          f"{floor} KiB floor + {budgeted['budget_kib']} KiB "
+                          f"budget (+{tolerance:.0%} allowance = "
+                          f"{limit:.0f} KiB)")
+
         mut = r["mutation_latency"]
         if i == len(rungs) - 1:
             check(mut is not None, f"{where}: largest rung lacks the mutation probe")
@@ -172,9 +213,20 @@ def check_ladder(d, fresh=True):
         else:
             check(mut is None, f"{where}: mutation probe ran on a non-final rung")
 
+    # The RSS claim may be scoped, but it may not silently vanish: once a
+    # run carries budgeted rungs and a working meter, at least one rung must
+    # actually assert its peak against the budget.
+    if budgeted_rungs > 0 and rss_supported:
+        check(rss_asserted_rungs >= 1,
+              "budgeted rungs ran with a working RSS meter but no rung "
+              "asserted its peak against the budget (rss_asserted is false "
+              "everywhere — the out-of-core claim lost its CI teeth)")
+
     print(f"ladder invariants ok: rungs {sizes}, "
           f"identity checked on {sum(r['byte_identity']['checked'] for r in rungs)}, "
-          f"rss meter {'on' if rss_supported else 'off'}")
+          f"rss meter {'on' if rss_supported else 'off'}, "
+          f"budgeted probe on {budgeted_rungs} "
+          f"(rss asserted on {rss_asserted_rungs})")
 
 
 def throughput(rung, engine):
@@ -186,7 +238,10 @@ def gate_ladder(new, base, tolerance):
         print("ladder gate SKIPPED (BENCH_GATE_SKIP=1)")
         return
     base_by_rows = {r["rows"]: r for r in base["rungs"]}
+    both_rss_supported = (new["rss_meter"]["supported"]
+                          and base["rss_meter"]["supported"])
     compared = 0
+    skipped = 0
     for r in new["rungs"]:
         b = base_by_rows.get(r["rows"])
         if b is None:
@@ -198,6 +253,7 @@ def gate_ladder(new, base, tolerance):
                   f"{tag}: throughput regressed {base_tp:.0f} -> {new_tp:.0f} rows/s "
                   f"(> {tolerance:.0%} drop); re-baseline deliberately or set "
                   f"BENCH_GATE_SKIP=1")
+            compared += 1
             new_rss = r["engines"][name]["peak_rss_kib"]
             base_rss = b["engines"][name]["peak_rss_kib"]
             if isinstance(new_rss, int) and isinstance(base_rss, int):
@@ -205,7 +261,16 @@ def gate_ladder(new, base, tolerance):
                       f"{tag}: peak RSS grew {base_rss} -> {new_rss} KiB "
                       f"(> {tolerance:.0%}); re-baseline deliberately or set "
                       f"BENCH_GATE_SKIP=1")
-            compared += 1
+                compared += 1
+            elif both_rss_supported:
+                # Both runs claim a working meter, yet a reading is missing:
+                # that is a broken artifact, not a platform limitation, and
+                # silently skipping it would let an RSS regression ship.
+                fail(f"{tag}: both artifacts report rss_meter.supported but "
+                     f"peak_rss_kib is {new_rss!r} (run) vs {base_rss!r} "
+                     f"(baseline) — a supported meter must record integers")
+            else:
+                skipped += 1
         # Mutation tail-latency gate: where both runs probed the same rung,
         # p50 and p99 may not regress past the tolerance.  The absolute 50ms
         # grace keeps sub-100ms probes from failing on timer noise alone.
@@ -220,7 +285,8 @@ def gate_ladder(new, base, tolerance):
                 compared += 1
     check(compared > 0, "baseline shares no rungs with this run")
     print(f"ladder gate ok: {compared} points within "
-          f"{tolerance:.0%} of the baseline")
+          f"{tolerance:.0%} of the baseline, {skipped} skipped "
+          f"(RSS meter unsupported)")
 
 
 def main():
@@ -237,11 +303,11 @@ def main():
     if args.kind == "smoke":
         check_smoke(d)
     else:
-        check_ladder(d)
+        check_ladder(d, tolerance=args.tolerance)
         if args.baseline:
             with open(args.baseline) as f:
                 base = json.load(f)
-            check_ladder(base, fresh=False)
+            check_ladder(base, fresh=False, tolerance=args.tolerance)
             gate_ladder(d, base, args.tolerance)
 
 

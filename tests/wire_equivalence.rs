@@ -390,6 +390,74 @@ fn explicit_mid_stream_crash_replays_every_worker() {
     assert_outcomes_identical("explicit crash", &wired.finish(), &single.finish());
 }
 
+#[test]
+fn crash_after_checkpoint_recovers_from_snapshot_plus_tail() {
+    // Deterministic regression for checkpoint-based recovery: mid-stream the
+    // coordinator broadcasts a checkpoint (each worker snapshots its session
+    // through the codec and truncates the covered journal prefix), more
+    // batches land, then EVERY worker is killed — so recovery must resume
+    // the snapshot and replay only the post-checkpoint tail.  The final
+    // output must not move by a byte versus a single in-process session.
+    let dirty = datagen::CarGenerator::default()
+        .with_rows(100)
+        .dirty(0.06, 0.5, 9)
+        .dirty;
+    let rules = datagen::CarGenerator::rules();
+    let schema = dirty.schema().clone();
+    let scripts = random_scripts(&dirty, 80, 6, 0xCE0C);
+    let config = CleanConfig::default().with_tau(1);
+    let partitions = 2usize;
+
+    let mut single = CleaningSession::new(config.clone(), schema.clone(), rules.clone()).unwrap();
+    let mut wired = wire_session(
+        config.clone(),
+        schema.clone(),
+        rules.clone(),
+        partitions,
+        2,
+        FaultSchedule {
+            seed: 31,
+            delay: (0, 4),
+            duplicate: 0.3,
+            loss: 0.1,
+            ..FaultSchedule::reliable()
+        },
+    )
+    .unwrap();
+
+    let checkpoint_at = scripts.len() / 2;
+    let crash_at = checkpoint_at + 1;
+    for (step, changes) in scripts.iter().enumerate() {
+        single.apply(changes.clone()).unwrap();
+        wired.apply(changes.clone()).unwrap();
+        if step == checkpoint_at {
+            let journaled_before = wired.backend_mut().journaled_batches();
+            let acks = wired.backend_mut().checkpoint_workers();
+            assert_eq!(acks.len(), partitions);
+            let covered: u64 = acks.iter().map(|&(batches, _)| batches).sum();
+            assert!(covered > 0, "half the stream must have reached the workers");
+            assert!(acks.iter().all(|&(_, bytes)| bytes > 0));
+            assert_eq!(
+                wired.backend_mut().journaled_batches(),
+                0,
+                "the checkpoint must truncate every covered journal entry \
+                 (had {journaled_before})"
+            );
+        }
+        if step == crash_at {
+            assert!(
+                wired.backend_mut().journaled_batches() > 0,
+                "the post-checkpoint tail must be journaled"
+            );
+            for worker in 0..partitions {
+                wired.backend_mut().crash_worker(worker);
+            }
+        }
+    }
+    assert_eq!(wired.backend_mut().total_restarts(), partitions);
+    assert_outcomes_identical("crash after checkpoint", &wired.finish(), &single.finish());
+}
+
 mod proptest_schedules {
     use super::*;
     use proptest::prelude::*;
